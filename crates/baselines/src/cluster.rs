@@ -1,0 +1,198 @@
+//! The distributed substrate: a cluster of commodity nodes.
+//!
+//! Models the paper's testbed for the distributed baselines (Sec. 7.1): one
+//! master plus 30 slaves, each with two 8-core 2.60 GHz Xeons and 64 GB of
+//! memory, connected by Infiniband QDR (40 Gbps). Per-framework execution
+//! costs (JVM object overhead, message serialisation, barrier latency) are
+//! captured in [`FrameworkProfile`] presets — these coefficients are the
+//! honest tuning knobs of the substitution and are documented per framework
+//! below.
+
+use gts_sim::{Bandwidth, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// Hardware of the distributed cluster.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Worker nodes.
+    pub nodes: usize,
+    /// CPU cores per node.
+    pub cores_per_node: u32,
+    /// Usable memory per node, in bytes.
+    pub memory_per_node: u64,
+    /// Per-link network bandwidth.
+    pub network_bw: Bandwidth,
+    /// Per-superstep network/barrier latency.
+    pub network_latency: SimDuration,
+}
+
+impl ClusterConfig {
+    /// The paper's cluster: 30 slaves × (16 cores, 64 GB), IB QDR.
+    pub fn paper_cluster() -> Self {
+        ClusterConfig {
+            nodes: 30,
+            cores_per_node: 16,
+            memory_per_node: 64 << 30,
+            network_bw: Bandwidth::gbit_per_sec(40),
+            network_latency: SimDuration::from_micros(200),
+        }
+    }
+
+    /// The paper's cluster with memory *and fixed per-superstep costs*
+    /// scaled by `1/div`, so both the OOM boundaries and the
+    /// compute-to-overhead balance land where the paper's did
+    /// (DESIGN.md §1: shrinking the workload without shrinking barrier
+    /// costs would shift every engine into an overhead-dominated regime
+    /// the paper never measured).
+    pub fn scaled(div: u64) -> Self {
+        let mut c = Self::paper_cluster();
+        let div = div.max(1);
+        c.memory_per_node /= div;
+        c.network_latency = SimDuration::from_nanos(c.network_latency.as_nanos() / div);
+        c
+    }
+
+    /// Total cluster memory.
+    pub fn total_memory(&self) -> u64 {
+        self.memory_per_node * self.nodes as u64
+    }
+}
+
+/// Per-framework execution-cost coefficients.
+///
+/// These make one BSP engine stand in for three systems. The orderings are
+/// the load-bearing facts (and match the paper's Fig. 6 narrative): Giraph
+/// has the worst constants (JVM objects per edge, heavyweight supersteps),
+/// GraphX pays Spark's shuffle machinery, Naiad's .NET/Mono build has the
+/// worst memory behaviour ("Naiad shows the worst scalability"), and
+/// PowerGraph's C++ GAS engine has by far the best constants and the best
+/// scalability.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FrameworkProfile {
+    /// Framework name for reports.
+    pub name: &'static str,
+    /// CPU nanoseconds per edge processed (single core).
+    pub per_edge_ns: f64,
+    /// CPU nanoseconds per active vertex per superstep.
+    pub per_vertex_ns: f64,
+    /// Wire + serialisation bytes per message.
+    pub bytes_per_message: u64,
+    /// Resident bytes per edge of the in-memory graph representation
+    /// (JVM/.NET object headers make this far larger than raw CSR).
+    pub memory_bytes_per_edge: u64,
+    /// Resident bytes per vertex.
+    pub memory_bytes_per_vertex: u64,
+    /// Fixed overhead per superstep (barrier, scheduling, GC pressure).
+    pub superstep_overhead: SimDuration,
+}
+
+impl FrameworkProfile {
+    /// Apache Giraph: BSP on Hadoop; worst per-element constants
+    /// ("Giraph shows the worst performance", Sec. 7.2). Derived from the
+    /// paper's own Fig. 6b: 1654 s for ten Twitter PageRank iterations
+    /// over 480 cores ≈ 27 µs per edge-event per core; we use a milder
+    /// 13 µs so the Giraph:PowerGraph ratio matches the ~20x the paper
+    /// shows.
+    pub fn giraph() -> Self {
+        FrameworkProfile {
+            name: "Giraph",
+            per_edge_ns: 13_000.0,
+            per_vertex_ns: 8_000.0,
+            bytes_per_message: 48,
+            memory_bytes_per_edge: 64,
+            memory_bytes_per_vertex: 120,
+            superstep_overhead: SimDuration::from_millis(450),
+        }
+    }
+
+    /// Spark GraphX: dataflow over RDDs; heavy shuffles, mid-pack speed
+    /// (Fig. 6b: 210 s for ten Twitter PageRank iterations ≈ 3.4 µs per
+    /// edge-event per core).
+    pub fn graphx() -> Self {
+        FrameworkProfile {
+            name: "GraphX",
+            per_edge_ns: 3_400.0,
+            per_vertex_ns: 2_500.0,
+            bytes_per_message: 40,
+            memory_bytes_per_edge: 56,
+            memory_bytes_per_vertex: 96,
+            superstep_overhead: SimDuration::from_millis(900),
+        }
+    }
+
+    /// Naiad (timely dataflow on Mono): decent constants, worst memory
+    /// behaviour — "Naiad shows the worst scalability" / frequent OOM.
+    pub fn naiad() -> Self {
+        FrameworkProfile {
+            name: "Naiad",
+            per_edge_ns: 5_500.0,
+            per_vertex_ns: 4_000.0,
+            bytes_per_message: 40,
+            memory_bytes_per_edge: 96,
+            memory_bytes_per_vertex: 160,
+            superstep_overhead: SimDuration::from_millis(250),
+        }
+    }
+
+    /// PowerGraph (GraphLab v2.2): native C++, vertex-cut; best constants
+    /// and "the best scalability and performance" among the four.
+    /// Derived from Fig. 6b: 84 s for ten Twitter PageRank iterations
+    /// over 480 cores ≈ 1.4 µs per edge-visit per core (gather + scatter
+    /// are two visits → 700 ns each).
+    pub fn powergraph() -> Self {
+        FrameworkProfile {
+            name: "PowerGraph",
+            per_edge_ns: 700.0,
+            per_vertex_ns: 600.0,
+            bytes_per_message: 16,
+            memory_bytes_per_edge: 20,
+            memory_bytes_per_vertex: 64,
+            superstep_overhead: SimDuration::from_millis(120),
+        }
+    }
+
+    /// Scale the fixed per-superstep overhead by `1/div`, matching a
+    /// workload scaled by the same factor (see [`ClusterConfig::scaled`]).
+    pub fn scaled(mut self, div: u64) -> Self {
+        self.superstep_overhead =
+            SimDuration::from_nanos(self.superstep_overhead.as_nanos() / div.max(1));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cluster_matches_testbed() {
+        let c = ClusterConfig::paper_cluster();
+        assert_eq!(c.nodes, 30);
+        assert_eq!(c.cores_per_node, 16);
+        assert_eq!(c.total_memory(), 30 * (64u64 << 30));
+    }
+
+    #[test]
+    fn scaling_divides_memory() {
+        let c = ClusterConfig::scaled(1 << 12);
+        assert_eq!(c.memory_per_node, (64u64 << 30) >> 12);
+        assert_eq!(c.nodes, 30);
+    }
+
+    #[test]
+    fn framework_orderings_match_fig6_narrative() {
+        let gi = FrameworkProfile::giraph();
+        let gx = FrameworkProfile::graphx();
+        let na = FrameworkProfile::naiad();
+        let pg = FrameworkProfile::powergraph();
+        // PowerGraph has the best constants across the board.
+        for other in [&gi, &gx, &na] {
+            assert!(pg.per_edge_ns < other.per_edge_ns);
+            assert!(pg.memory_bytes_per_edge < other.memory_bytes_per_edge);
+        }
+        // Giraph is the slowest per element.
+        assert!(gi.per_edge_ns > gx.per_edge_ns);
+        // Naiad has the worst memory footprint (worst scalability).
+        assert!(na.memory_bytes_per_edge > gi.memory_bytes_per_edge);
+    }
+}

@@ -1,0 +1,300 @@
+//! Shared-memory CPU engines (the paper's Fig. 7 comparators).
+//!
+//! One engine, four profiles:
+//!
+//! * **Ligra** — frontier-based with sparse(push)/dense(pull) direction
+//!   switching; needs CSR *and* its transpose in memory.
+//! * **Ligra+** — Ligra with compressed adjacency (smaller footprint,
+//!   slight per-edge decode cost).
+//! * **Galois** — fast native work-item scheduler; frontier-based, CSR only.
+//! * **MTGL** — the multithreaded graph library baseline: no frontier
+//!   optimisation, every sweep scans all vertices ("Galois, Ligra and
+//!   Ligra+ have significantly outperformed MTGL", Sec. 7.3).
+//!
+//! All four must hold the whole graph in host memory — which is exactly
+//! why the paper's Fig. 7 has no CPU bars for RMAT29+ ("the CPU-based
+//! methods cannot load data into main memory").
+
+use crate::propagation::{self, place, PropagationTrace};
+use crate::report::{values_to_u32, BaselineError, BaselineRun};
+use gts_graph::{Csr, EdgeList};
+use gts_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Cost/architecture profile of one CPU engine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CpuProfile {
+    /// Engine name.
+    pub name: &'static str,
+    /// Nanoseconds per edge on one core.
+    pub per_edge_ns: f64,
+    /// Nanoseconds per scanned vertex on one core.
+    pub per_vertex_ns: f64,
+    /// Whether the engine only touches frontier vertices (Ligra/Galois) or
+    /// scans everything each sweep (MTGL).
+    pub frontier_based: bool,
+    /// Whether the dense direction needs the transposed graph resident.
+    pub needs_transpose: bool,
+    /// Bytes per edge of the in-memory representation.
+    pub memory_bytes_per_edge: u64,
+    /// Per-sweep scheduling overhead.
+    pub sweep_overhead: SimDuration,
+}
+
+impl CpuProfile {
+    /// Ligra (Shun & Blelloch).
+    ///
+    /// Constants calibrated against the paper's Fig. 7: on Twitter-class
+    /// graphs Ligra's BFS lands within ~2x of GTS (either may win
+    /// slightly) while its PageRank trails GTS by ~4-5x.
+    pub fn ligra() -> Self {
+        CpuProfile {
+            name: "Ligra",
+            per_edge_ns: 30.0,
+            per_vertex_ns: 4.0,
+            frontier_based: true,
+            needs_transpose: true,
+            memory_bytes_per_edge: 8,
+            sweep_overhead: SimDuration::from_micros(120),
+        }
+    }
+
+    /// Ligra+ (compressed graphs: ~half the memory, ~15 % decode cost).
+    pub fn ligra_plus() -> Self {
+        CpuProfile {
+            name: "Ligra+",
+            per_edge_ns: 34.0,
+            per_vertex_ns: 4.0,
+            frontier_based: true,
+            needs_transpose: true,
+            memory_bytes_per_edge: 4,
+            sweep_overhead: SimDuration::from_micros(120),
+        }
+    }
+
+    /// Galois (Nguyen et al.).
+    pub fn galois() -> Self {
+        CpuProfile {
+            name: "Galois",
+            per_edge_ns: 32.0,
+            per_vertex_ns: 6.0,
+            frontier_based: true,
+            needs_transpose: false,
+            memory_bytes_per_edge: 8,
+            sweep_overhead: SimDuration::from_micros(250),
+        }
+    }
+
+    /// MTGL (Barrett et al.) — no frontier optimisation.
+    pub fn mtgl() -> Self {
+        CpuProfile {
+            name: "MTGL",
+            per_edge_ns: 110.0,
+            per_vertex_ns: 20.0,
+            frontier_based: false,
+            needs_transpose: false,
+            memory_bytes_per_edge: 16,
+            sweep_overhead: SimDuration::from_millis(1),
+        }
+    }
+}
+
+/// A shared-memory CPU engine on the paper's workstation (two 8-core
+/// Xeons, 16 threads with HT off, 128 GB of memory — Sec. 7.1).
+#[derive(Debug, Clone)]
+pub struct CpuEngine {
+    /// Cost profile.
+    pub profile: CpuProfile,
+    /// Worker threads (the paper fixes 16).
+    pub threads: u32,
+    /// Host memory in bytes.
+    pub host_memory: u64,
+}
+
+impl CpuEngine {
+    /// An engine with the paper's workstation parameters.
+    pub fn new(profile: CpuProfile) -> Self {
+        CpuEngine {
+            profile,
+            threads: 16,
+            host_memory: 128 << 30,
+        }
+    }
+
+    /// Scale host memory by `1/div` (regime scaling, DESIGN.md §1).
+    pub fn with_scaled_memory(mut self, div: u64) -> Self {
+        self.host_memory = (128u64 << 30) / div.max(1);
+        self
+    }
+
+    /// BFS from `source`.
+    pub fn run_bfs(&self, g: &Csr, source: u32) -> Result<(Vec<u32>, BaselineRun), BaselineError> {
+        self.check_memory(g)?;
+        let trace = propagation::min_propagation(g, Some(source), |_, _, x| x + 1.0, place::single(), 1);
+        let run = self.account(g, &trace, "BFS");
+        Ok((values_to_u32(&trace.values), run))
+    }
+
+    /// SSSP from `source`.
+    pub fn run_sssp(&self, g: &Csr, source: u32) -> Result<(Vec<u32>, BaselineRun), BaselineError> {
+        self.check_memory(g)?;
+        let trace = propagation::min_propagation(
+            g,
+            Some(source),
+            |v, w, x| x + EdgeList::edge_weight(v, w) as f64,
+            place::single(),
+            1,
+        );
+        let run = self.account(g, &trace, "SSSP");
+        Ok((values_to_u32(&trace.values), run))
+    }
+
+    /// Weakly connected components.
+    pub fn run_cc(&self, g: &Csr) -> Result<(Vec<u32>, BaselineRun), BaselineError> {
+        self.check_memory(g)?;
+        let sym = g.symmetrize();
+        let trace = propagation::min_propagation(&sym, None, |_, _, x| x, place::single(), 1);
+        let run = self.account(&sym, &trace, "CC");
+        Ok((values_to_u32(&trace.values), run))
+    }
+
+    /// PageRank for `iterations` sweeps.
+    pub fn run_pagerank(
+        &self,
+        g: &Csr,
+        iterations: u32,
+    ) -> Result<(Vec<f64>, BaselineRun), BaselineError> {
+        self.check_memory(g)?;
+        let trace = propagation::pagerank_propagation(g, 0.85, iterations, place::single(), 1);
+        let run = self.account(g, &trace, "PageRank");
+        Ok((trace.values.clone(), run))
+    }
+
+    /// Bytes the engine needs resident for `g`.
+    pub fn memory_needed(&self, g: &Csr) -> u64 {
+        let direction_copies = if self.profile.needs_transpose { 2 } else { 1 };
+        g.num_edges() as u64 * self.profile.memory_bytes_per_edge * direction_copies
+            + g.num_vertices() as u64 * 16
+    }
+
+    fn check_memory(&self, g: &Csr) -> Result<(), BaselineError> {
+        let needed = self.memory_needed(g);
+        if needed > self.host_memory {
+            return Err(BaselineError::OutOfMemory {
+                engine: self.profile.name.to_string(),
+                needed,
+                available: self.host_memory,
+            });
+        }
+        Ok(())
+    }
+
+    fn account(&self, g: &Csr, trace: &PropagationTrace, algorithm: &str) -> BaselineRun {
+        let p = &self.profile;
+        let mut t = SimTime::ZERO;
+        for sweep in &trace.sweeps {
+            let load = &sweep.nodes[0];
+            let (vertices, edges) = if p.frontier_based {
+                (load.active_vertices, load.edges)
+            } else {
+                // MTGL-style: every sweep visits everything.
+                (g.num_vertices() as u64, g.num_edges() as u64)
+            };
+            let work_ns =
+                edges as f64 * p.per_edge_ns + vertices as f64 * p.per_vertex_ns;
+            t += SimDuration::from_secs_f64(work_ns / self.threads as f64 / 1e9)
+                + p.sweep_overhead;
+        }
+        BaselineRun {
+            engine: p.name.to_string(),
+            algorithm: algorithm.to_string(),
+            elapsed: t - SimTime::ZERO,
+            sweeps: trace.sweeps.len() as u32,
+            network_bytes: 0,
+            memory_peak: self.memory_needed(g),
+        }
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gts_graph::generate::rmat;
+    use gts_graph::reference;
+
+    fn small() -> Csr {
+        Csr::from_edge_list(&rmat(8))
+    }
+
+    #[test]
+    fn all_profiles_match_reference_bfs() {
+        let g = small();
+        let want = reference::bfs(&g, 0);
+        for p in [
+            CpuProfile::ligra(),
+            CpuProfile::ligra_plus(),
+            CpuProfile::galois(),
+            CpuProfile::mtgl(),
+        ] {
+            let (levels, _) = CpuEngine::new(p).run_bfs(&g, 0).unwrap();
+            assert_eq!(levels, want);
+        }
+    }
+
+    #[test]
+    fn pagerank_and_cc_and_sssp_match_reference() {
+        let g = small();
+        let e = CpuEngine::new(CpuProfile::ligra());
+        let (pr, _) = e.run_pagerank(&g, 4).unwrap();
+        for (a, b) in pr.iter().zip(&reference::pagerank(&g, 0.85, 4)) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert_eq!(e.run_cc(&g).unwrap().0, reference::connected_components(&g));
+        assert_eq!(e.run_sssp(&g, 0).unwrap().0, reference::sssp(&g, 0));
+    }
+
+    #[test]
+    fn mtgl_is_much_slower_than_ligra() {
+        // Fig. 7's headline: frontier engines dominate MTGL.
+        let g = small();
+        let ligra = CpuEngine::new(CpuProfile::ligra())
+            .run_bfs(&g, 0)
+            .unwrap()
+            .1
+            .elapsed;
+        let mtgl = CpuEngine::new(CpuProfile::mtgl())
+            .run_bfs(&g, 0)
+            .unwrap()
+            .1
+            .elapsed;
+        assert!(mtgl > ligra * 3);
+    }
+
+    #[test]
+    fn ligra_plus_fits_where_ligra_ooms() {
+        // Compression halves the footprint — the reason Ligra+ exists.
+        let g = small();
+        let needed_ligra = CpuEngine::new(CpuProfile::ligra()).memory_needed(&g);
+        let mut ligra = CpuEngine::new(CpuProfile::ligra());
+        ligra.host_memory = needed_ligra - 1;
+        let mut plus = CpuEngine::new(CpuProfile::ligra_plus());
+        plus.host_memory = needed_ligra - 1;
+        assert!(matches!(
+            ligra.run_bfs(&g, 0),
+            Err(BaselineError::OutOfMemory { .. })
+        ));
+        assert!(plus.run_bfs(&g, 0).is_ok());
+    }
+
+    #[test]
+    fn oom_names_engine() {
+        let g = small();
+        let mut e = CpuEngine::new(CpuProfile::galois());
+        e.host_memory = 16;
+        match e.run_pagerank(&g, 1) {
+            Err(BaselineError::OutOfMemory { engine, .. }) => assert_eq!(engine, "Galois"),
+            other => panic!("expected OOM, got {other:?}"),
+        }
+    }
+}

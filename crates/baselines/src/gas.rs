@@ -1,0 +1,222 @@
+//! PowerGraph-style Gather-Apply-Scatter engine with vertex-cut
+//! partitioning.
+//!
+//! PowerGraph splits *edges* (not vertices) across nodes and replicates
+//! each vertex on every node that holds one of its edges; Gather collects
+//! over adjacent edges, Apply updates the master replica, Scatter pushes
+//! the new value to the mirrors. Compared with the BSP engines this means:
+//!
+//! * edge work is balanced by construction (no straggler partitions even
+//!   under power-law skew — PowerGraph's raison d'être),
+//! * network traffic is proportional to *replicas of active vertices*, not
+//!   to cross-partition edges,
+//! * memory per node is `E/N` edges plus the replicated vertex state.
+//!
+//! The replication factor of random (hash) vertex-cuts grows slowly with
+//! the node count; we use the standard `1 + c·√N` fit.
+
+use crate::cluster::{ClusterConfig, FrameworkProfile};
+use crate::propagation::{self, place, PropagationTrace};
+use crate::report::{values_to_u32, BaselineError, BaselineRun};
+use gts_graph::{Csr, EdgeList};
+use gts_sim::{SimDuration, SimTime};
+
+/// A GAS engine instance (defaults to the PowerGraph cost profile).
+#[derive(Debug, Clone)]
+pub struct GasEngine {
+    /// Cluster hardware.
+    pub cluster: ClusterConfig,
+    /// Cost profile (PowerGraph's by default).
+    pub profile: FrameworkProfile,
+}
+
+impl GasEngine {
+    /// PowerGraph on the given cluster.
+    pub fn new(cluster: ClusterConfig) -> Self {
+        GasEngine {
+            cluster,
+            profile: FrameworkProfile::powergraph(),
+        }
+    }
+
+    /// Replication factor of a random vertex-cut over `n` nodes.
+    pub fn replication_factor(&self) -> f64 {
+        1.0 + 0.8 * (self.cluster.nodes as f64).sqrt()
+    }
+
+    /// BFS from `source`.
+    pub fn run_bfs(&self, g: &Csr, source: u32) -> Result<(Vec<u32>, BaselineRun), BaselineError> {
+        let trace = propagation::min_propagation(g, Some(source), |_, _, x| x + 1.0, place::single(), 1);
+        let run = self.account(g, &trace, "BFS")?;
+        Ok((values_to_u32(&trace.values), run))
+    }
+
+    /// SSSP from `source`.
+    pub fn run_sssp(&self, g: &Csr, source: u32) -> Result<(Vec<u32>, BaselineRun), BaselineError> {
+        let trace = propagation::min_propagation(
+            g,
+            Some(source),
+            |v, w, x| x + EdgeList::edge_weight(v, w) as f64,
+            place::single(),
+            1,
+        );
+        let run = self.account(g, &trace, "SSSP")?;
+        Ok((values_to_u32(&trace.values), run))
+    }
+
+    /// Weakly connected components.
+    pub fn run_cc(&self, g: &Csr) -> Result<(Vec<u32>, BaselineRun), BaselineError> {
+        let sym = g.symmetrize();
+        let trace = propagation::min_propagation(&sym, None, |_, _, x| x, place::single(), 1);
+        let run = self.account(&sym, &trace, "CC")?;
+        Ok((values_to_u32(&trace.values), run))
+    }
+
+    /// PageRank for `iterations` sweeps.
+    pub fn run_pagerank(
+        &self,
+        g: &Csr,
+        iterations: u32,
+    ) -> Result<(Vec<f64>, BaselineRun), BaselineError> {
+        let trace = propagation::pagerank_propagation(g, 0.85, iterations, place::single(), 1);
+        let run = self.account(g, &trace, "PageRank")?;
+        Ok((trace.values.clone(), run))
+    }
+
+    /// Price a functional trace under this engine's architecture model
+    /// (public for harness-side trace reuse).
+    pub fn account(
+        &self,
+        g: &Csr,
+        trace: &PropagationTrace,
+        algorithm: &str,
+    ) -> Result<BaselineRun, BaselineError> {
+        let p = &self.profile;
+        let c = &self.cluster;
+        let nodes = c.nodes as u64;
+        let rf = self.replication_factor();
+
+        // Vertex-cut memory: E/N edges + replicated vertex state per node.
+        let part_edges = (g.num_edges() as u64).div_ceil(nodes);
+        let replicated_vertices =
+            ((g.num_vertices() as f64 * rf) / nodes as f64).ceil() as u64;
+        let graph_bytes = part_edges * p.memory_bytes_per_edge
+            + replicated_vertices * p.memory_bytes_per_vertex;
+        if graph_bytes > c.memory_per_node {
+            return Err(BaselineError::OutOfMemory {
+                engine: p.name.to_string(),
+                needed: graph_bytes,
+                available: c.memory_per_node,
+            });
+        }
+
+        let mut t = SimTime::ZERO;
+        let mut network_bytes = 0u64;
+        for sweep in &trace.sweeps {
+            // Edge work is balanced by the vertex-cut: each node handles
+            // ~active_edges/N, gather + scatter (2 passes).
+            let active_edges: u64 = sweep.total_edges();
+            let active_vertices: u64 =
+                sweep.nodes.iter().map(|l| l.active_vertices).sum();
+            let per_node_edges = active_edges.div_ceil(nodes);
+            let work_ns = 2.0 * per_node_edges as f64 * p.per_edge_ns
+                + (active_vertices.div_ceil(nodes)) as f64 * p.per_vertex_ns;
+            let compute = SimDuration::from_secs_f64(work_ns / c.cores_per_node as f64 / 1e9);
+            // Replica synchronisation: each active vertex syncs its mirrors
+            // (gather results in, new value out).
+            let sync_bytes = (active_vertices as f64 * (rf - 1.0)) as u64
+                * p.bytes_per_message
+                * 2;
+            network_bytes += sync_bytes;
+            let net = c.network_bw.transfer_time(sync_bytes / nodes.max(1));
+            t += compute + net + c.network_latency + p.superstep_overhead;
+        }
+        Ok(BaselineRun {
+            engine: p.name.to_string(),
+            algorithm: algorithm.to_string(),
+            elapsed: t - SimTime::ZERO,
+            sweeps: trace.sweeps.len() as u32,
+            network_bytes,
+            memory_peak: graph_bytes,
+        })
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bsp::BspEngine;
+    use gts_graph::generate::rmat;
+    use gts_graph::reference;
+
+    fn small() -> Csr {
+        Csr::from_edge_list(&rmat(8))
+    }
+
+    fn engine() -> GasEngine {
+        GasEngine::new(ClusterConfig::paper_cluster())
+    }
+
+    #[test]
+    fn results_match_reference() {
+        let g = small();
+        let (levels, _) = engine().run_bfs(&g, 0).unwrap();
+        assert_eq!(levels, reference::bfs(&g, 0));
+        let (dist, _) = engine().run_sssp(&g, 0).unwrap();
+        assert_eq!(dist, reference::sssp(&g, 0));
+        let (cc, _) = engine().run_cc(&g).unwrap();
+        assert_eq!(cc, reference::connected_components(&g));
+        let (pr, _) = engine().run_pagerank(&g, 5).unwrap();
+        let want = reference::pagerank(&g, 0.85, 5);
+        for (a, b) in pr.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn powergraph_beats_giraph_on_pagerank() {
+        // Fig. 6b: PowerGraph is the fastest distributed baseline.
+        let g = small();
+        let pg = engine().run_pagerank(&g, 3).unwrap().1.elapsed;
+        let giraph = BspEngine::new(ClusterConfig::paper_cluster(), FrameworkProfile::giraph())
+            .run_pagerank(&g, 3)
+            .unwrap()
+            .1
+            .elapsed;
+        assert!(pg < giraph, "PowerGraph {pg:?} must beat Giraph {giraph:?}");
+    }
+
+    #[test]
+    fn vertex_cut_uses_less_memory_than_bsp_on_skewed_graphs() {
+        // C++ + vertex-cut: memory per node far below the JVM engines'.
+        let g = small();
+        let gas = engine().run_pagerank(&g, 1).unwrap().1.memory_peak;
+        let bsp = BspEngine::new(ClusterConfig::paper_cluster(), FrameworkProfile::giraph())
+            .run_pagerank(&g, 1)
+            .unwrap()
+            .1
+            .memory_peak;
+        assert!(gas < bsp);
+    }
+
+    #[test]
+    fn replication_factor_grows_sublinearly() {
+        let rf30 = engine().replication_factor();
+        let mut c = ClusterConfig::paper_cluster();
+        c.nodes = 120;
+        let rf120 = GasEngine::new(c).replication_factor();
+        assert!(rf120 > rf30);
+        assert!(rf120 < 4.0 * rf30, "√N growth, not linear");
+    }
+
+    #[test]
+    fn ooms_when_partition_exceeds_node_memory() {
+        let mut c = ClusterConfig::paper_cluster();
+        c.memory_per_node = 1024;
+        match GasEngine::new(c).run_pagerank(&small(), 1) {
+            Err(BaselineError::OutOfMemory { engine, .. }) => assert_eq!(engine, "PowerGraph"),
+            other => panic!("expected OOM, got {other:?}"),
+        }
+    }
+}

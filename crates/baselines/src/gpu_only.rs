@@ -1,0 +1,202 @@
+//! GPU-memory-only engines: CuSha and MapGraph (Fig. 8).
+//!
+//! Both "can process only the graph data that can fit in GPU memory"
+//! (Sec. 7.4). When the graph fits they are fast — no PCI-E streaming at
+//! all — but their device-resident formats differ in space efficiency,
+//! which is why MapGraph OOMs before CuSha ("the Market Matrix format of
+//! MapGraph is less space-efficient than the G-Shard format of CuSha").
+
+use crate::propagation::{self, place, PropagationTrace};
+use crate::report::{values_to_u32, BaselineError, BaselineRun};
+use gts_gpu::GpuConfig;
+use gts_graph::Csr;
+use gts_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Space/speed profile of a GPU-resident format.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GpuOnlyProfile {
+    /// Engine name.
+    pub name: &'static str,
+    /// Device bytes per edge of the resident topology format.
+    pub bytes_per_edge: u64,
+    /// Extra device bytes per edge that PageRank needs (CuSha's G-Shards
+    /// carry per-edge values; this is why "CuSha cannot process PageRank
+    /// for all graphs tested" while its BFS fits Twitter).
+    pub pagerank_edge_value_bytes: u64,
+    /// Device bytes per vertex (index structures).
+    pub bytes_per_vertex: u64,
+    /// Kernel-time multiplier relative to the GTS kernel cost model
+    /// (CuSha's shards give coalesced access → < 1 is not claimed; the
+    /// paper found CuSha *slower* than GTS, so ≥ 1).
+    pub kernel_multiplier: f64,
+}
+
+impl GpuOnlyProfile {
+    /// CuSha (G-Shards): src + dst + value per shard entry.
+    pub fn cusha() -> Self {
+        GpuOnlyProfile {
+            name: "CuSha",
+            bytes_per_edge: 8,
+            pagerank_edge_value_bytes: 8,
+            bytes_per_vertex: 8,
+            kernel_multiplier: 1.6,
+        }
+    }
+
+    /// MapGraph (Market Matrix ingestion): least space-efficient.
+    pub fn mapgraph() -> Self {
+        GpuOnlyProfile {
+            name: "MapGraph",
+            bytes_per_edge: 24,
+            pagerank_edge_value_bytes: 8,
+            bytes_per_vertex: 12,
+            kernel_multiplier: 1.9,
+        }
+    }
+}
+
+/// A GPU-memory-only engine.
+#[derive(Debug, Clone)]
+pub struct GpuOnlyEngine {
+    /// Format/speed profile.
+    pub profile: GpuOnlyProfile,
+    /// GPU model.
+    pub gpu: GpuConfig,
+}
+
+impl GpuOnlyEngine {
+    /// Create an engine.
+    pub fn new(profile: GpuOnlyProfile, gpu: GpuConfig) -> Self {
+        GpuOnlyEngine { profile, gpu }
+    }
+
+    /// Device bytes needed for `g` plus `wa_bytes_per_vertex` of state and
+    /// `edge_value_bytes` of per-edge values.
+    pub fn memory_needed(&self, g: &Csr, wa_bytes_per_vertex: u64) -> u64 {
+        self.memory_needed_with_values(g, wa_bytes_per_vertex, 0)
+    }
+
+    /// Memory accounting including per-edge value storage.
+    pub fn memory_needed_with_values(
+        &self,
+        g: &Csr,
+        wa_bytes_per_vertex: u64,
+        edge_value_bytes: u64,
+    ) -> u64 {
+        g.num_edges() as u64 * (self.profile.bytes_per_edge + edge_value_bytes)
+            + g.num_vertices() as u64 * (self.profile.bytes_per_vertex + wa_bytes_per_vertex)
+    }
+
+    /// BFS from `source` (WA: 2-byte levels).
+    pub fn run_bfs(&self, g: &Csr, source: u32) -> Result<(Vec<u32>, BaselineRun), BaselineError> {
+        self.check(g, 2, 0)?;
+        let trace =
+            propagation::min_propagation(g, Some(source), |_, _, x| x + 1.0, place::single(), 1);
+        let run = self.account(g, &trace, "BFS", self.gpu.traversal_slot_ns, 2);
+        Ok((values_to_u32(&trace.values), run))
+    }
+
+    /// PageRank (WA: prevPR + nextPR both resident — 8 bytes/vertex, the
+    /// reason "CuSha cannot process PageRank for all graphs tested").
+    pub fn run_pagerank(
+        &self,
+        g: &Csr,
+        iterations: u32,
+    ) -> Result<(Vec<f64>, BaselineRun), BaselineError> {
+        self.check(g, 8, self.profile.pagerank_edge_value_bytes)?;
+        let trace = propagation::pagerank_propagation(g, 0.85, iterations, place::single(), 1);
+        let run = self.account(g, &trace, "PageRank", self.gpu.compute_slot_ns, 8);
+        Ok((trace.values.clone(), run))
+    }
+
+    fn check(&self, g: &Csr, wa_bpv: u64, edge_value_bytes: u64) -> Result<(), BaselineError> {
+        let needed = self.memory_needed_with_values(g, wa_bpv, edge_value_bytes);
+        if needed > self.gpu.device_memory {
+            return Err(BaselineError::OutOfMemory {
+                engine: self.profile.name.to_string(),
+                needed,
+                available: self.gpu.device_memory,
+            });
+        }
+        Ok(())
+    }
+
+    fn account(
+        &self,
+        g: &Csr,
+        trace: &PropagationTrace,
+        algorithm: &str,
+        slot_ns: f64,
+        wa_bpv: u64,
+    ) -> BaselineRun {
+        let mut t = SimTime::ZERO;
+        for sweep in &trace.sweeps {
+            let edges = sweep.total_edges();
+            t += SimDuration::from_secs_f64(
+                edges as f64 * slot_ns * self.profile.kernel_multiplier / 1e9,
+            ) + self.gpu.launch_overhead;
+        }
+        BaselineRun {
+            engine: self.profile.name.to_string(),
+            algorithm: algorithm.to_string(),
+            elapsed: t - SimTime::ZERO,
+            sweeps: trace.sweeps.len() as u32,
+            network_bytes: 0,
+            memory_peak: self.memory_needed(g, wa_bpv),
+        }
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gts_graph::generate::rmat;
+    use gts_graph::reference;
+
+    fn small() -> Csr {
+        Csr::from_edge_list(&rmat(8))
+    }
+
+    #[test]
+    fn bfs_and_pagerank_match_reference() {
+        let g = small();
+        let e = GpuOnlyEngine::new(GpuOnlyProfile::cusha(), GpuConfig::titan_x());
+        assert_eq!(e.run_bfs(&g, 0).unwrap().0, reference::bfs(&g, 0));
+        let (pr, _) = e.run_pagerank(&g, 4).unwrap();
+        for (a, b) in pr.iter().zip(&reference::pagerank(&g, 0.85, 4)) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mapgraph_ooms_before_cusha() {
+        // Sec. 7.4: MapGraph's format is less space-efficient.
+        let g = small();
+        let cusha = GpuOnlyEngine::new(GpuOnlyProfile::cusha(), GpuConfig::titan_x());
+        let mapgraph = GpuOnlyEngine::new(GpuOnlyProfile::mapgraph(), GpuConfig::titan_x());
+        let boundary = cusha.memory_needed(&g, 2);
+        let gpu = GpuConfig::titan_x().with_device_memory(boundary);
+        assert!(GpuOnlyEngine::new(GpuOnlyProfile::cusha(), gpu.clone())
+            .run_bfs(&g, 0)
+            .is_ok());
+        assert!(matches!(
+            GpuOnlyEngine::new(GpuOnlyProfile::mapgraph(), gpu).run_bfs(&g, 0),
+            Err(BaselineError::OutOfMemory { .. })
+        ));
+        assert!(mapgraph.memory_needed(&g, 2) > cusha.memory_needed(&g, 2));
+    }
+
+    #[test]
+    fn pagerank_needs_more_memory_than_bfs() {
+        let g = small();
+        let e = GpuOnlyEngine::new(GpuOnlyProfile::cusha(), GpuConfig::titan_x());
+        assert!(e.memory_needed(&g, 8) > e.memory_needed(&g, 2));
+        // A device sized for BFS only must OOM on PageRank.
+        let gpu = GpuConfig::titan_x().with_device_memory(e.memory_needed(&g, 2));
+        let tight = GpuOnlyEngine::new(GpuOnlyProfile::cusha(), gpu);
+        assert!(tight.run_bfs(&g, 0).is_ok());
+        assert!(tight.run_pagerank(&g, 1).is_err());
+    }
+}

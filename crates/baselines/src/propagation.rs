@@ -1,0 +1,293 @@
+//! Shared functional drivers for the baseline engines.
+//!
+//! Every baseline in the paper's evaluation runs one of two iteration
+//! shapes: *min-propagation* (BFS, SSSP, CC — a value spreads along edges
+//! and targets keep the minimum) or *sum-propagation* (PageRank). The
+//! engines differ in **where** the work happens and **what it costs**, not
+//! in the algorithm itself. This module executes the algorithm once,
+//! partitioned by an engine-supplied placement function, and records a
+//! per-sweep, per-partition load trace; each engine turns that trace into
+//! simulated time and memory checks under its own architecture model.
+
+/// Work observed on one partition (cluster node, CPU/GPU side, …) during
+/// one sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeLoad {
+    /// Vertices that computed.
+    pub active_vertices: u64,
+    /// Out-edges they processed.
+    pub edges: u64,
+    /// Messages arriving at this partition.
+    pub msgs_in: u64,
+    /// Messages arriving from *other* partitions (network traffic).
+    pub remote_msgs_in: u64,
+}
+
+/// Loads of all partitions for one sweep.
+#[derive(Debug, Clone, Default)]
+pub struct SweepLoads {
+    /// One entry per partition.
+    pub nodes: Vec<NodeLoad>,
+}
+
+impl SweepLoads {
+    fn new(n: usize) -> Self {
+        SweepLoads {
+            nodes: vec![NodeLoad::default(); n],
+        }
+    }
+
+    /// Total edges processed this sweep.
+    pub fn total_edges(&self) -> u64 {
+        self.nodes.iter().map(|n| n.edges).sum()
+    }
+
+    /// Total remote messages this sweep.
+    pub fn total_remote_msgs(&self) -> u64 {
+        self.nodes.iter().map(|n| n.remote_msgs_in).sum()
+    }
+
+    /// The most loaded partition's edge count (stragglers gate BSP).
+    pub fn max_edges(&self) -> u64 {
+        self.nodes.iter().map(|n| n.edges).max().unwrap_or(0)
+    }
+}
+
+/// Full execution trace: the final per-vertex values plus per-sweep loads.
+#[derive(Debug, Clone)]
+pub struct PropagationTrace {
+    /// Final per-vertex values (levels, distances, labels, or ranks).
+    pub values: Vec<f64>,
+    /// One entry per executed sweep.
+    pub sweeps: Vec<SweepLoads>,
+}
+
+use gts_graph::Csr;
+
+/// Unreached/unset marker for min-propagation.
+pub const UNSET: f64 = f64::INFINITY;
+
+/// Run min-propagation over `g`.
+///
+/// * `source = Some(s)` starts with only `s` active at value 0 (BFS/SSSP);
+///   `None` starts every vertex active at value `v` (CC label propagation —
+///   pass a symmetrised graph for weakly connected components).
+/// * `edge_val(v, w, x)` is the candidate value arriving at `w` along edge
+///   `v→w` when `v` holds `x` (BFS: `x + 1`; SSSP: `x + weight`; CC: `x`).
+/// * `partition(v)` places vertex `v` for load accounting; `nparts` is the
+///   partition count.
+pub fn min_propagation(
+    g: &Csr,
+    source: Option<u32>,
+    edge_val: impl Fn(u32, u32, f64) -> f64,
+    partition: impl Fn(u32) -> usize,
+    nparts: usize,
+) -> PropagationTrace {
+    let n = g.num_vertices() as usize;
+    let mut values;
+    let mut active;
+    match source {
+        Some(s) => {
+            values = vec![UNSET; n];
+            values[s as usize] = 0.0;
+            active = vec![false; n];
+            active[s as usize] = true;
+        }
+        None => {
+            values = (0..n).map(|v| v as f64).collect();
+            active = vec![true; n];
+        }
+    }
+    let mut sweeps = Vec::new();
+    loop {
+        let mut loads = SweepLoads::new(nparts);
+        let mut next_active = vec![false; n];
+        let mut any = false;
+        // Synchronous (BSP) semantics: all sends read this superstep's
+        // values, all receives land in `next` — in-place updates would let
+        // a value hop through many vertices in one superstep and
+        // undercount the supersteps/messages the accountants price.
+        let mut next = values.clone();
+        for v in 0..g.num_vertices() {
+            if !active[v as usize] {
+                continue;
+            }
+            let pv = partition(v);
+            loads.nodes[pv].active_vertices += 1;
+            let x = values[v as usize];
+            for &w in g.neighbors(v) {
+                loads.nodes[pv].edges += 1;
+                let cand = edge_val(v, w, x);
+                let pw = partition(w);
+                loads.nodes[pw].msgs_in += 1;
+                if pw != pv {
+                    loads.nodes[pw].remote_msgs_in += 1;
+                }
+                if cand < next[w as usize] {
+                    next[w as usize] = cand;
+                    next_active[w as usize] = true;
+                    any = true;
+                }
+            }
+        }
+        values = next;
+        sweeps.push(loads);
+        if !any {
+            break;
+        }
+        active = next_active;
+    }
+    PropagationTrace { values, sweeps }
+}
+
+/// Run `iterations` of PageRank (damping `df`) with the paper's kernel
+/// semantics (no dangling redistribution), recording per-sweep loads.
+pub fn pagerank_propagation(
+    g: &Csr,
+    df: f64,
+    iterations: u32,
+    partition: impl Fn(u32) -> usize,
+    nparts: usize,
+) -> PropagationTrace {
+    let n = g.num_vertices() as usize;
+    let mut prev = vec![1.0 / n as f64; n];
+    let mut sweeps = Vec::new();
+    for _ in 0..iterations {
+        let mut loads = SweepLoads::new(nparts);
+        let mut next = vec![(1.0 - df) / n as f64; n];
+        for v in 0..g.num_vertices() {
+            let pv = partition(v);
+            loads.nodes[pv].active_vertices += 1;
+            let deg = g.out_degree(v);
+            if deg == 0 {
+                continue;
+            }
+            let share = df * prev[v as usize] / deg as f64;
+            for &w in g.neighbors(v) {
+                loads.nodes[pv].edges += 1;
+                let pw = partition(w);
+                loads.nodes[pw].msgs_in += 1;
+                if pw != pv {
+                    loads.nodes[pw].remote_msgs_in += 1;
+                }
+                next[w as usize] += share;
+            }
+        }
+        sweeps.push(loads);
+        prev = next;
+    }
+    PropagationTrace {
+        values: prev,
+        sweeps,
+    }
+}
+
+/// Standard placements.
+pub mod place {
+    /// Hash partitioning over `n` nodes (what Pregel-family systems use).
+    pub fn hash(n: usize) -> impl Fn(u32) -> usize {
+        move |v| (v as usize) % n
+    }
+
+    /// Everything on one partition (shared-memory engines).
+    pub fn single() -> impl Fn(u32) -> usize {
+        |_| 0
+    }
+
+    /// Two-way split at a vertex boundary (TOTEM's GPU/CPU partition:
+    /// vertices below `split` on partition 0 = GPU, the rest on CPU).
+    pub fn two_way(split: u32) -> impl Fn(u32) -> usize {
+        move |v| usize::from(v >= split)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gts_graph::generate::rmat;
+    use gts_graph::{reference, Csr, EdgeList};
+
+    fn csr(scale: u32) -> Csr {
+        Csr::from_edge_list(&rmat(scale))
+    }
+
+    #[test]
+    fn min_propagation_reproduces_bfs() {
+        let g = csr(8);
+        let t = min_propagation(&g, Some(0), |_, _, x| x + 1.0, place::hash(4), 4);
+        let want = reference::bfs(&g, 0);
+        for (v, &lvl) in want.iter().enumerate() {
+            if lvl == u32::MAX {
+                assert_eq!(t.values[v], UNSET);
+            } else {
+                assert_eq!(t.values[v], lvl as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn min_propagation_reproduces_sssp() {
+        let g = csr(7);
+        let t = min_propagation(
+            &g,
+            Some(0),
+            |v, w, x| x + EdgeList::edge_weight(v, w) as f64,
+            place::single(),
+            1,
+        );
+        let want = reference::sssp(&g, 0);
+        for (v, &d) in want.iter().enumerate() {
+            if d == u32::MAX {
+                assert_eq!(t.values[v], UNSET);
+            } else {
+                assert_eq!(t.values[v], d as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn min_propagation_reproduces_cc_on_symmetrized() {
+        let g = csr(7).symmetrize();
+        let t = min_propagation(&g, None, |_, _, x| x, place::hash(3), 3);
+        let want = reference::connected_components(&g);
+        for (v, &label) in want.iter().enumerate() {
+            assert_eq!(t.values[v], label as f64);
+        }
+    }
+
+    #[test]
+    fn pagerank_propagation_matches_reference() {
+        let g = csr(7);
+        let t = pagerank_propagation(&g, 0.85, 5, place::single(), 1);
+        let want = reference::pagerank(&g, 0.85, 5);
+        for (got, want) in t.values.iter().zip(&want) {
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn loads_account_every_edge_for_pagerank() {
+        let g = csr(7);
+        let t = pagerank_propagation(&g, 0.85, 3, place::hash(4), 4);
+        assert_eq!(t.sweeps.len(), 3);
+        for s in &t.sweeps {
+            assert_eq!(s.total_edges(), g.num_edges() as u64);
+        }
+    }
+
+    #[test]
+    fn remote_messages_vanish_on_single_partition() {
+        let g = csr(6);
+        let t = min_propagation(&g, Some(0), |_, _, x| x + 1.0, place::single(), 1);
+        for s in &t.sweeps {
+            assert_eq!(s.total_remote_msgs(), 0);
+        }
+    }
+
+    #[test]
+    fn two_way_placement_splits_at_boundary() {
+        let p = place::two_way(10);
+        assert_eq!(p(9), 0);
+        assert_eq!(p(10), 1);
+    }
+}

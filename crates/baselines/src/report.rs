@@ -1,0 +1,79 @@
+//! Results and errors shared by all baseline engines.
+
+use gts_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Outcome of one baseline run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BaselineRun {
+    /// Engine name as printed in the paper's figures ("Giraph",
+    /// "PowerGraph", "TOTEM", ...).
+    pub engine: String,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Simulated elapsed time.
+    pub elapsed: SimDuration,
+    /// Supersteps / iterations executed.
+    pub sweeps: u32,
+    /// Bytes that crossed the network (distributed engines only).
+    pub network_bytes: u64,
+    /// Peak memory demand observed on the most loaded node/device.
+    pub memory_peak: u64,
+}
+
+/// Why a baseline failed — the figures' `O.O.M.` cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaselineError {
+    /// A node, host, or device could not hold its share of the data.
+    OutOfMemory {
+        /// Engine that failed.
+        engine: String,
+        /// Bytes it needed on the most loaded node/device.
+        needed: u64,
+        /// Bytes that node/device has.
+        available: u64,
+    },
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::OutOfMemory {
+                engine,
+                needed,
+                available,
+            } => write!(
+                f,
+                "{engine}: out of memory ({needed} B needed, {available} B available)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+/// Narrow a propagation result to the engines' u32 convention:
+/// non-finite (unreached) becomes `u32::MAX`.
+pub fn values_to_u32(values: &[f64]) -> Vec<u32> {
+    values
+        .iter()
+        .map(|&v| if v.is_finite() { v as u32 } else { u32::MAX })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oom_display_names_the_engine() {
+        let e = BaselineError::OutOfMemory {
+            engine: "Giraph".into(),
+            needed: 100,
+            available: 10,
+        };
+        assert!(e.to_string().contains("Giraph"));
+        assert!(e.to_string().contains("out of memory"));
+    }
+}

@@ -1,0 +1,344 @@
+//! TOTEM-like hybrid CPU+GPU engine (Gharaibeh et al.), the paper's main
+//! GPU-side comparator (Fig. 8, Table 5).
+//!
+//! TOTEM partitions the graph once: a GPU partition sized to fit device
+//! memory and a CPU partition processed by host threads, with boundary
+//! updates exchanged over PCI-E every superstep. Its three drawbacks, all
+//! reproduced here, are the paper's Sec. 8 critique:
+//!
+//! 1. the CPU partition is processed by *slow* cores, and its share grows
+//!    with graph size (GPU capacity is fixed) — underutilising the GPU;
+//! 2. performance depends on a per-algorithm, per-dataset partition-ratio
+//!    option (Table 5 / Appendix C) — [`Totem::best_ratio`] sweeps it;
+//! 3. the whole graph must still fit in *host* memory as one contiguous
+//!    in-memory structure — TOTEM "cannot process RMAT30-32".
+
+use crate::propagation::{self, place, PropagationTrace};
+use crate::report::{values_to_u32, BaselineError, BaselineRun};
+use gts_gpu::{GpuConfig, PcieConfig};
+use gts_graph::{reference, Csr, EdgeList};
+use gts_sim::{SimDuration, SimTime};
+
+/// TOTEM configuration.
+#[derive(Debug, Clone)]
+pub struct TotemConfig {
+    /// GPU model (kernel rates, device memory).
+    pub gpu: GpuConfig,
+    /// PCI-E link for boundary synchronisation.
+    pub pcie: PcieConfig,
+    /// Host memory (must hold the whole graph).
+    pub host_memory: u64,
+    /// Host threads.
+    pub threads: u32,
+    /// Host nanoseconds per edge per core.
+    pub cpu_per_edge_ns: f64,
+    /// Fraction of edges placed on the GPU (Table 5's GPU%), before
+    /// clamping to what device memory allows.
+    pub gpu_fraction: f64,
+}
+
+impl TotemConfig {
+    /// The paper's workstation with a given GPU.
+    pub fn new(gpu: GpuConfig) -> Self {
+        TotemConfig {
+            gpu,
+            pcie: PcieConfig::gen3_x16(),
+            host_memory: 128 << 30,
+            threads: 16,
+            cpu_per_edge_ns: 30.0,
+            gpu_fraction: 0.5,
+        }
+    }
+
+    /// Scale host memory by `1/div`.
+    pub fn with_scaled_host_memory(mut self, div: u64) -> Self {
+        self.host_memory = (128u64 << 30) / div.max(1);
+        self
+    }
+
+    /// Set the GPU partition ratio.
+    pub fn with_gpu_fraction(mut self, f: f64) -> Self {
+        self.gpu_fraction = f.clamp(0.0, 1.0);
+        self
+    }
+}
+
+/// In-memory bytes per edge of TOTEM's CSR-like representation.
+const HOST_BYTES_PER_EDGE: u64 = 8;
+/// Device bytes per edge of the GPU partition.
+const DEV_BYTES_PER_EDGE: u64 = 8;
+/// Device bytes per vertex of state (levels/ranks for all vertices are
+/// visible to the GPU partition for boundary reads).
+const DEV_BYTES_PER_VERTEX: u64 = 8;
+
+/// The TOTEM engine.
+#[derive(Debug, Clone)]
+pub struct Totem {
+    cfg: TotemConfig,
+}
+
+impl Totem {
+    /// Create an engine.
+    pub fn new(cfg: TotemConfig) -> Self {
+        Totem { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TotemConfig {
+        &self.cfg
+    }
+
+    /// Effective GPU nanoseconds per edge for a bulk (whole-partition)
+    /// kernel: TOTEM's big kernels saturate the device the same way GTS's
+    /// 32 concurrent page-kernels do, so the per-lane-slot rate divides by
+    /// the concurrency factor (≈1.5 lane-slots per edge under VWC).
+    fn gpu_edge_ns(&self, slot_ns: f64) -> f64 {
+        slot_ns * 1.5 / self.cfg.gpu.max_concurrent_kernels as f64
+    }
+
+    /// BFS from `source`.
+    pub fn run_bfs(&self, g: &Csr, source: u32) -> Result<(Vec<u32>, BaselineRun), BaselineError> {
+        let split = self.split_vertex(g)?;
+        let trace =
+            propagation::min_propagation(g, Some(source), |_, _, x| x + 1.0, place::two_way(split), 2);
+        let run = self.account(g, &trace, "BFS", self.gpu_edge_ns(self.cfg.gpu.traversal_slot_ns))?;
+        Ok((values_to_u32(&trace.values), run))
+    }
+
+    /// SSSP from `source`.
+    pub fn run_sssp(&self, g: &Csr, source: u32) -> Result<(Vec<u32>, BaselineRun), BaselineError> {
+        let split = self.split_vertex(g)?;
+        let trace = propagation::min_propagation(
+            g,
+            Some(source),
+            |v, w, x| x + EdgeList::edge_weight(v, w) as f64,
+            place::two_way(split),
+            2,
+        );
+        let run = self.account(g, &trace, "SSSP", self.gpu_edge_ns(self.cfg.gpu.traversal_slot_ns))?;
+        Ok((values_to_u32(&trace.values), run))
+    }
+
+    /// Weakly connected components.
+    pub fn run_cc(&self, g: &Csr) -> Result<(Vec<u32>, BaselineRun), BaselineError> {
+        let sym = g.symmetrize();
+        let split = self.split_vertex(&sym)?;
+        let trace = propagation::min_propagation(&sym, None, |_, _, x| x, place::two_way(split), 2);
+        let run = self.account(&sym, &trace, "CC", self.gpu_edge_ns(self.cfg.gpu.traversal_slot_ns))?;
+        Ok((values_to_u32(&trace.values), run))
+    }
+
+    /// PageRank for `iterations` sweeps.
+    pub fn run_pagerank(
+        &self,
+        g: &Csr,
+        iterations: u32,
+    ) -> Result<(Vec<f64>, BaselineRun), BaselineError> {
+        let split = self.split_vertex(g)?;
+        let trace =
+            propagation::pagerank_propagation(g, 0.85, iterations, place::two_way(split), 2);
+        let run = self.account(g, &trace, "PageRank", self.gpu_edge_ns(self.cfg.gpu.compute_slot_ns))?;
+        Ok((trace.values.clone(), run))
+    }
+
+    /// Betweenness centrality from one source (Fig. 13c). Functionally
+    /// Brandes; timed as a forward BFS plus a backward accumulation pass of
+    /// the same volume with heavier per-edge arithmetic.
+    pub fn run_bc(&self, g: &Csr, source: u32) -> Result<(Vec<f64>, BaselineRun), BaselineError> {
+        let split = self.split_vertex(g)?;
+        let trace =
+            propagation::min_propagation(g, Some(source), |_, _, x| x + 1.0, place::two_way(split), 2);
+        let mut run = self.account(g, &trace, "BC", self.gpu_edge_ns(self.cfg.gpu.traversal_slot_ns * 1.5))?;
+        // Forward + backward: the accumulation pass replays the levels in
+        // reverse with the same volume, so time, traffic and superstep
+        // count all double.
+        run.elapsed = run.elapsed * 2;
+        run.network_bytes *= 2;
+        run.sweeps *= 2;
+        let bc = reference::betweenness(g, &[source]);
+        Ok((bc, run))
+    }
+
+    /// Sweep the partition ratio and return `(best_fraction, elapsed)` for
+    /// PageRank — how Table 5's recommended options were found.
+    pub fn best_ratio(
+        &self,
+        g: &Csr,
+        candidates: &[f64],
+        pagerank: bool,
+    ) -> Result<(f64, SimDuration), BaselineError> {
+        let mut best: Option<(f64, SimDuration)> = None;
+        for &f in candidates {
+            let engine = Totem::new(self.cfg.clone().with_gpu_fraction(f));
+            let elapsed = if pagerank {
+                engine.run_pagerank(g, 3)?.1.elapsed
+            } else {
+                engine.run_bfs(g, 0)?.1.elapsed
+            };
+            if best.map(|(_, t)| elapsed < t).unwrap_or(true) {
+                best = Some((f, elapsed));
+            }
+        }
+        Ok(best.expect("at least one candidate"))
+    }
+
+    /// Actual fraction of edges on the GPU after capacity clamping.
+    pub fn effective_gpu_fraction(&self, g: &Csr) -> Result<f64, BaselineError> {
+        let split = self.split_vertex(g)?;
+        let offsets = g.offsets();
+        Ok(offsets[split as usize] as f64 / g.num_edges().max(1) as f64)
+    }
+
+    /// Pick the vertex boundary so the GPU partition holds ~`gpu_fraction`
+    /// of the edges, clamped by device memory; verifies host capacity.
+    fn split_vertex(&self, g: &Csr) -> Result<u32, BaselineError> {
+        let host_needed =
+            g.num_edges() as u64 * HOST_BYTES_PER_EDGE + g.num_vertices() as u64 * 8;
+        if host_needed > self.cfg.host_memory {
+            return Err(BaselineError::OutOfMemory {
+                engine: "TOTEM".to_string(),
+                needed: host_needed,
+                available: self.cfg.host_memory,
+            });
+        }
+        // Device budget for topology after the full state vector.
+        let state = g.num_vertices() as u64 * DEV_BYTES_PER_VERTEX;
+        let budget = self.cfg.gpu.device_memory.saturating_sub(state);
+        let max_dev_edges = budget / DEV_BYTES_PER_EDGE;
+        let want_edges =
+            ((g.num_edges() as f64 * self.cfg.gpu_fraction) as u64).min(max_dev_edges);
+        // Largest split with prefix-edges <= want_edges.
+        let offsets = g.offsets();
+        let split = offsets.partition_point(|&o| o <= want_edges) - 1;
+        Ok(split as u32)
+    }
+
+    fn account(
+        &self,
+        g: &Csr,
+        trace: &PropagationTrace,
+        algorithm: &str,
+        gpu_edge_ns: f64,
+    ) -> Result<BaselineRun, BaselineError> {
+        let c = &self.cfg;
+        let mut t = SimTime::ZERO;
+        let mut pcie_bytes = 0u64;
+        for sweep in &trace.sweeps {
+            let gpu_load = &sweep.nodes[0];
+            let cpu_load = &sweep.nodes[1];
+            let gpu_time = SimDuration::from_secs_f64(gpu_load.edges as f64 * gpu_edge_ns / 1e9)
+                + c.gpu.launch_overhead;
+            let cpu_time = SimDuration::from_secs_f64(
+                cpu_load.edges as f64 * c.cpu_per_edge_ns / c.threads as f64 / 1e9,
+            );
+            // Boundary values cross PCI-E both ways each superstep.
+            let boundary = (gpu_load.remote_msgs_in + cpu_load.remote_msgs_in) * 8;
+            pcie_bytes += boundary;
+            let sync = c.pcie.latency + c.pcie.chunk_bw.transfer_time(boundary);
+            t += gpu_time.max(cpu_time) + sync;
+        }
+        let host_needed =
+            g.num_edges() as u64 * HOST_BYTES_PER_EDGE + g.num_vertices() as u64 * 8;
+        Ok(BaselineRun {
+            engine: "TOTEM".to_string(),
+            algorithm: algorithm.to_string(),
+            elapsed: t - SimTime::ZERO,
+            sweeps: trace.sweeps.len() as u32,
+            network_bytes: pcie_bytes,
+            memory_peak: host_needed,
+        })
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gts_graph::generate::rmat;
+    use gts_graph::reference;
+
+    fn small() -> Csr {
+        Csr::from_edge_list(&rmat(8))
+    }
+
+    fn engine() -> Totem {
+        Totem::new(TotemConfig::new(GpuConfig::titan_x()))
+    }
+
+    #[test]
+    fn results_match_reference() {
+        let g = small();
+        assert_eq!(engine().run_bfs(&g, 0).unwrap().0, reference::bfs(&g, 0));
+        assert_eq!(engine().run_sssp(&g, 0).unwrap().0, reference::sssp(&g, 0));
+        assert_eq!(
+            engine().run_cc(&g).unwrap().0,
+            reference::connected_components(&g)
+        );
+        let (pr, _) = engine().run_pagerank(&g, 4).unwrap();
+        for (a, b) in pr.iter().zip(&reference::pagerank(&g, 0.85, 4)) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bc_matches_reference() {
+        let g = small();
+        let (bc, run) = engine().run_bc(&g, 0).unwrap();
+        let want = reference::betweenness(&g, &[0]);
+        for (a, b) in bc.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        assert!(run.elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn tiny_device_memory_clamps_gpu_partition() {
+        // 8 KiB device: after 2 KiB of state, only ~768 edges fit — far
+        // fewer than RMAT8's 4096.
+        let mut cfg = TotemConfig::new(GpuConfig::titan_x().with_device_memory(8 * 1024));
+        cfg.gpu_fraction = 1.0;
+        let totem = Totem::new(cfg);
+        let g = small();
+        let frac = totem.effective_gpu_fraction(&g).unwrap();
+        assert!(frac < 0.5, "device memory must clamp the partition, got {frac}");
+    }
+
+    #[test]
+    fn larger_cpu_share_is_slower() {
+        // Underutilising the GPU costs time — drawback (1). Needs a graph
+        // large enough that edge work dominates launch overheads.
+        let g = Csr::from_edge_list(&rmat(13));
+        let mostly_gpu = Totem::new(TotemConfig::new(GpuConfig::titan_x()).with_gpu_fraction(0.95))
+            .run_pagerank(&g, 3)
+            .unwrap()
+            .1
+            .elapsed;
+        let mostly_cpu = Totem::new(TotemConfig::new(GpuConfig::titan_x()).with_gpu_fraction(0.05))
+            .run_pagerank(&g, 3)
+            .unwrap()
+            .1
+            .elapsed;
+        assert!(mostly_gpu < mostly_cpu);
+    }
+
+    #[test]
+    fn host_memory_gates_the_whole_graph() {
+        // Drawback (3): contiguous in-memory format.
+        let g = small();
+        let mut cfg = TotemConfig::new(GpuConfig::titan_x());
+        cfg.host_memory = 1024;
+        match Totem::new(cfg).run_bfs(&g, 0) {
+            Err(BaselineError::OutOfMemory { engine, .. }) => assert_eq!(engine, "TOTEM"),
+            other => panic!("expected OOM, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn best_ratio_prefers_more_gpu_when_it_fits() {
+        let g = Csr::from_edge_list(&rmat(13));
+        let (frac, _) = engine()
+            .best_ratio(&g, &[0.1, 0.5, 0.9], true)
+            .unwrap();
+        assert!(frac >= 0.5, "GPU-heavy ratios should win, got {frac}");
+    }
+}

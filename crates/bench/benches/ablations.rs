@@ -1,0 +1,120 @@
+//! Ablations beyond the paper's figures, for the design choices called out
+//! in `DESIGN.md` §5:
+//!
+//! 1. page-cache replacement policy (the paper defaults to LRU but notes
+//!    "other algorithms can be used as well");
+//! 2. Strategy-P WA synchronisation path: peer-to-peer merge vs N direct
+//!    GPU→host copies (Sec. 4.1's claim that P2P wins as N grows);
+//! 3. VWC virtual-warp width (the VWC paper's 4/8/16/32 knob);
+//! 4. slotted-page size.
+
+use gts_bench::datasets::{Prepared, BFS_SOURCE, PR_ITERATIONS};
+use gts_bench::scale;
+use gts_bench::table::{secs, ExperimentTable};
+use gts_core::engine::{CachePolicyKind, GtsConfig};
+use gts_core::programs::{Bfs, PageRank};
+use gts_core::{Gts, Strategy};
+use gts_gpu::MicroTechnique;
+use gts_graph::Dataset;
+use gts_storage::{build_graph_store, PageFormatConfig, PhysicalIdConfig};
+
+fn main() {
+    let prep = Prepared::build(Dataset::Rmat(18));
+
+    // --- 1. Cache policy.
+    let mut t = ExperimentTable::new(
+        "ablation_cache_policy",
+        "BFS with a 2 MiB cache: replacement policy ablation",
+        &["policy", "elapsed(s)", "hit rate %"],
+    );
+    for (name, policy) in [
+        ("LRU", CachePolicyKind::Lru),
+        ("FIFO", CachePolicyKind::Fifo),
+        ("Random", CachePolicyKind::Random),
+    ] {
+        let cfg = GtsConfig {
+            cache_policy: policy,
+            cache_limit_bytes: Some(2 << 20),
+            ..scale::gts_config()
+        };
+        let mut bfs = Bfs::new(prep.store.num_vertices(), BFS_SOURCE);
+        let r = prep.run_gts(cfg, &mut bfs).expect("run");
+        t.row(vec![
+            name.into(),
+            secs(r.elapsed),
+            format!("{:.1}", r.cache_hit_rate * 100.0),
+        ]);
+    }
+    t.finish();
+
+    // --- 2. Sync path for Strategy-P.
+    let mut t = ExperimentTable::new(
+        "ablation_sync_path",
+        "PageRank x10, Strategy-P: P2P merge vs N direct copies",
+        &["gpus", "p2p merge(s)", "naive(s)", "p2p speedup"],
+    );
+    for gpus in [2usize, 4, 8] {
+        let run = |p2p: bool| {
+            let cfg = GtsConfig {
+                num_gpus: gpus,
+                strategy: Strategy::Performance,
+                p2p_sync: p2p,
+                ..scale::gts_config()
+            };
+            let mut pr = PageRank::new(prep.store.num_vertices(), PR_ITERATIONS);
+            prep.run_gts(cfg, &mut pr).expect("run").elapsed
+        };
+        let with_p2p = run(true);
+        let naive = run(false);
+        t.row(vec![
+            gpus.to_string(),
+            secs(with_p2p),
+            secs(naive),
+            format!("{:.2}x", naive.as_secs_f64() / with_p2p.as_secs_f64()),
+        ]);
+    }
+    t.finish();
+
+    // --- 3. Virtual-warp width.
+    let mut t = ExperimentTable::new(
+        "ablation_virtual_warp",
+        "BFS: VWC virtual-warp width (edge-centric)",
+        &["width", "elapsed(s)"],
+    );
+    for width in [4u32, 8, 16, 32] {
+        let cfg = GtsConfig {
+            technique: MicroTechnique::EdgeCentric {
+                virtual_warp: width,
+            },
+            cache_limit_bytes: Some(0),
+            ..scale::gts_config()
+        };
+        let mut bfs = Bfs::new(prep.store.num_vertices(), BFS_SOURCE);
+        let r = prep.run_gts(cfg, &mut bfs).expect("run");
+        t.row(vec![width.to_string(), secs(r.elapsed)]);
+    }
+    t.finish();
+
+    // --- 4. Page size.
+    let mut t = ExperimentTable::new(
+        "ablation_page_size",
+        "PageRank x10: slotted page size sweep ((2,2) IDs)",
+        &["page KiB", "#pages", "elapsed(s)"],
+    );
+    for kib in [16usize, 32, 64, 128, 256] {
+        let fmt = PageFormatConfig::new(PhysicalIdConfig::ORIGINAL, kib * 1024);
+        let store = build_graph_store(&prep.edges, fmt).expect("store");
+        let cfg = GtsConfig {
+            cache_limit_bytes: Some(0),
+            ..scale::gts_config()
+        };
+        let mut pr = PageRank::new(store.num_vertices(), PR_ITERATIONS);
+        let r = Gts::new(cfg).run(&store, &mut pr).expect("run");
+        t.row(vec![
+            kib.to_string(),
+            store.num_pages().to_string(),
+            secs(r.elapsed),
+        ]);
+    }
+    t.finish();
+}

@@ -1,0 +1,65 @@
+//! Figure 10 — elapsed time versus the number of asynchronous streams
+//! (1..32) for RMAT16..19 (the paper's RMAT26..29), BFS and PageRank.
+//!
+//! Paper shape to reproduce: performance improves steadily as streams grow
+//! toward the CUDA limit of 32, for both algorithms — even for BFS, whose
+//! transfer:kernel ratios alone would suggest saturation at 2-3 streams
+//! (Sec. 3.2's queue-ahead effect).
+
+use gts_bench::datasets::{Prepared, BFS_SOURCE, PR_ITERATIONS};
+use gts_bench::scale;
+use gts_bench::table::{secs, ExperimentTable};
+use gts_core::programs::{Bfs, PageRank};
+use gts_graph::Dataset;
+
+fn main() {
+    let streams = [1usize, 2, 4, 8, 16, 32];
+    let datasets = [
+        Dataset::Rmat(16),
+        Dataset::Rmat(17),
+        Dataset::Rmat(18),
+        Dataset::Rmat(19),
+    ];
+    for (alg, pagerank) in [("bfs", false), ("pagerank", true)] {
+        let mut t = ExperimentTable::new(
+            &format!("fig10_{alg}"),
+            &format!("{alg}: elapsed seconds vs #streams (paper Fig. 10)"),
+            &["dataset", "1", "2", "4", "8", "16", "32"],
+        );
+        for d in datasets {
+            let prep = Prepared::build(d);
+            let mut row = vec![d.name()];
+            let mut prev = f64::INFINITY;
+            let mut monotone = true;
+            for &s in &streams {
+                let cfg = gts_core::engine::GtsConfig {
+                    num_streams: s,
+                    // Cache off: the sweep isolates the streaming pipeline.
+                    cache_limit_bytes: Some(0),
+                    ..scale::gts_config()
+                };
+                let elapsed = if pagerank {
+                    let mut pr = PageRank::new(prep.store.num_vertices(), PR_ITERATIONS);
+                    prep.run_gts(cfg, &mut pr).expect("run").elapsed
+                } else {
+                    let mut bfs = Bfs::new(prep.store.num_vertices(), BFS_SOURCE);
+                    prep.run_gts(cfg, &mut bfs).expect("run").elapsed
+                };
+                let e = elapsed.as_secs_f64();
+                if e > prev * 1.001 {
+                    monotone = false;
+                }
+                prev = e;
+                row.push(secs(elapsed));
+            }
+            row[0] = format!(
+                "{}{}",
+                d.name(),
+                if monotone { "" } else { " (non-monotone)" }
+            );
+            t.row(row);
+        }
+        t.finish();
+    }
+    println!("\n  paper shape: elapsed time decreases steadily from 1 to 32 streams.");
+}

@@ -1,0 +1,131 @@
+//! Figure 6 — GTS vs. the distributed engines (GraphX, Giraph,
+//! PowerGraph, Naiad) for BFS and PageRank across the dataset sweep.
+//!
+//! Paper shapes to reproduce:
+//! * GTS beats every distributed engine on every dataset, by 1–3 orders
+//!   of magnitude;
+//! * Giraph is the slowest, PowerGraph the fastest/most scalable of the
+//!   four, Naiad OOMs earliest;
+//! * the JVM engines hit `O.O.M.` near the top of the sweep (paper:
+//!   RMAT31/32 ↔ our RMAT21/22) while only GTS finishes everything;
+//! * GTS's own time jumps between RMAT20 and RMAT21 (our mapping of the
+//!   paper's RMAT30→31 step), where it moves from in-memory Strategy-P to
+//!   SSD-resident Strategy-S.
+
+use gts_baselines::bsp::BspEngine;
+use gts_baselines::cluster::FrameworkProfile;
+use gts_baselines::gas::GasEngine;
+use gts_baselines::propagation::{self, place};
+use gts_bench::datasets::{Prepared, BFS_SOURCE, PR_ITERATIONS};
+use gts_bench::scale;
+use gts_bench::table::{secs, ExperimentTable};
+use gts_core::engine::{GtsConfig, StorageLocation};
+use gts_core::programs::{Bfs, PageRank};
+use gts_core::Strategy;
+use gts_graph::Dataset;
+
+/// GTS configuration per dataset: the paper keeps graphs up to RMAT30 in
+/// main memory under Strategy-P and moves RMAT31/32 to SSDs under
+/// Strategy-S (Sec. 7.2); our mapping shifts that boundary to RMAT20→21.
+fn gts_config_for(d: Dataset) -> GtsConfig {
+    let big = matches!(d, Dataset::Rmat(s) if s >= 21);
+    GtsConfig {
+        num_gpus: 2,
+        strategy: if big {
+            Strategy::Scalability
+        } else {
+            Strategy::Performance
+        },
+        storage: if big {
+            StorageLocation::Ssds(2)
+        } else {
+            StorageLocation::InMemory
+        },
+        mmbuf_percent: 20,
+        ..scale::gts_config()
+    }
+}
+
+fn main() {
+    let profiles = [
+        scale::framework(FrameworkProfile::graphx()),
+        scale::framework(FrameworkProfile::giraph()),
+        scale::framework(FrameworkProfile::naiad()),
+    ];
+    let cluster = scale::cluster();
+    let mut bfs_table = ExperimentTable::new(
+        "fig6_bfs",
+        "BFS: GTS vs distributed engines, seconds (paper Fig. 6a)",
+        &["dataset", "GraphX", "Giraph", "Naiad", "PowerGraph", "GTS"],
+    );
+    let mut pr_table = ExperimentTable::new(
+        "fig6_pagerank",
+        "PageRank x10: GTS vs distributed engines, seconds (paper Fig. 6b)",
+        &["dataset", "GraphX", "Giraph", "Naiad", "PowerGraph", "GTS"],
+    );
+
+    for d in Dataset::comparison_sweep() {
+        let prep = Prepared::build(d);
+        let nodes = cluster.nodes;
+
+        // One functional trace per algorithm serves all three BSP profiles.
+        let bfs_trace = propagation::min_propagation(
+            &prep.csr,
+            Some(BFS_SOURCE as u32),
+            |_, _, x| x + 1.0,
+            place::hash(nodes),
+            nodes,
+        );
+        let pr_trace = propagation::pagerank_propagation(
+            &prep.csr,
+            0.85,
+            PR_ITERATIONS,
+            place::hash(nodes),
+            nodes,
+        );
+
+        let mut bfs_row = vec![d.name()];
+        let mut pr_row = vec![d.name()];
+        for p in &profiles {
+            let engine = BspEngine::new(cluster.clone(), p.clone());
+            bfs_row.push(cell(engine.account(&prep.csr, &bfs_trace, "BFS")));
+            pr_row.push(cell(engine.account(&prep.csr, &pr_trace, "PageRank")));
+        }
+        // Reorder into the figure's column order (GraphX, Giraph, Naiad,
+        // PowerGraph) — PowerGraph comes from the GAS engine.
+        let mut gas = GasEngine::new(cluster.clone());
+        gas.profile = scale::framework(gas.profile);
+        bfs_row.push(cell(gas.run_bfs(&prep.csr, BFS_SOURCE as u32).map(|r| r.1)));
+        pr_row.push(cell(gas.run_pagerank(&prep.csr, PR_ITERATIONS).map(|r| r.1)));
+
+        // GTS itself.
+        let cfg = gts_config_for(d);
+        let mut bfs = Bfs::new(prep.store.num_vertices(), BFS_SOURCE);
+        bfs_row.push(match prep.run_gts(cfg.clone(), &mut bfs) {
+            Ok(r) => secs(r.elapsed),
+            Err(_) => "O.O.M.".into(),
+        });
+        let mut pr = PageRank::new(prep.store.num_vertices(), PR_ITERATIONS);
+        pr_row.push(match prep.run_gts(cfg, &mut pr) {
+            Ok(r) => secs(r.elapsed),
+            Err(_) => "O.O.M.".into(),
+        });
+
+        bfs_table.row(bfs_row);
+        pr_table.row(pr_row);
+    }
+    bfs_table.finish();
+    pr_table.finish();
+    println!(
+        "\n  paper Fig. 6 anchors (seconds): BFS twitter — GraphX 57, Giraph 88, \
+         PowerGraph 17, GTS 0.9; PageRank twitter — GraphX 210, Giraph 1654, \
+         PowerGraph 84, GTS 7.2; RMAT32 — all distributed O.O.M., GTS finishes."
+    );
+}
+
+fn cell(r: Result<gts_baselines::BaselineRun, gts_baselines::BaselineError>) -> String {
+    match r {
+        Ok(run) => secs(run.elapsed),
+        Err(_) => "O.O.M.".into(),
+    }
+}

@@ -1,0 +1,84 @@
+//! Figure 7 — GTS vs. the shared-memory CPU engines (MTGL, Galois, Ligra,
+//! Ligra+) for BFS and PageRank.
+//!
+//! Paper shapes to reproduce:
+//! * the frontier engines (Galois/Ligra/Ligra+) crush MTGL;
+//! * on small graphs, Galois/Ligra land in the same band as GTS for BFS
+//!   (either side may win slightly);
+//! * for PageRank GTS clearly beats every CPU engine;
+//! * the CPU engines disappear (O.O.M.) for YahooWeb-class and RMAT19+
+//!   graphs (paper: RMAT29/30) while GTS keeps going.
+
+use gts_baselines::cpu::CpuProfile;
+use gts_bench::datasets::{Prepared, BFS_SOURCE, PR_ITERATIONS};
+use gts_bench::scale;
+use gts_bench::table::{secs, ExperimentTable};
+use gts_core::programs::{Bfs, PageRank};
+use gts_graph::Dataset;
+
+fn main() {
+    let profiles = [
+        CpuProfile::mtgl(),
+        CpuProfile::galois(),
+        CpuProfile::ligra(),
+        CpuProfile::ligra_plus(),
+    ];
+    let datasets = [
+        Dataset::TwitterLike,
+        Dataset::Uk2007Like,
+        Dataset::YahooWebLike,
+        Dataset::Rmat(17),
+        Dataset::Rmat(18),
+        Dataset::Rmat(19),
+        Dataset::Rmat(20),
+    ];
+    let mut bfs_table = ExperimentTable::new(
+        "fig7_bfs",
+        "BFS: GTS vs CPU engines, seconds (paper Fig. 7a)",
+        &["dataset", "MTGL", "Galois", "Ligra", "Ligra+", "GTS"],
+    );
+    let mut pr_table = ExperimentTable::new(
+        "fig7_pagerank",
+        "PageRank x10: GTS vs CPU engines, seconds (paper Fig. 7b)",
+        &["dataset", "MTGL", "Galois", "Ligra", "Ligra+", "GTS"],
+    );
+    for d in datasets {
+        let prep = Prepared::build(d);
+        let mut bfs_row = vec![d.name()];
+        let mut pr_row = vec![d.name()];
+        for p in &profiles {
+            let e = scale::cpu_engine(p.clone());
+            bfs_row.push(match e.run_bfs(&prep.csr, BFS_SOURCE as u32) {
+                Ok((_, r)) => secs(r.elapsed),
+                Err(_) => "O.O.M.".into(),
+            });
+            pr_row.push(match e.run_pagerank(&prep.csr, PR_ITERATIONS) {
+                Ok((_, r)) => secs(r.elapsed),
+                Err(_) => "O.O.M.".into(),
+            });
+        }
+        let cfg = gts_core::engine::GtsConfig {
+            num_gpus: 2,
+            ..scale::gts_config()
+        };
+        let mut bfs = Bfs::new(prep.store.num_vertices(), BFS_SOURCE);
+        bfs_row.push(match prep.run_gts(cfg.clone(), &mut bfs) {
+            Ok(r) => secs(r.elapsed),
+            Err(_) => "O.O.M.".into(),
+        });
+        let mut pr = PageRank::new(prep.store.num_vertices(), PR_ITERATIONS);
+        pr_row.push(match prep.run_gts(cfg, &mut pr) {
+            Ok(r) => secs(r.elapsed),
+            Err(_) => "O.O.M.".into(),
+        });
+        bfs_table.row(bfs_row);
+        pr_table.row(pr_row);
+    }
+    bfs_table.finish();
+    pr_table.finish();
+    println!(
+        "\n  paper Fig. 7 anchors (seconds): BFS twitter — MTGL 6, Galois 1.3, \
+         Ligra 0.6, GTS 0.9; PageRank twitter — MTGL 34.6, Galois 95 (RMAT28 572), \
+         Ligra 34.4, GTS 7.2; CPU engines have no RMAT29/30 or YahooWeb results."
+    );
+}

@@ -1,0 +1,89 @@
+//! Figure 9 — Strategy-P vs Strategy-S across storage types (in-memory,
+//! 2 SSDs, 1 SSD, 2 HDDs) for BFS and PageRank on RMAT20 (the paper's
+//! RMAT30 at our scale).
+//!
+//! Paper shapes to reproduce:
+//! * both strategies perform similarly when I/O is the bottleneck
+//!   (1 SSD, 2 HDDs);
+//! * Strategy-P is somewhat faster in-memory and with 2 SSDs;
+//! * the storage hierarchy ordering holds: memory < 2 SSD < 1 SSD ≪ 2 HDD
+//!   (the HDD column is an order of magnitude worse).
+
+use gts_bench::datasets::{Prepared, BFS_SOURCE, PR_ITERATIONS};
+use gts_bench::scale;
+use gts_bench::table::{secs, ExperimentTable};
+use gts_core::engine::{GtsConfig, StorageLocation};
+use gts_core::programs::{Bfs, PageRank};
+use gts_core::Strategy;
+use gts_graph::Dataset;
+
+fn main() {
+    let prep = Prepared::build(Dataset::Rmat(20));
+    let storages = [
+        ("in-memory", StorageLocation::InMemory),
+        ("2 SSDs", StorageLocation::Ssds(2)),
+        ("1 SSD", StorageLocation::Ssds(1)),
+        ("2 HDDs", StorageLocation::Hdds(2)),
+    ];
+    for (alg_name, pagerank, paper_p, paper_s) in [
+        (
+            "BFS",
+            false,
+            [29.6, 82.7, 157.3, 1255.2],
+            [63.5, 99.2, 158.1, 1253.4],
+        ),
+        (
+            "PageRank",
+            true,
+            [153.4, 195.9, 365.1, 2843.4],
+            [154.8, 223.1, 356.7, 2834.3],
+        ),
+    ] {
+        let mut t = ExperimentTable::new(
+            &format!("fig9_{}", alg_name.to_lowercase()),
+            &format!("{alg_name} on RMAT20 (paper RMAT30), Strategy-P vs Strategy-S (paper Fig. 9)"),
+            &[
+                "storage",
+                "paper P(s)",
+                "ours P(s)",
+                "paper S(s)",
+                "ours S(s)",
+            ],
+        );
+        for (i, (name, storage)) in storages.iter().enumerate() {
+            let mut cells = vec![name.to_string()];
+            for (strategy, paper) in [
+                (Strategy::Performance, paper_p[i]),
+                (Strategy::Scalability, paper_s[i]),
+            ] {
+                let cfg = GtsConfig {
+                    num_gpus: 2,
+                    strategy,
+                    storage: *storage,
+                    mmbuf_percent: 20,
+                    // The paper streams the graph fresh from storage; give
+                    // the cache only the leftover memory (default).
+                    ..scale::gts_config()
+                };
+                let elapsed = if pagerank {
+                    let mut pr = PageRank::new(prep.store.num_vertices(), PR_ITERATIONS);
+                    prep.run_gts(cfg, &mut pr).expect("fig9 run").elapsed
+                } else {
+                    let mut bfs = Bfs::new(prep.store.num_vertices(), BFS_SOURCE);
+                    prep.run_gts(cfg, &mut bfs).expect("fig9 run").elapsed
+                };
+                cells.push(format!("{paper}"));
+                cells.push(secs(elapsed));
+            }
+            // Reorder: paper P, ours P, paper S, ours S.
+            t.row(vec![
+                cells[0].clone(),
+                cells[1].clone(),
+                cells[2].clone(),
+                cells[3].clone(),
+                cells[4].clone(),
+            ]);
+        }
+        t.finish();
+    }
+}

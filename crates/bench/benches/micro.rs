@@ -1,0 +1,172 @@
+//! Criterion micro-benchmarks of the hot paths: slotted-page build and
+//! decode, RVT translation, cache access, RMAT generation, and a full
+//! engine run — these measure *wall-clock* performance of the
+//! implementation itself (everything else in this crate reports simulated
+//! time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gts_core::engine::{Gts, GtsConfig};
+use gts_core::programs::{Bfs, PageRank};
+use gts_graph::generate::Rmat;
+use gts_graph::Csr;
+use gts_storage::cache::{CachePolicy, LruCache};
+use gts_storage::{build_graph_store, PageFormatConfig, PageKind, PhysicalIdConfig};
+use std::hint::black_box;
+
+fn fmt() -> PageFormatConfig {
+    PageFormatConfig::new(PhysicalIdConfig::ORIGINAL, 64 * 1024)
+}
+
+fn bench_store_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store_build");
+    for scale in [12u32, 14] {
+        let graph = Rmat::new(scale).generate();
+        g.throughput(Throughput::Elements(graph.num_edges() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(scale), &graph, |b, graph| {
+            b.iter(|| build_graph_store(black_box(graph), fmt()).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_page_scan(c: &mut Criterion) {
+    let graph = Rmat::new(14).generate();
+    let store = build_graph_store(&graph, fmt()).unwrap();
+    let mut g = c.benchmark_group("page_scan");
+    g.throughput(Throughput::Elements(store.num_edges()));
+    g.bench_function("decode_all_pages", |b| {
+        b.iter(|| {
+            let mut sum = 0u64;
+            for pid in 0..store.num_pages() {
+                let v = store.view(pid);
+                match v.kind() {
+                    PageKind::Small => {
+                        for (vid, adj) in v.sp_vertices() {
+                            sum += vid;
+                            for rid in adj {
+                                sum += store.rvt().translate(rid);
+                            }
+                        }
+                    }
+                    PageKind::Large => {
+                        for i in 0..v.count() {
+                            sum += store.rvt().translate(v.lp_adj(i));
+                        }
+                    }
+                }
+            }
+            black_box(sum)
+        });
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lru_cache");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("access_zipf_like", |b| {
+        b.iter(|| {
+            let mut cache = LruCache::new(256);
+            let mut hits = 0u64;
+            for i in 0..10_000u64 {
+                // Skewed reference stream: low pids are hot.
+                let pid = (i * i) % 1024;
+                if cache.access(black_box(pid)) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        });
+    });
+    g.finish();
+}
+
+fn bench_rmat(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rmat_generate");
+    let graph = Rmat::new(14);
+    g.throughput(Throughput::Elements((1u64 << 14) * 16));
+    g.bench_function("scale14", |b| b.iter(|| black_box(graph.generate())));
+    g.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let graph = Rmat::new(13).generate();
+    let store = build_graph_store(&graph, fmt()).unwrap();
+    let csr = Csr::from_edge_list(&graph);
+    let mut g = c.benchmark_group("engine_wallclock");
+    g.throughput(Throughput::Elements(store.num_edges()));
+    g.bench_function("gts_bfs_rmat13", |b| {
+        b.iter(|| {
+            let mut bfs = Bfs::new(store.num_vertices(), 0);
+            Gts::new(GtsConfig::default())
+                .run(black_box(&store), &mut bfs)
+                .unwrap()
+        });
+    });
+    g.bench_function("gts_pagerank3_rmat13", |b| {
+        b.iter(|| {
+            let mut pr = PageRank::new(store.num_vertices(), 3);
+            Gts::new(GtsConfig::default())
+                .run(black_box(&store), &mut pr)
+                .unwrap()
+        });
+    });
+    g.bench_function("reference_bfs_rmat13", |b| {
+        b.iter(|| black_box(gts_graph::reference::bfs(&csr, 0)));
+    });
+    g.finish();
+}
+
+fn bench_persistence(c: &mut Criterion) {
+    let graph = Rmat::new(13).generate();
+    let store = build_graph_store(&graph, fmt()).unwrap();
+    let mut path = std::env::temp_dir();
+    path.push(format!("gts-bench-persist-{}", std::process::id()));
+    let mut g = c.benchmark_group("persistence");
+    g.throughput(Throughput::Bytes(store.topology_bytes()));
+    g.bench_function("save_store", |b| {
+        b.iter(|| gts_storage::save_store(black_box(&store), &path).unwrap());
+    });
+    gts_storage::save_store(&store, &path).unwrap();
+    g.bench_function("load_store_with_validation", |b| {
+        b.iter(|| black_box(gts_storage::load_store(&path).unwrap()));
+    });
+    std::fs::remove_file(&path).ok();
+    g.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    use gts_core::queries::QueryEngine;
+    let graph = Rmat::new(13).generate();
+    let store = build_graph_store(&graph, fmt()).unwrap();
+    let mut g = c.benchmark_group("queries");
+    g.bench_function("neighbors_cached", |b| {
+        let mut q = QueryEngine::new(&store, 64);
+        b.iter(|| {
+            let mut total = 0usize;
+            for v in (0..store.num_vertices()).step_by(97) {
+                total += q.neighbors(black_box(v)).len();
+            }
+            black_box(total)
+        });
+    });
+    g.bench_function("egonet_hub", |b| {
+        b.iter(|| {
+            let mut q = QueryEngine::new(&store, 64);
+            black_box(q.egonet(black_box(1)))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_store_build,
+    bench_page_scan,
+    bench_cache,
+    bench_rmat,
+    bench_engine,
+    bench_persistence,
+    bench_queries
+);
+criterion_main!(benches);

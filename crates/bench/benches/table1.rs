@@ -1,0 +1,81 @@
+//! Table 1 — ratios of transfer time to kernel execution time for BFS and
+//! PageRank on the three real-graph look-alikes.
+//!
+//! Paper values (transfer : kernel): BFS — Twitter 1:3, UK2007 1:1,
+//! YahooWeb 2:1; PageRank — Twitter 1:20, UK2007 1:6, YahooWeb 1:4. The
+//! shape claims to reproduce: PageRank kernels dominate transfers far more
+//! than BFS kernels do, and the dense Twitter-class graph has the largest
+//! kernel share for both algorithms.
+
+use gts_bench::datasets::{Prepared, BFS_SOURCE, PR_ITERATIONS};
+use gts_bench::scale;
+use gts_bench::table::ExperimentTable;
+use gts_core::programs::{Bfs, PageRank};
+use gts_graph::Dataset;
+
+fn ratio_str(transfer_over_kernel: f64) -> String {
+    if transfer_over_kernel <= 0.0 {
+        return "n/a".to_string();
+    }
+    if transfer_over_kernel >= 1.0 {
+        format!("{:.1}:1", transfer_over_kernel)
+    } else {
+        format!("1:{:.1}", 1.0 / transfer_over_kernel)
+    }
+}
+
+fn main() {
+    let paper_bfs = ["1:3", "1:1", "2:1"];
+    let paper_pr = ["1:20", "1:6", "1:4"];
+    let datasets = [
+        Dataset::TwitterLike,
+        Dataset::Uk2007Like,
+        Dataset::YahooWebLike,
+    ];
+
+    let mut table = ExperimentTable::new(
+        "table1",
+        "transfer:kernel time ratios (paper Table 1)",
+        &["algorithm", "dataset", "paper", "measured"],
+    );
+    let mut measured = Vec::new();
+    for (i, d) in datasets.iter().enumerate() {
+        let prep = Prepared::build(*d);
+        // No cache, 1 GPU: measure the raw stream/execute balance.
+        let mut cfg = scale::gts_config();
+        cfg.cache_limit_bytes = Some(0);
+
+        let mut bfs = Bfs::new(prep.store.num_vertices(), BFS_SOURCE);
+        let r = prep.run_gts(cfg.clone(), &mut bfs).expect("bfs run");
+        let bfs_ratio = r.transfer_to_kernel_ratio();
+        table.row(vec![
+            "BFS".into(),
+            d.name(),
+            paper_bfs[i].into(),
+            ratio_str(bfs_ratio),
+        ]);
+
+        let mut pr = PageRank::new(prep.store.num_vertices(), PR_ITERATIONS);
+        let r = prep.run_gts(cfg, &mut pr).expect("pagerank run");
+        let pr_ratio = r.transfer_to_kernel_ratio();
+        table.row(vec![
+            "PageRank".into(),
+            d.name(),
+            paper_pr[i].into(),
+            ratio_str(pr_ratio),
+        ]);
+        measured.push((d.name(), bfs_ratio, pr_ratio));
+    }
+    table.finish();
+
+    // Shape checks (printed, not asserted, so the bench always reports).
+    for (name, bfs, pr) in &measured {
+        let ok = pr < bfs;
+        println!(
+            "  shape[{}]: PageRank kernels dominate more than BFS ({}) {}",
+            name,
+            if ok { "yes" } else { "NO" },
+            if ok { "✓" } else { "✗" }
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Table 2 — the three possible configurations of a 6-byte physical ID
+//! (Sec. 6.1): addressable pages, slots, and maximum page size per (p,q).
+//!
+//! This table is analytic; the reproduction computes it from
+//! [`gts_storage::PhysicalIdConfig`] and checks it cell-by-cell against the
+//! paper.
+
+use gts_bench::table::ExperimentTable;
+use gts_storage::PhysicalIdConfig;
+
+fn human(bytes: u64) -> String {
+    const G: u64 = 1 << 30;
+    const M: u64 = 1 << 20;
+    if bytes >= G {
+        format!("{} GB", bytes / G)
+    } else if bytes >= M {
+        format!("{:.2} MB", bytes as f64 / M as f64)
+    } else {
+        format!("{} KB", bytes >> 10)
+    }
+}
+
+fn count(x: u64) -> String {
+    if x >= 1 << 30 {
+        format!("{} B", x >> 30)
+    } else if x >= 1 << 20 {
+        format!("{} M", x >> 20)
+    } else {
+        format!("{} K", x >> 10)
+    }
+}
+
+fn main() {
+    // Paper's rows: (p, q, max page id, max slots, max page size).
+    let paper = [
+        (2u8, 4u8, "64 K", "4 B", "80 GB"),
+        (3, 3, "16 M", "16 M", "320 MB"),
+        (4, 2, "4 B", "64 K", "1.25 MB"),
+    ];
+    let mut t = ExperimentTable::new(
+        "table2",
+        "6-byte physical ID configurations (paper Table 2)",
+        &[
+            "p",
+            "q",
+            "paper max pid",
+            "ours",
+            "paper max slot",
+            "ours",
+            "paper max page",
+            "ours",
+        ],
+    );
+    for (p, q, pid, slot, size) in paper {
+        let c = PhysicalIdConfig::new(p, q);
+        t.row(vec![
+            p.to_string(),
+            q.to_string(),
+            pid.to_string(),
+            count(c.max_page_id()),
+            slot.to_string(),
+            count(c.max_slot()),
+            size.to_string(),
+            human(c.max_page_size()),
+        ]);
+    }
+    t.finish();
+    println!(
+        "  chosen configuration: {} (balanced p/q, Sec. 6.1)",
+        PhysicalIdConfig::TRILLION
+    );
+}

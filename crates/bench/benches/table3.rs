@@ -1,0 +1,44 @@
+//! Table 3 — statistics of the graph datasets: vertices, edges, physical-ID
+//! configuration, and the Small/Large page counts of the slotted-page
+//! build.
+//!
+//! Paper shape to reproduce: page counts grow linearly with graph size,
+//! the overwhelming majority of pages are Small Pages, and only the
+//! skewed datasets (Twitter, RMAT29) produce noticeable Large Page counts.
+
+use gts_bench::datasets::Prepared;
+use gts_bench::scale;
+use gts_bench::table::ExperimentTable;
+use gts_graph::Dataset;
+
+fn main() {
+    let mut t = ExperimentTable::new(
+        "table3",
+        "dataset statistics under the slotted page format (paper Table 3)",
+        &["dataset", "paper-equiv", "#vertices", "#edges", "(p,q)", "#SP", "#LP"],
+    );
+    for d in Dataset::comparison_sweep() {
+        let prep = Prepared::build(d);
+        let cfg = scale::page_format_for(d);
+        let equiv = match d {
+            Dataset::Rmat(s) => format!("RMAT{}", scale::paper_rmat(s)),
+            Dataset::TwitterLike => "Twitter".to_string(),
+            Dataset::Uk2007Like => "UK2007".to_string(),
+            Dataset::YahooWebLike => "YahooWeb".to_string(),
+        };
+        t.row(vec![
+            d.name(),
+            equiv,
+            prep.store.num_vertices().to_string(),
+            prep.store.num_edges().to_string(),
+            cfg.id.to_string(),
+            prep.store.small_pids().len().to_string(),
+            prep.store.large_pids().len().to_string(),
+        ]);
+        assert!(
+            prep.store.small_pids().len() > prep.store.large_pids().len(),
+            "paper Sec. 3.1: most topology pages are SPs"
+        );
+    }
+    t.finish();
+}

@@ -1,0 +1,54 @@
+//! Dataset construction helpers shared by the bench targets.
+
+use crate::scale;
+use gts_core::engine::{EngineError, Gts, GtsConfig};
+use gts_core::programs::GtsProgram;
+use gts_core::report::RunReport;
+use gts_graph::{Csr, Dataset, EdgeList};
+use gts_storage::builder::{build_from_csr, GraphStore};
+
+/// A fully prepared dataset: edge list, CSR, and slotted-page store.
+pub struct Prepared {
+    /// Which dataset this is.
+    pub dataset: Dataset,
+    /// The raw edges.
+    pub edges: EdgeList,
+    /// CSR for the CPU/distributed baselines.
+    pub csr: Csr,
+    /// Slotted-page store for GTS.
+    pub store: GraphStore,
+}
+
+impl Prepared {
+    /// Generate and build everything for `dataset` under the scale
+    /// policy's page format.
+    pub fn build(dataset: Dataset) -> Prepared {
+        let edges = dataset.generate();
+        let csr = Csr::from_edge_list(&edges);
+        let store = build_from_csr(&csr, scale::page_format_for(dataset))
+            .expect("dataset fits its page format");
+        Prepared {
+            dataset,
+            edges,
+            csr,
+            store,
+        }
+    }
+
+    /// Run a GTS program under `cfg`, returning the report.
+    pub fn run_gts(
+        &self,
+        cfg: GtsConfig,
+        prog: &mut dyn GtsProgram,
+    ) -> Result<RunReport, EngineError> {
+        Gts::new(cfg).run(&self.store, prog)
+    }
+}
+
+/// BFS source used across all experiments (the paper traverses from a
+/// fixed start vertex; 0 is always present and non-isolated in RMAT).
+pub const BFS_SOURCE: u64 = 0;
+
+/// PageRank iterations used across all experiments (the paper measures
+/// ten iterations).
+pub const PR_ITERATIONS: u32 = 10;

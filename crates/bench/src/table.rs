@@ -1,0 +1,132 @@
+//! Experiment output: aligned console tables plus CSV files under
+//! `target/experiments/` for downstream plotting.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// A simple experiment table: header row plus data rows, printed aligned
+/// and mirrored to `target/experiments/<id>.csv`.
+pub struct ExperimentTable {
+    id: String,
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl ExperimentTable {
+    /// Start a table for experiment `id` (e.g. `"fig6_bfs"`).
+    pub fn new(id: &str, title: &str, header: &[&str]) -> Self {
+        ExperimentTable {
+            id: id.to_string(),
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Print to stdout and write the CSV; returns the CSV path.
+    pub fn finish(&self) -> PathBuf {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        println!("\n== {} — {} ==", self.id, self.title);
+        let print_row = |cells: &[String]| {
+            let line: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
+                .collect();
+            println!("  {}", line.join("  "));
+        };
+        print_row(&self.header);
+        println!(
+            "  {}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        for row in &self.rows {
+            print_row(row);
+        }
+
+        let dir = out_dir();
+        fs::create_dir_all(&dir).expect("create experiments dir");
+        let path = dir.join(format!("{}.csv", self.id));
+        let mut f = fs::File::create(&path).expect("create csv");
+        writeln!(f, "{}", self.header.join(",")).unwrap();
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(",")).unwrap();
+        }
+        println!("  -> {}", path.display());
+        path
+    }
+}
+
+/// Where experiment CSVs land.
+pub fn out_dir() -> PathBuf {
+    // target/ of the workspace regardless of cwd quirk under cargo bench.
+    let mut dir = std::env::current_dir().expect("cwd");
+    while !dir.join("Cargo.toml").exists() || !dir.join("crates").exists() {
+        if !dir.pop() {
+            return PathBuf::from("target/experiments");
+        }
+    }
+    dir.join("target").join("experiments")
+}
+
+/// Format a simulated duration in seconds with 4 significant digits.
+pub fn secs(d: gts_sim::SimDuration) -> String {
+    format!("{:.4}", d.as_secs_f64())
+}
+
+/// Format an outcome: seconds or `O.O.M.` — the figures' failure cells.
+pub fn secs_or_oom<E>(r: &Result<gts_sim::SimDuration, E>) -> String {
+    match r {
+        Ok(d) => secs(*d),
+        Err(_) => "O.O.M.".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gts_sim::SimDuration;
+
+    #[test]
+    fn table_roundtrip_writes_csv() {
+        let mut t = ExperimentTable::new("test_table", "unit test", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let path = t.finish();
+        let body = fs::read_to_string(&path).unwrap();
+        assert_eq!(body, "a,b\n1,2\n");
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = ExperimentTable::new("x", "y", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(secs(SimDuration::from_millis(1500)), "1.5000");
+        let ok: Result<SimDuration, ()> = Ok(SimDuration::from_secs(2));
+        let err: Result<SimDuration, ()> = Err(());
+        assert_eq!(secs_or_oom(&ok), "2.0000");
+        assert_eq!(secs_or_oom(&err), "O.O.M.");
+    }
+}

@@ -1,0 +1,365 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use crate::edgelist;
+use std::io::Write as _;
+
+/// Print a line to stdout, exiting quietly (success) when the pipe is
+/// closed — `gts run ... | head` must not die with a broken-pipe panic.
+/// Checked via `io::ErrorKind`, which is locale-independent (unlike the
+/// strerror text a panic message would carry).
+macro_rules! outln {
+    ($($arg:tt)*) => {{
+        let mut out = std::io::stdout().lock();
+        if let Err(e) = writeln!(out, $($arg)*) {
+            if e.kind() == std::io::ErrorKind::BrokenPipe {
+                std::process::exit(0);
+            }
+            panic!("failed writing to stdout: {e}");
+        }
+    }};
+}
+use gts_core::engine::{CachePolicyKind, Gts, GtsConfig, StorageLocation};
+use gts_core::programs::{Bc, Bfs, Cc, Degrees, GtsProgram, KCore, PageRank, RadiusEstimation, Rwr, Sssp};
+use gts_core::Strategy;
+use gts_gpu::GpuConfig;
+use gts_graph::generate::{erdos_renyi, web_like, Rmat};
+use gts_graph::{Dataset, EdgeList};
+use gts_storage::{build_graph_store, load_store, save_store, GraphStore, PageFormatConfig, PhysicalIdConfig};
+
+const USAGE: &str = "\
+gts — GTS (SIGMOD'16) graph processing, reproduced in Rust
+
+USAGE:
+  gts generate --kind <rmat|erdos|web|twitter|uk2007|yahooweb> --out <file>
+               [--scale N] [--edge-factor N] [--vertices N] [--edges N] [--seed N]
+  gts build    --graph <edge file> --out <store file>
+               [--page-size BYTES] [--p BYTES] [--q BYTES]
+  gts info     <store file>
+  gts run      <bfs|pagerank|sssp|cc|bc|rwr|degrees|kcore|radius>
+               --store <store file>
+               [--source N] [--iterations N] [--k N] [--gpus N] [--streams N]
+               [--strategy p|s] [--storage mem|ssd:N|hdd:N]
+               [--device-memory BYTES] [--cache lru|fifo|random] [--json]
+  gts help
+
+Edge files are the binary GTSEDGES format produced by `gts generate`, or
+plain text 'src dst' lines. Store files are the GTSPAGES slotted-page
+format of the paper's Section 2.";
+
+/// Dispatch the command line.
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    match args.positional(0) {
+        Some("generate") => generate(&args),
+        Some("build") => build(&args),
+        Some("info") => info(&args),
+        Some("run") => run(&args),
+        Some("help") | None => {
+            outln!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+}
+
+fn generate(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["kind", "out", "scale", "edge-factor", "vertices", "edges", "seed"])?;
+    let kind = args.required("kind")?;
+    let out = args.required("out")?;
+    let seed = args.get_or("seed", 0x6715_2016u64)?;
+    let graph: EdgeList = match kind {
+        "rmat" => {
+            let scale = args.get_or("scale", 16u32)?;
+            let ef = args.get_or("edge-factor", 16u32)?;
+            Rmat::new(scale).with_edge_factor(ef).with_seed(seed).generate()
+        }
+        "erdos" => {
+            let n = args.get_or("vertices", 1u32 << 16)?;
+            let m = args.get_or("edges", 1usize << 20)?;
+            erdos_renyi(n, m, seed)
+        }
+        "web" => {
+            let n = args.get_or("vertices", 1u32 << 16)?;
+            let communities = (n / 512).max(2);
+            web_like(communities, n / communities, 4, seed)
+        }
+        "twitter" => Dataset::TwitterLike.generate(),
+        "uk2007" => Dataset::Uk2007Like.generate(),
+        "yahooweb" => Dataset::YahooWebLike.generate(),
+        other => return Err(format!("unknown graph kind {other:?}")),
+    };
+    edgelist::write(&graph, out)?;
+    outln!(
+        "wrote {} vertices, {} edges to {out}",
+        graph.num_vertices,
+        graph.num_edges()
+    );
+    Ok(())
+}
+
+fn build(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["graph", "out", "page-size", "p", "q"])?;
+    let graph = edgelist::read(args.required("graph")?)?;
+    let out = args.required("out")?;
+    let page_size = args.get_or("page-size", 64 * 1024usize)?;
+    let p = args.get_or("p", 2u8)?;
+    let q = args.get_or("q", 2u8)?;
+    let cfg = PageFormatConfig::new(PhysicalIdConfig::new(p, q), page_size);
+    let store = build_graph_store(&graph, cfg).map_err(|e| e.to_string())?;
+    save_store(&store, out).map_err(|e| e.to_string())?;
+    outln!(
+        "built {}: {} SP + {} LP pages of {} B ({:.1} MiB topology)",
+        out,
+        store.small_pids().len(),
+        store.large_pids().len(),
+        page_size,
+        store.topology_bytes() as f64 / (1 << 20) as f64
+    );
+    Ok(())
+}
+
+fn info(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&[])?;
+    let path = args
+        .positional(1)
+        .ok_or("usage: gts info <store file>")?;
+    let store = load_store(path).map_err(|e| e.to_string())?;
+    let cfg = store.cfg();
+    outln!("store:     {path}");
+    outln!("format:    {} pages of {} B, physical ids {}", store.num_pages(), cfg.page_size, cfg.id);
+    outln!("graph:     {} vertices, {} edges", store.num_vertices(), store.num_edges());
+    outln!("pages:     {} small, {} large", store.small_pids().len(), store.large_pids().len());
+    outln!("topology:  {} bytes", store.topology_bytes());
+    for (name, wa) in [
+        ("BFS", gts_core::attrs::AlgorithmKind::Bfs),
+        ("PageRank", gts_core::attrs::AlgorithmKind::PageRank),
+        ("SSSP", gts_core::attrs::AlgorithmKind::Sssp),
+        ("CC", gts_core::attrs::AlgorithmKind::ConnectedComponents),
+    ] {
+        let bytes = wa.wa_bytes(store.num_vertices());
+        outln!(
+            "WA {name:<9} {bytes} bytes ({:.1} % of topology)",
+            bytes as f64 / store.topology_bytes() as f64 * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn parse_storage(s: &str) -> Result<StorageLocation, String> {
+    if s == "mem" {
+        return Ok(StorageLocation::InMemory);
+    }
+    if let Some(n) = s.strip_prefix("ssd:") {
+        return Ok(StorageLocation::Ssds(
+            n.parse().map_err(|_| format!("bad ssd count {n:?}"))?,
+        ));
+    }
+    if let Some(n) = s.strip_prefix("hdd:") {
+        return Ok(StorageLocation::Hdds(
+            n.parse().map_err(|_| format!("bad hdd count {n:?}"))?,
+        ));
+    }
+    Err(format!("bad --storage {s:?} (mem | ssd:N | hdd:N)"))
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&[
+        "store", "source", "iterations", "k", "gpus", "streams", "strategy", "storage",
+        "device-memory", "cache", "json",
+    ])?;
+    let alg = args
+        .positional(1)
+        .ok_or("usage: gts run <algorithm> --store <file>")?;
+    let store: GraphStore = load_store(args.required("store")?).map_err(|e| e.to_string())?;
+    let source = args.get_or("source", 0u64)?;
+    let iterations = args.get_or("iterations", 10u32)?;
+    if source >= store.num_vertices() {
+        return Err(format!(
+            "--source {source} out of range ({} vertices)",
+            store.num_vertices()
+        ));
+    }
+
+    let cfg = GtsConfig {
+        num_gpus: args.get_or("gpus", 1usize)?,
+        num_streams: args.get_or("streams", 16usize)?,
+        strategy: match args.optional("strategy").unwrap_or("p") {
+            "p" => Strategy::Performance,
+            "s" => Strategy::Scalability,
+            other => return Err(format!("bad --strategy {other:?} (p | s)")),
+        },
+        storage: parse_storage(args.optional("storage").unwrap_or("mem"))?,
+        gpu: GpuConfig::titan_x()
+            .with_device_memory(args.get_or("device-memory", 12u64 << 30)?),
+        cache_policy: match args.optional("cache").unwrap_or("lru") {
+            "lru" => CachePolicyKind::Lru,
+            "fifo" => CachePolicyKind::Fifo,
+            "random" => CachePolicyKind::Random,
+            other => return Err(format!("bad --cache {other:?}")),
+        },
+        ..GtsConfig::default()
+    };
+
+    let n = store.num_vertices();
+    let k = args.get_or("k", 2u32)?;
+    let engine = Gts::new(cfg);
+    let exec = |prog: &mut dyn GtsProgram| engine.run(&store, prog).map_err(|e| e.to_string());
+    let (report, summary) = match alg {
+        "bfs" => {
+            let mut p = Bfs::new(n, source);
+            let r = exec(&mut p)?;
+            let reached = p.levels().iter().filter(|&&l| l != u16::MAX).count();
+            (r, format!("{reached} vertices reached from {source}"))
+        }
+        "pagerank" => {
+            let mut p = PageRank::new(n, iterations);
+            let r = exec(&mut p)?;
+            let top = top_vertex(p.ranks())
+                .map(|(v, s)| format!("top vertex {v} (score {s:.6})"))
+                .unwrap_or_default();
+            (r, top)
+        }
+        "sssp" => {
+            let mut p = Sssp::new(n, source);
+            let r = exec(&mut p)?;
+            let reached = p.distances().iter().filter(|&&d| d != u32::MAX).count();
+            (r, format!("{reached} vertices reachable from {source}"))
+        }
+        "cc" => {
+            let mut p = Cc::new(n);
+            let r = exec(&mut p)?;
+            let mut labels: Vec<u64> = p.labels().to_vec();
+            labels.sort_unstable();
+            labels.dedup();
+            (r, format!("{} weakly connected components", labels.len()))
+        }
+        "bc" => {
+            let mut p = Bc::new(n, source);
+            let r = exec(&mut p)?;
+            let top = top_vertex(p.centrality())
+                .map(|(v, s)| format!("most central vertex {v} (bc {s:.1})"))
+                .unwrap_or_default();
+            (r, top)
+        }
+        "rwr" => {
+            let mut p = Rwr::new(n, source, iterations);
+            let r = exec(&mut p)?;
+            let mut scored: Vec<(usize, f32)> =
+                p.scores().iter().copied().enumerate().collect();
+            scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+            let near: Vec<String> = scored
+                .iter()
+                .take(4)
+                .map(|(v, s)| format!("{v}:{s:.4}"))
+                .collect();
+            (r, format!("closest to {source}: {}", near.join(" ")))
+        }
+        "degrees" => {
+            let mut p = Degrees::new(n);
+            let r = exec(&mut p)?;
+            let max = p.degrees().iter().max().copied().unwrap_or(0);
+            (r, format!("max out-degree {max}"))
+        }
+        "kcore" => {
+            let mut p = KCore::new(n, k);
+            let r = exec(&mut p)?;
+            (r, format!("{}-core has {} vertices", k, p.core_size()))
+        }
+        "radius" => {
+            let mut p = RadiusEstimation::new(n);
+            let r = exec(&mut p)?;
+            (
+                r,
+                format!(
+                    "estimated radius {:?}, diameter {}{}",
+                    p.radius(),
+                    p.diameter(),
+                    if p.is_exact() { " (exact)" } else { "" }
+                ),
+            )
+        }
+        other => return Err(format!("unknown algorithm {other:?}")),
+    };
+
+    if args.optional("json").map(|v| v == "true").unwrap_or(false) {
+        outln!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+        );
+    } else {
+        outln!("algorithm:      {}", report.algorithm);
+        outln!("simulated time: {}", report.elapsed);
+        outln!("sweeps:         {}", report.sweeps);
+        outln!("pages streamed: {}", report.pages_streamed);
+        outln!("cache hits:     {} ({:.1} %)", report.cache_hits, report.cache_hit_rate * 100.0);
+        outln!("edges visited:  {} ({:.0} MTEPS)", report.edges_traversed, report.mteps());
+        outln!("result:         {summary}");
+    }
+    Ok(())
+}
+
+/// Highest-scoring vertex (NaN-safe via total order); `None` on empty.
+fn top_vertex(scores: &[f32]) -> Option<(usize, f32)> {
+    scores
+        .iter()
+        .copied()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn tmp(name: &str) -> String {
+        let mut p = std::env::temp_dir();
+        p.push(format!("gts-cli-test-{}-{name}", std::process::id()));
+        p.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn generate_build_info_run_pipeline() {
+        let el = tmp("g.el");
+        let st = tmp("g.gts");
+        dispatch(&sv(&["generate", "--kind", "rmat", "--scale", "9", "--out", &el])).unwrap();
+        dispatch(&sv(&["build", "--graph", &el, "--out", &st, "--page-size", "4096"])).unwrap();
+        dispatch(&sv(&["info", &st])).unwrap();
+        for alg in [
+            "bfs", "pagerank", "sssp", "cc", "bc", "rwr", "degrees", "kcore", "radius",
+        ] {
+            dispatch(&sv(&["run", alg, "--store", &st, "--iterations", "2"]))
+                .unwrap_or_else(|e| panic!("{alg}: {e}"));
+        }
+        // Out-of-core configuration also works end to end.
+        dispatch(&sv(&[
+            "run", "pagerank", "--store", &st, "--iterations", "2", "--gpus", "2",
+            "--strategy", "s", "--storage", "ssd:2",
+        ]))
+        .unwrap();
+        std::fs::remove_file(&el).ok();
+        std::fs::remove_file(&st).ok();
+    }
+
+    #[test]
+    fn helpful_errors() {
+        assert!(dispatch(&sv(&["frobnicate"])).is_err());
+        assert!(dispatch(&sv(&["run", "bfs"])).is_err());
+        assert!(dispatch(&sv(&["generate", "--kind", "nope", "--out", "/tmp/x"])).is_err());
+        let err = dispatch(&sv(&["run", "bfs", "--store", "/nonexistent-gts-file"])).unwrap_err();
+        assert!(err.contains("i/o") || err.contains("No such file"), "{err}");
+    }
+
+    #[test]
+    fn storage_flag_parsing() {
+        assert!(matches!(parse_storage("mem"), Ok(StorageLocation::InMemory)));
+        assert!(matches!(parse_storage("ssd:2"), Ok(StorageLocation::Ssds(2))));
+        assert!(matches!(parse_storage("hdd:4"), Ok(StorageLocation::Hdds(4))));
+        assert!(parse_storage("floppy:1").is_err());
+        assert!(parse_storage("ssd:x").is_err());
+    }
+}

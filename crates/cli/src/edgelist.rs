@@ -1,0 +1,208 @@
+//! Binary edge-list files, the exchange format between `gts generate` and
+//! `gts build` (and an easy target for converters from other formats).
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic "GTSEDGES"
+//! 8       4     number of vertices (LE u32)
+//! 12      8     number of edges (LE u64)
+//! 20      ...   edges: (src LE u32, dst LE u32) pairs
+//! ```
+//!
+//! Plain-text edge lists (one `src dst` pair per line, `#` comments) are
+//! also accepted by [`read`] for interoperability with common datasets.
+
+use gts_graph::{EdgeList, VertexId};
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"GTSEDGES";
+
+/// Write `graph` as a binary edge-list file.
+pub fn write(graph: &EdgeList, path: impl AsRef<Path>) -> Result<(), String> {
+    let mut w = BufWriter::new(File::create(&path).map_err(|e| e.to_string())?);
+    let mut run = || -> std::io::Result<()> {
+        w.write_all(MAGIC)?;
+        w.write_all(&graph.num_vertices.to_le_bytes())?;
+        w.write_all(&(graph.num_edges() as u64).to_le_bytes())?;
+        for &(s, d) in &graph.edges {
+            w.write_all(&s.to_le_bytes())?;
+            w.write_all(&d.to_le_bytes())?;
+        }
+        w.flush()
+    };
+    run().map_err(|e| e.to_string())
+}
+
+/// Read an edge list: binary format if the magic matches, otherwise
+/// parsed as whitespace-separated text pairs.
+pub fn read(path: impl AsRef<Path>) -> Result<EdgeList, String> {
+    let mut f = File::open(&path).map_err(|e| e.to_string())?;
+    let mut magic = [0u8; 8];
+    let is_binary = f.read_exact(&mut magic).is_ok() && &magic == MAGIC;
+    if is_binary {
+        read_binary(f)
+    } else {
+        read_text(File::open(&path).map_err(|e| e.to_string())?)
+    }
+}
+
+fn read_binary(mut f: File) -> Result<EdgeList, String> {
+    let mut head = [0u8; 12];
+    f.read_exact(&mut head).map_err(|e| e.to_string())?;
+    let n = u32::from_le_bytes(head[0..4].try_into().unwrap());
+    let m = u64::from_le_bytes(head[4..12].try_into().unwrap());
+    let mut r = BufReader::new(f);
+    let mut edges = Vec::with_capacity(m as usize);
+    let mut buf = [0u8; 8];
+    for i in 0..m {
+        r.read_exact(&mut buf)
+            .map_err(|_| format!("edge file truncated at edge {i}"))?;
+        let s = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+        let d = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+        if s >= n || d >= n {
+            return Err(format!("edge {i} ({s},{d}) out of range (n={n})"));
+        }
+        edges.push((s, d));
+    }
+    Ok(EdgeList::new(n, edges))
+}
+
+fn read_text(f: File) -> Result<EdgeList, String> {
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut max_v: u64 = 0;
+    let mut matrix_market = false;
+    let mut mm_header_seen = false;
+    let mut declared_n: Option<u32> = None;
+    for (lineno, line) in BufReader::new(f).lines().enumerate() {
+        let line = line.map_err(|e| e.to_string())?;
+        let line = line.trim();
+        if lineno == 0 && line.starts_with("%%MatrixMarket") {
+            matrix_market = true;
+            continue;
+        }
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        if matrix_market && !mm_header_seen {
+            // Dimensions line: rows cols nnz.
+            mm_header_seen = true;
+            let rows: u32 = it
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| format!("line {}: bad MatrixMarket size line", lineno + 1))?;
+            let cols: u32 = it
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| format!("line {}: bad MatrixMarket size line", lineno + 1))?;
+            declared_n = Some(rows.max(cols));
+            continue;
+        }
+        let parse = |tok: Option<&str>| -> Result<VertexId, String> {
+            tok.ok_or_else(|| format!("line {}: expected 'src dst'", lineno + 1))?
+                .parse()
+                .map_err(|_| format!("line {}: bad vertex id", lineno + 1))
+        };
+        let (mut s, mut d) = (parse(it.next())?, parse(it.next())?);
+        if matrix_market {
+            // Coordinate entries are 1-indexed.
+            if s == 0 || d == 0 {
+                return Err(format!("line {}: MatrixMarket ids are 1-indexed", lineno + 1));
+            }
+            s -= 1;
+            d -= 1;
+        }
+        max_v = max_v.max(s as u64).max(d as u64);
+        edges.push((s, d));
+    }
+    let inferred = if edges.is_empty() { 0 } else { max_v as u32 + 1 };
+    let n = declared_n.unwrap_or(inferred).max(inferred);
+    Ok(EdgeList::new(n, edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gts_graph::generate::rmat;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("gts-el-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = rmat(8);
+        let path = tmp("bin");
+        write(&g, &path).unwrap();
+        let back = read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn text_format_parses() {
+        let path = tmp("txt");
+        std::fs::write(&path, "# a comment\n0 1\n1 2\n\n2 0\n").unwrap();
+        let g = read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(g.num_vertices, 3);
+        assert_eq!(g.edges, vec![(0, 1), (1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn matrix_market_parses_one_indexed() {
+        let path = tmp("mm");
+        std::fs::write(
+            &path,
+            "%%MatrixMarket matrix coordinate pattern general
+% comment
+4 4 3
+1 2
+2 3
+4 1
+",
+        )
+        .unwrap();
+        let g = read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(g.num_vertices, 4);
+        assert_eq!(g.edges, vec![(0, 1), (1, 2), (3, 0)]);
+    }
+
+    #[test]
+    fn matrix_market_rejects_zero_ids() {
+        let path = tmp("mm0");
+        std::fs::write(&path, "%%MatrixMarket matrix coordinate
+2 2 1
+0 1
+").unwrap();
+        let err = read(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(err.contains("1-indexed"), "{err}");
+    }
+
+    #[test]
+    fn text_errors_carry_line_numbers() {
+        let path = tmp("bad");
+        std::fs::write(&path, "0 1\nnot numbers\n").unwrap();
+        let err = read(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn truncated_binary_reports_edge() {
+        let g = rmat(7);
+        let path = tmp("trunc");
+        write(&g, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 4]).unwrap();
+        let err = read(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(err.contains("truncated"), "{err}");
+    }
+}

@@ -1,0 +1,28 @@
+//! `gts` — the command-line interface to the GTS reproduction.
+//!
+//! ```text
+//! gts generate --kind rmat --scale 16 --out graph.el
+//! gts build    --graph graph.el --out graph.gts --page-size 65536
+//! gts info     graph.gts
+//! gts run bfs  --store graph.gts --source 0 --gpus 2 --streams 16
+//! ```
+//!
+//! See `gts help` (or any subcommand with wrong arguments) for the full
+//! usage text.
+
+mod args;
+mod commands;
+mod edgelist;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

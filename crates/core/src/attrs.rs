@@ -1,0 +1,118 @@
+//! Attribute-data accounting: the WA/RA split of Section 3.1.
+//!
+//! GTS divides per-vertex attribute data into **WA** (read/write — must be
+//! resident in device memory because it is updated randomly and frequently)
+//! and **RA** (read-only — streamed to the device alongside each topology
+//! page). Keeping *only* WA resident is what lets billion-scale graphs fit:
+//! Table 4 shows WA is 1.7–10 % of topology size.
+//!
+//! This module centralises the per-algorithm WA/RA byte layouts so both the
+//! engine's device-memory allocator and the Table 4 bench use one source of
+//! truth.
+
+use serde::{Deserialize, Serialize};
+
+/// The five algorithms of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AlgorithmKind {
+    /// Breadth-first search (traversal; Appendix B.1).
+    Bfs,
+    /// PageRank (full-sweep; Appendix B.2).
+    PageRank,
+    /// Single-source shortest paths (traversal; Appendix D).
+    Sssp,
+    /// Weakly connected components (full-sweep; Appendix D).
+    ConnectedComponents,
+    /// Betweenness centrality (traversal, two phases; Appendix D).
+    BetweennessCentrality,
+}
+
+impl AlgorithmKind {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AlgorithmKind::Bfs => "BFS",
+            AlgorithmKind::PageRank => "PageRank",
+            AlgorithmKind::Sssp => "SSSP",
+            AlgorithmKind::ConnectedComponents => "CC",
+            AlgorithmKind::BetweennessCentrality => "BC",
+        }
+    }
+
+    /// WA bytes per vertex (the paper's Table 4 row logic: BFS keeps a
+    /// 2-byte traversal level LV; PageRank a 4-byte nextPR; SSSP a 4-byte
+    /// distance; CC an 8-byte component label; BC needs σ, δ, the level and
+    /// the accumulating centrality).
+    pub fn wa_bytes_per_vertex(&self) -> u64 {
+        match self {
+            AlgorithmKind::Bfs => 2,
+            AlgorithmKind::PageRank => 4,
+            AlgorithmKind::Sssp => 4,
+            AlgorithmKind::ConnectedComponents => 8,
+            AlgorithmKind::BetweennessCentrality => 14, // sigma f32 + delta f32 + bc f32 + level u16
+        }
+    }
+
+    /// RA bytes per vertex, streamed with each page (only PageRank carries
+    /// a read-only vector — prevPR — in a given iteration; Sec. 3.1).
+    pub fn ra_bytes_per_vertex(&self) -> u64 {
+        match self {
+            AlgorithmKind::PageRank => 4,
+            _ => 0,
+        }
+    }
+
+    /// Total WA bytes for a graph of `num_vertices`.
+    pub fn wa_bytes(&self, num_vertices: u64) -> u64 {
+        self.wa_bytes_per_vertex() * num_vertices
+    }
+
+    /// Total RA bytes for a graph of `num_vertices`.
+    pub fn ra_bytes(&self, num_vertices: u64) -> u64 {
+        self.ra_bytes_per_vertex() * num_vertices
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_ratios_hold_at_paper_scale() {
+        // RMAT28: 256M vertices, 20 GB topology (Table 4). WA must be a
+        // small fraction of topology: 1.7 %–10 % per the paper's Sec. 7.1.
+        let v: u64 = 256 * 1024 * 1024;
+        let topology: u64 = 20 * (1 << 30);
+        for alg in [
+            AlgorithmKind::Bfs,
+            AlgorithmKind::PageRank,
+            AlgorithmKind::Sssp,
+            AlgorithmKind::ConnectedComponents,
+        ] {
+            let ratio = alg.wa_bytes(v) as f64 / topology as f64;
+            assert!(
+                ratio < 0.11,
+                "{} WA ratio {ratio} out of the paper's band",
+                alg.name()
+            );
+        }
+    }
+
+    #[test]
+    fn paper_table4_absolute_sizes() {
+        // Table 4's RMAT28 row: BFS 0.5 GB, PageRank 1 GB, SSSP 1 GB,
+        // CC 2 GB for 256M vertices.
+        let v: u64 = 256 * 1024 * 1024;
+        assert_eq!(AlgorithmKind::Bfs.wa_bytes(v), 512 << 20);
+        assert_eq!(AlgorithmKind::PageRank.wa_bytes(v), 1 << 30);
+        assert_eq!(AlgorithmKind::Sssp.wa_bytes(v), 1 << 30);
+        assert_eq!(AlgorithmKind::ConnectedComponents.wa_bytes(v), 2 << 30);
+    }
+
+    #[test]
+    fn only_pagerank_streams_ra() {
+        assert_eq!(AlgorithmKind::PageRank.ra_bytes_per_vertex(), 4);
+        assert_eq!(AlgorithmKind::Bfs.ra_bytes_per_vertex(), 0);
+        assert_eq!(AlgorithmKind::Sssp.ra_bytes_per_vertex(), 0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Section 5's analytic cost models, as executable functions.
+//!
+//! Eq. (1) — PageRank-like algorithms (one full sweep):
+//!
+//! ```text
+//! 2|WA|/c1 + (|RA|+|SP|+|LP|)/(c2·N) + tcall((S+L)/N)
+//!          + tkernel(SP|1| + LP|1|) + tsync(N)
+//! ```
+//!
+//! Eq. (2) — BFS-like algorithms (level-by-level):
+//!
+//! ```text
+//! 2|WA|/c1 + Σ_l [ (|RA{l}|+|SP{l}|+|LP{l}|) / (c2·N·dskew) · (1−rhit)
+//!                  + tcall((S{l}+L{l}) / (N·dskew)) ]
+//! ```
+//!
+//! The `cost_model` bench compares these against the simulator's measured
+//! elapsed times (the paper does the same sanity check in Sec. 7.5, e.g.
+//! "153 seconds … approximately equal to 114 × 10 ÷ 6 = 190 seconds").
+
+use gts_sim::{Bandwidth, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// Inputs shared by both models.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CostParams {
+    /// Total read/write attribute bytes |WA|.
+    pub wa_bytes: u64,
+    /// Chunk-copy rate c1.
+    pub c1: Bandwidth,
+    /// Streaming-copy rate c2.
+    pub c2: Bandwidth,
+    /// Number of GPUs N.
+    pub num_gpus: u64,
+    /// Kernel-call overhead for one page, tcall(1).
+    pub t_call: SimDuration,
+    /// Synchronisation overhead per GPU, tsync(1) (Strategy-P's per-GPU
+    /// merge cost).
+    pub t_sync: SimDuration,
+}
+
+/// Eq. (1): one PageRank-like sweep.
+///
+/// `ra_bytes`/`sp_bytes`/`lp_bytes` are totals; `num_pages = S + L`;
+/// `t_kernel_last` is the execution time of the final SP and LP kernels
+/// that no further transfer can hide.
+pub fn pagerank_like(
+    p: &CostParams,
+    ra_bytes: u64,
+    sp_bytes: u64,
+    lp_bytes: u64,
+    num_pages: u64,
+    t_kernel_last: SimDuration,
+) -> SimDuration {
+    let wa = p.c1.transfer_time(2 * p.wa_bytes);
+    let stream = p.c2.transfer_time((ra_bytes + sp_bytes + lp_bytes) / p.num_gpus.max(1));
+    let calls = p.t_call * (num_pages / p.num_gpus.max(1));
+    let sync = p.t_sync * p.num_gpus;
+    wa + stream + calls + t_kernel_last + sync
+}
+
+/// One traversal level's streaming volume for Eq. (2).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LevelVolume {
+    /// Bytes of RA + SP + LP streamed at this level.
+    pub bytes: u64,
+    /// Pages visited at this level (S{l} + L{l}).
+    pub pages: u64,
+}
+
+/// Eq. (2): a BFS-like traversal.
+///
+/// `d_skew` ∈ [1/N, 1] is the workload-balance factor (1 = perfectly
+/// balanced); `r_hit` ∈ [0, 1] the cache hit rate.
+pub fn bfs_like(p: &CostParams, levels: &[LevelVolume], d_skew: f64, r_hit: f64) -> SimDuration {
+    assert!((0.0..=1.0).contains(&r_hit), "r_hit must be in [0,1]");
+    assert!(d_skew > 0.0 && d_skew <= 1.0, "d_skew must be in (0,1]");
+    let mut total = p.c1.transfer_time(2 * p.wa_bytes);
+    let denom = p.num_gpus as f64 * d_skew;
+    for l in levels {
+        let transfer = p.c2.transfer_time(l.bytes).as_nanos() as f64 / denom * (1.0 - r_hit);
+        let calls = p.t_call.as_nanos() as f64 * l.pages as f64 / denom;
+        total += SimDuration::from_nanos((transfer + calls).round() as u64);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(n: u64) -> CostParams {
+        CostParams {
+            wa_bytes: 1 << 20,
+            c1: Bandwidth::gib_per_sec(16),
+            c2: Bandwidth::gib_per_sec(6),
+            num_gpus: n,
+            t_call: SimDuration::from_micros(10),
+            t_sync: SimDuration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn pagerank_model_sec75_example() {
+        // Sec. 7.5: 10 PageRank iterations over a 114 GB RMAT30 at c2 =
+        // 6 GB/s ≈ 190 s. One iteration ≈ 19 s dominated by streaming.
+        let p = CostParams {
+            wa_bytes: 4 * (1u64 << 30) / 4, // 1G vertices × 4 B / 4 (not dominant)
+            c1: Bandwidth::gib_per_sec(16),
+            c2: Bandwidth::gib_per_sec(6),
+            num_gpus: 1,
+            t_call: SimDuration::ZERO,
+            t_sync: SimDuration::ZERO,
+        };
+        let topo = 114 * (1u64 << 30);
+        let t = pagerank_like(&p, 0, topo, 0, 0, SimDuration::ZERO);
+        let secs = t.as_secs_f64();
+        assert!((18.0..21.0).contains(&secs), "one sweep ≈ 19 s, got {secs}");
+    }
+
+    #[test]
+    fn streaming_term_scales_with_gpus() {
+        let one = pagerank_like(&params(1), 0, 6 << 30, 0, 600, SimDuration::ZERO);
+        let two = pagerank_like(&params(2), 0, 6 << 30, 0, 600, SimDuration::ZERO);
+        assert!(two < one);
+        // But the WA term does not shrink: speedup is sub-linear.
+        assert!(two.as_nanos() * 2 > one.as_nanos());
+    }
+
+    #[test]
+    fn sync_overhead_grows_with_gpus() {
+        let base = params(1);
+        let mut many = params(8);
+        many.wa_bytes = 0;
+        let mut one = base.clone();
+        one.wa_bytes = 0;
+        let t1 = pagerank_like(&one, 0, 0, 0, 0, SimDuration::ZERO);
+        let t8 = pagerank_like(&many, 0, 0, 0, 0, SimDuration::ZERO);
+        assert!(t8 > t1, "tsync(N) increases with N");
+    }
+
+    #[test]
+    fn bfs_model_sums_levels_and_applies_cache() {
+        let p = params(1);
+        let levels = vec![
+            LevelVolume { bytes: 1 << 20, pages: 16 },
+            LevelVolume { bytes: 4 << 20, pages: 64 },
+        ];
+        let cold = bfs_like(&p, &levels, 1.0, 0.0);
+        let hot = bfs_like(&p, &levels, 1.0, 0.9);
+        assert!(hot < cold, "cache hits remove transfer time");
+        // With full cache hits only the call overhead and WA term remain.
+        let all_hits = bfs_like(&p, &levels, 1.0, 1.0);
+        let wa_only = p.c1.transfer_time(2 * p.wa_bytes) + p.t_call * 80;
+        assert_eq!(all_hits, wa_only);
+    }
+
+    #[test]
+    fn skew_degrades_bfs_scaling() {
+        let p = params(4);
+        let levels = vec![LevelVolume { bytes: 64 << 20, pages: 1024 }];
+        let balanced = bfs_like(&p, &levels, 1.0, 0.0);
+        let skewed = bfs_like(&p, &levels, 0.25, 0.0);
+        // dskew = 1/N: as slow as a single GPU.
+        assert!(skewed > balanced);
+        let single = bfs_like(&params(1), &levels, 1.0, 0.0);
+        let diff = skewed.as_secs_f64() - single.as_secs_f64();
+        assert!(diff.abs() < 1e-6, "fully skewed 4-GPU ≈ 1 GPU");
+    }
+
+    #[test]
+    #[should_panic(expected = "r_hit")]
+    fn invalid_hit_rate_rejected() {
+        let _ = bfs_like(&params(1), &[], 1.0, 1.5);
+    }
+}

@@ -1,0 +1,871 @@
+//! The GTS framework engine — Algorithm 1 of the paper.
+//!
+//! One `run` executes a [`GtsProgram`] over a slotted-page [`GraphStore`]:
+//!
+//! 1. **Initialisation** — allocate WABuf / RABuf / SPBuf / LPBuf (and the
+//!    RVT) in each GPU's device memory, sized by the program's WA/RA layout
+//!    and the strategy's WA split; whatever device memory remains becomes
+//!    the topology page cache (`cachedPIDMap`, Sec. 3.3). Allocation beyond
+//!    capacity fails with [`EngineError::DeviceOom`] — the paper's O.O.M.
+//!    cells.
+//! 2. **Sweep loop** — for traversal programs, `nextPIDSet` seeds with the
+//!    source's page and each level streams only marked pages; for sweep
+//!    programs every iteration streams all pages, Small Pages first, then
+//!    Large Pages (Sec. 3.4's phase separation). Pages are fetched
+//!    SSD → MMBuf → SPBuf as needed (lines 15–27), assigned to GPUs by the
+//!    strategy's `h(j)`, pipelined over `num_streams` asynchronous streams,
+//!    and served from the GPU cache when possible.
+//! 3. **Synchronisation** — per-sweep WA write-back for sweep programs
+//!    (peer-to-peer merge under Strategy-P), a final WA write-back for
+//!    traversal programs, plus the small per-level nextPIDSet/cachedPIDMap
+//!    copies (lines 28–30).
+//!
+//! Functional results are exact (kernels really run); time is accounted on
+//! the simulated clock (see `gts-gpu`).
+
+use crate::programs::{ExecMode, GtsProgram, KernelScratch, PageCtx, SweepControl};
+use crate::report::{GpuRunStats, RunReport};
+use crate::strategy::Strategy;
+use gts_gpu::memory::{DeviceAlloc, DeviceMemory, GpuOom};
+use gts_gpu::timer::{GpuTimer, KernelCost};
+use gts_gpu::warp::MicroTechnique;
+use gts_gpu::{GpuConfig, PcieConfig};
+use gts_storage::builder::GraphStore;
+use gts_storage::cache::{FifoCache, LruCache, PageCache, RandomCache};
+use gts_storage::device::StorageArray;
+use gts_storage::format::{ADJLIST_SZ_BYTES, OFF_BYTES, VID_BYTES};
+use gts_storage::mmbuf::MmBuf;
+use gts_storage::PageKind;
+use gts_sim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// Where the topology pages live before streaming.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StorageLocation {
+    /// Whole graph resident in main memory (the paper's in-memory setting,
+    /// used when |G| < MMBuf — loading time excluded, as in Sec. 7.2).
+    InMemory,
+    /// Striped over this many simulated PCI-E SSDs.
+    Ssds(usize),
+    /// Striped over this many simulated HDDs.
+    Hdds(usize),
+}
+
+/// Which replacement policy the GPU-side page cache uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CachePolicyKind {
+    /// Least recently used (the paper's default).
+    Lru,
+    /// First in, first out.
+    Fifo,
+    /// Random replacement (seeded).
+    Random,
+}
+
+impl CachePolicyKind {
+    /// Instantiate the policy with a capacity (in pages).
+    pub fn build(self, capacity_pages: usize) -> PageCache {
+        match self {
+            CachePolicyKind::Lru => Box::new(LruCache::new(capacity_pages)),
+            CachePolicyKind::Fifo => Box::new(FifoCache::new(capacity_pages)),
+            CachePolicyKind::Random => Box::new(RandomCache::new(capacity_pages, 0x6715)),
+        }
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct GtsConfig {
+    /// Number of GPUs.
+    pub num_gpus: usize,
+    /// Asynchronous streams per GPU (Fig. 10 sweeps 1..32).
+    pub num_streams: usize,
+    /// Multi-GPU strategy (Sec. 4).
+    pub strategy: Strategy,
+    /// Micro-level parallel technique (Sec. 6.2).
+    pub technique: MicroTechnique,
+    /// Per-GPU hardware model.
+    pub gpu: GpuConfig,
+    /// PCI-E link model.
+    pub pcie: PcieConfig,
+    /// Where topology pages come from.
+    pub storage: StorageLocation,
+    /// MMBuf size as a percentage of the graph's page count when streaming
+    /// from secondary storage (Sec. 7.2 uses 20 %).
+    pub mmbuf_percent: u32,
+    /// Page-cache replacement policy.
+    pub cache_policy: CachePolicyKind,
+    /// Optional cap on cache size in bytes (Fig. 11's x-axis); `None`
+    /// means "all leftover device memory".
+    pub cache_limit_bytes: Option<u64>,
+    /// Use peer-to-peer WA merging under Strategy-P (Sec. 4.1); `false`
+    /// falls back to N direct GPU→host copies (the ablation baseline).
+    pub p2p_sync: bool,
+    /// Record a per-stream timeline on GPU 0 (Figs. 3/4).
+    pub record_timeline: bool,
+}
+
+impl Default for GtsConfig {
+    fn default() -> Self {
+        GtsConfig {
+            num_gpus: 1,
+            num_streams: 16,
+            strategy: Strategy::Performance,
+            technique: MicroTechnique::default_edge_centric(),
+            gpu: GpuConfig::titan_x(),
+            pcie: PcieConfig::gen3_x16(),
+            storage: StorageLocation::InMemory,
+            mmbuf_percent: 20,
+            cache_policy: CachePolicyKind::Lru,
+            cache_limit_bytes: None,
+            p2p_sync: true,
+            record_timeline: false,
+        }
+    }
+}
+
+/// Errors an engine run can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A device-memory allocation failed — the graph's WA (or the
+    /// streaming buffers) exceed GPU capacity under the chosen strategy.
+    DeviceOom(GpuOom),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::DeviceOom(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<GpuOom> for EngineError {
+    fn from(e: GpuOom) -> Self {
+        EngineError::DeviceOom(e)
+    }
+}
+
+struct GpuState {
+    timer: GpuTimer,
+    cache: PageCache,
+    stream_cursor: usize,
+    // Held for their Drop-based accounting; the device-memory pool itself
+    // is owned here too so allocations stay alive exactly as long as the run.
+    _mem: DeviceMemory,
+    _allocs: Vec<DeviceAlloc>,
+}
+
+impl GpuState {
+    fn next_stream(&mut self) -> usize {
+        let s = self.stream_cursor;
+        self.stream_cursor = (self.stream_cursor + 1) % self.timer.num_streams();
+        s
+    }
+}
+
+/// The GTS engine.
+#[derive(Debug, Clone)]
+pub struct Gts {
+    cfg: GtsConfig,
+}
+
+impl Gts {
+    /// Create an engine with the given configuration.
+    pub fn new(cfg: GtsConfig) -> Self {
+        assert!(cfg.num_gpus >= 1, "need at least one GPU");
+        assert!(cfg.num_streams >= 1, "need at least one stream");
+        Gts { cfg }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &GtsConfig {
+        &self.cfg
+    }
+
+    /// Execute `prog` over `store`. Returns the run report; the program
+    /// itself holds the algorithm's output (levels, ranks, ...).
+    pub fn run(
+        &self,
+        store: &GraphStore,
+        prog: &mut dyn GtsProgram,
+    ) -> Result<RunReport, EngineError> {
+        let cfg = &self.cfg;
+        let n = cfg.num_gpus;
+        let num_vertices = store.num_vertices();
+        let page_size = store.cfg().page_size as u64;
+        let wa_total = prog.wa_bytes_per_vertex() * num_vertices;
+        let ra_bpv = prog.ra_bytes_per_vertex();
+        // The effective stream count is capped by the CUDA concurrent-kernel
+        // limit the paper cites (32).
+        let streams = cfg.num_streams.min(cfg.gpu.max_concurrent_kernels);
+
+        // --- Initialisation: device memory and buffers (Alg. 1 lines 2-3).
+        let mut gpus = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mem = DeviceMemory::new(cfg.gpu.device_memory);
+            let mut allocs = Vec::new();
+            allocs.push(mem.alloc(cfg.strategy.wa_bytes_per_gpu(wa_total, n), "WABuf")?);
+            allocs.push(mem.alloc(streams as u64 * page_size, "SPBuf")?);
+            if !store.large_pids().is_empty() {
+                allocs.push(mem.alloc(streams as u64 * page_size, "LPBuf")?);
+            }
+            if ra_bpv > 0 {
+                let max_sp_vertices =
+                    page_size / (VID_BYTES + OFF_BYTES + ADJLIST_SZ_BYTES) as u64;
+                allocs.push(mem.alloc(streams as u64 * max_sp_vertices * ra_bpv, "RABuf")?);
+            }
+            allocs.push(mem.alloc(store.rvt().memory_bytes(), "RVT")?);
+            // Leftover memory becomes the topology cache (Sec. 3.3).
+            let mut cache_bytes = mem.free();
+            if let Some(cap) = cfg.cache_limit_bytes {
+                cache_bytes = cache_bytes.min(cap);
+            }
+            let cache_pages = (cache_bytes / page_size) as usize;
+            allocs.push(mem.alloc(cache_pages as u64 * page_size, "page cache")?);
+            let mut timer = GpuTimer::new(cfg.gpu.clone(), cfg.pcie.clone(), streams);
+            if cfg.record_timeline && gpus.is_empty() {
+                timer.enable_timeline();
+            }
+            gpus.push(GpuState {
+                timer,
+                cache: cfg.cache_policy.build(cache_pages),
+                stream_cursor: 0,
+                _mem: mem,
+                _allocs: allocs,
+            });
+        }
+
+        // Secondary storage + MMBuf (Alg. 1 lines 9-10, 18-26).
+        let mut array = match cfg.storage {
+            StorageLocation::InMemory => None,
+            StorageLocation::Ssds(k) => Some(StorageArray::ssds(k)),
+            StorageLocation::Hdds(k) => Some(StorageArray::hdds(k)),
+        };
+        let mut mmbuf = MmBuf::with_fraction(store.num_pages(), cfg.mmbuf_percent);
+
+        // Total degree of every Large-Page vertex (K_PR_LP needs it).
+        let lp_degrees = lp_total_degrees(store);
+
+        // --- Initial WA chunk copy (Alg. 1 line 11 / Fig. 2 step 1).
+        // Each GPU has its own PCI-E link, so the broadcast is parallel.
+        let mut t = SimTime::ZERO;
+        let sweep_mode = prog.mode() == ExecMode::Sweep;
+        if !sweep_mode {
+            t = broadcast_wa(&mut gpus, cfg.strategy.wa_bytes_per_gpu(wa_total, n), t);
+        }
+
+        // Seed nextPIDSet (Alg. 1 lines 4-7).
+        let all_pages = || -> (Vec<u64>, Vec<u64>) {
+            (store.small_pids().to_vec(), store.large_pids().to_vec())
+        };
+        let (mut sp_pids, mut lp_pids) = match prog.start_vertex() {
+            Some(src) => split_and_expand(
+                store,
+                std::iter::once(store.pid_of_vertex(src)).collect(),
+            ),
+            None => all_pages(),
+        };
+
+        let mut scratch = KernelScratch::default();
+        let mut sweep: u32 = 0;
+        let mut edges_traversed: u64 = 0;
+        let mut per_sweep: Vec<crate::report::SweepStats> = Vec::new();
+
+        // --- The repeat-until loop (Alg. 1 lines 13-31).
+        loop {
+            if sweep_mode {
+                // Each iteration re-initialises WA on device (nextPR reset;
+                // Eq. (1)'s first |WA|/c1 term).
+                t = broadcast_wa(&mut gpus, cfg.strategy.wa_bytes_per_gpu(wa_total, n), t);
+            }
+            let sweep_start = t;
+            let mut next: BTreeSet<u64> = BTreeSet::new();
+            let mut any_update = false;
+            let mut stats = crate::report::SweepStats::default();
+
+            // SPs first, then LPs (reduces kernel switching, Sec. 3.2).
+            for phase in [&sp_pids, &lp_pids] {
+                for &pid in phase.iter() {
+                    let view = store.view(pid);
+                    let lp_total_degree = if view.kind() == PageKind::Large {
+                        *lp_degrees.get(&view.lp_vid()).unwrap_or(&0)
+                    } else {
+                        0
+                    };
+                    // Functional kernel execution (once per page per sweep;
+                    // atomically-commutative updates make this equivalent
+                    // to the per-GPU parallel execution).
+                    let ctx = PageCtx {
+                        view,
+                        pid,
+                        rvt: store.rvt(),
+                        technique: cfg.technique,
+                        sweep,
+                        lp_total_degree,
+                    };
+                    let work = prog.process_page(&ctx, &mut scratch);
+                    edges_traversed += work.active_edges;
+                    stats.active_vertices += work.active_vertices;
+                    stats.active_edges += work.active_edges;
+                    any_update |= work.updated;
+                    // Drain the kernel's local nextPIDSet; the BTreeSet
+                    // deduplicates globally, so the scratch buffer is
+                    // reused allocation-free across pages.
+                    next.extend(scratch.next_pids.drain(..));
+
+                    // Algorithm 1 checks cachedPIDMap BEFORE touching
+                    // storage (line 16 precedes lines 18-26): a page every
+                    // target GPU already caches must not generate SSD
+                    // traffic or MMBuf churn.
+                    let targets = cfg.strategy.targets(pid, n);
+                    let fanout = targets.len() as u64;
+                    let any_miss = targets
+                        .clone()
+                        .any(|gi| !gpus[gi].cache.contains(pid));
+                    let data_ready = match &mut array {
+                        _ if !any_miss => sweep_start,
+                        None => sweep_start,
+                        Some(arr) => {
+                            if mmbuf.access(pid) {
+                                sweep_start
+                            } else {
+                                arr.fetch(pid, page_size, sweep_start).end
+                            }
+                        }
+                    };
+                    let cost = KernelCost {
+                        class: prog.class(),
+                        lane_slots: work.lane_slots,
+                        atomic_ops: work.atomic_ops / fanout.max(1),
+                    };
+                    for gi in targets {
+                        stats.pages += 1;
+                        let g = &mut gpus[gi];
+                        if g.cache.access(pid) {
+                            stats.cache_hits += 1;
+                            let stream = g.next_stream();
+                            g.timer.stream_kernel(stream, cost, sweep_start, "K(cached)");
+                        } else {
+                            let stream = g.next_stream();
+                            let c = g.timer.stream_h2d(stream, page_size, data_ready, "SP/LP");
+                            let mut ready = c.end;
+                            if ra_bpv > 0 {
+                                let ra_bytes = match view.kind() {
+                                    PageKind::Small => view.count() as u64 * ra_bpv,
+                                    // "RAj for LP is a subvector of a single
+                                    // attribute value" (Sec. 3.4).
+                                    PageKind::Large => ra_bpv,
+                                };
+                                ready = g.timer.stream_h2d(stream, ra_bytes, ready, "RA").end;
+                            }
+                            g.timer.stream_kernel(stream, cost, ready, "K");
+                        }
+                    }
+                }
+            }
+
+            // Barrier: all GPUs finish the sweep (Alg. 1 line 27).
+            for g in &gpus {
+                t = t.max(g.timer.sync());
+            }
+            stats.elapsed = t - sweep_start;
+            per_sweep.push(stats);
+
+            // Copy nextPIDSet / cachedPIDMap back (lines 29-30): one small
+            // bitmap per GPU.
+            if !sweep_mode {
+                let bitmap_bytes = store.num_pages().div_ceil(8).max(1);
+                let start = t;
+                for g in &mut gpus {
+                    let s = g.timer.chunk_d2h(2 * bitmap_bytes, start);
+                    t = t.max(s.end);
+                }
+            }
+
+            // Per-sweep WA synchronisation for sweep programs (Fig. 2
+            // step 3; Eq. (1)'s second |WA|/c1 and tsync terms).
+            if sweep_mode {
+                t = self.sync_wa(&mut gpus, wa_total, t);
+            }
+
+            let frontier_empty = next.is_empty();
+            match prog.end_sweep(sweep, frontier_empty, any_update) {
+                SweepControl::Done => break,
+                SweepControl::Continue => {
+                    if sweep_mode {
+                        // The full-page lists are invariant: keep them.
+                    } else {
+                        let (s, l) = split_and_expand(store, next);
+                        sp_pids = s;
+                        lp_pids = l;
+                    }
+                }
+                SweepControl::ContinueWith(pids) => {
+                    let (s, l) = split_and_expand(store, pids.into_iter().collect());
+                    sp_pids = s;
+                    lp_pids = l;
+                }
+            }
+            sweep += 1;
+        }
+
+        // Final WA write-back for traversal programs (the cost models note
+        // this is negligible, but it is part of the data flow).
+        if !sweep_mode {
+            t = self.sync_wa(&mut gpus, wa_total, t);
+        }
+
+        // --- Report.
+        let mut per_gpu = Vec::with_capacity(n);
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        let mut timeline = None;
+        for g in &mut gpus {
+            hits += g.cache.hits();
+            misses += g.cache.misses();
+            per_gpu.push(GpuRunStats {
+                bytes_h2d: g.timer.bytes_h2d(),
+                bytes_d2h: g.timer.bytes_d2h(),
+                kernel_time: g.timer.kernel_time(),
+                transfer_time: g.timer.transfer_time(),
+                kernels: g.timer.kernels(),
+                cache_hits: g.cache.hits(),
+                cache_misses: g.cache.misses(),
+                cache_capacity_pages: g.cache.capacity(),
+            });
+            if timeline.is_none() {
+                timeline = g.timer.timeline().cloned();
+            }
+        }
+        Ok(RunReport {
+            algorithm: prog.name().to_string(),
+            engine: "GTS".to_string(),
+            elapsed: t - SimTime::ZERO,
+            sweeps: sweep + 1,
+            // Every page touch goes through the per-GPU caches, so misses
+            // ARE the streamed pages and hits the cache serves — no
+            // parallel hand-maintained counters to drift.
+            pages_streamed: misses,
+            cache_hits: hits,
+            cache_hit_rate: if hits + misses == 0 {
+                0.0
+            } else {
+                hits as f64 / (hits + misses) as f64
+            },
+            edges_traversed,
+            per_gpu,
+            per_sweep,
+            timeline,
+        })
+    }
+
+    /// WA write-back: Strategy-P merges replicas peer-to-peer onto the
+    /// master GPU and copies once (Fig. 5a steps 3-4); the naive variant
+    /// and Strategy-S perform N direct copies, which contend on the host
+    /// side and therefore chain (Sec. 4.2).
+    fn sync_wa(&self, gpus: &mut [GpuState], wa_total: u64, t: SimTime) -> SimTime {
+        let n = gpus.len();
+        let per_gpu = self.cfg.strategy.wa_bytes_per_gpu(wa_total, n);
+        if n == 1 {
+            return gpus[0].timer.chunk_d2h(per_gpu, t).end.max(t);
+        }
+        match (self.cfg.strategy, self.cfg.p2p_sync) {
+            (Strategy::Performance, true) => {
+                // Peer-to-peer merge: every non-master GPU pushes its WA to
+                // the master in parallel on its own P2P engine...
+                let mut merged = t;
+                for g in gpus.iter_mut().skip(1) {
+                    merged = merged.max(g.timer.p2p_copy(per_gpu, t).end);
+                }
+                // ...then one chunk copy to host.
+                gpus[0].timer.chunk_d2h(per_gpu, merged).end
+            }
+            _ => {
+                // Naive: N serialised GPU→host copies (host-side WA buffer
+                // is shared, so the writes contend).
+                let mut end = t;
+                for g in gpus.iter_mut() {
+                    end = g.timer.chunk_d2h(per_gpu, end).end;
+                }
+                end
+            }
+        }
+    }
+}
+
+/// Copy `bytes` to every GPU in parallel (each has its own PCI-E link)
+/// starting at `t`; returns when the slowest copy lands.
+fn broadcast_wa(gpus: &mut [GpuState], bytes: u64, t: SimTime) -> SimTime {
+    let mut end = t;
+    for g in gpus.iter_mut() {
+        end = end.max(g.timer.chunk_h2d(bytes, t).end);
+    }
+    end
+}
+
+/// Total adjacency length of every Large-Page vertex, keyed by vertex ID.
+fn lp_total_degrees(store: &GraphStore) -> HashMap<u64, u64> {
+    let mut map: HashMap<u64, u64> = HashMap::new();
+    for &pid in store.large_pids() {
+        let v = store.view(pid);
+        *map.entry(v.lp_vid()).or_insert(0) += v.count() as u64;
+    }
+    map
+}
+
+/// Expand a marked page set into (SP pids, LP pids), widening each
+/// Large-Page reference to the vertex's whole chunk run: a record ID always
+/// points at the *first* chunk, but a traversal must stream them all.
+fn split_and_expand(store: &GraphStore, marked: BTreeSet<u64>) -> (Vec<u64>, Vec<u64>) {
+    let mut sps = Vec::new();
+    let mut lps = Vec::new();
+    for pid in marked {
+        match store.view(pid).kind() {
+            PageKind::Small => sps.push(pid),
+            PageKind::Large => {
+                let range = store
+                    .rvt()
+                    .entry(pid)
+                    .lp_range
+                    .expect("large page has an LP range");
+                for p in pid..=pid + range as u64 {
+                    lps.push(p);
+                }
+            }
+        }
+    }
+    // Several chunks of one run may have been marked independently (each
+    // record ID points at the first chunk, but ContinueWith lists replay
+    // every chunk); their expansions overlap, and a page must be processed
+    // at most once per sweep — kernels like BC's backward accumulation are
+    // not idempotent.
+    lps.sort_unstable();
+    lps.dedup();
+    (sps, lps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::{Bfs, PageRank};
+    use gts_graph::generate::rmat;
+    use gts_graph::{reference, Csr};
+    use gts_storage::{build_graph_store, PageFormatConfig, PhysicalIdConfig};
+
+    fn small_store() -> GraphStore {
+        build_graph_store(
+            &rmat(9),
+            PageFormatConfig::new(PhysicalIdConfig::ORIGINAL, 1024),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn bfs_matches_reference() {
+        let g = rmat(9);
+        let store =
+            build_graph_store(&g, PageFormatConfig::new(PhysicalIdConfig::ORIGINAL, 1024)).unwrap();
+        let engine = Gts::new(GtsConfig::default());
+        let mut bfs = Bfs::new(store.num_vertices(), 0);
+        engine.run(&store, &mut bfs).unwrap();
+        let want = reference::bfs(&Csr::from_edge_list(&g), 0);
+        assert_eq!(bfs.levels_u32(), want);
+    }
+
+    #[test]
+    fn pagerank_matches_reference() {
+        let g = rmat(8);
+        let store =
+            build_graph_store(&g, PageFormatConfig::new(PhysicalIdConfig::ORIGINAL, 1024)).unwrap();
+        let engine = Gts::new(GtsConfig::default());
+        let mut pr = PageRank::new(store.num_vertices(), 5);
+        engine.run(&store, &mut pr).unwrap();
+        let want = reference::pagerank(&Csr::from_edge_list(&g), 0.85, 5);
+        for (got, want) in pr.ranks().iter().zip(&want) {
+            assert!(
+                (*got as f64 - want).abs() < 1e-4,
+                "rank mismatch {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_gpu_strategies_agree_functionally() {
+        let g = rmat(9);
+        let store =
+            build_graph_store(&g, PageFormatConfig::new(PhysicalIdConfig::ORIGINAL, 1024)).unwrap();
+        let mut results = Vec::new();
+        for strategy in [Strategy::Performance, Strategy::Scalability] {
+            for gpus in [1usize, 2, 4] {
+                let cfg = GtsConfig {
+                    num_gpus: gpus,
+                    strategy,
+                    ..GtsConfig::default()
+                };
+                let mut bfs = Bfs::new(store.num_vertices(), 0);
+                Gts::new(cfg).run(&store, &mut bfs).unwrap();
+                results.push(bfs.levels().to_vec());
+            }
+        }
+        for r in &results[1..] {
+            assert_eq!(r, &results[0]);
+        }
+    }
+
+    #[test]
+    fn strategy_p_speeds_up_with_more_gpus() {
+        let store = small_store();
+        let elapsed = |gpus: usize| {
+            let cfg = GtsConfig {
+                num_gpus: gpus,
+                ..GtsConfig::default()
+            };
+            let mut pr = PageRank::new(store.num_vertices(), 3);
+            Gts::new(cfg).run(&store, &mut pr).unwrap().elapsed
+        };
+        let one = elapsed(1);
+        let two = elapsed(2);
+        assert!(two < one, "2 GPUs {two:?} must beat 1 GPU {one:?}");
+    }
+
+    #[test]
+    fn oom_when_wa_exceeds_device_memory() {
+        let store = small_store();
+        let cfg = GtsConfig {
+            gpu: GpuConfig::titan_x().with_device_memory(1024),
+            ..GtsConfig::default()
+        };
+        let mut pr = PageRank::new(store.num_vertices(), 1);
+        match Gts::new(cfg).run(&store, &mut pr) {
+            Err(EngineError::DeviceOom(oom)) => assert_eq!(oom.label, "WABuf"),
+            other => panic!("expected OOM, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn strategy_s_fits_where_p_cannot() {
+        // WA too big for one GPU but fine when split over four. Device
+        // capacity is set to the exact buffer footprint plus *half* the WA:
+        // Strategy-P (full WA replica) must OOM, Strategy-S (WA/4) must fit.
+        let store = build_graph_store(
+            &rmat(13),
+            PageFormatConfig::new(PhysicalIdConfig::ORIGINAL, 1024),
+        )
+        .unwrap();
+        let v = store.num_vertices();
+        let wa = crate::attrs::AlgorithmKind::PageRank.wa_bytes(v);
+        let page = store.cfg().page_size as u64;
+        let streams = 16u64;
+        let max_sp_vertices = page / 14; // VID(6) + OFF(4) + ADJLIST_SZ(4)
+        let buffers =
+            streams * page * 2 + streams * max_sp_vertices * 4 + store.rvt().memory_bytes();
+        let capacity = buffers + wa / 2;
+        let mk = |strategy| GtsConfig {
+            num_gpus: 4,
+            strategy,
+            gpu: GpuConfig::titan_x().with_device_memory(capacity),
+            ..GtsConfig::default()
+        };
+        let mut pr = PageRank::new(v, 1);
+        assert!(matches!(
+            Gts::new(mk(Strategy::Performance)).run(&store, &mut pr),
+            Err(EngineError::DeviceOom(_))
+        ));
+        let mut pr = PageRank::new(v, 1);
+        Gts::new(mk(Strategy::Scalability))
+            .run(&store, &mut pr)
+            .expect("Strategy-S must fit");
+    }
+
+    #[test]
+    fn ssd_streaming_is_slower_than_in_memory() {
+        let store = small_store();
+        let run = |storage| {
+            let cfg = GtsConfig {
+                storage,
+                // No cache: force every page over the full path.
+                cache_limit_bytes: Some(0),
+                mmbuf_percent: 0,
+                ..GtsConfig::default()
+            };
+            let mut pr = PageRank::new(store.num_vertices(), 2);
+            Gts::new(cfg).run(&store, &mut pr).unwrap().elapsed
+        };
+        let mem = run(StorageLocation::InMemory);
+        let ssd = run(StorageLocation::Ssds(1));
+        let hdd = run(StorageLocation::Hdds(1));
+        assert!(ssd > mem, "SSD {ssd:?} slower than memory {mem:?}");
+        assert!(hdd > ssd, "HDD {hdd:?} slower than SSD {ssd:?}");
+    }
+
+    #[test]
+    fn cache_reduces_streamed_pages_for_bfs() {
+        let store = small_store();
+        let run = |cache_bytes| {
+            let cfg = GtsConfig {
+                cache_limit_bytes: Some(cache_bytes),
+                ..GtsConfig::default()
+            };
+            let mut bfs = Bfs::new(store.num_vertices(), 0);
+            Gts::new(cfg).run(&store, &mut bfs).unwrap()
+        };
+        let cold = run(0);
+        let hot = run(u64::MAX / 2);
+        assert_eq!(cold.cache_hits, 0);
+        assert!(hot.cache_hits > 0, "repeat page visits must hit the cache");
+        assert!(hot.pages_streamed < cold.pages_streamed);
+        assert!(hot.elapsed <= cold.elapsed);
+    }
+
+    #[test]
+    fn more_streams_help_pagerank() {
+        let store = small_store();
+        let run = |streams| {
+            let cfg = GtsConfig {
+                num_streams: streams,
+                cache_limit_bytes: Some(0),
+                ..GtsConfig::default()
+            };
+            let mut pr = PageRank::new(store.num_vertices(), 3);
+            Gts::new(cfg).run(&store, &mut pr).unwrap().elapsed
+        };
+        let one = run(1);
+        let sixteen = run(16);
+        assert!(sixteen < one, "16 streams {sixteen:?} vs 1 {one:?}");
+    }
+
+    #[test]
+    fn timeline_recorded_when_requested() {
+        let store = small_store();
+        let cfg = GtsConfig {
+            record_timeline: true,
+            ..GtsConfig::default()
+        };
+        let mut bfs = Bfs::new(store.num_vertices(), 0);
+        let report = Gts::new(cfg).run(&store, &mut bfs).unwrap();
+        let tl = report.timeline.expect("timeline requested");
+        assert!(!tl.is_empty());
+    }
+
+    #[test]
+    fn stream_count_is_clamped_to_kernel_concurrency() {
+        let store = small_store();
+        let cfg = GtsConfig {
+            num_streams: 1000, // far beyond the CUDA limit of 32
+            ..GtsConfig::default()
+        };
+        let mut bfs = Bfs::new(store.num_vertices(), 0);
+        Gts::new(cfg).run(&store, &mut bfs).expect("clamped, not rejected");
+    }
+
+    #[test]
+    fn empty_graph_pagerank_terminates() {
+        let store = build_graph_store(
+            &gts_graph::EdgeList::new(4, vec![]),
+            PageFormatConfig::new(PhysicalIdConfig::ORIGINAL, 1024),
+        )
+        .unwrap();
+        let mut pr = PageRank::new(store.num_vertices(), 3);
+        let r = Gts::new(GtsConfig::default()).run(&store, &mut pr).unwrap();
+        assert_eq!(r.sweeps, 3);
+        assert_eq!(r.edges_traversed, 0);
+        // Every vertex keeps exactly the teleport share.
+        for &p in pr.ranks() {
+            assert!((p - 0.15 / 4.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cache_limit_beyond_free_memory_is_clamped() {
+        let store = small_store();
+        let cfg = GtsConfig {
+            cache_limit_bytes: Some(u64::MAX),
+            ..GtsConfig::default()
+        };
+        let mut bfs = Bfs::new(store.num_vertices(), 0);
+        let r = Gts::new(cfg).run(&store, &mut bfs).unwrap();
+        let pages = r.per_gpu[0].cache_capacity_pages as u64;
+        assert!(pages * store.cfg().page_size as u64 <= GpuConfig::titan_x().device_memory);
+    }
+
+    #[test]
+    fn more_gpus_than_pages_still_works() {
+        let store = build_graph_store(
+            &rmat(6),
+            PageFormatConfig::new(PhysicalIdConfig::ORIGINAL, 65536),
+        )
+        .unwrap();
+        assert!(store.num_pages() <= 2);
+        let cfg = GtsConfig {
+            num_gpus: 8,
+            ..GtsConfig::default()
+        };
+        let mut bfs = Bfs::new(store.num_vertices(), 0);
+        Gts::new(cfg).run(&store, &mut bfs).unwrap();
+        let want = reference::bfs(&Csr::from_edge_list(&rmat(6)), 0);
+        assert_eq!(bfs.levels_u32(), want);
+    }
+
+    #[test]
+    fn pagerank_ra_subvectors_are_streamed() {
+        // PageRank streams prevPR (4 B/vertex) with each page; BFS streams
+        // nothing extra. The byte accounting must show the difference.
+        let store = small_store();
+        let cfg = GtsConfig {
+            cache_limit_bytes: Some(0),
+            ..GtsConfig::default()
+        };
+        let mut bfs = Bfs::new(store.num_vertices(), 0);
+        let bfs_run = Gts::new(cfg.clone()).run(&store, &mut bfs).unwrap();
+        let mut pr = PageRank::new(store.num_vertices(), 1);
+        let pr_run = Gts::new(cfg).run(&store, &mut pr).unwrap();
+        let page = store.cfg().page_size as u64;
+        // One PR sweep moves topology + RA + 2x WA; pure topology would be
+        // pages x page_size.
+        let pr_topo = store.num_pages() * page;
+        assert!(
+            pr_run.total_bytes_h2d()
+                >= pr_topo + 4 * store.num_vertices() + 4 * store.num_vertices(),
+            "PR must move RA and WA on top of topology"
+        );
+        assert!(bfs_run.total_bytes_h2d() > 0);
+    }
+
+    #[test]
+    fn per_sweep_stats_sum_to_totals() {
+        let store = small_store();
+        let engine = Gts::new(GtsConfig::default());
+        let mut bfs = Bfs::new(store.num_vertices(), 0);
+        let r = engine.run(&store, &mut bfs).unwrap();
+        assert_eq!(r.per_sweep.len(), r.sweeps as usize);
+        let edges: u64 = r.per_sweep.iter().map(|s| s.active_edges).sum();
+        assert_eq!(edges, r.edges_traversed);
+        let hits: u64 = r.per_sweep.iter().map(|s| s.cache_hits).sum();
+        assert_eq!(hits, r.cache_hits);
+        let pages: u64 = r.per_sweep.iter().map(|s| s.pages).sum();
+        assert_eq!(pages, r.pages_streamed + r.cache_hits);
+        // Frontier: sweep 0 holds only the source (counted once per LP
+        // chunk if it is a high-degree vertex).
+        assert!(r.per_sweep[0].active_vertices >= 1);
+        assert!(r.per_sweep[0].active_vertices <= store.num_pages());
+    }
+
+    #[test]
+    fn report_statistics_are_consistent() {
+        let store = small_store();
+        let engine = Gts::new(GtsConfig::default());
+        let mut pr = PageRank::new(store.num_vertices(), 2);
+        let r = engine.run(&store, &mut pr).unwrap();
+        assert_eq!(r.algorithm, "PageRank");
+        assert_eq!(r.sweeps, 2);
+        // Two sweeps over every edge.
+        assert_eq!(r.edges_traversed, 2 * store.num_edges());
+        assert!(r.total_bytes_h2d() > 0);
+        assert!(r.transfer_to_kernel_ratio() > 0.0);
+    }
+}

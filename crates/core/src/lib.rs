@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! # gts-core — the GTS engine
+//!
+//! The paper's contribution: processing graphs far larger than GPU device
+//! memory by **storing only updatable attribute data (WA) on the GPU and
+//! streaming topology data to it** over PCI-E, page by page, through
+//! asynchronous streams (Sections 3–6 of the paper).
+//!
+//! * [`engine::Gts`] implements Algorithm 1: the `nextPIDSet` /
+//!   `cachedPIDMap` / `MMBuf` machinery, SP-then-LP phase separation,
+//!   multi-stream copy/kernel pipelining, and the GPU-side page cache.
+//! * [`programs`] holds the user-level vertex programs with the GPU kernels
+//!   of Appendix B (BFS, PageRank) and Appendix D (SSSP, CC, BC), written
+//!   against the warp-cost model of `gts-gpu`.
+//! * [`strategy`] implements Strategy-P (partition topology, replicate WA,
+//!   peer-to-peer merge) and Strategy-S (partition WA, broadcast topology)
+//!   from Section 4.
+//! * [`cost`] is Section 5's analytic cost models, Eq. (1) and Eq. (2), as
+//!   executable functions compared against the simulator in the benches.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use gts_core::engine::{Gts, GtsConfig};
+//! use gts_core::programs::Bfs;
+//! use gts_graph::generate::rmat;
+//! use gts_storage::{build_graph_store, PageFormatConfig};
+//!
+//! let graph = rmat(10);
+//! let store = build_graph_store(&graph, PageFormatConfig::small_default()).unwrap();
+//! let mut engine = Gts::new(GtsConfig::default());
+//! let mut bfs = Bfs::new(store.num_vertices(), 0);
+//! let report = engine.run(&store, &mut bfs).unwrap();
+//! assert!(report.elapsed.as_nanos() > 0);
+//! let levels = bfs.levels();
+//! assert_eq!(levels[0], 0);
+//! ```
+
+pub mod attrs;
+pub mod cost;
+pub mod engine;
+pub mod programs;
+pub mod queries;
+pub mod report;
+pub mod strategy;
+
+pub use engine::{EngineError, Gts, GtsConfig, StorageLocation};
+pub use report::RunReport;
+pub use strategy::Strategy;

@@ -1,0 +1,121 @@
+//! Breadth-first search — the paper's Appendix B.1 kernels
+//! (`K_BFS_SP` / `K_BFS_LP`), expressed functionally.
+//!
+//! WA is the per-vertex traversal level `LV` (2 bytes, matching Table 4's
+//! 0.5 GB for 256M vertices). A vertex at the current level expands its
+//! adjacency list; undiscovered neighbours are claimed at `level + 1` and
+//! their *pages* are marked in the local `nextPIDSet` so only pages
+//! containing frontier vertices are streamed next level (Sec. 3.3).
+
+use super::{visit_page, ExecMode, GtsProgram, KernelScratch, PageCtx, PageWork, SweepControl};
+use crate::attrs::AlgorithmKind;
+use gts_gpu::timer::KernelClass;
+
+
+/// Level value for undiscovered vertices (the kernel's `NULL`).
+pub const LV_NULL: u16 = u16::MAX;
+
+/// BFS vertex program.
+pub struct Bfs {
+    lv: Vec<u16>,
+    source: u64,
+}
+
+impl Bfs {
+    /// BFS over `num_vertices` from `source`.
+    ///
+    /// # Panics
+    /// Panics if `source` is out of range.
+    pub fn new(num_vertices: u64, source: u64) -> Self {
+        assert!(source < num_vertices, "source {source} out of range");
+        let mut lv = vec![LV_NULL; num_vertices as usize];
+        lv[source as usize] = 0;
+        Bfs { lv, source }
+    }
+
+    /// Final per-vertex levels ([`LV_NULL`] = unreached).
+    pub fn levels(&self) -> &[u16] {
+        &self.lv
+    }
+
+    /// Levels widened to the reference format (`u32::MAX` = unreached).
+    pub fn levels_u32(&self) -> Vec<u32> {
+        self.lv
+            .iter()
+            .map(|&l| if l == LV_NULL { u32::MAX } else { l as u32 })
+            .collect()
+    }
+
+    /// Expand one vertex's adjacency list (the `expand_warp` device routine
+    /// of Algorithm 2).
+    fn expand(
+        &mut self,
+        ctx: &PageCtx<'_>,
+        scratch: &mut KernelScratch,
+        work: &mut PageWork,
+        rids: &mut dyn Iterator<Item = gts_storage::RecordId>,
+    ) {
+        let next_level = ctx.sweep as u16 + 1;
+        for rid in rids {
+            work.active_edges += 1;
+            let adj_vid = ctx.rvt.translate(rid) as usize;
+            if self.lv[adj_vid] == LV_NULL {
+                // atomic claim on hardware; sequential here, same result.
+                self.lv[adj_vid] = next_level;
+                work.atomic_ops += 1;
+                work.updated = true;
+                scratch.next_pids.push(rid.pid);
+            }
+        }
+    }
+}
+
+impl GtsProgram for Bfs {
+    fn kind(&self) -> AlgorithmKind {
+        AlgorithmKind::Bfs
+    }
+
+    fn class(&self) -> KernelClass {
+        KernelClass::Traversal
+    }
+
+    fn mode(&self) -> ExecMode {
+        ExecMode::Traversal
+    }
+
+    fn start_vertex(&self) -> Option<u64> {
+        Some(self.source)
+    }
+
+    fn process_page(&mut self, ctx: &PageCtx<'_>, scratch: &mut KernelScratch) -> PageWork {
+        scratch.reset();
+        let mut work = PageWork::default();
+        // LV is 2 bytes (Table 4); a level that would collide with the
+        // LV_NULL sentinel means the traversal is deeper than the format
+        // supports — fail loudly rather than loop forever re-discovering.
+        assert!(
+            ctx.sweep + 1 < LV_NULL as u32,
+            "BFS depth exceeds the 2-byte LV field"
+        );
+        let cur = ctx.sweep as u16;
+        // K_BFS_SP / K_BFS_LP: only frontier vertices expand.
+        visit_page(ctx.view, |vid, len, _kind, rids| {
+            if self.lv[vid as usize] != cur {
+                return;
+            }
+            scratch.degrees.push(len);
+            work.active_vertices += 1;
+            self.expand(ctx, scratch, &mut work, rids);
+        });
+        work.lane_slots = ctx.technique.lane_slots(&scratch.degrees);
+        work
+    }
+
+    fn end_sweep(&mut self, _sweep: u32, frontier_empty: bool, _any_update: bool) -> SweepControl {
+        if frontier_empty {
+            SweepControl::Done
+        } else {
+            SweepControl::Continue
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Degree distribution — the simplest of the paper's PageRank-like
+//! (whole-graph linear scan) algorithms (Sec. 3.3 lists it alongside
+//! PageRank, RWR, radius estimation and connected components).
+//!
+//! One sweep over the topology; each kernel records every scanned
+//! vertex's out-degree into the WA degree vector. Useful both as a
+//! user-facing analytic and as the minimal example of writing a
+//! [`GtsProgram`].
+
+use super::{visit_page, ExecMode, GtsProgram, KernelScratch, PageCtx, PageWork, SweepControl};
+use crate::attrs::AlgorithmKind;
+use gts_gpu::timer::KernelClass;
+use gts_storage::PageKind;
+
+/// Degree-distribution vertex program (single sweep).
+pub struct Degrees {
+    degree: Vec<u32>,
+}
+
+impl Degrees {
+    /// Prepare for a graph of `num_vertices`.
+    pub fn new(num_vertices: u64) -> Self {
+        Degrees {
+            degree: vec![0; num_vertices as usize],
+        }
+    }
+
+    /// Per-vertex out-degrees after the sweep.
+    pub fn degrees(&self) -> &[u32] {
+        &self.degree
+    }
+
+    /// Power-of-two histogram of the degrees (bucket 0 holds 0 and 1).
+    pub fn histogram(&self) -> Vec<u64> {
+        let mut hist = vec![0u64; 33];
+        for &d in &self.degree {
+            let bucket = if d <= 1 {
+                0
+            } else {
+                63 - (d as u64).leading_zeros() as usize
+            };
+            hist[bucket.min(32)] += 1;
+        }
+        while hist.len() > 1 && *hist.last().unwrap() == 0 {
+            hist.pop();
+        }
+        hist
+    }
+}
+
+impl GtsProgram for Degrees {
+    fn kind(&self) -> AlgorithmKind {
+        // Same WA footprint class as SSSP: one 4-byte vector, no RA.
+        AlgorithmKind::Sssp
+    }
+
+    fn name(&self) -> &'static str {
+        "DegreeDistribution"
+    }
+
+    fn class(&self) -> KernelClass {
+        KernelClass::Traversal
+    }
+
+    fn mode(&self) -> ExecMode {
+        ExecMode::Sweep
+    }
+
+    fn start_vertex(&self) -> Option<u64> {
+        None
+    }
+
+    fn process_page(&mut self, ctx: &PageCtx<'_>, scratch: &mut KernelScratch) -> PageWork {
+        scratch.reset();
+        let mut work = PageWork::default();
+        visit_page(ctx.view, |vid, len, kind, _rids| {
+            match kind {
+                PageKind::Small => self.degree[vid as usize] = len,
+                // Chunks accumulate into the vertex's total degree.
+                PageKind::Large => self.degree[vid as usize] += len,
+            }
+            work.active_vertices += 1;
+            work.atomic_ops += 1;
+        });
+        // The kernel only reads slot headers: one lane-slot per vertex.
+        work.lane_slots = work.active_vertices;
+        work.updated = true;
+        work
+    }
+
+    fn end_sweep(&mut self, _sweep: u32, _frontier_empty: bool, _any_update: bool) -> SweepControl {
+        SweepControl::Done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Gts, GtsConfig};
+    use gts_graph::generate::rmat;
+    use gts_graph::Csr;
+    use gts_storage::{build_graph_store, PageFormatConfig, PhysicalIdConfig};
+
+    #[test]
+    fn degrees_match_csr() {
+        let graph = rmat(9);
+        let store = build_graph_store(
+            &graph,
+            PageFormatConfig::new(PhysicalIdConfig::ORIGINAL, 512),
+        )
+        .unwrap();
+        let csr = Csr::from_edge_list(&graph);
+        let mut deg = Degrees::new(store.num_vertices());
+        let report = Gts::new(GtsConfig::default()).run(&store, &mut deg).unwrap();
+        assert_eq!(report.sweeps, 1, "single linear scan");
+        for v in 0..csr.num_vertices() {
+            assert_eq!(deg.degrees()[v as usize] as u64, csr.out_degree(v));
+        }
+    }
+
+    #[test]
+    fn histogram_matches_stats_module() {
+        let graph = rmat(10);
+        let store = build_graph_store(
+            &graph,
+            PageFormatConfig::new(PhysicalIdConfig::ORIGINAL, 1024),
+        )
+        .unwrap();
+        let csr = Csr::from_edge_list(&graph);
+        let mut deg = Degrees::new(store.num_vertices());
+        Gts::new(GtsConfig::default()).run(&store, &mut deg).unwrap();
+        assert_eq!(deg.histogram(), gts_graph::stats::degree_histogram(&csr));
+    }
+
+    #[test]
+    fn lp_chunks_sum_to_full_degree() {
+        // A hub too big for one page: its degree must sum across chunks.
+        let edges: Vec<(u32, u32)> = (0..500).map(|i| (0, 1 + i % 500)).collect();
+        let graph = gts_graph::EdgeList::new(501, edges);
+        let store = build_graph_store(
+            &graph,
+            PageFormatConfig::new(PhysicalIdConfig::ORIGINAL, 256),
+        )
+        .unwrap();
+        assert!(store.large_pids().len() > 1, "hub spans several chunks");
+        let mut deg = Degrees::new(store.num_vertices());
+        Gts::new(GtsConfig::default()).run(&store, &mut deg).unwrap();
+        assert_eq!(deg.degrees()[0], 500);
+    }
+}

@@ -1,0 +1,228 @@
+//! PageRank — the paper's Appendix B.2 kernels (`K_PR_SP` / `K_PR_LP`).
+//!
+//! The read/write attribute vector (WA, device-resident) is `nextPR`; the
+//! read-only vector (RA, streamed page-by-page) is `prevPR` (Sec. 3.1).
+//! Each kernel scatters `df * prevPR[v] / ADJLIST_SZ` to every
+//! out-neighbour with an `atomicAdd`; dangling vertices scatter nothing,
+//! exactly like the paper's kernel (so mass leaks — matching
+//! `gts_graph::reference::pagerank`).
+
+use super::{visit_page, ExecMode, GtsProgram, KernelScratch, PageCtx, PageWork, SweepControl};
+use crate::attrs::AlgorithmKind;
+use gts_gpu::timer::KernelClass;
+use gts_storage::PageKind;
+
+/// When a PageRank run stops.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Termination {
+    /// After exactly this many sweeps (the paper's experiments: ten).
+    Fixed(u32),
+    /// When the L1 change between iterations drops below `epsilon`, or at
+    /// `max` sweeps, whichever comes first.
+    Converged { epsilon: f32, max: u32 },
+}
+
+/// PageRank vertex program.
+pub struct PageRank {
+    /// RA: previous iteration's ranks, streamed alongside pages.
+    prev: Vec<f32>,
+    /// WA: next iteration's ranks, resident in device memory.
+    next: Vec<f32>,
+    df: f32,
+    termination: Termination,
+    converged_at: Option<u32>,
+}
+
+impl PageRank {
+    /// The paper's damping factor.
+    pub const DEFAULT_DAMPING: f32 = 0.85;
+
+    /// PageRank over `num_vertices` for `iterations` sweeps with damping
+    /// [`Self::DEFAULT_DAMPING`].
+    pub fn new(num_vertices: u64, iterations: u32) -> Self {
+        Self::with_damping(num_vertices, iterations, Self::DEFAULT_DAMPING)
+    }
+
+    /// PageRank with an explicit damping factor.
+    pub fn with_damping(num_vertices: u64, iterations: u32, df: f32) -> Self {
+        Self::with_termination(num_vertices, df, Termination::Fixed(iterations))
+    }
+
+    /// PageRank that iterates until the L1 change between consecutive
+    /// iterations drops below `epsilon` (capped at `max_iterations`).
+    pub fn until_convergence(num_vertices: u64, epsilon: f32, max_iterations: u32) -> Self {
+        Self::with_termination(
+            num_vertices,
+            Self::DEFAULT_DAMPING,
+            Termination::Converged {
+                epsilon,
+                max: max_iterations,
+            },
+        )
+    }
+
+    fn with_termination(num_vertices: u64, df: f32, termination: Termination) -> Self {
+        if let Termination::Fixed(iterations) = termination {
+            // The engine always executes a sweep before asking the program
+            // whether to stop, so "zero iterations" cannot be honoured.
+            assert!(iterations >= 1, "PageRank needs at least one iteration");
+        }
+        let n = num_vertices as usize;
+        let base = (1.0 - df) / n as f32;
+        PageRank {
+            prev: vec![1.0 / n as f32; n],
+            next: vec![base; n],
+            df,
+            termination,
+            converged_at: None,
+        }
+    }
+
+    /// The sweep (1-based) at which convergence-mode termination fired,
+    /// if it did.
+    pub fn converged_at(&self) -> Option<u32> {
+        self.converged_at
+    }
+
+    /// The ranks after the last completed iteration.
+    pub fn ranks(&self) -> &[f32] {
+        &self.next
+    }
+
+    fn scatter(
+        &mut self,
+        ctx: &PageCtx<'_>,
+        work: &mut PageWork,
+        vid: u64,
+        total_degree: u64,
+        rids: &mut dyn Iterator<Item = gts_storage::RecordId>,
+    ) {
+        if total_degree == 0 {
+            return;
+        }
+        let share = self.df * self.prev[vid as usize] / total_degree as f32;
+        for rid in rids {
+            let adj_vid = ctx.rvt.translate(rid) as usize;
+            // atomicAdd on hardware (Algorithm 4 line 16); commutative, so
+            // sequential application is bit-stable and equivalent.
+            self.next[adj_vid] += share;
+            work.active_edges += 1;
+            work.atomic_ops += 1;
+        }
+        work.updated = true;
+    }
+}
+
+impl GtsProgram for PageRank {
+    fn kind(&self) -> AlgorithmKind {
+        AlgorithmKind::PageRank
+    }
+
+    fn class(&self) -> KernelClass {
+        KernelClass::Compute
+    }
+
+    fn mode(&self) -> ExecMode {
+        ExecMode::Sweep
+    }
+
+    fn start_vertex(&self) -> Option<u64> {
+        None
+    }
+
+    fn process_page(&mut self, ctx: &PageCtx<'_>, scratch: &mut KernelScratch) -> PageWork {
+        scratch.reset();
+        let mut work = PageWork::default();
+        visit_page(ctx.view, |vid, len, kind, rids| {
+            scratch.degrees.push(len);
+            work.active_vertices += 1;
+            // K_PR_LP divides by the vertex's total ADJLIST_SZ across all
+            // chunks, not this chunk's count (Algorithm 5 line 7).
+            let total_degree = match kind {
+                PageKind::Small => len as u64,
+                PageKind::Large => ctx.lp_total_degree,
+            };
+            self.scatter(ctx, &mut work, vid, total_degree, rids);
+        });
+        work.lane_slots = ctx.technique.lane_slots(&scratch.degrees);
+        work
+    }
+
+    fn end_sweep(&mut self, sweep: u32, _frontier_empty: bool, _any_update: bool) -> SweepControl {
+        let done = match self.termination {
+            Termination::Fixed(iterations) => sweep + 1 >= iterations,
+            Termination::Converged { epsilon, max } => {
+                let delta: f32 = self
+                    .next
+                    .iter()
+                    .zip(&self.prev)
+                    .map(|(a, b)| (a - b).abs())
+                    .sum();
+                if delta < epsilon {
+                    self.converged_at = Some(sweep + 1);
+                    true
+                } else {
+                    sweep + 1 >= max
+                }
+            }
+        };
+        if done {
+            return SweepControl::Done;
+        }
+        // nextPR becomes prevPR; nextPR re-initialised to the teleport base
+        // (the paper: "at the end of every iteration, nextPR should be
+        // initialized after being copied to prevPR").
+        std::mem::swap(&mut self.prev, &mut self.next);
+        let base = (1.0 - self.df) / self.next.len() as f32;
+        self.next.fill(base);
+        SweepControl::Continue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Gts, GtsConfig};
+    use gts_graph::generate::rmat;
+    use gts_storage::{build_graph_store, PageFormatConfig, PhysicalIdConfig};
+
+    #[test]
+    fn convergence_mode_stops_early_and_is_stable() {
+        let graph = rmat(9);
+        let store = build_graph_store(
+            &graph,
+            PageFormatConfig::new(PhysicalIdConfig::ORIGINAL, 1024),
+        )
+        .unwrap();
+        let mut pr = PageRank::until_convergence(store.num_vertices(), 1e-6, 200);
+        let report = Gts::new(GtsConfig::default()).run(&store, &mut pr).unwrap();
+        let at = pr.converged_at().expect("must converge well before 200");
+        assert_eq!(report.sweeps, at);
+        assert!(at < 100, "converged at {at}");
+        // Converged ranks change by < epsilon under one more fixed sweep.
+        let mut fixed = PageRank::new(store.num_vertices(), at + 1);
+        Gts::new(GtsConfig::default()).run(&store, &mut fixed).unwrap();
+        let delta: f32 = pr
+            .ranks()
+            .iter()
+            .zip(fixed.ranks())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(delta < 1e-5, "post-convergence drift {delta}");
+    }
+
+    #[test]
+    fn max_cap_bounds_convergence_mode() {
+        let graph = rmat(8);
+        let store = build_graph_store(
+            &graph,
+            PageFormatConfig::new(PhysicalIdConfig::ORIGINAL, 1024),
+        )
+        .unwrap();
+        let mut pr = PageRank::until_convergence(store.num_vertices(), 0.0, 3);
+        let report = Gts::new(GtsConfig::default()).run(&store, &mut pr).unwrap();
+        assert_eq!(report.sweeps, 3);
+        assert_eq!(pr.converged_at(), None);
+    }
+}
+

@@ -1,0 +1,122 @@
+//! Multi-GPU strategies (paper Section 4).
+//!
+//! * **Strategy-P** (performance): replicate WA on every GPU, partition the
+//!   topology stream across GPUs with the page hash `h(j) = j mod N`, and
+//!   merge the updated WA replicas through peer-to-peer copies. Near-linear
+//!   speedup, but WA must fit in a *single* GPU's memory.
+//! * **Strategy-S** (scalability): partition WA across GPUs (each owns
+//!   `1/N` of the attribute vector) and broadcast every topology page to
+//!   all GPUs. Capacity scales linearly with N; throughput does not.
+
+use serde::{Deserialize, Serialize};
+
+/// Which multi-GPU strategy the engine uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Strategy for performance (Sec. 4.1).
+    Performance,
+    /// Strategy for scalability (Sec. 4.2).
+    Scalability,
+}
+
+impl Strategy {
+    /// Short name used in experiment tables ("Strategy-P" / "Strategy-S").
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Performance => "Strategy-P",
+            Strategy::Scalability => "Strategy-S",
+        }
+    }
+
+    /// The GPUs that must receive page `pid` — the paper's `h(x)`: a single
+    /// hash bucket under Strategy-P, the full set {1..N} under Strategy-S.
+    pub fn targets(&self, pid: u64, num_gpus: usize) -> TargetIter {
+        match self {
+            Strategy::Performance => {
+                let g = (pid % num_gpus as u64) as usize;
+                TargetIter { next: g, end: g + 1 }
+            }
+            Strategy::Scalability => TargetIter {
+                next: 0,
+                end: num_gpus,
+            },
+        }
+    }
+
+    /// WA bytes each GPU must hold for a total WA of `wa_bytes`.
+    pub fn wa_bytes_per_gpu(&self, wa_bytes: u64, num_gpus: usize) -> u64 {
+        match self {
+            Strategy::Performance => wa_bytes,
+            Strategy::Scalability => wa_bytes.div_ceil(num_gpus as u64),
+        }
+    }
+}
+
+/// Iterator over target GPU indices (avoids allocating per page).
+#[derive(Debug, Clone)]
+pub struct TargetIter {
+    next: usize,
+    end: usize,
+}
+
+impl Iterator for TargetIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.next >= self.end {
+            return None;
+        }
+        let v = self.next;
+        self.next += 1;
+        Some(v)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.end - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for TargetIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn performance_hashes_mod_n() {
+        let s = Strategy::Performance;
+        assert_eq!(s.targets(0, 4).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(s.targets(7, 4).collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn scalability_broadcasts() {
+        let s = Strategy::Scalability;
+        assert_eq!(s.targets(7, 3).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn wa_split() {
+        assert_eq!(Strategy::Performance.wa_bytes_per_gpu(100, 4), 100);
+        assert_eq!(Strategy::Scalability.wa_bytes_per_gpu(100, 4), 25);
+        assert_eq!(Strategy::Scalability.wa_bytes_per_gpu(101, 4), 26);
+    }
+
+    #[test]
+    fn performance_balances_pages_evenly() {
+        let mut counts = [0u32; 3];
+        for pid in 0..300u64 {
+            for g in Strategy::Performance.targets(pid, 3) {
+                counts[g] += 1;
+            }
+        }
+        assert_eq!(counts, [100, 100, 100]);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Strategy::Performance.name(), "Strategy-P");
+        assert_eq!(Strategy::Scalability.name(), "Strategy-S");
+    }
+}

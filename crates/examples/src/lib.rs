@@ -1,0 +1,17 @@
+//! Cargo home for the workspace's runnable examples.
+//!
+//! A virtual workspace root cannot own targets, so this crate hosts the
+//! sources in the top-level `examples/` directory:
+//!
+//! * `quickstart` — graph → slotted pages → BFS + PageRank on one GPU;
+//! * `social_network_analytics` — PageRank / CC / SSSP on a Twitter-like
+//!   graph across two GPUs (Strategy-P);
+//! * `web_graph_traversal` — high-diameter BFS and betweenness centrality
+//!   with and without the topology cache;
+//! * `out_of_core_billion_edge` — the paper's headline scenario: a graph
+//!   beyond device memory streamed from SSDs under Strategy-S, next to the
+//!   OOM failures of the resident-memory alternatives;
+//! * `subgraph_queries` — page-level random-access queries (neighborhood,
+//!   egonet, induced subgraph, cross-edges).
+//!
+//! Run with `cargo run --release -p gts-examples --example <name>`.

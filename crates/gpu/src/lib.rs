@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+
+//! # gts-gpu — a functional + timed GPU simulator
+//!
+//! The paper runs on NVIDIA GTX TITAN X GPUs over PCI-E 3.0 x16 and builds
+//! its entire design around CUDA facts: device memory is small (12 GB),
+//! asynchronous streams let transfers overlap kernel execution, at most 32
+//! kernels run concurrently, chunk copies move at ~16 GB/s (`c1`) while
+//! streamed copies reach ~6 GB/s (`c2`), and peer-to-peer copies between
+//! GPUs beat round-trips through host memory.
+//!
+//! No GPU is available in this environment, so this crate substitutes a
+//! simulator with two layers:
+//!
+//! * **Functional**: kernels are plain Rust closures executed by the engine
+//!   over device-resident buffers guarded by [`memory::DeviceAlloc`]
+//!   capacity accounting — results are bit-accurate and allocation beyond
+//!   device capacity fails with [`memory::GpuOom`], exactly like
+//!   `cudaMalloc`.
+//! * **Timed**: every copy and kernel launch is scheduled on FIFO engines
+//!   ([`timer::GpuTimer`]): one H2D copy engine, one D2H copy engine, a
+//!   compute engine, and per-stream ordering chains — reproducing the
+//!   overlap/pipelining behaviour the paper's Figures 3, 4 and 10 measure.
+//!   Kernel durations come from the warp-level work model in [`warp`],
+//!   driven by the *actual* per-page work the functional layer observed.
+//!
+//! See `DESIGN.md` §1 for why this substitution preserves the behaviour the
+//! paper's experiments exercise.
+//!
+//! ```
+//! use gts_gpu::{DeviceMemory, GpuConfig, GpuTimer, PcieConfig};
+//! use gts_gpu::timer::{KernelClass, KernelCost};
+//! use gts_sim::SimTime;
+//!
+//! // Capacity-accounted allocation, like cudaMalloc.
+//! let mem = DeviceMemory::new(1 << 20);
+//! let wa = mem.alloc(512 * 1024, "WABuf").unwrap();
+//! assert!(mem.alloc(1 << 20, "too big").is_err());
+//! drop(wa);
+//!
+//! // Stream a copy and a kernel; the kernel starts after its data lands.
+//! let mut gpu = GpuTimer::new(GpuConfig::titan_x(), PcieConfig::gen3_x16(), 16);
+//! let copy = gpu.stream_h2d(0, 64 * 1024, SimTime::ZERO, "SP0");
+//! let cost = KernelCost { class: KernelClass::Traversal, lane_slots: 10_000, atomic_ops: 100 };
+//! let kernel = gpu.stream_kernel(0, cost, copy.end, "K_BFS");
+//! assert!(kernel.start >= copy.end);
+//! ```
+
+pub mod config;
+pub mod memory;
+pub mod timer;
+pub mod warp;
+
+pub use config::{GpuConfig, PcieConfig};
+pub use memory::{DeviceAlloc, DeviceMemory, GpuOom};
+pub use timer::{GpuTimer, KernelClass, KernelCost};
+pub use warp::MicroTechnique;

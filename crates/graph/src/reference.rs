@@ -1,0 +1,295 @@
+//! Sequential golden reference algorithms.
+//!
+//! Every engine in this workspace — GTS itself and all baselines — is
+//! validated against these implementations. They are written for obvious
+//! correctness, not speed, and they pin down the exact semantics the engines
+//! must match:
+//!
+//! * **BFS** — directed traversal over out-edges; level of the source is 0;
+//!   unreachable vertices keep [`UNREACHED`].
+//! * **PageRank** — the paper's Appendix B kernel: in one iteration,
+//!   `next[v] = (1-df)/N + df * Σ_{u→v} prev[u] / outdeg(u)`, *without*
+//!   dangling-mass redistribution (faithful to the kernel, which only
+//!   scatters along existing out-edges). Multi-edges contribute once per
+//!   occurrence, exactly as the kernel walks ADJLIST.
+//! * **SSSP** — directed shortest paths with the deterministic per-edge
+//!   weights from [`EdgeList::edge_weight`]; unreachable = [`INF_DIST`].
+//! * **CC** — *weakly* connected components (direction ignored), labelled by
+//!   the minimum vertex id in each component, which is the fixpoint the
+//!   min-label-propagation kernels converge to.
+//! * **BC** — Brandes' betweenness centrality on the unweighted directed
+//!   graph from a set of source vertices.
+
+use crate::csr::Csr;
+use crate::types::{EdgeList, VertexId};
+use std::collections::VecDeque;
+
+/// Level value for vertices BFS never reaches.
+pub const UNREACHED: u32 = u32::MAX;
+
+/// Distance value for vertices SSSP never reaches.
+pub const INF_DIST: u32 = u32::MAX;
+
+/// Breadth-first search from `source`; returns per-vertex levels.
+pub fn bfs(g: &Csr, source: VertexId) -> Vec<u32> {
+    let mut level = vec![UNREACHED; g.num_vertices() as usize];
+    level[source as usize] = 0;
+    let mut queue = VecDeque::from([source]);
+    while let Some(v) = queue.pop_front() {
+        let next = level[v as usize] + 1;
+        for &w in g.neighbors(v) {
+            if level[w as usize] == UNREACHED {
+                level[w as usize] = next;
+                queue.push_back(w);
+            }
+        }
+    }
+    level
+}
+
+/// One PageRank iteration with damping `df`, matching the paper's kernel.
+pub fn pagerank_step(g: &Csr, prev: &[f64], df: f64) -> Vec<f64> {
+    let n = g.num_vertices() as usize;
+    assert_eq!(prev.len(), n);
+    let mut next = vec![(1.0 - df) / n as f64; n];
+    for v in 0..g.num_vertices() {
+        let deg = g.out_degree(v);
+        if deg == 0 {
+            continue; // dangling: kernel scatters nothing (mass leaks).
+        }
+        let share = df * prev[v as usize] / deg as f64;
+        for &w in g.neighbors(v) {
+            next[w as usize] += share;
+        }
+    }
+    next
+}
+
+/// `iterations` PageRank iterations from the uniform vector.
+pub fn pagerank(g: &Csr, df: f64, iterations: u32) -> Vec<f64> {
+    let n = g.num_vertices() as usize;
+    let mut pr = vec![1.0 / n as f64; n];
+    for _ in 0..iterations {
+        pr = pagerank_step(g, &pr, df);
+    }
+    pr
+}
+
+/// Single-source shortest paths (Bellman-Ford; weights from
+/// [`EdgeList::edge_weight`]). Quadratic worst case, fine for golden tests.
+pub fn sssp(g: &Csr, source: VertexId) -> Vec<u32> {
+    let n = g.num_vertices() as usize;
+    let mut dist = vec![INF_DIST; n];
+    dist[source as usize] = 0;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for v in 0..g.num_vertices() {
+            let dv = dist[v as usize];
+            if dv == INF_DIST {
+                continue;
+            }
+            for &w in g.neighbors(v) {
+                let nd = dv.saturating_add(EdgeList::edge_weight(v, w));
+                if nd < dist[w as usize] {
+                    dist[w as usize] = nd;
+                    changed = true;
+                }
+            }
+        }
+    }
+    dist
+}
+
+/// Weakly connected components via union-find; labels are the minimum
+/// vertex id in each component.
+pub fn connected_components(g: &Csr) -> Vec<VertexId> {
+    let n = g.num_vertices() as usize;
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+    for (s, d) in g.edges() {
+        let (rs, rd) = (find(&mut parent, s), find(&mut parent, d));
+        if rs != rd {
+            // Union by min keeps labels canonical without a second pass.
+            let (lo, hi) = (rs.min(rd), rs.max(rd));
+            parent[hi as usize] = lo;
+        }
+    }
+    (0..n as u32).map(|v| find(&mut parent, v)).collect()
+}
+
+/// Brandes' betweenness centrality (unweighted, directed) accumulated over
+/// the given `sources`. The paper's Appendix D runs BC in "single node
+/// mode"; passing a single source reproduces that.
+pub fn betweenness(g: &Csr, sources: &[VertexId]) -> Vec<f64> {
+    let n = g.num_vertices() as usize;
+    let mut bc = vec![0.0f64; n];
+    for &s in sources {
+        // Forward BFS computing shortest-path counts sigma and predecessors.
+        let mut sigma = vec![0.0f64; n];
+        let mut dist = vec![-1i64; n];
+        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut order: Vec<u32> = Vec::new();
+        sigma[s as usize] = 1.0;
+        dist[s as usize] = 0;
+        let mut queue = VecDeque::from([s]);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for &w in g.neighbors(v) {
+                if dist[w as usize] < 0 {
+                    dist[w as usize] = dist[v as usize] + 1;
+                    queue.push_back(w);
+                }
+                if dist[w as usize] == dist[v as usize] + 1 {
+                    sigma[w as usize] += sigma[v as usize];
+                    preds[w as usize].push(v);
+                }
+            }
+        }
+        // Backward accumulation.
+        let mut delta = vec![0.0f64; n];
+        for &w in order.iter().rev() {
+            for &v in &preds[w as usize] {
+                delta[v as usize] +=
+                    sigma[v as usize] / sigma[w as usize] * (1.0 + delta[w as usize]);
+            }
+            if w != s {
+                bc[w as usize] += delta[w as usize];
+            }
+        }
+    }
+    bc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::rmat;
+
+    fn line() -> Csr {
+        // 0 -> 1 -> 2 -> 3
+        Csr::from_edge_list(&EdgeList::new(4, vec![(0, 1), (1, 2), (2, 3)]))
+    }
+
+    fn diamond() -> Csr {
+        // 0 -> {1,2} -> 3
+        Csr::from_edge_list(&EdgeList::new(4, vec![(0, 1), (0, 2), (1, 3), (2, 3)]))
+    }
+
+    #[test]
+    fn bfs_levels_on_line() {
+        assert_eq!(bfs(&line(), 0), vec![0, 1, 2, 3]);
+        assert_eq!(bfs(&line(), 2), vec![UNREACHED, UNREACHED, 0, 1]);
+    }
+
+    #[test]
+    fn bfs_prefers_shortest() {
+        let g = diamond();
+        assert_eq!(bfs(&g, 0), vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn pagerank_uniform_on_cycle() {
+        // On a directed cycle every vertex keeps 1/n at fixpoint.
+        let g = Csr::from_edge_list(&EdgeList::new(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]));
+        let pr = pagerank(&g, 0.85, 50);
+        for p in pr {
+            assert!((p - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pagerank_mass_conserved_without_dangling() {
+        let g = Csr::from_edge_list(&EdgeList::new(3, vec![(0, 1), (1, 2), (2, 0), (0, 2)]));
+        let pr = pagerank(&g, 0.85, 10);
+        let total: f64 = pr.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn pagerank_leaks_mass_with_dangling() {
+        let g = Csr::from_edge_list(&EdgeList::new(2, vec![(0, 1)]));
+        let pr = pagerank(&g, 0.85, 5);
+        let total: f64 = pr.iter().sum();
+        assert!(total < 1.0, "dangling vertex must leak mass, got {total}");
+    }
+
+    #[test]
+    fn sssp_picks_cheapest_path() {
+        let g = diamond();
+        let d = sssp(&g, 0);
+        assert_eq!(d[0], 0);
+        let w01 = EdgeList::edge_weight(0, 1);
+        let w02 = EdgeList::edge_weight(0, 2);
+        let w13 = EdgeList::edge_weight(1, 3);
+        let w23 = EdgeList::edge_weight(2, 3);
+        assert_eq!(d[1], w01);
+        assert_eq!(d[2], w02);
+        assert_eq!(d[3], (w01 + w13).min(w02 + w23));
+    }
+
+    #[test]
+    fn sssp_unreachable_is_inf() {
+        let d = sssp(&line(), 3);
+        assert_eq!(d, vec![INF_DIST, INF_DIST, INF_DIST, 0]);
+    }
+
+    #[test]
+    fn cc_ignores_direction() {
+        // 0 <- 1, 2 -> 3: two components {0,1} and {2,3}.
+        let g = Csr::from_edge_list(&EdgeList::new(5, vec![(1, 0), (2, 3)]));
+        assert_eq!(connected_components(&g), vec![0, 0, 2, 2, 4]);
+    }
+
+    #[test]
+    fn cc_labels_are_component_minimum() {
+        let g = Csr::from_edge_list(&EdgeList::new(6, vec![(5, 4), (4, 3), (3, 5), (1, 2)]));
+        let cc = connected_components(&g);
+        assert_eq!(cc[3], 3);
+        assert_eq!(cc[4], 3);
+        assert_eq!(cc[5], 3);
+        assert_eq!(cc[1], 1);
+        assert_eq!(cc[2], 1);
+        assert_eq!(cc[0], 0);
+    }
+
+    #[test]
+    fn bc_on_line_counts_interior_vertices() {
+        // On 0->1->2->3, vertex 1 lies on paths 0-2, 0-3 and vertex 2 on
+        // 0-3, 1-3 when sourcing from every vertex.
+        let g = line();
+        let bc = betweenness(&g, &[0, 1, 2, 3]);
+        assert_eq!(bc, vec![0.0, 2.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn bc_splits_over_equal_paths() {
+        let g = diamond();
+        let bc = betweenness(&g, &[0]);
+        // Two shortest 0->3 paths; each middle vertex carries 0.5.
+        assert_eq!(bc[1], 0.5);
+        assert_eq!(bc[2], 0.5);
+        assert_eq!(bc[3], 0.0);
+    }
+
+    #[test]
+    fn references_agree_on_rmat_sanity() {
+        let g = Csr::from_edge_list(&rmat(8));
+        let lv = bfs(&g, 0);
+        let d = sssp(&g, 0);
+        for v in 0..g.num_vertices() as usize {
+            // SSSP reachability equals BFS reachability.
+            assert_eq!(lv[v] == UNREACHED, d[v] == INF_DIST);
+            // Hop count lower-bounds weighted distance (weights >= 1).
+            if lv[v] != UNREACHED {
+                assert!(d[v] as u64 >= lv[v] as u64);
+            }
+        }
+    }
+}

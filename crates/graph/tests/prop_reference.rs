@@ -1,0 +1,131 @@
+//! Property tests of the golden reference algorithms — the invariants any
+//! correct implementation must satisfy, independent of the engines.
+
+use gts_graph::generate::{erdos_renyi, Rmat};
+use gts_graph::reference::{self, INF_DIST, UNREACHED};
+use gts_graph::{Csr, EdgeList};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = EdgeList> {
+    (2u32..150).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..500)
+            .prop_map(move |edges| EdgeList::new(n, edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bfs_levels_satisfy_edge_triangle_inequality(g in arb_graph(), source in 0u32..150) {
+        let csr = Csr::from_edge_list(&g);
+        let source = source % g.num_vertices;
+        let lv = reference::bfs(&csr, source);
+        prop_assert_eq!(lv[source as usize], 0);
+        for (v, w) in csr.edges() {
+            if lv[v as usize] != UNREACHED {
+                // A reached vertex's neighbour is at most one level deeper.
+                prop_assert!(lv[w as usize] != UNREACHED);
+                prop_assert!(lv[w as usize] <= lv[v as usize] + 1);
+            }
+        }
+        // Levels are dense: every level below the max is inhabited.
+        let max = lv.iter().filter(|&&l| l != UNREACHED).max().copied().unwrap();
+        for l in 0..=max {
+            prop_assert!(lv.contains(&l), "level {} uninhabited", l);
+        }
+    }
+
+    #[test]
+    fn sssp_is_consistent_with_bfs_and_relaxed(g in arb_graph(), source in 0u32..150) {
+        let csr = Csr::from_edge_list(&g);
+        let source = source % g.num_vertices;
+        let lv = reference::bfs(&csr, source);
+        let dist = reference::sssp(&csr, source);
+        for v in 0..g.num_vertices as usize {
+            // Same reachability; hop count lower-bounds weighted distance
+            // (weights >= 1) and 64*hops upper-bounds it (weights <= 64).
+            prop_assert_eq!(lv[v] == UNREACHED, dist[v] == INF_DIST);
+            if lv[v] != UNREACHED {
+                prop_assert!(dist[v] >= lv[v]);
+                // A shortest path of lv[v] hops costs at most 64 per hop.
+                prop_assert!(dist[v] as u64 <= 64 * lv[v] as u64);
+            }
+        }
+        // No relaxable edge remains (the defining SSSP fixpoint).
+        for (v, w) in csr.edges() {
+            if dist[v as usize] != INF_DIST {
+                let cand = dist[v as usize] + EdgeList::edge_weight(v, w);
+                prop_assert!(dist[w as usize] <= cand);
+            }
+        }
+    }
+
+    #[test]
+    fn cc_is_an_equivalence_consistent_with_edges(g in arb_graph()) {
+        let csr = Csr::from_edge_list(&g);
+        let cc = reference::connected_components(&csr);
+        // Endpoint labels agree (direction ignored).
+        for (v, w) in csr.edges() {
+            prop_assert_eq!(cc[v as usize], cc[w as usize]);
+        }
+        // Labels are canonical: the label is the minimum member, and the
+        // label vertex belongs to its own component.
+        for (v, &label) in cc.iter().enumerate() {
+            prop_assert!(label as usize <= v);
+            prop_assert_eq!(cc[label as usize], label);
+        }
+    }
+
+    #[test]
+    fn pagerank_mass_is_bounded_and_conserved_without_dangling(g in arb_graph()) {
+        let csr = Csr::from_edge_list(&g);
+        let pr = reference::pagerank(&csr, 0.85, 8);
+        let total: f64 = pr.iter().sum();
+        prop_assert!(total <= 1.0 + 1e-9, "mass can only leak, total {}", total);
+        prop_assert!(pr.iter().all(|&p| p >= 0.0));
+        // Everyone keeps at least the teleport share.
+        let floor = 0.15 / g.num_vertices as f64;
+        prop_assert!(pr.iter().all(|&p| p >= floor - 1e-12));
+        let dangling = (0..csr.num_vertices()).any(|v| csr.out_degree(v) == 0);
+        if !dangling {
+            prop_assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn betweenness_is_nonnegative_and_zero_on_sinks(g in arb_graph(), source in 0u32..150) {
+        let csr = Csr::from_edge_list(&g);
+        let source = source % g.num_vertices;
+        let bc = reference::betweenness(&csr, &[source]);
+        for (v, &b) in bc.iter().enumerate() {
+            prop_assert!(b >= -1e-9);
+            // A vertex with no out-edges mediates nothing.
+            if csr.out_degree(v as u32) == 0 {
+                prop_assert!(b.abs() < 1e-9);
+            }
+        }
+        prop_assert!(bc[source as usize].abs() < 1e-9, "source never counted");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn rmat_is_shape_stable(scale in 6u32..10, factor in 1u32..20, seed in 0u64..1000) {
+        let g = Rmat { scale, edge_factor: factor, a: 0.57, b: 0.19, c: 0.19, seed }.generate();
+        prop_assert_eq!(g.num_vertices, 1 << scale);
+        prop_assert_eq!(g.num_edges(), (1usize << scale) * factor as usize);
+        // Determinism.
+        let g2 = Rmat { scale, edge_factor: factor, a: 0.57, b: 0.19, c: 0.19, seed }.generate();
+        prop_assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn erdos_renyi_is_in_range(n in 1u32..500, m in 0usize..2000, seed in 0u64..100) {
+        let g = erdos_renyi(n, m, seed);
+        prop_assert_eq!(g.num_edges(), m);
+        prop_assert!(g.edges.iter().all(|&(s, d)| s < n && d < n));
+    }
+}

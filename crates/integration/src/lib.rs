@@ -1,0 +1,3 @@
+//! Cargo home for the workspace's cross-crate integration tests (sources
+//! live in the top-level `tests/` directory; a virtual workspace root
+//! cannot own targets).

@@ -1,0 +1,122 @@
+//! Bandwidth modelling: bytes-per-second rates and transfer times.
+//!
+//! The GTS cost models (paper Sec. 5) are written in terms of communication
+//! rates: `c1` (PCI-E chunk-copy, ~16 GB/s), `c2` (PCI-E streaming copy,
+//! ~6 GB/s), SSD sequential read (~2 GB/s per drive), HDD (~165 MB/s per
+//! drive), and Infiniband QDR (~40 Gbps) for the distributed baselines.
+
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A data-transfer rate in bytes per second.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Bandwidth(u64);
+
+impl Bandwidth {
+    /// Construct from bytes per second. A zero rate is accepted but every
+    /// transfer over it takes [`SimDuration::ZERO`]'s complement: callers
+    /// should treat zero as "infinitely fast" is *not* intended, so we map
+    /// zero to 1 B/s to keep arithmetic total and obviously wrong in output.
+    pub fn bytes_per_sec(b: u64) -> Self {
+        Bandwidth(b.max(1))
+    }
+
+    /// Construct from mebibytes per second.
+    pub fn mib_per_sec(m: u64) -> Self {
+        Self::bytes_per_sec(m * (1 << 20))
+    }
+
+    /// Construct from gibibytes per second.
+    pub fn gib_per_sec(g: u64) -> Self {
+        Self::bytes_per_sec(g * (1 << 30))
+    }
+
+    /// Construct from gigabits per second (network links).
+    pub fn gbit_per_sec(g: u64) -> Self {
+        Self::bytes_per_sec(g * 1_000_000_000 / 8)
+    }
+
+    /// The raw rate in bytes per second.
+    pub fn as_bytes_per_sec(self) -> u64 {
+        self.0
+    }
+
+    /// Time to move `bytes` at this rate (rounded up to the next ns).
+    pub fn transfer_time(self, bytes: u64) -> SimDuration {
+        // ns = bytes * 1e9 / rate, computed in u128 to avoid overflow for
+        // multi-terabyte transfers.
+        let ns = (bytes as u128 * 1_000_000_000u128).div_ceil(self.0 as u128);
+        SimDuration::from_nanos(ns.min(u64::MAX as u128) as u64)
+    }
+
+    /// Scale the rate by a rational factor (used to split device bandwidth
+    /// across concurrent consumers).
+    pub fn scaled(self, num: u64, den: u64) -> Bandwidth {
+        Bandwidth::bytes_per_sec((self.0 as u128 * num as u128 / den.max(1) as u128) as u64)
+    }
+}
+
+impl fmt::Debug for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0 as f64;
+        if b >= (1u64 << 30) as f64 {
+            write!(f, "{:.2} GiB/s", b / (1u64 << 30) as f64)
+        } else if b >= (1u64 << 20) as f64 {
+            write!(f, "{:.2} MiB/s", b / (1u64 << 20) as f64)
+        } else {
+            write!(f, "{b} B/s")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_matches_hand_computation() {
+        let bw = Bandwidth::bytes_per_sec(1_000_000_000); // 1 GB/s
+        assert_eq!(bw.transfer_time(1_000_000_000).as_secs_f64(), 1.0);
+        assert_eq!(bw.transfer_time(500).as_nanos(), 500);
+    }
+
+    #[test]
+    fn transfer_time_rounds_up() {
+        let bw = Bandwidth::bytes_per_sec(3);
+        // 1 byte at 3 B/s = 333_333_333.33.. ns, rounded up.
+        assert_eq!(bw.transfer_time(1).as_nanos(), 333_333_334);
+    }
+
+    #[test]
+    fn zero_rate_is_clamped() {
+        let bw = Bandwidth::bytes_per_sec(0);
+        assert_eq!(bw.as_bytes_per_sec(), 1);
+    }
+
+    #[test]
+    fn unit_constructors() {
+        assert_eq!(Bandwidth::mib_per_sec(1).as_bytes_per_sec(), 1 << 20);
+        assert_eq!(Bandwidth::gib_per_sec(2).as_bytes_per_sec(), 2u64 << 30);
+        assert_eq!(Bandwidth::gbit_per_sec(40).as_bytes_per_sec(), 5_000_000_000);
+    }
+
+    #[test]
+    fn huge_transfers_do_not_overflow() {
+        let bw = Bandwidth::mib_per_sec(100);
+        let d = bw.transfer_time(u64::MAX / 2);
+        assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    fn scaled_rate() {
+        let bw = Bandwidth::bytes_per_sec(1000).scaled(1, 4);
+        assert_eq!(bw.as_bytes_per_sec(), 250);
+    }
+}

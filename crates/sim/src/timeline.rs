@@ -1,0 +1,203 @@
+//! Execution timelines: recorded busy intervals per simulated resource.
+//!
+//! Figures 3 and 4 of the paper show profiler timelines of copy operations
+//! and kernel executions across CUDA streams. [`Timeline`] records the same
+//! information from the simulator and renders a textual version of those
+//! figures (one lane per stream/resource, bars for busy intervals).
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One recorded busy interval.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Span {
+    /// Lane this span belongs to (e.g. `stream3`, `h2d`, `ssd0`).
+    pub lane: String,
+    /// Short label describing the operation (e.g. `copy SP17`, `K_PR`).
+    pub label: String,
+    /// Category used when rendering (copies vs kernels get different glyphs).
+    pub kind: SpanKind,
+    /// Service start.
+    pub start: SimTime,
+    /// Service end.
+    pub end: SimTime,
+}
+
+/// Rendering category for a [`Span`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpanKind {
+    /// A data transfer (short red bars in the paper's Fig. 4).
+    Copy,
+    /// A kernel execution (long green bars in the paper's Fig. 4).
+    Kernel,
+    /// Storage I/O.
+    Io,
+    /// Anything else (sync, merge, ...).
+    Other,
+}
+
+impl SpanKind {
+    fn glyph(self) -> char {
+        match self {
+            SpanKind::Copy => '▒',
+            SpanKind::Kernel => '█',
+            SpanKind::Io => '·',
+            SpanKind::Other => '~',
+        }
+    }
+}
+
+/// An append-only recording of spans across lanes.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Timeline {
+    spans: Vec<Span>,
+}
+
+impl Timeline {
+    /// Create an empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one busy interval.
+    pub fn record(
+        &mut self,
+        lane: impl Into<String>,
+        label: impl Into<String>,
+        kind: SpanKind,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        debug_assert!(end >= start, "span must not end before it starts");
+        self.spans.push(Span {
+            lane: lane.into(),
+            label: label.into(),
+            kind,
+            start,
+            end,
+        });
+    }
+
+    /// All recorded spans, in recording order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Number of recorded spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Latest end time across all spans (the makespan).
+    pub fn end_time(&self) -> SimTime {
+        self.spans
+            .iter()
+            .map(|s| s.end)
+            .fold(SimTime::ZERO, SimTime::max)
+    }
+
+    /// Total busy time per lane.
+    pub fn busy_per_lane(&self) -> BTreeMap<String, SimDuration> {
+        let mut out = BTreeMap::new();
+        for s in &self.spans {
+            *out.entry(s.lane.clone()).or_insert(SimDuration::ZERO) += s.end - s.start;
+        }
+        out
+    }
+
+    /// Render an ASCII timeline `width` characters wide, one row per lane
+    /// (lanes sorted by name). This is the textual analogue of the paper's
+    /// Fig. 4 profiler screenshots.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let width = width.max(10);
+        let end = self.end_time();
+        if end == SimTime::ZERO {
+            return String::from("(empty timeline)\n");
+        }
+        let mut lanes: BTreeMap<&str, Vec<&Span>> = BTreeMap::new();
+        for s in &self.spans {
+            lanes.entry(&s.lane).or_default().push(s);
+        }
+        let name_w = lanes.keys().map(|k| k.len()).max().unwrap_or(4).max(4);
+        let scale = |t: SimTime| -> usize {
+            ((t.as_nanos() as u128 * width as u128) / end.as_nanos().max(1) as u128) as usize
+        };
+        let mut out = String::new();
+        for (lane, spans) in &lanes {
+            let mut row = vec![' '; width];
+            for s in spans {
+                let a = scale(s.start).min(width - 1);
+                let b = scale(s.end).clamp(a + 1, width);
+                for c in &mut row[a..b] {
+                    *c = s.kind.glyph();
+                }
+            }
+            out.push_str(&format!("{lane:>name_w$} |"));
+            out.extend(row);
+            out.push_str("|\n");
+        }
+        out.push_str(&format!(
+            "{:>name_w$} 0{:>w$}\n",
+            "",
+            format!("{end}"),
+            w = width
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn records_and_summarises() {
+        let mut tl = Timeline::new();
+        tl.record("s1", "copy", SpanKind::Copy, t(0), t(10));
+        tl.record("s1", "kern", SpanKind::Kernel, t(10), t(40));
+        tl.record("s2", "copy", SpanKind::Copy, t(10), t(20));
+        assert_eq!(tl.len(), 3);
+        assert_eq!(tl.end_time(), t(40));
+        let busy = tl.busy_per_lane();
+        assert_eq!(busy["s1"].as_nanos(), 40);
+        assert_eq!(busy["s2"].as_nanos(), 10);
+    }
+
+    #[test]
+    fn ascii_render_has_one_row_per_lane() {
+        let mut tl = Timeline::new();
+        tl.record("stream1", "k", SpanKind::Kernel, t(0), t(100));
+        tl.record("stream2", "c", SpanKind::Copy, t(50), t(100));
+        let s = tl.render_ascii(40);
+        assert_eq!(s.lines().count(), 3, "two lanes + axis");
+        assert!(s.contains("stream1"));
+        assert!(s.contains('█'));
+        assert!(s.contains('▒'));
+    }
+
+    #[test]
+    fn empty_timeline_renders_placeholder() {
+        let tl = Timeline::new();
+        assert!(tl.render_ascii(40).contains("empty"));
+        assert!(tl.is_empty());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut tl = Timeline::new();
+        tl.record("a", "x", SpanKind::Io, t(1), t(2));
+        let json = serde_json::to_string(&tl).unwrap();
+        let back: Timeline = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.spans(), tl.spans());
+    }
+}

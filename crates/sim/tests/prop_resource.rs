@@ -1,0 +1,110 @@
+//! Property tests of the simulation kernel: schedules produced by
+//! [`Resource`] must be feasible (no slot oversubscription), work-conserving
+//! and deterministic for any submission sequence.
+
+use gts_sim::{Resource, SimDuration, SimTime};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Op {
+    ready: u64,
+    dur: u64,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        (0u64..10_000, 1u64..1_000).prop_map(|(ready, dur)| Op { ready, dur }),
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn schedules_are_feasible(ops in arb_ops(), concurrency in 1usize..8) {
+        let mut r = Resource::new("x", concurrency);
+        let mut spans = Vec::new();
+        for op in &ops {
+            let s = r.submit(SimTime::from_nanos(op.ready), SimDuration::from_nanos(op.dur));
+            // Never starts before ready; lasts exactly the service time.
+            prop_assert!(s.start >= SimTime::from_nanos(op.ready));
+            prop_assert_eq!(s.end - s.start, SimDuration::from_nanos(op.dur));
+            spans.push(s);
+        }
+        // At no instant do more than `concurrency` ops overlap. Check at
+        // every start point.
+        for probe in &spans {
+            let overlapping = spans
+                .iter()
+                .filter(|s| s.start <= probe.start && probe.start < s.end)
+                .count();
+            prop_assert!(
+                overlapping <= concurrency,
+                "{} ops overlap at {:?} with concurrency {}",
+                overlapping, probe.start, concurrency
+            );
+        }
+        // Busy time is the sum of durations.
+        let total: u64 = ops.iter().map(|o| o.dur).sum();
+        prop_assert_eq!(r.busy_time(), SimDuration::from_nanos(total));
+        prop_assert_eq!(r.served(), ops.len() as u64);
+        // Drain time is the max end.
+        let max_end = spans.iter().map(|s| s.end).max().unwrap();
+        prop_assert_eq!(r.drain_time(), max_end);
+    }
+
+    #[test]
+    fn fifo_order_is_preserved(ops in arb_ops()) {
+        // With a single slot, starts must be non-decreasing in submission
+        // order regardless of ready times.
+        let mut r = Resource::new("fifo", 1);
+        let mut last = SimTime::ZERO;
+        for op in &ops {
+            let s = r.submit(SimTime::from_nanos(op.ready), SimDuration::from_nanos(op.dur));
+            prop_assert!(s.start >= last);
+            last = s.start;
+        }
+    }
+
+    #[test]
+    fn schedules_are_deterministic(ops in arb_ops(), concurrency in 1usize..8) {
+        let run = || {
+            let mut r = Resource::new("d", concurrency);
+            ops.iter()
+                .map(|op| r.submit(SimTime::from_nanos(op.ready), SimDuration::from_nanos(op.dur)))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn single_slot_makespan_is_work_conserving(ops in arb_ops()) {
+        // With one slot, the makespan never exceeds max_ready + total work
+        // and never undercuts total work after the earliest ready time.
+        let mut r = Resource::new("wc", 1);
+        for op in &ops {
+            r.submit(SimTime::from_nanos(op.ready), SimDuration::from_nanos(op.dur));
+        }
+        let total: u64 = ops.iter().map(|o| o.dur).sum();
+        let max_ready = ops.iter().map(|o| o.ready).max().unwrap();
+        let min_ready = ops.iter().map(|o| o.ready).min().unwrap();
+        prop_assert!(r.drain_time().as_nanos() <= max_ready + total);
+        prop_assert!(r.drain_time().as_nanos() >= min_ready + total);
+    }
+
+    #[test]
+    fn bandwidth_transfer_time_is_monotone(
+        bytes_a in 0u64..1u64 << 40,
+        bytes_b in 0u64..1u64 << 40,
+        rate in 1u64..1u64 << 35,
+    ) {
+        use gts_sim::Bandwidth;
+        let bw = Bandwidth::bytes_per_sec(rate);
+        let (lo, hi) = if bytes_a <= bytes_b { (bytes_a, bytes_b) } else { (bytes_b, bytes_a) };
+        prop_assert!(bw.transfer_time(lo) <= bw.transfer_time(hi));
+        // Faster links are never slower.
+        let faster = Bandwidth::bytes_per_sec(rate.saturating_mul(2));
+        prop_assert!(faster.transfer_time(hi) <= bw.transfer_time(hi));
+    }
+}

@@ -1,0 +1,409 @@
+//! GPU-side topology page caches (paper Sec. 3.3, Fig. 11).
+//!
+//! When device memory is left over after the four streaming buffers, GTS
+//! caches topology pages on the GPU so repeat visits (common for BFS-like
+//! level-by-level traversal) skip the PCI-E transfer. The paper "basically
+//! adopts the LRU algorithm … but other algorithms can be used as well" —
+//! so the policy is a trait here, with LRU, FIFO and seeded-random
+//! implementations, and the cache ablation bench compares them.
+
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+/// A page-cache replacement policy over page IDs.
+///
+/// `access` is the only mutating entry point: it records a reference to a
+/// page, returns whether it hit, and on a miss admits the page (evicting
+/// per policy when full). A capacity of zero disables caching entirely.
+pub trait CachePolicy: Send {
+    /// Record an access; returns `true` on a cache hit.
+    fn access(&mut self, pid: u64) -> bool;
+    /// Is the page currently cached (no recency update)?
+    fn contains(&self, pid: u64) -> bool;
+    /// Maximum number of cached pages.
+    fn capacity(&self) -> usize;
+    /// Number of currently cached pages.
+    fn len(&self) -> usize;
+    /// True when nothing is cached.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Drop all cached pages and counters.
+    fn clear(&mut self);
+    /// Hits recorded so far.
+    fn hits(&self) -> u64;
+    /// Misses recorded so far.
+    fn misses(&self) -> u64;
+    /// Hit rate in [0, 1] (Fig. 11b's y-axis).
+    fn hit_rate(&self) -> f64 {
+        let t = self.hits() + self.misses();
+        if t == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / t as f64
+        }
+    }
+    /// Policy name for experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+/// Boxed policy, the form engines hold (`cachedPIDMap` per GPU).
+pub type PageCache = Box<dyn CachePolicy>;
+
+/// Least-recently-used replacement (the paper's default).
+///
+/// Recency is a monotone stamp; a `BTreeMap<stamp, pid>` mirrors the
+/// `pid → stamp` map so both the hit path and the eviction are
+/// O(log capacity) — default configurations cache hundreds of thousands
+/// of pages (12 GiB of device memory at 64 KiB pages), where a linear
+/// victim scan per miss would dominate out-of-core runs.
+#[derive(Debug, Clone)]
+pub struct LruCache {
+    capacity: usize,
+    stamp: u64,
+    entries: HashMap<u64, u64>,
+    by_stamp: BTreeMap<u64, u64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl LruCache {
+    /// An LRU cache for `capacity` pages.
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            stamp: 0,
+            entries: HashMap::with_capacity(capacity),
+            by_stamp: BTreeMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+}
+
+impl CachePolicy for LruCache {
+    fn access(&mut self, pid: u64) -> bool {
+        self.stamp += 1;
+        if let Some(s) = self.entries.get_mut(&pid) {
+            self.by_stamp.remove(s);
+            *s = self.stamp;
+            self.by_stamp.insert(self.stamp, pid);
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if self.capacity == 0 {
+            return false;
+        }
+        if self.entries.len() >= self.capacity {
+            let (&oldest, &victim) = self
+                .by_stamp
+                .first_key_value()
+                .expect("cache non-empty");
+            self.by_stamp.remove(&oldest);
+            self.entries.remove(&victim);
+        }
+        self.entries.insert(pid, self.stamp);
+        self.by_stamp.insert(self.stamp, pid);
+        false
+    }
+
+    fn contains(&self, pid: u64) -> bool {
+        self.entries.contains_key(&pid)
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.by_stamp.clear();
+        self.hits = 0;
+        self.misses = 0;
+        self.stamp = 0;
+    }
+
+    fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn name(&self) -> &'static str {
+        "lru"
+    }
+}
+
+/// First-in-first-out replacement.
+#[derive(Debug, Clone)]
+pub struct FifoCache {
+    capacity: usize,
+    resident: HashSet<u64>,
+    order: VecDeque<u64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl FifoCache {
+    /// A FIFO cache for `capacity` pages.
+    pub fn new(capacity: usize) -> Self {
+        FifoCache {
+            capacity,
+            resident: HashSet::with_capacity(capacity),
+            order: VecDeque::with_capacity(capacity),
+            hits: 0,
+            misses: 0,
+        }
+    }
+}
+
+impl CachePolicy for FifoCache {
+    fn access(&mut self, pid: u64) -> bool {
+        if self.resident.contains(&pid) {
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if self.capacity == 0 {
+            return false;
+        }
+        if self.resident.len() >= self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.resident.remove(&old);
+            }
+        }
+        self.resident.insert(pid);
+        self.order.push_back(pid);
+        false
+    }
+
+    fn contains(&self, pid: u64) -> bool {
+        self.resident.contains(&pid)
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.resident.len()
+    }
+
+    fn clear(&mut self) {
+        self.resident.clear();
+        self.order.clear();
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+}
+
+/// Random replacement with a deterministic xorshift victim sequence.
+#[derive(Debug, Clone)]
+pub struct RandomCache {
+    capacity: usize,
+    entries: Vec<u64>,
+    index: HashMap<u64, usize>,
+    state: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl RandomCache {
+    /// A random-replacement cache for `capacity` pages, seeded for
+    /// reproducibility.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        RandomCache {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+            index: HashMap::with_capacity(capacity),
+            state: seed | 1,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64*.
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+}
+
+impl CachePolicy for RandomCache {
+    fn access(&mut self, pid: u64) -> bool {
+        if self.index.contains_key(&pid) {
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if self.capacity == 0 {
+            return false;
+        }
+        if self.entries.len() >= self.capacity {
+            let victim_at = (self.next_rand() % self.entries.len() as u64) as usize;
+            let victim = self.entries[victim_at];
+            self.index.remove(&victim);
+            // Swap-remove keeps eviction O(1).
+            let last = *self.entries.last().expect("non-empty");
+            self.entries.swap_remove(victim_at);
+            if victim_at < self.entries.len() {
+                self.index.insert(last, victim_at);
+            }
+        }
+        self.index.insert(pid, self.entries.len());
+        self.entries.push(pid);
+        false
+    }
+
+    fn contains(&self, pid: u64) -> bool {
+        self.index.contains_key(&pid)
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.index.clear();
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn basic_contract(mut c: impl CachePolicy) {
+        assert!(!c.access(1));
+        assert!(c.access(1), "immediate re-access must hit");
+        assert!(c.contains(1));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.hits() + c.misses(), 0);
+    }
+
+    #[test]
+    fn all_policies_meet_basic_contract() {
+        basic_contract(LruCache::new(4));
+        basic_contract(FifoCache::new(4));
+        basic_contract(RandomCache::new(4, 9));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = LruCache::new(2);
+        c.access(1);
+        c.access(2);
+        c.access(1); // 2 is now LRU
+        c.access(3); // evicts 2
+        assert!(c.contains(1));
+        assert!(!c.contains(2));
+        assert!(c.contains(3));
+    }
+
+    #[test]
+    fn fifo_evicts_first_in_even_if_hot() {
+        let mut c = FifoCache::new(2);
+        c.access(1);
+        c.access(2);
+        c.access(1); // hit, but FIFO position unchanged
+        c.access(3); // evicts 1
+        assert!(!c.contains(1));
+        assert!(c.contains(2));
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut c = RandomCache::new(3, seed);
+            let mut hits = 0;
+            for i in 0..1000u64 {
+                if c.access(i % 7) {
+                    hits += 1;
+                }
+            }
+            hits
+        };
+        assert_eq!(run(1), run(1));
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut caches: Vec<PageCache> = vec![
+            Box::new(LruCache::new(3)),
+            Box::new(FifoCache::new(3)),
+            Box::new(RandomCache::new(3, 5)),
+        ];
+        for c in &mut caches {
+            for i in 0..100 {
+                c.access(i);
+                assert!(c.len() <= 3, "{} overflowed", c.name());
+            }
+        }
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = LruCache::new(0);
+        assert!(!c.access(1));
+        assert!(!c.access(1));
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn hit_rate_tracks_reuse() {
+        // Cycling over a working set that fits: everything after the first
+        // pass hits (Sec. 3.3's B/(S+L) approximation with B >= S+L).
+        let mut c = LruCache::new(8);
+        for _ in 0..10 {
+            for p in 0..8u64 {
+                c.access(p);
+            }
+        }
+        assert_eq!(c.misses(), 8);
+        assert_eq!(c.hits(), 72);
+        assert!(c.hit_rate() > 0.89);
+    }
+}

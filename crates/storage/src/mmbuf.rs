@@ -1,0 +1,160 @@
+//! MMBuf — the main-memory page buffer of Algorithm 1.
+//!
+//! GTS fetches slotted pages from SSD into a bounded main-memory buffer
+//! before streaming them to GPUs; `bufferPIDMap` tracks which pages are
+//! resident so repeat visits skip the SSD (Algorithm 1 lines 18–26). The
+//! experiments size it as a fraction of the graph (Sec. 7.2 uses 20% for
+//! RMAT31/32). Eviction is FIFO — the simplest policy consistent with the
+//! paper's sequential streaming order.
+
+use std::collections::{HashSet, VecDeque};
+
+/// Bounded main-memory page buffer with residency tracking.
+#[derive(Debug, Clone)]
+pub struct MmBuf {
+    capacity_pages: usize,
+    resident: HashSet<u64>,
+    fifo: VecDeque<u64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl MmBuf {
+    /// A buffer holding at most `capacity_pages` pages. Zero capacity is
+    /// valid and means every access goes to storage.
+    pub fn new(capacity_pages: usize) -> Self {
+        MmBuf {
+            capacity_pages,
+            resident: HashSet::with_capacity(capacity_pages),
+            fifo: VecDeque::with_capacity(capacity_pages),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Size a buffer as `percent`% of `total_pages` (the paper's "buffer
+    /// size of 20% of a graph size").
+    pub fn with_fraction(total_pages: u64, percent: u32) -> Self {
+        Self::new((total_pages as usize * percent as usize) / 100)
+    }
+
+    /// Capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity_pages
+    }
+
+    /// Pages currently resident.
+    pub fn len(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// True if nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.resident.is_empty()
+    }
+
+    /// `bufferPIDMap` lookup (Algorithm 1 line 18).
+    pub fn contains(&self, pid: u64) -> bool {
+        self.resident.contains(&pid)
+    }
+
+    /// Record an access: returns `true` on a buffer hit. On a miss the page
+    /// is brought in (evicting the oldest page if full).
+    pub fn access(&mut self, pid: u64) -> bool {
+        if self.resident.contains(&pid) {
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if self.capacity_pages == 0 {
+            return false;
+        }
+        if self.resident.len() >= self.capacity_pages {
+            if let Some(old) = self.fifo.pop_front() {
+                self.resident.remove(&old);
+            }
+        }
+        self.resident.insert(pid);
+        self.fifo.push_back(pid);
+        false
+    }
+
+    /// Buffer hits recorded so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Buffer misses (storage fetches) recorded so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate in [0, 1]; zero when nothing has been accessed.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Drop all residency and counters.
+    pub fn clear(&mut self) {
+        self.resident.clear();
+        self.fifo.clear();
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_miss() {
+        let mut b = MmBuf::new(2);
+        assert!(!b.access(1));
+        assert!(b.access(1));
+        assert_eq!(b.hits(), 1);
+        assert_eq!(b.misses(), 1);
+        assert!((b.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fifo_eviction_order() {
+        let mut b = MmBuf::new(2);
+        b.access(1);
+        b.access(2);
+        b.access(3); // evicts 1
+        assert!(!b.contains(1));
+        assert!(b.contains(2));
+        assert!(b.contains(3));
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_never_buffers() {
+        let mut b = MmBuf::new(0);
+        assert!(!b.access(1));
+        assert!(!b.access(1));
+        assert_eq!(b.len(), 0);
+        assert_eq!(b.misses(), 2);
+    }
+
+    #[test]
+    fn fraction_sizing() {
+        let b = MmBuf::with_fraction(1000, 20);
+        assert_eq!(b.capacity(), 200);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut b = MmBuf::new(4);
+        b.access(1);
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.hit_rate(), 0.0);
+    }
+}

@@ -17,9 +17,10 @@
 
 use crate::cluster::{ClusterConfig, FrameworkProfile};
 use crate::propagation::{self, place, PropagationTrace};
-use crate::report::{values_to_u32, BaselineError, BaselineRun};
+use crate::report::{finish_run, record_sweep, values_to_u32, BaselineError, RunReport};
 use gts_graph::{Csr, EdgeList};
 use gts_sim::{SimDuration, SimTime};
+use gts_telemetry::Telemetry;
 
 /// A BSP engine instance.
 #[derive(Debug, Clone)]
@@ -28,24 +29,41 @@ pub struct BspEngine {
     pub cluster: ClusterConfig,
     /// Framework cost profile.
     pub profile: FrameworkProfile,
+    telemetry: Telemetry,
 }
 
 impl BspEngine {
     /// Create an engine for `profile` on `cluster`.
     pub fn new(cluster: ClusterConfig, profile: FrameworkProfile) -> Self {
-        BspEngine { cluster, profile }
+        BspEngine {
+            cluster,
+            profile,
+            telemetry: Telemetry::new(),
+        }
+    }
+
+    /// Record runs into `tel` instead of a private handle.
+    pub fn with_telemetry(mut self, tel: Telemetry) -> Self {
+        self.telemetry = tel;
+        self
+    }
+
+    /// The engine's telemetry handle (counters of the last run).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// BFS from `source`; returns per-vertex levels (`u32::MAX` unreached).
-    pub fn run_bfs(&self, g: &Csr, source: u32) -> Result<(Vec<u32>, BaselineRun), BaselineError> {
+    pub fn run_bfs(&self, g: &Csr, source: u32) -> Result<(Vec<u32>, RunReport), BaselineError> {
         let n = self.cluster.nodes;
-        let trace = propagation::min_propagation(g, Some(source), |_, _, x| x + 1.0, place::hash(n), n);
+        let trace =
+            propagation::min_propagation(g, Some(source), |_, _, x| x + 1.0, place::hash(n), n);
         let run = self.account(g, &trace, "BFS")?;
         Ok((values_to_u32(&trace.values), run))
     }
 
     /// SSSP from `source` with the workspace's deterministic weights.
-    pub fn run_sssp(&self, g: &Csr, source: u32) -> Result<(Vec<u32>, BaselineRun), BaselineError> {
+    pub fn run_sssp(&self, g: &Csr, source: u32) -> Result<(Vec<u32>, RunReport), BaselineError> {
         let n = self.cluster.nodes;
         let trace = propagation::min_propagation(
             g,
@@ -60,7 +78,7 @@ impl BspEngine {
 
     /// Weakly connected components (runs on the symmetrised graph, as the
     /// Pregel-family implementations do).
-    pub fn run_cc(&self, g: &Csr) -> Result<(Vec<u32>, BaselineRun), BaselineError> {
+    pub fn run_cc(&self, g: &Csr) -> Result<(Vec<u32>, RunReport), BaselineError> {
         let n = self.cluster.nodes;
         let sym = g.symmetrize();
         let trace = propagation::min_propagation(&sym, None, |_, _, x| x, place::hash(n), n);
@@ -73,7 +91,7 @@ impl BspEngine {
         &self,
         g: &Csr,
         iterations: u32,
-    ) -> Result<(Vec<f64>, BaselineRun), BaselineError> {
+    ) -> Result<(Vec<f64>, RunReport), BaselineError> {
         let n = self.cluster.nodes;
         let trace = propagation::pagerank_propagation(g, 0.85, iterations, place::hash(n), n);
         let run = self.account(g, &trace, "PageRank")?;
@@ -90,10 +108,11 @@ impl BspEngine {
         g: &Csr,
         trace: &PropagationTrace,
         algorithm: &str,
-    ) -> Result<BaselineRun, BaselineError> {
+    ) -> Result<RunReport, BaselineError> {
         let p = &self.profile;
         let c = &self.cluster;
         let nodes = c.nodes as u64;
+        self.telemetry.start_run();
 
         // Static partition footprint on the most loaded node (hash
         // partitioning balances within ~1 page, so mean is a fair proxy).
@@ -105,14 +124,17 @@ impl BspEngine {
         let mut t = SimTime::ZERO;
         let mut network_bytes = 0u64;
         let mut memory_peak = graph_bytes;
-        for sweep in &trace.sweeps {
+        for (j, sweep) in trace.sweeps.iter().enumerate() {
             let mut compute_max = SimDuration::ZERO;
             let mut net_max = SimDuration::ZERO;
+            let mut active_vertices = 0u64;
+            let mut active_edges = 0u64;
             for load in &sweep.nodes {
+                active_vertices += load.active_vertices;
+                active_edges += load.edges;
                 let work_ns = (load.edges + load.msgs_in) as f64 * p.per_edge_ns
                     + load.active_vertices as f64 * p.per_vertex_ns;
-                let compute =
-                    SimDuration::from_secs_f64(work_ns / c.cores_per_node as f64 / 1e9);
+                let compute = SimDuration::from_secs_f64(work_ns / c.cores_per_node as f64 / 1e9);
                 compute_max = compute_max.max(compute);
                 let bytes_in = load.remote_msgs_in * p.bytes_per_message;
                 network_bytes += bytes_in;
@@ -128,19 +150,27 @@ impl BspEngine {
                     });
                 }
             }
-            t += compute_max + net_max + c.network_latency + p.superstep_overhead;
+            let step = compute_max + net_max + c.network_latency + p.superstep_overhead;
+            record_sweep(
+                &self.telemetry,
+                j as u32,
+                active_vertices,
+                active_edges,
+                step,
+            );
+            t += step;
         }
-        Ok(BaselineRun {
-            engine: p.name.to_string(),
-            algorithm: algorithm.to_string(),
-            elapsed: t - SimTime::ZERO,
-            sweeps: trace.sweeps.len() as u32,
+        Ok(finish_run(
+            &self.telemetry,
+            p.name,
+            algorithm,
+            t - SimTime::ZERO,
+            trace.sweeps.len() as u32,
             network_bytes,
             memory_peak,
-        })
+        ))
     }
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -196,11 +226,14 @@ mod tests {
         // must carry through to elapsed time.
         let g = small();
         let giraph = engine().run_pagerank(&g, 3).unwrap().1.elapsed;
-        let fast = BspEngine::new(ClusterConfig::paper_cluster(), FrameworkProfile::powergraph())
-            .run_pagerank(&g, 3)
-            .unwrap()
-            .1
-            .elapsed;
+        let fast = BspEngine::new(
+            ClusterConfig::paper_cluster(),
+            FrameworkProfile::powergraph(),
+        )
+        .run_pagerank(&g, 3)
+        .unwrap()
+        .1
+        .elapsed;
         assert!(fast < giraph);
     }
 

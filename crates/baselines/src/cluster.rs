@@ -9,10 +9,9 @@
 //! below.
 
 use gts_sim::{Bandwidth, SimDuration};
-use serde::{Deserialize, Serialize};
 
 /// Hardware of the distributed cluster.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ClusterConfig {
     /// Worker nodes.
     pub nodes: usize,
@@ -67,7 +66,7 @@ impl ClusterConfig {
 /// worst memory behaviour ("Naiad shows the worst scalability"), and
 /// PowerGraph's C++ GAS engine has by far the best constants and the best
 /// scalability.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FrameworkProfile {
     /// Framework name for reports.
     pub name: &'static str,

@@ -16,13 +16,13 @@
 //! methods cannot load data into main memory").
 
 use crate::propagation::{self, place, PropagationTrace};
-use crate::report::{values_to_u32, BaselineError, BaselineRun};
+use crate::report::{finish_run, record_sweep, values_to_u32, BaselineError, RunReport};
 use gts_graph::{Csr, EdgeList};
 use gts_sim::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
+use gts_telemetry::Telemetry;
 
 /// Cost/architecture profile of one CPU engine.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CpuProfile {
     /// Engine name.
     pub name: &'static str,
@@ -109,6 +109,7 @@ pub struct CpuEngine {
     pub threads: u32,
     /// Host memory in bytes.
     pub host_memory: u64,
+    telemetry: Telemetry,
 }
 
 impl CpuEngine {
@@ -118,7 +119,19 @@ impl CpuEngine {
             profile,
             threads: 16,
             host_memory: 128 << 30,
+            telemetry: Telemetry::new(),
         }
+    }
+
+    /// Record runs into `tel` instead of a private handle.
+    pub fn with_telemetry(mut self, tel: Telemetry) -> Self {
+        self.telemetry = tel;
+        self
+    }
+
+    /// The engine's telemetry handle (counters of the last run).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Scale host memory by `1/div` (regime scaling, DESIGN.md §1).
@@ -128,15 +141,16 @@ impl CpuEngine {
     }
 
     /// BFS from `source`.
-    pub fn run_bfs(&self, g: &Csr, source: u32) -> Result<(Vec<u32>, BaselineRun), BaselineError> {
+    pub fn run_bfs(&self, g: &Csr, source: u32) -> Result<(Vec<u32>, RunReport), BaselineError> {
         self.check_memory(g)?;
-        let trace = propagation::min_propagation(g, Some(source), |_, _, x| x + 1.0, place::single(), 1);
+        let trace =
+            propagation::min_propagation(g, Some(source), |_, _, x| x + 1.0, place::single(), 1);
         let run = self.account(g, &trace, "BFS");
         Ok((values_to_u32(&trace.values), run))
     }
 
     /// SSSP from `source`.
-    pub fn run_sssp(&self, g: &Csr, source: u32) -> Result<(Vec<u32>, BaselineRun), BaselineError> {
+    pub fn run_sssp(&self, g: &Csr, source: u32) -> Result<(Vec<u32>, RunReport), BaselineError> {
         self.check_memory(g)?;
         let trace = propagation::min_propagation(
             g,
@@ -150,7 +164,7 @@ impl CpuEngine {
     }
 
     /// Weakly connected components.
-    pub fn run_cc(&self, g: &Csr) -> Result<(Vec<u32>, BaselineRun), BaselineError> {
+    pub fn run_cc(&self, g: &Csr) -> Result<(Vec<u32>, RunReport), BaselineError> {
         self.check_memory(g)?;
         let sym = g.symmetrize();
         let trace = propagation::min_propagation(&sym, None, |_, _, x| x, place::single(), 1);
@@ -163,7 +177,7 @@ impl CpuEngine {
         &self,
         g: &Csr,
         iterations: u32,
-    ) -> Result<(Vec<f64>, BaselineRun), BaselineError> {
+    ) -> Result<(Vec<f64>, RunReport), BaselineError> {
         self.check_memory(g)?;
         let trace = propagation::pagerank_propagation(g, 0.85, iterations, place::single(), 1);
         let run = self.account(g, &trace, "PageRank");
@@ -189,10 +203,11 @@ impl CpuEngine {
         Ok(())
     }
 
-    fn account(&self, g: &Csr, trace: &PropagationTrace, algorithm: &str) -> BaselineRun {
+    fn account(&self, g: &Csr, trace: &PropagationTrace, algorithm: &str) -> RunReport {
         let p = &self.profile;
+        self.telemetry.start_run();
         let mut t = SimTime::ZERO;
-        for sweep in &trace.sweeps {
+        for (j, sweep) in trace.sweeps.iter().enumerate() {
             let load = &sweep.nodes[0];
             let (vertices, edges) = if p.frontier_based {
                 (load.active_vertices, load.edges)
@@ -200,22 +215,23 @@ impl CpuEngine {
                 // MTGL-style: every sweep visits everything.
                 (g.num_vertices() as u64, g.num_edges() as u64)
             };
-            let work_ns =
-                edges as f64 * p.per_edge_ns + vertices as f64 * p.per_vertex_ns;
-            t += SimDuration::from_secs_f64(work_ns / self.threads as f64 / 1e9)
-                + p.sweep_overhead;
+            let work_ns = edges as f64 * p.per_edge_ns + vertices as f64 * p.per_vertex_ns;
+            let step =
+                SimDuration::from_secs_f64(work_ns / self.threads as f64 / 1e9) + p.sweep_overhead;
+            record_sweep(&self.telemetry, j as u32, vertices, edges, step);
+            t += step;
         }
-        BaselineRun {
-            engine: p.name.to_string(),
-            algorithm: algorithm.to_string(),
-            elapsed: t - SimTime::ZERO,
-            sweeps: trace.sweeps.len() as u32,
-            network_bytes: 0,
-            memory_peak: self.memory_needed(g),
-        }
+        finish_run(
+            &self.telemetry,
+            p.name,
+            algorithm,
+            t - SimTime::ZERO,
+            trace.sweeps.len() as u32,
+            0,
+            self.memory_needed(g),
+        )
     }
 }
-
 
 #[cfg(test)]
 mod tests {

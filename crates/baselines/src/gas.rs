@@ -17,9 +17,10 @@
 
 use crate::cluster::{ClusterConfig, FrameworkProfile};
 use crate::propagation::{self, place, PropagationTrace};
-use crate::report::{values_to_u32, BaselineError, BaselineRun};
+use crate::report::{finish_run, record_sweep, values_to_u32, BaselineError, RunReport};
 use gts_graph::{Csr, EdgeList};
 use gts_sim::{SimDuration, SimTime};
+use gts_telemetry::Telemetry;
 
 /// A GAS engine instance (defaults to the PowerGraph cost profile).
 #[derive(Debug, Clone)]
@@ -28,6 +29,7 @@ pub struct GasEngine {
     pub cluster: ClusterConfig,
     /// Cost profile (PowerGraph's by default).
     pub profile: FrameworkProfile,
+    telemetry: Telemetry,
 }
 
 impl GasEngine {
@@ -36,7 +38,19 @@ impl GasEngine {
         GasEngine {
             cluster,
             profile: FrameworkProfile::powergraph(),
+            telemetry: Telemetry::new(),
         }
+    }
+
+    /// Record runs into `tel` instead of a private handle.
+    pub fn with_telemetry(mut self, tel: Telemetry) -> Self {
+        self.telemetry = tel;
+        self
+    }
+
+    /// The engine's telemetry handle (counters of the last run).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Replication factor of a random vertex-cut over `n` nodes.
@@ -45,14 +59,15 @@ impl GasEngine {
     }
 
     /// BFS from `source`.
-    pub fn run_bfs(&self, g: &Csr, source: u32) -> Result<(Vec<u32>, BaselineRun), BaselineError> {
-        let trace = propagation::min_propagation(g, Some(source), |_, _, x| x + 1.0, place::single(), 1);
+    pub fn run_bfs(&self, g: &Csr, source: u32) -> Result<(Vec<u32>, RunReport), BaselineError> {
+        let trace =
+            propagation::min_propagation(g, Some(source), |_, _, x| x + 1.0, place::single(), 1);
         let run = self.account(g, &trace, "BFS")?;
         Ok((values_to_u32(&trace.values), run))
     }
 
     /// SSSP from `source`.
-    pub fn run_sssp(&self, g: &Csr, source: u32) -> Result<(Vec<u32>, BaselineRun), BaselineError> {
+    pub fn run_sssp(&self, g: &Csr, source: u32) -> Result<(Vec<u32>, RunReport), BaselineError> {
         let trace = propagation::min_propagation(
             g,
             Some(source),
@@ -65,7 +80,7 @@ impl GasEngine {
     }
 
     /// Weakly connected components.
-    pub fn run_cc(&self, g: &Csr) -> Result<(Vec<u32>, BaselineRun), BaselineError> {
+    pub fn run_cc(&self, g: &Csr) -> Result<(Vec<u32>, RunReport), BaselineError> {
         let sym = g.symmetrize();
         let trace = propagation::min_propagation(&sym, None, |_, _, x| x, place::single(), 1);
         let run = self.account(&sym, &trace, "CC")?;
@@ -77,7 +92,7 @@ impl GasEngine {
         &self,
         g: &Csr,
         iterations: u32,
-    ) -> Result<(Vec<f64>, BaselineRun), BaselineError> {
+    ) -> Result<(Vec<f64>, RunReport), BaselineError> {
         let trace = propagation::pagerank_propagation(g, 0.85, iterations, place::single(), 1);
         let run = self.account(g, &trace, "PageRank")?;
         Ok((trace.values.clone(), run))
@@ -90,7 +105,7 @@ impl GasEngine {
         g: &Csr,
         trace: &PropagationTrace,
         algorithm: &str,
-    ) -> Result<BaselineRun, BaselineError> {
+    ) -> Result<RunReport, BaselineError> {
         let p = &self.profile;
         let c = &self.cluster;
         let nodes = c.nodes as u64;
@@ -98,10 +113,9 @@ impl GasEngine {
 
         // Vertex-cut memory: E/N edges + replicated vertex state per node.
         let part_edges = (g.num_edges() as u64).div_ceil(nodes);
-        let replicated_vertices =
-            ((g.num_vertices() as f64 * rf) / nodes as f64).ceil() as u64;
-        let graph_bytes = part_edges * p.memory_bytes_per_edge
-            + replicated_vertices * p.memory_bytes_per_vertex;
+        let replicated_vertices = ((g.num_vertices() as f64 * rf) / nodes as f64).ceil() as u64;
+        let graph_bytes =
+            part_edges * p.memory_bytes_per_edge + replicated_vertices * p.memory_bytes_per_vertex;
         if graph_bytes > c.memory_per_node {
             return Err(BaselineError::OutOfMemory {
                 engine: p.name.to_string(),
@@ -110,38 +124,44 @@ impl GasEngine {
             });
         }
 
+        self.telemetry.start_run();
         let mut t = SimTime::ZERO;
         let mut network_bytes = 0u64;
-        for sweep in &trace.sweeps {
+        for (j, sweep) in trace.sweeps.iter().enumerate() {
             // Edge work is balanced by the vertex-cut: each node handles
             // ~active_edges/N, gather + scatter (2 passes).
             let active_edges: u64 = sweep.total_edges();
-            let active_vertices: u64 =
-                sweep.nodes.iter().map(|l| l.active_vertices).sum();
+            let active_vertices: u64 = sweep.nodes.iter().map(|l| l.active_vertices).sum();
             let per_node_edges = active_edges.div_ceil(nodes);
             let work_ns = 2.0 * per_node_edges as f64 * p.per_edge_ns
                 + (active_vertices.div_ceil(nodes)) as f64 * p.per_vertex_ns;
             let compute = SimDuration::from_secs_f64(work_ns / c.cores_per_node as f64 / 1e9);
             // Replica synchronisation: each active vertex syncs its mirrors
             // (gather results in, new value out).
-            let sync_bytes = (active_vertices as f64 * (rf - 1.0)) as u64
-                * p.bytes_per_message
-                * 2;
+            let sync_bytes = (active_vertices as f64 * (rf - 1.0)) as u64 * p.bytes_per_message * 2;
             network_bytes += sync_bytes;
             let net = c.network_bw.transfer_time(sync_bytes / nodes.max(1));
-            t += compute + net + c.network_latency + p.superstep_overhead;
+            let step = compute + net + c.network_latency + p.superstep_overhead;
+            record_sweep(
+                &self.telemetry,
+                j as u32,
+                active_vertices,
+                active_edges,
+                step,
+            );
+            t += step;
         }
-        Ok(BaselineRun {
-            engine: p.name.to_string(),
-            algorithm: algorithm.to_string(),
-            elapsed: t - SimTime::ZERO,
-            sweeps: trace.sweeps.len() as u32,
+        Ok(finish_run(
+            &self.telemetry,
+            p.name,
+            algorithm,
+            t - SimTime::ZERO,
+            trace.sweeps.len() as u32,
             network_bytes,
-            memory_peak: graph_bytes,
-        })
+            graph_bytes,
+        ))
     }
 }
-
 
 #[cfg(test)]
 mod tests {

@@ -7,14 +7,14 @@
 //! MapGraph is less space-efficient than the G-Shard format of CuSha").
 
 use crate::propagation::{self, place, PropagationTrace};
-use crate::report::{values_to_u32, BaselineError, BaselineRun};
+use crate::report::{finish_run, record_sweep, values_to_u32, BaselineError, RunReport};
 use gts_gpu::GpuConfig;
 use gts_graph::Csr;
 use gts_sim::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
+use gts_telemetry::Telemetry;
 
 /// Space/speed profile of a GPU-resident format.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GpuOnlyProfile {
     /// Engine name.
     pub name: &'static str,
@@ -63,12 +63,28 @@ pub struct GpuOnlyEngine {
     pub profile: GpuOnlyProfile,
     /// GPU model.
     pub gpu: GpuConfig,
+    telemetry: Telemetry,
 }
 
 impl GpuOnlyEngine {
     /// Create an engine.
     pub fn new(profile: GpuOnlyProfile, gpu: GpuConfig) -> Self {
-        GpuOnlyEngine { profile, gpu }
+        GpuOnlyEngine {
+            profile,
+            gpu,
+            telemetry: Telemetry::new(),
+        }
+    }
+
+    /// Record runs into `tel` instead of a private handle.
+    pub fn with_telemetry(mut self, tel: Telemetry) -> Self {
+        self.telemetry = tel;
+        self
+    }
+
+    /// The engine's telemetry handle (counters of the last run).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Device bytes needed for `g` plus `wa_bytes_per_vertex` of state and
@@ -89,7 +105,7 @@ impl GpuOnlyEngine {
     }
 
     /// BFS from `source` (WA: 2-byte levels).
-    pub fn run_bfs(&self, g: &Csr, source: u32) -> Result<(Vec<u32>, BaselineRun), BaselineError> {
+    pub fn run_bfs(&self, g: &Csr, source: u32) -> Result<(Vec<u32>, RunReport), BaselineError> {
         self.check(g, 2, 0)?;
         let trace =
             propagation::min_propagation(g, Some(source), |_, _, x| x + 1.0, place::single(), 1);
@@ -103,7 +119,7 @@ impl GpuOnlyEngine {
         &self,
         g: &Csr,
         iterations: u32,
-    ) -> Result<(Vec<f64>, BaselineRun), BaselineError> {
+    ) -> Result<(Vec<f64>, RunReport), BaselineError> {
         self.check(g, 8, self.profile.pagerank_edge_value_bytes)?;
         let trace = propagation::pagerank_propagation(g, 0.85, iterations, place::single(), 1);
         let run = self.account(g, &trace, "PageRank", self.gpu.compute_slot_ns, 8);
@@ -129,25 +145,28 @@ impl GpuOnlyEngine {
         algorithm: &str,
         slot_ns: f64,
         wa_bpv: u64,
-    ) -> BaselineRun {
+    ) -> RunReport {
+        self.telemetry.start_run();
         let mut t = SimTime::ZERO;
-        for sweep in &trace.sweeps {
+        for (j, sweep) in trace.sweeps.iter().enumerate() {
             let edges = sweep.total_edges();
-            t += SimDuration::from_secs_f64(
+            let step = SimDuration::from_secs_f64(
                 edges as f64 * slot_ns * self.profile.kernel_multiplier / 1e9,
             ) + self.gpu.launch_overhead;
+            record_sweep(&self.telemetry, j as u32, sweep.total_active(), edges, step);
+            t += step;
         }
-        BaselineRun {
-            engine: self.profile.name.to_string(),
-            algorithm: algorithm.to_string(),
-            elapsed: t - SimTime::ZERO,
-            sweeps: trace.sweeps.len() as u32,
-            network_bytes: 0,
-            memory_peak: self.memory_needed(g, wa_bpv),
-        }
+        finish_run(
+            &self.telemetry,
+            self.profile.name,
+            algorithm,
+            t - SimTime::ZERO,
+            trace.sweeps.len() as u32,
+            0,
+            self.memory_needed(g, wa_bpv),
+        )
     }
 }
-
 
 #[cfg(test)]
 mod tests {

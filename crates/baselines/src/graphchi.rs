@@ -17,9 +17,10 @@
 //!   pass, doubling the I/O volume of a read-only streamer.
 
 use crate::propagation::{self, place, PropagationTrace};
-use crate::report::{values_to_u32, BaselineError, BaselineRun};
+use crate::report::{finish_run, record_sweep, values_to_u32, BaselineError, RunReport};
 use gts_graph::Csr;
 use gts_sim::{Bandwidth, SimDuration, SimTime};
+use gts_telemetry::Telemetry;
 
 /// GraphChi engine configuration.
 #[derive(Debug, Clone)]
@@ -53,12 +54,27 @@ impl Default for GraphChiConfig {
 #[derive(Debug, Clone)]
 pub struct GraphChi {
     cfg: GraphChiConfig,
+    telemetry: Telemetry,
 }
 
 impl GraphChi {
     /// Create an engine.
     pub fn new(cfg: GraphChiConfig) -> Self {
-        GraphChi { cfg }
+        GraphChi {
+            cfg,
+            telemetry: Telemetry::new(),
+        }
+    }
+
+    /// Record runs into `tel` instead of a private handle.
+    pub fn with_telemetry(mut self, tel: Telemetry) -> Self {
+        self.telemetry = tel;
+        self
+    }
+
+    /// The engine's telemetry handle (counters of the last run).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Number of shards for `g` under the memory budget (at least 1).
@@ -68,7 +84,7 @@ impl GraphChi {
     }
 
     /// BFS from `source`.
-    pub fn run_bfs(&self, g: &Csr, source: u32) -> Result<(Vec<u32>, BaselineRun), BaselineError> {
+    pub fn run_bfs(&self, g: &Csr, source: u32) -> Result<(Vec<u32>, RunReport), BaselineError> {
         let trace =
             propagation::min_propagation(g, Some(source), |_, _, x| x + 1.0, place::single(), 1);
         let run = self.account(g, &trace, "BFS");
@@ -80,18 +96,19 @@ impl GraphChi {
         &self,
         g: &Csr,
         iterations: u32,
-    ) -> Result<(Vec<f64>, BaselineRun), BaselineError> {
+    ) -> Result<(Vec<f64>, RunReport), BaselineError> {
         let trace = propagation::pagerank_propagation(g, 0.85, iterations, place::single(), 1);
         let run = self.account(g, &trace, "PageRank");
         Ok((trace.values.clone(), run))
     }
 
-    fn account(&self, g: &Csr, trace: &PropagationTrace, algorithm: &str) -> BaselineRun {
+    fn account(&self, g: &Csr, trace: &PropagationTrace, algorithm: &str) -> RunReport {
         let c = &self.cfg;
+        self.telemetry.start_run();
         let graph_bytes = g.num_edges() as u64 * c.edge_bytes;
         let mut t = SimTime::ZERO;
         let mut io_bytes = 0u64;
-        for sweep in &trace.sweeps {
+        for (j, sweep) in trace.sweeps.iter().enumerate() {
             // Every pass fully loads the graph's shards and rewrites the
             // updated edge values: read + write of the whole edge file.
             let load = c.storage_bw.transfer_time(graph_bytes);
@@ -102,20 +119,29 @@ impl GraphChi {
             io_bytes += 2 * graph_bytes;
             // The defining drawback: NO overlap — the phases are summed,
             // not maxed (X-Stream and GTS overlap I/O with compute).
-            t += load + compute + write;
-            let _ = sweep;
+            let step = load + compute + write;
+            record_sweep(
+                &self.telemetry,
+                j as u32,
+                sweep.total_active(),
+                g.num_edges() as u64,
+                step,
+            );
+            t += step;
         }
-        BaselineRun {
-            engine: "GraphChi".to_string(),
-            algorithm: algorithm.to_string(),
-            elapsed: t - SimTime::ZERO,
-            sweeps: trace.sweeps.len() as u32,
-            network_bytes: io_bytes,
-            memory_peak: self.cfg.memory_budget.min(graph_bytes),
-        }
+        self.telemetry
+            .add(gts_telemetry::keys::IO_BYTES_READ, io_bytes);
+        finish_run(
+            &self.telemetry,
+            "GraphChi",
+            algorithm,
+            t - SimTime::ZERO,
+            trace.sweeps.len() as u32,
+            io_bytes,
+            self.cfg.memory_budget.min(graph_bytes),
+        )
     }
 }
-
 
 #[cfg(test)]
 mod tests {

@@ -43,14 +43,14 @@
 
 pub mod bsp;
 pub mod cluster;
-pub mod graphchi;
-pub mod propagation;
 pub mod cpu;
 pub mod gas;
 pub mod gpu_only;
+pub mod graphchi;
+pub mod propagation;
 pub mod report;
 pub mod totem;
 pub mod xstream;
 
 pub use cluster::{ClusterConfig, FrameworkProfile};
-pub use report::{BaselineError, BaselineRun};
+pub use report::{BaselineError, RunReport};

@@ -42,6 +42,11 @@ impl SweepLoads {
         self.nodes.iter().map(|n| n.edges).sum()
     }
 
+    /// Total active vertices this sweep.
+    pub fn total_active(&self) -> u64 {
+        self.nodes.iter().map(|n| n.active_vertices).sum()
+    }
+
     /// Total remote messages this sweep.
     pub fn total_remote_msgs(&self) -> u64 {
         self.nodes.iter().map(|n| n.remote_msgs_in).sum()

@@ -1,25 +1,54 @@
 //! Results and errors shared by all baseline engines.
+//!
+//! Baselines report through the same telemetry-backed [`RunReport`] as the
+//! GTS engine: each engine holds a [`Telemetry`] handle, records its
+//! counters into the registry under the [`keys`] glossary, and derives the
+//! report from it with [`finish_run`]. There is no baseline-specific
+//! report struct any more.
 
 use gts_sim::SimDuration;
-use serde::{Deserialize, Serialize};
+use gts_telemetry::{keys, Telemetry};
 use std::fmt;
 
-/// Outcome of one baseline run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct BaselineRun {
-    /// Engine name as printed in the paper's figures ("Giraph",
-    /// "PowerGraph", "TOTEM", ...).
-    pub engine: String,
-    /// Algorithm name.
-    pub algorithm: String,
-    /// Simulated elapsed time.
-    pub elapsed: SimDuration,
-    /// Supersteps / iterations executed.
-    pub sweeps: u32,
-    /// Bytes that crossed the network (distributed engines only).
-    pub network_bytes: u64,
-    /// Peak memory demand observed on the most loaded node/device.
-    pub memory_peak: u64,
+pub use gts_telemetry::RunReport;
+
+/// Record a finished run's aggregates into `tel`'s registry and derive the
+/// unified [`RunReport`] from it. The caller must have called
+/// [`Telemetry::start_run`] at the start of the run (so per-sweep counters
+/// recorded along the way survive).
+pub fn finish_run(
+    tel: &Telemetry,
+    engine: &str,
+    algorithm: &str,
+    elapsed: SimDuration,
+    sweeps: u32,
+    network_bytes: u64,
+    memory_peak: u64,
+) -> RunReport {
+    tel.set(keys::RUN_ELAPSED_NS, elapsed.as_nanos());
+    tel.set(keys::RUN_SWEEPS, sweeps as u64);
+    tel.add(keys::NETWORK_BYTES, network_bytes);
+    tel.max(keys::MEMORY_PEAK, memory_peak);
+    RunReport::from_telemetry(tel, algorithm, engine)
+}
+
+/// Record one sweep's activity under the per-sweep keys.
+pub fn record_sweep(
+    tel: &Telemetry,
+    sweep: u32,
+    active_vertices: u64,
+    active_edges: u64,
+    elapsed: SimDuration,
+) {
+    tel.add(
+        keys::sweep(sweep, keys::SWEEP_ACTIVE_VERTICES),
+        active_vertices,
+    );
+    tel.add(keys::sweep(sweep, keys::SWEEP_ACTIVE_EDGES), active_edges);
+    tel.set(
+        keys::sweep(sweep, keys::SWEEP_ELAPSED_NS),
+        elapsed.as_nanos(),
+    );
 }
 
 /// Why a baseline failed — the figures' `O.O.M.` cells.
@@ -75,5 +104,29 @@ mod tests {
         };
         assert!(e.to_string().contains("Giraph"));
         assert!(e.to_string().contains("out of memory"));
+    }
+
+    #[test]
+    fn finish_run_round_trips_through_the_registry() {
+        let tel = Telemetry::new();
+        tel.start_run();
+        record_sweep(&tel, 0, 10, 100, SimDuration::from_nanos(5));
+        record_sweep(&tel, 1, 20, 200, SimDuration::from_nanos(7));
+        let r = finish_run(
+            &tel,
+            "Giraph",
+            "BFS",
+            SimDuration::from_nanos(12),
+            2,
+            4096,
+            1 << 20,
+        );
+        assert_eq!(r.engine, "Giraph");
+        assert_eq!(r.elapsed.as_nanos(), tel.counter(keys::RUN_ELAPSED_NS));
+        assert_eq!(r.network_bytes, 4096);
+        assert_eq!(r.memory_peak, 1 << 20);
+        assert_eq!(r.per_sweep.len(), 2);
+        assert_eq!(r.per_sweep[1].active_edges, 200);
+        assert_eq!(r.per_sweep[1].elapsed.as_nanos(), 7);
     }
 }

@@ -14,10 +14,11 @@
 //!    in-memory structure — TOTEM "cannot process RMAT30-32".
 
 use crate::propagation::{self, place, PropagationTrace};
-use crate::report::{values_to_u32, BaselineError, BaselineRun};
+use crate::report::{finish_run, record_sweep, values_to_u32, BaselineError, RunReport};
 use gts_gpu::{GpuConfig, PcieConfig};
 use gts_graph::{reference, Csr, EdgeList};
 use gts_sim::{SimDuration, SimTime};
+use gts_telemetry::Telemetry;
 
 /// TOTEM configuration.
 #[derive(Debug, Clone)]
@@ -75,12 +76,27 @@ const DEV_BYTES_PER_VERTEX: u64 = 8;
 #[derive(Debug, Clone)]
 pub struct Totem {
     cfg: TotemConfig,
+    telemetry: Telemetry,
 }
 
 impl Totem {
     /// Create an engine.
     pub fn new(cfg: TotemConfig) -> Self {
-        Totem { cfg }
+        Totem {
+            cfg,
+            telemetry: Telemetry::new(),
+        }
+    }
+
+    /// Record runs into `tel` instead of a private handle.
+    pub fn with_telemetry(mut self, tel: Telemetry) -> Self {
+        self.telemetry = tel;
+        self
+    }
+
+    /// The engine's telemetry handle (counters of the last run).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The configuration in use.
@@ -97,16 +113,26 @@ impl Totem {
     }
 
     /// BFS from `source`.
-    pub fn run_bfs(&self, g: &Csr, source: u32) -> Result<(Vec<u32>, BaselineRun), BaselineError> {
+    pub fn run_bfs(&self, g: &Csr, source: u32) -> Result<(Vec<u32>, RunReport), BaselineError> {
         let split = self.split_vertex(g)?;
-        let trace =
-            propagation::min_propagation(g, Some(source), |_, _, x| x + 1.0, place::two_way(split), 2);
-        let run = self.account(g, &trace, "BFS", self.gpu_edge_ns(self.cfg.gpu.traversal_slot_ns))?;
+        let trace = propagation::min_propagation(
+            g,
+            Some(source),
+            |_, _, x| x + 1.0,
+            place::two_way(split),
+            2,
+        );
+        let run = self.account(
+            g,
+            &trace,
+            "BFS",
+            self.gpu_edge_ns(self.cfg.gpu.traversal_slot_ns),
+        )?;
         Ok((values_to_u32(&trace.values), run))
     }
 
     /// SSSP from `source`.
-    pub fn run_sssp(&self, g: &Csr, source: u32) -> Result<(Vec<u32>, BaselineRun), BaselineError> {
+    pub fn run_sssp(&self, g: &Csr, source: u32) -> Result<(Vec<u32>, RunReport), BaselineError> {
         let split = self.split_vertex(g)?;
         let trace = propagation::min_propagation(
             g,
@@ -115,16 +141,26 @@ impl Totem {
             place::two_way(split),
             2,
         );
-        let run = self.account(g, &trace, "SSSP", self.gpu_edge_ns(self.cfg.gpu.traversal_slot_ns))?;
+        let run = self.account(
+            g,
+            &trace,
+            "SSSP",
+            self.gpu_edge_ns(self.cfg.gpu.traversal_slot_ns),
+        )?;
         Ok((values_to_u32(&trace.values), run))
     }
 
     /// Weakly connected components.
-    pub fn run_cc(&self, g: &Csr) -> Result<(Vec<u32>, BaselineRun), BaselineError> {
+    pub fn run_cc(&self, g: &Csr) -> Result<(Vec<u32>, RunReport), BaselineError> {
         let sym = g.symmetrize();
         let split = self.split_vertex(&sym)?;
         let trace = propagation::min_propagation(&sym, None, |_, _, x| x, place::two_way(split), 2);
-        let run = self.account(&sym, &trace, "CC", self.gpu_edge_ns(self.cfg.gpu.traversal_slot_ns))?;
+        let run = self.account(
+            &sym,
+            &trace,
+            "CC",
+            self.gpu_edge_ns(self.cfg.gpu.traversal_slot_ns),
+        )?;
         Ok((values_to_u32(&trace.values), run))
     }
 
@@ -133,28 +169,41 @@ impl Totem {
         &self,
         g: &Csr,
         iterations: u32,
-    ) -> Result<(Vec<f64>, BaselineRun), BaselineError> {
+    ) -> Result<(Vec<f64>, RunReport), BaselineError> {
         let split = self.split_vertex(g)?;
         let trace =
             propagation::pagerank_propagation(g, 0.85, iterations, place::two_way(split), 2);
-        let run = self.account(g, &trace, "PageRank", self.gpu_edge_ns(self.cfg.gpu.compute_slot_ns))?;
+        let run = self.account(
+            g,
+            &trace,
+            "PageRank",
+            self.gpu_edge_ns(self.cfg.gpu.compute_slot_ns),
+        )?;
         Ok((trace.values.clone(), run))
     }
 
     /// Betweenness centrality from one source (Fig. 13c). Functionally
     /// Brandes; timed as a forward BFS plus a backward accumulation pass of
     /// the same volume with heavier per-edge arithmetic.
-    pub fn run_bc(&self, g: &Csr, source: u32) -> Result<(Vec<f64>, BaselineRun), BaselineError> {
+    pub fn run_bc(&self, g: &Csr, source: u32) -> Result<(Vec<f64>, RunReport), BaselineError> {
         let split = self.split_vertex(g)?;
-        let trace =
-            propagation::min_propagation(g, Some(source), |_, _, x| x + 1.0, place::two_way(split), 2);
-        let mut run = self.account(g, &trace, "BC", self.gpu_edge_ns(self.cfg.gpu.traversal_slot_ns * 1.5))?;
+        let trace = propagation::min_propagation(
+            g,
+            Some(source),
+            |_, _, x| x + 1.0,
+            place::two_way(split),
+            2,
+        );
         // Forward + backward: the accumulation pass replays the levels in
         // reverse with the same volume, so time, traffic and superstep
         // count all double.
-        run.elapsed = run.elapsed * 2;
-        run.network_bytes *= 2;
-        run.sweeps *= 2;
+        let run = self.account_passes(
+            g,
+            &trace,
+            "BC",
+            self.gpu_edge_ns(self.cfg.gpu.traversal_slot_ns * 1.5),
+            true,
+        )?;
         let bc = reference::betweenness(g, &[source]);
         Ok((bc, run))
     }
@@ -192,8 +241,7 @@ impl Totem {
     /// Pick the vertex boundary so the GPU partition holds ~`gpu_fraction`
     /// of the edges, clamped by device memory; verifies host capacity.
     fn split_vertex(&self, g: &Csr) -> Result<u32, BaselineError> {
-        let host_needed =
-            g.num_edges() as u64 * HOST_BYTES_PER_EDGE + g.num_vertices() as u64 * 8;
+        let host_needed = g.num_edges() as u64 * HOST_BYTES_PER_EDGE + g.num_vertices() as u64 * 8;
         if host_needed > self.cfg.host_memory {
             return Err(BaselineError::OutOfMemory {
                 engine: "TOTEM".to_string(),
@@ -205,8 +253,7 @@ impl Totem {
         let state = g.num_vertices() as u64 * DEV_BYTES_PER_VERTEX;
         let budget = self.cfg.gpu.device_memory.saturating_sub(state);
         let max_dev_edges = budget / DEV_BYTES_PER_EDGE;
-        let want_edges =
-            ((g.num_edges() as f64 * self.cfg.gpu_fraction) as u64).min(max_dev_edges);
+        let want_edges = ((g.num_edges() as f64 * self.cfg.gpu_fraction) as u64).min(max_dev_edges);
         // Largest split with prefix-edges <= want_edges.
         let offsets = g.offsets();
         let split = offsets.partition_point(|&o| o <= want_edges) - 1;
@@ -219,10 +266,26 @@ impl Totem {
         trace: &PropagationTrace,
         algorithm: &str,
         gpu_edge_ns: f64,
-    ) -> Result<BaselineRun, BaselineError> {
+    ) -> Result<RunReport, BaselineError> {
+        self.account_passes(g, trace, algorithm, gpu_edge_ns, false)
+    }
+
+    /// Cost accounting. With `backward_pass`, a second pass of the same
+    /// per-sweep volume is replayed in reverse (Brandes' accumulation), so
+    /// the registry carries both passes and the derived report doubles.
+    fn account_passes(
+        &self,
+        g: &Csr,
+        trace: &PropagationTrace,
+        algorithm: &str,
+        gpu_edge_ns: f64,
+        backward_pass: bool,
+    ) -> Result<RunReport, BaselineError> {
         let c = &self.cfg;
+        self.telemetry.start_run();
         let mut t = SimTime::ZERO;
         let mut pcie_bytes = 0u64;
+        let mut steps = Vec::with_capacity(trace.sweeps.len());
         for sweep in &trace.sweeps {
             let gpu_load = &sweep.nodes[0];
             let cpu_load = &sweep.nodes[1];
@@ -235,21 +298,40 @@ impl Totem {
             let boundary = (gpu_load.remote_msgs_in + cpu_load.remote_msgs_in) * 8;
             pcie_bytes += boundary;
             let sync = c.pcie.latency + c.pcie.chunk_bw.transfer_time(boundary);
-            t += gpu_time.max(cpu_time) + sync;
+            let step = gpu_time.max(cpu_time) + sync;
+            steps.push((
+                gpu_load.active_vertices + cpu_load.active_vertices,
+                gpu_load.edges + cpu_load.edges,
+                step,
+            ));
+            t += step;
         }
-        let host_needed =
-            g.num_edges() as u64 * HOST_BYTES_PER_EDGE + g.num_vertices() as u64 * 8;
-        Ok(BaselineRun {
-            engine: "TOTEM".to_string(),
-            algorithm: algorithm.to_string(),
-            elapsed: t - SimTime::ZERO,
-            sweeps: trace.sweeps.len() as u32,
-            network_bytes: pcie_bytes,
-            memory_peak: host_needed,
-        })
+        for (j, &(v, e, step)) in steps.iter().enumerate() {
+            record_sweep(&self.telemetry, j as u32, v, e, step);
+        }
+        let n = steps.len();
+        let mut sweeps = n as u32;
+        let mut elapsed = t - SimTime::ZERO;
+        if backward_pass {
+            for (k, &(v, e, step)) in steps.iter().rev().enumerate() {
+                record_sweep(&self.telemetry, (n + k) as u32, v, e, step);
+            }
+            elapsed = elapsed * 2;
+            pcie_bytes *= 2;
+            sweeps *= 2;
+        }
+        let host_needed = g.num_edges() as u64 * HOST_BYTES_PER_EDGE + g.num_vertices() as u64 * 8;
+        Ok(finish_run(
+            &self.telemetry,
+            "TOTEM",
+            algorithm,
+            elapsed,
+            sweeps,
+            pcie_bytes,
+            host_needed,
+        ))
     }
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -300,7 +382,10 @@ mod tests {
         let totem = Totem::new(cfg);
         let g = small();
         let frac = totem.effective_gpu_fraction(&g).unwrap();
-        assert!(frac < 0.5, "device memory must clamp the partition, got {frac}");
+        assert!(
+            frac < 0.5,
+            "device memory must clamp the partition, got {frac}"
+        );
     }
 
     #[test]
@@ -336,9 +421,7 @@ mod tests {
     #[test]
     fn best_ratio_prefers_more_gpu_when_it_fits() {
         let g = Csr::from_edge_list(&rmat(13));
-        let (frac, _) = engine()
-            .best_ratio(&g, &[0.1, 0.5, 0.9], true)
-            .unwrap();
+        let (frac, _) = engine().best_ratio(&g, &[0.1, 0.5, 0.9], true).unwrap();
         assert!(frac >= 0.5, "GPU-heavy ratios should win, got {frac}");
     }
 }

@@ -15,9 +15,10 @@
 //!   sequential bandwidth, unlike GTS's read-only page streaming.
 
 use crate::propagation::{self, place, PropagationTrace};
-use crate::report::{values_to_u32, BaselineError, BaselineRun};
+use crate::report::{finish_run, record_sweep, values_to_u32, BaselineError, RunReport};
 use gts_graph::{Csr, EdgeList};
 use gts_sim::{Bandwidth, SimDuration, SimTime};
+use gts_telemetry::Telemetry;
 
 /// X-Stream engine configuration.
 #[derive(Debug, Clone)]
@@ -53,16 +54,31 @@ impl Default for XStreamConfig {
 #[derive(Debug, Clone)]
 pub struct XStream {
     cfg: XStreamConfig,
+    telemetry: Telemetry,
 }
 
 impl XStream {
     /// Create an engine.
     pub fn new(cfg: XStreamConfig) -> Self {
-        XStream { cfg }
+        XStream {
+            cfg,
+            telemetry: Telemetry::new(),
+        }
+    }
+
+    /// Record runs into `tel` instead of a private handle.
+    pub fn with_telemetry(mut self, tel: Telemetry) -> Self {
+        self.telemetry = tel;
+        self
+    }
+
+    /// The engine's telemetry handle (counters of the last run).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// BFS from `source`.
-    pub fn run_bfs(&self, g: &Csr, source: u32) -> Result<(Vec<u32>, BaselineRun), BaselineError> {
+    pub fn run_bfs(&self, g: &Csr, source: u32) -> Result<(Vec<u32>, RunReport), BaselineError> {
         self.check(g)?;
         let trace =
             propagation::min_propagation(g, Some(source), |_, _, x| x + 1.0, place::single(), 1);
@@ -71,7 +87,7 @@ impl XStream {
     }
 
     /// SSSP from `source`.
-    pub fn run_sssp(&self, g: &Csr, source: u32) -> Result<(Vec<u32>, BaselineRun), BaselineError> {
+    pub fn run_sssp(&self, g: &Csr, source: u32) -> Result<(Vec<u32>, RunReport), BaselineError> {
         self.check(g)?;
         let trace = propagation::min_propagation(
             g,
@@ -89,7 +105,7 @@ impl XStream {
         &self,
         g: &Csr,
         iterations: u32,
-    ) -> Result<(Vec<f64>, BaselineRun), BaselineError> {
+    ) -> Result<(Vec<f64>, RunReport), BaselineError> {
         self.check(g)?;
         let trace = propagation::pagerank_propagation(g, 0.85, iterations, place::single(), 1);
         let run = self.account(g, &trace, "PageRank");
@@ -110,40 +126,47 @@ impl XStream {
         Ok(())
     }
 
-    fn account(&self, g: &Csr, trace: &PropagationTrace, algorithm: &str) -> BaselineRun {
+    fn account(&self, g: &Csr, trace: &PropagationTrace, algorithm: &str) -> RunReport {
         let c = &self.cfg;
+        self.telemetry.start_run();
         let full_scan_bytes = g.num_edges() as u64 * c.edge_bytes;
         let mut t = SimTime::ZERO;
         let mut io_bytes = 0u64;
-        for sweep in &trace.sweeps {
+        for (j, sweep) in trace.sweeps.iter().enumerate() {
             // Scatter: stream the WHOLE edge list, regardless of frontier.
             let scan = c.storage_bw.transfer_time(full_scan_bytes);
             // Updates: one per edge leaving an active vertex; written then
             // read back (shuffle + gather) — mixed read/write streaming.
             let updates = sweep.total_edges();
-            let update_io = c
-                .storage_bw
-                .transfer_time(2 * updates * c.update_bytes);
+            let update_io = c.storage_bw.transfer_time(2 * updates * c.update_bytes);
             let compute = SimDuration::from_secs_f64(
-                (g.num_edges() as u64 + updates) as f64 * c.per_edge_ns
-                    / c.threads as f64
-                    / 1e9,
+                (g.num_edges() as u64 + updates) as f64 * c.per_edge_ns / c.threads as f64 / 1e9,
             );
             io_bytes += full_scan_bytes + 2 * updates * c.update_bytes;
             // I/O and compute overlap; the longer one gates the iteration.
-            t += (scan + update_io).max(compute);
+            let step = (scan + update_io).max(compute);
+            record_sweep(
+                &self.telemetry,
+                j as u32,
+                sweep.total_active(),
+                g.num_edges() as u64 + updates,
+                step,
+            );
+            t += step;
         }
-        BaselineRun {
-            engine: "X-Stream".to_string(),
-            algorithm: algorithm.to_string(),
-            elapsed: t - SimTime::ZERO,
-            sweeps: trace.sweeps.len() as u32,
-            network_bytes: io_bytes,
-            memory_peak: g.num_vertices() as u64 * 16,
-        }
+        self.telemetry
+            .add(gts_telemetry::keys::IO_BYTES_READ, io_bytes);
+        finish_run(
+            &self.telemetry,
+            "X-Stream",
+            algorithm,
+            t - SimTime::ZERO,
+            trace.sweeps.len() as u32,
+            io_bytes,
+            g.num_vertices() as u64 * 16,
+        )
     }
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -190,13 +213,18 @@ mod tests {
         let (_, r6) = e.run_pagerank(&g, 6).unwrap();
         assert_eq!(r6.sweeps, 6);
         let ratio = r6.elapsed.as_secs_f64() / r3.elapsed.as_secs_f64();
-        assert!((ratio - 2.0).abs() < 0.05, "linear in iterations, got {ratio}");
+        assert!(
+            (ratio - 2.0).abs() < 0.05,
+            "linear in iterations, got {ratio}"
+        );
     }
 
     #[test]
     fn vertex_data_must_fit() {
-        let mut cfg = XStreamConfig::default();
-        cfg.host_memory = 64;
+        let cfg = XStreamConfig {
+            host_memory: 64,
+            ..Default::default()
+        };
         match XStream::new(cfg).run_bfs(&small(), 0) {
             Err(BaselineError::OutOfMemory { engine, .. }) => assert_eq!(engine, "X-Stream"),
             other => panic!("expected OOM, got {other:?}"),

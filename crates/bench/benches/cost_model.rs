@@ -20,7 +20,13 @@ fn main() {
     let mut t = ExperimentTable::new(
         "cost_model",
         "Eq.(1)/Eq.(2) predictions vs measured elapsed (Sec. 5, Sec. 7.5)",
-        &["algorithm", "dataset", "model(s)", "measured(s)", "model/measured"],
+        &[
+            "algorithm",
+            "dataset",
+            "model(s)",
+            "measured(s)",
+            "model/measured",
+        ],
     );
     for d in [Dataset::Rmat(17), Dataset::Rmat(18), Dataset::Rmat(19)] {
         let prep = Prepared::build(d);
@@ -49,8 +55,7 @@ fn main() {
         // Last-kernel time: one average page's compute-class kernel.
         let avg_edges = prep.store.num_edges() / pages.max(1);
         let last = SimDuration::from_secs_f64(
-            (avg_edges as f64 * (cfg.gpu.compute_slot_ns * 1.5 + cfg.gpu.compute_atomic_ns))
-                / 1e9,
+            (avg_edges as f64 * (cfg.gpu.compute_slot_ns * 1.5 + cfg.gpu.compute_atomic_ns)) / 1e9,
         );
         let model = cost::pagerank_like(&p, ra, topo, 0, pages, last) * PR_ITERATIONS as u64;
         t.row(vec![

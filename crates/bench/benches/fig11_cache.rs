@@ -31,8 +31,10 @@ fn main() {
     // as the paper-shape reproduction, LRU as the engine default — the
     // difference itself is a finding (see EXPERIMENTS.md and the
     // `ablation_cache_policy` bench).
-    for (policy_name, policy) in [("random", CachePolicyKind::Random), ("lru", CachePolicyKind::Lru)]
-    {
+    for (policy_name, policy) in [
+        ("random", CachePolicyKind::Random),
+        ("lru", CachePolicyKind::Lru),
+    ] {
         let mut time_t = ExperimentTable::new(
             &format!("fig11_time_{policy_name}"),
             &format!("BFS elapsed seconds vs cache size KiB, {policy_name} (paper Fig. 11a)"),

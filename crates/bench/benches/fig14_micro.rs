@@ -23,7 +23,10 @@ fn main() {
     let densities = [4u32, 8, 16, 32];
     let techniques = [
         ("vertex-centric", MicroTechnique::VertexCentric),
-        ("edge-centric", MicroTechnique::EdgeCentric { virtual_warp: 32 }),
+        (
+            "edge-centric",
+            MicroTechnique::EdgeCentric { virtual_warp: 32 },
+        ),
         ("hybrid", MicroTechnique::Hybrid { virtual_warp: 32 }),
     ];
     for (alg, pagerank) in [("bfs", false), ("pagerank", true)] {

@@ -2,62 +2,52 @@
 //!
 //! Fig. 3 is the idealised schedule; Fig. 4 shows profiler timelines for
 //! BFS and PageRank with 16 streams: short copy bars with sparse kernels
-//! for BFS, a dense wall of kernel bars for PageRank. This bench renders
-//! the simulator's recorded timelines the same way (▒ = copy, █ = kernel).
+//! for BFS, a dense wall of kernel bars for PageRank. This bench records a
+//! run with spans enabled and renders the telemetry the same way
+//! (▒ = copy, █ = kernel).
 
 use gts_bench::datasets::{Prepared, BFS_SOURCE};
 use gts_bench::scale;
 use gts_core::programs::{Bfs, PageRank};
 use gts_graph::Dataset;
-use gts_sim::timeline::SpanKind;
+use gts_telemetry::SpanCat;
 
 fn main() {
     let prep = Prepared::build(Dataset::Rmat(16));
     for pagerank in [false, true] {
         let mut cfg = scale::gts_config();
-        cfg.record_timeline = true;
         cfg.cache_limit_bytes = Some(0);
         cfg.num_streams = 16;
-        let (name, report) = if pagerank {
+        let (name, tel) = if pagerank {
             let mut pr = PageRank::new(prep.store.num_vertices(), 2);
-            ("PageRank", prep.run_gts(cfg, &mut pr).expect("run"))
+            let (_, tel) = prep.run_gts_traced(cfg, &mut pr).expect("run");
+            ("PageRank", tel)
         } else {
             let mut bfs = Bfs::new(prep.store.num_vertices(), BFS_SOURCE);
-            ("BFS", prep.run_gts(cfg, &mut bfs).expect("run"))
+            let (_, tel) = prep.run_gts_traced(cfg, &mut bfs).expect("run");
+            ("BFS", tel)
         };
-        let tl = report.timeline.expect("timeline enabled");
         println!("\n== fig4 — streaming timeline for {name} (16 streams, RMAT16) ==");
-        println!("{}", tl.render_ascii(100));
-        let copies = tl
-            .spans()
+        println!("{}", tel.render_ascii(100));
+        let spans = tel.spans();
+        let copies = spans.iter().filter(|s| s.cat == SpanCat::Copy).count();
+        let kernels = spans.iter().filter(|s| s.cat == SpanCat::Kernel).count();
+        let busy = tel.busy_per_track();
+        let kernel_busy: f64 = spans
             .iter()
-            .filter(|s| s.kind == SpanKind::Copy)
-            .count();
-        let kernels = tl
-            .spans()
-            .iter()
-            .filter(|s| s.kind == SpanKind::Kernel)
-            .count();
-        let busy = tl.busy_per_lane();
-        let kernel_busy: f64 = tl
-            .spans()
-            .iter()
-            .filter(|s| s.kind == SpanKind::Kernel)
+            .filter(|s| s.cat == SpanCat::Kernel)
             .map(|s| (s.end - s.start).as_secs_f64())
             .sum();
-        let copy_busy: f64 = tl
-            .spans()
+        let copy_busy: f64 = spans
             .iter()
-            .filter(|s| s.kind == SpanKind::Copy)
+            .filter(|s| s.cat == SpanCat::Copy)
             .map(|s| (s.end - s.start).as_secs_f64())
             .sum();
         println!(
-            "  {copies} copies, {kernels} kernels across {} lanes; kernel:copy busy = {:.2}",
+            "  {copies} copies, {kernels} kernels across {} tracks; kernel:copy busy = {:.2}",
             busy.len(),
             kernel_busy / copy_busy.max(1e-12),
         );
-        println!(
-            "  paper shape: the PageRank timeline is denser with kernel work than BFS's"
-        );
+        println!("  paper shape: the PageRank timeline is denser with kernel work than BFS's");
     }
 }

@@ -96,7 +96,9 @@ fn main() {
         let mut gas = GasEngine::new(cluster.clone());
         gas.profile = scale::framework(gas.profile);
         bfs_row.push(cell(gas.run_bfs(&prep.csr, BFS_SOURCE as u32).map(|r| r.1)));
-        pr_row.push(cell(gas.run_pagerank(&prep.csr, PR_ITERATIONS).map(|r| r.1)));
+        pr_row.push(cell(
+            gas.run_pagerank(&prep.csr, PR_ITERATIONS).map(|r| r.1),
+        ));
 
         // GTS itself.
         let cfg = gts_config_for(d);
@@ -123,7 +125,7 @@ fn main() {
     );
 }
 
-fn cell(r: Result<gts_baselines::BaselineRun, gts_baselines::BaselineError>) -> String {
+fn cell(r: Result<gts_baselines::RunReport, gts_baselines::BaselineError>) -> String {
     match r {
         Ok(run) => secs(run.elapsed),
         Err(_) => "O.O.M.".into(),

@@ -41,7 +41,9 @@ fn main() {
     ] {
         let mut t = ExperimentTable::new(
             &format!("fig9_{}", alg_name.to_lowercase()),
-            &format!("{alg_name} on RMAT20 (paper RMAT30), Strategy-P vs Strategy-S (paper Fig. 9)"),
+            &format!(
+                "{alg_name} on RMAT20 (paper RMAT30), Strategy-P vs Strategy-S (paper Fig. 9)"
+            ),
             &[
                 "storage",
                 "paper P(s)",

@@ -1,10 +1,12 @@
-//! Criterion micro-benchmarks of the hot paths: slotted-page build and
-//! decode, RVT translation, cache access, RMAT generation, and a full
-//! engine run — these measure *wall-clock* performance of the
-//! implementation itself (everything else in this crate reports simulated
-//! time).
+//! Micro-benchmarks of the hot paths: slotted-page build and decode, RVT
+//! translation, cache access, RMAT generation, and a full engine run —
+//! these measure *wall-clock* performance of the implementation itself
+//! (everything else in this crate reports simulated time).
+//!
+//! Self-timed (no external harness): each workload runs for a warmup
+//! round and then a fixed number of iterations, reporting the best time —
+//! the least noisy statistic on a shared machine.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gts_core::engine::{Gts, GtsConfig};
 use gts_core::programs::{Bfs, PageRank};
 use gts_graph::generate::Rmat;
@@ -12,161 +14,157 @@ use gts_graph::Csr;
 use gts_storage::cache::{CachePolicy, LruCache};
 use gts_storage::{build_graph_store, PageFormatConfig, PageKind, PhysicalIdConfig};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 fn fmt() -> PageFormatConfig {
     PageFormatConfig::new(PhysicalIdConfig::ORIGINAL, 64 * 1024)
 }
 
-fn bench_store_build(c: &mut Criterion) {
-    let mut g = c.benchmark_group("store_build");
+/// Run `f` for `iters` timed iterations (after one warmup) and report the
+/// best wall-clock time, optionally as a throughput over `elements`.
+fn bench<T>(name: &str, iters: u32, elements: u64, mut f: impl FnMut() -> T) {
+    black_box(f());
+    let mut best = Duration::MAX;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        black_box(f());
+        best = best.min(t0.elapsed());
+    }
+    let rate = if elements > 0 && !best.is_zero() {
+        format!(
+            "  ({:.1} Melem/s)",
+            elements as f64 / best.as_secs_f64() / 1e6
+        )
+    } else {
+        String::new()
+    };
+    println!("{name:<40} {best:>12.3?}{rate}");
+}
+
+fn bench_store_build() {
     for scale in [12u32, 14] {
         let graph = Rmat::new(scale).generate();
-        g.throughput(Throughput::Elements(graph.num_edges() as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(scale), &graph, |b, graph| {
-            b.iter(|| build_graph_store(black_box(graph), fmt()).unwrap());
+        let edges = graph.num_edges() as u64;
+        bench(&format!("store_build/rmat{scale}"), 5, edges, || {
+            build_graph_store(black_box(&graph), fmt()).unwrap()
         });
     }
-    g.finish();
 }
 
-fn bench_page_scan(c: &mut Criterion) {
+fn bench_page_scan() {
     let graph = Rmat::new(14).generate();
     let store = build_graph_store(&graph, fmt()).unwrap();
-    let mut g = c.benchmark_group("page_scan");
-    g.throughput(Throughput::Elements(store.num_edges()));
-    g.bench_function("decode_all_pages", |b| {
-        b.iter(|| {
-            let mut sum = 0u64;
-            for pid in 0..store.num_pages() {
-                let v = store.view(pid);
-                match v.kind() {
-                    PageKind::Small => {
-                        for (vid, adj) in v.sp_vertices() {
-                            sum += vid;
-                            for rid in adj {
-                                sum += store.rvt().translate(rid);
-                            }
-                        }
-                    }
-                    PageKind::Large => {
-                        for i in 0..v.count() {
-                            sum += store.rvt().translate(v.lp_adj(i));
+    bench("page_scan/decode_all_pages", 10, store.num_edges(), || {
+        let mut sum = 0u64;
+        for pid in 0..store.num_pages() {
+            let v = store.view(pid);
+            match v.kind() {
+                PageKind::Small => {
+                    for (vid, adj) in v.sp_vertices() {
+                        sum += vid;
+                        for rid in adj {
+                            sum += store.rvt().translate(rid);
                         }
                     }
                 }
-            }
-            black_box(sum)
-        });
-    });
-    g.finish();
-}
-
-fn bench_cache(c: &mut Criterion) {
-    let mut g = c.benchmark_group("lru_cache");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("access_zipf_like", |b| {
-        b.iter(|| {
-            let mut cache = LruCache::new(256);
-            let mut hits = 0u64;
-            for i in 0..10_000u64 {
-                // Skewed reference stream: low pids are hot.
-                let pid = (i * i) % 1024;
-                if cache.access(black_box(pid)) {
-                    hits += 1;
+                PageKind::Large => {
+                    for i in 0..v.count() {
+                        sum += store.rvt().translate(v.lp_adj(i));
+                    }
                 }
             }
-            black_box(hits)
-        });
+        }
+        sum
     });
-    g.finish();
 }
 
-fn bench_rmat(c: &mut Criterion) {
-    let mut g = c.benchmark_group("rmat_generate");
+fn bench_cache() {
+    bench("lru_cache/access_zipf_like", 20, 10_000, || {
+        let mut cache = LruCache::new(256);
+        let mut hits = 0u64;
+        for i in 0..10_000u64 {
+            // Skewed reference stream: low pids are hot.
+            let pid = (i * i) % 1024;
+            if cache.access(black_box(pid)) {
+                hits += 1;
+            }
+        }
+        hits
+    });
+}
+
+fn bench_rmat() {
     let graph = Rmat::new(14);
-    g.throughput(Throughput::Elements((1u64 << 14) * 16));
-    g.bench_function("scale14", |b| b.iter(|| black_box(graph.generate())));
-    g.finish();
+    bench("rmat_generate/scale14", 5, (1u64 << 14) * 16, || {
+        graph.generate()
+    });
 }
 
-fn bench_engine(c: &mut Criterion) {
+fn bench_engine() {
     let graph = Rmat::new(13).generate();
     let store = build_graph_store(&graph, fmt()).unwrap();
     let csr = Csr::from_edge_list(&graph);
-    let mut g = c.benchmark_group("engine_wallclock");
-    g.throughput(Throughput::Elements(store.num_edges()));
-    g.bench_function("gts_bfs_rmat13", |b| {
-        b.iter(|| {
-            let mut bfs = Bfs::new(store.num_vertices(), 0);
-            Gts::new(GtsConfig::default())
-                .run(black_box(&store), &mut bfs)
-                .unwrap()
-        });
+    let edges = store.num_edges();
+    bench("engine_wallclock/gts_bfs_rmat13", 5, edges, || {
+        let mut bfs = Bfs::new(store.num_vertices(), 0);
+        Gts::new(GtsConfig::default())
+            .run(black_box(&store), &mut bfs)
+            .unwrap()
     });
-    g.bench_function("gts_pagerank3_rmat13", |b| {
-        b.iter(|| {
-            let mut pr = PageRank::new(store.num_vertices(), 3);
-            Gts::new(GtsConfig::default())
-                .run(black_box(&store), &mut pr)
-                .unwrap()
-        });
+    bench("engine_wallclock/gts_pagerank3_rmat13", 5, edges, || {
+        let mut pr = PageRank::new(store.num_vertices(), 3);
+        Gts::new(GtsConfig::default())
+            .run(black_box(&store), &mut pr)
+            .unwrap()
     });
-    g.bench_function("reference_bfs_rmat13", |b| {
-        b.iter(|| black_box(gts_graph::reference::bfs(&csr, 0)));
+    bench("engine_wallclock/reference_bfs_rmat13", 5, edges, || {
+        gts_graph::reference::bfs(&csr, 0)
     });
-    g.finish();
 }
 
-fn bench_persistence(c: &mut Criterion) {
+fn bench_persistence() {
     let graph = Rmat::new(13).generate();
     let store = build_graph_store(&graph, fmt()).unwrap();
     let mut path = std::env::temp_dir();
     path.push(format!("gts-bench-persist-{}", std::process::id()));
-    let mut g = c.benchmark_group("persistence");
-    g.throughput(Throughput::Bytes(store.topology_bytes()));
-    g.bench_function("save_store", |b| {
-        b.iter(|| gts_storage::save_store(black_box(&store), &path).unwrap());
+    bench("persistence/save_store", 5, store.topology_bytes(), || {
+        gts_storage::save_store(black_box(&store), &path).unwrap()
     });
     gts_storage::save_store(&store, &path).unwrap();
-    g.bench_function("load_store_with_validation", |b| {
-        b.iter(|| black_box(gts_storage::load_store(&path).unwrap()));
-    });
+    bench(
+        "persistence/load_store_with_validation",
+        5,
+        store.topology_bytes(),
+        || gts_storage::load_store(&path).unwrap(),
+    );
     std::fs::remove_file(&path).ok();
-    g.finish();
 }
 
-fn bench_queries(c: &mut Criterion) {
+fn bench_queries() {
     use gts_core::queries::QueryEngine;
     let graph = Rmat::new(13).generate();
     let store = build_graph_store(&graph, fmt()).unwrap();
-    let mut g = c.benchmark_group("queries");
-    g.bench_function("neighbors_cached", |b| {
+    bench("queries/neighbors_cached", 10, 0, || {
         let mut q = QueryEngine::new(&store, 64);
-        b.iter(|| {
-            let mut total = 0usize;
-            for v in (0..store.num_vertices()).step_by(97) {
-                total += q.neighbors(black_box(v)).len();
-            }
-            black_box(total)
-        });
+        let mut total = 0usize;
+        for v in (0..store.num_vertices()).step_by(97) {
+            total += q.neighbors(black_box(v)).len();
+        }
+        total
     });
-    g.bench_function("egonet_hub", |b| {
-        b.iter(|| {
-            let mut q = QueryEngine::new(&store, 64);
-            black_box(q.egonet(black_box(1)))
-        });
+    bench("queries/egonet_hub", 10, 0, || {
+        let mut q = QueryEngine::new(&store, 64);
+        q.egonet(black_box(1))
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_store_build,
-    bench_page_scan,
-    bench_cache,
-    bench_rmat,
-    bench_engine,
-    bench_persistence,
-    bench_queries
-);
-criterion_main!(benches);
+fn main() {
+    println!("== micro — wall-clock hot paths (best of N) ==");
+    bench_store_build();
+    bench_page_scan();
+    bench_cache();
+    bench_rmat();
+    bench_engine();
+    bench_persistence();
+    bench_queries();
+}

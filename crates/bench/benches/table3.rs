@@ -15,7 +15,15 @@ fn main() {
     let mut t = ExperimentTable::new(
         "table3",
         "dataset statistics under the slotted page format (paper Table 3)",
-        &["dataset", "paper-equiv", "#vertices", "#edges", "(p,q)", "#SP", "#LP"],
+        &[
+            "dataset",
+            "paper-equiv",
+            "#vertices",
+            "#edges",
+            "(p,q)",
+            "#SP",
+            "#LP",
+        ],
     );
     for d in Dataset::comparison_sweep() {
         let prep = Prepared::build(d);

@@ -23,7 +23,15 @@ fn main() {
     let mut t = ExperimentTable::new(
         "table4",
         "WA size vs topology size, MiB at 1/1024 scale (paper Table 4)",
-        &["dataset", "topology", "BFS", "PageRank", "SSSP", "CC", "max WA/topo"],
+        &[
+            "dataset",
+            "topology",
+            "BFS",
+            "PageRank",
+            "SSSP",
+            "CC",
+            "max WA/topo",
+        ],
     );
     for d in [
         Dataset::Rmat(18),

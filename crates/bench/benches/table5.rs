@@ -28,9 +28,7 @@ fn main() {
     let mut t = ExperimentTable::new(
         "table5",
         "best TOTEM partition ratios GPU%:CPU% (paper Table 5)",
-        &[
-            "dataset", "gpus", "alg", "paper", "measured", "elapsed(s)",
-        ],
+        &["dataset", "gpus", "alg", "paper", "measured", "elapsed(s)"],
     );
     for (d, p1b, p1p, p2b, p2p) in paper {
         let prep = Prepared::build(d);
@@ -43,11 +41,9 @@ fn main() {
                     Ok((frac, elapsed)) => {
                         // Report the ratio of edges actually placed on the
                         // GPU after capacity clamping.
-                        let eff = Totem::new(
-                            totem.config().clone().with_gpu_fraction(frac),
-                        )
-                        .effective_gpu_fraction(&prep.csr)
-                        .unwrap_or(frac);
+                        let eff = Totem::new(totem.config().clone().with_gpu_fraction(frac))
+                            .effective_gpu_fraction(&prep.csr)
+                            .unwrap_or(frac);
                         let gpu_pct = (eff * 100.0).round() as u32;
                         t.row(vec![
                             d.name(),

@@ -4,6 +4,7 @@ use crate::scale;
 use gts_core::engine::{EngineError, Gts, GtsConfig};
 use gts_core::programs::GtsProgram;
 use gts_core::report::RunReport;
+use gts_core::Telemetry;
 use gts_graph::{Csr, Dataset, EdgeList};
 use gts_storage::builder::{build_from_csr, GraphStore};
 
@@ -42,6 +43,22 @@ impl Prepared {
         prog: &mut dyn GtsProgram,
     ) -> Result<RunReport, EngineError> {
         Gts::new(cfg).run(&self.store, prog)
+    }
+
+    /// Run with span recording on, returning the report and the telemetry
+    /// handle (for timeline rendering and chrome-trace export).
+    pub fn run_gts_traced(
+        &self,
+        cfg: GtsConfig,
+        prog: &mut dyn GtsProgram,
+    ) -> Result<(RunReport, Telemetry), EngineError> {
+        let engine = Gts::builder()
+            .config(cfg)
+            .telemetry(Telemetry::with_spans())
+            .build()
+            .expect("bench config valid");
+        let report = engine.run(&self.store, prog)?;
+        Ok((report, engine.telemetry().clone()))
     }
 }
 

@@ -84,9 +84,9 @@ pub fn cluster() -> ClusterConfig {
 
 /// A framework profile with its fixed per-superstep cost scaled to match
 /// the workload scale.
-pub fn framework(p: gts_baselines::cluster::FrameworkProfile)
-    -> gts_baselines::cluster::FrameworkProfile
-{
+pub fn framework(
+    p: gts_baselines::cluster::FrameworkProfile,
+) -> gts_baselines::cluster::FrameworkProfile {
     p.scaled(1 << SCALE_SHIFT)
 }
 

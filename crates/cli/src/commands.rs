@@ -20,12 +20,16 @@ macro_rules! outln {
     }};
 }
 use gts_core::engine::{CachePolicyKind, Gts, GtsConfig, StorageLocation};
-use gts_core::programs::{Bc, Bfs, Cc, Degrees, GtsProgram, KCore, PageRank, RadiusEstimation, Rwr, Sssp};
-use gts_core::Strategy;
+use gts_core::programs::{
+    Bc, Bfs, Cc, Degrees, GtsProgram, KCore, PageRank, RadiusEstimation, Rwr, Sssp,
+};
+use gts_core::{Strategy, Telemetry};
 use gts_gpu::GpuConfig;
 use gts_graph::generate::{erdos_renyi, web_like, Rmat};
 use gts_graph::{Dataset, EdgeList};
-use gts_storage::{build_graph_store, load_store, save_store, GraphStore, PageFormatConfig, PhysicalIdConfig};
+use gts_storage::{
+    build_graph_store, load_store, save_store, GraphStore, PageFormatConfig, PhysicalIdConfig,
+};
 
 const USAGE: &str = "\
 gts — GTS (SIGMOD'16) graph processing, reproduced in Rust
@@ -41,11 +45,13 @@ USAGE:
                [--source N] [--iterations N] [--k N] [--gpus N] [--streams N]
                [--strategy p|s] [--storage mem|ssd:N|hdd:N]
                [--device-memory BYTES] [--cache lru|fifo|random] [--json]
+               [--trace-out trace.json]
   gts help
 
 Edge files are the binary GTSEDGES format produced by `gts generate`, or
 plain text 'src dst' lines. Store files are the GTSPAGES slotted-page
-format of the paper's Section 2.";
+format of the paper's Section 2. `--trace-out` writes a chrome://tracing
+/ Perfetto JSON timeline of the run (the paper's Fig. 4 pipeline).";
 
 /// Dispatch the command line.
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
@@ -64,7 +70,15 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
 }
 
 fn generate(args: &Args) -> Result<(), String> {
-    args.reject_unknown(&["kind", "out", "scale", "edge-factor", "vertices", "edges", "seed"])?;
+    args.reject_unknown(&[
+        "kind",
+        "out",
+        "scale",
+        "edge-factor",
+        "vertices",
+        "edges",
+        "seed",
+    ])?;
     let kind = args.required("kind")?;
     let out = args.required("out")?;
     let seed = args.get_or("seed", 0x6715_2016u64)?;
@@ -72,7 +86,10 @@ fn generate(args: &Args) -> Result<(), String> {
         "rmat" => {
             let scale = args.get_or("scale", 16u32)?;
             let ef = args.get_or("edge-factor", 16u32)?;
-            Rmat::new(scale).with_edge_factor(ef).with_seed(seed).generate()
+            Rmat::new(scale)
+                .with_edge_factor(ef)
+                .with_seed(seed)
+                .generate()
         }
         "erdos" => {
             let n = args.get_or("vertices", 1u32 << 16)?;
@@ -121,15 +138,26 @@ fn build(args: &Args) -> Result<(), String> {
 
 fn info(args: &Args) -> Result<(), String> {
     args.reject_unknown(&[])?;
-    let path = args
-        .positional(1)
-        .ok_or("usage: gts info <store file>")?;
+    let path = args.positional(1).ok_or("usage: gts info <store file>")?;
     let store = load_store(path).map_err(|e| e.to_string())?;
     let cfg = store.cfg();
     outln!("store:     {path}");
-    outln!("format:    {} pages of {} B, physical ids {}", store.num_pages(), cfg.page_size, cfg.id);
-    outln!("graph:     {} vertices, {} edges", store.num_vertices(), store.num_edges());
-    outln!("pages:     {} small, {} large", store.small_pids().len(), store.large_pids().len());
+    outln!(
+        "format:    {} pages of {} B, physical ids {}",
+        store.num_pages(),
+        cfg.page_size,
+        cfg.id
+    );
+    outln!(
+        "graph:     {} vertices, {} edges",
+        store.num_vertices(),
+        store.num_edges()
+    );
+    outln!(
+        "pages:     {} small, {} large",
+        store.small_pids().len(),
+        store.large_pids().len()
+    );
     outln!("topology:  {} bytes", store.topology_bytes());
     for (name, wa) in [
         ("BFS", gts_core::attrs::AlgorithmKind::Bfs),
@@ -165,8 +193,18 @@ fn parse_storage(s: &str) -> Result<StorageLocation, String> {
 
 fn run(args: &Args) -> Result<(), String> {
     args.reject_unknown(&[
-        "store", "source", "iterations", "k", "gpus", "streams", "strategy", "storage",
-        "device-memory", "cache", "json",
+        "store",
+        "source",
+        "iterations",
+        "k",
+        "gpus",
+        "streams",
+        "strategy",
+        "storage",
+        "device-memory",
+        "cache",
+        "json",
+        "trace-out",
     ])?;
     let alg = args
         .positional(1)
@@ -181,29 +219,35 @@ fn run(args: &Args) -> Result<(), String> {
         ));
     }
 
-    let cfg = GtsConfig {
-        num_gpus: args.get_or("gpus", 1usize)?,
-        num_streams: args.get_or("streams", 16usize)?,
-        strategy: match args.optional("strategy").unwrap_or("p") {
+    let cfg = GtsConfig::builder()
+        .num_gpus(args.get_or("gpus", 1usize)?)
+        .num_streams(args.get_or("streams", 16usize)?)
+        .strategy(match args.optional("strategy").unwrap_or("p") {
             "p" => Strategy::Performance,
             "s" => Strategy::Scalability,
             other => return Err(format!("bad --strategy {other:?} (p | s)")),
-        },
-        storage: parse_storage(args.optional("storage").unwrap_or("mem"))?,
-        gpu: GpuConfig::titan_x()
-            .with_device_memory(args.get_or("device-memory", 12u64 << 30)?),
-        cache_policy: match args.optional("cache").unwrap_or("lru") {
+        })
+        .storage(parse_storage(args.optional("storage").unwrap_or("mem"))?)
+        .gpu(GpuConfig::titan_x().with_device_memory(args.get_or("device-memory", 12u64 << 30)?))
+        .cache_policy(match args.optional("cache").unwrap_or("lru") {
             "lru" => CachePolicyKind::Lru,
             "fifo" => CachePolicyKind::Fifo,
             "random" => CachePolicyKind::Random,
             other => return Err(format!("bad --cache {other:?}")),
-        },
-        ..GtsConfig::default()
-    };
+        })
+        .build()
+        .map_err(|e| e.to_string())?;
 
     let n = store.num_vertices();
     let k = args.get_or("k", 2u32)?;
-    let engine = Gts::new(cfg);
+    let trace_out = args.optional("trace-out");
+    let mut builder = Gts::builder().config(cfg);
+    if trace_out.is_some() {
+        // Spans cost memory proportional to pages streamed; only record
+        // them when the user asked for a trace file.
+        builder = builder.telemetry(Telemetry::with_spans());
+    }
+    let engine = builder.build().map_err(|e| e.to_string())?;
     let exec = |prog: &mut dyn GtsProgram| engine.run(&store, prog).map_err(|e| e.to_string());
     let (report, summary) = match alg {
         "bfs" => {
@@ -245,8 +289,7 @@ fn run(args: &Args) -> Result<(), String> {
         "rwr" => {
             let mut p = Rwr::new(n, source, iterations);
             let r = exec(&mut p)?;
-            let mut scored: Vec<(usize, f32)> =
-                p.scores().iter().copied().enumerate().collect();
+            let mut scored: Vec<(usize, f32)> = p.scores().iter().copied().enumerate().collect();
             scored.sort_by(|a, b| b.1.total_cmp(&a.1));
             let near: Vec<String> = scored
                 .iter()
@@ -282,18 +325,28 @@ fn run(args: &Args) -> Result<(), String> {
         other => return Err(format!("unknown algorithm {other:?}")),
     };
 
+    if let Some(path) = trace_out {
+        std::fs::write(path, engine.telemetry().to_chrome_trace())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        outln!("trace:          {path} (load in ui.perfetto.dev or chrome://tracing)");
+    }
     if args.optional("json").map(|v| v == "true").unwrap_or(false) {
-        outln!(
-            "{}",
-            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
-        );
+        outln!("{}", report.to_json());
     } else {
         outln!("algorithm:      {}", report.algorithm);
         outln!("simulated time: {}", report.elapsed);
         outln!("sweeps:         {}", report.sweeps);
         outln!("pages streamed: {}", report.pages_streamed);
-        outln!("cache hits:     {} ({:.1} %)", report.cache_hits, report.cache_hit_rate * 100.0);
-        outln!("edges visited:  {} ({:.0} MTEPS)", report.edges_traversed, report.mteps());
+        outln!(
+            "cache hits:     {} ({:.1} %)",
+            report.cache_hits,
+            report.cache_hit_rate * 100.0
+        );
+        outln!(
+            "edges visited:  {} ({:.0} MTEPS)",
+            report.edges_traversed,
+            report.mteps()
+        );
         outln!("result:         {summary}");
     }
     Ok(())
@@ -326,8 +379,20 @@ mod tests {
     fn generate_build_info_run_pipeline() {
         let el = tmp("g.el");
         let st = tmp("g.gts");
-        dispatch(&sv(&["generate", "--kind", "rmat", "--scale", "9", "--out", &el])).unwrap();
-        dispatch(&sv(&["build", "--graph", &el, "--out", &st, "--page-size", "4096"])).unwrap();
+        dispatch(&sv(&[
+            "generate", "--kind", "rmat", "--scale", "9", "--out", &el,
+        ]))
+        .unwrap();
+        dispatch(&sv(&[
+            "build",
+            "--graph",
+            &el,
+            "--out",
+            &st,
+            "--page-size",
+            "4096",
+        ]))
+        .unwrap();
         dispatch(&sv(&["info", &st])).unwrap();
         for alg in [
             "bfs", "pagerank", "sssp", "cc", "bc", "rwr", "degrees", "kcore", "radius",
@@ -337,10 +402,37 @@ mod tests {
         }
         // Out-of-core configuration also works end to end.
         dispatch(&sv(&[
-            "run", "pagerank", "--store", &st, "--iterations", "2", "--gpus", "2",
-            "--strategy", "s", "--storage", "ssd:2",
+            "run",
+            "pagerank",
+            "--store",
+            &st,
+            "--iterations",
+            "2",
+            "--gpus",
+            "2",
+            "--strategy",
+            "s",
+            "--storage",
+            "ssd:2",
         ]))
         .unwrap();
+        // --trace-out writes a chrome-trace JSON file.
+        let tr = tmp("trace.json");
+        dispatch(&sv(&[
+            "run",
+            "bfs",
+            "--store",
+            &st,
+            "--streams",
+            "4",
+            "--trace-out",
+            &tr,
+        ]))
+        .unwrap();
+        let trace = std::fs::read_to_string(&tr).unwrap();
+        assert!(trace.contains("traceEvents"));
+        assert!(trace.contains("\"ph\":\"X\""));
+        std::fs::remove_file(&tr).ok();
         std::fs::remove_file(&el).ok();
         std::fs::remove_file(&st).ok();
     }
@@ -356,9 +448,18 @@ mod tests {
 
     #[test]
     fn storage_flag_parsing() {
-        assert!(matches!(parse_storage("mem"), Ok(StorageLocation::InMemory)));
-        assert!(matches!(parse_storage("ssd:2"), Ok(StorageLocation::Ssds(2))));
-        assert!(matches!(parse_storage("hdd:4"), Ok(StorageLocation::Hdds(4))));
+        assert!(matches!(
+            parse_storage("mem"),
+            Ok(StorageLocation::InMemory)
+        ));
+        assert!(matches!(
+            parse_storage("ssd:2"),
+            Ok(StorageLocation::Ssds(2))
+        ));
+        assert!(matches!(
+            parse_storage("hdd:4"),
+            Ok(StorageLocation::Hdds(4))
+        ));
         assert!(parse_storage("floppy:1").is_err());
         assert!(parse_storage("ssd:x").is_err());
     }

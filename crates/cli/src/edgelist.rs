@@ -109,7 +109,10 @@ fn read_text(f: File) -> Result<EdgeList, String> {
         if matrix_market {
             // Coordinate entries are 1-indexed.
             if s == 0 || d == 0 {
-                return Err(format!("line {}: MatrixMarket ids are 1-indexed", lineno + 1));
+                return Err(format!(
+                    "line {}: MatrixMarket ids are 1-indexed",
+                    lineno + 1
+                ));
             }
             s -= 1;
             d -= 1;
@@ -117,7 +120,11 @@ fn read_text(f: File) -> Result<EdgeList, String> {
         max_v = max_v.max(s as u64).max(d as u64);
         edges.push((s, d));
     }
-    let inferred = if edges.is_empty() { 0 } else { max_v as u32 + 1 };
+    let inferred = if edges.is_empty() {
+        0
+    } else {
+        max_v as u32 + 1
+    };
     let n = declared_n.unwrap_or(inferred).max(inferred);
     Ok(EdgeList::new(n, edges))
 }
@@ -176,10 +183,14 @@ mod tests {
     #[test]
     fn matrix_market_rejects_zero_ids() {
         let path = tmp("mm0");
-        std::fs::write(&path, "%%MatrixMarket matrix coordinate
+        std::fs::write(
+            &path,
+            "%%MatrixMarket matrix coordinate
 2 2 1
 0 1
-").unwrap();
+",
+        )
+        .unwrap();
         let err = read(&path).unwrap_err();
         std::fs::remove_file(&path).ok();
         assert!(err.contains("1-indexed"), "{err}");

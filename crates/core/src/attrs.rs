@@ -10,10 +10,8 @@
 //! engine's device-memory allocator and the Table 4 bench use one source of
 //! truth.
 
-use serde::{Deserialize, Serialize};
-
 /// The five algorithms of the paper's evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AlgorithmKind {
     /// Breadth-first search (traversal; Appendix B.1).
     Bfs,

@@ -19,10 +19,9 @@
 //! "153 seconds … approximately equal to 114 × 10 ÷ 6 = 190 seconds").
 
 use gts_sim::{Bandwidth, SimDuration};
-use serde::{Deserialize, Serialize};
 
 /// Inputs shared by both models.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CostParams {
     /// Total read/write attribute bytes |WA|.
     pub wa_bytes: u64,
@@ -53,14 +52,15 @@ pub fn pagerank_like(
     t_kernel_last: SimDuration,
 ) -> SimDuration {
     let wa = p.c1.transfer_time(2 * p.wa_bytes);
-    let stream = p.c2.transfer_time((ra_bytes + sp_bytes + lp_bytes) / p.num_gpus.max(1));
+    let stream =
+        p.c2.transfer_time((ra_bytes + sp_bytes + lp_bytes) / p.num_gpus.max(1));
     let calls = p.t_call * (num_pages / p.num_gpus.max(1));
     let sync = p.t_sync * p.num_gpus;
     wa + stream + calls + t_kernel_last + sync
 }
 
 /// One traversal level's streaming volume for Eq. (2).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct LevelVolume {
     /// Bytes of RA + SP + LP streamed at this level.
     pub bytes: u64,
@@ -143,8 +143,14 @@ mod tests {
     fn bfs_model_sums_levels_and_applies_cache() {
         let p = params(1);
         let levels = vec![
-            LevelVolume { bytes: 1 << 20, pages: 16 },
-            LevelVolume { bytes: 4 << 20, pages: 64 },
+            LevelVolume {
+                bytes: 1 << 20,
+                pages: 16,
+            },
+            LevelVolume {
+                bytes: 4 << 20,
+                pages: 64,
+            },
         ];
         let cold = bfs_like(&p, &levels, 1.0, 0.0);
         let hot = bfs_like(&p, &levels, 1.0, 0.9);
@@ -158,7 +164,10 @@ mod tests {
     #[test]
     fn skew_degrades_bfs_scaling() {
         let p = params(4);
-        let levels = vec![LevelVolume { bytes: 64 << 20, pages: 1024 }];
+        let levels = vec![LevelVolume {
+            bytes: 64 << 20,
+            pages: 1024,
+        }];
         let balanced = bfs_like(&p, &levels, 1.0, 0.0);
         let skewed = bfs_like(&p, &levels, 0.25, 0.0);
         // dskew = 1/N: as slow as a single GPU.

@@ -24,25 +24,25 @@
 //! the simulated clock (see `gts-gpu`).
 
 use crate::programs::{ExecMode, GtsProgram, KernelScratch, PageCtx, SweepControl};
-use crate::report::{GpuRunStats, RunReport};
+use crate::report::{RunReport, SweepStats};
 use crate::strategy::Strategy;
 use gts_gpu::memory::{DeviceAlloc, DeviceMemory, GpuOom};
 use gts_gpu::timer::{GpuTimer, KernelCost};
 use gts_gpu::warp::MicroTechnique;
 use gts_gpu::{GpuConfig, PcieConfig};
+use gts_sim::SimTime;
 use gts_storage::builder::GraphStore;
 use gts_storage::cache::{FifoCache, LruCache, PageCache, RandomCache};
 use gts_storage::device::StorageArray;
 use gts_storage::format::{ADJLIST_SZ_BYTES, OFF_BYTES, VID_BYTES};
 use gts_storage::mmbuf::MmBuf;
 use gts_storage::PageKind;
-use gts_sim::SimTime;
-use serde::{Deserialize, Serialize};
+use gts_telemetry::{keys, SpanCat, Telemetry, Track};
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
 /// Where the topology pages live before streaming.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StorageLocation {
     /// Whole graph resident in main memory (the paper's in-memory setting,
     /// used when |G| < MMBuf — loading time excluded, as in Sec. 7.2).
@@ -54,7 +54,7 @@ pub enum StorageLocation {
 }
 
 /// Which replacement policy the GPU-side page cache uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CachePolicyKind {
     /// Least recently used (the paper's default).
     Lru,
@@ -103,8 +103,6 @@ pub struct GtsConfig {
     /// Use peer-to-peer WA merging under Strategy-P (Sec. 4.1); `false`
     /// falls back to N direct GPU→host copies (the ablation baseline).
     pub p2p_sync: bool,
-    /// Record a per-stream timeline on GPU 0 (Figs. 3/4).
-    pub record_timeline: bool,
 }
 
 impl Default for GtsConfig {
@@ -121,8 +119,135 @@ impl Default for GtsConfig {
             cache_policy: CachePolicyKind::Lru,
             cache_limit_bytes: None,
             p2p_sync: true,
-            record_timeline: false,
         }
+    }
+}
+
+impl GtsConfig {
+    /// A validating builder, starting from [`GtsConfig::default`].
+    pub fn builder() -> GtsConfigBuilder {
+        GtsConfigBuilder {
+            cfg: GtsConfig::default(),
+        }
+    }
+
+    /// Check the configuration's invariants (what [`GtsConfigBuilder::build`]
+    /// enforces). Struct-literal construction stays possible for tests that
+    /// deliberately probe out-of-range values; the engine clamps at run time.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.num_gpus < 1 {
+            return Err(ConfigError::ZeroGpus);
+        }
+        if self.num_streams < 1 {
+            return Err(ConfigError::ZeroStreams);
+        }
+        if !(1..=100).contains(&self.mmbuf_percent) {
+            return Err(ConfigError::MmbufPercentOutOfRange(self.mmbuf_percent));
+        }
+        if let Some(limit) = self.cache_limit_bytes {
+            if limit > self.gpu.device_memory {
+                return Err(ConfigError::CacheLimitExceedsDeviceMemory {
+                    limit,
+                    device_memory: self.gpu.device_memory,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A configuration rejected by [`GtsConfigBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `num_gpus` was zero — the engine needs at least one GPU.
+    ZeroGpus,
+    /// `num_streams` was zero — the pipeline needs at least one stream.
+    ZeroStreams,
+    /// `mmbuf_percent` outside `1..=100` (it is a percentage of the
+    /// graph's pages; Sec. 7.2 uses 20).
+    MmbufPercentOutOfRange(u32),
+    /// A cache cap larger than the device itself can never take effect.
+    CacheLimitExceedsDeviceMemory {
+        /// The requested cap in bytes.
+        limit: u64,
+        /// The configured GPU's device memory in bytes.
+        device_memory: u64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroGpus => write!(f, "num_gpus must be >= 1"),
+            ConfigError::ZeroStreams => write!(f, "num_streams must be >= 1"),
+            ConfigError::MmbufPercentOutOfRange(p) => {
+                write!(f, "mmbuf_percent must be in 1..=100, got {p}")
+            }
+            ConfigError::CacheLimitExceedsDeviceMemory {
+                limit,
+                device_memory,
+            } => write!(
+                f,
+                "cache_limit_bytes ({limit}) exceeds device memory ({device_memory})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Builder for [`GtsConfig`]; [`GtsConfigBuilder::build`] validates.
+#[derive(Debug, Clone)]
+pub struct GtsConfigBuilder {
+    cfg: GtsConfig,
+}
+
+macro_rules! config_setters {
+    ($($(#[$doc:meta])* $field:ident: $ty:ty),+ $(,)?) => {
+        $(
+            $(#[$doc])*
+            pub fn $field(mut self, $field: $ty) -> Self {
+                self.cfg_mut().$field = $field;
+                self
+            }
+        )+
+    };
+}
+
+impl GtsConfigBuilder {
+    fn cfg_mut(&mut self) -> &mut GtsConfig {
+        &mut self.cfg
+    }
+
+    config_setters! {
+        /// Number of GPUs (>= 1).
+        num_gpus: usize,
+        /// Asynchronous streams per GPU (>= 1; Fig. 10 sweeps 1..32).
+        num_streams: usize,
+        /// Multi-GPU strategy (Sec. 4).
+        strategy: Strategy,
+        /// Micro-level parallel technique (Sec. 6.2).
+        technique: MicroTechnique,
+        /// Per-GPU hardware model.
+        gpu: GpuConfig,
+        /// PCI-E link model.
+        pcie: PcieConfig,
+        /// Where topology pages come from.
+        storage: StorageLocation,
+        /// MMBuf size as a percentage of the graph's pages (1..=100).
+        mmbuf_percent: u32,
+        /// Page-cache replacement policy.
+        cache_policy: CachePolicyKind,
+        /// Optional cap on cache size in bytes (must fit in device memory).
+        cache_limit_bytes: Option<u64>,
+        /// Peer-to-peer WA merging under Strategy-P.
+        p2p_sync: bool,
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<GtsConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -172,19 +297,107 @@ impl GpuState {
 #[derive(Debug, Clone)]
 pub struct Gts {
     cfg: GtsConfig,
+    telemetry: Telemetry,
+}
+
+/// Builder for [`Gts`]: the validated configuration plus the telemetry
+/// handle the engine records into.
+#[derive(Debug, Clone)]
+pub struct GtsBuilder {
+    cfg: GtsConfigBuilder,
+    telemetry: Telemetry,
+}
+
+impl GtsBuilder {
+    fn cfg_mut(&mut self) -> &mut GtsConfig {
+        &mut self.cfg.cfg
+    }
+
+    config_setters! {
+        /// Number of GPUs (>= 1).
+        num_gpus: usize,
+        /// Asynchronous streams per GPU (>= 1; Fig. 10 sweeps 1..32).
+        num_streams: usize,
+        /// Multi-GPU strategy (Sec. 4).
+        strategy: Strategy,
+        /// Micro-level parallel technique (Sec. 6.2).
+        technique: MicroTechnique,
+        /// Per-GPU hardware model.
+        gpu: GpuConfig,
+        /// PCI-E link model.
+        pcie: PcieConfig,
+        /// Where topology pages come from.
+        storage: StorageLocation,
+        /// MMBuf size as a percentage of the graph's pages (1..=100).
+        mmbuf_percent: u32,
+        /// Page-cache replacement policy.
+        cache_policy: CachePolicyKind,
+        /// Optional cap on cache size in bytes (must fit in device memory).
+        cache_limit_bytes: Option<u64>,
+        /// Peer-to-peer WA merging under Strategy-P.
+        p2p_sync: bool,
+    }
+
+    /// Replace the whole configuration (e.g. one made by
+    /// [`GtsConfig::builder`] or a struct literal).
+    pub fn config(mut self, cfg: GtsConfig) -> Self {
+        self.cfg = GtsConfigBuilder { cfg };
+        self
+    }
+
+    /// Record into `tel` instead of a fresh counters-only handle. Pass
+    /// [`Telemetry::with_spans`] to capture Fig. 3/4-style timelines for
+    /// [`Telemetry::to_chrome_trace`] / [`Telemetry::render_ascii`].
+    pub fn telemetry(mut self, tel: Telemetry) -> Self {
+        self.telemetry = tel;
+        self
+    }
+
+    /// Validate the configuration and produce the engine.
+    pub fn build(self) -> Result<Gts, ConfigError> {
+        Ok(Gts {
+            cfg: self.cfg.build()?,
+            telemetry: self.telemetry,
+        })
+    }
 }
 
 impl Gts {
     /// Create an engine with the given configuration.
+    ///
+    /// # Panics
+    /// Panics on zero GPUs or streams. [`Gts::builder`] reports the same
+    /// conditions as [`ConfigError`] values instead.
     pub fn new(cfg: GtsConfig) -> Self {
         assert!(cfg.num_gpus >= 1, "need at least one GPU");
         assert!(cfg.num_streams >= 1, "need at least one stream");
-        Gts { cfg }
+        Gts {
+            cfg,
+            telemetry: Telemetry::new(),
+        }
+    }
+
+    /// A validating builder, starting from [`GtsConfig::default`] and a
+    /// counters-only [`Telemetry`].
+    pub fn builder() -> GtsBuilder {
+        GtsBuilder {
+            cfg: GtsConfigBuilder {
+                cfg: GtsConfig::default(),
+            },
+            telemetry: Telemetry::new(),
+        }
     }
 
     /// The engine's configuration.
     pub fn config(&self) -> &GtsConfig {
         &self.cfg
+    }
+
+    /// The engine's telemetry handle. After [`Gts::run`] it holds the
+    /// run's counters (and spans, when enabled); [`Gts::run`]'s
+    /// [`RunReport`] is derived from exactly these counters.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Execute `prog` over `store`. Returns the run report; the program
@@ -195,6 +408,14 @@ impl Gts {
         prog: &mut dyn GtsProgram,
     ) -> Result<RunReport, EngineError> {
         let cfg = &self.cfg;
+        let tel = &self.telemetry;
+        tel.start_run();
+        let spans = tel.spans_enabled();
+        if spans {
+            tel.name_process(keys::pid::ENGINE, "engine");
+            tel.name_thread(Track::new(keys::pid::ENGINE, 0), "run");
+            tel.name_thread(Track::new(keys::pid::ENGINE, 1), "cache");
+        }
         let n = cfg.num_gpus;
         let num_vertices = store.num_vertices();
         let page_size = store.cfg().page_size as u64;
@@ -215,8 +436,7 @@ impl Gts {
                 allocs.push(mem.alloc(streams as u64 * page_size, "LPBuf")?);
             }
             if ra_bpv > 0 {
-                let max_sp_vertices =
-                    page_size / (VID_BYTES + OFF_BYTES + ADJLIST_SZ_BYTES) as u64;
+                let max_sp_vertices = page_size / (VID_BYTES + OFF_BYTES + ADJLIST_SZ_BYTES) as u64;
                 allocs.push(mem.alloc(streams as u64 * max_sp_vertices * ra_bpv, "RABuf")?);
             }
             allocs.push(mem.alloc(store.rvt().memory_bytes(), "RVT")?);
@@ -228,9 +448,7 @@ impl Gts {
             let cache_pages = (cache_bytes / page_size) as usize;
             allocs.push(mem.alloc(cache_pages as u64 * page_size, "page cache")?);
             let mut timer = GpuTimer::new(cfg.gpu.clone(), cfg.pcie.clone(), streams);
-            if cfg.record_timeline && gpus.is_empty() {
-                timer.enable_timeline();
-            }
+            timer.attach_telemetry(tel.clone(), gpus.len() as u32);
             gpus.push(GpuState {
                 timer,
                 cache: cfg.cache_policy.build(cache_pages),
@@ -246,6 +464,9 @@ impl Gts {
             StorageLocation::Ssds(k) => Some(StorageArray::ssds(k)),
             StorageLocation::Hdds(k) => Some(StorageArray::hdds(k)),
         };
+        if let Some(arr) = &mut array {
+            arr.attach_telemetry(tel.clone());
+        }
         let mut mmbuf = MmBuf::with_fraction(store.num_pages(), cfg.mmbuf_percent);
 
         // Total degree of every Large-Page vertex (K_PR_LP needs it).
@@ -264,20 +485,19 @@ impl Gts {
             (store.small_pids().to_vec(), store.large_pids().to_vec())
         };
         let (mut sp_pids, mut lp_pids) = match prog.start_vertex() {
-            Some(src) => split_and_expand(
-                store,
-                std::iter::once(store.pid_of_vertex(src)).collect(),
-            ),
+            Some(src) => {
+                split_and_expand(store, std::iter::once(store.pid_of_vertex(src)).collect())
+            }
             None => all_pages(),
         };
 
         let mut scratch = KernelScratch::default();
         let mut sweep: u32 = 0;
         let mut edges_traversed: u64 = 0;
-        let mut per_sweep: Vec<crate::report::SweepStats> = Vec::new();
 
         // --- The repeat-until loop (Alg. 1 lines 13-31).
         loop {
+            let sweep_wall = t;
             if sweep_mode {
                 // Each iteration re-initialises WA on device (nextPR reset;
                 // Eq. (1)'s first |WA|/c1 term).
@@ -286,7 +506,7 @@ impl Gts {
             let sweep_start = t;
             let mut next: BTreeSet<u64> = BTreeSet::new();
             let mut any_update = false;
-            let mut stats = crate::report::SweepStats::default();
+            let mut stats = SweepStats::default();
 
             // SPs first, then LPs (reduces kernel switching, Sec. 3.2).
             for phase in [&sp_pids, &lp_pids] {
@@ -324,9 +544,7 @@ impl Gts {
                     // traffic or MMBuf churn.
                     let targets = cfg.strategy.targets(pid, n);
                     let fanout = targets.len() as u64;
-                    let any_miss = targets
-                        .clone()
-                        .any(|gi| !gpus[gi].cache.contains(pid));
+                    let any_miss = targets.clone().any(|gi| !gpus[gi].cache.contains(pid));
                     let data_ready = match &mut array {
                         _ if !any_miss => sweep_start,
                         None => sweep_start,
@@ -346,10 +564,24 @@ impl Gts {
                     for gi in targets {
                         stats.pages += 1;
                         let g = &mut gpus[gi];
-                        if g.cache.access(pid) {
+                        let hit = g.cache.access(pid);
+                        if spans {
+                            // Zero-duration marker: cache probes are
+                            // bookkeeping, not time, but they explain why a
+                            // page did (not) generate PCI-E traffic.
+                            tel.record_span(
+                                Track::new(keys::pid::ENGINE, 1),
+                                SpanCat::Cache,
+                                format!("{} p{pid} g{gi}", if hit { "hit" } else { "miss" }),
+                                sweep_start,
+                                sweep_start,
+                            );
+                        }
+                        if hit {
                             stats.cache_hits += 1;
                             let stream = g.next_stream();
-                            g.timer.stream_kernel(stream, cost, sweep_start, "K(cached)");
+                            g.timer
+                                .stream_kernel(stream, cost, sweep_start, "K(cached)");
                         } else {
                             let stream = g.next_stream();
                             let c = g.timer.stream_h2d(stream, page_size, data_ready, "SP/LP");
@@ -374,7 +606,20 @@ impl Gts {
                 t = t.max(g.timer.sync());
             }
             stats.elapsed = t - sweep_start;
-            per_sweep.push(stats);
+            tel.add(keys::sweep(sweep, keys::SWEEP_PAGES), stats.pages);
+            tel.add(keys::sweep(sweep, keys::SWEEP_CACHE_HITS), stats.cache_hits);
+            tel.add(
+                keys::sweep(sweep, keys::SWEEP_ACTIVE_VERTICES),
+                stats.active_vertices,
+            );
+            tel.add(
+                keys::sweep(sweep, keys::SWEEP_ACTIVE_EDGES),
+                stats.active_edges,
+            );
+            tel.set(
+                keys::sweep(sweep, keys::SWEEP_ELAPSED_NS),
+                stats.elapsed.as_nanos(),
+            );
 
             // Copy nextPIDSet / cachedPIDMap back (lines 29-30): one small
             // bitmap per GPU.
@@ -391,6 +636,16 @@ impl Gts {
             // step 3; Eq. (1)'s second |WA|/c1 and tsync terms).
             if sweep_mode {
                 t = self.sync_wa(&mut gpus, wa_total, t);
+            }
+
+            if spans {
+                tel.record_span(
+                    Track::new(keys::pid::ENGINE, 0),
+                    SpanCat::Sweep,
+                    format!("sweep {sweep}"),
+                    sweep_wall,
+                    t,
+                );
             }
 
             let frontier_empty = next.is_empty();
@@ -420,48 +675,45 @@ impl Gts {
             t = self.sync_wa(&mut gpus, wa_total, t);
         }
 
-        // --- Report.
-        let mut per_gpu = Vec::with_capacity(n);
+        // --- Flush every component's counters into the registry and
+        // derive the report from it. Every page touch goes through the
+        // per-GPU caches, so misses ARE the streamed pages and hits the
+        // cache serves — no parallel hand-maintained counters to drift.
         let mut hits = 0u64;
         let mut misses = 0u64;
-        let mut timeline = None;
-        for g in &mut gpus {
+        for (i, g) in gpus.iter().enumerate() {
+            let i = i as u32;
             hits += g.cache.hits();
             misses += g.cache.misses();
-            per_gpu.push(GpuRunStats {
-                bytes_h2d: g.timer.bytes_h2d(),
-                bytes_d2h: g.timer.bytes_d2h(),
-                kernel_time: g.timer.kernel_time(),
-                transfer_time: g.timer.transfer_time(),
-                kernels: g.timer.kernels(),
-                cache_hits: g.cache.hits(),
-                cache_misses: g.cache.misses(),
-                cache_capacity_pages: g.cache.capacity(),
-            });
-            if timeline.is_none() {
-                timeline = g.timer.timeline().cloned();
-            }
+            g.timer.flush_to(tel, i);
+            tel.add(keys::gpu(i, keys::GPU_CACHE_HITS), g.cache.hits());
+            tel.add(keys::gpu(i, keys::GPU_CACHE_MISSES), g.cache.misses());
+            tel.set(
+                keys::gpu(i, keys::GPU_CACHE_CAPACITY_PAGES),
+                g.cache.capacity() as u64,
+            );
         }
-        Ok(RunReport {
-            algorithm: prog.name().to_string(),
-            engine: "GTS".to_string(),
-            elapsed: t - SimTime::ZERO,
-            sweeps: sweep + 1,
-            // Every page touch goes through the per-GPU caches, so misses
-            // ARE the streamed pages and hits the cache serves — no
-            // parallel hand-maintained counters to drift.
-            pages_streamed: misses,
-            cache_hits: hits,
-            cache_hit_rate: if hits + misses == 0 {
-                0.0
-            } else {
-                hits as f64 / (hits + misses) as f64
-            },
-            edges_traversed,
-            per_gpu,
-            per_sweep,
-            timeline,
-        })
+        tel.add(keys::CACHE_HITS, hits);
+        tel.add(keys::CACHE_MISSES, misses);
+        tel.add(keys::PAGES_STREAMED, misses);
+        tel.add(keys::EDGES_TRAVERSED, edges_traversed);
+        mmbuf.flush_to(tel);
+        if let Some(arr) = &array {
+            arr.flush_to(tel);
+        }
+        tel.set(keys::RUN_SWEEPS, (sweep + 1) as u64);
+        tel.set(keys::RUN_GPUS, n as u64);
+        tel.set(keys::RUN_ELAPSED_NS, (t - SimTime::ZERO).as_nanos());
+        if spans {
+            tel.record_span(
+                Track::new(keys::pid::ENGINE, 0),
+                SpanCat::Run,
+                format!("{} run", prog.name()),
+                SimTime::ZERO,
+                t,
+            );
+        }
+        Ok(RunReport::from_telemetry(tel, prog.name(), "GTS"))
     }
 
     /// WA write-back: Strategy-P merges replicas peer-to-peer onto the
@@ -740,16 +992,116 @@ mod tests {
     }
 
     #[test]
-    fn timeline_recorded_when_requested() {
+    fn spans_recorded_when_telemetry_enabled() {
         let store = small_store();
-        let cfg = GtsConfig {
-            record_timeline: true,
-            ..GtsConfig::default()
-        };
+        let engine = Gts::builder()
+            .telemetry(Telemetry::with_spans())
+            .build()
+            .unwrap();
         let mut bfs = Bfs::new(store.num_vertices(), 0);
-        let report = Gts::new(cfg).run(&store, &mut bfs).unwrap();
-        let tl = report.timeline.expect("timeline requested");
-        assert!(!tl.is_empty());
+        engine.run(&store, &mut bfs).unwrap();
+        let tel = engine.telemetry();
+        assert!(tel.span_count() > 0, "spans requested");
+        let spans = tel.spans();
+        assert!(spans.iter().any(|s| s.cat == SpanCat::Copy));
+        assert!(spans.iter().any(|s| s.cat == SpanCat::Kernel));
+        assert!(spans.iter().any(|s| s.cat == SpanCat::Sweep));
+        let run = spans
+            .iter()
+            .find(|s| s.cat == SpanCat::Run)
+            .expect("run span");
+        // Well-nested: the run span contains every other span.
+        for s in &spans {
+            assert!(s.start >= run.start && s.end <= run.end, "{s:?}");
+        }
+        assert!(tel.to_chrome_trace().contains("\"ph\":\"X\""));
+    }
+
+    #[test]
+    fn spans_skipped_by_default() {
+        let store = small_store();
+        let engine = Gts::new(GtsConfig::default());
+        let mut bfs = Bfs::new(store.num_vertices(), 0);
+        engine.run(&store, &mut bfs).unwrap();
+        assert_eq!(engine.telemetry().span_count(), 0);
+        assert!(engine.telemetry().counter(keys::PAGES_STREAMED) > 0);
+    }
+
+    #[test]
+    fn builder_validates_configuration() {
+        assert_eq!(
+            GtsConfig::builder().num_gpus(0).build().unwrap_err(),
+            ConfigError::ZeroGpus
+        );
+        assert_eq!(
+            GtsConfig::builder().num_streams(0).build().unwrap_err(),
+            ConfigError::ZeroStreams
+        );
+        assert_eq!(
+            GtsConfig::builder().mmbuf_percent(0).build().unwrap_err(),
+            ConfigError::MmbufPercentOutOfRange(0)
+        );
+        assert_eq!(
+            GtsConfig::builder().mmbuf_percent(101).build().unwrap_err(),
+            ConfigError::MmbufPercentOutOfRange(101)
+        );
+        assert!(matches!(
+            GtsConfig::builder()
+                .cache_limit_bytes(Some(u64::MAX))
+                .build(),
+            Err(ConfigError::CacheLimitExceedsDeviceMemory { .. })
+        ));
+        let cfg = GtsConfig::builder()
+            .num_gpus(2)
+            .num_streams(8)
+            .strategy(Strategy::Scalability)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.num_gpus, 2);
+        assert_eq!(cfg.num_streams, 8);
+        assert_eq!(cfg.strategy, Strategy::Scalability);
+        assert!(Gts::builder().num_gpus(0).build().is_err());
+    }
+
+    #[test]
+    fn report_is_a_view_of_the_counter_registry() {
+        let store = small_store();
+        let engine = Gts::builder().num_gpus(2).build().unwrap();
+        let mut bfs = Bfs::new(store.num_vertices(), 0);
+        let r = engine.run(&store, &mut bfs).unwrap();
+        let tel = engine.telemetry();
+        assert_eq!(r.elapsed.as_nanos(), tel.counter(keys::RUN_ELAPSED_NS));
+        assert_eq!(r.sweeps as u64, tel.counter(keys::RUN_SWEEPS));
+        assert_eq!(r.pages_streamed, tel.counter(keys::PAGES_STREAMED));
+        assert_eq!(r.cache_hits, tel.counter(keys::CACHE_HITS));
+        assert_eq!(r.edges_traversed, tel.counter(keys::EDGES_TRAVERSED));
+        assert_eq!(r.per_gpu.len() as u64, tel.counter(keys::RUN_GPUS));
+        for (i, g) in r.per_gpu.iter().enumerate() {
+            let i = i as u32;
+            assert_eq!(g.bytes_h2d, tel.counter(keys::gpu(i, keys::GPU_BYTES_H2D)));
+            assert_eq!(g.kernels, tel.counter(keys::gpu(i, keys::GPU_KERNELS)));
+        }
+        // Cache probes balance: hits + misses == pages visited.
+        let probes = tel.counter(keys::CACHE_HITS) + tel.counter(keys::CACHE_MISSES);
+        let pages: u64 = r.per_sweep.iter().map(|s| s.pages).sum();
+        assert_eq!(probes, pages);
+        assert!(tel.counter(keys::KERNEL_LAUNCHES) > 0);
+    }
+
+    #[test]
+    fn telemetry_resets_between_runs() {
+        let store = small_store();
+        let engine = Gts::new(GtsConfig::default());
+        let mut bfs = Bfs::new(store.num_vertices(), 0);
+        let first = engine.run(&store, &mut bfs).unwrap();
+        let mut bfs = Bfs::new(store.num_vertices(), 0);
+        let second = engine.run(&store, &mut bfs).unwrap();
+        // Counters cover exactly one run, not the engine's lifetime.
+        assert_eq!(first.pages_streamed, second.pages_streamed);
+        assert_eq!(
+            engine.telemetry().counter(keys::EDGES_TRAVERSED),
+            second.edges_traversed
+        );
     }
 
     #[test]
@@ -760,7 +1112,9 @@ mod tests {
             ..GtsConfig::default()
         };
         let mut bfs = Bfs::new(store.num_vertices(), 0);
-        Gts::new(cfg).run(&store, &mut bfs).expect("clamped, not rejected");
+        Gts::new(cfg)
+            .run(&store, &mut bfs)
+            .expect("clamped, not rejected");
     }
 
     #[test]

@@ -22,19 +22,43 @@
 //! ## Quick start
 //!
 //! ```
-//! use gts_core::engine::{Gts, GtsConfig};
+//! use gts_core::engine::Gts;
 //! use gts_core::programs::Bfs;
 //! use gts_graph::generate::rmat;
 //! use gts_storage::{build_graph_store, PageFormatConfig};
 //!
 //! let graph = rmat(10);
 //! let store = build_graph_store(&graph, PageFormatConfig::small_default()).unwrap();
-//! let mut engine = Gts::new(GtsConfig::default());
+//! let engine = Gts::builder().num_streams(16).build().unwrap();
 //! let mut bfs = Bfs::new(store.num_vertices(), 0);
 //! let report = engine.run(&store, &mut bfs).unwrap();
 //! assert!(report.elapsed.as_nanos() > 0);
 //! let levels = bfs.levels();
 //! assert_eq!(levels[0], 0);
+//! ```
+//!
+//! ## Observability
+//!
+//! Every run records into a [`gts_telemetry::Telemetry`] handle: a counter
+//! registry (pages streamed, cache hits, kernel launches, bytes moved, ...)
+//! plus — when built with [`Telemetry::with_spans`] — the per-stream
+//! copy/kernel spans behind the paper's Fig. 4. The returned [`RunReport`]
+//! is a *view* derived from those counters, and
+//! [`Telemetry::to_chrome_trace`] exports a Perfetto-loadable JSON trace:
+//!
+//! ```
+//! use gts_core::engine::Gts;
+//! use gts_core::programs::Bfs;
+//! use gts_core::Telemetry;
+//! use gts_graph::generate::rmat;
+//! use gts_storage::{build_graph_store, PageFormatConfig};
+//!
+//! let store = build_graph_store(&rmat(8), PageFormatConfig::small_default()).unwrap();
+//! let engine = Gts::builder().telemetry(Telemetry::with_spans()).build().unwrap();
+//! let mut bfs = Bfs::new(store.num_vertices(), 0);
+//! engine.run(&store, &mut bfs).unwrap();
+//! let trace = engine.telemetry().to_chrome_trace();
+//! assert!(trace.contains("traceEvents"));
 //! ```
 
 pub mod attrs;
@@ -45,6 +69,7 @@ pub mod queries;
 pub mod report;
 pub mod strategy;
 
-pub use engine::{EngineError, Gts, GtsConfig, StorageLocation};
+pub use engine::{ConfigError, EngineError, Gts, GtsBuilder, GtsConfig, StorageLocation};
+pub use gts_telemetry::Telemetry;
 pub use report::RunReport;
 pub use strategy::Strategy;

@@ -11,7 +11,6 @@ use super::{visit_page, ExecMode, GtsProgram, KernelScratch, PageCtx, PageWork, 
 use crate::attrs::AlgorithmKind;
 use gts_gpu::timer::KernelClass;
 
-
 /// Level value for undiscovered vertices (the kernel's `NULL`).
 pub const LV_NULL: u16 = u16::MAX;
 

@@ -111,7 +111,9 @@ mod tests {
         .unwrap();
         let csr = Csr::from_edge_list(&graph);
         let mut deg = Degrees::new(store.num_vertices());
-        let report = Gts::new(GtsConfig::default()).run(&store, &mut deg).unwrap();
+        let report = Gts::new(GtsConfig::default())
+            .run(&store, &mut deg)
+            .unwrap();
         assert_eq!(report.sweeps, 1, "single linear scan");
         for v in 0..csr.num_vertices() {
             assert_eq!(deg.degrees()[v as usize] as u64, csr.out_degree(v));
@@ -128,7 +130,9 @@ mod tests {
         .unwrap();
         let csr = Csr::from_edge_list(&graph);
         let mut deg = Degrees::new(store.num_vertices());
-        Gts::new(GtsConfig::default()).run(&store, &mut deg).unwrap();
+        Gts::new(GtsConfig::default())
+            .run(&store, &mut deg)
+            .unwrap();
         assert_eq!(deg.histogram(), gts_graph::stats::degree_histogram(&csr));
     }
 
@@ -144,7 +148,9 @@ mod tests {
         .unwrap();
         assert!(store.large_pids().len() > 1, "hub spans several chunks");
         let mut deg = Degrees::new(store.num_vertices());
-        Gts::new(GtsConfig::default()).run(&store, &mut deg).unwrap();
+        Gts::new(GtsConfig::default())
+            .run(&store, &mut deg)
+            .unwrap();
         assert_eq!(deg.degrees()[0], 500);
     }
 }

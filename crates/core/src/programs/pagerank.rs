@@ -201,7 +201,9 @@ mod tests {
         assert!(at < 100, "converged at {at}");
         // Converged ranks change by < epsilon under one more fixed sweep.
         let mut fixed = PageRank::new(store.num_vertices(), at + 1);
-        Gts::new(GtsConfig::default()).run(&store, &mut fixed).unwrap();
+        Gts::new(GtsConfig::default())
+            .run(&store, &mut fixed)
+            .unwrap();
         let delta: f32 = pr
             .ranks()
             .iter()
@@ -225,4 +227,3 @@ mod tests {
         assert_eq!(pr.converged_at(), None);
     }
 }
-

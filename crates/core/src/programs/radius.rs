@@ -44,13 +44,7 @@ impl RadiusEstimation {
     pub fn new(num_vertices: u64) -> Self {
         let exact = num_vertices <= 64;
         let mask = (0..num_vertices)
-            .map(|v| {
-                if exact {
-                    1u64 << v
-                } else {
-                    1u64 << fm_bit(v)
-                }
-            })
+            .map(|v| if exact { 1u64 << v } else { 1u64 << fm_bit(v) })
             .collect();
         let mask: Vec<u64> = mask;
         RadiusEstimation {
@@ -209,13 +203,12 @@ mod tests {
         let r = run(&graph);
         assert!(r.is_exact());
         for v in 0..60u32 {
-            assert_eq!(
-                r.eccentricities()[v as usize],
-                ecc(&csr, v),
-                "vertex {v}"
-            );
+            assert_eq!(r.eccentricities()[v as usize], ecc(&csr, v), "vertex {v}");
         }
-        assert_eq!(r.radius().unwrap(), (0..60).map(|v| ecc(&csr, v)).min().unwrap());
+        assert_eq!(
+            r.radius().unwrap(),
+            (0..60).map(|v| ecc(&csr, v)).min().unwrap()
+        );
         assert_eq!(r.diameter(), (0..60).map(|v| ecc(&csr, v)).max().unwrap());
     }
 
@@ -228,10 +221,7 @@ mod tests {
         let r = run(&graph);
         assert!(!r.is_exact());
         for v in (0..graph.num_vertices).step_by(37) {
-            assert!(
-                r.eccentricities()[v as usize] <= ecc(&csr, v),
-                "vertex {v}"
-            );
+            assert!(r.eccentricities()[v as usize] <= ecc(&csr, v), "vertex {v}");
         }
     }
 

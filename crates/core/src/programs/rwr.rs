@@ -176,7 +176,9 @@ mod tests {
         .unwrap();
         let csr = Csr::from_edge_list(&graph);
         let mut rwr = Rwr::new(store.num_vertices(), 3, 8);
-        Gts::new(GtsConfig::default()).run(&store, &mut rwr).unwrap();
+        Gts::new(GtsConfig::default())
+            .run(&store, &mut rwr)
+            .unwrap();
         let want = reference_rwr(&csr, 3, 0.15, 8);
         for (got, want) in rwr.scores().iter().zip(&want) {
             assert!((*got as f64 - want).abs() < 1e-5, "{got} vs {want}");
@@ -192,7 +194,9 @@ mod tests {
         )
         .unwrap();
         let mut rwr = Rwr::new(store.num_vertices(), 0, 10);
-        Gts::new(GtsConfig::default()).run(&store, &mut rwr).unwrap();
+        Gts::new(GtsConfig::default())
+            .run(&store, &mut rwr)
+            .unwrap();
         let scores = rwr.scores();
         assert!(scores[0] >= 0.15, "seed retains at least the restart mass");
         let max = scores.iter().cloned().fold(0.0f32, f32::max);

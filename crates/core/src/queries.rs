@@ -15,10 +15,10 @@
 use crate::engine::CachePolicyKind;
 use gts_gpu::timer::{KernelClass, KernelCost};
 use gts_gpu::{GpuConfig, GpuTimer, PcieConfig};
+use gts_sim::{SimDuration, SimTime};
 use gts_storage::builder::GraphStore;
 use gts_storage::cache::PageCache;
 use gts_storage::PageKind;
-use gts_sim::{SimDuration, SimTime};
 use std::collections::BTreeSet;
 
 /// A stateful query session over one store.
@@ -132,11 +132,7 @@ impl<'s> QueryEngine<'s> {
     }
 
     /// Edges leading from `a` into `b` (the paper's "cross-edges").
-    pub fn cross_edges(
-        &mut self,
-        a: &BTreeSet<u64>,
-        b: &BTreeSet<u64>,
-    ) -> Vec<(u64, u64)> {
+    pub fn cross_edges(&mut self, a: &BTreeSet<u64>, b: &BTreeSet<u64>) -> Vec<(u64, u64)> {
         self.filtered_edges(a, b)
     }
 
@@ -274,9 +270,7 @@ mod tests {
         let want = graph
             .edges
             .iter()
-            .filter(|&&(s, d)| {
-                members.contains(&(s as u64)) && members.contains(&(d as u64))
-            })
+            .filter(|&&(s, d)| members.contains(&(s as u64)) && members.contains(&(d as u64)))
             .count();
         assert_eq!(edges.len(), want);
     }

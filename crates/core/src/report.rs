@@ -1,148 +1,8 @@
-//! Run reports: everything the experiments need to print a paper row.
+//! Run reports — re-exports of the unified, telemetry-backed types.
+//!
+//! Earlier versions of this crate defined their own `RunReport` (and the
+//! baselines another); both now live in `gts-telemetry` so every engine in
+//! the workspace reports through one counter registry and one view type.
+//! The re-exports keep `gts_core::report::RunReport` paths working.
 
-use gts_sim::{SimDuration, Timeline};
-use serde::{Deserialize, Serialize};
-
-/// Per-GPU statistics of one run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
-pub struct GpuRunStats {
-    /// Bytes copied host→device.
-    pub bytes_h2d: u64,
-    /// Bytes copied device→host.
-    pub bytes_d2h: u64,
-    /// Accumulated kernel service time.
-    pub kernel_time: SimDuration,
-    /// Accumulated transfer service time.
-    pub transfer_time: SimDuration,
-    /// Kernels launched.
-    pub kernels: u64,
-    /// Topology-cache hits.
-    pub cache_hits: u64,
-    /// Topology-cache misses.
-    pub cache_misses: u64,
-    /// Pages of topology cache capacity this GPU ended up with.
-    pub cache_capacity_pages: usize,
-}
-
-/// Per-sweep (per-level / per-iteration) statistics — the raw series
-/// behind Eq. (2)'s per-level sums and the frontier plots.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
-pub struct SweepStats {
-    /// Pages visited this sweep (streamed + cache hits).
-    pub pages: u64,
-    /// Pages served from the GPU cache this sweep.
-    pub cache_hits: u64,
-    /// Vertices that did kernel work this sweep (the frontier size for
-    /// traversal programs).
-    pub active_vertices: u64,
-    /// Edges traversed this sweep.
-    pub active_edges: u64,
-    /// Simulated time from sweep start to the barrier.
-    pub elapsed: SimDuration,
-}
-
-/// The result of one engine run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct RunReport {
-    /// Algorithm name.
-    pub algorithm: String,
-    /// Engine name ("GTS", "TOTEM", ... — baselines reuse this type).
-    pub engine: String,
-    /// Simulated end-to-end elapsed time (the paper's reported metric).
-    pub elapsed: SimDuration,
-    /// Sweeps executed (levels for traversal, iterations for sweeps).
-    pub sweeps: u32,
-    /// Pages streamed over PCI-E (excluding cache hits).
-    pub pages_streamed: u64,
-    /// Pages served from the GPU-side cache.
-    pub cache_hits: u64,
-    /// Overall topology-cache hit rate (Fig. 11b).
-    pub cache_hit_rate: f64,
-    /// Edges traversed by kernels (for MTEPS reporting, Sec. 7.4).
-    pub edges_traversed: u64,
-    /// Per-GPU breakdown.
-    pub per_gpu: Vec<GpuRunStats>,
-    /// Per-sweep breakdown (levels for traversal, iterations for sweeps).
-    pub per_sweep: Vec<SweepStats>,
-    /// Recorded stream timeline, when enabled (Figs. 3/4).
-    #[serde(skip)]
-    pub timeline: Option<Timeline>,
-}
-
-impl RunReport {
-    /// Millions of traversed edges per second (the paper quotes GTS at up
-    /// to 1,500 MTEPS on Twitter).
-    pub fn mteps(&self) -> f64 {
-        if self.elapsed.as_secs_f64() == 0.0 {
-            return 0.0;
-        }
-        self.edges_traversed as f64 / 1e6 / self.elapsed.as_secs_f64()
-    }
-
-    /// Sum of bytes moved host→device across GPUs.
-    pub fn total_bytes_h2d(&self) -> u64 {
-        self.per_gpu.iter().map(|g| g.bytes_h2d).sum()
-    }
-
-    /// Ratio of transfer service time to kernel service time, aggregated
-    /// across GPUs (Table 1's quantity).
-    pub fn transfer_to_kernel_ratio(&self) -> f64 {
-        let t: f64 = self
-            .per_gpu
-            .iter()
-            .map(|g| g.transfer_time.as_secs_f64())
-            .sum();
-        let k: f64 = self
-            .per_gpu
-            .iter()
-            .map(|g| g.kernel_time.as_secs_f64())
-            .sum();
-        if k == 0.0 {
-            0.0
-        } else {
-            t / k
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn mteps_computation() {
-        let r = RunReport {
-            algorithm: "BFS".into(),
-            engine: "GTS".into(),
-            elapsed: SimDuration::from_secs(2),
-            sweeps: 5,
-            pages_streamed: 10,
-            cache_hits: 0,
-            cache_hit_rate: 0.0,
-            edges_traversed: 3_000_000,
-            per_gpu: vec![],
-            per_sweep: vec![],
-            timeline: None,
-        };
-        assert!((r.mteps() - 1.5).abs() < 1e-9);
-    }
-
-    #[test]
-    fn ratio_handles_zero_kernel_time() {
-        let r = RunReport {
-            algorithm: "BFS".into(),
-            engine: "GTS".into(),
-            elapsed: SimDuration::ZERO,
-            sweeps: 0,
-            pages_streamed: 0,
-            cache_hits: 0,
-            cache_hit_rate: 0.0,
-            edges_traversed: 0,
-            per_gpu: vec![GpuRunStats::default()],
-            per_sweep: vec![],
-            timeline: None,
-        };
-        assert_eq!(r.transfer_to_kernel_ratio(), 0.0);
-        assert_eq!(r.mteps(), 0.0);
-    }
-}
+pub use gts_telemetry::{GpuRunStats, RunReport, SweepStats};

@@ -8,10 +8,8 @@
 //!   `1/N` of the attribute vector) and broadcast every topology page to
 //!   all GPUs. Capacity scales linearly with N; throughput does not.
 
-use serde::{Deserialize, Serialize};
-
 /// Which multi-GPU strategy the engine uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Strategy {
     /// Strategy for performance (Sec. 4.1).
     Performance,
@@ -34,7 +32,10 @@ impl Strategy {
         match self {
             Strategy::Performance => {
                 let g = (pid % num_gpus as u64) as usize;
-                TargetIter { next: g, end: g + 1 }
+                TargetIter {
+                    next: g,
+                    end: g + 1,
+                }
             }
             Strategy::Scalability => TargetIter {
                 next: 0,

@@ -21,7 +21,10 @@ fn arb_config() -> impl Strategy<Value = GtsConfig> {
     (
         1usize..4,
         1usize..33,
-        prop_oneof![Just(MultiGpuStrategy::Performance), Just(MultiGpuStrategy::Scalability)],
+        prop_oneof![
+            Just(MultiGpuStrategy::Performance),
+            Just(MultiGpuStrategy::Scalability)
+        ],
         prop_oneof![
             Just(MicroTechnique::EdgeCentric { virtual_warp: 32 }),
             Just(MicroTechnique::EdgeCentric { virtual_warp: 4 }),

@@ -6,10 +6,9 @@
 //! memory / must stream from SSD) land inside the reduced-scale sweeps.
 
 use gts_sim::{Bandwidth, SimDuration};
-use serde::{Deserialize, Serialize};
 
 /// Characteristics of one simulated GPU.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GpuConfig {
     /// Device memory capacity in bytes (TITAN X: 12 GiB).
     pub device_memory: u64,
@@ -68,7 +67,7 @@ impl GpuConfig {
 }
 
 /// Characteristics of the PCI-E link between host memory and one GPU.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PcieConfig {
     /// Chunk (pinned, large) copy rate — the paper's `c1` ≈ 16 GB/s.
     pub chunk_bw: Bandwidth,

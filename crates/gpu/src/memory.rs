@@ -8,9 +8,8 @@
 //! constraint: allocations are RAII-tracked and over-subscription fails
 //! with [`GpuOom`] exactly as `cudaMalloc` would.
 
-use parking_lot::Mutex;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Out-of-device-memory error (the experiments' `O.O.M.` cells).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,7 +66,7 @@ impl DeviceMemory {
 
     /// Bytes currently allocated.
     pub fn used(&self) -> u64 {
-        *self.inner.used.lock()
+        *self.inner.used.lock().unwrap()
     }
 
     /// Bytes currently free.
@@ -78,7 +77,7 @@ impl DeviceMemory {
     /// Allocate `bytes`, failing with [`GpuOom`] if they do not fit. The
     /// returned guard releases the bytes on drop.
     pub fn alloc(&self, bytes: u64, label: &'static str) -> Result<DeviceAlloc, GpuOom> {
-        let mut used = self.inner.used.lock();
+        let mut used = self.inner.used.lock().unwrap();
         let available = self.inner.capacity - *used;
         if bytes > available {
             return Err(GpuOom {
@@ -127,7 +126,7 @@ impl DeviceAlloc {
 
 impl Drop for DeviceAlloc {
     fn drop(&mut self) {
-        *self.mem.used.lock() -= self.bytes;
+        *self.mem.used.lock().unwrap() -= self.bytes;
     }
 }
 

@@ -24,12 +24,11 @@
 
 use crate::config::{GpuConfig, PcieConfig};
 use gts_sim::resource::Scheduled;
-use gts_sim::timeline::SpanKind;
-use gts_sim::{Resource, SimDuration, SimTime, Timeline};
-use serde::{Deserialize, Serialize};
+use gts_sim::{Resource, SimDuration, SimTime};
+use gts_telemetry::{keys, SpanCat, Telemetry, Track};
 
 /// Kernel cost class: which per-slot / per-atomic rates apply.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum KernelClass {
     /// Memory-bound traversal kernels (BFS, SSSP, CC, BC).
     Traversal,
@@ -39,7 +38,7 @@ pub enum KernelClass {
 
 /// Work observed by the functional execution of one kernel launch, used to
 /// derive its simulated duration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KernelCost {
     /// Cost class.
     pub class: KernelClass,
@@ -72,7 +71,10 @@ pub struct GpuTimer {
     p2p: Resource,
     compute: Resource,
     stream_tail: Vec<SimTime>,
-    timeline: Option<Timeline>,
+    telemetry: Telemetry,
+    pid: u32,
+    spans: bool,
+    stalls: u64,
     bytes_h2d: u64,
     bytes_d2h: u64,
     bytes_p2p: u64,
@@ -95,7 +97,10 @@ impl GpuTimer {
             p2p: Resource::new("p2p", 1),
             compute: Resource::new("compute", cfg.max_concurrent_kernels.max(1)),
             stream_tail: vec![SimTime::ZERO; num_streams],
-            timeline: None,
+            telemetry: Telemetry::new(),
+            pid: 0,
+            spans: false,
+            stalls: 0,
             bytes_h2d: 0,
             bytes_d2h: 0,
             bytes_p2p: 0,
@@ -108,14 +113,50 @@ impl GpuTimer {
         }
     }
 
-    /// Start recording a [`Timeline`] (Fig. 3/4-style profiles).
-    pub fn enable_timeline(&mut self) {
-        self.timeline = Some(Timeline::new());
+    /// Share `tel` as this timer's recording surface, drawing spans under
+    /// process `pid::gpu(gpu_index)` (Fig. 3/4-style profiles when `tel`
+    /// has spans enabled). Registers the track names so exported traces
+    /// label the copy engines and streams.
+    pub fn attach_telemetry(&mut self, tel: Telemetry, gpu_index: u32) {
+        self.pid = keys::pid::gpu(gpu_index);
+        self.spans = tel.spans_enabled();
+        if self.spans {
+            tel.name_process(self.pid, format!("GPU {gpu_index}"));
+            tel.name_thread(Track::new(self.pid, keys::tid::H2D), "h2d");
+            tel.name_thread(Track::new(self.pid, keys::tid::D2H), "d2h");
+            tel.name_thread(Track::new(self.pid, keys::tid::P2P), "p2p");
+            for s in 0..self.stream_tail.len() {
+                tel.name_thread(
+                    Track::new(self.pid, keys::tid::stream(s)),
+                    format!("stream{s}"),
+                );
+            }
+        }
+        self.telemetry = tel;
     }
 
-    /// The recorded timeline, if enabled.
-    pub fn timeline(&self) -> Option<&Timeline> {
-        self.timeline.as_ref()
+    /// Flush this timer's counters into `tel`'s registry under GPU
+    /// `gpu_index`'s scope plus the global aggregates.
+    pub fn flush_to(&self, tel: &Telemetry, gpu_index: u32) {
+        let i = gpu_index;
+        tel.add(keys::gpu(i, keys::GPU_BYTES_H2D), self.bytes_h2d);
+        tel.add(keys::gpu(i, keys::GPU_BYTES_D2H), self.bytes_d2h);
+        tel.add(keys::gpu(i, keys::GPU_BYTES_P2P), self.bytes_p2p);
+        tel.add(
+            keys::gpu(i, keys::GPU_KERNEL_TIME_NS),
+            self.kernel_time.as_nanos(),
+        );
+        tel.add(
+            keys::gpu(i, keys::GPU_TRANSFER_TIME_NS),
+            self.transfer_time.as_nanos(),
+        );
+        tel.add(keys::gpu(i, keys::GPU_KERNELS), self.kernels);
+        tel.add(
+            keys::gpu(i, keys::GPU_HIDDEN_LAUNCHES),
+            self.hidden_launches,
+        );
+        tel.add(keys::KERNEL_LAUNCHES, self.kernels);
+        tel.add(keys::STREAM_STALLS, self.stalls);
     }
 
     /// GPU configuration.
@@ -140,7 +181,7 @@ impl GpuTimer {
         let dur = self.pcie.latency + self.pcie.chunk_bw.transfer_time(bytes);
         self.transfer_time += dur;
         let s = self.h2d.submit(ready, dur);
-        self.record("h2d", "chunk WA", SpanKind::Copy, s);
+        self.record(keys::tid::H2D, "chunk WA", SpanCat::Copy, s);
         s
     }
 
@@ -151,7 +192,7 @@ impl GpuTimer {
         let dur = self.pcie.latency + self.pcie.chunk_bw.transfer_time(bytes);
         self.transfer_time += dur;
         let s = self.d2h.submit(ready, dur);
-        self.record("d2h", "chunk WA", SpanKind::Copy, s);
+        self.record(keys::tid::D2H, "chunk WA", SpanCat::Copy, s);
         s
     }
 
@@ -170,10 +211,11 @@ impl GpuTimer {
         let dur = self.pcie.latency + self.pcie.stream_bw.transfer_time(bytes);
         self.transfer_time += dur;
         let s = self.h2d.submit(ready, dur);
-        self.stream_tail[stream] = s.end;
-        if self.timeline.is_some() {
-            self.record(&format!("stream{stream}"), label, SpanKind::Copy, s);
+        if s.start > ready {
+            self.stalls += 1;
         }
+        self.stream_tail[stream] = s.end;
+        self.record(keys::tid::stream(stream), label, SpanCat::Copy, s);
         s
     }
 
@@ -195,10 +237,11 @@ impl GpuTimer {
         let dur = self.pcie.latency + self.pcie.stream_bw.transfer_time(bytes);
         self.transfer_time += dur;
         let s = self.d2h.submit(ready, dur);
-        self.stream_tail[stream] = s.end;
-        if self.timeline.is_some() {
-            self.record(&format!("stream{stream}"), label, SpanKind::Copy, s);
+        if s.start > ready {
+            self.stalls += 1;
         }
+        self.stream_tail[stream] = s.end;
+        self.record(keys::tid::stream(stream), label, SpanCat::Copy, s);
         s
     }
 
@@ -233,10 +276,11 @@ impl GpuTimer {
         self.kernel_time += work;
         self.kernels += 1;
         let s = self.compute.submit(ready, dur);
-        self.stream_tail[stream] = s.end;
-        if self.timeline.is_some() {
-            self.record(&format!("stream{stream}"), label, SpanKind::Kernel, s);
+        if s.start > ready {
+            self.stalls += 1;
         }
+        self.stream_tail[stream] = s.end;
+        self.record(keys::tid::stream(stream), label, SpanCat::Kernel, s);
         s
     }
 
@@ -246,7 +290,7 @@ impl GpuTimer {
         self.bytes_p2p += bytes;
         let dur = self.pcie.latency + self.pcie.p2p_bw.transfer_time(bytes);
         let s = self.p2p.submit(ready, dur);
-        self.record("p2p", "WA merge", SpanKind::Copy, s);
+        self.record(keys::tid::P2P, "WA merge", SpanCat::Copy, s);
         s
     }
 
@@ -265,10 +309,7 @@ impl GpuTimer {
             .max(self.d2h.drain_time())
             .max(self.p2p.drain_time())
             .max(self.compute.drain_time());
-        self.stream_tail
-            .iter()
-            .copied()
-            .fold(engines, SimTime::max)
+        self.stream_tail.iter().copied().fold(engines, SimTime::max)
     }
 
     /// Total bytes copied host→device.
@@ -301,9 +342,16 @@ impl GpuTimer {
         self.hidden_launches
     }
 
-    fn record(&mut self, lane: &str, label: &str, kind: SpanKind, s: Scheduled) {
-        if let Some(tl) = &mut self.timeline {
-            tl.record(lane, label, kind, s.start, s.end);
+    /// Stream operations whose start was delayed past their ready time by
+    /// a busy copy/compute engine.
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+
+    fn record(&self, tid: u32, label: &str, cat: SpanCat, s: Scheduled) {
+        if self.spans {
+            self.telemetry
+                .record_span(Track::new(self.pid, tid), cat, label, s.start, s.end);
         }
     }
 }
@@ -499,13 +547,34 @@ mod tests {
     }
 
     #[test]
-    fn timeline_records_when_enabled() {
+    fn spans_record_when_telemetry_attached() {
         let mut t = timer(2);
-        t.enable_timeline();
+        let tel = Telemetry::with_spans();
+        t.attach_telemetry(tel.clone(), 0);
         let c = t.stream_h2d(0, 1_000, SimTime::ZERO, "SP1");
         t.stream_kernel(0, cost_ns(1_000), c.end, "K1");
-        let tl = t.timeline().unwrap();
-        assert_eq!(tl.len(), 2);
+        assert_eq!(tel.span_count(), 2);
+        let spans = tel.spans();
+        assert_eq!(spans[0].cat, SpanCat::Copy);
+        assert_eq!(spans[1].cat, SpanCat::Kernel);
+        assert_eq!(spans[0].track, Track::new(0, keys::tid::stream(0)));
+    }
+
+    #[test]
+    fn counters_flush_into_the_registry() {
+        let mut t = timer(2);
+        let tel = Telemetry::new();
+        t.chunk_h2d(100, SimTime::ZERO);
+        let c = t.stream_h2d(0, 50, SimTime::ZERO, "SP");
+        t.stream_kernel(0, cost_ns(1000), c.end, "K");
+        t.flush_to(&tel, 3);
+        assert_eq!(tel.counter(keys::gpu(3, keys::GPU_BYTES_H2D)), 150);
+        assert_eq!(tel.counter(keys::gpu(3, keys::GPU_KERNELS)), 1);
+        assert_eq!(tel.counter(keys::KERNEL_LAUNCHES), 1);
+        assert_eq!(
+            tel.counter(keys::gpu(3, keys::GPU_KERNEL_TIME_NS)),
+            t.kernel_time().as_nanos()
+        );
     }
 
     #[test]

@@ -18,13 +18,11 @@
 //! one edge-step (including forced-idle lanes). [`timer::KernelCost`]
 //! converts lane-slots to simulated time.
 
-use serde::{Deserialize, Serialize};
-
 /// Hardware warp width (CUDA: 32 lanes).
 pub const WARP_WIDTH: u32 = 32;
 
 /// Which micro-level technique a kernel uses (Appendix E's sweep).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MicroTechnique {
     /// VWC edge-centric with the given virtual-warp width (the paper's
     /// default technique; virtual warps of 4/8/16/32 partition a physical
@@ -67,8 +65,7 @@ impl MicroTechnique {
             }
             MicroTechnique::VertexCentric => vertex_centric_slots(degrees),
             MicroTechnique::Hybrid { virtual_warp } => {
-                edge_centric_slots(degrees, virtual_warp)
-                    .min(vertex_centric_slots(degrees))
+                edge_centric_slots(degrees, virtual_warp).min(vertex_centric_slots(degrees))
             }
         }
     }
@@ -157,14 +154,8 @@ mod tests {
         let mut skewed = vec![2u32; 63];
         skewed.push(10_000);
         let hybrid = MicroTechnique::Hybrid { virtual_warp: 32 };
-        assert_eq!(
-            hybrid.lane_slots(&sparse),
-            vertex_centric_slots(&sparse)
-        );
-        assert_eq!(
-            hybrid.lane_slots(&skewed),
-            edge_centric_slots(&skewed, 32)
-        );
+        assert_eq!(hybrid.lane_slots(&sparse), vertex_centric_slots(&sparse));
+        assert_eq!(hybrid.lane_slots(&skewed), edge_centric_slots(&skewed, 32));
     }
 
     #[test]
@@ -175,7 +166,10 @@ mod tests {
 
     #[test]
     fn names_for_tables() {
-        assert_eq!(MicroTechnique::default_edge_centric().name(), "edge-centric");
+        assert_eq!(
+            MicroTechnique::default_edge_centric().name(),
+            "edge-centric"
+        );
         assert_eq!(MicroTechnique::VertexCentric.name(), "vertex-centric");
         assert_eq!(MicroTechnique::Hybrid { virtual_warp: 8 }.name(), "hybrid");
     }

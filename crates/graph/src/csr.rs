@@ -4,10 +4,9 @@
 //! which is exactly the limitation the TOTEM/CPU baselines exhibit here).
 
 use crate::types::{EdgeList, VertexId};
-use serde::{Deserialize, Serialize};
 
 /// Compressed Sparse Row representation of a directed graph.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Csr {
     /// `offsets[v]..offsets[v+1]` indexes `targets` for vertex `v`'s
     /// out-neighbours; length `num_vertices + 1`.

@@ -18,10 +18,9 @@
 
 use crate::generate::{web_like, Rmat};
 use crate::types::EdgeList;
-use serde::{Deserialize, Serialize};
 
 /// A named dataset preset.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Dataset {
     /// RMAT at the given scale (2^scale vertices, 16 edges/vertex).
     Rmat(u32),

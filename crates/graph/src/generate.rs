@@ -8,9 +8,8 @@
 //! cache model assumes random graphs); [`web_like`] builds high-diameter
 //! web-shaped graphs used by the YahooWeb look-alike.
 
+use crate::rng::Rng;
 use crate::types::{EdgeList, VertexId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// RMAT (Recursive MATrix) generator configuration.
 ///
@@ -63,7 +62,7 @@ impl Rmat {
         assert!(self.scale < 32, "in-memory reproduction caps at scale 31");
         let n: u64 = 1u64 << self.scale;
         let m = n * self.edge_factor as u64;
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let (a, b, c) = (self.a, self.b, self.c);
         let ab = a + b;
         let abc = a + b + c;
@@ -71,7 +70,7 @@ impl Rmat {
         for _ in 0..m {
             let (mut src, mut dst) = (0u64, 0u64);
             for bit in (0..self.scale).rev() {
-                let r: f64 = rng.gen();
+                let r: f64 = rng.f64();
                 // Pick quadrant: a | b over c | d.
                 let (si, di) = if r < a {
                     (0, 0)
@@ -100,9 +99,9 @@ pub fn rmat(scale: u32) -> EdgeList {
 /// (Erdős–Rényi G(n, m) with replacement).
 pub fn erdos_renyi(n: VertexId, m: usize, seed: u64) -> EdgeList {
     assert!(n > 0, "Erdős–Rényi needs at least one vertex");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let edges = (0..m)
-        .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+        .map(|_| (rng.below_u32(n), rng.below_u32(n)))
         .collect();
     EdgeList::new(n, edges)
 }
@@ -118,14 +117,14 @@ pub fn erdos_renyi(n: VertexId, m: usize, seed: u64) -> EdgeList {
 pub fn web_like(communities: u32, community_size: u32, intra_degree: u32, seed: u64) -> EdgeList {
     assert!(communities > 0 && community_size > 1);
     let n = communities * community_size;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut edges = Vec::new();
     for c in 0..communities {
         let base = c * community_size;
         // Dense-ish intra-community random links.
         for v in 0..community_size {
             for _ in 0..intra_degree {
-                edges.push((base + v, base + rng.gen_range(0..community_size)));
+                edges.push((base + v, base + rng.below_u32(community_size)));
             }
         }
         // A handful of bridges to the next community keeps diameter ~O(chain).
@@ -133,8 +132,8 @@ pub fn web_like(communities: u32, community_size: u32, intra_degree: u32, seed: 
             let next = base + community_size;
             for _ in 0..2 {
                 edges.push((
-                    base + rng.gen_range(0..community_size),
-                    next + rng.gen_range(0..community_size),
+                    base + rng.below_u32(community_size),
+                    next + rng.below_u32(community_size),
                 ));
             }
         }
@@ -148,14 +147,14 @@ pub fn web_like(communities: u32, community_size: u32, intra_degree: u32, seed: 
 /// than RMAT (useful for generator-sensitivity checks).
 pub fn preferential_attachment(n: VertexId, m: u32, seed: u64) -> EdgeList {
     assert!(n >= 2 && m >= 1, "need n >= 2 and m >= 1");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(n as usize * m as usize);
     // Repeated-endpoint sampling implements degree-proportional choice.
     let mut endpoints: Vec<VertexId> = vec![0, 1];
     edges.push((1, 0));
     for v in 2..n {
         for _ in 0..m {
-            let target = endpoints[rng.gen_range(0..endpoints.len())];
+            let target = endpoints[rng.below_usize(endpoints.len())];
             edges.push((v, target));
             endpoints.push(v);
             endpoints.push(target);

@@ -16,6 +16,7 @@ pub mod csr;
 pub mod datasets;
 pub mod generate;
 pub mod reference;
+pub mod rng;
 pub mod stats;
 pub mod types;
 

@@ -3,10 +3,9 @@
 //! `gts-storage`, the rest from here).
 
 use crate::csr::Csr;
-use serde::{Deserialize, Serialize};
 
 /// Summary statistics of a directed graph's out-degree distribution.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DegreeStats {
     /// Number of vertices.
     pub num_vertices: u64,
@@ -51,7 +50,11 @@ pub fn degree_histogram(g: &Csr) -> Vec<u64> {
     let mut hist = vec![0u64; 33];
     for v in 0..g.num_vertices() {
         let d = g.out_degree(v);
-        let bucket = if d <= 1 { 0 } else { 63 - (d.leading_zeros() as usize) };
+        let bucket = if d <= 1 {
+            0
+        } else {
+            63 - (d.leading_zeros() as usize)
+        };
         hist[bucket.min(32)] += 1;
     }
     while hist.len() > 1 && *hist.last().unwrap() == 0 {

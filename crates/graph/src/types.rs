@@ -1,7 +1,5 @@
 //! Core graph types: vertex identifiers and edge lists.
 
-use serde::{Deserialize, Serialize};
-
 /// Logical vertex identifier.
 ///
 /// The paper's *generalised* slotted page format addresses up to
@@ -18,7 +16,7 @@ pub const INVALID_VERTEX: VertexId = VertexId::MAX;
 ///
 /// Self-loops and duplicate edges are allowed (RMAT produces both); builders
 /// that need deduplication do it explicitly.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EdgeList {
     /// Number of vertices; all edge endpoints are `< num_vertices`.
     pub num_vertices: VertexId,
@@ -111,8 +109,12 @@ mod tests {
         }
         // Direction matters.
         assert_ne!(
-            (0..100).map(|i| EdgeList::edge_weight(i, i + 1)).sum::<u32>(),
-            (0..100).map(|i| EdgeList::edge_weight(i + 1, i)).sum::<u32>()
+            (0..100)
+                .map(|i| EdgeList::edge_weight(i, i + 1))
+                .sum::<u32>(),
+            (0..100)
+                .map(|i| EdgeList::edge_weight(i + 1, i))
+                .sum::<u32>()
         );
     }
 }

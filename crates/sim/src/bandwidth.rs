@@ -6,11 +6,10 @@
 //! drive), and Infiniband QDR (~40 Gbps) for the distributed baselines.
 
 use crate::time::SimDuration;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A data-transfer rate in bytes per second.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Bandwidth(u64);
 
 impl Bandwidth {
@@ -104,7 +103,10 @@ mod tests {
     fn unit_constructors() {
         assert_eq!(Bandwidth::mib_per_sec(1).as_bytes_per_sec(), 1 << 20);
         assert_eq!(Bandwidth::gib_per_sec(2).as_bytes_per_sec(), 2u64 << 30);
-        assert_eq!(Bandwidth::gbit_per_sec(40).as_bytes_per_sec(), 5_000_000_000);
+        assert_eq!(
+            Bandwidth::gbit_per_sec(40).as_bytes_per_sec(),
+            5_000_000_000
+        );
     }
 
     #[test]

@@ -33,9 +33,7 @@
 pub mod bandwidth;
 pub mod resource;
 pub mod time;
-pub mod timeline;
 
 pub use bandwidth::Bandwidth;
 pub use resource::Resource;
 pub use time::{SimDuration, SimTime};
-pub use timeline::{Span, Timeline};

@@ -97,10 +97,7 @@ impl Resource {
 
     /// The time at which all currently scheduled work completes.
     pub fn drain_time(&self) -> SimTime {
-        self.slots
-            .iter()
-            .copied()
-            .fold(SimTime::ZERO, SimTime::max)
+        self.slots.iter().copied().fold(SimTime::ZERO, SimTime::max)
     }
 
     /// Total service time delivered so far (sums across slots).

@@ -217,9 +217,7 @@ impl GraphStore {
                     for slot in 0..count {
                         let vid = view.sp_vid(slot);
                         if vid != start_vid + slot as u64 {
-                            return Err(format!(
-                                "page {pid}: non-consecutive VIDs at slot {slot}"
-                            ));
+                            return Err(format!("page {pid}: non-consecutive VIDs at slot {slot}"));
                         }
                         if vid >= num_vertices {
                             return Err(format!("page {pid}: vid {vid} out of range"));
@@ -352,7 +350,10 @@ enum PagePlan {
 }
 
 /// Build a [`GraphStore`] for `graph` under `cfg`.
-pub fn build_graph_store(graph: &EdgeList, cfg: PageFormatConfig) -> Result<GraphStore, BuildError> {
+pub fn build_graph_store(
+    graph: &EdgeList,
+    cfg: PageFormatConfig,
+) -> Result<GraphStore, BuildError> {
     let csr = Csr::from_edge_list(graph);
     build_from_csr(&csr, cfg)
 }
@@ -420,7 +421,12 @@ pub fn build_from_csr(csr: &Csr, cfg: PageFormatConfig) -> Result<GraphStore, Bu
             }
         }
     }
-    flush_sp(&mut plan, &mut next_pid, &mut open_first, n.saturating_sub(1));
+    flush_sp(
+        &mut plan,
+        &mut next_pid,
+        &mut open_first,
+        n.saturating_sub(1),
+    );
 
     if next_pid > cfg.id.max_page_id() {
         return Err(BuildError::TooManyPages {
@@ -561,10 +567,7 @@ mod tests {
     fn rmat_roundtrips_under_both_configs() {
         let g = rmat(8);
         roundtrip(&g, small_cfg());
-        roundtrip(
-            &g,
-            PageFormatConfig::new(PhysicalIdConfig::TRILLION, 4096),
-        );
+        roundtrip(&g, PageFormatConfig::new(PhysicalIdConfig::TRILLION, 4096));
     }
 
     #[test]
@@ -604,9 +607,7 @@ mod tests {
     fn edges_per_page_sums_to_total() {
         let g = rmat(9);
         let store = build_graph_store(&g, small_cfg()).unwrap();
-        let total: u64 = (0..store.num_pages())
-            .map(|p| store.edges_in_page(p))
-            .sum();
+        let total: u64 = (0..store.num_pages()).map(|p| store.edges_in_page(p)).sum();
         assert_eq!(total, store.num_edges());
     }
 

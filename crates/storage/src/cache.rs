@@ -95,10 +95,7 @@ impl CachePolicy for LruCache {
             return false;
         }
         if self.entries.len() >= self.capacity {
-            let (&oldest, &victim) = self
-                .by_stamp
-                .first_key_value()
-                .expect("cache non-empty");
+            let (&oldest, &victim) = self.by_stamp.first_key_value().expect("cache non-empty");
             self.by_stamp.remove(&oldest);
             self.entries.remove(&victim);
         }

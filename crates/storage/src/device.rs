@@ -9,10 +9,10 @@
 
 use gts_sim::resource::Scheduled;
 use gts_sim::{Bandwidth, Resource, SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
+use gts_telemetry::{keys, SpanCat, Telemetry, Track};
 
 /// Kind of drive, for presets and reporting.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DeviceKind {
     /// PCI-E SSD (the paper's Fusion-io drives).
     Ssd,
@@ -103,6 +103,7 @@ impl BlockDevice {
 #[derive(Debug, Clone)]
 pub struct StorageArray {
     devices: Vec<BlockDevice>,
+    telemetry: Option<Telemetry>,
 }
 
 impl StorageArray {
@@ -113,7 +114,27 @@ impl StorageArray {
     /// storage needs at least one drive.
     pub fn new(devices: Vec<BlockDevice>) -> Self {
         assert!(!devices.is_empty(), "storage array needs >= 1 device");
-        StorageArray { devices }
+        StorageArray {
+            devices,
+            telemetry: None,
+        }
+    }
+
+    /// Share `tel` as this array's recording surface: fetches draw I/O
+    /// spans (one lane per drive) when `tel` has spans enabled.
+    pub fn attach_telemetry(&mut self, tel: Telemetry) {
+        if tel.spans_enabled() {
+            tel.name_process(keys::pid::STORAGE, "storage");
+            for d in 0..self.devices.len() {
+                let name = match self.devices[d].kind() {
+                    DeviceKind::Ssd => format!("ssd{d}"),
+                    DeviceKind::Hdd => format!("hdd{d}"),
+                    DeviceKind::Custom => format!("dev{d}"),
+                };
+                tel.name_thread(Track::new(keys::pid::STORAGE, d as u32), name);
+            }
+        }
+        self.telemetry = Some(tel);
     }
 
     /// `n` identical SSDs.
@@ -144,7 +165,27 @@ impl StorageArray {
     /// Fetch page `pid` of `bytes` bytes; ready at `ready`.
     pub fn fetch(&mut self, pid: u64, bytes: u64, ready: SimTime) -> Scheduled {
         let dev = self.g(pid);
-        self.devices[dev].read(bytes, ready)
+        let s = self.devices[dev].read(bytes, ready);
+        if let Some(tel) = &self.telemetry {
+            tel.record_span(
+                Track::new(keys::pid::STORAGE, dev as u32),
+                SpanCat::Io,
+                format!("page {pid}"),
+                s.start,
+                s.end,
+            );
+        }
+        s
+    }
+
+    /// Total bytes read across all drives.
+    pub fn bytes_read(&self) -> u64 {
+        self.devices.iter().map(|d| d.bytes_read()).sum()
+    }
+
+    /// Flush the array's byte counter into `tel`'s registry.
+    pub fn flush_to(&self, tel: &Telemetry) {
+        tel.add(keys::IO_BYTES_READ, self.bytes_read());
     }
 
     /// Aggregate sequential bandwidth of the array.
@@ -206,8 +247,16 @@ mod tests {
     #[test]
     fn striping_spreads_load() {
         let mut arr = StorageArray::new(vec![
-            BlockDevice::new(DeviceKind::Custom, Bandwidth::bytes_per_sec(1_000), SimDuration::ZERO),
-            BlockDevice::new(DeviceKind::Custom, Bandwidth::bytes_per_sec(1_000), SimDuration::ZERO),
+            BlockDevice::new(
+                DeviceKind::Custom,
+                Bandwidth::bytes_per_sec(1_000),
+                SimDuration::ZERO,
+            ),
+            BlockDevice::new(
+                DeviceKind::Custom,
+                Bandwidth::bytes_per_sec(1_000),
+                SimDuration::ZERO,
+            ),
         ]);
         assert_eq!(arr.g(0), 0);
         assert_eq!(arr.g(1), 1);
@@ -244,6 +293,19 @@ mod tests {
         arr.fetch(0, 1 << 20, SimTime::ZERO);
         arr.reset();
         assert_eq!(arr.drain_time(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn fetches_record_io_spans_and_flush_bytes() {
+        let tel = Telemetry::with_spans();
+        let mut arr = StorageArray::ssds(2);
+        arr.attach_telemetry(tel.clone());
+        arr.fetch(0, 1_000, SimTime::ZERO);
+        arr.fetch(1, 2_000, SimTime::ZERO);
+        assert_eq!(tel.span_count(), 2);
+        assert!(tel.spans().iter().all(|s| s.cat == SpanCat::Io));
+        arr.flush_to(&tel);
+        assert_eq!(tel.counter(keys::IO_BYTES_READ), 3_000);
     }
 
     #[test]

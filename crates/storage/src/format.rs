@@ -6,11 +6,10 @@
 //! `p`-byte page IDs and `q`-byte slot numbers so that even trillion-scale
 //! graphs are addressable — Table 2 enumerates the 6-byte configurations.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Byte widths of the two halves of a physical record ID.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PhysicalIdConfig {
     /// Bytes of page ID (ADJ_PID).
     pub p: u8,
@@ -38,7 +37,10 @@ impl PhysicalIdConfig {
 
     /// Create a configuration; widths of 1..=8 bytes are supported.
     pub fn new(p: u8, q: u8) -> Self {
-        assert!((1..=8).contains(&p) && (1..=8).contains(&q), "widths must be 1..=8 bytes");
+        assert!(
+            (1..=8).contains(&p) && (1..=8).contains(&q),
+            "widths must be 1..=8 bytes"
+        );
         PhysicalIdConfig { p, q }
     }
 
@@ -86,7 +88,7 @@ fn saturating_pow2(bits: u32) -> u64 {
 }
 
 /// A physical record ID: which page, which slot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RecordId {
     /// Page ID (ADJ_PID).
     pub pid: u64,
@@ -103,7 +105,7 @@ impl RecordId {
 
 /// Whether a page holds many low-degree vertices or one chunk of a
 /// high-degree vertex's adjacency list.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PageKind {
     /// Small Page: consecutive low-degree vertices, records + slots.
     Small,
@@ -112,7 +114,7 @@ pub enum PageKind {
 }
 
 /// Full format configuration: ID widths plus the fixed page size.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PageFormatConfig {
     /// Physical-ID byte widths.
     pub id: PhysicalIdConfig,
@@ -135,11 +137,7 @@ impl PageFormatConfig {
             id.max_page_size(),
             id
         );
-        let min = PAGE_HEADER_BYTES
-            + VID_BYTES
-            + OFF_BYTES
-            + ADJLIST_SZ_BYTES
-            + id.rid_bytes();
+        let min = PAGE_HEADER_BYTES + VID_BYTES + OFF_BYTES + ADJLIST_SZ_BYTES + id.rid_bytes();
         assert!(
             page_size >= min,
             "page size {page_size} below minimum {min}"

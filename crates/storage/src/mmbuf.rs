@@ -7,6 +7,7 @@
 //! RMAT31/32). Eviction is FIFO — the simplest policy consistent with the
 //! paper's sequential streaming order.
 
+use gts_telemetry::{keys, Telemetry};
 use std::collections::{HashSet, VecDeque};
 
 /// Bounded main-memory page buffer with residency tracking.
@@ -17,6 +18,7 @@ pub struct MmBuf {
     fifo: VecDeque<u64>,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl MmBuf {
@@ -29,6 +31,7 @@ impl MmBuf {
             fifo: VecDeque::with_capacity(capacity_pages),
             hits: 0,
             misses: 0,
+            evictions: 0,
         }
     }
 
@@ -72,6 +75,7 @@ impl MmBuf {
         if self.resident.len() >= self.capacity_pages {
             if let Some(old) = self.fifo.pop_front() {
                 self.resident.remove(&old);
+                self.evictions += 1;
             }
         }
         self.resident.insert(pid);
@@ -87,6 +91,18 @@ impl MmBuf {
     /// Buffer misses (storage fetches) recorded so far.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Pages evicted from the ring so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Flush hit/miss/eviction counters into `tel`'s registry.
+    pub fn flush_to(&self, tel: &Telemetry) {
+        tel.add(keys::MMBUF_HITS, self.hits);
+        tel.add(keys::MMBUF_MISSES, self.misses);
+        tel.add(keys::MMBUF_EVICTIONS, self.evictions);
     }
 
     /// Hit rate in [0, 1]; zero when nothing has been accessed.
@@ -105,6 +121,7 @@ impl MmBuf {
         self.fifo.clear();
         self.hits = 0;
         self.misses = 0;
+        self.evictions = 0;
     }
 }
 
@@ -127,11 +144,26 @@ mod tests {
         let mut b = MmBuf::new(2);
         b.access(1);
         b.access(2);
+        assert_eq!(b.evictions(), 0);
         b.access(3); // evicts 1
         assert!(!b.contains(1));
         assert!(b.contains(2));
         assert!(b.contains(3));
         assert_eq!(b.len(), 2);
+        assert_eq!(b.evictions(), 1);
+    }
+
+    #[test]
+    fn counters_flush_into_the_registry() {
+        let mut b = MmBuf::new(1);
+        b.access(1);
+        b.access(1);
+        b.access(2); // evicts 1
+        let tel = Telemetry::new();
+        b.flush_to(&tel);
+        assert_eq!(tel.counter(keys::MMBUF_HITS), 1);
+        assert_eq!(tel.counter(keys::MMBUF_MISSES), 2);
+        assert_eq!(tel.counter(keys::MMBUF_EVICTIONS), 1);
     }
 
     #[test]

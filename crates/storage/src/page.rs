@@ -10,13 +10,11 @@
 //! `(p,q)` generalisation of Sec. 6.1).
 
 use crate::format::{
-    PageFormatConfig, PageKind, RecordId, ADJLIST_SZ_BYTES, OFF_BYTES, PAGE_HEADER_BYTES,
-    VID_BYTES,
+    PageFormatConfig, PageKind, RecordId, ADJLIST_SZ_BYTES, OFF_BYTES, PAGE_HEADER_BYTES, VID_BYTES,
 };
-use serde::{Deserialize, Serialize};
 
 /// An encoded fixed-size slotted page.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Page {
     /// Global page ID (index into the store's page table).
     pub pid: u64,
@@ -36,7 +34,10 @@ impl Page {
 #[inline]
 fn write_le(buf: &mut [u8], value: u64, width: usize) {
     debug_assert!(width <= 8);
-    debug_assert!(width == 8 || value < 1u64 << (8 * width), "value {value} overflows {width} bytes");
+    debug_assert!(
+        width == 8 || value < 1u64 << (8 * width),
+        "value {value} overflows {width} bytes"
+    );
     buf[..width].copy_from_slice(&value.to_le_bytes()[..width]);
 }
 
@@ -69,9 +70,8 @@ impl SmallPageEncoder {
 
     /// Bytes still available for one more vertex (slot + record).
     pub fn remaining(&self) -> usize {
-        let used = PAGE_HEADER_BYTES
-            + self.record_cursor
-            + self.slots as usize * (VID_BYTES + OFF_BYTES);
+        let used =
+            PAGE_HEADER_BYTES + self.record_cursor + self.slots as usize * (VID_BYTES + OFF_BYTES);
         self.cfg.page_size - used
     }
 
@@ -96,11 +96,7 @@ impl SmallPageEncoder {
         let off = self.record_cursor;
         // Record: ADJLIST_SZ then packed record IDs.
         let rec_at = PAGE_HEADER_BYTES + off;
-        write_le(
-            &mut self.data[rec_at..],
-            adj.len() as u64,
-            ADJLIST_SZ_BYTES,
-        );
+        write_le(&mut self.data[rec_at..], adj.len() as u64, ADJLIST_SZ_BYTES);
         let mut at = rec_at + ADJLIST_SZ_BYTES;
         for r in adj {
             write_le(&mut self.data[at..], r.pid, self.cfg.id.p as usize);
@@ -148,7 +144,11 @@ pub fn encode_large_page(cfg: PageFormatConfig, pid: u64, vid: u64, adj: &[Recor
     let mut at = PAGE_HEADER_BYTES + VID_BYTES;
     for r in adj {
         write_le(&mut data[at..], r.pid, cfg.id.p as usize);
-        write_le(&mut data[at + cfg.id.p as usize..], r.slot as u64, cfg.id.q as usize);
+        write_le(
+            &mut data[at + cfg.id.p as usize..],
+            r.slot as u64,
+            cfg.id.q as usize,
+        );
         at += cfg.id.rid_bytes();
     }
     Page {
@@ -439,10 +439,10 @@ mod tests {
         let adj: Vec<RecordId> = (0..c.lp_capacity() as u32)
             .map(|i| RecordId::new(i as u64 % 7, i))
             .collect();
-        let page = encode_large_page(c, 9, 0x1234_5678_9A, &adj);
+        let page = encode_large_page(c, 9, 0x0012_3456_789A, &adj);
         let v = PageView::new(c, &page);
         assert_eq!(v.kind(), PageKind::Large);
-        assert_eq!(v.lp_vid(), 0x1234_5678_9A);
+        assert_eq!(v.lp_vid(), 0x0012_3456_789A);
         assert_eq!(v.count() as usize, adj.len());
         for (i, r) in adj.iter().enumerate() {
             assert_eq!(v.lp_adj(i as u32), *r);
@@ -456,10 +456,10 @@ mod tests {
         let c = PageFormatConfig::new(PhysicalIdConfig::TRILLION, 4096);
         let mut enc = SmallPageEncoder::new(c);
         let adj = [RecordId::new(0xABCDEF, 0x123456)];
-        enc.push_vertex(0xFFFF_FFFF_FF, &adj);
+        enc.push_vertex(0x00FF_FFFF_FFFF, &adj);
         let page = enc.finish(0);
         let v = PageView::new(c, &page);
-        assert_eq!(v.sp_vid(0), 0xFFFF_FFFF_FF);
+        assert_eq!(v.sp_vid(0), 0x00FF_FFFF_FFFF);
         assert_eq!(v.sp_adj(0, 0), RecordId::new(0xABCDEF, 0x123456));
     }
 }

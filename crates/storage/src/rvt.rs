@@ -9,10 +9,9 @@
 //! paper's Fig. 12 for Small Pages; an `Option` here).
 
 use crate::format::RecordId;
-use serde::{Deserialize, Serialize};
 
 /// One RVT tuple (per page).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RvtEntry {
     /// First vertex ID stored in the page.
     pub start_vid: u64,
@@ -23,7 +22,7 @@ pub struct RvtEntry {
 
 /// The full per-store mapping table, resident in main memory (and copied to
 /// each GPU's device memory by the engine).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Rvt {
     entries: Vec<RvtEntry>,
 }
@@ -72,9 +71,18 @@ mod tests {
     fn translate_matches_fig12_example() {
         // Paper Fig. 12: SP0 starts at vid 0, LP1/LP2 hold vertex 3.
         let rvt = Rvt::new(vec![
-            RvtEntry { start_vid: 0, lp_range: None },
-            RvtEntry { start_vid: 3, lp_range: Some(1) },
-            RvtEntry { start_vid: 3, lp_range: Some(0) },
+            RvtEntry {
+                start_vid: 0,
+                lp_range: None,
+            },
+            RvtEntry {
+                start_vid: 3,
+                lp_range: Some(1),
+            },
+            RvtEntry {
+                start_vid: 3,
+                lp_range: Some(0),
+            },
         ]);
         // r2 = (pid 0, slot 2) → vid 2 (the worked example in Appendix A).
         assert_eq!(rvt.translate(RecordId::new(0, 2)), 2);
@@ -85,7 +93,10 @@ mod tests {
 
     #[test]
     fn entry_accessors() {
-        let rvt = Rvt::new(vec![RvtEntry { start_vid: 7, lp_range: None }]);
+        let rvt = Rvt::new(vec![RvtEntry {
+            start_vid: 7,
+            lp_range: None,
+        }]);
         assert_eq!(rvt.len(), 1);
         assert!(!rvt.is_empty());
         assert_eq!(rvt.entry(0).start_vid, 7);

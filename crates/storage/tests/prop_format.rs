@@ -2,7 +2,7 @@
 //! configuration — build must round-trip exactly and the RVT must resolve
 //! every record ID back to the vertex that owns it.
 
-use gts_graph::{EdgeList, VertexId};
+use gts_graph::EdgeList;
 use gts_storage::{build_graph_store, PageFormatConfig, PageKind, PhysicalIdConfig};
 use proptest::prelude::*;
 
@@ -21,7 +21,6 @@ fn arb_format() -> impl Strategy<Value = PageFormatConfig> {
         PageFormatConfig::new(PhysicalIdConfig::new(p, q), 1usize << logsz)
     })
 }
-
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

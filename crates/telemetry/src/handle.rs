@@ -1,0 +1,245 @@
+//! The shared [`Telemetry`] handle.
+
+use crate::span::{Span, SpanCat, Track};
+use gts_sim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+#[derive(Debug, Default)]
+pub(crate) struct Inner {
+    pub(crate) spans_enabled: bool,
+    pub(crate) spans: Vec<Span>,
+    pub(crate) counters: BTreeMap<String, u64>,
+    pub(crate) process_names: BTreeMap<u32, String>,
+    pub(crate) thread_names: BTreeMap<Track, String>,
+}
+
+/// Shared recording surface for one run: spans + counters.
+///
+/// Cloning is cheap (an `Arc` bump); every component of a run — engine,
+/// GPU timers, page caches, MMBuf, storage array — holds a clone of the
+/// same handle. All methods take `&self`; the handle is `Send + Sync`.
+///
+/// Lifecycle: [`Telemetry::start_run`] clears all recorded state, so one
+/// recording covers exactly one run. Engines call it at the top of their
+/// `run()`.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Telemetry {
+    /// Counters-only telemetry (spans dropped). The default for every
+    /// engine: a run costs a handful of integer adds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Telemetry that also records spans (needed for
+    /// [`Telemetry::to_chrome_trace`] / [`Telemetry::render_ascii`]).
+    /// A large run can produce one span per page per stream, so this is
+    /// opt-in.
+    pub fn with_spans() -> Self {
+        let t = Self::default();
+        t.inner.lock().unwrap().spans_enabled = true;
+        t
+    }
+
+    /// Whether spans are being recorded.
+    pub fn spans_enabled(&self) -> bool {
+        self.inner.lock().unwrap().spans_enabled
+    }
+
+    /// Reset all recorded state (spans, counters, track names) so the next
+    /// run starts clean. Span recording stays enabled/disabled as before.
+    pub fn start_run(&self) {
+        let mut g = self.inner.lock().unwrap();
+        g.spans.clear();
+        g.counters.clear();
+        g.process_names.clear();
+        g.thread_names.clear();
+    }
+
+    /// Record one busy interval. No-op when spans are disabled.
+    pub fn record_span(
+        &self,
+        track: Track,
+        cat: SpanCat,
+        name: impl Into<String>,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        let mut g = self.inner.lock().unwrap();
+        if !g.spans_enabled {
+            return;
+        }
+        debug_assert!(end >= start, "span must not end before it starts");
+        g.spans.push(Span {
+            track,
+            name: name.into(),
+            cat,
+            start,
+            end,
+        });
+    }
+
+    /// Name a process track (chrome-trace `process_name`, ASCII row prefix).
+    pub fn name_process(&self, pid: u32, name: impl Into<String>) {
+        self.inner
+            .lock()
+            .unwrap()
+            .process_names
+            .insert(pid, name.into());
+    }
+
+    /// Name a thread track.
+    pub fn name_thread(&self, track: Track, name: impl Into<String>) {
+        self.inner
+            .lock()
+            .unwrap()
+            .thread_names
+            .insert(track, name.into());
+    }
+
+    /// Add `delta` to counter `key` (creating it at zero).
+    pub fn add(&self, key: impl AsRef<str>, delta: u64) {
+        if delta == 0 {
+            return;
+        }
+        let mut g = self.inner.lock().unwrap();
+        *g.counters.entry(key.as_ref().to_owned()).or_insert(0) += delta;
+    }
+
+    /// Overwrite counter `key` with `value` (for gauges like capacities).
+    pub fn set(&self, key: impl AsRef<str>, value: u64) {
+        let mut g = self.inner.lock().unwrap();
+        g.counters.insert(key.as_ref().to_owned(), value);
+    }
+
+    /// Raise counter `key` to `value` if larger (for peaks).
+    pub fn max(&self, key: impl AsRef<str>, value: u64) {
+        let mut g = self.inner.lock().unwrap();
+        let e = g.counters.entry(key.as_ref().to_owned()).or_insert(0);
+        *e = (*e).max(value);
+    }
+
+    /// Current value of counter `key` (zero if never touched).
+    pub fn counter(&self, key: impl AsRef<str>) -> u64 {
+        self.inner
+            .lock()
+            .unwrap()
+            .counters
+            .get(key.as_ref())
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Snapshot of the whole counter registry.
+    pub fn counters(&self) -> BTreeMap<String, u64> {
+        self.inner.lock().unwrap().counters.clone()
+    }
+
+    /// Snapshot of all recorded spans, in recording order.
+    pub fn spans(&self) -> Vec<Span> {
+        self.inner.lock().unwrap().spans.clone()
+    }
+
+    /// Number of recorded spans.
+    pub fn span_count(&self) -> usize {
+        self.inner.lock().unwrap().spans.len()
+    }
+
+    /// Latest span end time (the recorded makespan); zero with no spans.
+    pub fn end_time(&self) -> SimTime {
+        self.inner
+            .lock()
+            .unwrap()
+            .spans
+            .iter()
+            .map(|s| s.end)
+            .fold(SimTime::ZERO, SimTime::max)
+    }
+
+    /// Total busy time per track, keyed by display name.
+    pub fn busy_per_track(&self) -> BTreeMap<String, SimDuration> {
+        let g = self.inner.lock().unwrap();
+        let mut out = BTreeMap::new();
+        for s in &g.spans {
+            *out.entry(crate::trace::track_label(&g, s.track))
+                .or_insert(SimDuration::ZERO) += s.end - s.start;
+        }
+        out
+    }
+
+    pub(crate) fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn counters_accumulate_set_and_max() {
+        let tel = Telemetry::new();
+        tel.add("a", 3);
+        tel.add("a", 4);
+        assert_eq!(tel.counter("a"), 7);
+        tel.set("a", 2);
+        assert_eq!(tel.counter("a"), 2);
+        tel.max("a", 10);
+        tel.max("a", 5);
+        assert_eq!(tel.counter("a"), 10);
+        assert_eq!(tel.counter("never"), 0);
+    }
+
+    #[test]
+    fn spans_dropped_unless_enabled() {
+        let off = Telemetry::new();
+        off.record_span(Track::new(0, 0), SpanCat::Copy, "x", t(0), t(1));
+        assert_eq!(off.span_count(), 0);
+        let on = Telemetry::with_spans();
+        on.record_span(Track::new(0, 0), SpanCat::Copy, "x", t(0), t(1));
+        assert_eq!(on.span_count(), 1);
+    }
+
+    #[test]
+    fn start_run_clears_everything_but_keeps_mode() {
+        let tel = Telemetry::with_spans();
+        tel.add("a", 1);
+        tel.record_span(Track::new(0, 0), SpanCat::Copy, "x", t(0), t(1));
+        tel.start_run();
+        assert_eq!(tel.counter("a"), 0);
+        assert_eq!(tel.span_count(), 0);
+        assert!(tel.spans_enabled());
+        tel.record_span(Track::new(0, 0), SpanCat::Copy, "y", t(0), t(1));
+        assert_eq!(tel.span_count(), 1);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let tel = Telemetry::new();
+        let other = tel.clone();
+        other.add("k", 5);
+        assert_eq!(tel.counter("k"), 5);
+    }
+
+    #[test]
+    fn busy_per_track_sums_by_track() {
+        let tel = Telemetry::with_spans();
+        let tr = Track::new(0, 3);
+        tel.name_thread(tr, "stream0");
+        tel.record_span(tr, SpanCat::Copy, "a", t(0), t(10));
+        tel.record_span(tr, SpanCat::Kernel, "b", t(10), t(40));
+        tel.record_span(Track::new(0, 4), SpanCat::Copy, "c", t(0), t(5));
+        let busy = tel.busy_per_track();
+        assert_eq!(busy["stream0"], SimDuration::from_nanos(40));
+        assert_eq!(busy["0.4"], SimDuration::from_nanos(5));
+        assert_eq!(tel.end_time(), t(40));
+    }
+}

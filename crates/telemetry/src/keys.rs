@@ -1,0 +1,128 @@
+//! Counter-key glossary and track-pid allocation.
+//!
+//! Every quantity an engine reports flows through the counter registry
+//! under one of these keys; [`crate::RunReport::from_telemetry`] reads them
+//! back. Global keys are plain constants; per-GPU and per-sweep keys are
+//! built by [`gpu`] and [`sweep`] from a field suffix.
+//!
+//! | key | meaning |
+//! |---|---|
+//! | `run.elapsed_ns` | simulated makespan of the run |
+//! | `run.sweeps` | sweeps / supersteps / iterations executed |
+//! | `run.gpus` | GPUs that participated (count of `gpu{i}.*` scopes) |
+//! | `pages.streamed` | topology pages copied host→device (cache misses) |
+//! | `cache.hits` / `cache.misses` | device page-cache probe outcomes |
+//! | `mmbuf.hits` / `mmbuf.misses` | host main-memory-buffer probe outcomes |
+//! | `mmbuf.evictions` | pages evicted from the MMBuf ring |
+//! | `edges.traversed` | edges processed across all sweeps |
+//! | `kernel.launches` | kernel launches across all GPUs |
+//! | `stream.stalls` | stream operations delayed by a busy engine |
+//! | `io.bytes_read` | bytes fetched from the storage array |
+//! | `net.bytes` | bytes shipped over the cluster network (baselines) |
+//! | `mem.peak` | peak working-set bytes (max-merged, baselines) |
+//! | `gpu{i}.bytes_h2d` … | per-GPU fields, see the `GPU_*` constants |
+//! | `sweep{j}.pages` … | per-sweep fields, see the `SWEEP_*` constants |
+
+/// Simulated makespan of the run, nanoseconds (set once at run end).
+pub const RUN_ELAPSED_NS: &str = "run.elapsed_ns";
+/// Sweeps (BFS levels, PageRank iterations, supersteps) executed.
+pub const RUN_SWEEPS: &str = "run.sweeps";
+/// Number of GPUs that participated in the run.
+pub const RUN_GPUS: &str = "run.gpus";
+/// Topology pages copied host→device (equals `cache.misses` for GTS).
+pub const PAGES_STREAMED: &str = "pages.streamed";
+/// Device page-cache hits across all GPUs.
+pub const CACHE_HITS: &str = "cache.hits";
+/// Device page-cache misses across all GPUs.
+pub const CACHE_MISSES: &str = "cache.misses";
+/// Host MMBuf hits.
+pub const MMBUF_HITS: &str = "mmbuf.hits";
+/// Host MMBuf misses.
+pub const MMBUF_MISSES: &str = "mmbuf.misses";
+/// Pages evicted from the MMBuf ring.
+pub const MMBUF_EVICTIONS: &str = "mmbuf.evictions";
+/// Edges processed across all sweeps.
+pub const EDGES_TRAVERSED: &str = "edges.traversed";
+/// Kernel launches across all GPUs.
+pub const KERNEL_LAUNCHES: &str = "kernel.launches";
+/// Stream operations whose start was delayed past readiness by a busy
+/// copy/compute engine (pipeline friction; Fig. 10's enemy).
+pub const STREAM_STALLS: &str = "stream.stalls";
+/// Bytes fetched from the storage array (SSD/HDD streaming).
+pub const IO_BYTES_READ: &str = "io.bytes_read";
+/// Bytes shipped over the simulated cluster network (distributed baselines).
+pub const NETWORK_BYTES: &str = "net.bytes";
+/// Peak working-set bytes (max-merged; CPU/GPU baselines).
+pub const MEMORY_PEAK: &str = "mem.peak";
+
+/// Per-GPU field: bytes copied host→device.
+pub const GPU_BYTES_H2D: &str = "bytes_h2d";
+/// Per-GPU field: bytes copied device→host.
+pub const GPU_BYTES_D2H: &str = "bytes_d2h";
+/// Per-GPU field: bytes copied peer-to-peer.
+pub const GPU_BYTES_P2P: &str = "bytes_p2p";
+/// Per-GPU field: accumulated kernel service time, ns.
+pub const GPU_KERNEL_TIME_NS: &str = "kernel_time_ns";
+/// Per-GPU field: accumulated transfer service time, ns.
+pub const GPU_TRANSFER_TIME_NS: &str = "transfer_time_ns";
+/// Per-GPU field: kernels launched.
+pub const GPU_KERNELS: &str = "kernels";
+/// Per-GPU field: launches whose overhead was hidden by queue-ahead.
+pub const GPU_HIDDEN_LAUNCHES: &str = "hidden_launches";
+/// Per-GPU field: page-cache hits on this GPU.
+pub const GPU_CACHE_HITS: &str = "cache_hits";
+/// Per-GPU field: page-cache misses on this GPU.
+pub const GPU_CACHE_MISSES: &str = "cache_misses";
+/// Per-GPU field: page-cache capacity in pages.
+pub const GPU_CACHE_CAPACITY_PAGES: &str = "cache_capacity_pages";
+
+/// Per-sweep field: pages visited.
+pub const SWEEP_PAGES: &str = "pages";
+/// Per-sweep field: cache hits.
+pub const SWEEP_CACHE_HITS: &str = "cache_hits";
+/// Per-sweep field: active vertices.
+pub const SWEEP_ACTIVE_VERTICES: &str = "active_vertices";
+/// Per-sweep field: active edges.
+pub const SWEEP_ACTIVE_EDGES: &str = "active_edges";
+/// Per-sweep field: simulated sweep duration, ns.
+pub const SWEEP_ELAPSED_NS: &str = "elapsed_ns";
+
+/// Key for per-GPU field `field` of GPU `i` (e.g. `gpu0.bytes_h2d`).
+pub fn gpu(i: u32, field: &str) -> String {
+    format!("gpu{i}.{field}")
+}
+
+/// Key for per-sweep field `field` of sweep `j` (e.g. `sweep0.pages`).
+pub fn sweep(j: u32, field: &str) -> String {
+    format!("sweep{j}.{field}")
+}
+
+/// Track-pid allocation shared by all components.
+pub mod pid {
+    /// The engine's own track (run/sweep spans live here).
+    pub const ENGINE: u32 = 900;
+    /// The storage array (one tid per drive).
+    pub const STORAGE: u32 = 901;
+
+    /// GPU `i`'s process id.
+    pub fn gpu(i: u32) -> u32 {
+        i
+    }
+}
+
+/// Track-tid allocation within a GPU process.
+pub mod tid {
+    /// H2D copy engine lane.
+    pub const H2D: u32 = 0;
+    /// D2H copy engine lane.
+    pub const D2H: u32 = 1;
+    /// Peer-to-peer copy lane.
+    pub const P2P: u32 = 2;
+    /// First stream lane; stream `s` is `STREAM0 + s`.
+    pub const STREAM0: u32 = 3;
+
+    /// Stream `s`'s thread id.
+    pub fn stream(s: usize) -> u32 {
+        STREAM0 + s as u32
+    }
+}

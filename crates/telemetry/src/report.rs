@@ -1,0 +1,315 @@
+//! The unified run report — a *view* over the counter registry.
+//!
+//! Every engine in the workspace (GTS and the seven baselines) reports
+//! through this one type, built by [`RunReport::from_telemetry`] from the
+//! counters under the [`crate::keys`] glossary. There is no second
+//! accounting path: what the report says is what the registry holds.
+
+use crate::json::{escape, num};
+use crate::keys;
+use crate::Telemetry;
+use gts_sim::SimDuration;
+
+/// Per-GPU statistics of one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GpuRunStats {
+    /// Bytes copied host→device.
+    pub bytes_h2d: u64,
+    /// Bytes copied device→host.
+    pub bytes_d2h: u64,
+    /// Accumulated kernel service time.
+    pub kernel_time: SimDuration,
+    /// Accumulated transfer service time.
+    pub transfer_time: SimDuration,
+    /// Kernels launched.
+    pub kernels: u64,
+    /// Topology-cache hits.
+    pub cache_hits: u64,
+    /// Topology-cache misses.
+    pub cache_misses: u64,
+    /// Pages of topology cache capacity this GPU ended up with.
+    pub cache_capacity_pages: usize,
+}
+
+/// Per-sweep (per-level / per-iteration) statistics — the raw series
+/// behind Eq. (2)'s per-level sums and the frontier plots.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Pages visited this sweep (streamed + cache hits).
+    pub pages: u64,
+    /// Pages served from the GPU cache this sweep.
+    pub cache_hits: u64,
+    /// Vertices that did kernel work this sweep (the frontier size for
+    /// traversal programs).
+    pub active_vertices: u64,
+    /// Edges traversed this sweep.
+    pub active_edges: u64,
+    /// Simulated time from sweep start to the barrier.
+    pub elapsed: SimDuration,
+}
+
+/// The result of one engine run, derived from telemetry counters.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Engine name ("GTS", "TOTEM", "Giraph", ...).
+    pub engine: String,
+    /// Simulated end-to-end elapsed time (the paper's reported metric).
+    pub elapsed: SimDuration,
+    /// Sweeps executed (levels for traversal, iterations for sweeps,
+    /// supersteps for the cluster engines).
+    pub sweeps: u32,
+    /// Pages streamed over PCI-E (excluding cache hits).
+    pub pages_streamed: u64,
+    /// Pages served from the GPU-side cache.
+    pub cache_hits: u64,
+    /// Overall topology-cache hit rate (Fig. 11b).
+    pub cache_hit_rate: f64,
+    /// Edges traversed by kernels (for MTEPS reporting, Sec. 7.4).
+    pub edges_traversed: u64,
+    /// Per-GPU breakdown.
+    pub per_gpu: Vec<GpuRunStats>,
+    /// Per-sweep breakdown (levels for traversal, iterations for sweeps).
+    pub per_sweep: Vec<SweepStats>,
+    /// Bytes that crossed the simulated cluster network (distributed
+    /// baselines; zero for single-node engines).
+    pub network_bytes: u64,
+    /// Peak working-set bytes on the most loaded node/device (baselines;
+    /// zero where not tracked).
+    pub memory_peak: u64,
+}
+
+impl RunReport {
+    /// Build the report for `engine` running `algorithm` from the counters
+    /// currently in `tel`'s registry. Every field is read straight from
+    /// the [`keys`] glossary, so the report and the registry cannot
+    /// disagree.
+    pub fn from_telemetry(
+        tel: &Telemetry,
+        algorithm: impl Into<String>,
+        engine: impl Into<String>,
+    ) -> Self {
+        let hits = tel.counter(keys::CACHE_HITS);
+        let misses = tel.counter(keys::CACHE_MISSES);
+        let probes = hits + misses;
+        let sweeps = tel.counter(keys::RUN_SWEEPS) as u32;
+        let per_gpu = (0..tel.counter(keys::RUN_GPUS) as u32)
+            .map(|i| GpuRunStats {
+                bytes_h2d: tel.counter(keys::gpu(i, keys::GPU_BYTES_H2D)),
+                bytes_d2h: tel.counter(keys::gpu(i, keys::GPU_BYTES_D2H)),
+                kernel_time: SimDuration::from_nanos(
+                    tel.counter(keys::gpu(i, keys::GPU_KERNEL_TIME_NS)),
+                ),
+                transfer_time: SimDuration::from_nanos(
+                    tel.counter(keys::gpu(i, keys::GPU_TRANSFER_TIME_NS)),
+                ),
+                kernels: tel.counter(keys::gpu(i, keys::GPU_KERNELS)),
+                cache_hits: tel.counter(keys::gpu(i, keys::GPU_CACHE_HITS)),
+                cache_misses: tel.counter(keys::gpu(i, keys::GPU_CACHE_MISSES)),
+                cache_capacity_pages: tel.counter(keys::gpu(i, keys::GPU_CACHE_CAPACITY_PAGES))
+                    as usize,
+            })
+            .collect();
+        let per_sweep = (0..sweeps)
+            .map(|j| SweepStats {
+                pages: tel.counter(keys::sweep(j, keys::SWEEP_PAGES)),
+                cache_hits: tel.counter(keys::sweep(j, keys::SWEEP_CACHE_HITS)),
+                active_vertices: tel.counter(keys::sweep(j, keys::SWEEP_ACTIVE_VERTICES)),
+                active_edges: tel.counter(keys::sweep(j, keys::SWEEP_ACTIVE_EDGES)),
+                elapsed: SimDuration::from_nanos(
+                    tel.counter(keys::sweep(j, keys::SWEEP_ELAPSED_NS)),
+                ),
+            })
+            .collect();
+        RunReport {
+            algorithm: algorithm.into(),
+            engine: engine.into(),
+            elapsed: SimDuration::from_nanos(tel.counter(keys::RUN_ELAPSED_NS)),
+            sweeps,
+            pages_streamed: tel.counter(keys::PAGES_STREAMED),
+            cache_hits: hits,
+            cache_hit_rate: if probes == 0 {
+                0.0
+            } else {
+                hits as f64 / probes as f64
+            },
+            edges_traversed: tel.counter(keys::EDGES_TRAVERSED),
+            per_gpu,
+            per_sweep,
+            network_bytes: tel.counter(keys::NETWORK_BYTES),
+            memory_peak: tel.counter(keys::MEMORY_PEAK),
+        }
+    }
+
+    /// Millions of traversed edges per second (the paper quotes GTS at up
+    /// to 1,500 MTEPS on Twitter).
+    pub fn mteps(&self) -> f64 {
+        if self.elapsed.as_secs_f64() == 0.0 {
+            return 0.0;
+        }
+        self.edges_traversed as f64 / 1e6 / self.elapsed.as_secs_f64()
+    }
+
+    /// Sum of bytes moved host→device across GPUs.
+    pub fn total_bytes_h2d(&self) -> u64 {
+        self.per_gpu.iter().map(|g| g.bytes_h2d).sum()
+    }
+
+    /// Ratio of transfer service time to kernel service time, aggregated
+    /// across GPUs (Table 1's quantity).
+    pub fn transfer_to_kernel_ratio(&self) -> f64 {
+        let t: f64 = self
+            .per_gpu
+            .iter()
+            .map(|g| g.transfer_time.as_secs_f64())
+            .sum();
+        let k: f64 = self
+            .per_gpu
+            .iter()
+            .map(|g| g.kernel_time.as_secs_f64())
+            .sum();
+        if k == 0.0 {
+            0.0
+        } else {
+            t / k
+        }
+    }
+
+    /// Pretty-printed JSON (the CLI's `--json` output).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"algorithm\": \"{}\",\n",
+            escape(&self.algorithm)
+        ));
+        out.push_str(&format!("  \"engine\": \"{}\",\n", escape(&self.engine)));
+        out.push_str(&format!("  \"elapsed_ns\": {},\n", self.elapsed.as_nanos()));
+        out.push_str(&format!(
+            "  \"elapsed_secs\": {},\n",
+            num(self.elapsed.as_secs_f64())
+        ));
+        out.push_str(&format!("  \"sweeps\": {},\n", self.sweeps));
+        out.push_str(&format!("  \"pages_streamed\": {},\n", self.pages_streamed));
+        out.push_str(&format!("  \"cache_hits\": {},\n", self.cache_hits));
+        out.push_str(&format!(
+            "  \"cache_hit_rate\": {},\n",
+            num(self.cache_hit_rate)
+        ));
+        out.push_str(&format!(
+            "  \"edges_traversed\": {},\n",
+            self.edges_traversed
+        ));
+        out.push_str(&format!("  \"mteps\": {},\n", num(self.mteps())));
+        out.push_str(&format!("  \"network_bytes\": {},\n", self.network_bytes));
+        out.push_str(&format!("  \"memory_peak\": {},\n", self.memory_peak));
+        out.push_str("  \"per_gpu\": [\n");
+        for (i, g) in self.per_gpu.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"bytes_h2d\": {}, \"bytes_d2h\": {}, \"kernel_time_ns\": {}, \
+                 \"transfer_time_ns\": {}, \"kernels\": {}, \"cache_hits\": {}, \
+                 \"cache_misses\": {}, \"cache_capacity_pages\": {}}}{}\n",
+                g.bytes_h2d,
+                g.bytes_d2h,
+                g.kernel_time.as_nanos(),
+                g.transfer_time.as_nanos(),
+                g.kernels,
+                g.cache_hits,
+                g.cache_misses,
+                g.cache_capacity_pages,
+                if i + 1 < self.per_gpu.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"per_sweep\": [\n");
+        for (j, s) in self.per_sweep.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"pages\": {}, \"cache_hits\": {}, \"active_vertices\": {}, \
+                 \"active_edges\": {}, \"elapsed_ns\": {}}}{}\n",
+                s.pages,
+                s.cache_hits,
+                s.active_vertices,
+                s.active_edges,
+                s.elapsed.as_nanos(),
+                if j + 1 < self.per_sweep.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty_report() -> RunReport {
+        RunReport::from_telemetry(&Telemetry::new(), "BFS", "GTS")
+    }
+
+    #[test]
+    fn mteps_computation() {
+        let mut r = empty_report();
+        r.elapsed = SimDuration::from_secs(2);
+        r.edges_traversed = 3_000_000;
+        assert!((r.mteps() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratio_handles_zero_kernel_time() {
+        let mut r = empty_report();
+        r.per_gpu = vec![GpuRunStats::default()];
+        assert_eq!(r.transfer_to_kernel_ratio(), 0.0);
+        assert_eq!(r.mteps(), 0.0);
+    }
+
+    #[test]
+    fn from_telemetry_reads_the_glossary() {
+        let tel = Telemetry::new();
+        tel.set(keys::RUN_ELAPSED_NS, 5_000);
+        tel.add(keys::RUN_SWEEPS, 2);
+        tel.set(keys::RUN_GPUS, 1);
+        tel.add(keys::PAGES_STREAMED, 7);
+        tel.add(keys::CACHE_HITS, 3);
+        tel.add(keys::CACHE_MISSES, 7);
+        tel.add(keys::EDGES_TRAVERSED, 123);
+        tel.add(keys::gpu(0, keys::GPU_BYTES_H2D), 4096);
+        tel.add(keys::gpu(0, keys::GPU_KERNELS), 9);
+        tel.add(keys::sweep(0, keys::SWEEP_PAGES), 6);
+        tel.add(keys::sweep(1, keys::SWEEP_PAGES), 4);
+        let r = RunReport::from_telemetry(&tel, "BFS", "GTS");
+        assert_eq!(r.elapsed, SimDuration::from_nanos(5_000));
+        assert_eq!(r.sweeps, 2);
+        assert_eq!(r.pages_streamed, 7);
+        assert_eq!(r.cache_hits, 3);
+        assert!((r.cache_hit_rate - 0.3).abs() < 1e-12);
+        assert_eq!(r.edges_traversed, 123);
+        assert_eq!(r.per_gpu.len(), 1);
+        assert_eq!(r.per_gpu[0].bytes_h2d, 4096);
+        assert_eq!(r.per_gpu[0].kernels, 9);
+        assert_eq!(r.per_sweep.len(), 2);
+        assert_eq!(r.per_sweep[0].pages, 6);
+        assert_eq!(r.per_sweep[1].pages, 4);
+    }
+
+    #[test]
+    fn json_output_is_balanced_and_contains_fields() {
+        let tel = Telemetry::new();
+        tel.set(keys::RUN_GPUS, 2);
+        tel.add(keys::RUN_SWEEPS, 1);
+        let r = RunReport::from_telemetry(&tel, "PR", "GTS");
+        let j = r.to_json();
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "balanced braces"
+        );
+        assert!(j.contains("\"algorithm\": \"PR\""));
+        assert!(j.contains("\"per_gpu\""));
+        assert!(j.contains("\"per_sweep\""));
+    }
+}

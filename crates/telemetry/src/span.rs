@@ -1,0 +1,83 @@
+//! Span and track types.
+
+use gts_sim::SimTime;
+
+/// Where a span is drawn: a (process, thread) pair in chrome://tracing
+/// terms. The engine maps GPUs to processes and their engines/streams to
+/// threads; see [`crate::keys::pid`] for the pid allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Track {
+    /// Process id (a GPU, the engine itself, or the storage array).
+    pub pid: u32,
+    /// Thread id within the process (a stream, copy engine, or device).
+    pub tid: u32,
+}
+
+impl Track {
+    /// Shorthand constructor.
+    pub fn new(pid: u32, tid: u32) -> Self {
+        Track { pid, tid }
+    }
+}
+
+/// Category of a [`Span`], used for chrome-trace `cat` and ASCII glyphs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanCat {
+    /// A data transfer (short red bars in the paper's Fig. 4).
+    Copy,
+    /// A kernel execution (long green bars in the paper's Fig. 4).
+    Kernel,
+    /// Storage I/O.
+    Io,
+    /// A page-cache or MMBuf probe.
+    Cache,
+    /// One whole algorithm run (the root of the span tree).
+    Run,
+    /// One sweep/superstep/iteration within a run.
+    Sweep,
+    /// Anything else (sync, merge, ...).
+    Other,
+}
+
+impl SpanCat {
+    /// chrome-trace category string.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanCat::Copy => "copy",
+            SpanCat::Kernel => "kernel",
+            SpanCat::Io => "io",
+            SpanCat::Cache => "cache",
+            SpanCat::Run => "run",
+            SpanCat::Sweep => "sweep",
+            SpanCat::Other => "other",
+        }
+    }
+
+    /// Glyph used by the ASCII renderer.
+    pub fn glyph(self) -> char {
+        match self {
+            SpanCat::Copy => '▒',
+            SpanCat::Kernel => '█',
+            SpanCat::Io => '·',
+            SpanCat::Cache => '+',
+            SpanCat::Run => '=',
+            SpanCat::Sweep => '-',
+            SpanCat::Other => '~',
+        }
+    }
+}
+
+/// One busy interval on the simulated clock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Where the span is drawn.
+    pub track: Track,
+    /// Short operation label (e.g. `SP17`, `K_PR`, `sweep 3`).
+    pub name: String,
+    /// Category.
+    pub cat: SpanCat,
+    /// Service start.
+    pub start: SimTime,
+    /// Service end.
+    pub end: SimTime,
+}

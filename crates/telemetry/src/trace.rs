@@ -1,0 +1,174 @@
+//! Exporters: chrome://tracing JSON and the ASCII timeline.
+
+use crate::handle::{Inner, Telemetry};
+use crate::json::escape;
+use crate::span::Track;
+use gts_sim::SimTime;
+use std::collections::BTreeMap;
+
+/// Display name for a track: the thread name if registered, else `pid.tid`.
+pub(crate) fn track_label(g: &Inner, track: Track) -> String {
+    match g.thread_names.get(&track) {
+        Some(n) => n.clone(),
+        None => format!("{}.{}", track.pid, track.tid),
+    }
+}
+
+impl Telemetry {
+    /// Serialise the recorded spans as chrome://tracing "JSON object
+    /// format": `{"traceEvents": [...]}`. Load the file at
+    /// <https://ui.perfetto.dev> (or `chrome://tracing`) to see the
+    /// paper's Fig. 4-style per-stream copy/kernel pipeline.
+    ///
+    /// * metadata events (`ph:"M"`) name every process and thread,
+    /// * each span becomes a complete event (`ph:"X"`) with `ts`/`dur` in
+    ///   microseconds of the *simulated* clock,
+    /// * events are sorted by track then start time, so `ts` is monotone
+    ///   per track.
+    pub fn to_chrome_trace(&self) -> String {
+        let g = self.lock();
+        let mut events: Vec<String> = Vec::new();
+        for (pid, name) in &g.process_names {
+            events.push(format!(
+                "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{},\"tid\":0,\"ts\":0,\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                pid,
+                escape(name)
+            ));
+        }
+        for (track, name) in &g.thread_names {
+            events.push(format!(
+                "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{},\"tid\":{},\"ts\":0,\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                track.pid,
+                track.tid,
+                escape(name)
+            ));
+        }
+        let mut spans: Vec<_> = g.spans.iter().collect();
+        spans.sort_by_key(|s| (s.track, s.start));
+        for s in spans {
+            // Microseconds with nanosecond precision: ns / 1000 exactly.
+            let ts_us = s.start.as_nanos() as f64 / 1000.0;
+            let dur_us = (s.end - s.start).as_nanos() as f64 / 1000.0;
+            events.push(format!(
+                "{{\"ph\":\"X\",\"name\":\"{}\",\"cat\":\"{}\",\"pid\":{},\"tid\":{},\
+                 \"ts\":{:.3},\"dur\":{:.3}}}",
+                escape(&s.name),
+                s.cat.name(),
+                s.track.pid,
+                s.track.tid,
+                ts_us,
+                dur_us
+            ));
+        }
+        let mut out = String::from("{\"traceEvents\":[\n");
+        out.push_str(&events.join(",\n"));
+        out.push_str("\n],\"displayTimeUnit\":\"ns\"}\n");
+        out
+    }
+
+    /// Render an ASCII timeline `width` characters wide, one row per
+    /// track (rows sorted by pid then tid). The textual analogue of the
+    /// paper's Fig. 4 profiler screenshots.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let g = self.lock();
+        let width = width.max(10);
+        let end = g
+            .spans
+            .iter()
+            .map(|s| s.end)
+            .fold(SimTime::ZERO, SimTime::max);
+        if end == SimTime::ZERO {
+            return String::from("(empty timeline)\n");
+        }
+        let mut tracks: BTreeMap<Track, Vec<&crate::Span>> = BTreeMap::new();
+        for s in &g.spans {
+            tracks.entry(s.track).or_default().push(s);
+        }
+        let labels: BTreeMap<Track, String> =
+            tracks.keys().map(|&tr| (tr, track_label(&g, tr))).collect();
+        let name_w = labels.values().map(|l| l.len()).max().unwrap_or(4).max(4);
+        let scale = |t: SimTime| -> usize {
+            ((t.as_nanos() as u128 * width as u128) / end.as_nanos().max(1) as u128) as usize
+        };
+        let mut out = String::new();
+        for (track, spans) in &tracks {
+            let mut row = vec![' '; width];
+            for s in spans {
+                let a = scale(s.start).min(width - 1);
+                let b = scale(s.end).clamp(a + 1, width);
+                for c in &mut row[a..b] {
+                    *c = s.cat.glyph();
+                }
+            }
+            let label = &labels[track];
+            out.push_str(&format!("{label:>name_w$} |"));
+            out.extend(row);
+            out.push_str("|\n");
+        }
+        out.push_str(&format!(
+            "{:>name_w$} 0{:>w$}\n",
+            "",
+            format!("{end}"),
+            w = width
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{SpanCat, Telemetry, Track};
+    use gts_sim::SimTime;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn chrome_trace_has_metadata_and_complete_events() {
+        let tel = Telemetry::with_spans();
+        tel.name_process(0, "GPU 0");
+        let tr = Track::new(0, 3);
+        tel.name_thread(tr, "stream0");
+        tel.record_span(tr, SpanCat::Copy, "SP1", t(0), t(1_500));
+        tel.record_span(tr, SpanCat::Kernel, "K1", t(1_500), t(4_000));
+        let json = tel.to_chrome_trace();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"GPU 0\""));
+        assert!(json.contains("\"stream0\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":0.000"));
+        assert!(json.contains("\"dur\":1.500"), "1500 ns = 1.5 us");
+        assert!(json.contains("\"cat\":\"kernel\""));
+    }
+
+    #[test]
+    fn chrome_trace_escapes_names() {
+        let tel = Telemetry::with_spans();
+        tel.record_span(Track::new(0, 0), SpanCat::Other, "a\"b", t(0), t(1));
+        assert!(tel.to_chrome_trace().contains("a\\\"b"));
+    }
+
+    #[test]
+    fn ascii_render_has_one_row_per_track() {
+        let tel = Telemetry::with_spans();
+        tel.name_thread(Track::new(0, 3), "stream0");
+        tel.name_thread(Track::new(0, 4), "stream1");
+        tel.record_span(Track::new(0, 3), SpanCat::Kernel, "k", t(0), t(100));
+        tel.record_span(Track::new(0, 4), SpanCat::Copy, "c", t(50), t(100));
+        let s = tel.render_ascii(40);
+        assert_eq!(s.lines().count(), 3, "two tracks + axis");
+        assert!(s.contains("stream0"));
+        assert!(s.contains('█'));
+        assert!(s.contains('▒'));
+    }
+
+    #[test]
+    fn empty_timeline_renders_placeholder() {
+        let tel = Telemetry::with_spans();
+        assert!(tel.render_ascii(40).contains("empty"));
+    }
+}

@@ -79,7 +79,9 @@ fn main() {
         ..GtsConfig::default()
     };
     let mut pr = PageRank::new(store.num_vertices(), 10);
-    let report = Gts::new(s_cfg).run(&store, &mut pr).expect("Strategy-S fits");
+    let report = Gts::new(s_cfg)
+        .run(&store, &mut pr)
+        .expect("Strategy-S fits");
     println!(
         "GTS Strategy-S: 10 PageRank iterations in simulated {} \
          ({} pages streamed, {:.1} GiB over PCI-E)",

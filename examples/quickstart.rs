@@ -5,8 +5,9 @@
 //! cargo run --release -p gts-examples --example quickstart
 //! ```
 
-use gts_core::engine::{Gts, GtsConfig};
+use gts_core::engine::Gts;
 use gts_core::programs::{Bfs, PageRank};
+use gts_core::Telemetry;
 use gts_graph::generate::rmat;
 use gts_graph::{reference, Csr};
 use gts_storage::{build_graph_store, PageFormatConfig};
@@ -34,8 +35,12 @@ fn main() {
     );
 
     // 3. Run BFS: only pages containing frontier vertices are streamed
-    //    each level (Sec. 3.3).
-    let engine = Gts::new(GtsConfig::default());
+    //    each level (Sec. 3.3). Span recording is on so step 6 can export
+    //    the copy/kernel timeline.
+    let engine = Gts::builder()
+        .telemetry(Telemetry::with_spans())
+        .build()
+        .expect("default config is valid");
     let mut bfs = Bfs::new(store.num_vertices(), 0);
     let report = engine.run(&store, &mut bfs).expect("bfs");
     let reached = bfs.levels().iter().filter(|&&l| l != u16::MAX).count();
@@ -66,4 +71,16 @@ fn main() {
     let csr = Csr::from_edge_list(&graph);
     assert_eq!(bfs.levels_u32(), reference::bfs(&csr, 0));
     println!("verified: engine BFS equals the sequential reference");
+
+    // 6. The run left a full trace in the telemetry handle: export it as
+    //    chrome://tracing JSON (load in ui.perfetto.dev) — the paper's
+    //    Fig. 4 timeline for your own run.
+    let mut path = std::env::temp_dir();
+    path.push("gts-quickstart-trace.json");
+    std::fs::write(&path, engine.telemetry().to_chrome_trace()).expect("write trace");
+    println!(
+        "trace: {} spans exported to {}",
+        engine.telemetry().span_count(),
+        path.display()
+    );
 }

@@ -11,7 +11,7 @@
 //! cargo run --release -p gts-examples --example social_network_analytics
 //! ```
 
-use gts_core::engine::{Gts, GtsConfig};
+use gts_core::engine::Gts;
 use gts_core::programs::{Cc, PageRank, Sssp};
 use gts_core::Strategy;
 use gts_graph::Dataset;
@@ -27,18 +27,21 @@ fn main() {
         store.num_edges()
     );
 
-    let engine = Gts::new(GtsConfig {
-        num_gpus: 2,
-        strategy: Strategy::Performance,
-        ..GtsConfig::default()
-    });
+    let engine = Gts::builder()
+        .num_gpus(2)
+        .strategy(Strategy::Performance)
+        .build()
+        .expect("valid config");
 
     // Influencer ranking.
     let mut pr = PageRank::new(store.num_vertices(), 10);
     let report = engine.run(&store, &mut pr).expect("pagerank");
     let mut ranked: Vec<(usize, f32)> = pr.ranks().iter().copied().enumerate().collect();
     ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
-    println!("\ntop-5 influencers (PageRank, simulated {}):", report.elapsed);
+    println!(
+        "\ntop-5 influencers (PageRank, simulated {}):",
+        report.elapsed
+    );
     for (user, score) in ranked.iter().take(5) {
         println!("  user {user:>6}  score {score:.6}");
     }
@@ -65,11 +68,7 @@ fn main() {
     let source = ranked[0].0 as u64;
     let mut sssp = Sssp::new(store.num_vertices(), source);
     let report = engine.run(&store, &mut sssp).expect("sssp");
-    let reachable = sssp
-        .distances()
-        .iter()
-        .filter(|&&d| d != u32::MAX)
-        .count();
+    let reachable = sssp.distances().iter().filter(|&&d| d != u32::MAX).count();
     let avg: f64 = sssp
         .distances()
         .iter()

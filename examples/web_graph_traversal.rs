@@ -53,7 +53,9 @@ fn main() {
     // Betweenness centrality from the crawl seed: which pages carry the
     // shortest-path traffic (two-phase streamed Brandes, Appendix D).
     let mut bc = Bc::new(store.num_vertices(), 0);
-    let report = Gts::new(GtsConfig::default()).run(&store, &mut bc).expect("bc");
+    let report = Gts::new(GtsConfig::default())
+        .run(&store, &mut bc)
+        .expect("bc");
     let mut hubs: Vec<(usize, f32)> = bc.centrality().iter().copied().enumerate().collect();
     hubs.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!(

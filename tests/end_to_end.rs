@@ -23,7 +23,10 @@ fn graphs() -> Vec<(&'static str, EdgeList)> {
         ("dense-rmat9", Rmat::new(9).with_edge_factor(40).generate()),
         ("erdos", erdos_renyi(3000, 20_000, 11)),
         ("web", web_like(24, 50, 3, 5)),
-        ("line", EdgeList::new(64, (0..63).map(|i| (i, i + 1)).collect())),
+        (
+            "line",
+            EdgeList::new(64, (0..63).map(|i| (i, i + 1)).collect()),
+        ),
         ("isolated", EdgeList::new(500, vec![(0, 499), (499, 0)])),
     ]
 }
@@ -64,7 +67,9 @@ fn sssp_matches_reference_everywhere() {
         let store = store_for(&graph, 2048);
         let csr = Csr::from_edge_list(&graph);
         let mut sssp = Sssp::new(store.num_vertices(), 0);
-        Gts::new(GtsConfig::default()).run(&store, &mut sssp).unwrap();
+        Gts::new(GtsConfig::default())
+            .run(&store, &mut sssp)
+            .unwrap();
         assert_eq!(sssp.distances(), &reference::sssp(&csr, 0)[..], "{name}");
     }
 }
@@ -107,7 +112,9 @@ fn results_are_invariant_to_page_size() {
     for page_size in [512usize, 1024, 4096, 65536] {
         let store = store_for(&graph, page_size);
         let mut bfs = Bfs::new(store.num_vertices(), 0);
-        Gts::new(GtsConfig::default()).run(&store, &mut bfs).unwrap();
+        Gts::new(GtsConfig::default())
+            .run(&store, &mut bfs)
+            .unwrap();
         assert_eq!(bfs.levels_u32(), want, "page size {page_size}");
     }
 }
@@ -123,8 +130,7 @@ fn results_are_invariant_to_physical_id_widths() {
         PhysicalIdConfig::new(2, 4),
         PhysicalIdConfig::new(4, 2),
     ] {
-        let store =
-            build_graph_store(&graph, PageFormatConfig::new(id, 4096)).expect("store");
+        let store = build_graph_store(&graph, PageFormatConfig::new(id, 4096)).expect("store");
         let mut pr = PageRank::new(store.num_vertices(), 4);
         Gts::new(GtsConfig::default()).run(&store, &mut pr).unwrap();
         for (got, want) in pr.ranks().iter().zip(&want) {
@@ -141,7 +147,9 @@ fn bfs_from_every_source_class() {
     let csr = Csr::from_edge_list(&graph);
     for source in [0u64, 17, 513, 1023] {
         let mut bfs = Bfs::new(store.num_vertices(), source);
-        Gts::new(GtsConfig::default()).run(&store, &mut bfs).unwrap();
+        Gts::new(GtsConfig::default())
+            .run(&store, &mut bfs)
+            .unwrap();
         assert_eq!(
             bfs.levels_u32(),
             reference::bfs(&csr, source as u32),

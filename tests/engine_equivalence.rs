@@ -24,13 +24,12 @@ fn graph() -> Csr {
 fn gts_bfs(csr_graph: &Csr) -> Vec<u32> {
     let edges: Vec<(u32, u32)> = csr_graph.edges().collect();
     let el = gts_graph::EdgeList::new(csr_graph.num_vertices(), edges);
-    let store = build_graph_store(
-        &el,
-        PageFormatConfig::new(PhysicalIdConfig::ORIGINAL, 2048),
-    )
-    .unwrap();
+    let store =
+        build_graph_store(&el, PageFormatConfig::new(PhysicalIdConfig::ORIGINAL, 2048)).unwrap();
     let mut bfs = Bfs::new(store.num_vertices(), 0);
-    Gts::new(GtsConfig::default()).run(&store, &mut bfs).unwrap();
+    Gts::new(GtsConfig::default())
+        .run(&store, &mut bfs)
+        .unwrap();
     bfs.levels_u32()
 }
 
@@ -114,7 +113,10 @@ fn all_engines_agree_on_pagerank() {
         "PowerGraph",
     );
     close(
-        &CpuEngine::new(CpuProfile::ligra()).run_pagerank(&g, 5).unwrap().0,
+        &CpuEngine::new(CpuProfile::ligra())
+            .run_pagerank(&g, 5)
+            .unwrap()
+            .0,
         "Ligra",
     );
     close(
@@ -135,11 +137,8 @@ fn all_engines_agree_on_pagerank() {
     // GTS runs in f32; compare at f32 tolerance.
     let edges: Vec<(u32, u32)> = g.edges().collect();
     let el = gts_graph::EdgeList::new(g.num_vertices(), edges);
-    let store = build_graph_store(
-        &el,
-        PageFormatConfig::new(PhysicalIdConfig::ORIGINAL, 2048),
-    )
-    .unwrap();
+    let store =
+        build_graph_store(&el, PageFormatConfig::new(PhysicalIdConfig::ORIGINAL, 2048)).unwrap();
     let mut pr = PageRank::new(store.num_vertices(), 5);
     Gts::new(GtsConfig::default()).run(&store, &mut pr).unwrap();
     for (a, b) in pr.ranks().iter().zip(&want) {
@@ -161,13 +160,12 @@ fn traversal_engines_agree_on_sssp_and_cc() {
 
     let edges: Vec<(u32, u32)> = g.edges().collect();
     let el = gts_graph::EdgeList::new(g.num_vertices(), edges);
-    let store = build_graph_store(
-        &el,
-        PageFormatConfig::new(PhysicalIdConfig::ORIGINAL, 2048),
-    )
-    .unwrap();
+    let store =
+        build_graph_store(&el, PageFormatConfig::new(PhysicalIdConfig::ORIGINAL, 2048)).unwrap();
     let mut sssp = Sssp::new(store.num_vertices(), 0);
-    Gts::new(GtsConfig::default()).run(&store, &mut sssp).unwrap();
+    Gts::new(GtsConfig::default())
+        .run(&store, &mut sssp)
+        .unwrap();
     assert_eq!(sssp.distances(), &want_sssp[..]);
     let mut cc = Cc::new(store.num_vertices());
     Gts::new(GtsConfig::default()).run(&store, &mut cc).unwrap();
@@ -206,7 +204,10 @@ fn performance_ordering_matches_the_papers_headlines() {
         .1
         .elapsed;
     assert!(gts < powergraph, "GTS {gts} vs PowerGraph {powergraph}");
-    assert!(powergraph < giraph, "PowerGraph {powergraph} vs Giraph {giraph}");
+    assert!(
+        powergraph < giraph,
+        "PowerGraph {powergraph} vs Giraph {giraph}"
+    );
     assert!(
         gts.as_secs_f64() * 5.0 < giraph.as_secs_f64(),
         "GTS must win by a wide margin"

@@ -63,7 +63,11 @@ fn strategy_p_pagerank_speedup_is_fairly_linear() {
             ..GtsConfig::default()
         };
         let mut pr = PageRank::new(s.num_vertices(), 5);
-        Gts::new(cfg).run(&s, &mut pr).unwrap().elapsed.as_secs_f64()
+        Gts::new(cfg)
+            .run(&s, &mut pr)
+            .unwrap()
+            .elapsed
+            .as_secs_f64()
     };
     let one = elapsed(1);
     let two = elapsed(2);
@@ -85,7 +89,11 @@ fn strategy_s_throughput_does_not_scale_but_capacity_does() {
             ..GtsConfig::default()
         };
         let mut pr = PageRank::new(s.num_vertices(), 5);
-        Gts::new(cfg).run(&s, &mut pr).unwrap().elapsed.as_secs_f64()
+        Gts::new(cfg)
+            .run(&s, &mut pr)
+            .unwrap()
+            .elapsed
+            .as_secs_f64()
     };
     let one = elapsed(1);
     let four = elapsed(4);
@@ -131,7 +139,11 @@ fn p2p_sync_beats_naive_sync_and_gap_grows_with_gpus() {
             ..GtsConfig::default()
         };
         let mut pr = PageRank::new(s.num_vertices(), 5);
-        Gts::new(cfg).run(&s, &mut pr).unwrap().elapsed.as_secs_f64()
+        Gts::new(cfg)
+            .run(&s, &mut pr)
+            .unwrap()
+            .elapsed
+            .as_secs_f64()
     };
     // At N = 2 both paths are two serial transfers (P2P merge + one
     // write-back vs two write-backs), so P2P only breaks even; its win
@@ -142,7 +154,10 @@ fn p2p_sync_beats_naive_sync_and_gap_grows_with_gpus() {
     let adv8 = elapsed(8, false) / elapsed(8, true);
     assert!(adv2 > 0.9, "P2P must be near parity at 2 GPUs ({adv2:.3})");
     assert!(adv4 > 1.0, "P2P must win at 4 GPUs ({adv4:.3})");
-    assert!(adv8 > adv4, "P2P advantage must grow with N ({adv4:.3} → {adv8:.3})");
+    assert!(
+        adv8 > adv4,
+        "P2P advantage must grow with N ({adv4:.3} → {adv8:.3})"
+    );
 }
 
 #[test]

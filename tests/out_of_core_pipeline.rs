@@ -6,8 +6,8 @@ use gts_core::engine::{Gts, GtsConfig, StorageLocation};
 use gts_core::programs::{Bfs, PageRank};
 use gts_graph::generate::rmat;
 use gts_graph::{reference, Csr};
-use gts_storage::{build_graph_store, GraphStore, PageFormatConfig, PhysicalIdConfig};
 use gts_sim::SimDuration;
+use gts_storage::{build_graph_store, GraphStore, PageFormatConfig, PhysicalIdConfig};
 
 fn store() -> GraphStore {
     build_graph_store(

@@ -105,10 +105,15 @@ impl CpuProfile {
 pub struct CpuEngine {
     /// Cost profile.
     pub profile: CpuProfile,
-    /// Worker threads (the paper fixes 16).
+    /// Worker threads of the *simulated* machine (the paper fixes 16);
+    /// feeds the cost model only.
     pub threads: u32,
     /// Host memory in bytes.
     pub host_memory: u64,
+    /// Real threads used to execute the functional propagation on *this*
+    /// machine. Never changes results or simulated time — see
+    /// [`propagation::min_propagation_threads`].
+    pub host_threads: usize,
     telemetry: Telemetry,
 }
 
@@ -119,8 +124,16 @@ impl CpuEngine {
             profile,
             threads: 16,
             host_memory: 128 << 30,
+            host_threads: gts_exec::default_host_threads(),
             telemetry: Telemetry::new(),
         }
+    }
+
+    /// Set the real execution thread count (`1` = the serial reference
+    /// path; every value produces identical traces and reports).
+    pub fn with_host_threads(mut self, host_threads: usize) -> Self {
+        self.host_threads = host_threads.max(1);
+        self
     }
 
     /// Record runs into `tel` instead of a private handle.
@@ -143,8 +156,14 @@ impl CpuEngine {
     /// BFS from `source`.
     pub fn run_bfs(&self, g: &Csr, source: u32) -> Result<(Vec<u32>, RunReport), BaselineError> {
         self.check_memory(g)?;
-        let trace =
-            propagation::min_propagation(g, Some(source), |_, _, x| x + 1.0, place::single(), 1);
+        let trace = propagation::min_propagation_threads(
+            g,
+            Some(source),
+            |_, _, x| x + 1.0,
+            place::single(),
+            1,
+            self.host_threads,
+        );
         let run = self.account(g, &trace, "BFS");
         Ok((values_to_u32(&trace.values), run))
     }
@@ -152,12 +171,13 @@ impl CpuEngine {
     /// SSSP from `source`.
     pub fn run_sssp(&self, g: &Csr, source: u32) -> Result<(Vec<u32>, RunReport), BaselineError> {
         self.check_memory(g)?;
-        let trace = propagation::min_propagation(
+        let trace = propagation::min_propagation_threads(
             g,
             Some(source),
             |v, w, x| x + EdgeList::edge_weight(v, w) as f64,
             place::single(),
             1,
+            self.host_threads,
         );
         let run = self.account(g, &trace, "SSSP");
         Ok((values_to_u32(&trace.values), run))
@@ -167,7 +187,14 @@ impl CpuEngine {
     pub fn run_cc(&self, g: &Csr) -> Result<(Vec<u32>, RunReport), BaselineError> {
         self.check_memory(g)?;
         let sym = g.symmetrize();
-        let trace = propagation::min_propagation(&sym, None, |_, _, x| x, place::single(), 1);
+        let trace = propagation::min_propagation_threads(
+            &sym,
+            None,
+            |_, _, x| x,
+            place::single(),
+            1,
+            self.host_threads,
+        );
         let run = self.account(&sym, &trace, "CC");
         Ok((values_to_u32(&trace.values), run))
     }

@@ -67,27 +67,60 @@ pub struct PropagationTrace {
     pub sweeps: Vec<SweepLoads>,
 }
 
+use gts_exec::ThreadPool;
 use gts_graph::Csr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Unreached/unset marker for min-propagation.
 pub const UNSET: f64 = f64::INFINITY;
 
-/// Run min-propagation over `g`.
+/// Run min-propagation over `g` using the machine's available host
+/// parallelism. See [`min_propagation_threads`] for the semantics and the
+/// determinism argument.
+pub fn min_propagation(
+    g: &Csr,
+    source: Option<u32>,
+    edge_val: impl Fn(u32, u32, f64) -> f64 + Sync,
+    partition: impl Fn(u32) -> usize + Sync,
+    nparts: usize,
+) -> PropagationTrace {
+    min_propagation_threads(
+        g,
+        source,
+        edge_val,
+        partition,
+        nparts,
+        gts_exec::default_host_threads(),
+    )
+}
+
+/// Run min-propagation over `g` with an explicit host-thread count.
 ///
 /// * `source = Some(s)` starts with only `s` active at value 0 (BFS/SSSP);
 ///   `None` starts every vertex active at value `v` (CC label propagation —
 ///   pass a symmetrised graph for weakly connected components).
 /// * `edge_val(v, w, x)` is the candidate value arriving at `w` along edge
 ///   `v→w` when `v` holds `x` (BFS: `x + 1`; SSSP: `x + weight`; CC: `x`).
+///   Candidates must be non-negative (sign bit clear): the parallel sweep
+///   takes minima through `AtomicU64::fetch_min` on the IEEE-754 bit
+///   pattern, which orders exactly like the numbers on `[0, +inf]`.
 /// * `partition(v)` places vertex `v` for load accounting; `nparts` is the
 ///   partition count.
-pub fn min_propagation(
+///
+/// Every thread count produces the same trace: `min` is commutative (and
+/// bit-exact on f64 bits), the per-vertex activation flag depends only on
+/// whether the sweep's minimal candidate beats the old value (not on the
+/// order candidates land), and per-worker load shards merge with integer
+/// addition.
+pub fn min_propagation_threads(
     g: &Csr,
     source: Option<u32>,
-    edge_val: impl Fn(u32, u32, f64) -> f64,
-    partition: impl Fn(u32) -> usize,
+    edge_val: impl Fn(u32, u32, f64) -> f64 + Sync,
+    partition: impl Fn(u32) -> usize + Sync,
     nparts: usize,
+    threads: usize,
 ) -> PropagationTrace {
+    let pool = ThreadPool::new(threads);
     let n = g.num_vertices() as usize;
     let mut values;
     let mut active;
@@ -105,39 +138,69 @@ pub fn min_propagation(
     }
     let mut sweeps = Vec::new();
     loop {
-        let mut loads = SweepLoads::new(nparts);
-        let mut next_active = vec![false; n];
-        let mut any = false;
         // Synchronous (BSP) semantics: all sends read this superstep's
         // values, all receives land in `next` — in-place updates would let
         // a value hop through many vertices in one superstep and
         // undercount the supersteps/messages the accountants price.
-        let mut next = values.clone();
-        for v in 0..g.num_vertices() {
-            if !active[v as usize] {
-                continue;
-            }
-            let pv = partition(v);
-            loads.nodes[pv].active_vertices += 1;
-            let x = values[v as usize];
-            for &w in g.neighbors(v) {
-                loads.nodes[pv].edges += 1;
-                let cand = edge_val(v, w, x);
-                let pw = partition(w);
-                loads.nodes[pw].msgs_in += 1;
-                if pw != pv {
-                    loads.nodes[pw].remote_msgs_in += 1;
+        let next: Vec<AtomicU64> = values.iter().map(|x| AtomicU64::new(x.to_bits())).collect();
+        let next_active: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+        let shards = pool.par_ranges(
+            n,
+            4096,
+            || SweepLoads::new(nparts),
+            |loads, r| {
+                for v in r {
+                    if !active[v] {
+                        continue;
+                    }
+                    let v = v as u32;
+                    let pv = partition(v);
+                    loads.nodes[pv].active_vertices += 1;
+                    let x = values[v as usize];
+                    for &w in g.neighbors(v) {
+                        loads.nodes[pv].edges += 1;
+                        let cand = edge_val(v, w, x);
+                        debug_assert!(
+                            cand.to_bits() >> 63 == 0,
+                            "min_propagation candidates must be non-negative"
+                        );
+                        let pw = partition(w);
+                        loads.nodes[pw].msgs_in += 1;
+                        if pw != pv {
+                            loads.nodes[pw].remote_msgs_in += 1;
+                        }
+                        // `prev` is a running min of the old value and the
+                        // candidates applied so far, so observing a strict
+                        // improvement here is equivalent to the serial test
+                        // `min_candidate < old value` — the first executor
+                        // of a minimal candidate always sees it.
+                        let prev = next[w as usize].fetch_min(cand.to_bits(), Ordering::Relaxed);
+                        if cand.to_bits() < prev {
+                            next_active[w as usize].store(true, Ordering::Relaxed);
+                        }
+                    }
                 }
-                if cand < next[w as usize] {
-                    next[w as usize] = cand;
-                    next_active[w as usize] = true;
-                    any = true;
-                }
+            },
+        );
+        let mut loads = SweepLoads::new(nparts);
+        for shard in shards {
+            for (slot, s) in loads.nodes.iter_mut().zip(shard.nodes) {
+                slot.active_vertices += s.active_vertices;
+                slot.edges += s.edges;
+                slot.msgs_in += s.msgs_in;
+                slot.remote_msgs_in += s.remote_msgs_in;
             }
         }
-        values = next;
+        values = next
+            .into_iter()
+            .map(|a| f64::from_bits(a.into_inner()))
+            .collect();
+        let next_active: Vec<bool> = next_active
+            .into_iter()
+            .map(AtomicBool::into_inner)
+            .collect();
         sweeps.push(loads);
-        if !any {
+        if !next_active.contains(&true) {
             break;
         }
         active = next_active;
@@ -147,6 +210,12 @@ pub fn min_propagation(
 
 /// Run `iterations` of PageRank (damping `df`) with the paper's kernel
 /// semantics (no dangling redistribution), recording per-sweep loads.
+///
+/// Deliberately serial: floating-point sums do not commute, and the ranks
+/// are pinned bit-for-bit (within 1e-12) to the sequential
+/// `gts_graph::reference::pagerank`, so the accumulation order must stay
+/// exactly the reference's. Host parallelism with exact results lives in
+/// the engine path (`gts_core`), which accumulates in fixed point.
 pub fn pagerank_propagation(
     g: &Csr,
     df: f64,
@@ -286,6 +355,36 @@ mod tests {
         let t = min_propagation(&g, Some(0), |_, _, x| x + 1.0, place::single(), 1);
         for s in &t.sweeps {
             assert_eq!(s.total_remote_msgs(), 0);
+        }
+    }
+
+    #[test]
+    fn min_propagation_is_thread_count_independent() {
+        // Values, activation frontier, and every per-sweep/per-partition
+        // load cell must match the serial run exactly for any pool size.
+        let g = csr(10);
+        let serial = min_propagation_threads(
+            &g,
+            Some(0),
+            |v, w, x| x + EdgeList::edge_weight(v, w) as f64,
+            place::hash(4),
+            4,
+            1,
+        );
+        for threads in [2, 4, 8] {
+            let par = min_propagation_threads(
+                &g,
+                Some(0),
+                |v, w, x| x + EdgeList::edge_weight(v, w) as f64,
+                place::hash(4),
+                4,
+                threads,
+            );
+            assert_eq!(par.values, serial.values, "threads={threads}");
+            assert_eq!(par.sweeps.len(), serial.sweeps.len(), "threads={threads}");
+            for (a, b) in par.sweeps.iter().zip(&serial.sweeps) {
+                assert_eq!(a.nodes, b.nodes, "threads={threads}");
+            }
         }
     }
 

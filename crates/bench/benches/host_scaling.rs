@@ -1,0 +1,89 @@
+//! Host-thread scaling of the real implementation: wall-clock time of the
+//! same runs at `host_threads` ∈ {1, 2, 4, all}, which must change *only*
+//! the wall-clock column — results and simulated time are asserted
+//! identical here, mirroring the engine's own determinism tests.
+//!
+//! Self-timed like `micro.rs`: one warmup, best-of-N wall-clock.
+
+use gts_baselines::propagation::{self, place};
+use gts_core::engine::{Gts, GtsConfig};
+use gts_core::programs::PageRank;
+use gts_graph::generate::Rmat;
+use gts_graph::Csr;
+use gts_storage::{build_graph_store, PageFormatConfig, PhysicalIdConfig};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+fn best_of<T>(iters: u32, mut f: impl FnMut() -> T) -> (Duration, T) {
+    let mut out = f(); // warmup
+    let mut best = Duration::MAX;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        out = black_box(f());
+        best = best.min(t0.elapsed());
+    }
+    (best, out)
+}
+
+fn main() {
+    let all = gts_exec::default_host_threads();
+    let mut counts = vec![1usize, 2, 4];
+    if !counts.contains(&all) {
+        counts.push(all);
+    }
+
+    // Engine PageRank: the tentpole's headline path (shared kernels).
+    let graph = Rmat::new(14).generate();
+    let store = build_graph_store(
+        &graph,
+        PageFormatConfig::new(PhysicalIdConfig::ORIGINAL, 64 * 1024),
+    )
+    .unwrap();
+    println!("engine PageRank (rmat14, 10 iters), best of 3:");
+    let mut baseline: Option<(Duration, gts_sim::SimDuration)> = None;
+    for &threads in &counts {
+        let cfg = GtsConfig::builder().host_threads(threads).build().unwrap();
+        let (wall, sim) = best_of(3, || {
+            let mut pr = PageRank::new(store.num_vertices(), 10);
+            Gts::new(cfg.clone()).run(&store, &mut pr).unwrap().elapsed
+        });
+        let speedup = match &baseline {
+            None => {
+                baseline = Some((wall, sim));
+                1.0
+            }
+            Some((w1, s1)) => {
+                assert_eq!(sim, *s1, "simulated time drifted with host_threads");
+                w1.as_secs_f64() / wall.as_secs_f64()
+            }
+        };
+        println!("  host_threads={threads:<3} {wall:>12.3?}  ({speedup:.2}x vs 1 thread)");
+    }
+
+    // CSR build + baseline propagation: the other parallelized layers.
+    println!("CSR from_edge_list (rmat16), best of 3:");
+    let edges = Rmat::new(16).generate();
+    for &threads in &counts {
+        let (wall, _) = best_of(3, || Csr::from_edge_list_threads(&edges, threads));
+        println!("  host_threads={threads:<3} {wall:>12.3?}");
+    }
+
+    println!("min_propagation BFS (rmat16), best of 3:");
+    let g = Csr::from_edge_list(&edges);
+    for &threads in &counts {
+        let (wall, trace) = best_of(3, || {
+            propagation::min_propagation_threads(
+                &g,
+                Some(0),
+                |_, _, x| x + 1.0,
+                place::single(),
+                1,
+                threads,
+            )
+        });
+        println!(
+            "  host_threads={threads:<3} {wall:>12.3?}  ({} sweeps)",
+            trace.sweeps.len()
+        );
+    }
+}

@@ -45,13 +45,16 @@ USAGE:
                [--source N] [--iterations N] [--k N] [--gpus N] [--streams N]
                [--strategy p|s] [--storage mem|ssd:N|hdd:N]
                [--device-memory BYTES] [--cache lru|fifo|random] [--json]
-               [--trace-out trace.json]
+               [--trace-out trace.json] [--host-threads N]
   gts help
 
 Edge files are the binary GTSEDGES format produced by `gts generate`, or
 plain text 'src dst' lines. Store files are the GTSPAGES slotted-page
 format of the paper's Section 2. `--trace-out` writes a chrome://tracing
-/ Perfetto JSON timeline of the run (the paper's Fig. 4 pipeline).";
+/ Perfetto JSON timeline of the run (the paper's Fig. 4 pipeline).
+`--host-threads` sets the real threads used for kernel execution on this
+machine (default: all cores); results, traces and simulated times are
+identical for every value.";
 
 /// Dispatch the command line.
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
@@ -205,6 +208,7 @@ fn run(args: &Args) -> Result<(), String> {
         "cache",
         "json",
         "trace-out",
+        "host-threads",
     ])?;
     let alg = args
         .positional(1)
@@ -219,7 +223,7 @@ fn run(args: &Args) -> Result<(), String> {
         ));
     }
 
-    let cfg = GtsConfig::builder()
+    let mut cfg_builder = GtsConfig::builder()
         .num_gpus(args.get_or("gpus", 1usize)?)
         .num_streams(args.get_or("streams", 16usize)?)
         .strategy(match args.optional("strategy").unwrap_or("p") {
@@ -234,9 +238,14 @@ fn run(args: &Args) -> Result<(), String> {
             "fifo" => CachePolicyKind::Fifo,
             "random" => CachePolicyKind::Random,
             other => return Err(format!("bad --cache {other:?}")),
-        })
-        .build()
-        .map_err(|e| e.to_string())?;
+        });
+    if let Some(ht) = args.optional("host-threads") {
+        cfg_builder = cfg_builder.host_threads(
+            ht.parse()
+                .map_err(|_| format!("bad --host-threads {ht:?}"))?,
+        );
+    }
+    let cfg = cfg_builder.build().map_err(|e| e.to_string())?;
 
     let n = store.num_vertices();
     let k = args.get_or("k", 2u32)?;
@@ -416,6 +425,28 @@ mod tests {
             "ssd:2",
         ]))
         .unwrap();
+        // Explicit host-thread counts run fine (determinism is asserted by
+        // the engine and integration tests; this checks flag plumbing).
+        dispatch(&sv(&[
+            "run",
+            "pagerank",
+            "--store",
+            &st,
+            "--iterations",
+            "2",
+            "--host-threads",
+            "2",
+        ]))
+        .unwrap();
+        assert!(dispatch(&sv(&[
+            "run",
+            "bfs",
+            "--store",
+            &st,
+            "--host-threads",
+            "zero"
+        ]))
+        .is_err());
         // --trace-out writes a chrome-trace JSON file.
         let tr = tmp("trace.json");
         dispatch(&sv(&[

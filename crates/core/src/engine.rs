@@ -23,9 +23,10 @@
 //! Functional results are exact (kernels really run); time is accounted on
 //! the simulated clock (see `gts-gpu`).
 
-use crate::programs::{ExecMode, GtsProgram, KernelScratch, PageCtx, SweepControl};
+use crate::programs::{ExecMode, GtsProgram, KernelScratch, PageCtx, PageWork, SweepControl};
 use crate::report::{RunReport, SweepStats};
 use crate::strategy::Strategy;
+use gts_exec::ThreadPool;
 use gts_gpu::memory::{DeviceAlloc, DeviceMemory, GpuOom};
 use gts_gpu::timer::{GpuTimer, KernelCost};
 use gts_gpu::warp::MicroTechnique;
@@ -103,6 +104,12 @@ pub struct GtsConfig {
     /// Use peer-to-peer WA merging under Strategy-P (Sec. 4.1); `false`
     /// falls back to N direct GPU→host copies (the ablation baseline).
     pub p2p_sync: bool,
+    /// Host threads executing kernel bodies (functional work only — the
+    /// simulated clock is unaffected). Defaults to the machine's available
+    /// parallelism; `1` reproduces the exact serial execution order, and
+    /// every value produces byte-identical reports and traces because all
+    /// parallel updates are atomically commutative.
+    pub host_threads: usize,
 }
 
 impl Default for GtsConfig {
@@ -119,6 +126,7 @@ impl Default for GtsConfig {
             cache_policy: CachePolicyKind::Lru,
             cache_limit_bytes: None,
             p2p_sync: true,
+            host_threads: gts_exec::default_host_threads(),
         }
     }
 }
@@ -140,6 +148,9 @@ impl GtsConfig {
         }
         if self.num_streams < 1 {
             return Err(ConfigError::ZeroStreams);
+        }
+        if self.host_threads < 1 {
+            return Err(ConfigError::ZeroHostThreads);
         }
         if !(1..=100).contains(&self.mmbuf_percent) {
             return Err(ConfigError::MmbufPercentOutOfRange(self.mmbuf_percent));
@@ -163,6 +174,9 @@ pub enum ConfigError {
     ZeroGpus,
     /// `num_streams` was zero — the pipeline needs at least one stream.
     ZeroStreams,
+    /// `host_threads` was zero — kernel bodies need at least one host
+    /// thread (`1` means exact serial execution).
+    ZeroHostThreads,
     /// `mmbuf_percent` outside `1..=100` (it is a percentage of the
     /// graph's pages; Sec. 7.2 uses 20).
     MmbufPercentOutOfRange(u32),
@@ -180,6 +194,7 @@ impl fmt::Display for ConfigError {
         match self {
             ConfigError::ZeroGpus => write!(f, "num_gpus must be >= 1"),
             ConfigError::ZeroStreams => write!(f, "num_streams must be >= 1"),
+            ConfigError::ZeroHostThreads => write!(f, "host_threads must be >= 1"),
             ConfigError::MmbufPercentOutOfRange(p) => {
                 write!(f, "mmbuf_percent must be in 1..=100, got {p}")
             }
@@ -242,6 +257,9 @@ impl GtsConfigBuilder {
         cache_limit_bytes: Option<u64>,
         /// Peer-to-peer WA merging under Strategy-P.
         p2p_sync: bool,
+        /// Host threads for kernel bodies (>= 1; `1` = exact serial order,
+        /// any value = byte-identical results).
+        host_threads: usize,
     }
 
     /// Validate and produce the configuration.
@@ -336,6 +354,9 @@ impl GtsBuilder {
         cache_limit_bytes: Option<u64>,
         /// Peer-to-peer WA merging under Strategy-P.
         p2p_sync: bool,
+        /// Host threads for kernel bodies (>= 1; `1` = exact serial order,
+        /// any value = byte-identical results).
+        host_threads: usize,
     }
 
     /// Replace the whole configuration (e.g. one made by
@@ -492,6 +513,11 @@ impl Gts {
         };
 
         let mut scratch = KernelScratch::default();
+        // Host threads execute kernel bodies (functional work only); the
+        // accounting below never runs on the pool, so simulated time is
+        // independent of `host_threads`.
+        let pool = ThreadPool::new(cfg.host_threads);
+        let class = prog.class();
         let mut sweep: u32 = 0;
         let mut edges_traversed: u64 = 0;
 
@@ -510,38 +536,34 @@ impl Gts {
 
             // SPs first, then LPs (reduces kernel switching, Sec. 3.2).
             for phase in [&sp_pids, &lp_pids] {
-                for &pid in phase.iter() {
-                    let view = store.view(pid);
-                    let lp_total_degree = if view.kind() == PageKind::Large {
-                        *lp_degrees.get(&view.lp_vid()).unwrap_or(&0)
-                    } else {
-                        0
-                    };
-                    // Functional kernel execution (once per page per sweep;
-                    // atomically-commutative updates make this equivalent
-                    // to the per-GPU parallel execution).
-                    let ctx = PageCtx {
-                        view,
-                        pid,
-                        rvt: store.rvt(),
-                        technique: cfg.technique,
-                        sweep,
-                        lp_total_degree,
-                    };
-                    let work = prog.process_page(&ctx, &mut scratch);
+                // Phase A: functional kernel execution (once per page per
+                // sweep), possibly spread over host threads — atomically-
+                // commutative updates make any execution order equivalent
+                // to the per-GPU parallel execution.
+                let env = KernelEnv {
+                    store,
+                    lp_degrees: &lp_degrees,
+                    technique: cfg.technique,
+                    sweep,
+                };
+                let outcomes = run_page_kernels(prog, &pool, &env, phase, &mut scratch);
+                // Phase B: simulated-time accounting, strictly serial and
+                // in page order — identical for every `host_threads`.
+                for (&pid, outcome) in phase.iter().zip(&outcomes) {
+                    let work = &outcome.work;
                     edges_traversed += work.active_edges;
                     stats.active_vertices += work.active_vertices;
                     stats.active_edges += work.active_edges;
                     any_update |= work.updated;
-                    // Drain the kernel's local nextPIDSet; the BTreeSet
-                    // deduplicates globally, so the scratch buffer is
-                    // reused allocation-free across pages.
-                    next.extend(scratch.next_pids.drain(..));
+                    // Merge the kernel's local nextPIDSet; the BTreeSet
+                    // deduplicates globally.
+                    next.extend(outcome.next_pids.iter().copied());
 
                     // Algorithm 1 checks cachedPIDMap BEFORE touching
                     // storage (line 16 precedes lines 18-26): a page every
                     // target GPU already caches must not generate SSD
                     // traffic or MMBuf churn.
+                    let view = store.view(pid);
                     let targets = cfg.strategy.targets(pid, n);
                     let fanout = targets.len() as u64;
                     let any_miss = targets.clone().any(|gi| !gpus[gi].cache.contains(pid));
@@ -556,12 +578,12 @@ impl Gts {
                             }
                         }
                     };
-                    let cost = KernelCost {
-                        class: prog.class(),
-                        lane_slots: work.lane_slots,
-                        atomic_ops: work.atomic_ops / fanout.max(1),
-                    };
-                    for gi in targets {
+                    for (ti, gi) in targets.enumerate() {
+                        let cost = KernelCost {
+                            class,
+                            lane_slots: work.lane_slots,
+                            atomic_ops: per_target_atomic_ops(work.atomic_ops, fanout, ti),
+                        };
                         stats.pages += 1;
                         let g = &mut gpus[gi];
                         let hit = g.cache.access(pid);
@@ -605,21 +627,6 @@ impl Gts {
             for g in &gpus {
                 t = t.max(g.timer.sync());
             }
-            stats.elapsed = t - sweep_start;
-            tel.add(keys::sweep(sweep, keys::SWEEP_PAGES), stats.pages);
-            tel.add(keys::sweep(sweep, keys::SWEEP_CACHE_HITS), stats.cache_hits);
-            tel.add(
-                keys::sweep(sweep, keys::SWEEP_ACTIVE_VERTICES),
-                stats.active_vertices,
-            );
-            tel.add(
-                keys::sweep(sweep, keys::SWEEP_ACTIVE_EDGES),
-                stats.active_edges,
-            );
-            tel.set(
-                keys::sweep(sweep, keys::SWEEP_ELAPSED_NS),
-                stats.elapsed.as_nanos(),
-            );
 
             // Copy nextPIDSet / cachedPIDMap back (lines 29-30): one small
             // bitmap per GPU.
@@ -637,6 +644,28 @@ impl Gts {
             if sweep_mode {
                 t = self.sync_wa(&mut gpus, wa_total, t);
             }
+
+            // One definition of a sweep's extent, shared by the counter
+            // registry and the trace: `sweep_wall..t` brackets Alg. 1
+            // lines 13-30 — the per-sweep WA broadcast, page streaming and
+            // kernels, the barrier, and the nextPIDSet/cachedPIDMap/WA
+            // write-backs. `SWEEP_ELAPSED_NS` and the sweep span are set
+            // from the same two instants, so trace and registry agree.
+            stats.elapsed = t - sweep_wall;
+            tel.add(keys::sweep(sweep, keys::SWEEP_PAGES), stats.pages);
+            tel.add(keys::sweep(sweep, keys::SWEEP_CACHE_HITS), stats.cache_hits);
+            tel.add(
+                keys::sweep(sweep, keys::SWEEP_ACTIVE_VERTICES),
+                stats.active_vertices,
+            );
+            tel.add(
+                keys::sweep(sweep, keys::SWEEP_ACTIVE_EDGES),
+                stats.active_edges,
+            );
+            tel.set(
+                keys::sweep(sweep, keys::SWEEP_ELAPSED_NS),
+                stats.elapsed.as_nanos(),
+            );
 
             if spans {
                 tel.record_span(
@@ -748,6 +777,86 @@ impl Gts {
             }
         }
     }
+}
+
+/// Result of one page's functional kernel execution (phase A of a sweep):
+/// everything the serial accounting pass (phase B) needs.
+struct PageOutcome {
+    work: PageWork,
+    next_pids: Vec<u64>,
+}
+
+/// Sweep-invariant inputs of the functional kernel phase.
+struct KernelEnv<'a> {
+    store: &'a GraphStore,
+    lp_degrees: &'a HashMap<u64, u64>,
+    technique: MicroTechnique,
+    sweep: u32,
+}
+
+/// Execute the functional kernels for `pids` (phase A of a sweep). When the
+/// program exposes a [`crate::programs::SharedKernel`] and more than one
+/// host thread is configured, pages run concurrently on the pool: outcomes
+/// still come back in page order, and every shared-state update the kernels
+/// perform commutes exactly, so the program state and the returned
+/// [`PageWork`]s are bit-identical to serial execution. Simulated-time
+/// accounting happens strictly afterwards, serially and in page order
+/// (phase B), so host parallelism can never change a simulated number.
+fn run_page_kernels(
+    prog: &mut dyn GtsProgram,
+    pool: &ThreadPool,
+    env: &KernelEnv<'_>,
+    pids: &[u64],
+    scratch: &mut KernelScratch,
+) -> Vec<PageOutcome> {
+    let ctx_for = |pid: u64| {
+        let view = env.store.view(pid);
+        let lp_total_degree = if view.kind() == PageKind::Large {
+            *env.lp_degrees.get(&view.lp_vid()).unwrap_or(&0)
+        } else {
+            0
+        };
+        PageCtx {
+            view,
+            pid,
+            rvt: env.store.rvt(),
+            technique: env.technique,
+            sweep: env.sweep,
+            lp_total_degree,
+        }
+    };
+    if pool.threads() > 1 && pids.len() > 1 && prog.shared_kernel().is_some() {
+        let kernel = prog.shared_kernel().expect("checked above");
+        pool.par_map_init(pids, KernelScratch::default, |scratch, _, &pid| {
+            scratch.reset();
+            let work = kernel.process_page_shared(&ctx_for(pid), scratch);
+            PageOutcome {
+                work,
+                next_pids: std::mem::take(&mut scratch.next_pids),
+            }
+        })
+        .0
+    } else {
+        pids.iter()
+            .map(|&pid| {
+                let work = prog.process_page(&ctx_for(pid), scratch);
+                PageOutcome {
+                    work,
+                    next_pids: std::mem::take(&mut scratch.next_pids),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Split `total` atomic operations across `fanout` replica GPUs so the
+/// per-target shares always sum back to `total`: every target gets the
+/// truncated quotient and the first `total % fanout` targets one extra op.
+/// (Truncating division alone under-accounted atomic work whenever the
+/// fanout did not divide it — 7 atomics across 2 GPUs silently lost one.)
+fn per_target_atomic_ops(total: u64, fanout: u64, target_index: usize) -> u64 {
+    let fanout = fanout.max(1);
+    total / fanout + u64::from((target_index as u64) < total % fanout)
 }
 
 /// Copy `bytes` to every GPU in parallel (each has its own PCI-E link)
@@ -1038,6 +1147,18 @@ mod tests {
             ConfigError::ZeroStreams
         );
         assert_eq!(
+            GtsConfig::builder().host_threads(0).build().unwrap_err(),
+            ConfigError::ZeroHostThreads
+        );
+        assert_eq!(
+            GtsConfig::builder()
+                .host_threads(4)
+                .build()
+                .unwrap()
+                .host_threads,
+            4
+        );
+        assert_eq!(
             GtsConfig::builder().mmbuf_percent(0).build().unwrap_err(),
             ConfigError::MmbufPercentOutOfRange(0)
         );
@@ -1221,5 +1342,55 @@ mod tests {
         assert_eq!(r.edges_traversed, 2 * store.num_edges());
         assert!(r.total_bytes_h2d() > 0);
         assert!(r.transfer_to_kernel_ratio() > 0.0);
+    }
+
+    #[test]
+    fn per_target_atomic_ops_sum_to_the_total_for_odd_fanouts() {
+        for total in [0u64, 1, 6, 7, 13, 101, 1_000_003] {
+            for fanout in [1u64, 2, 3, 4, 5, 7, 16] {
+                let shares: Vec<u64> = (0..fanout as usize)
+                    .map(|ti| per_target_atomic_ops(total, fanout, ti))
+                    .collect();
+                assert_eq!(
+                    shares.iter().sum::<u64>(),
+                    total,
+                    "total={total} fanout={fanout} shares={shares:?}"
+                );
+                // The split is as even as possible: shares differ by <= 1.
+                let max = shares.iter().max().unwrap();
+                let min = shares.iter().min().unwrap();
+                assert!(max - min <= 1, "uneven split {shares:?}");
+            }
+        }
+        // The truncating-division bug this replaces: 7 across 2 lost an op.
+        assert_eq!(
+            per_target_atomic_ops(7, 2, 0) + per_target_atomic_ops(7, 2, 1),
+            7
+        );
+        // Degenerate fanout 0 is clamped, not a division fault.
+        assert_eq!(per_target_atomic_ops(5, 0, 0), 5);
+    }
+
+    #[test]
+    fn host_threads_do_not_change_results_or_simulated_time() {
+        let store = small_store();
+        let run = |threads: usize| {
+            let cfg = GtsConfig {
+                host_threads: threads,
+                ..GtsConfig::default()
+            };
+            let mut pr = PageRank::new(store.num_vertices(), 4);
+            let report = Gts::new(cfg).run(&store, &mut pr).unwrap();
+            (pr.ranks().to_vec(), report.elapsed, report.edges_traversed)
+        };
+        let serial = run(1);
+        for threads in [2, 4, 8] {
+            let par = run(threads);
+            // Bit-identical ranks (commutative fixed-point accumulation)
+            // and identical simulated numbers.
+            assert_eq!(par.0, serial.0, "ranks differ at {threads} threads");
+            assert_eq!(par.1, serial.1, "elapsed differs at {threads} threads");
+            assert_eq!(par.2, serial.2, "edges differ at {threads} threads");
+        }
     }
 }

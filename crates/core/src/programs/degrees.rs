@@ -7,13 +7,21 @@
 //! user-facing analytic and as the minimal example of writing a
 //! [`GtsProgram`].
 
-use super::{visit_page, ExecMode, GtsProgram, KernelScratch, PageCtx, PageWork, SweepControl};
+use super::{
+    visit_page, ExecMode, GtsProgram, KernelScratch, PageCtx, PageWork, SharedKernel, SweepControl,
+};
 use crate::attrs::AlgorithmKind;
 use gts_gpu::timer::KernelClass;
 use gts_storage::PageKind;
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Degree-distribution vertex program (single sweep).
 pub struct Degrees {
+    /// Shared kernel target: Small-Page stores are per-vertex disjoint and
+    /// Large-Page chunk contributions are commutative `fetch_add`s, so
+    /// pages can execute on any number of host threads.
+    acc: Vec<AtomicU32>,
+    /// Plain snapshot taken at end of sweep, what `degrees()` exposes.
     degree: Vec<u32>,
 }
 
@@ -21,6 +29,7 @@ impl Degrees {
     /// Prepare for a graph of `num_vertices`.
     pub fn new(num_vertices: u64) -> Self {
         Degrees {
+            acc: (0..num_vertices).map(|_| AtomicU32::new(0)).collect(),
             degree: vec![0; num_vertices as usize],
         }
     }
@@ -71,13 +80,34 @@ impl GtsProgram for Degrees {
     }
 
     fn process_page(&mut self, ctx: &PageCtx<'_>, scratch: &mut KernelScratch) -> PageWork {
+        self.process_page_shared(ctx, scratch)
+    }
+
+    fn shared_kernel(&self) -> Option<&dyn SharedKernel> {
+        Some(self)
+    }
+
+    fn end_sweep(&mut self, _sweep: u32, _frontier_empty: bool, _any_update: bool) -> SweepControl {
+        for (slot, acc) in self.degree.iter_mut().zip(&mut self.acc) {
+            *slot = *acc.get_mut();
+        }
+        SweepControl::Done
+    }
+}
+
+impl SharedKernel for Degrees {
+    fn process_page_shared(&self, ctx: &PageCtx<'_>, scratch: &mut KernelScratch) -> PageWork {
         scratch.reset();
         let mut work = PageWork::default();
         visit_page(ctx.view, |vid, len, kind, _rids| {
             match kind {
-                PageKind::Small => self.degree[vid as usize] = len,
-                // Chunks accumulate into the vertex's total degree.
-                PageKind::Large => self.degree[vid as usize] += len,
+                // A vertex lives in exactly one Small Page: disjoint writes.
+                PageKind::Small => self.acc[vid as usize].store(len, Ordering::Relaxed),
+                // Chunks accumulate into the vertex's total degree;
+                // fetch_add commutes across chunk order.
+                PageKind::Large => {
+                    self.acc[vid as usize].fetch_add(len, Ordering::Relaxed);
+                }
             }
             work.active_vertices += 1;
             work.atomic_ops += 1;
@@ -86,10 +116,6 @@ impl GtsProgram for Degrees {
         work.lane_slots = work.active_vertices;
         work.updated = true;
         work
-    }
-
-    fn end_sweep(&mut self, _sweep: u32, _frontier_empty: bool, _any_update: bool) -> SweepControl {
-        SweepControl::Done
     }
 }
 

@@ -163,6 +163,30 @@ pub trait GtsProgram {
     /// `frontier_empty` is whether any page was marked for the next level;
     /// `any_update` whether any kernel changed WA this sweep.
     fn end_sweep(&mut self, sweep: u32, frontier_empty: bool, any_update: bool) -> SweepControl;
+
+    /// The shared-state form of the kernel, if this program supports
+    /// executing pages concurrently on host threads. Returning `Some`
+    /// asserts that every WA update the kernel performs is *atomically
+    /// commutative* — the final state is a pure function of the multiset of
+    /// updates, independent of page order and interleaving — which is
+    /// exactly the property the paper relies on for device-side atomics.
+    /// Programs whose accounting depends on claim order (the CAS-based
+    /// traversal family) return `None` and run serially.
+    fn shared_kernel(&self) -> Option<&dyn SharedKernel> {
+        None
+    }
+}
+
+/// A kernel whose page invocations may run concurrently (`&self`, `Sync`)
+/// because all of its shared-state updates commute exactly (atomic integer
+/// adds, fixed-point accumulators, atomic min over order-preserving bits).
+///
+/// Implementors must guarantee `process_page_shared` is observationally
+/// identical to [`GtsProgram::process_page`] — the engine picks between
+/// them based on `host_threads`, and reports/traces must not change.
+pub trait SharedKernel: Sync {
+    /// Process one streamed page; see [`GtsProgram::process_page`].
+    fn process_page_shared(&self, ctx: &PageCtx<'_>, scratch: &mut KernelScratch) -> PageWork;
 }
 
 /// Drive a kernel over one page's vertices: `f(vid, len, kind, rids)` is

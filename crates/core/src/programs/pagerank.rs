@@ -7,8 +7,11 @@
 //! exactly like the paper's kernel (so mass leaks — matching
 //! `gts_graph::reference::pagerank`).
 
-use super::{visit_page, ExecMode, GtsProgram, KernelScratch, PageCtx, PageWork, SweepControl};
+use super::{
+    visit_page, ExecMode, GtsProgram, KernelScratch, PageCtx, PageWork, SharedKernel, SweepControl,
+};
 use crate::attrs::AlgorithmKind;
+use gts_exec::FixedVec;
 use gts_gpu::timer::KernelClass;
 use gts_storage::PageKind;
 
@@ -26,8 +29,12 @@ enum Termination {
 pub struct PageRank {
     /// RA: previous iteration's ranks, streamed alongside pages.
     prev: Vec<f32>,
-    /// WA: next iteration's ranks, resident in device memory.
+    /// WA: next iteration's ranks, materialised from `acc` at end of sweep.
     next: Vec<f32>,
+    /// The `atomicAdd` target: scattered shares accumulate here in 64-bit
+    /// fixed point, so concurrent page kernels produce bit-identical sums
+    /// in any execution order (see `gts_exec::FixedVec`).
+    acc: FixedVec,
     df: f32,
     termination: Termination,
     converged_at: Option<u32>,
@@ -72,10 +79,21 @@ impl PageRank {
         PageRank {
             prev: vec![1.0 / n as f32; n],
             next: vec![base; n],
+            acc: FixedVec::new(n),
             df,
             termination,
             converged_at: None,
         }
+    }
+
+    /// Fold the fixed-point scatter sums into `next` (teleport base plus
+    /// accumulated shares) and reset the accumulator for the next sweep.
+    fn materialize(&mut self) {
+        let base = (1.0 - self.df) / self.next.len() as f32;
+        for (v, slot) in self.next.iter_mut().enumerate() {
+            *slot = (base as f64 + self.acc.get(v)) as f32;
+        }
+        self.acc.clear();
     }
 
     /// The sweep (1-based) at which convergence-mode termination fired,
@@ -90,7 +108,7 @@ impl PageRank {
     }
 
     fn scatter(
-        &mut self,
+        &self,
         ctx: &PageCtx<'_>,
         work: &mut PageWork,
         vid: u64,
@@ -103,9 +121,10 @@ impl PageRank {
         let share = self.df * self.prev[vid as usize] / total_degree as f32;
         for rid in rids {
             let adj_vid = ctx.rvt.translate(rid) as usize;
-            // atomicAdd on hardware (Algorithm 4 line 16); commutative, so
-            // sequential application is bit-stable and equivalent.
-            self.next[adj_vid] += share;
+            // atomicAdd on hardware (Algorithm 4 line 16); the fixed-point
+            // add commutes exactly, so any page order — serial or across
+            // host threads — yields the same bits.
+            self.acc.add(adj_vid, share as f64);
             work.active_edges += 1;
             work.atomic_ops += 1;
         }
@@ -131,24 +150,15 @@ impl GtsProgram for PageRank {
     }
 
     fn process_page(&mut self, ctx: &PageCtx<'_>, scratch: &mut KernelScratch) -> PageWork {
-        scratch.reset();
-        let mut work = PageWork::default();
-        visit_page(ctx.view, |vid, len, kind, rids| {
-            scratch.degrees.push(len);
-            work.active_vertices += 1;
-            // K_PR_LP divides by the vertex's total ADJLIST_SZ across all
-            // chunks, not this chunk's count (Algorithm 5 line 7).
-            let total_degree = match kind {
-                PageKind::Small => len as u64,
-                PageKind::Large => ctx.lp_total_degree,
-            };
-            self.scatter(ctx, &mut work, vid, total_degree, rids);
-        });
-        work.lane_slots = ctx.technique.lane_slots(&scratch.degrees);
-        work
+        self.process_page_shared(ctx, scratch)
+    }
+
+    fn shared_kernel(&self) -> Option<&dyn SharedKernel> {
+        Some(self)
     }
 
     fn end_sweep(&mut self, sweep: u32, _frontier_empty: bool, _any_update: bool) -> SweepControl {
+        self.materialize();
         let done = match self.termination {
             Termination::Fixed(iterations) => sweep + 1 >= iterations,
             Termination::Converged { epsilon, max } => {
@@ -169,13 +179,32 @@ impl GtsProgram for PageRank {
         if done {
             return SweepControl::Done;
         }
-        // nextPR becomes prevPR; nextPR re-initialised to the teleport base
-        // (the paper: "at the end of every iteration, nextPR should be
-        // initialized after being copied to prevPR").
+        // nextPR becomes prevPR (the paper: "at the end of every iteration,
+        // nextPR should be initialized after being copied to prevPR");
+        // re-initialisation happened in `materialize` (accumulator reset +
+        // teleport base re-applied on the next fold).
         std::mem::swap(&mut self.prev, &mut self.next);
-        let base = (1.0 - self.df) / self.next.len() as f32;
-        self.next.fill(base);
         SweepControl::Continue
+    }
+}
+
+impl SharedKernel for PageRank {
+    fn process_page_shared(&self, ctx: &PageCtx<'_>, scratch: &mut KernelScratch) -> PageWork {
+        scratch.reset();
+        let mut work = PageWork::default();
+        visit_page(ctx.view, |vid, len, kind, rids| {
+            scratch.degrees.push(len);
+            work.active_vertices += 1;
+            // K_PR_LP divides by the vertex's total ADJLIST_SZ across all
+            // chunks, not this chunk's count (Algorithm 5 line 7).
+            let total_degree = match kind {
+                PageKind::Small => len as u64,
+                PageKind::Large => ctx.lp_total_degree,
+            };
+            self.scatter(ctx, &mut work, vid, total_degree, rids);
+        });
+        work.lane_slots = ctx.technique.lane_slots(&scratch.degrees);
+        work
     }
 }
 

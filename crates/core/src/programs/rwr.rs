@@ -10,15 +10,22 @@
 //! previous one — so it exercises the identical engine path with a
 //! different Apply rule.
 
-use super::{visit_page, ExecMode, GtsProgram, KernelScratch, PageCtx, PageWork, SweepControl};
+use super::{
+    visit_page, ExecMode, GtsProgram, KernelScratch, PageCtx, PageWork, SharedKernel, SweepControl,
+};
 use crate::attrs::AlgorithmKind;
+use gts_exec::FixedVec;
 use gts_gpu::timer::KernelClass;
 use gts_storage::PageKind;
 
 /// Random-walk-with-restart vertex program.
 pub struct Rwr {
     prev: Vec<f32>,
+    /// Scores materialised from `acc` at the end of each sweep.
     next: Vec<f32>,
+    /// Shared `atomicAdd` target in fixed point — commutative, so page
+    /// kernels can run on any number of host threads with identical bits.
+    acc: FixedVec,
     restart: f32,
     seed: u64,
     iterations: u32,
@@ -47,10 +54,25 @@ impl Rwr {
         Rwr {
             prev,
             next,
+            acc: FixedVec::new(n),
             restart: c,
             seed,
             iterations,
         }
+    }
+
+    /// Fold the accumulated shares into `next` (restart mass at the seed,
+    /// zero elsewhere) and reset the accumulator.
+    fn materialize(&mut self) {
+        for (v, slot) in self.next.iter_mut().enumerate() {
+            let base = if v as u64 == self.seed {
+                self.restart as f64
+            } else {
+                0.0
+            };
+            *slot = (base + self.acc.get(v)) as f32;
+        }
+        self.acc.clear();
     }
 
     /// Proximity scores to the seed after the last completed iteration.
@@ -59,7 +81,7 @@ impl Rwr {
     }
 
     fn scatter(
-        &mut self,
+        &self,
         ctx: &PageCtx<'_>,
         work: &mut PageWork,
         vid: u64,
@@ -76,7 +98,7 @@ impl Rwr {
         }
         for rid in rids {
             let adj_vid = ctx.rvt.translate(rid) as usize;
-            self.next[adj_vid] += share;
+            self.acc.add(adj_vid, share as f64);
             work.active_edges += 1;
             work.atomic_ops += 1;
         }
@@ -108,6 +130,25 @@ impl GtsProgram for Rwr {
     }
 
     fn process_page(&mut self, ctx: &PageCtx<'_>, scratch: &mut KernelScratch) -> PageWork {
+        self.process_page_shared(ctx, scratch)
+    }
+
+    fn shared_kernel(&self) -> Option<&dyn SharedKernel> {
+        Some(self)
+    }
+
+    fn end_sweep(&mut self, sweep: u32, _frontier_empty: bool, _any_update: bool) -> SweepControl {
+        self.materialize();
+        if sweep + 1 >= self.iterations {
+            return SweepControl::Done;
+        }
+        std::mem::swap(&mut self.prev, &mut self.next);
+        SweepControl::Continue
+    }
+}
+
+impl SharedKernel for Rwr {
+    fn process_page_shared(&self, ctx: &PageCtx<'_>, scratch: &mut KernelScratch) -> PageWork {
         scratch.reset();
         let mut work = PageWork::default();
         visit_page(ctx.view, |vid, len, kind, rids| {
@@ -121,16 +162,6 @@ impl GtsProgram for Rwr {
         });
         work.lane_slots = ctx.technique.lane_slots(&scratch.degrees);
         work
-    }
-
-    fn end_sweep(&mut self, sweep: u32, _frontier_empty: bool, _any_update: bool) -> SweepControl {
-        if sweep + 1 >= self.iterations {
-            return SweepControl::Done;
-        }
-        std::mem::swap(&mut self.prev, &mut self.next);
-        self.next.fill(0.0);
-        self.next[self.seed as usize] = self.restart;
-        SweepControl::Continue
     }
 }
 

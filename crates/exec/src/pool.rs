@@ -1,0 +1,284 @@
+//! A chunked, scoped thread pool with deterministic output order.
+//!
+//! Chunks of the input are claimed dynamically through an atomic cursor, so
+//! load balances across workers; determinism comes from *where results go*,
+//! not from the schedule: per-chunk outputs are reassembled in chunk order
+//! (= item order) and per-worker states are handed back in worker-index
+//! order. Callers that only merge states commutatively therefore observe the
+//! same bytes for every thread count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The host's available parallelism, used as the default `host_threads`.
+pub fn default_host_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// How many chunks each worker should see on average; >1 so that a slow
+/// chunk does not serialize the tail of the input.
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// A fixed-width pool of scoped workers. `threads == 1` (or trivially small
+/// inputs) takes an inline fast path on the calling thread, which is by
+/// construction the exact serial order.
+#[derive(Debug, Clone)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// A pool with `threads` workers; 0 is clamped to 1.
+    pub fn new(threads: usize) -> Self {
+        ThreadPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A pool sized to [`default_host_threads`].
+    pub fn with_default_threads() -> Self {
+        Self::new(default_host_threads())
+    }
+
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn chunk_size(&self, len: usize, grain: usize) -> usize {
+        len.div_ceil(self.threads * CHUNKS_PER_WORKER)
+            .max(grain)
+            .max(1)
+    }
+
+    /// Map `f` over `items`, returning results in item order.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.par_map_init(items, || (), |(), i, t| f(i, t)).0
+    }
+
+    /// Run `f` for every item; completion of the call implies completion of
+    /// every item.
+    pub fn par_for_each<T, F>(&self, items: &[T], f: F)
+    where
+        T: Sync,
+        F: Fn(usize, &T) + Sync,
+    {
+        self.par_map(items, |i, t| f(i, t));
+    }
+
+    /// Map with per-worker state: each worker runs `init()` once, threads the
+    /// state through every item it processes, and hands it back at the end.
+    /// Returns `(results in item order, states in worker-index order)`.
+    ///
+    /// Which items a worker sees is schedule-dependent, so downstream merges
+    /// of the states must be commutative for determinism.
+    pub fn par_map_init<T, S, R, I, F>(&self, items: &[T], init: I, f: F) -> (Vec<R>, Vec<S>)
+    where
+        T: Sync,
+        S: Send,
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, &T) -> R + Sync,
+    {
+        if self.threads == 1 || items.len() <= 1 {
+            let mut state = init();
+            let out = items
+                .iter()
+                .enumerate()
+                .map(|(i, t)| f(&mut state, i, t))
+                .collect();
+            return (out, vec![state]);
+        }
+        let chunk = self.chunk_size(items.len(), 1);
+        let nchunks = items.len().div_ceil(chunk);
+        let cursor = AtomicUsize::new(0);
+        let results: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(nchunks));
+        let states: Mutex<Vec<(usize, S)>> = Mutex::new(Vec::with_capacity(self.threads));
+        std::thread::scope(|scope| {
+            for w in 0..self.threads.min(nchunks) {
+                let (cursor, results, states, init, f) = (&cursor, &results, &states, &init, &f);
+                scope.spawn(move || {
+                    let mut state = init();
+                    loop {
+                        let ci = cursor.fetch_add(1, Ordering::Relaxed);
+                        if ci >= nchunks {
+                            break;
+                        }
+                        let lo = ci * chunk;
+                        let hi = (lo + chunk).min(items.len());
+                        let out: Vec<R> = items[lo..hi]
+                            .iter()
+                            .enumerate()
+                            .map(|(k, t)| f(&mut state, lo + k, t))
+                            .collect();
+                        results.lock().unwrap().push((ci, out));
+                    }
+                    states.lock().unwrap().push((w, state));
+                });
+            }
+        });
+        let mut per_chunk = results.into_inner().unwrap();
+        per_chunk.sort_unstable_by_key(|&(ci, _)| ci);
+        let out = per_chunk.into_iter().flat_map(|(_, v)| v).collect();
+        let mut per_worker = states.into_inner().unwrap();
+        per_worker.sort_by_key(|&(w, _)| w);
+        (out, per_worker.into_iter().map(|(_, s)| s).collect())
+    }
+
+    /// Run `body` over disjoint subranges of `0..len` with per-worker state,
+    /// returning the states in worker-index order. `grain` is the minimum
+    /// chunk length (inputs shorter than `2 * grain` run inline).
+    pub fn par_ranges<S, I, F>(&self, len: usize, grain: usize, init: I, body: F) -> Vec<S>
+    where
+        S: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, std::ops::Range<usize>) + Sync,
+    {
+        let grain = grain.max(1);
+        if self.threads == 1 || len < 2 * grain {
+            let mut state = init();
+            body(&mut state, 0..len);
+            return vec![state];
+        }
+        let chunk = self.chunk_size(len, grain);
+        let nchunks = len.div_ceil(chunk);
+        let cursor = AtomicUsize::new(0);
+        let states: Mutex<Vec<(usize, S)>> = Mutex::new(Vec::with_capacity(self.threads));
+        std::thread::scope(|scope| {
+            for w in 0..self.threads.min(nchunks) {
+                let (cursor, states, init, body) = (&cursor, &states, &init, &body);
+                scope.spawn(move || {
+                    let mut state = init();
+                    loop {
+                        let ci = cursor.fetch_add(1, Ordering::Relaxed);
+                        if ci >= nchunks {
+                            break;
+                        }
+                        let lo = ci * chunk;
+                        body(&mut state, lo..(lo + chunk).min(len));
+                    }
+                    states.lock().unwrap().push((w, state));
+                });
+            }
+        });
+        let mut per_worker = states.into_inner().unwrap();
+        per_worker.sort_by_key(|&(w, _)| w);
+        per_worker.into_iter().map(|(_, s)| s).collect()
+    }
+
+    /// Run `f` over a set of disjoint mutable slices (typically produced by
+    /// repeated `split_at_mut`), each exactly once, indexed by position.
+    pub fn par_slices_mut<T, F>(&self, slices: Vec<&mut [T]>, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        if self.threads == 1 || slices.len() <= 1 {
+            for (i, s) in slices.into_iter().enumerate() {
+                f(i, s);
+            }
+            return;
+        }
+        let n = slices.len();
+        let slots: Vec<Mutex<Option<&mut [T]>>> =
+            slices.into_iter().map(|s| Mutex::new(Some(s))).collect();
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(n) {
+                let (cursor, slots, f) = (&cursor, &slots, &f);
+                scope.spawn(move || loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let slice = slots[i].lock().unwrap().take().expect("slice claimed once");
+                    f(i, slice);
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn par_map_preserves_item_order() {
+        for threads in [1, 2, 3, 8] {
+            let pool = ThreadPool::new(threads);
+            let items: Vec<u64> = (0..1000).collect();
+            let out = pool.par_map(&items, |i, &x| x * 2 + i as u64);
+            let want: Vec<u64> = (0..1000).map(|x| x * 3).collect();
+            assert_eq!(out, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_init_states_cover_all_items_once() {
+        let pool = ThreadPool::new(4);
+        let items: Vec<u64> = (0..503).collect();
+        let (out, states) = pool.par_map_init(
+            &items,
+            || 0u64,
+            |seen, _, &x| {
+                *seen += 1;
+                x
+            },
+        );
+        assert_eq!(out, items);
+        assert!(states.len() <= 4);
+        assert_eq!(states.iter().sum::<u64>(), 503);
+    }
+
+    #[test]
+    fn par_ranges_tiles_the_input_exactly() {
+        for threads in [1, 3, 7] {
+            let pool = ThreadPool::new(threads);
+            let hits: Vec<AtomicU64> = (0..997).map(|_| AtomicU64::new(0)).collect();
+            let states = pool.par_ranges(
+                hits.len(),
+                8,
+                || 0usize,
+                |count, r| {
+                    for i in r {
+                        hits[i].fetch_add(1, Ordering::Relaxed);
+                        *count += 1;
+                    }
+                },
+            );
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+            assert_eq!(states.iter().sum::<usize>(), 997);
+        }
+    }
+
+    #[test]
+    fn par_slices_mut_visits_every_slice() {
+        let pool = ThreadPool::new(4);
+        let mut data = vec![0u32; 100];
+        let mut slices = Vec::new();
+        let mut rest: &mut [u32] = &mut data;
+        while !rest.is_empty() {
+            let take = rest.len().min(7);
+            let (head, tail) = rest.split_at_mut(take);
+            slices.push(head);
+            rest = tail;
+        }
+        pool.par_slices_mut(slices, |i, s| s.fill(i as u32 + 1));
+        assert!(data.iter().all(|&x| x > 0));
+        assert_eq!(data[0], 1);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        assert_eq!(ThreadPool::new(0).threads(), 1);
+        assert!(default_host_threads() >= 1);
+    }
+}

@@ -25,10 +25,13 @@ impl MmBuf {
     /// A buffer holding at most `capacity_pages` pages. Zero capacity is
     /// valid and means every access goes to storage.
     pub fn new(capacity_pages: usize) -> Self {
+        // Pre-reserve for small buffers only; a huge (effectively unbounded)
+        // capacity must not allocate up front.
+        let reserve = capacity_pages.min(1 << 20);
         MmBuf {
             capacity_pages,
-            resident: HashSet::with_capacity(capacity_pages),
-            fifo: VecDeque::with_capacity(capacity_pages),
+            resident: HashSet::with_capacity(reserve),
+            fifo: VecDeque::with_capacity(reserve),
             hits: 0,
             misses: 0,
             evictions: 0,
@@ -37,8 +40,16 @@ impl MmBuf {
 
     /// Size a buffer as `percent`% of `total_pages` (the paper's "buffer
     /// size of 20% of a graph size").
+    ///
+    /// The multiply is widened to 128 bits so huge page counts cannot
+    /// overflow, and any non-zero fraction of a non-empty store gets at
+    /// least one page — naive truncating division would silently disable
+    /// the buffer for small graphs (e.g. 4 pages at 20% → 0).
     pub fn with_fraction(total_pages: u64, percent: u32) -> Self {
-        Self::new((total_pages as usize * percent as usize) / 100)
+        let pages = (total_pages as u128 * percent as u128) / 100;
+        let pages = usize::try_from(pages).unwrap_or(usize::MAX);
+        let min = usize::from(percent > 0 && total_pages > 0);
+        Self::new(pages.max(min))
     }
 
     /// Capacity in pages.
@@ -179,6 +190,27 @@ mod tests {
     fn fraction_sizing() {
         let b = MmBuf::with_fraction(1000, 20);
         assert_eq!(b.capacity(), 200);
+    }
+
+    #[test]
+    fn fraction_sizing_never_rounds_a_nonzero_fraction_to_zero() {
+        // 4 pages at 20% used to truncate to capacity 0, silently turning
+        // the main-memory buffer off for small graphs.
+        assert_eq!(MmBuf::with_fraction(4, 20).capacity(), 1);
+        assert_eq!(MmBuf::with_fraction(1, 1).capacity(), 1);
+        // A zero fraction (or an empty store) still means "no buffer".
+        assert_eq!(MmBuf::with_fraction(4, 0).capacity(), 0);
+        assert_eq!(MmBuf::with_fraction(0, 20).capacity(), 0);
+    }
+
+    #[test]
+    fn fraction_sizing_does_not_overflow_huge_page_counts() {
+        // u64::MAX pages at 100% would overflow a usize multiply; the
+        // widened math saturates instead of wrapping to a tiny capacity.
+        let b = MmBuf::with_fraction(u64::MAX, 100);
+        assert_eq!(b.capacity(), usize::MAX);
+        let b = MmBuf::with_fraction(u64::MAX / 2, 50);
+        assert!(b.capacity() >= (u64::MAX / 8) as usize);
     }
 
     #[test]

@@ -230,6 +230,32 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_adds_from_scoped_threads_lose_nothing() {
+        // The parallel engine (gts-exec pools) hands clones of one handle
+        // to worker threads; the shared registry must absorb concurrent
+        // increments exactly — counters are how determinism is audited, so
+        // a single lost update would surface as a cross-run diff.
+        let tel = Telemetry::new();
+        const WORKERS: u64 = 8;
+        const ADDS: u64 = 1_000;
+        std::thread::scope(|scope| {
+            for w in 0..WORKERS {
+                let handle = tel.clone();
+                scope.spawn(move || {
+                    for i in 0..ADDS {
+                        handle.add("shared", 1);
+                        handle.add(format!("worker.{w}"), i);
+                    }
+                });
+            }
+        });
+        assert_eq!(tel.counter("shared"), WORKERS * ADDS);
+        for w in 0..WORKERS {
+            assert_eq!(tel.counter(format!("worker.{w}")), ADDS * (ADDS - 1) / 2);
+        }
+    }
+
+    #[test]
     fn busy_per_track_sums_by_track() {
         let tel = Telemetry::with_spans();
         let tr = Track::new(0, 3);

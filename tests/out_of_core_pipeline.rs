@@ -107,6 +107,57 @@ fn mmbuf_absorbs_repeat_fetches() {
 }
 
 #[test]
+fn fully_cached_pages_generate_no_storage_or_transfer_traffic() {
+    // With the device cache left at its (huge) default, sweep 0 of a
+    // multi-iteration PageRank cold-loads every page exactly once; every
+    // later sweep must be served entirely from the GPU cache — zero SSD
+    // reads, zero MMBuf lookups, zero H2D page transfers beyond sweep 0.
+    let s = store();
+    let cfg = GtsConfig {
+        storage: StorageLocation::Ssds(1),
+        mmbuf_percent: 10,
+        ..GtsConfig::default()
+    };
+    let engine = Gts::new(cfg);
+    let mut pr = PageRank::new(s.num_vertices(), 4);
+    let report = engine.run(&s, &mut pr).unwrap();
+    let tel = engine.telemetry();
+    let pages = s.num_pages();
+
+    // Streaming happened exactly once per page, all in sweep 0.
+    assert_eq!(report.pages_streamed, pages);
+    assert_eq!(
+        tel.counter(gts_telemetry::keys::IO_BYTES_READ),
+        pages * 4096
+    );
+    // MMBuf only ever saw the cold sweep (all misses, no repeat lookups).
+    assert_eq!(tel.counter(gts_telemetry::keys::MMBUF_MISSES), pages);
+    assert_eq!(tel.counter(gts_telemetry::keys::MMBUF_HITS), 0);
+    // Sweeps 1.. ran fully out of the device cache.
+    assert_eq!(report.sweeps, 4);
+    for j in 1..report.sweeps {
+        let swept = tel.counter(gts_telemetry::keys::sweep(
+            j,
+            gts_telemetry::keys::SWEEP_PAGES,
+        ));
+        let hits = tel.counter(gts_telemetry::keys::sweep(
+            j,
+            gts_telemetry::keys::SWEEP_CACHE_HITS,
+        ));
+        assert_eq!(swept, pages, "sweep {j} must visit every page");
+        assert_eq!(hits, pages, "sweep {j} must be fully cache-resident");
+    }
+    assert_eq!(
+        tel.counter(gts_telemetry::keys::sweep(
+            0,
+            gts_telemetry::keys::SWEEP_CACHE_HITS
+        )),
+        0,
+        "sweep 0 is the cold load"
+    );
+}
+
+#[test]
 fn bfs_streams_only_frontier_pages() {
     // A line graph: each level touches one page's worth of vertices; the
     // engine must not stream the whole store per level.

@@ -340,6 +340,46 @@ fn spans_are_well_nested_on_the_sim_clock() {
 }
 
 #[test]
+fn sweep_spans_and_sweep_counters_share_one_timing_definition() {
+    // The per-sweep `elapsed_ns` counter and the sweep span in the trace
+    // must describe the same interval — both bracket Alg. 1 lines 13-30
+    // (WA broadcast through write-backs). Check a traversal run (BFS) and
+    // a sweep-mode run (PageRank, whose per-sweep WA broadcast makes the
+    // sweep start earlier than the first page stream).
+    let check = |tel: &Telemetry, report: &gts_core::RunReport| {
+        let mut sweeps: Vec<_> = tel
+            .spans()
+            .into_iter()
+            .filter(|s| s.cat == SpanCat::Sweep)
+            .collect();
+        sweeps.sort_by_key(|s| s.start);
+        assert_eq!(sweeps.len(), report.sweeps as usize);
+        for (j, span) in sweeps.iter().enumerate() {
+            let counter = tel.counter(keys::sweep(j as u32, keys::SWEEP_ELAPSED_NS));
+            assert_eq!(
+                (span.end - span.start).as_nanos(),
+                counter,
+                "sweep {j}: span duration and elapsed_ns counter disagree"
+            );
+        }
+    };
+
+    let (report, tel) = traced_bfs_run();
+    check(&tel, &report);
+
+    let store = build_graph_store(&rmat(10), PageFormatConfig::small_default()).unwrap();
+    let engine = Gts::builder()
+        .num_streams(8)
+        .cache_limit_bytes(Some(0))
+        .telemetry(Telemetry::with_spans())
+        .build()
+        .unwrap();
+    let mut pr = PageRank::new(store.num_vertices(), 3);
+    let report = engine.run(&store, &mut pr).unwrap();
+    check(engine.telemetry(), &report);
+}
+
+#[test]
 fn derived_report_equals_the_registry_for_every_engine() {
     use gts_baselines::bsp::BspEngine;
     use gts_baselines::cpu::{CpuEngine, CpuProfile};

@@ -8,9 +8,11 @@
 
 use crate::propagation::{self, place, PropagationTrace};
 use crate::report::{finish_run, record_sweep, values_to_u32, BaselineError, RunReport};
-use gts_gpu::GpuConfig;
+use gts_core::sweep::GpuLane;
+use gts_gpu::timer::{GpuTimer, KernelClass, KernelCost};
+use gts_gpu::{GpuConfig, PcieConfig};
 use gts_graph::Csr;
-use gts_sim::{SimDuration, SimTime};
+use gts_sim::SimTime;
 use gts_telemetry::Telemetry;
 
 /// Space/speed profile of a GPU-resident format.
@@ -109,7 +111,7 @@ impl GpuOnlyEngine {
         self.check(g, 2, 0)?;
         let trace =
             propagation::min_propagation(g, Some(source), |_, _, x| x + 1.0, place::single(), 1);
-        let run = self.account(g, &trace, "BFS", self.gpu.traversal_slot_ns, 2);
+        let run = self.account(g, &trace, "BFS", KernelClass::Traversal, 2);
         Ok((values_to_u32(&trace.values), run))
     }
 
@@ -122,7 +124,7 @@ impl GpuOnlyEngine {
     ) -> Result<(Vec<f64>, RunReport), BaselineError> {
         self.check(g, 8, self.profile.pagerank_edge_value_bytes)?;
         let trace = propagation::pagerank_propagation(g, 0.85, iterations, place::single(), 1);
-        let run = self.account(g, &trace, "PageRank", self.gpu.compute_slot_ns, 8);
+        let run = self.account(g, &trace, "PageRank", KernelClass::Compute, 8);
         Ok((trace.values.clone(), run))
     }
 
@@ -143,24 +145,41 @@ impl GpuOnlyEngine {
         g: &Csr,
         trace: &PropagationTrace,
         algorithm: &str,
-        slot_ns: f64,
+        class: KernelClass,
         wa_bpv: u64,
     ) -> RunReport {
         self.telemetry.start_run();
+        // One uncached lane, one stream: each superstep is a single
+        // whole-graph kernel with its inputs already resident — no PCI-E
+        // streaming at all, the defining property of these engines. The
+        // format's slower memory access shows up as extra lane-slots per
+        // edge (`kernel_multiplier`); launch overhead comes from the lane's
+        // timer, which never hides it because the kernels are sequential.
+        let mut lane =
+            GpuLane::uncached(GpuTimer::new(self.gpu.clone(), PcieConfig::gen3_x16(), 1));
         let mut t = SimTime::ZERO;
         for (j, sweep) in trace.sweeps.iter().enumerate() {
             let edges = sweep.total_edges();
-            let step = SimDuration::from_secs_f64(
-                edges as f64 * slot_ns * self.profile.kernel_multiplier / 1e9,
-            ) + self.gpu.launch_overhead;
-            record_sweep(&self.telemetry, j as u32, sweep.total_active(), edges, step);
-            t += step;
+            let cost = KernelCost {
+                class,
+                lane_slots: (edges as f64 * self.profile.kernel_multiplier).round() as u64,
+                atomic_ops: 0,
+            };
+            let k = lane.issue_kernel(cost, t, self.profile.name);
+            record_sweep(
+                &self.telemetry,
+                j as u32,
+                sweep.total_active(),
+                edges,
+                k.end - t,
+            );
+            t = k.end;
         }
         finish_run(
             &self.telemetry,
             self.profile.name,
             algorithm,
-            t - SimTime::ZERO,
+            lane.sync() - SimTime::ZERO,
             trace.sweeps.len() as u32,
             0,
             self.memory_needed(g, wa_bpv),

@@ -15,6 +15,8 @@
 
 use crate::propagation::{self, place, PropagationTrace};
 use crate::report::{finish_run, record_sweep, values_to_u32, BaselineError, RunReport};
+use gts_core::sweep::GpuLane;
+use gts_gpu::timer::{GpuTimer, KernelClass, KernelCost};
 use gts_gpu::{GpuConfig, PcieConfig};
 use gts_graph::{reference, Csr, EdgeList};
 use gts_sim::{SimDuration, SimTime};
@@ -104,12 +106,12 @@ impl Totem {
         &self.cfg
     }
 
-    /// Effective GPU nanoseconds per edge for a bulk (whole-partition)
-    /// kernel: TOTEM's big kernels saturate the device the same way GTS's
-    /// 32 concurrent page-kernels do, so the per-lane-slot rate divides by
-    /// the concurrency factor (≈1.5 lane-slots per edge under VWC).
-    fn gpu_edge_ns(&self, slot_ns: f64) -> f64 {
-        slot_ns * 1.5 / self.cfg.gpu.max_concurrent_kernels as f64
+    /// Lane-slots per edge of a bulk (whole-partition) kernel: TOTEM's big
+    /// kernels saturate the device the same way GTS's 32 concurrent
+    /// page-kernels do, so the ≈1.5 VWC lane-slots per edge spread over
+    /// the device's concurrent kernel slots.
+    fn bulk_slots_per_edge(&self) -> f64 {
+        1.5 / self.cfg.gpu.max_concurrent_kernels as f64
     }
 
     /// BFS from `source`.
@@ -126,7 +128,8 @@ impl Totem {
             g,
             &trace,
             "BFS",
-            self.gpu_edge_ns(self.cfg.gpu.traversal_slot_ns),
+            KernelClass::Traversal,
+            self.bulk_slots_per_edge(),
         )?;
         Ok((values_to_u32(&trace.values), run))
     }
@@ -145,7 +148,8 @@ impl Totem {
             g,
             &trace,
             "SSSP",
-            self.gpu_edge_ns(self.cfg.gpu.traversal_slot_ns),
+            KernelClass::Traversal,
+            self.bulk_slots_per_edge(),
         )?;
         Ok((values_to_u32(&trace.values), run))
     }
@@ -159,7 +163,8 @@ impl Totem {
             &sym,
             &trace,
             "CC",
-            self.gpu_edge_ns(self.cfg.gpu.traversal_slot_ns),
+            KernelClass::Traversal,
+            self.bulk_slots_per_edge(),
         )?;
         Ok((values_to_u32(&trace.values), run))
     }
@@ -177,7 +182,8 @@ impl Totem {
             g,
             &trace,
             "PageRank",
-            self.gpu_edge_ns(self.cfg.gpu.compute_slot_ns),
+            KernelClass::Compute,
+            self.bulk_slots_per_edge(),
         )?;
         Ok((trace.values.clone(), run))
     }
@@ -196,12 +202,14 @@ impl Totem {
         );
         // Forward + backward: the accumulation pass replays the levels in
         // reverse with the same volume, so time, traffic and superstep
-        // count all double.
+        // count all double. The heavier per-edge arithmetic is 1.5× the
+        // lane-slots of a plain traversal.
         let run = self.account_passes(
             g,
             &trace,
             "BC",
-            self.gpu_edge_ns(self.cfg.gpu.traversal_slot_ns * 1.5),
+            KernelClass::Traversal,
+            self.bulk_slots_per_edge() * 1.5,
             true,
         )?;
         let bc = reference::betweenness(g, &[source]);
@@ -265,9 +273,10 @@ impl Totem {
         g: &Csr,
         trace: &PropagationTrace,
         algorithm: &str,
-        gpu_edge_ns: f64,
+        class: KernelClass,
+        slots_per_edge: f64,
     ) -> Result<RunReport, BaselineError> {
-        self.account_passes(g, trace, algorithm, gpu_edge_ns, false)
+        self.account_passes(g, trace, algorithm, class, slots_per_edge, false)
     }
 
     /// Cost accounting. With `backward_pass`, a second pass of the same
@@ -278,33 +287,41 @@ impl Totem {
         g: &Csr,
         trace: &PropagationTrace,
         algorithm: &str,
-        gpu_edge_ns: f64,
+        class: KernelClass,
+        slots_per_edge: f64,
         backward_pass: bool,
     ) -> Result<RunReport, BaselineError> {
         let c = &self.cfg;
         self.telemetry.start_run();
+        // One uncached lane, one stream: the GPU partition runs one bulk
+        // kernel per superstep, then the boundary values cross PCI-E as a
+        // blocking chunk copy once the CPU partition has also finished.
+        let mut lane = GpuLane::uncached(GpuTimer::new(c.gpu.clone(), c.pcie.clone(), 1));
         let mut t = SimTime::ZERO;
         let mut pcie_bytes = 0u64;
         let mut steps = Vec::with_capacity(trace.sweeps.len());
         for sweep in &trace.sweeps {
             let gpu_load = &sweep.nodes[0];
             let cpu_load = &sweep.nodes[1];
-            let gpu_time = SimDuration::from_secs_f64(gpu_load.edges as f64 * gpu_edge_ns / 1e9)
-                + c.gpu.launch_overhead;
-            let cpu_time = SimDuration::from_secs_f64(
+            let cost = KernelCost {
+                class,
+                lane_slots: (gpu_load.edges as f64 * slots_per_edge).round() as u64,
+                atomic_ops: 0,
+            };
+            let k = lane.issue_kernel(cost, t, "bulk");
+            let cpu_end = t + SimDuration::from_secs_f64(
                 cpu_load.edges as f64 * c.cpu_per_edge_ns / c.threads as f64 / 1e9,
             );
             // Boundary values cross PCI-E both ways each superstep.
             let boundary = (gpu_load.remote_msgs_in + cpu_load.remote_msgs_in) * 8;
             pcie_bytes += boundary;
-            let sync = c.pcie.latency + c.pcie.chunk_bw.transfer_time(boundary);
-            let step = gpu_time.max(cpu_time) + sync;
+            let sync = lane.write_back(boundary, k.end.max(cpu_end));
             steps.push((
                 gpu_load.active_vertices + cpu_load.active_vertices,
                 gpu_load.edges + cpu_load.edges,
-                step,
+                sync.end - t,
             ));
-            t += step;
+            t = sync.end;
         }
         for (j, &(v, e, step)) in steps.iter().enumerate() {
             record_sweep(&self.telemetry, j as u32, v, e, step);

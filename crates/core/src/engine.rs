@@ -23,23 +23,22 @@
 //! Functional results are exact (kernels really run); time is accounted on
 //! the simulated clock (see `gts-gpu`).
 
-use crate::programs::{ExecMode, GtsProgram, KernelScratch, PageCtx, PageWork, SweepControl};
-use crate::report::{RunReport, SweepStats};
+use crate::programs::{ExecMode, GtsProgram, KernelScratch, SweepControl};
+use crate::report::RunReport;
 use crate::strategy::Strategy;
+use crate::sweep::account::{self, AccountCtx, SweepAccounting};
+use crate::sweep::ingest;
+use crate::sweep::kernels::{self, KernelEnv};
+use crate::sweep::plan::SweepPlan;
+use crate::sweep::schedule::{self, GpuLane};
 use gts_exec::ThreadPool;
-use gts_gpu::memory::{DeviceAlloc, DeviceMemory, GpuOom};
-use gts_gpu::timer::{GpuTimer, KernelCost};
+use gts_gpu::memory::GpuOom;
 use gts_gpu::warp::MicroTechnique;
 use gts_gpu::{GpuConfig, PcieConfig};
 use gts_sim::SimTime;
 use gts_storage::builder::GraphStore;
 use gts_storage::cache::{FifoCache, LruCache, PageCache, RandomCache};
-use gts_storage::device::StorageArray;
-use gts_storage::format::{ADJLIST_SZ_BYTES, OFF_BYTES, VID_BYTES};
-use gts_storage::mmbuf::MmBuf;
-use gts_storage::PageKind;
 use gts_telemetry::{keys, SpanCat, Telemetry, Track};
-use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
 /// Where the topology pages live before streaming.
@@ -94,7 +93,7 @@ pub struct GtsConfig {
     /// Where topology pages come from.
     pub storage: StorageLocation,
     /// MMBuf size as a percentage of the graph's page count when streaming
-    /// from secondary storage (Sec. 7.2 uses 20 %).
+    /// from secondary storage (Sec. 7.2 uses 20 %; 0 disables the MMBuf).
     pub mmbuf_percent: u32,
     /// Page-cache replacement policy.
     pub cache_policy: CachePolicyKind,
@@ -139,9 +138,11 @@ impl GtsConfig {
         }
     }
 
-    /// Check the configuration's invariants (what [`GtsConfigBuilder::build`]
-    /// enforces). Struct-literal construction stays possible for tests that
-    /// deliberately probe out-of-range values; the engine clamps at run time.
+    /// Check the configuration's invariants. Both construction paths route
+    /// through this one checker: [`GtsConfigBuilder::build`] (and
+    /// [`GtsBuilder::build`]) report violations as [`ConfigError`] values,
+    /// [`Gts::new`] panics with the same error's message — so the two
+    /// paths can never drift apart on what "valid" means.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.num_gpus < 1 {
             return Err(ConfigError::ZeroGpus);
@@ -152,7 +153,7 @@ impl GtsConfig {
         if self.host_threads < 1 {
             return Err(ConfigError::ZeroHostThreads);
         }
-        if !(1..=100).contains(&self.mmbuf_percent) {
+        if self.mmbuf_percent > 100 {
             return Err(ConfigError::MmbufPercentOutOfRange(self.mmbuf_percent));
         }
         if let Some(limit) = self.cache_limit_bytes {
@@ -177,8 +178,8 @@ pub enum ConfigError {
     /// `host_threads` was zero — kernel bodies need at least one host
     /// thread (`1` means exact serial execution).
     ZeroHostThreads,
-    /// `mmbuf_percent` outside `1..=100` (it is a percentage of the
-    /// graph's pages; Sec. 7.2 uses 20).
+    /// `mmbuf_percent` above 100 (it is a percentage of the graph's
+    /// pages; Sec. 7.2 uses 20, and 0 disables the MMBuf entirely).
     MmbufPercentOutOfRange(u32),
     /// A cache cap larger than the device itself can never take effect.
     CacheLimitExceedsDeviceMemory {
@@ -196,7 +197,7 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroStreams => write!(f, "num_streams must be >= 1"),
             ConfigError::ZeroHostThreads => write!(f, "host_threads must be >= 1"),
             ConfigError::MmbufPercentOutOfRange(p) => {
-                write!(f, "mmbuf_percent must be in 1..=100, got {p}")
+                write!(f, "mmbuf_percent must be in 0..=100, got {p}")
             }
             ConfigError::CacheLimitExceedsDeviceMemory {
                 limit,
@@ -249,7 +250,8 @@ impl GtsConfigBuilder {
         pcie: PcieConfig,
         /// Where topology pages come from.
         storage: StorageLocation,
-        /// MMBuf size as a percentage of the graph's pages (1..=100).
+        /// MMBuf size as a percentage of the graph's pages (0..=100;
+        /// 0 disables the MMBuf).
         mmbuf_percent: u32,
         /// Page-cache replacement policy.
         cache_policy: CachePolicyKind,
@@ -275,12 +277,23 @@ pub enum EngineError {
     /// A device-memory allocation failed — the graph's WA (or the
     /// streaming buffers) exceed GPU capacity under the chosen strategy.
     DeviceOom(GpuOom),
+    /// The store's RVT is corrupt: a Large Page's entry is missing its
+    /// `LP_RANGE` (the tuple Fig. 12 stores as −1 only for Small Pages),
+    /// so the planner cannot widen the vertex's chunk run.
+    CorruptRvt {
+        /// The Large Page whose RVT entry lacks an `LP_RANGE`.
+        pid: u64,
+    },
 }
 
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EngineError::DeviceOom(e) => write!(f, "{e}"),
+            EngineError::CorruptRvt { pid } => write!(
+                f,
+                "corrupt RVT: Large Page {pid} has no LP_RANGE in its entry"
+            ),
         }
     }
 }
@@ -290,24 +303,6 @@ impl std::error::Error for EngineError {}
 impl From<GpuOom> for EngineError {
     fn from(e: GpuOom) -> Self {
         EngineError::DeviceOom(e)
-    }
-}
-
-struct GpuState {
-    timer: GpuTimer,
-    cache: PageCache,
-    stream_cursor: usize,
-    // Held for their Drop-based accounting; the device-memory pool itself
-    // is owned here too so allocations stay alive exactly as long as the run.
-    _mem: DeviceMemory,
-    _allocs: Vec<DeviceAlloc>,
-}
-
-impl GpuState {
-    fn next_stream(&mut self) -> usize {
-        let s = self.stream_cursor;
-        self.stream_cursor = (self.stream_cursor + 1) % self.timer.num_streams();
-        s
     }
 }
 
@@ -346,7 +341,8 @@ impl GtsBuilder {
         pcie: PcieConfig,
         /// Where topology pages come from.
         storage: StorageLocation,
-        /// MMBuf size as a percentage of the graph's pages (1..=100).
+        /// MMBuf size as a percentage of the graph's pages (0..=100;
+        /// 0 disables the MMBuf).
         mmbuf_percent: u32,
         /// Page-cache replacement policy.
         cache_policy: CachePolicyKind,
@@ -387,11 +383,16 @@ impl Gts {
     /// Create an engine with the given configuration.
     ///
     /// # Panics
-    /// Panics on zero GPUs or streams. [`Gts::builder`] reports the same
-    /// conditions as [`ConfigError`] values instead.
+    /// Panics when [`GtsConfig::validate`] rejects the configuration —
+    /// the exact same [`ConfigError`] set [`Gts::builder`] reports as
+    /// values (zero GPUs/streams/host threads, `mmbuf_percent` above 100,
+    /// a cache cap beyond device memory). Callers that want the error as
+    /// a value use the builder; the CLI keeps one documented `expect` at
+    /// its boundary.
     pub fn new(cfg: GtsConfig) -> Self {
-        assert!(cfg.num_gpus >= 1, "need at least one GPU");
-        assert!(cfg.num_streams >= 1, "need at least one stream");
+        if let Err(e) = cfg.validate() {
+            panic!("invalid GtsConfig: {e}");
+        }
         Gts {
             cfg,
             telemetry: Telemetry::new(),
@@ -438,261 +439,108 @@ impl Gts {
             tel.name_thread(Track::new(keys::pid::ENGINE, 1), "cache");
         }
         let n = cfg.num_gpus;
-        let num_vertices = store.num_vertices();
-        let page_size = store.cfg().page_size as u64;
-        let wa_total = prog.wa_bytes_per_vertex() * num_vertices;
+        let wa_total = prog.wa_bytes_per_vertex() * store.num_vertices();
+        let wa_per_gpu = cfg.strategy.wa_bytes_per_gpu(wa_total, n);
         let ra_bpv = prog.ra_bytes_per_vertex();
         // The effective stream count is capped by the CUDA concurrent-kernel
         // limit the paper cites (32).
         let streams = cfg.num_streams.min(cfg.gpu.max_concurrent_kernels);
 
-        // --- Initialisation: device memory and buffers (Alg. 1 lines 2-3).
-        let mut gpus = Vec::with_capacity(n);
-        for _ in 0..n {
-            let mem = DeviceMemory::new(cfg.gpu.device_memory);
-            let mut allocs = Vec::new();
-            allocs.push(mem.alloc(cfg.strategy.wa_bytes_per_gpu(wa_total, n), "WABuf")?);
-            allocs.push(mem.alloc(streams as u64 * page_size, "SPBuf")?);
-            if !store.large_pids().is_empty() {
-                allocs.push(mem.alloc(streams as u64 * page_size, "LPBuf")?);
-            }
-            if ra_bpv > 0 {
-                let max_sp_vertices = page_size / (VID_BYTES + OFF_BYTES + ADJLIST_SZ_BYTES) as u64;
-                allocs.push(mem.alloc(streams as u64 * max_sp_vertices * ra_bpv, "RABuf")?);
-            }
-            allocs.push(mem.alloc(store.rvt().memory_bytes(), "RVT")?);
-            // Leftover memory becomes the topology cache (Sec. 3.3).
-            let mut cache_bytes = mem.free();
-            if let Some(cap) = cfg.cache_limit_bytes {
-                cache_bytes = cache_bytes.min(cap);
-            }
-            let cache_pages = (cache_bytes / page_size) as usize;
-            allocs.push(mem.alloc(cache_pages as u64 * page_size, "page cache")?);
-            let mut timer = GpuTimer::new(cfg.gpu.clone(), cfg.pcie.clone(), streams);
-            timer.attach_telemetry(tel.clone(), gpus.len() as u32);
-            gpus.push(GpuState {
-                timer,
-                cache: cfg.cache_policy.build(cache_pages),
-                stream_cursor: 0,
-                _mem: mem,
-                _allocs: allocs,
-            });
+        // --- Stage setup. One GpuLane per GPU: device-memory allocation
+        // (Alg. 1 lines 2-3), page cache, stream round-robin. One
+        // PageSource: secondary storage + MMBuf (lines 9-10, 18-26).
+        let mut lanes = Vec::with_capacity(n);
+        for i in 0..n {
+            lanes.push(GpuLane::for_engine(
+                cfg, store, streams, wa_per_gpu, ra_bpv, tel, i as u32,
+            )?);
         }
-
-        // Secondary storage + MMBuf (Alg. 1 lines 9-10, 18-26).
-        let mut array = match cfg.storage {
-            StorageLocation::InMemory => None,
-            StorageLocation::Ssds(k) => Some(StorageArray::ssds(k)),
-            StorageLocation::Hdds(k) => Some(StorageArray::hdds(k)),
-        };
-        if let Some(arr) = &mut array {
-            arr.attach_telemetry(tel.clone());
-        }
-        let mut mmbuf = MmBuf::with_fraction(store.num_pages(), cfg.mmbuf_percent);
+        let mut source = ingest::for_config(cfg, store.num_pages(), tel);
 
         // Total degree of every Large-Page vertex (K_PR_LP needs it).
-        let lp_degrees = lp_total_degrees(store);
+        let lp_degrees = kernels::lp_total_degrees(store);
 
         // --- Initial WA chunk copy (Alg. 1 line 11 / Fig. 2 step 1).
         // Each GPU has its own PCI-E link, so the broadcast is parallel.
         let mut t = SimTime::ZERO;
         let sweep_mode = prog.mode() == ExecMode::Sweep;
         if !sweep_mode {
-            t = broadcast_wa(&mut gpus, cfg.strategy.wa_bytes_per_gpu(wa_total, n), t);
+            t = schedule::broadcast_wa(&mut lanes, wa_per_gpu, t);
         }
 
         // Seed nextPIDSet (Alg. 1 lines 4-7).
-        let all_pages = || -> (Vec<u64>, Vec<u64>) {
-            (store.small_pids().to_vec(), store.large_pids().to_vec())
-        };
-        let (mut sp_pids, mut lp_pids) = match prog.start_vertex() {
-            Some(src) => {
-                split_and_expand(store, std::iter::once(store.pid_of_vertex(src)).collect())
-            }
-            None => all_pages(),
-        };
+        let mut plan = SweepPlan::seeded(store, prog.start_vertex())?;
 
         let mut scratch = KernelScratch::default();
         // Host threads execute kernel bodies (functional work only); the
-        // accounting below never runs on the pool, so simulated time is
+        // accounting stage never runs on the pool, so simulated time is
         // independent of `host_threads`.
         let pool = ThreadPool::new(cfg.host_threads);
-        let class = prog.class();
+        let ctx = AccountCtx {
+            store,
+            strategy: cfg.strategy,
+            num_gpus: n,
+            page_size: store.cfg().page_size as u64,
+            ra_bytes_per_vertex: ra_bpv,
+            class: prog.class(),
+            tel,
+            spans,
+        };
         let mut sweep: u32 = 0;
         let mut edges_traversed: u64 = 0;
 
-        // --- The repeat-until loop (Alg. 1 lines 13-31).
+        // --- The repeat-until loop (Alg. 1 lines 13-31): per sweep, run
+        // the functional kernels (phase A, host-parallel safe), account
+        // their simulated cost (phase B, strictly serial), then barrier
+        // and synchronise.
         loop {
             let sweep_wall = t;
             if sweep_mode {
                 // Each iteration re-initialises WA on device (nextPR reset;
                 // Eq. (1)'s first |WA|/c1 term).
-                t = broadcast_wa(&mut gpus, cfg.strategy.wa_bytes_per_gpu(wa_total, n), t);
+                t = schedule::broadcast_wa(&mut lanes, wa_per_gpu, t);
             }
-            let sweep_start = t;
-            let mut next: BTreeSet<u64> = BTreeSet::new();
-            let mut any_update = false;
-            let mut stats = SweepStats::default();
+            let mut acc = SweepAccounting::new(t);
 
             // SPs first, then LPs (reduces kernel switching, Sec. 3.2).
-            for phase in [&sp_pids, &lp_pids] {
-                // Phase A: functional kernel execution (once per page per
-                // sweep), possibly spread over host threads — atomically-
-                // commutative updates make any execution order equivalent
-                // to the per-GPU parallel execution.
+            for phase in plan.phases() {
                 let env = KernelEnv {
                     store,
                     lp_degrees: &lp_degrees,
                     technique: cfg.technique,
                     sweep,
                 };
-                let outcomes = run_page_kernels(prog, &pool, &env, phase, &mut scratch);
-                // Phase B: simulated-time accounting, strictly serial and
-                // in page order — identical for every `host_threads`.
-                for (&pid, outcome) in phase.iter().zip(&outcomes) {
-                    let work = &outcome.work;
-                    edges_traversed += work.active_edges;
-                    stats.active_vertices += work.active_vertices;
-                    stats.active_edges += work.active_edges;
-                    any_update |= work.updated;
-                    // Merge the kernel's local nextPIDSet; the BTreeSet
-                    // deduplicates globally.
-                    next.extend(outcome.next_pids.iter().copied());
-
-                    // Algorithm 1 checks cachedPIDMap BEFORE touching
-                    // storage (line 16 precedes lines 18-26): a page every
-                    // target GPU already caches must not generate SSD
-                    // traffic or MMBuf churn.
-                    let view = store.view(pid);
-                    let targets = cfg.strategy.targets(pid, n);
-                    let fanout = targets.len() as u64;
-                    let any_miss = targets.clone().any(|gi| !gpus[gi].cache.contains(pid));
-                    let data_ready = match &mut array {
-                        _ if !any_miss => sweep_start,
-                        None => sweep_start,
-                        Some(arr) => {
-                            if mmbuf.access(pid) {
-                                sweep_start
-                            } else {
-                                arr.fetch(pid, page_size, sweep_start).end
-                            }
-                        }
-                    };
-                    for (ti, gi) in targets.enumerate() {
-                        let cost = KernelCost {
-                            class,
-                            lane_slots: work.lane_slots,
-                            atomic_ops: per_target_atomic_ops(work.atomic_ops, fanout, ti),
-                        };
-                        stats.pages += 1;
-                        let g = &mut gpus[gi];
-                        let hit = g.cache.access(pid);
-                        if spans {
-                            // Zero-duration marker: cache probes are
-                            // bookkeeping, not time, but they explain why a
-                            // page did (not) generate PCI-E traffic.
-                            tel.record_span(
-                                Track::new(keys::pid::ENGINE, 1),
-                                SpanCat::Cache,
-                                format!("{} p{pid} g{gi}", if hit { "hit" } else { "miss" }),
-                                sweep_start,
-                                sweep_start,
-                            );
-                        }
-                        if hit {
-                            stats.cache_hits += 1;
-                            let stream = g.next_stream();
-                            g.timer
-                                .stream_kernel(stream, cost, sweep_start, "K(cached)");
-                        } else {
-                            let stream = g.next_stream();
-                            let c = g.timer.stream_h2d(stream, page_size, data_ready, "SP/LP");
-                            let mut ready = c.end;
-                            if ra_bpv > 0 {
-                                let ra_bytes = match view.kind() {
-                                    PageKind::Small => view.count() as u64 * ra_bpv,
-                                    // "RAj for LP is a subvector of a single
-                                    // attribute value" (Sec. 3.4).
-                                    PageKind::Large => ra_bpv,
-                                };
-                                ready = g.timer.stream_h2d(stream, ra_bytes, ready, "RA").end;
-                            }
-                            g.timer.stream_kernel(stream, cost, ready, "K");
-                        }
-                    }
-                }
+                let outcomes = kernels::run_page_kernels(prog, &pool, &env, phase, &mut scratch);
+                acc.account_phase(&ctx, &mut lanes, source.as_mut(), phase, &outcomes);
             }
 
-            // Barrier: all GPUs finish the sweep (Alg. 1 line 27).
-            for g in &gpus {
-                t = t.max(g.timer.sync());
-            }
-
-            // Copy nextPIDSet / cachedPIDMap back (lines 29-30): one small
-            // bitmap per GPU.
+            // Barrier: all GPUs finish the sweep (Alg. 1 line 27)...
+            t = account::barrier(&lanes, t);
             if !sweep_mode {
-                let bitmap_bytes = store.num_pages().div_ceil(8).max(1);
-                let start = t;
-                for g in &mut gpus {
-                    let s = g.timer.chunk_d2h(2 * bitmap_bytes, start);
-                    t = t.max(s.end);
-                }
+                // ...then copy nextPIDSet / cachedPIDMap back (lines
+                // 29-30): one small bitmap pair per GPU.
+                t = account::frontier_copy_back(&mut lanes, store.num_pages(), t);
+            } else {
+                // ...or the per-sweep WA write-back for sweep programs
+                // (Fig. 2 step 3; Eq. (1)'s second |WA|/c1 + tsync terms).
+                t = account::sync_wa(&mut lanes, cfg.strategy, cfg.p2p_sync, wa_per_gpu, t);
             }
 
-            // Per-sweep WA synchronisation for sweep programs (Fig. 2
-            // step 3; Eq. (1)'s second |WA|/c1 and tsync terms).
-            if sweep_mode {
-                t = self.sync_wa(&mut gpus, wa_total, t);
-            }
-
-            // One definition of a sweep's extent, shared by the counter
-            // registry and the trace: `sweep_wall..t` brackets Alg. 1
-            // lines 13-30 — the per-sweep WA broadcast, page streaming and
-            // kernels, the barrier, and the nextPIDSet/cachedPIDMap/WA
-            // write-backs. `SWEEP_ELAPSED_NS` and the sweep span are set
-            // from the same two instants, so trace and registry agree.
+            edges_traversed += acc.edges;
+            let mut stats = acc.stats;
             stats.elapsed = t - sweep_wall;
-            tel.add(keys::sweep(sweep, keys::SWEEP_PAGES), stats.pages);
-            tel.add(keys::sweep(sweep, keys::SWEEP_CACHE_HITS), stats.cache_hits);
-            tel.add(
-                keys::sweep(sweep, keys::SWEEP_ACTIVE_VERTICES),
-                stats.active_vertices,
-            );
-            tel.add(
-                keys::sweep(sweep, keys::SWEEP_ACTIVE_EDGES),
-                stats.active_edges,
-            );
-            tel.set(
-                keys::sweep(sweep, keys::SWEEP_ELAPSED_NS),
-                stats.elapsed.as_nanos(),
-            );
+            account::emit_sweep(tel, spans, sweep, &stats, sweep_wall, t);
 
-            if spans {
-                tel.record_span(
-                    Track::new(keys::pid::ENGINE, 0),
-                    SpanCat::Sweep,
-                    format!("sweep {sweep}"),
-                    sweep_wall,
-                    t,
-                );
-            }
-
-            let frontier_empty = next.is_empty();
-            match prog.end_sweep(sweep, frontier_empty, any_update) {
+            match prog.end_sweep(sweep, acc.next.is_empty(), acc.any_update) {
                 SweepControl::Done => break,
                 SweepControl::Continue => {
-                    if sweep_mode {
-                        // The full-page lists are invariant: keep them.
-                    } else {
-                        let (s, l) = split_and_expand(store, next);
-                        sp_pids = s;
-                        lp_pids = l;
+                    if !sweep_mode {
+                        plan = SweepPlan::from_marked(store, acc.next)?;
                     }
+                    // Sweep programs keep the invariant full-page plan.
                 }
                 SweepControl::ContinueWith(pids) => {
-                    let (s, l) = split_and_expand(store, pids.into_iter().collect());
-                    sp_pids = s;
-                    lp_pids = l;
+                    plan = SweepPlan::from_marked(store, pids.into_iter().collect())?;
                 }
             }
             sweep += 1;
@@ -701,7 +549,7 @@ impl Gts {
         // Final WA write-back for traversal programs (the cost models note
         // this is negligible, but it is part of the data flow).
         if !sweep_mode {
-            t = self.sync_wa(&mut gpus, wa_total, t);
+            t = account::sync_wa(&mut lanes, cfg.strategy, cfg.p2p_sync, wa_per_gpu, t);
         }
 
         // --- Flush every component's counters into the registry and
@@ -710,26 +558,16 @@ impl Gts {
         // cache serves — no parallel hand-maintained counters to drift.
         let mut hits = 0u64;
         let mut misses = 0u64;
-        for (i, g) in gpus.iter().enumerate() {
-            let i = i as u32;
-            hits += g.cache.hits();
-            misses += g.cache.misses();
-            g.timer.flush_to(tel, i);
-            tel.add(keys::gpu(i, keys::GPU_CACHE_HITS), g.cache.hits());
-            tel.add(keys::gpu(i, keys::GPU_CACHE_MISSES), g.cache.misses());
-            tel.set(
-                keys::gpu(i, keys::GPU_CACHE_CAPACITY_PAGES),
-                g.cache.capacity() as u64,
-            );
+        for (i, lane) in lanes.iter().enumerate() {
+            hits += lane.cache().hits();
+            misses += lane.cache().misses();
+            lane.flush_to(tel, i as u32);
         }
         tel.add(keys::CACHE_HITS, hits);
         tel.add(keys::CACHE_MISSES, misses);
         tel.add(keys::PAGES_STREAMED, misses);
         tel.add(keys::EDGES_TRAVERSED, edges_traversed);
-        mmbuf.flush_to(tel);
-        if let Some(arr) = &array {
-            arr.flush_to(tel);
-        }
+        source.flush_to(tel);
         tel.set(keys::RUN_SWEEPS, (sweep + 1) as u64);
         tel.set(keys::RUN_GPUS, n as u64);
         tel.set(keys::RUN_ELAPSED_NS, (t - SimTime::ZERO).as_nanos());
@@ -744,170 +582,6 @@ impl Gts {
         }
         Ok(RunReport::from_telemetry(tel, prog.name(), "GTS"))
     }
-
-    /// WA write-back: Strategy-P merges replicas peer-to-peer onto the
-    /// master GPU and copies once (Fig. 5a steps 3-4); the naive variant
-    /// and Strategy-S perform N direct copies, which contend on the host
-    /// side and therefore chain (Sec. 4.2).
-    fn sync_wa(&self, gpus: &mut [GpuState], wa_total: u64, t: SimTime) -> SimTime {
-        let n = gpus.len();
-        let per_gpu = self.cfg.strategy.wa_bytes_per_gpu(wa_total, n);
-        if n == 1 {
-            return gpus[0].timer.chunk_d2h(per_gpu, t).end.max(t);
-        }
-        match (self.cfg.strategy, self.cfg.p2p_sync) {
-            (Strategy::Performance, true) => {
-                // Peer-to-peer merge: every non-master GPU pushes its WA to
-                // the master in parallel on its own P2P engine...
-                let mut merged = t;
-                for g in gpus.iter_mut().skip(1) {
-                    merged = merged.max(g.timer.p2p_copy(per_gpu, t).end);
-                }
-                // ...then one chunk copy to host.
-                gpus[0].timer.chunk_d2h(per_gpu, merged).end
-            }
-            _ => {
-                // Naive: N serialised GPU→host copies (host-side WA buffer
-                // is shared, so the writes contend).
-                let mut end = t;
-                for g in gpus.iter_mut() {
-                    end = g.timer.chunk_d2h(per_gpu, end).end;
-                }
-                end
-            }
-        }
-    }
-}
-
-/// Result of one page's functional kernel execution (phase A of a sweep):
-/// everything the serial accounting pass (phase B) needs.
-struct PageOutcome {
-    work: PageWork,
-    next_pids: Vec<u64>,
-}
-
-/// Sweep-invariant inputs of the functional kernel phase.
-struct KernelEnv<'a> {
-    store: &'a GraphStore,
-    lp_degrees: &'a HashMap<u64, u64>,
-    technique: MicroTechnique,
-    sweep: u32,
-}
-
-/// Execute the functional kernels for `pids` (phase A of a sweep). When the
-/// program exposes a [`crate::programs::SharedKernel`] and more than one
-/// host thread is configured, pages run concurrently on the pool: outcomes
-/// still come back in page order, and every shared-state update the kernels
-/// perform commutes exactly, so the program state and the returned
-/// [`PageWork`]s are bit-identical to serial execution. Simulated-time
-/// accounting happens strictly afterwards, serially and in page order
-/// (phase B), so host parallelism can never change a simulated number.
-fn run_page_kernels(
-    prog: &mut dyn GtsProgram,
-    pool: &ThreadPool,
-    env: &KernelEnv<'_>,
-    pids: &[u64],
-    scratch: &mut KernelScratch,
-) -> Vec<PageOutcome> {
-    let ctx_for = |pid: u64| {
-        let view = env.store.view(pid);
-        let lp_total_degree = if view.kind() == PageKind::Large {
-            *env.lp_degrees.get(&view.lp_vid()).unwrap_or(&0)
-        } else {
-            0
-        };
-        PageCtx {
-            view,
-            pid,
-            rvt: env.store.rvt(),
-            technique: env.technique,
-            sweep: env.sweep,
-            lp_total_degree,
-        }
-    };
-    if pool.threads() > 1 && pids.len() > 1 && prog.shared_kernel().is_some() {
-        let kernel = prog.shared_kernel().expect("checked above");
-        pool.par_map_init(pids, KernelScratch::default, |scratch, _, &pid| {
-            scratch.reset();
-            let work = kernel.process_page_shared(&ctx_for(pid), scratch);
-            PageOutcome {
-                work,
-                next_pids: std::mem::take(&mut scratch.next_pids),
-            }
-        })
-        .0
-    } else {
-        pids.iter()
-            .map(|&pid| {
-                let work = prog.process_page(&ctx_for(pid), scratch);
-                PageOutcome {
-                    work,
-                    next_pids: std::mem::take(&mut scratch.next_pids),
-                }
-            })
-            .collect()
-    }
-}
-
-/// Split `total` atomic operations across `fanout` replica GPUs so the
-/// per-target shares always sum back to `total`: every target gets the
-/// truncated quotient and the first `total % fanout` targets one extra op.
-/// (Truncating division alone under-accounted atomic work whenever the
-/// fanout did not divide it — 7 atomics across 2 GPUs silently lost one.)
-fn per_target_atomic_ops(total: u64, fanout: u64, target_index: usize) -> u64 {
-    let fanout = fanout.max(1);
-    total / fanout + u64::from((target_index as u64) < total % fanout)
-}
-
-/// Copy `bytes` to every GPU in parallel (each has its own PCI-E link)
-/// starting at `t`; returns when the slowest copy lands.
-fn broadcast_wa(gpus: &mut [GpuState], bytes: u64, t: SimTime) -> SimTime {
-    let mut end = t;
-    for g in gpus.iter_mut() {
-        end = end.max(g.timer.chunk_h2d(bytes, t).end);
-    }
-    end
-}
-
-/// Total adjacency length of every Large-Page vertex, keyed by vertex ID.
-fn lp_total_degrees(store: &GraphStore) -> HashMap<u64, u64> {
-    let mut map: HashMap<u64, u64> = HashMap::new();
-    for &pid in store.large_pids() {
-        let v = store.view(pid);
-        *map.entry(v.lp_vid()).or_insert(0) += v.count() as u64;
-    }
-    map
-}
-
-/// Expand a marked page set into (SP pids, LP pids), widening each
-/// Large-Page reference to the vertex's whole chunk run: a record ID always
-/// points at the *first* chunk, but a traversal must stream them all.
-fn split_and_expand(store: &GraphStore, marked: BTreeSet<u64>) -> (Vec<u64>, Vec<u64>) {
-    let mut sps = Vec::new();
-    let mut lps = Vec::new();
-    for pid in marked {
-        match store.view(pid).kind() {
-            PageKind::Small => sps.push(pid),
-            PageKind::Large => {
-                let range = store
-                    .rvt()
-                    .entry(pid)
-                    .lp_range
-                    .expect("large page has an LP range");
-                for p in pid..=pid + range as u64 {
-                    lps.push(p);
-                }
-            }
-        }
-    }
-    // Several chunks of one run may have been marked independently (each
-    // record ID points at the first chunk, but ContinueWith lists replay
-    // every chunk); their expansions overlap, and a page must be processed
-    // at most once per sweep — kernels like BC's backward accumulation are
-    // not idempotent.
-    lps.sort_unstable();
-    lps.dedup();
-    (sps, lps)
 }
 
 #[cfg(test)]
@@ -1076,7 +750,7 @@ mod tests {
             Gts::new(cfg).run(&store, &mut bfs).unwrap()
         };
         let cold = run(0);
-        let hot = run(u64::MAX / 2);
+        let hot = run(GpuConfig::titan_x().device_memory);
         assert_eq!(cold.cache_hits, 0);
         assert!(hot.cache_hits > 0, "repeat page visits must hit the cache");
         assert!(hot.pages_streamed < cold.pages_streamed);
@@ -1158,9 +832,14 @@ mod tests {
                 .host_threads,
             4
         );
+        // 0 is valid — it disables the MMBuf; only >100 is rejected.
         assert_eq!(
-            GtsConfig::builder().mmbuf_percent(0).build().unwrap_err(),
-            ConfigError::MmbufPercentOutOfRange(0)
+            GtsConfig::builder()
+                .mmbuf_percent(0)
+                .build()
+                .unwrap()
+                .mmbuf_percent,
+            0
         );
         assert_eq!(
             GtsConfig::builder().mmbuf_percent(101).build().unwrap_err(),
@@ -1257,9 +936,11 @@ mod tests {
 
     #[test]
     fn cache_limit_beyond_free_memory_is_clamped() {
+        // The whole device is a valid cap, but the streaming buffers eat
+        // into it first: the cache gets the (smaller) leftover.
         let store = small_store();
         let cfg = GtsConfig {
-            cache_limit_bytes: Some(u64::MAX),
+            cache_limit_bytes: Some(GpuConfig::titan_x().device_memory),
             ..GtsConfig::default()
         };
         let mut bfs = Bfs::new(store.num_vertices(), 0);
@@ -1345,30 +1026,40 @@ mod tests {
     }
 
     #[test]
-    fn per_target_atomic_ops_sum_to_the_total_for_odd_fanouts() {
-        for total in [0u64, 1, 6, 7, 13, 101, 1_000_003] {
-            for fanout in [1u64, 2, 3, 4, 5, 7, 16] {
-                let shares: Vec<u64> = (0..fanout as usize)
-                    .map(|ti| per_target_atomic_ops(total, fanout, ti))
-                    .collect();
-                assert_eq!(
-                    shares.iter().sum::<u64>(),
-                    total,
-                    "total={total} fanout={fanout} shares={shares:?}"
-                );
-                // The split is as even as possible: shares differ by <= 1.
-                let max = shares.iter().max().unwrap();
-                let min = shares.iter().min().unwrap();
-                assert!(max - min <= 1, "uneven split {shares:?}");
-            }
+    #[should_panic(expected = "mmbuf_percent must be in 0..=100, got 200")]
+    fn gts_new_panics_with_the_builders_error_message() {
+        // Gts::new routes through GtsConfig::validate: the panic carries
+        // the exact ConfigError message the builder would return.
+        let cfg = GtsConfig {
+            mmbuf_percent: 200,
+            ..GtsConfig::default()
+        };
+        let _ = Gts::new(cfg);
+    }
+
+    #[test]
+    fn truncated_rvt_surfaces_as_corrupt_rvt_error() {
+        // A star graph whose hub overflows one page: Large Pages exist.
+        let n = 600u32;
+        let mut edges: Vec<(u32, u32)> = (1..n).map(|v| (0, v)).collect();
+        edges.extend((1..n).map(|v| (v, 0)));
+        let mut store = build_graph_store(
+            &gts_graph::EdgeList::new(n, edges),
+            PageFormatConfig::new(PhysicalIdConfig::ORIGINAL, 1024),
+        )
+        .unwrap();
+        let lp = store.large_pids()[0];
+        // Truncate the RVT entry: drop the LP_RANGE the planner needs.
+        let mut entry = store.rvt().entry(lp);
+        entry.lp_range = None;
+        store.rvt_mut().set_entry(lp, entry);
+        // BFS from the hub must hit the corrupt entry when it widens the
+        // chunk run — as a typed error, not a panic.
+        let mut bfs = Bfs::new(store.num_vertices(), 0);
+        match Gts::new(GtsConfig::default()).run(&store, &mut bfs) {
+            Err(EngineError::CorruptRvt { pid }) => assert_eq!(pid, lp),
+            other => panic!("expected CorruptRvt, got {other:?}"),
         }
-        // The truncating-division bug this replaces: 7 across 2 lost an op.
-        assert_eq!(
-            per_target_atomic_ops(7, 2, 0) + per_target_atomic_ops(7, 2, 1),
-            7
-        );
-        // Degenerate fanout 0 is clamped, not a division fault.
-        assert_eq!(per_target_atomic_ops(5, 0, 0), 5);
     }
 
     #[test]

@@ -1,4 +1,8 @@
 #![warn(missing_docs)]
+// The sweep-pipeline decomposition must stick: any function growing back
+// toward the old 320-line `Gts::run` monolith trips this lint (threshold
+// in clippy.toml at the workspace root).
+#![warn(clippy::too_many_lines)]
 
 //! # gts-core — the GTS engine
 //!
@@ -68,6 +72,7 @@ pub mod programs;
 pub mod queries;
 pub mod report;
 pub mod strategy;
+pub mod sweep;
 
 pub use engine::{ConfigError, EngineError, Gts, GtsBuilder, GtsConfig, StorageLocation};
 pub use gts_telemetry::Telemetry;

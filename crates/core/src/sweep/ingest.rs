@@ -1,0 +1,180 @@
+//! Stage 2 — ingest: when is a page's data ready on the host?
+//!
+//! Algorithm 1 lines 15-26: if the page sits in the main-memory buffer
+//! (MMBuf) it is ready immediately; otherwise it is fetched from the
+//! secondary-storage array first (and admitted to the MMBuf). Crucially,
+//! line 16 precedes all of that: a page that *every* target GPU already
+//! caches generates no storage traffic and no MMBuf churn at all — that
+//! rule lives here, in exactly one place, as the `all_cached` fast path.
+//!
+//! A [`PageSource`] answers only the "when" question on the simulated
+//! clock; scheduling the resulting H2D copies is the next stage
+//! ([`crate::sweep::schedule`]).
+
+use crate::engine::{GtsConfig, StorageLocation};
+use gts_sim::SimTime;
+use gts_storage::device::StorageArray;
+use gts_storage::mmbuf::MmBuf;
+use gts_telemetry::Telemetry;
+
+/// Where streamed pages come from, on the simulated clock.
+pub trait PageSource {
+    /// The instant page `pid`'s bytes are available on the host for H2D
+    /// scheduling. `all_cached` is the Alg. 1 line-16 predicate: every
+    /// target GPU holds the page, so the source must not be touched (no
+    /// storage fetch, no MMBuf admission).
+    fn page_ready(
+        &mut self,
+        pid: u64,
+        page_bytes: u64,
+        all_cached: bool,
+        sweep_start: SimTime,
+    ) -> SimTime;
+
+    /// Flush the source's counters (MMBuf hits/misses, I/O bytes) into
+    /// `tel`'s registry at end of run.
+    fn flush_to(&self, tel: &Telemetry);
+}
+
+/// The whole graph is resident in main memory (the paper's in-memory
+/// setting): every page is ready the moment the sweep starts.
+#[derive(Debug, Default)]
+pub struct InMemorySource;
+
+impl PageSource for InMemorySource {
+    fn page_ready(&mut self, _pid: u64, _bytes: u64, _all_cached: bool, start: SimTime) -> SimTime {
+        start
+    }
+
+    fn flush_to(&self, _tel: &Telemetry) {}
+}
+
+/// Pages stream from a striped storage array through the MMBuf
+/// (Alg. 1 lines 9-10, 18-26).
+#[derive(Debug)]
+pub struct StorageSource {
+    array: StorageArray,
+    mmbuf: MmBuf,
+}
+
+impl StorageSource {
+    /// A source reading from `array` with `mmbuf` in front.
+    pub fn new(array: StorageArray, mmbuf: MmBuf) -> StorageSource {
+        StorageSource { array, mmbuf }
+    }
+
+    /// The underlying MMBuf (hit/miss statistics).
+    pub fn mmbuf(&self) -> &MmBuf {
+        &self.mmbuf
+    }
+
+    /// The underlying storage array (bytes-read statistics).
+    pub fn array(&self) -> &StorageArray {
+        &self.array
+    }
+}
+
+impl PageSource for StorageSource {
+    fn page_ready(&mut self, pid: u64, bytes: u64, all_cached: bool, start: SimTime) -> SimTime {
+        // Alg. 1 line 16: cached-everywhere pages skip storage entirely.
+        if all_cached {
+            return start;
+        }
+        if self.mmbuf.access(pid) {
+            start
+        } else {
+            self.array.fetch(pid, bytes, start).end
+        }
+    }
+
+    fn flush_to(&self, tel: &Telemetry) {
+        self.mmbuf.flush_to(tel);
+        self.array.flush_to(tel);
+    }
+}
+
+/// Build the source the configuration asks for, telemetry attached.
+/// `num_pages` sizes the MMBuf as `cfg.mmbuf_percent` of the graph.
+pub fn for_config(cfg: &GtsConfig, num_pages: u64, tel: &Telemetry) -> Box<dyn PageSource> {
+    let array = match cfg.storage {
+        StorageLocation::InMemory => return Box::new(InMemorySource),
+        StorageLocation::Ssds(k) => StorageArray::ssds(k),
+        StorageLocation::Hdds(k) => StorageArray::hdds(k),
+    };
+    let mut array = array;
+    array.attach_telemetry(tel.clone());
+    Box::new(StorageSource::new(
+        array,
+        MmBuf::with_fraction(num_pages, cfg.mmbuf_percent),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAGE: u64 = 4096;
+
+    #[test]
+    fn in_memory_pages_are_always_ready_at_sweep_start() {
+        let mut src = InMemorySource;
+        let start = SimTime::ZERO + gts_sim::SimDuration::from_nanos(500);
+        for pid in 0..4 {
+            assert_eq!(src.page_ready(pid, PAGE, false, start), start);
+        }
+        let tel = Telemetry::new();
+        src.flush_to(&tel);
+        assert!(tel.counters().is_empty(), "nothing to flush");
+    }
+
+    #[test]
+    fn fully_cached_pages_generate_zero_storage_traffic() {
+        let mut src = StorageSource::new(StorageArray::ssds(2), MmBuf::new(8));
+        let start = SimTime::ZERO;
+        // Line 16: every target GPU caches the page — the source must not
+        // be consulted, so no I/O bytes and no MMBuf admission.
+        assert_eq!(src.page_ready(7, PAGE, true, start), start);
+        assert_eq!(src.array().bytes_read(), 0);
+        assert_eq!(src.mmbuf().hits() + src.mmbuf().misses(), 0);
+        assert!(!src.mmbuf().contains(7), "must not admit a skipped page");
+    }
+
+    #[test]
+    fn miss_fetches_from_storage_then_mmbuf_serves_the_repeat() {
+        let mut src = StorageSource::new(StorageArray::ssds(1), MmBuf::new(8));
+        let start = SimTime::ZERO;
+        // Cold: the page comes off the drive — ready strictly later.
+        let ready = src.page_ready(3, PAGE, false, start);
+        assert!(ready > start, "SSD fetch takes simulated time");
+        assert_eq!(src.array().bytes_read(), PAGE);
+        assert_eq!(src.mmbuf().misses(), 1);
+        // Warm: the MMBuf serves it — ready immediately, no extra I/O.
+        let again = src.page_ready(3, PAGE, false, start);
+        assert_eq!(again, start);
+        assert_eq!(src.array().bytes_read(), PAGE);
+        assert_eq!(src.mmbuf().hits(), 1);
+    }
+
+    #[test]
+    fn flush_reports_mmbuf_and_io_counters() {
+        let mut src = StorageSource::new(StorageArray::ssds(1), MmBuf::new(8));
+        src.page_ready(0, PAGE, false, SimTime::ZERO);
+        src.page_ready(0, PAGE, false, SimTime::ZERO);
+        let tel = Telemetry::new();
+        src.flush_to(&tel);
+        assert_eq!(tel.counter(gts_telemetry::keys::MMBUF_HITS), 1);
+        assert_eq!(tel.counter(gts_telemetry::keys::MMBUF_MISSES), 1);
+        assert_eq!(tel.counter(gts_telemetry::keys::IO_BYTES_READ), PAGE);
+    }
+
+    #[test]
+    fn zero_capacity_mmbuf_always_fetches() {
+        let mut src = StorageSource::new(StorageArray::ssds(1), MmBuf::new(0));
+        for _ in 0..3 {
+            let r = src.page_ready(1, PAGE, false, SimTime::ZERO);
+            assert!(r > SimTime::ZERO);
+        }
+        assert_eq!(src.array().bytes_read(), 3 * PAGE);
+        assert_eq!(src.mmbuf().hits(), 0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Stage 1 — planning: which pages the next sweep streams, in what order.
+//!
+//! A [`SweepPlan`] is the engine's `nextPIDSet` materialised as two sorted
+//! page lists: Small Pages first, then Large Pages (Sec. 3.2's phase
+//! separation — batching by kind reduces kernel switching). Planning is
+//! pure — it reads the store's RVT and page kinds, touches no clock and
+//! no telemetry — so it can be tested exhaustively in isolation.
+
+use crate::engine::EngineError;
+use gts_storage::builder::GraphStore;
+use gts_storage::PageKind;
+use std::collections::BTreeSet;
+
+/// The pages one sweep will stream: SP phase then LP phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepPlan {
+    sp_pids: Vec<u64>,
+    lp_pids: Vec<u64>,
+}
+
+impl SweepPlan {
+    /// Plan a full sweep over every page (sweep programs stream the whole
+    /// graph each iteration, Alg. 1 line 14).
+    pub fn full(store: &GraphStore) -> SweepPlan {
+        SweepPlan {
+            sp_pids: store.small_pids().to_vec(),
+            lp_pids: store.large_pids().to_vec(),
+        }
+    }
+
+    /// Seed the first sweep (Alg. 1 lines 4-7): traversal programs start
+    /// from the source vertex's page, sweep programs from every page.
+    pub fn seeded(store: &GraphStore, start_vertex: Option<u64>) -> Result<SweepPlan, EngineError> {
+        match start_vertex {
+            Some(src) => {
+                SweepPlan::from_marked(store, std::iter::once(store.pid_of_vertex(src)).collect())
+            }
+            None => Ok(SweepPlan::full(store)),
+        }
+    }
+
+    /// Expand a marked page set into a plan, widening each Large-Page
+    /// reference to the vertex's whole chunk run: a record ID always points
+    /// at the *first* chunk, but a traversal must stream them all.
+    ///
+    /// Fails with [`EngineError::CorruptRvt`] if a Large Page's RVT entry
+    /// is missing its `LP_RANGE` (the tuple the paper's Fig. 12 stores as
+    /// −1 only for Small Pages) — a store corruption the engine surfaces
+    /// instead of panicking.
+    pub fn from_marked(
+        store: &GraphStore,
+        marked: BTreeSet<u64>,
+    ) -> Result<SweepPlan, EngineError> {
+        let mut sps = Vec::new();
+        let mut lps = Vec::new();
+        for pid in marked {
+            match store.view(pid).kind() {
+                PageKind::Small => sps.push(pid),
+                PageKind::Large => {
+                    let range = store
+                        .rvt()
+                        .entry(pid)
+                        .lp_range
+                        .ok_or(EngineError::CorruptRvt { pid })?;
+                    for p in pid..=pid + range as u64 {
+                        lps.push(p);
+                    }
+                }
+            }
+        }
+        // Several chunks of one run may have been marked independently
+        // (each record ID points at the first chunk, but ContinueWith
+        // lists replay every chunk); their expansions overlap, and a page
+        // must be processed at most once per sweep — kernels like BC's
+        // backward accumulation are not idempotent.
+        lps.sort_unstable();
+        lps.dedup();
+        Ok(SweepPlan {
+            sp_pids: sps,
+            lp_pids: lps,
+        })
+    }
+
+    /// The Small-Page phase, ascending.
+    pub fn sp_pids(&self) -> &[u64] {
+        &self.sp_pids
+    }
+
+    /// The Large-Page phase, ascending.
+    pub fn lp_pids(&self) -> &[u64] {
+        &self.lp_pids
+    }
+
+    /// The two phases in streaming order: SPs first, then LPs.
+    pub fn phases(&self) -> [&[u64]; 2] {
+        [&self.sp_pids, &self.lp_pids]
+    }
+
+    /// Total pages the sweep will touch.
+    pub fn num_pages(&self) -> usize {
+        self.sp_pids.len() + self.lp_pids.len()
+    }
+
+    /// True when nothing is marked.
+    pub fn is_empty(&self) -> bool {
+        self.sp_pids.is_empty() && self.lp_pids.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gts_graph::EdgeList;
+    use gts_storage::{build_graph_store, PageFormatConfig, PhysicalIdConfig};
+
+    /// A star graph whose hub adjacency overflows one page: vertex 0
+    /// points at every other vertex, so it becomes a Large-Page chunk run.
+    fn star_store() -> GraphStore {
+        let n = 600u32;
+        let mut edges: Vec<(u32, u32)> = (1..n).map(|v| (0, v)).collect();
+        edges.extend((1..n).map(|v| (v, 0)));
+        build_graph_store(
+            &EdgeList::new(n, edges),
+            PageFormatConfig::new(PhysicalIdConfig::ORIGINAL, 1024),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_sorted() {
+        let store = star_store();
+        let marked: BTreeSet<u64> = store
+            .small_pids()
+            .iter()
+            .chain(store.large_pids().iter())
+            .copied()
+            .collect();
+        let a = SweepPlan::from_marked(&store, marked.clone()).unwrap();
+        let b = SweepPlan::from_marked(&store, marked).unwrap();
+        assert_eq!(a, b, "same marked set must produce the same plan");
+        assert!(a.sp_pids().windows(2).all(|w| w[0] < w[1]));
+        assert!(a.lp_pids().windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(a.num_pages(), a.sp_pids().len() + a.lp_pids().len());
+    }
+
+    #[test]
+    fn full_plan_covers_every_page_sp_then_lp() {
+        let store = star_store();
+        let plan = SweepPlan::full(&store);
+        assert_eq!(plan.sp_pids(), store.small_pids());
+        assert_eq!(plan.lp_pids(), store.large_pids());
+        assert_eq!(plan.num_pages() as u64, store.num_pages());
+        assert!(!plan.is_empty());
+        assert_eq!(plan.phases(), [store.small_pids(), store.large_pids()]);
+    }
+
+    #[test]
+    fn marking_one_lp_chunk_widens_to_the_whole_run() {
+        let store = star_store();
+        let lps = store.large_pids();
+        assert!(lps.len() >= 2, "hub must span multiple Large Pages");
+        let first = lps[0];
+        // Marking only the first chunk must pull in the entire run...
+        let plan = SweepPlan::from_marked(&store, std::iter::once(first).collect()).unwrap();
+        let run_len = store.rvt().entry(first).lp_range.unwrap() as usize + 1;
+        let want: Vec<u64> = (first..first + run_len as u64).collect();
+        assert_eq!(plan.lp_pids(), want.as_slice());
+        assert!(plan.sp_pids().is_empty());
+        // ...and marking several chunks of the same run must not duplicate.
+        let marked: BTreeSet<u64> = want.iter().copied().collect();
+        let plan2 = SweepPlan::from_marked(&store, marked).unwrap();
+        assert_eq!(plan2.lp_pids(), want.as_slice());
+    }
+
+    #[test]
+    fn seeded_traversal_starts_at_the_source_page() {
+        let store = star_store();
+        // A spoke vertex lives in a Small Page: exactly one page planned.
+        let spoke = 1u64;
+        let plan = SweepPlan::seeded(&store, Some(spoke)).unwrap();
+        assert_eq!(plan.num_pages(), 1);
+        assert_eq!(plan.sp_pids(), [store.pid_of_vertex(spoke)]);
+        // No source: a full sweep.
+        let full = SweepPlan::seeded(&store, None).unwrap();
+        assert_eq!(full.num_pages() as u64, store.num_pages());
+    }
+}

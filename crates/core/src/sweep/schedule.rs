@@ -1,0 +1,307 @@
+//! Stage 3 — scheduling: one GPU's streams, cache, and copy/kernel issue.
+//!
+//! A [`GpuLane`] owns everything one GPU contributes to the pipeline of
+//! Fig. 2 step 2: the `cachedPIDMap` page cache (Sec. 3.3), round-robin
+//! assignment over the asynchronous streams, and the H2D → RA → kernel
+//! issue against the [`GpuTimer`]. The engine drives one lane per GPU;
+//! the GPU baselines (`gts-baselines`) reuse the same lane instead of
+//! hand-rolling timer choreography.
+
+use crate::engine::{EngineError, GtsConfig};
+use gts_gpu::memory::{DeviceAlloc, DeviceMemory};
+use gts_gpu::timer::{GpuTimer, KernelCost};
+use gts_sim::resource::Scheduled;
+use gts_sim::SimTime;
+use gts_storage::builder::GraphStore;
+use gts_storage::cache::{CachePolicy, LruCache, PageCache};
+use gts_storage::format::{ADJLIST_SZ_BYTES, OFF_BYTES, VID_BYTES};
+use gts_storage::PageKind;
+use gts_telemetry::{keys, Telemetry};
+
+/// One GPU's slice of the streaming pipeline: simulated timer, topology
+/// page cache, and the stream cursor for round-robin issue.
+pub struct GpuLane {
+    timer: GpuTimer,
+    cache: PageCache,
+    stream_cursor: usize,
+    // Held for their Drop-based accounting; the device-memory pool itself
+    // is owned here too so allocations stay alive exactly as long as the
+    // lane (i.e. the run).
+    _mem: Option<DeviceMemory>,
+    _allocs: Vec<DeviceAlloc>,
+}
+
+impl GpuLane {
+    /// A lane over `timer` with an explicit page cache.
+    pub fn new(timer: GpuTimer, cache: PageCache) -> GpuLane {
+        GpuLane {
+            timer,
+            cache,
+            stream_cursor: 0,
+            _mem: None,
+            _allocs: Vec::new(),
+        }
+    }
+
+    /// A lane with no page cache — every probe misses. The GPU baselines
+    /// use this: they model engines without GTS's topology cache.
+    pub fn uncached(timer: GpuTimer) -> GpuLane {
+        GpuLane::new(timer, Box::new(LruCache::new(0)))
+    }
+
+    /// The engine's lane for GPU `index`: allocate the four streaming
+    /// buffers plus the RVT in device memory (Alg. 1 lines 2-3, OOM is the
+    /// paper's O.O.M. cells), give the leftover to the topology cache
+    /// (Sec. 3.3), and attach the run's telemetry.
+    pub(crate) fn for_engine(
+        cfg: &GtsConfig,
+        store: &GraphStore,
+        streams: usize,
+        wa_bytes_per_gpu: u64,
+        ra_bytes_per_vertex: u64,
+        tel: &Telemetry,
+        index: u32,
+    ) -> Result<GpuLane, EngineError> {
+        let page_size = store.cfg().page_size as u64;
+        let mem = DeviceMemory::new(cfg.gpu.device_memory);
+        let mut allocs = Vec::new();
+        allocs.push(mem.alloc(wa_bytes_per_gpu, "WABuf")?);
+        allocs.push(mem.alloc(streams as u64 * page_size, "SPBuf")?);
+        if !store.large_pids().is_empty() {
+            allocs.push(mem.alloc(streams as u64 * page_size, "LPBuf")?);
+        }
+        if ra_bytes_per_vertex > 0 {
+            let max_sp_vertices = page_size / (VID_BYTES + OFF_BYTES + ADJLIST_SZ_BYTES) as u64;
+            allocs.push(mem.alloc(
+                streams as u64 * max_sp_vertices * ra_bytes_per_vertex,
+                "RABuf",
+            )?);
+        }
+        allocs.push(mem.alloc(store.rvt().memory_bytes(), "RVT")?);
+        // Leftover memory becomes the topology cache (Sec. 3.3).
+        let mut cache_bytes = mem.free();
+        if let Some(cap) = cfg.cache_limit_bytes {
+            cache_bytes = cache_bytes.min(cap);
+        }
+        let cache_pages = (cache_bytes / page_size) as usize;
+        allocs.push(mem.alloc(cache_pages as u64 * page_size, "page cache")?);
+        let mut timer = GpuTimer::new(cfg.gpu.clone(), cfg.pcie.clone(), streams);
+        timer.attach_telemetry(tel.clone(), index);
+        Ok(GpuLane {
+            timer,
+            cache: cfg.cache_policy.build(cache_pages),
+            stream_cursor: 0,
+            _mem: Some(mem),
+            _allocs: allocs,
+        })
+    }
+
+    /// Round-robin stream selection.
+    fn next_stream(&mut self) -> usize {
+        let s = self.stream_cursor;
+        self.stream_cursor = (self.stream_cursor + 1) % self.timer.num_streams();
+        s
+    }
+
+    /// Is `pid` cached, without touching recency or hit/miss counters?
+    /// (The line-16 "cached on every target" predicate must not disturb
+    /// the probes that follow.)
+    pub fn contains(&self, pid: u64) -> bool {
+        self.cache.contains(pid)
+    }
+
+    /// Probe the cache for `pid`: records the access, admits on miss,
+    /// returns whether it hit.
+    pub fn probe(&mut self, pid: u64) -> bool {
+        self.cache.access(pid)
+    }
+
+    /// Launch a kernel on the next stream with its inputs already on the
+    /// device (the cache-hit path, or a baseline's whole-graph kernel).
+    pub fn issue_kernel(&mut self, cost: KernelCost, ready: SimTime, label: &str) -> Scheduled {
+        let stream = self.next_stream();
+        self.timer.stream_kernel(stream, cost, ready, label)
+    }
+
+    /// Stream a page in and launch its kernel (the miss path, Fig. 2
+    /// step 2): topology H2D, then the RA subvector if the program has
+    /// one (`None` = program streams no RA; even a zero-byte RA copy
+    /// costs a PCI-E latency), then the kernel — all program-ordered on
+    /// one stream.
+    pub fn issue_streamed(
+        &mut self,
+        page_bytes: u64,
+        ra_bytes: Option<u64>,
+        cost: KernelCost,
+        data_ready: SimTime,
+    ) -> Scheduled {
+        let stream = self.next_stream();
+        let c = self
+            .timer
+            .stream_h2d(stream, page_bytes, data_ready, "SP/LP");
+        let mut ready = c.end;
+        if let Some(ra) = ra_bytes {
+            ready = self.timer.stream_h2d(stream, ra, ready, "RA").end;
+        }
+        self.timer.stream_kernel(stream, cost, ready, "K")
+    }
+
+    /// Blocking chunk copy host→device (WA broadcast, Fig. 2 step 1).
+    pub fn load_chunk(&mut self, bytes: u64, ready: SimTime) -> Scheduled {
+        self.timer.chunk_h2d(bytes, ready)
+    }
+
+    /// Blocking chunk copy device→host (WA / bitmap write-back).
+    pub fn write_back(&mut self, bytes: u64, ready: SimTime) -> Scheduled {
+        self.timer.chunk_d2h(bytes, ready)
+    }
+
+    /// Peer-to-peer push to another GPU (Strategy-P's WA merge, Sec. 4.1).
+    pub fn push_peer(&mut self, bytes: u64, ready: SimTime) -> Scheduled {
+        self.timer.p2p_copy(bytes, ready)
+    }
+
+    /// When every engine on this GPU has drained.
+    pub fn sync(&self) -> SimTime {
+        self.timer.sync()
+    }
+
+    /// The underlying simulated timer (read-only statistics).
+    pub fn timer(&self) -> &GpuTimer {
+        &self.timer
+    }
+
+    /// The page cache (hit/miss/capacity statistics).
+    pub fn cache(&self) -> &dyn CachePolicy {
+        self.cache.as_ref()
+    }
+
+    /// Flush the lane's counters — timer statistics plus cache
+    /// hits/misses/capacity — into `tel`'s registry as GPU `index`.
+    pub fn flush_to(&self, tel: &Telemetry, index: u32) {
+        self.timer.flush_to(tel, index);
+        tel.add(keys::gpu(index, keys::GPU_CACHE_HITS), self.cache.hits());
+        tel.add(
+            keys::gpu(index, keys::GPU_CACHE_MISSES),
+            self.cache.misses(),
+        );
+        tel.set(
+            keys::gpu(index, keys::GPU_CACHE_CAPACITY_PAGES),
+            self.cache.capacity() as u64,
+        );
+    }
+}
+
+impl std::fmt::Debug for GpuLane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GpuLane")
+            .field("streams", &self.timer.num_streams())
+            .field("cache_capacity", &self.cache.capacity())
+            .field("stream_cursor", &self.stream_cursor)
+            .finish()
+    }
+}
+
+/// RA bytes that ride along with one streamed page: a Small Page carries
+/// one attribute value per resident vertex; for a Large Page "RAj is a
+/// subvector of a single attribute value" (Sec. 3.4).
+pub fn ra_copy_bytes(kind: PageKind, vertex_count: usize, ra_bytes_per_vertex: u64) -> u64 {
+    match kind {
+        PageKind::Small => vertex_count as u64 * ra_bytes_per_vertex,
+        PageKind::Large => ra_bytes_per_vertex,
+    }
+}
+
+/// Copy `bytes` to every lane in parallel (each GPU has its own PCI-E
+/// link) starting at `t`; returns when the slowest copy lands.
+pub fn broadcast_wa(lanes: &mut [GpuLane], bytes: u64, t: SimTime) -> SimTime {
+    let mut end = t;
+    for lane in lanes.iter_mut() {
+        end = end.max(lane.load_chunk(bytes, t).end);
+    }
+    end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gts_gpu::timer::KernelClass;
+    use gts_gpu::{GpuConfig, PcieConfig};
+
+    fn lane(streams: usize) -> GpuLane {
+        GpuLane::uncached(GpuTimer::new(
+            GpuConfig::titan_x(),
+            PcieConfig::gen3_x16(),
+            streams,
+        ))
+    }
+
+    fn cost(slots: u64) -> KernelCost {
+        KernelCost {
+            class: KernelClass::Compute,
+            lane_slots: slots,
+            atomic_ops: 0,
+        }
+    }
+
+    #[test]
+    fn kernels_round_robin_over_streams() {
+        // Two streams, three equal kernels, all ready at t=0: k1 and k2
+        // land on different streams (k2 need not wait for k1's stream),
+        // and k3 wraps around to stream 0 — program order forces
+        // k3.start >= k1.end.
+        let mut lane = lane(2);
+        let k1 = lane.issue_kernel(cost(1 << 20), SimTime::ZERO, "K");
+        let k2 = lane.issue_kernel(cost(1 << 20), SimTime::ZERO, "K");
+        let k3 = lane.issue_kernel(cost(1 << 20), SimTime::ZERO, "K");
+        assert_eq!(k1.start, SimTime::ZERO);
+        assert_eq!(k2.start, SimTime::ZERO, "second stream starts fresh");
+        assert!(k3.start >= k1.end, "wrap-around queues behind stream 0");
+    }
+
+    #[test]
+    fn ra_copy_sizing_differs_for_sp_and_lp() {
+        // SP: one RA value per resident vertex. LP: a single subvector.
+        assert_eq!(ra_copy_bytes(PageKind::Small, 100, 4), 400);
+        assert_eq!(ra_copy_bytes(PageKind::Large, 100, 4), 4);
+        assert_eq!(ra_copy_bytes(PageKind::Small, 7, 0), 0);
+    }
+
+    #[test]
+    fn streamed_issue_orders_h2d_before_kernel() {
+        let mut l = lane(4);
+        let k = l.issue_streamed(1 << 16, Some(256), cost(1 << 10), SimTime::ZERO);
+        assert!(k.start > SimTime::ZERO, "kernel waits for its copies");
+        assert_eq!(l.timer().bytes_h2d(), (1 << 16) + 256);
+        assert_eq!(l.timer().kernels(), 1);
+        // No RA at all skips the copy; a zero-byte RA still pays latency.
+        let mut bare = lane(4);
+        let k_bare = bare.issue_streamed(1 << 16, None, cost(1 << 10), SimTime::ZERO);
+        assert_eq!(bare.timer().bytes_h2d(), 1 << 16);
+        let mut zero = lane(4);
+        let k_zero = zero.issue_streamed(1 << 16, Some(0), cost(1 << 10), SimTime::ZERO);
+        assert!(
+            k_zero.start > k_bare.start,
+            "zero-byte RA copy still costs a PCI-E latency"
+        );
+    }
+
+    #[test]
+    fn uncached_lane_always_misses() {
+        let mut l = lane(1);
+        assert!(!l.probe(42));
+        assert!(!l.probe(42), "capacity 0 admits nothing");
+        assert!(!l.contains(42));
+        assert_eq!(l.cache().misses(), 2);
+    }
+
+    #[test]
+    fn broadcast_returns_the_slowest_lane() {
+        let mut lanes = vec![lane(1), lane(1)];
+        // Pre-load one lane so its chunk engine is busy.
+        lanes[0].load_chunk(1 << 24, SimTime::ZERO);
+        let t = broadcast_wa(&mut lanes, 1 << 20, SimTime::ZERO);
+        let ends: Vec<SimTime> = lanes.iter().map(|l| l.sync()).collect();
+        assert_eq!(t, *ends.iter().max().unwrap());
+    }
+}

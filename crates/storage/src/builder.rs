@@ -93,6 +93,12 @@ impl GraphStore {
         &self.rvt
     }
 
+    /// Mutable access to the RVT, for tests that inject corruption (a
+    /// truncated entry) to exercise the engine's error path.
+    pub fn rvt_mut(&mut self) -> &mut Rvt {
+        &mut self.rvt
+    }
+
     /// Page IDs of all Small Pages, ascending (Table 3's #SP).
     pub fn small_pids(&self) -> &[u64] {
         &self.small_pids

@@ -49,6 +49,14 @@ impl Rvt {
         self.entries[pid as usize]
     }
 
+    /// Overwrite the entry for `pid`. The builder always produces a
+    /// consistent table; this exists so tests can inject corruption
+    /// (e.g. a Large Page stripped of its `LP_RANGE`) and assert the
+    /// engine surfaces it as a typed error instead of panicking.
+    pub fn set_entry(&mut self, pid: u64, entry: RvtEntry) {
+        self.entries[pid as usize] = entry;
+    }
+
     /// Translate a record ID to its vertex ID:
     /// `RVT[ADJ_PID].START_VID + ADJ_OFF` (Appendix A).
     #[inline]

@@ -1,0 +1,160 @@
+//! Golden-report regression fixtures.
+//!
+//! The engine's reports, counter registry, and chrome traces for a fixed
+//! set of configurations are checked into `tests/golden/` byte-for-byte.
+//! They were generated from the engine *before* the sweep-pipeline
+//! decomposition (`crates/core/src/sweep/`), so any refactor of the sweep
+//! stages that changes a single simulated number, counter, or span shows
+//! up as a diff here — the pipeline must be behavior-preserving.
+//!
+//! To regenerate after an *intentional* timing-model change:
+//!
+//! ```text
+//! GTS_BLESS=1 cargo test -p gts-integration --test golden_report
+//! ```
+
+use gts_core::engine::{Gts, GtsConfig, StorageLocation};
+use gts_core::programs::{Bfs, GtsProgram, PageRank};
+use gts_core::{Strategy, Telemetry};
+use gts_graph::generate::rmat;
+use gts_storage::{build_graph_store, GraphStore, PageFormatConfig, PhysicalIdConfig};
+use std::path::PathBuf;
+
+/// A named factory for fresh program instances (each run needs its own).
+type ProgramFactory<'a> = (&'a str, Box<dyn Fn() -> Box<dyn GtsProgram>>);
+
+fn store() -> GraphStore {
+    build_graph_store(
+        &rmat(8),
+        PageFormatConfig::new(PhysicalIdConfig::ORIGINAL, 1024),
+    )
+    .unwrap()
+}
+
+/// The golden configurations: the paper's single-GPU and multi-GPU
+/// Strategy-P/S settings, in-memory and SSD-backed.
+fn golden_configs() -> Vec<(&'static str, GtsConfig)> {
+    vec![
+        ("1gpu_mem", GtsConfig::default()),
+        (
+            "1gpu_ssd",
+            GtsConfig {
+                storage: StorageLocation::Ssds(2),
+                ..GtsConfig::default()
+            },
+        ),
+        (
+            "4gpu_p_ssd",
+            GtsConfig {
+                num_gpus: 4,
+                strategy: Strategy::Performance,
+                storage: StorageLocation::Ssds(2),
+                ..GtsConfig::default()
+            },
+        ),
+        (
+            "4gpu_s_ssd",
+            GtsConfig {
+                num_gpus: 4,
+                strategy: Strategy::Scalability,
+                storage: StorageLocation::Ssds(2),
+                ..GtsConfig::default()
+            },
+        ),
+    ]
+}
+
+fn golden_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/integration; fixtures live in tests/golden.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+fn counters_json(tel: &Telemetry) -> String {
+    let mut out = String::from("{\n");
+    let counters = tel.counters();
+    let mut first = true;
+    for (k, v) in &counters {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&format!("  \"{k}\": {v}"));
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+fn check_or_bless(name: &str, got: &str, mismatches: &mut Vec<String>) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("GTS_BLESS").is_some() {
+        std::fs::create_dir_all(golden_dir()).unwrap();
+        std::fs::write(&path, got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); run with GTS_BLESS=1 to create it",
+            path.display()
+        )
+    });
+    if got != want {
+        mismatches.push(name.to_string());
+    }
+}
+
+#[test]
+fn reports_counters_and_traces_match_pre_refactor_goldens() {
+    let store = store();
+    let mut mismatches = Vec::new();
+    for (name, cfg) in golden_configs() {
+        // Both execution modes: BFS exercises the traversal path
+        // (nextPIDSet, frontier bitmaps, final WA write-back), PageRank the
+        // sweep path (per-sweep WA broadcast + write-back).
+        let runs: Vec<ProgramFactory> = vec![
+            (
+                "bfs",
+                Box::new({
+                    let n = store.num_vertices();
+                    move || Box::new(Bfs::new(n, 0))
+                }),
+            ),
+            (
+                "pagerank",
+                Box::new({
+                    let n = store.num_vertices();
+                    move || Box::new(PageRank::new(n, 3))
+                }),
+            ),
+        ];
+        for (alg, mk) in runs {
+            let engine = Gts::builder()
+                .config(cfg.clone())
+                .telemetry(Telemetry::with_spans())
+                .build()
+                .unwrap();
+            let mut prog = mk();
+            let report = engine.run(&store, prog.as_mut()).unwrap();
+            let tel = engine.telemetry();
+            check_or_bless(
+                &format!("{name}_{alg}.report.json"),
+                &format!("{}\n", report.to_json()),
+                &mut mismatches,
+            );
+            check_or_bless(
+                &format!("{name}_{alg}.counters.json"),
+                &counters_json(tel),
+                &mut mismatches,
+            );
+            check_or_bless(
+                &format!("{name}_{alg}.trace.json"),
+                &tel.to_chrome_trace(),
+                &mut mismatches,
+            );
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "outputs diverged from pre-refactor goldens: {mismatches:?}\n\
+         (if the timing model changed intentionally, re-bless with GTS_BLESS=1)"
+    );
+}

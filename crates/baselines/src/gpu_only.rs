@@ -165,7 +165,9 @@ impl GpuOnlyEngine {
                 lane_slots: (edges as f64 * self.profile.kernel_multiplier).round() as u64,
                 atomic_ops: 0,
             };
-            let k = lane.issue_kernel(cost, t, self.profile.name);
+            let k = lane
+                .issue_kernel(cost, t, self.profile.name)
+                .expect("baselines run without fault injection");
             record_sweep(
                 &self.telemetry,
                 j as u32,

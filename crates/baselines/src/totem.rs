@@ -308,7 +308,9 @@ impl Totem {
                 lane_slots: (gpu_load.edges as f64 * slots_per_edge).round() as u64,
                 atomic_ops: 0,
             };
-            let k = lane.issue_kernel(cost, t, "bulk");
+            let k = lane
+                .issue_kernel(cost, t, "bulk")
+                .expect("baselines run without fault injection");
             let cpu_end = t + SimDuration::from_secs_f64(
                 cpu_load.edges as f64 * c.cpu_per_edge_ns / c.threads as f64 / 1e9,
             );

@@ -7,7 +7,8 @@ use std::io::Write as _;
 /// Print a line to stdout, exiting quietly (success) when the pipe is
 /// closed — `gts run ... | head` must not die with a broken-pipe panic.
 /// Checked via `io::ErrorKind`, which is locale-independent (unlike the
-/// strerror text a panic message would carry).
+/// strerror text a panic message would carry). Any other stdout failure
+/// (disk full, closed descriptor) exits with the I/O code, not a panic.
 macro_rules! outln {
     ($($arg:tt)*) => {{
         let mut out = std::io::stdout().lock();
@@ -15,7 +16,8 @@ macro_rules! outln {
             if e.kind() == std::io::ErrorKind::BrokenPipe {
                 std::process::exit(0);
             }
-            panic!("failed writing to stdout: {e}");
+            eprintln!("error: failed writing to stdout: {e}");
+            std::process::exit(i32::from(EXIT_IO));
         }
     }};
 }
@@ -23,6 +25,7 @@ use gts_core::engine::{CachePolicyKind, Gts, GtsConfig, StorageLocation};
 use gts_core::programs::{
     Bc, Bfs, Cc, Degrees, GtsProgram, KCore, PageRank, RadiusEstimation, Rwr, Sssp,
 };
+use gts_core::FaultConfig;
 use gts_core::{Strategy, Telemetry};
 use gts_gpu::GpuConfig;
 use gts_graph::generate::{erdos_renyi, web_like, Rmat};
@@ -30,6 +33,60 @@ use gts_graph::{Dataset, EdgeList};
 use gts_storage::{
     build_graph_store, load_store, save_store, GraphStore, PageFormatConfig, PhysicalIdConfig,
 };
+
+/// Exit code for usage errors: unknown command, bad flag, bad value.
+pub const EXIT_USAGE: u8 = 2;
+/// Exit code for I/O failures: unreadable graph/store, unwritable output.
+pub const EXIT_IO: u8 = 3;
+/// Exit code for engine failures: O.O.M. after degradation, exhausted
+/// fault retries, corrupt pages.
+pub const EXIT_ENGINE: u8 = 4;
+
+/// A failed CLI invocation, classified so `main` can map each kind to a
+/// distinct nonzero exit code (scripts can tell "you typed it wrong"
+/// from "the disk is bad" from "the run failed").
+#[derive(Debug)]
+pub enum CliError {
+    /// The command line itself is wrong (exit code [`EXIT_USAGE`]).
+    Usage(String),
+    /// Reading or writing a file failed (exit code [`EXIT_IO`]).
+    Io(String),
+    /// The engine accepted the config but the run failed (exit code
+    /// [`EXIT_ENGINE`]).
+    Engine(String),
+}
+
+impl CliError {
+    /// The process exit code for this class of failure.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => EXIT_USAGE,
+            CliError::Io(_) => EXIT_IO,
+            CliError::Engine(_) => EXIT_ENGINE,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) | CliError::Io(m) | CliError::Engine(m) => f.write_str(m),
+        }
+    }
+}
+
+/// Bare strings come from argument parsing and validation — usage errors.
+impl From<String> for CliError {
+    fn from(m: String) -> Self {
+        CliError::Usage(m)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(m: &str) -> Self {
+        CliError::Usage(m.to_string())
+    }
+}
 
 const USAGE: &str = "\
 gts — GTS (SIGMOD'16) graph processing, reproduced in Rust
@@ -45,7 +102,7 @@ USAGE:
                [--source N] [--iterations N] [--k N] [--gpus N] [--streams N]
                [--strategy p|s] [--storage mem|ssd:N|hdd:N]
                [--device-memory BYTES] [--cache lru|fifo|random] [--json]
-               [--trace-out trace.json] [--host-threads N]
+               [--trace-out trace.json] [--host-threads N] [--fault-seed N]
   gts help
 
 Edge files are the binary GTSEDGES format produced by `gts generate`, or
@@ -54,10 +111,14 @@ format of the paper's Section 2. `--trace-out` writes a chrome://tracing
 / Perfetto JSON timeline of the run (the paper's Fig. 4 pipeline).
 `--host-threads` sets the real threads used for kernel execution on this
 machine (default: all cores); results, traces and simulated times are
-identical for every value.";
+identical for every value. `--fault-seed` enables deterministic fault
+injection (transient read errors, torn/corrupt pages, GPU copy/launch
+faults) with that seed; recovered faults only add simulated time.
+
+Exit codes: 0 success, 2 usage error, 3 I/O failure, 4 engine failure.";
 
 /// Dispatch the command line.
-pub fn dispatch(argv: &[String]) -> Result<(), String> {
+pub fn dispatch(argv: &[String]) -> Result<(), CliError> {
     let args = Args::parse(argv)?;
     match args.positional(0) {
         Some("generate") => generate(&args),
@@ -68,11 +129,13 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
             outln!("{USAGE}");
             Ok(())
         }
-        Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
+        Some(other) => Err(CliError::Usage(format!(
+            "unknown command {other:?}\n{USAGE}"
+        ))),
     }
 }
 
-fn generate(args: &Args) -> Result<(), String> {
+fn generate(args: &Args) -> Result<(), CliError> {
     args.reject_unknown(&[
         "kind",
         "out",
@@ -107,9 +170,9 @@ fn generate(args: &Args) -> Result<(), String> {
         "twitter" => Dataset::TwitterLike.generate(),
         "uk2007" => Dataset::Uk2007Like.generate(),
         "yahooweb" => Dataset::YahooWebLike.generate(),
-        other => return Err(format!("unknown graph kind {other:?}")),
+        other => return Err(CliError::Usage(format!("unknown graph kind {other:?}"))),
     };
-    edgelist::write(&graph, out)?;
+    edgelist::write(&graph, out).map_err(CliError::Io)?;
     outln!(
         "wrote {} vertices, {} edges to {out}",
         graph.num_vertices,
@@ -118,16 +181,16 @@ fn generate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn build(args: &Args) -> Result<(), String> {
+fn build(args: &Args) -> Result<(), CliError> {
     args.reject_unknown(&["graph", "out", "page-size", "p", "q"])?;
-    let graph = edgelist::read(args.required("graph")?)?;
+    let graph = edgelist::read(args.required("graph")?).map_err(CliError::Io)?;
     let out = args.required("out")?;
     let page_size = args.get_or("page-size", 64 * 1024usize)?;
     let p = args.get_or("p", 2u8)?;
     let q = args.get_or("q", 2u8)?;
     let cfg = PageFormatConfig::new(PhysicalIdConfig::new(p, q), page_size);
     let store = build_graph_store(&graph, cfg).map_err(|e| e.to_string())?;
-    save_store(&store, out).map_err(|e| e.to_string())?;
+    save_store(&store, out).map_err(|e| CliError::Io(e.to_string()))?;
     outln!(
         "built {}: {} SP + {} LP pages of {} B ({:.1} MiB topology)",
         out,
@@ -139,10 +202,10 @@ fn build(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn info(args: &Args) -> Result<(), String> {
+fn info(args: &Args) -> Result<(), CliError> {
     args.reject_unknown(&[])?;
     let path = args.positional(1).ok_or("usage: gts info <store file>")?;
-    let store = load_store(path).map_err(|e| e.to_string())?;
+    let store = load_store(path).map_err(|e| CliError::Io(e.to_string()))?;
     let cfg = store.cfg();
     outln!("store:     {path}");
     outln!(
@@ -194,7 +257,7 @@ fn parse_storage(s: &str) -> Result<StorageLocation, String> {
     Err(format!("bad --storage {s:?} (mem | ssd:N | hdd:N)"))
 }
 
-fn run(args: &Args) -> Result<(), String> {
+fn run(args: &Args) -> Result<(), CliError> {
     args.reject_unknown(&[
         "store",
         "source",
@@ -209,18 +272,20 @@ fn run(args: &Args) -> Result<(), String> {
         "json",
         "trace-out",
         "host-threads",
+        "fault-seed",
     ])?;
     let alg = args
         .positional(1)
         .ok_or("usage: gts run <algorithm> --store <file>")?;
-    let store: GraphStore = load_store(args.required("store")?).map_err(|e| e.to_string())?;
+    let store: GraphStore =
+        load_store(args.required("store")?).map_err(|e| CliError::Io(e.to_string()))?;
     let source = args.get_or("source", 0u64)?;
     let iterations = args.get_or("iterations", 10u32)?;
     if source >= store.num_vertices() {
-        return Err(format!(
+        return Err(CliError::Usage(format!(
             "--source {source} out of range ({} vertices)",
             store.num_vertices()
-        ));
+        )));
     }
 
     let mut cfg_builder = GtsConfig::builder()
@@ -229,7 +294,7 @@ fn run(args: &Args) -> Result<(), String> {
         .strategy(match args.optional("strategy").unwrap_or("p") {
             "p" => Strategy::Performance,
             "s" => Strategy::Scalability,
-            other => return Err(format!("bad --strategy {other:?} (p | s)")),
+            other => return Err(CliError::Usage(format!("bad --strategy {other:?} (p | s)"))),
         })
         .storage(parse_storage(args.optional("storage").unwrap_or("mem"))?)
         .gpu(GpuConfig::titan_x().with_device_memory(args.get_or("device-memory", 12u64 << 30)?))
@@ -237,13 +302,19 @@ fn run(args: &Args) -> Result<(), String> {
             "lru" => CachePolicyKind::Lru,
             "fifo" => CachePolicyKind::Fifo,
             "random" => CachePolicyKind::Random,
-            other => return Err(format!("bad --cache {other:?}")),
+            other => return Err(CliError::Usage(format!("bad --cache {other:?}"))),
         });
     if let Some(ht) = args.optional("host-threads") {
         cfg_builder = cfg_builder.host_threads(
             ht.parse()
                 .map_err(|_| format!("bad --host-threads {ht:?}"))?,
         );
+    }
+    if let Some(seed) = args.optional("fault-seed") {
+        let seed: u64 = seed
+            .parse()
+            .map_err(|_| format!("bad --fault-seed {seed:?}"))?;
+        cfg_builder = cfg_builder.faults(Some(FaultConfig::with_seed(seed)));
     }
     let cfg = cfg_builder.build().map_err(|e| e.to_string())?;
 
@@ -257,88 +328,99 @@ fn run(args: &Args) -> Result<(), String> {
         builder = builder.telemetry(Telemetry::with_spans());
     }
     let engine = builder.build().map_err(|e| e.to_string())?;
-    let exec = |prog: &mut dyn GtsProgram| engine.run(&store, prog).map_err(|e| e.to_string());
-    let (report, summary) = match alg {
-        "bfs" => {
-            let mut p = Bfs::new(n, source);
-            let r = exec(&mut p)?;
-            let reached = p.levels().iter().filter(|&&l| l != u16::MAX).count();
-            (r, format!("{reached} vertices reached from {source}"))
-        }
-        "pagerank" => {
-            let mut p = PageRank::new(n, iterations);
-            let r = exec(&mut p)?;
-            let top = top_vertex(p.ranks())
-                .map(|(v, s)| format!("top vertex {v} (score {s:.6})"))
-                .unwrap_or_default();
-            (r, top)
-        }
-        "sssp" => {
-            let mut p = Sssp::new(n, source);
-            let r = exec(&mut p)?;
-            let reached = p.distances().iter().filter(|&&d| d != u32::MAX).count();
-            (r, format!("{reached} vertices reachable from {source}"))
-        }
-        "cc" => {
-            let mut p = Cc::new(n);
-            let r = exec(&mut p)?;
-            let mut labels: Vec<u64> = p.labels().to_vec();
-            labels.sort_unstable();
-            labels.dedup();
-            (r, format!("{} weakly connected components", labels.len()))
-        }
-        "bc" => {
-            let mut p = Bc::new(n, source);
-            let r = exec(&mut p)?;
-            let top = top_vertex(p.centrality())
-                .map(|(v, s)| format!("most central vertex {v} (bc {s:.1})"))
-                .unwrap_or_default();
-            (r, top)
-        }
-        "rwr" => {
-            let mut p = Rwr::new(n, source, iterations);
-            let r = exec(&mut p)?;
-            let mut scored: Vec<(usize, f32)> = p.scores().iter().copied().enumerate().collect();
-            scored.sort_by(|a, b| b.1.total_cmp(&a.1));
-            let near: Vec<String> = scored
-                .iter()
-                .take(4)
-                .map(|(v, s)| format!("{v}:{s:.4}"))
-                .collect();
-            (r, format!("closest to {source}: {}", near.join(" ")))
-        }
-        "degrees" => {
-            let mut p = Degrees::new(n);
-            let r = exec(&mut p)?;
-            let max = p.degrees().iter().max().copied().unwrap_or(0);
-            (r, format!("max out-degree {max}"))
-        }
-        "kcore" => {
-            let mut p = KCore::new(n, k);
-            let r = exec(&mut p)?;
-            (r, format!("{}-core has {} vertices", k, p.core_size()))
-        }
-        "radius" => {
-            let mut p = RadiusEstimation::new(n);
-            let r = exec(&mut p)?;
-            (
-                r,
-                format!(
-                    "estimated radius {:?}, diameter {}{}",
-                    p.radius(),
-                    p.diameter(),
-                    if p.is_exact() { " (exact)" } else { "" }
-                ),
-            )
-        }
-        other => return Err(format!("unknown algorithm {other:?}")),
+    let exec = |prog: &mut dyn GtsProgram| {
+        engine
+            .run(&store, prog)
+            .map_err(|e| CliError::Engine(e.to_string()))
     };
+    // Run the algorithm but hold the result: when the run fails mid-sweep
+    // the engine still flushes its open spans and counters, and the
+    // partial trace below is exactly the evidence needed to debug it.
+    let outcome = (|| -> Result<_, CliError> {
+        Ok(match alg {
+            "bfs" => {
+                let mut p = Bfs::new(n, source);
+                let r = exec(&mut p)?;
+                let reached = p.levels().iter().filter(|&&l| l != u16::MAX).count();
+                (r, format!("{reached} vertices reached from {source}"))
+            }
+            "pagerank" => {
+                let mut p = PageRank::new(n, iterations);
+                let r = exec(&mut p)?;
+                let top = top_vertex(p.ranks())
+                    .map(|(v, s)| format!("top vertex {v} (score {s:.6})"))
+                    .unwrap_or_default();
+                (r, top)
+            }
+            "sssp" => {
+                let mut p = Sssp::new(n, source);
+                let r = exec(&mut p)?;
+                let reached = p.distances().iter().filter(|&&d| d != u32::MAX).count();
+                (r, format!("{reached} vertices reachable from {source}"))
+            }
+            "cc" => {
+                let mut p = Cc::new(n);
+                let r = exec(&mut p)?;
+                let mut labels: Vec<u64> = p.labels().to_vec();
+                labels.sort_unstable();
+                labels.dedup();
+                (r, format!("{} weakly connected components", labels.len()))
+            }
+            "bc" => {
+                let mut p = Bc::new(n, source);
+                let r = exec(&mut p)?;
+                let top = top_vertex(p.centrality())
+                    .map(|(v, s)| format!("most central vertex {v} (bc {s:.1})"))
+                    .unwrap_or_default();
+                (r, top)
+            }
+            "rwr" => {
+                let mut p = Rwr::new(n, source, iterations);
+                let r = exec(&mut p)?;
+                let mut scored: Vec<(usize, f32)> =
+                    p.scores().iter().copied().enumerate().collect();
+                scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+                let near: Vec<String> = scored
+                    .iter()
+                    .take(4)
+                    .map(|(v, s)| format!("{v}:{s:.4}"))
+                    .collect();
+                (r, format!("closest to {source}: {}", near.join(" ")))
+            }
+            "degrees" => {
+                let mut p = Degrees::new(n);
+                let r = exec(&mut p)?;
+                let max = p.degrees().iter().max().copied().unwrap_or(0);
+                (r, format!("max out-degree {max}"))
+            }
+            "kcore" => {
+                let mut p = KCore::new(n, k);
+                let r = exec(&mut p)?;
+                (r, format!("{}-core has {} vertices", k, p.core_size()))
+            }
+            "radius" => {
+                let mut p = RadiusEstimation::new(n);
+                let r = exec(&mut p)?;
+                (
+                    r,
+                    format!(
+                        "estimated radius {:?}, diameter {}{}",
+                        p.radius(),
+                        p.diameter(),
+                        if p.is_exact() { " (exact)" } else { "" }
+                    ),
+                )
+            }
+            other => return Err(CliError::Usage(format!("unknown algorithm {other:?}"))),
+        })
+    })();
 
     if let Some(path) = trace_out {
         std::fs::write(path, engine.telemetry().to_chrome_trace())
-            .map_err(|e| format!("writing {path}: {e}"))?;
+            .map_err(|e| CliError::Io(format!("writing {path}: {e}")))?;
         outln!("trace:          {path} (load in ui.perfetto.dev or chrome://tracing)");
     }
+    let (report, summary) = outcome?;
     if args.optional("json").map(|v| v == "true").unwrap_or(false) {
         outln!("{}", report.to_json());
     } else {
@@ -463,18 +545,64 @@ mod tests {
         let trace = std::fs::read_to_string(&tr).unwrap();
         assert!(trace.contains("traceEvents"));
         assert!(trace.contains("\"ph\":\"X\""));
+        // Fault injection is plumbed through: an injected run completes
+        // (recovered faults only add simulated time).
+        dispatch(&sv(&[
+            "run",
+            "pagerank",
+            "--store",
+            &st,
+            "--iterations",
+            "2",
+            "--storage",
+            "ssd:2",
+            "--fault-seed",
+            "7",
+        ]))
+        .unwrap();
+        assert_eq!(
+            dispatch(&sv(&["run", "bfs", "--store", &st, "--fault-seed", "x"]))
+                .unwrap_err()
+                .exit_code(),
+            EXIT_USAGE
+        );
+        // A failed run still writes the partial trace (engine failures get
+        // their own exit code, distinct from usage and I/O errors).
+        let failed_tr = tmp("failed-trace.json");
+        let err = dispatch(&sv(&[
+            "run",
+            "bfs",
+            "--store",
+            &st,
+            "--device-memory",
+            "1024",
+            "--trace-out",
+            &failed_tr,
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), EXIT_ENGINE, "{err}");
+        let partial = std::fs::read_to_string(&failed_tr).unwrap();
+        assert!(partial.contains("traceEvents"));
+        std::fs::remove_file(&failed_tr).ok();
         std::fs::remove_file(&tr).ok();
         std::fs::remove_file(&el).ok();
         std::fs::remove_file(&st).ok();
     }
 
     #[test]
-    fn helpful_errors() {
-        assert!(dispatch(&sv(&["frobnicate"])).is_err());
-        assert!(dispatch(&sv(&["run", "bfs"])).is_err());
-        assert!(dispatch(&sv(&["generate", "--kind", "nope", "--out", "/tmp/x"])).is_err());
+    fn helpful_errors_with_classified_exit_codes() {
+        for usage in [
+            sv(&["frobnicate"]),
+            sv(&["run", "bfs"]),
+            sv(&["generate", "--kind", "nope", "--out", "/tmp/x"]),
+        ] {
+            let err = dispatch(&usage).unwrap_err();
+            assert_eq!(err.exit_code(), EXIT_USAGE, "{err}");
+        }
         let err = dispatch(&sv(&["run", "bfs", "--store", "/nonexistent-gts-file"])).unwrap_err();
-        assert!(err.contains("i/o") || err.contains("No such file"), "{err}");
+        assert_eq!(err.exit_code(), EXIT_IO);
+        let msg = err.to_string();
+        assert!(msg.contains("i/o") || msg.contains("No such file"), "{msg}");
     }
 
     #[test]

@@ -9,6 +9,10 @@
 //!
 //! See `gts help` (or any subcommand with wrong arguments) for the full
 //! usage text.
+//!
+//! Exit codes are classified: 0 success, 2 usage error, 3 I/O failure,
+//! 4 engine failure — so scripts can tell a typo from a bad disk from a
+//! failed run.
 
 mod args;
 mod commands;
@@ -22,7 +26,7 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }

@@ -28,16 +28,19 @@ use crate::report::RunReport;
 use crate::strategy::Strategy;
 use crate::sweep::account::{self, AccountCtx, SweepAccounting};
 use crate::sweep::ingest;
+use crate::sweep::ingest::PageSource;
 use crate::sweep::kernels::{self, KernelEnv};
 use crate::sweep::plan::SweepPlan;
 use crate::sweep::schedule::{self, GpuLane};
 use gts_exec::ThreadPool;
+use gts_faults::{FaultConfig, FaultPlan};
 use gts_gpu::memory::GpuOom;
 use gts_gpu::warp::MicroTechnique;
 use gts_gpu::{GpuConfig, PcieConfig};
 use gts_sim::SimTime;
 use gts_storage::builder::GraphStore;
 use gts_storage::cache::{FifoCache, LruCache, PageCache, RandomCache};
+use gts_storage::StorageError;
 use gts_telemetry::{keys, SpanCat, Telemetry, Track};
 use std::fmt;
 
@@ -109,6 +112,16 @@ pub struct GtsConfig {
     /// every value produces byte-identical reports and traces because all
     /// parallel updates are atomically commutative.
     pub host_threads: usize,
+    /// Deterministic fault-injection plan for the run: seeded schedules
+    /// of transient device read errors, torn pages, and GPU copy/launch
+    /// faults, all absorbed by bounded retry on the simulated clock.
+    /// `None` disables injection entirely (no draws, no schedule drift).
+    pub faults: Option<FaultConfig>,
+    /// When a device-memory allocation fails, step the configuration down
+    /// instead of aborting: Strategy-P → Strategy-S, then halved stream
+    /// counts, then no page cache — each step recorded as a typed degrade
+    /// event. `false` restores fail-fast O.O.M. reporting.
+    pub degrade_on_oom: bool,
 }
 
 impl Default for GtsConfig {
@@ -126,6 +139,8 @@ impl Default for GtsConfig {
             cache_limit_bytes: None,
             p2p_sync: true,
             host_threads: gts_exec::default_host_threads(),
+            faults: None,
+            degrade_on_oom: true,
         }
     }
 }
@@ -262,6 +277,11 @@ impl GtsConfigBuilder {
         /// Host threads for kernel bodies (>= 1; `1` = exact serial order,
         /// any value = byte-identical results).
         host_threads: usize,
+        /// Deterministic fault-injection plan (`None` disables injection).
+        faults: Option<FaultConfig>,
+        /// Step down (P→S, fewer streams, no cache) instead of aborting
+        /// on device O.O.M.
+        degrade_on_oom: bool,
     }
 
     /// Validate and produce the configuration.
@@ -284,6 +304,19 @@ pub enum EngineError {
         /// The Large Page whose RVT entry lacks an `LP_RANGE`.
         pid: u64,
     },
+    /// A page fetch failed permanently: the retry budget was exhausted,
+    /// the page's trailer checksum never verified, or every drive in the
+    /// array is quarantined.
+    Storage(StorageError),
+    /// An injected GPU fault persisted past the retry budget.
+    GpuFault {
+        /// The GPU whose operation kept failing.
+        gpu: u32,
+        /// The failing operation (`"H2D copy"` or `"kernel launch"`).
+        op: &'static str,
+        /// Attempts made, the first one included.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -294,6 +327,10 @@ impl fmt::Display for EngineError {
                 f,
                 "corrupt RVT: Large Page {pid} has no LP_RANGE in its entry"
             ),
+            EngineError::Storage(e) => write!(f, "storage: {e}"),
+            EngineError::GpuFault { gpu, op, attempts } => {
+                write!(f, "gpu{gpu}: {op} failed after {attempts} attempts")
+            }
         }
     }
 }
@@ -303,6 +340,12 @@ impl std::error::Error for EngineError {}
 impl From<GpuOom> for EngineError {
     fn from(e: GpuOom) -> Self {
         EngineError::DeviceOom(e)
+    }
+}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
     }
 }
 
@@ -353,6 +396,11 @@ impl GtsBuilder {
         /// Host threads for kernel bodies (>= 1; `1` = exact serial order,
         /// any value = byte-identical results).
         host_threads: usize,
+        /// Deterministic fault-injection plan (`None` disables injection).
+        faults: Option<FaultConfig>,
+        /// Step down (P→S, fewer streams, no cache) instead of aborting
+        /// on device O.O.M.
+        degrade_on_oom: bool,
     }
 
     /// Replace the whole configuration (e.g. one made by
@@ -424,38 +472,148 @@ impl Gts {
 
     /// Execute `prog` over `store`. Returns the run report; the program
     /// itself holds the algorithm's output (levels, ranks, ...).
+    ///
+    /// With a fault plan configured ([`GtsConfig::faults`]), injected
+    /// transient faults are absorbed by bounded retry on the simulated
+    /// clock: results stay byte-identical to the fault-free run, only
+    /// counters, spans, and simulated time differ. Unrecoverable faults
+    /// surface as typed errors — and even then the counters and spans
+    /// accumulated so far are flushed, so a partial trace survives.
     pub fn run(
         &self,
         store: &GraphStore,
         prog: &mut dyn GtsProgram,
     ) -> Result<RunReport, EngineError> {
-        let cfg = &self.cfg;
         let tel = &self.telemetry;
         tel.start_run();
-        let spans = tel.spans_enabled();
-        if spans {
+        if tel.spans_enabled() {
             tel.name_process(keys::pid::ENGINE, "engine");
             tel.name_thread(Track::new(keys::pid::ENGINE, 0), "run");
             tel.name_thread(Track::new(keys::pid::ENGINE, 1), "cache");
         }
-        let n = cfg.num_gpus;
+        let faults = self.cfg.faults.clone().map(FaultPlan::new);
         let wa_total = prog.wa_bytes_per_vertex() * store.num_vertices();
-        let wa_per_gpu = cfg.strategy.wa_bytes_per_gpu(wa_total, n);
-        let ra_bpv = prog.ra_bytes_per_vertex();
+        let mut setup =
+            self.prepare_lanes(store, wa_total, prog.ra_bytes_per_vertex(), faults.as_ref())?;
+        let mut source = ingest::for_config(&self.cfg, store.num_pages(), tel, faults.as_ref());
+        let mut out = RunState {
+            t: SimTime::ZERO,
+            sweeps: 0,
+            edges: 0,
+        };
+        let err = self
+            .sweep_loop(store, prog, &mut setup, source.as_mut(), &mut out)
+            .err();
+        // Flush unconditionally: a failed run still lands its counters,
+        // closes its spans, and yields a partial trace — often the very
+        // evidence needed to diagnose the fault.
+        self.finalize(prog.name(), &setup.lanes, source.as_ref(), &out);
+        match err {
+            Some(e) => Err(e),
+            None => Ok(RunReport::from_telemetry(tel, prog.name(), "GTS")),
+        }
+    }
+
+    /// Build the per-GPU lanes, degrading the configuration on O.O.M.
+    /// when [`GtsConfig::degrade_on_oom`] allows it: Strategy-P drops to
+    /// Strategy-S (splitting the WA), then the stream count halves until
+    /// 1, then the page cache is turned off. Every step is counted under
+    /// `degrade.events` and recorded as a [`SpanCat::Degrade`] span; if
+    /// the ladder runs out, the *original* O.O.M. is returned.
+    fn prepare_lanes(
+        &self,
+        store: &GraphStore,
+        wa_total: u64,
+        ra_bpv: u64,
+        faults: Option<&FaultPlan>,
+    ) -> Result<LaneSetup, EngineError> {
+        let cfg = &self.cfg;
+        let tel = &self.telemetry;
+        let n = cfg.num_gpus;
+        let mut eff = cfg.clone();
         // The effective stream count is capped by the CUDA concurrent-kernel
         // limit the paper cites (32).
-        let streams = cfg.num_streams.min(cfg.gpu.max_concurrent_kernels);
-
-        // --- Stage setup. One GpuLane per GPU: device-memory allocation
-        // (Alg. 1 lines 2-3), page cache, stream round-robin. One
-        // PageSource: secondary storage + MMBuf (lines 9-10, 18-26).
-        let mut lanes = Vec::with_capacity(n);
-        for i in 0..n {
-            lanes.push(GpuLane::for_engine(
-                cfg, store, streams, wa_per_gpu, ra_bpv, tel, i as u32,
-            )?);
+        eff.num_streams = cfg.num_streams.min(cfg.gpu.max_concurrent_kernels);
+        let mut first_err: Option<EngineError> = None;
+        loop {
+            let wa_per_gpu = eff.strategy.wa_bytes_per_gpu(wa_total, n);
+            let mut lanes = Vec::with_capacity(n);
+            let oom = (0..n).find_map(|i| {
+                match GpuLane::for_engine(
+                    &eff,
+                    store,
+                    eff.num_streams,
+                    wa_per_gpu,
+                    ra_bpv,
+                    tel,
+                    i as u32,
+                ) {
+                    Ok(mut lane) => {
+                        if let Some(plan) = faults {
+                            lane.attach_faults(plan.clone());
+                        }
+                        lanes.push(lane);
+                        None
+                    }
+                    Err(e) => Some(e),
+                }
+            });
+            let Some(e) = oom else {
+                return Ok(LaneSetup {
+                    lanes,
+                    strategy: eff.strategy,
+                    wa_per_gpu,
+                });
+            };
+            let first = first_err.get_or_insert(e).clone();
+            if !cfg.degrade_on_oom {
+                return Err(first);
+            }
+            // One rung down the ladder; out of rungs → the original error.
+            let step = if matches!(eff.strategy, Strategy::Performance) && n > 1 {
+                eff.strategy = Strategy::Scalability;
+                "strategy P->S".to_string()
+            } else if eff.num_streams > 1 {
+                let to = eff.num_streams / 2;
+                let label = format!("streams {}->{}", eff.num_streams, to);
+                eff.num_streams = to;
+                label
+            } else if eff.cache_limit_bytes != Some(0) {
+                eff.cache_limit_bytes = Some(0);
+                "cache off".to_string()
+            } else {
+                return Err(first);
+            };
+            tel.add(keys::DEGRADE_EVENTS, 1);
+            if tel.spans_enabled() {
+                tel.record_span(
+                    Track::new(keys::pid::ENGINE, 0),
+                    SpanCat::Degrade,
+                    step,
+                    SimTime::ZERO,
+                    SimTime::ZERO,
+                );
+            }
         }
-        let mut source = ingest::for_config(cfg, store.num_pages(), tel);
+    }
+
+    /// The repeat-until loop (Alg. 1 lines 13-31): per sweep, run the
+    /// functional kernels (phase A, host-parallel safe), account their
+    /// simulated cost (phase B, strictly serial), then barrier and
+    /// synchronise. Progress lands in `out` as it is made, so a typed
+    /// mid-run error leaves `out` describing the partial run.
+    fn sweep_loop(
+        &self,
+        store: &GraphStore,
+        prog: &mut dyn GtsProgram,
+        setup: &mut LaneSetup,
+        source: &mut dyn PageSource,
+        out: &mut RunState,
+    ) -> Result<(), EngineError> {
+        let cfg = &self.cfg;
+        let tel = &self.telemetry;
+        let spans = tel.spans_enabled();
+        let lanes = &mut setup.lanes;
 
         // Total degree of every Large-Page vertex (K_PR_LP needs it).
         let lp_degrees = kernels::lp_total_degrees(store);
@@ -465,8 +623,9 @@ impl Gts {
         let mut t = SimTime::ZERO;
         let sweep_mode = prog.mode() == ExecMode::Sweep;
         if !sweep_mode {
-            t = schedule::broadcast_wa(&mut lanes, wa_per_gpu, t);
+            t = schedule::broadcast_wa(lanes, setup.wa_per_gpu, t);
         }
+        out.t = t;
 
         // Seed nextPIDSet (Alg. 1 lines 4-7).
         let mut plan = SweepPlan::seeded(store, prog.start_vertex())?;
@@ -478,27 +637,21 @@ impl Gts {
         let pool = ThreadPool::new(cfg.host_threads);
         let ctx = AccountCtx {
             store,
-            strategy: cfg.strategy,
-            num_gpus: n,
+            strategy: setup.strategy,
+            num_gpus: cfg.num_gpus,
             page_size: store.cfg().page_size as u64,
-            ra_bytes_per_vertex: ra_bpv,
+            ra_bytes_per_vertex: prog.ra_bytes_per_vertex(),
             class: prog.class(),
             tel,
             spans,
         };
         let mut sweep: u32 = 0;
-        let mut edges_traversed: u64 = 0;
-
-        // --- The repeat-until loop (Alg. 1 lines 13-31): per sweep, run
-        // the functional kernels (phase A, host-parallel safe), account
-        // their simulated cost (phase B, strictly serial), then barrier
-        // and synchronise.
         loop {
             let sweep_wall = t;
             if sweep_mode {
                 // Each iteration re-initialises WA on device (nextPR reset;
                 // Eq. (1)'s first |WA|/c1 term).
-                t = schedule::broadcast_wa(&mut lanes, wa_per_gpu, t);
+                t = schedule::broadcast_wa(lanes, setup.wa_per_gpu, t);
             }
             let mut acc = SweepAccounting::new(t);
 
@@ -511,25 +664,27 @@ impl Gts {
                     sweep,
                 };
                 let outcomes = kernels::run_page_kernels(prog, &pool, &env, phase, &mut scratch);
-                acc.account_phase(&ctx, &mut lanes, source.as_mut(), phase, &outcomes);
+                acc.account_phase(&ctx, lanes, source, phase, &outcomes)?;
             }
 
             // Barrier: all GPUs finish the sweep (Alg. 1 line 27)...
-            t = account::barrier(&lanes, t);
+            t = account::barrier(lanes, t);
             if !sweep_mode {
                 // ...then copy nextPIDSet / cachedPIDMap back (lines
                 // 29-30): one small bitmap pair per GPU.
-                t = account::frontier_copy_back(&mut lanes, store.num_pages(), t);
+                t = account::frontier_copy_back(lanes, store.num_pages(), t);
             } else {
                 // ...or the per-sweep WA write-back for sweep programs
                 // (Fig. 2 step 3; Eq. (1)'s second |WA|/c1 + tsync terms).
-                t = account::sync_wa(&mut lanes, cfg.strategy, cfg.p2p_sync, wa_per_gpu, t);
+                t = account::sync_wa(lanes, setup.strategy, cfg.p2p_sync, setup.wa_per_gpu, t);
             }
 
-            edges_traversed += acc.edges;
+            out.edges += acc.edges;
             let mut stats = acc.stats;
             stats.elapsed = t - sweep_wall;
             account::emit_sweep(tel, spans, sweep, &stats, sweep_wall, t);
+            out.t = t;
+            out.sweeps = sweep + 1;
 
             match prog.end_sweep(sweep, acc.next.is_empty(), acc.any_update) {
                 SweepControl::Done => break,
@@ -549,13 +704,19 @@ impl Gts {
         // Final WA write-back for traversal programs (the cost models note
         // this is negligible, but it is part of the data flow).
         if !sweep_mode {
-            t = account::sync_wa(&mut lanes, cfg.strategy, cfg.p2p_sync, wa_per_gpu, t);
+            t = account::sync_wa(lanes, setup.strategy, cfg.p2p_sync, setup.wa_per_gpu, t);
+            out.t = t;
         }
+        Ok(())
+    }
 
-        // --- Flush every component's counters into the registry and
-        // derive the report from it. Every page touch goes through the
-        // per-GPU caches, so misses ARE the streamed pages and hits the
-        // cache serves — no parallel hand-maintained counters to drift.
+    /// Flush every component's counters into the registry and close the
+    /// run span. Every page touch goes through the per-GPU caches, so
+    /// misses ARE the streamed pages and hits the cache serves — no
+    /// parallel hand-maintained counters to drift. Called on the error
+    /// path too, so partial runs still report what they did.
+    fn finalize(&self, name: &str, lanes: &[GpuLane], source: &dyn PageSource, out: &RunState) {
+        let tel = &self.telemetry;
         let mut hits = 0u64;
         let mut misses = 0u64;
         for (i, lane) in lanes.iter().enumerate() {
@@ -566,22 +727,37 @@ impl Gts {
         tel.add(keys::CACHE_HITS, hits);
         tel.add(keys::CACHE_MISSES, misses);
         tel.add(keys::PAGES_STREAMED, misses);
-        tel.add(keys::EDGES_TRAVERSED, edges_traversed);
+        tel.add(keys::EDGES_TRAVERSED, out.edges);
         source.flush_to(tel);
-        tel.set(keys::RUN_SWEEPS, (sweep + 1) as u64);
-        tel.set(keys::RUN_GPUS, n as u64);
-        tel.set(keys::RUN_ELAPSED_NS, (t - SimTime::ZERO).as_nanos());
-        if spans {
+        tel.set(keys::RUN_SWEEPS, out.sweeps as u64);
+        tel.set(keys::RUN_GPUS, self.cfg.num_gpus as u64);
+        tel.set(keys::RUN_ELAPSED_NS, (out.t - SimTime::ZERO).as_nanos());
+        if tel.spans_enabled() {
             tel.record_span(
                 Track::new(keys::pid::ENGINE, 0),
                 SpanCat::Run,
-                format!("{} run", prog.name()),
+                format!("{name} run"),
                 SimTime::ZERO,
-                t,
+                out.t,
             );
         }
-        Ok(RunReport::from_telemetry(tel, prog.name(), "GTS"))
     }
+}
+
+/// The effective (possibly degraded) execution parameters plus the lanes
+/// built under them.
+struct LaneSetup {
+    lanes: Vec<GpuLane>,
+    strategy: Strategy,
+    wa_per_gpu: u64,
+}
+
+/// Progress of one run, updated as it is made so the error path can
+/// still report the partial run.
+struct RunState {
+    t: SimTime,
+    sweeps: u32,
+    edges: u64,
 }
 
 #[cfg(test)]
@@ -682,16 +858,10 @@ mod tests {
         }
     }
 
-    #[test]
-    fn strategy_s_fits_where_p_cannot() {
-        // WA too big for one GPU but fine when split over four. Device
-        // capacity is set to the exact buffer footprint plus *half* the WA:
-        // Strategy-P (full WA replica) must OOM, Strategy-S (WA/4) must fit.
-        let store = build_graph_store(
-            &rmat(13),
-            PageFormatConfig::new(PhysicalIdConfig::ORIGINAL, 1024),
-        )
-        .unwrap();
+    /// An undersized 4-GPU PageRank setup: the exact buffer footprint
+    /// plus *half* the WA, so Strategy-P (full WA replica) cannot fit
+    /// but Strategy-S (WA/4) can.
+    fn undersized_p_config(store: &GraphStore, strategy: Strategy) -> GtsConfig {
         let v = store.num_vertices();
         let wa = crate::attrs::AlgorithmKind::PageRank.wa_bytes(v);
         let page = store.cfg().page_size as u64;
@@ -700,11 +870,27 @@ mod tests {
         let buffers =
             streams * page * 2 + streams * max_sp_vertices * 4 + store.rvt().memory_bytes();
         let capacity = buffers + wa / 2;
-        let mk = |strategy| GtsConfig {
+        GtsConfig {
             num_gpus: 4,
             strategy,
             gpu: GpuConfig::titan_x().with_device_memory(capacity),
             ..GtsConfig::default()
+        }
+    }
+
+    #[test]
+    fn strategy_s_fits_where_p_cannot() {
+        // WA too big for one GPU but fine when split over four. With
+        // degradation off, Strategy-P must report the O.O.M. it hits.
+        let store = build_graph_store(
+            &rmat(13),
+            PageFormatConfig::new(PhysicalIdConfig::ORIGINAL, 1024),
+        )
+        .unwrap();
+        let v = store.num_vertices();
+        let mk = |strategy| GtsConfig {
+            degrade_on_oom: false,
+            ..undersized_p_config(&store, strategy)
         };
         let mut pr = PageRank::new(v, 1);
         assert!(matches!(
@@ -715,6 +901,94 @@ mod tests {
         Gts::new(mk(Strategy::Scalability))
             .run(&store, &mut pr)
             .expect("Strategy-S must fit");
+    }
+
+    #[test]
+    fn oom_steps_down_to_strategy_s_instead_of_aborting() {
+        // Same undersized setup, but with the default degradation ladder:
+        // the run completes via a recorded P->S step-down, and the ranks
+        // are identical to a run configured as Strategy-S from the start.
+        let store = build_graph_store(
+            &rmat(13),
+            PageFormatConfig::new(PhysicalIdConfig::ORIGINAL, 1024),
+        )
+        .unwrap();
+        let v = store.num_vertices();
+        let engine = Gts::new(undersized_p_config(&store, Strategy::Performance));
+        let mut pr = PageRank::new(v, 1);
+        engine
+            .run(&store, &mut pr)
+            .expect("degradation must rescue the O.O.M.");
+        assert_eq!(engine.telemetry().counter(keys::DEGRADE_EVENTS), 1);
+        let mut want = PageRank::new(v, 1);
+        Gts::new(undersized_p_config(&store, Strategy::Scalability))
+            .run(&store, &mut want)
+            .unwrap();
+        assert_eq!(pr.ranks(), want.ranks(), "degraded run computes S's result");
+    }
+
+    #[test]
+    fn injected_faults_preserve_results_and_add_time() {
+        let store = small_store();
+        let run = |faults: Option<FaultConfig>| {
+            let cfg = GtsConfig {
+                storage: StorageLocation::Ssds(2),
+                mmbuf_percent: 0,
+                cache_limit_bytes: Some(0),
+                faults,
+                ..GtsConfig::default()
+            };
+            let engine = Gts::new(cfg);
+            let mut pr = PageRank::new(store.num_vertices(), 3);
+            let r = engine.run(&store, &mut pr).unwrap();
+            let retries = engine.telemetry().counter(keys::IO_RETRIES);
+            (pr.ranks().to_vec(), r.elapsed, retries)
+        };
+        let clean = run(None);
+        assert_eq!(clean.2, 0, "no plan, no retries");
+        let faulty = run(Some(FaultConfig::with_seed(0xFA)));
+        assert_eq!(faulty.0, clean.0, "ranks must be byte-identical");
+        assert!(faulty.2 > 0, "the default rates must fire on ~600 reads");
+        assert!(
+            faulty.1 > clean.1,
+            "absorbed faults cost simulated time: {:?} vs {:?}",
+            faulty.1,
+            clean.1
+        );
+    }
+
+    #[test]
+    fn failed_runs_still_flush_counters_and_spans() {
+        // Corrupt RVT mid-run (the truncated-entry setup below) with
+        // spans on: the run errs, but the partial trace and counters
+        // must survive — including a closed run span.
+        let n = 600u32;
+        let mut edges: Vec<(u32, u32)> = (1..n).map(|v| (0, v)).collect();
+        edges.extend((1..n).map(|v| (v, 0)));
+        let mut store = build_graph_store(
+            &gts_graph::EdgeList::new(n, edges),
+            PageFormatConfig::new(PhysicalIdConfig::ORIGINAL, 1024),
+        )
+        .unwrap();
+        let lp = store.large_pids()[0];
+        let mut entry = store.rvt().entry(lp);
+        entry.lp_range = None;
+        store.rvt_mut().set_entry(lp, entry);
+        let engine = Gts::builder()
+            .telemetry(Telemetry::with_spans())
+            .build()
+            .unwrap();
+        let mut bfs = Bfs::new(store.num_vertices(), 0);
+        let err = engine.run(&store, &mut bfs).unwrap_err();
+        assert!(matches!(err, EngineError::CorruptRvt { .. }));
+        let tel = engine.telemetry();
+        assert!(tel.span_count() > 0, "partial spans survive the error");
+        assert!(
+            tel.spans().iter().any(|s| s.cat == SpanCat::Run),
+            "the run span is closed even on error"
+        );
+        assert!(tel.counter(keys::RUN_GPUS) > 0, "counters are flushed");
+        assert!(tel.to_chrome_trace().contains("\"ph\":\"X\""));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! serial and in page order, simulated time is identical for every
 //! `host_threads` setting.
 
+use crate::engine::EngineError;
 use crate::report::SweepStats;
 use crate::strategy::Strategy;
 use crate::sweep::ingest::PageSource;
@@ -67,7 +68,10 @@ impl SweepAccounting {
 
     /// Account one phase's pages, in page order: merge kernel outcomes,
     /// resolve data readiness through the source (line 16 first!), then
-    /// issue the per-target copies and kernels on the lanes.
+    /// issue the per-target copies and kernels on the lanes. Because this
+    /// pass is the serial one, it is also where every fault decision is
+    /// made: a fetch or issue that exhausts its retries aborts the run
+    /// with a typed error.
     pub fn account_phase(
         &mut self,
         ctx: &AccountCtx<'_>,
@@ -75,7 +79,7 @@ impl SweepAccounting {
         source: &mut dyn PageSource,
         pids: &[u64],
         outcomes: &[PageOutcome],
-    ) {
+    ) -> Result<(), EngineError> {
         for (&pid, outcome) in pids.iter().zip(outcomes) {
             let work = &outcome.work;
             self.edges += work.active_edges;
@@ -93,7 +97,8 @@ impl SweepAccounting {
             let targets = ctx.strategy.targets(pid, ctx.num_gpus);
             let fanout = targets.len() as u64;
             let all_cached = !targets.clone().any(|gi| !lanes[gi].contains(pid));
-            let data_ready = source.page_ready(pid, ctx.page_size, all_cached, self.sweep_start);
+            let page = ctx.store.page(pid);
+            let data_ready = source.page_ready(pid, page, all_cached, self.sweep_start)?;
             for (ti, gi) in targets.enumerate() {
                 let cost = KernelCost {
                     class: ctx.class,
@@ -117,7 +122,7 @@ impl SweepAccounting {
                 }
                 if hit {
                     self.stats.cache_hits += 1;
-                    lane.issue_kernel(cost, self.sweep_start, "K(cached)");
+                    lane.issue_kernel(cost, self.sweep_start, "K(cached)")?;
                 } else {
                     let ra_bytes = (ctx.ra_bytes_per_vertex > 0).then(|| {
                         schedule::ra_copy_bytes(
@@ -126,10 +131,11 @@ impl SweepAccounting {
                             ctx.ra_bytes_per_vertex,
                         )
                     });
-                    lane.issue_streamed(ctx.page_size, ra_bytes, cost, data_ready);
+                    lane.issue_streamed(ctx.page_size, ra_bytes, cost, data_ready)?;
                 }
             }
         }
+        Ok(())
     }
 }
 

@@ -9,12 +9,17 @@
 //!
 //! A [`PageSource`] answers only the "when" question on the simulated
 //! clock; scheduling the resulting H2D copies is the next stage
-//! ([`crate::sweep::schedule`]).
+//! ([`crate::sweep::schedule`]). Every storage fetch verifies the page's
+//! trailer checksum and is subject to the run's fault plan (injected
+//! transient read errors and torn pages, bounded retry with backoff,
+//! drive quarantine) — see `gts_storage::StorageArray::fetch_verified`.
 
-use crate::engine::{GtsConfig, StorageLocation};
+use crate::engine::{EngineError, GtsConfig, StorageLocation};
+use gts_faults::FaultPlan;
 use gts_sim::SimTime;
 use gts_storage::device::StorageArray;
 use gts_storage::mmbuf::MmBuf;
+use gts_storage::Page;
 use gts_telemetry::Telemetry;
 
 /// Where streamed pages come from, on the simulated clock.
@@ -22,14 +27,16 @@ pub trait PageSource {
     /// The instant page `pid`'s bytes are available on the host for H2D
     /// scheduling. `all_cached` is the Alg. 1 line-16 predicate: every
     /// target GPU holds the page, so the source must not be touched (no
-    /// storage fetch, no MMBuf admission).
+    /// storage fetch, no MMBuf admission). `page` is the page itself so
+    /// a storage-backed source can verify its trailer checksum; a fetch
+    /// that keeps failing surfaces as a typed error, never a panic.
     fn page_ready(
         &mut self,
         pid: u64,
-        page_bytes: u64,
+        page: &Page,
         all_cached: bool,
         sweep_start: SimTime,
-    ) -> SimTime;
+    ) -> Result<SimTime, EngineError>;
 
     /// Flush the source's counters (MMBuf hits/misses, I/O bytes) into
     /// `tel`'s registry at end of run.
@@ -42,8 +49,14 @@ pub trait PageSource {
 pub struct InMemorySource;
 
 impl PageSource for InMemorySource {
-    fn page_ready(&mut self, _pid: u64, _bytes: u64, _all_cached: bool, start: SimTime) -> SimTime {
-        start
+    fn page_ready(
+        &mut self,
+        _pid: u64,
+        _page: &Page,
+        _all_cached: bool,
+        start: SimTime,
+    ) -> Result<SimTime, EngineError> {
+        Ok(start)
     }
 
     fn flush_to(&self, _tel: &Telemetry) {}
@@ -75,15 +88,22 @@ impl StorageSource {
 }
 
 impl PageSource for StorageSource {
-    fn page_ready(&mut self, pid: u64, bytes: u64, all_cached: bool, start: SimTime) -> SimTime {
+    fn page_ready(
+        &mut self,
+        pid: u64,
+        page: &Page,
+        all_cached: bool,
+        start: SimTime,
+    ) -> Result<SimTime, EngineError> {
         // Alg. 1 line 16: cached-everywhere pages skip storage entirely.
         if all_cached {
-            return start;
+            return Ok(start);
         }
         if self.mmbuf.access(pid) {
-            start
+            Ok(start)
         } else {
-            self.array.fetch(pid, bytes, start).end
+            let bytes = page.size_bytes() as u64;
+            Ok(self.array.fetch_verified(pid, page, bytes, start)?.end)
         }
     }
 
@@ -94,8 +114,14 @@ impl PageSource for StorageSource {
 }
 
 /// Build the source the configuration asks for, telemetry attached.
-/// `num_pages` sizes the MMBuf as `cfg.mmbuf_percent` of the graph.
-pub fn for_config(cfg: &GtsConfig, num_pages: u64, tel: &Telemetry) -> Box<dyn PageSource> {
+/// `num_pages` sizes the MMBuf as `cfg.mmbuf_percent` of the graph;
+/// `faults` (when present) injects the run's device-read fault schedule.
+pub fn for_config(
+    cfg: &GtsConfig,
+    num_pages: u64,
+    tel: &Telemetry,
+    faults: Option<&FaultPlan>,
+) -> Box<dyn PageSource> {
     let array = match cfg.storage {
         StorageLocation::InMemory => return Box::new(InMemorySource),
         StorageLocation::Ssds(k) => StorageArray::ssds(k),
@@ -103,6 +129,9 @@ pub fn for_config(cfg: &GtsConfig, num_pages: u64, tel: &Telemetry) -> Box<dyn P
     };
     let mut array = array;
     array.attach_telemetry(tel.clone());
+    if let Some(plan) = faults {
+        array.attach_faults(plan.clone());
+    }
     Box::new(StorageSource::new(
         array,
         MmBuf::with_fraction(num_pages, cfg.mmbuf_percent),
@@ -112,15 +141,27 @@ pub fn for_config(cfg: &GtsConfig, num_pages: u64, tel: &Telemetry) -> Box<dyn P
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gts_graph::generate::rmat;
+    use gts_storage::{build_graph_store, PageFormatConfig, PhysicalIdConfig};
 
-    const PAGE: u64 = 4096;
+    /// A real, sealed page (valid trailer checksum) for fetch tests; its
+    /// size in bytes doubles as the expected I/O accounting unit.
+    fn sample_page() -> Page {
+        let store = build_graph_store(
+            &rmat(6),
+            PageFormatConfig::new(PhysicalIdConfig::ORIGINAL, 1024),
+        )
+        .unwrap();
+        store.page(0).clone()
+    }
 
     #[test]
     fn in_memory_pages_are_always_ready_at_sweep_start() {
+        let page = sample_page();
         let mut src = InMemorySource;
         let start = SimTime::ZERO + gts_sim::SimDuration::from_nanos(500);
         for pid in 0..4 {
-            assert_eq!(src.page_ready(pid, PAGE, false, start), start);
+            assert_eq!(src.page_ready(pid, &page, false, start).unwrap(), start);
         }
         let tel = Telemetry::new();
         src.flush_to(&tel);
@@ -129,11 +170,12 @@ mod tests {
 
     #[test]
     fn fully_cached_pages_generate_zero_storage_traffic() {
+        let page = sample_page();
         let mut src = StorageSource::new(StorageArray::ssds(2), MmBuf::new(8));
         let start = SimTime::ZERO;
         // Line 16: every target GPU caches the page — the source must not
         // be consulted, so no I/O bytes and no MMBuf admission.
-        assert_eq!(src.page_ready(7, PAGE, true, start), start);
+        assert_eq!(src.page_ready(7, &page, true, start).unwrap(), start);
         assert_eq!(src.array().bytes_read(), 0);
         assert_eq!(src.mmbuf().hits() + src.mmbuf().misses(), 0);
         assert!(!src.mmbuf().contains(7), "must not admit a skipped page");
@@ -141,40 +183,64 @@ mod tests {
 
     #[test]
     fn miss_fetches_from_storage_then_mmbuf_serves_the_repeat() {
+        let page = sample_page();
+        let bytes = page.size_bytes() as u64;
         let mut src = StorageSource::new(StorageArray::ssds(1), MmBuf::new(8));
         let start = SimTime::ZERO;
         // Cold: the page comes off the drive — ready strictly later.
-        let ready = src.page_ready(3, PAGE, false, start);
+        let ready = src.page_ready(3, &page, false, start).unwrap();
         assert!(ready > start, "SSD fetch takes simulated time");
-        assert_eq!(src.array().bytes_read(), PAGE);
+        assert_eq!(src.array().bytes_read(), bytes);
         assert_eq!(src.mmbuf().misses(), 1);
         // Warm: the MMBuf serves it — ready immediately, no extra I/O.
-        let again = src.page_ready(3, PAGE, false, start);
+        let again = src.page_ready(3, &page, false, start).unwrap();
         assert_eq!(again, start);
-        assert_eq!(src.array().bytes_read(), PAGE);
+        assert_eq!(src.array().bytes_read(), bytes);
         assert_eq!(src.mmbuf().hits(), 1);
     }
 
     #[test]
     fn flush_reports_mmbuf_and_io_counters() {
+        let page = sample_page();
         let mut src = StorageSource::new(StorageArray::ssds(1), MmBuf::new(8));
-        src.page_ready(0, PAGE, false, SimTime::ZERO);
-        src.page_ready(0, PAGE, false, SimTime::ZERO);
+        src.page_ready(0, &page, false, SimTime::ZERO).unwrap();
+        src.page_ready(0, &page, false, SimTime::ZERO).unwrap();
         let tel = Telemetry::new();
         src.flush_to(&tel);
         assert_eq!(tel.counter(gts_telemetry::keys::MMBUF_HITS), 1);
         assert_eq!(tel.counter(gts_telemetry::keys::MMBUF_MISSES), 1);
-        assert_eq!(tel.counter(gts_telemetry::keys::IO_BYTES_READ), PAGE);
+        assert_eq!(
+            tel.counter(gts_telemetry::keys::IO_BYTES_READ),
+            page.size_bytes() as u64
+        );
     }
 
     #[test]
     fn zero_capacity_mmbuf_always_fetches() {
+        let page = sample_page();
         let mut src = StorageSource::new(StorageArray::ssds(1), MmBuf::new(0));
         for _ in 0..3 {
-            let r = src.page_ready(1, PAGE, false, SimTime::ZERO);
+            let r = src.page_ready(1, &page, false, SimTime::ZERO).unwrap();
             assert!(r > SimTime::ZERO);
         }
-        assert_eq!(src.array().bytes_read(), 3 * PAGE);
+        assert_eq!(src.array().bytes_read(), 3 * page.size_bytes() as u64);
         assert_eq!(src.mmbuf().hits(), 0);
     }
+
+    #[test]
+    fn corrupt_page_surfaces_as_a_typed_engine_error() {
+        let mut page = sample_page();
+        // Flip one payload bit: the trailer checksum no longer matches.
+        page.data[PAGE_HEADER_FLIP] ^= 0x40;
+        let mut src = StorageSource::new(StorageArray::ssds(1), MmBuf::new(8));
+        match src.page_ready(0, &page, false, SimTime::ZERO) {
+            Err(EngineError::Storage(e)) => {
+                assert!(e.to_string().contains("checksum"), "{e}");
+            }
+            other => panic!("expected a storage error, got {other:?}"),
+        }
+    }
+
+    /// Some payload byte well inside the page (past the 8-byte header).
+    const PAGE_HEADER_FLIP: usize = 64;
 }

@@ -8,10 +8,11 @@
 //! hand-rolling timer choreography.
 
 use crate::engine::{EngineError, GtsConfig};
+use gts_faults::FaultPlan;
 use gts_gpu::memory::{DeviceAlloc, DeviceMemory};
 use gts_gpu::timer::{GpuTimer, KernelCost};
 use gts_sim::resource::Scheduled;
-use gts_sim::SimTime;
+use gts_sim::{SimDuration, SimTime};
 use gts_storage::builder::GraphStore;
 use gts_storage::cache::{CachePolicy, LruCache, PageCache};
 use gts_storage::format::{ADJLIST_SZ_BYTES, OFF_BYTES, VID_BYTES};
@@ -24,6 +25,14 @@ pub struct GpuLane {
     timer: GpuTimer,
     cache: PageCache,
     stream_cursor: usize,
+    /// This lane's GPU index (fault-stream entity and counter scope).
+    index: u32,
+    /// Optional injected-fault schedule for copies and kernel launches.
+    faults: Option<FaultPlan>,
+    /// Injected transient copy faults absorbed by retry.
+    copy_faults: u64,
+    /// Injected transient kernel-launch faults absorbed by retry.
+    launch_faults: u64,
     // Held for their Drop-based accounting; the device-memory pool itself
     // is owned here too so allocations stay alive exactly as long as the
     // lane (i.e. the run).
@@ -38,9 +47,20 @@ impl GpuLane {
             timer,
             cache,
             stream_cursor: 0,
+            index: 0,
+            faults: None,
+            copy_faults: 0,
+            launch_faults: 0,
             _mem: None,
             _allocs: Vec::new(),
         }
+    }
+
+    /// Subject this lane's copies and kernel launches to `plan`'s
+    /// injected transient faults (retried with backoff, bounded by the
+    /// plan's `max_retries`).
+    pub fn attach_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
     }
 
     /// A lane with no page cache — every probe misses. The GPU baselines
@@ -52,7 +72,8 @@ impl GpuLane {
     /// The engine's lane for GPU `index`: allocate the four streaming
     /// buffers plus the RVT in device memory (Alg. 1 lines 2-3, OOM is the
     /// paper's O.O.M. cells), give the leftover to the topology cache
-    /// (Sec. 3.3), and attach the run's telemetry.
+    /// (Sec. 3.3), and attach the run's telemetry. Fault plans are wired
+    /// afterwards via [`GpuLane::attach_faults`].
     pub(crate) fn for_engine(
         cfg: &GtsConfig,
         store: &GraphStore,
@@ -91,6 +112,10 @@ impl GpuLane {
             timer,
             cache: cfg.cache_policy.build(cache_pages),
             stream_cursor: 0,
+            index,
+            faults: None,
+            copy_faults: 0,
+            launch_faults: 0,
             _mem: Some(mem),
             _allocs: allocs,
         })
@@ -116,34 +141,115 @@ impl GpuLane {
         self.cache.access(pid)
     }
 
+    /// This lane's retry budget: attempts allowed per operation and the
+    /// sim-time backoff between them. Without a fault plan exactly one
+    /// attempt is made and it cannot be failed by injection.
+    fn fault_policy(&self) -> (u32, SimDuration) {
+        match &self.faults {
+            Some(f) => (f.config().max_retries + 1, f.config().backoff),
+            None => (1, SimDuration::ZERO),
+        }
+    }
+
+    /// Launch `label` on `stream`, retrying injected launch faults with
+    /// backoff. Every attempt — failed ones included — occupies the
+    /// stream and consumes simulated time.
+    fn kernel_with_retry(
+        &mut self,
+        stream: usize,
+        cost: KernelCost,
+        ready: SimTime,
+        label: &str,
+    ) -> Result<Scheduled, EngineError> {
+        let (attempts, backoff) = self.fault_policy();
+        let mut at = ready;
+        for _ in 0..attempts {
+            let faulted = self
+                .faults
+                .as_ref()
+                .is_some_and(|f| f.gpu_launch_fault(self.index));
+            if !faulted {
+                return Ok(self.timer.stream_kernel(stream, cost, at, label));
+            }
+            self.launch_faults += 1;
+            let s = self
+                .timer
+                .stream_kernel(stream, cost, at, &format!("{label}!"));
+            at = s.end + backoff;
+        }
+        Err(EngineError::GpuFault {
+            gpu: self.index,
+            op: "kernel launch",
+            attempts,
+        })
+    }
+
+    /// Copy `bytes` H2D on `stream`, retrying injected copy faults with
+    /// backoff; failed attempts pay the full transfer again.
+    fn h2d_with_retry(
+        &mut self,
+        stream: usize,
+        bytes: u64,
+        ready: SimTime,
+        label: &str,
+    ) -> Result<Scheduled, EngineError> {
+        let (attempts, backoff) = self.fault_policy();
+        let mut at = ready;
+        for _ in 0..attempts {
+            let faulted = self
+                .faults
+                .as_ref()
+                .is_some_and(|f| f.gpu_copy_fault(self.index));
+            if !faulted {
+                return Ok(self.timer.stream_h2d(stream, bytes, at, label));
+            }
+            self.copy_faults += 1;
+            let s = self
+                .timer
+                .stream_h2d(stream, bytes, at, &format!("{label}!"));
+            at = s.end + backoff;
+        }
+        Err(EngineError::GpuFault {
+            gpu: self.index,
+            op: "H2D copy",
+            attempts,
+        })
+    }
+
     /// Launch a kernel on the next stream with its inputs already on the
     /// device (the cache-hit path, or a baseline's whole-graph kernel).
-    pub fn issue_kernel(&mut self, cost: KernelCost, ready: SimTime, label: &str) -> Scheduled {
+    /// Errs only when a fault plan's injected launch faults exhaust the
+    /// retry budget.
+    pub fn issue_kernel(
+        &mut self,
+        cost: KernelCost,
+        ready: SimTime,
+        label: &str,
+    ) -> Result<Scheduled, EngineError> {
         let stream = self.next_stream();
-        self.timer.stream_kernel(stream, cost, ready, label)
+        self.kernel_with_retry(stream, cost, ready, label)
     }
 
     /// Stream a page in and launch its kernel (the miss path, Fig. 2
     /// step 2): topology H2D, then the RA subvector if the program has
     /// one (`None` = program streams no RA; even a zero-byte RA copy
     /// costs a PCI-E latency), then the kernel — all program-ordered on
-    /// one stream.
+    /// one stream. Injected copy/launch faults are retried in place on
+    /// the same stream; exhaustion errs.
     pub fn issue_streamed(
         &mut self,
         page_bytes: u64,
         ra_bytes: Option<u64>,
         cost: KernelCost,
         data_ready: SimTime,
-    ) -> Scheduled {
+    ) -> Result<Scheduled, EngineError> {
         let stream = self.next_stream();
-        let c = self
-            .timer
-            .stream_h2d(stream, page_bytes, data_ready, "SP/LP");
+        let c = self.h2d_with_retry(stream, page_bytes, data_ready, "SP/LP")?;
         let mut ready = c.end;
         if let Some(ra) = ra_bytes {
-            ready = self.timer.stream_h2d(stream, ra, ready, "RA").end;
+            ready = self.h2d_with_retry(stream, ra, ready, "RA")?.end;
         }
-        self.timer.stream_kernel(stream, cost, ready, "K")
+        self.kernel_with_retry(stream, cost, ready, "K")
     }
 
     /// Blocking chunk copy host→device (WA broadcast, Fig. 2 step 1).
@@ -188,6 +294,12 @@ impl GpuLane {
         tel.set(
             keys::gpu(index, keys::GPU_CACHE_CAPACITY_PAGES),
             self.cache.capacity() as u64,
+        );
+        // Zero deltas record nothing: fault-free runs emit no fault keys.
+        tel.add(keys::gpu(index, keys::GPU_COPY_FAULTS), self.copy_faults);
+        tel.add(
+            keys::gpu(index, keys::GPU_LAUNCH_FAULTS),
+            self.launch_faults,
         );
     }
 }
@@ -251,9 +363,15 @@ mod tests {
         // and k3 wraps around to stream 0 — program order forces
         // k3.start >= k1.end.
         let mut lane = lane(2);
-        let k1 = lane.issue_kernel(cost(1 << 20), SimTime::ZERO, "K");
-        let k2 = lane.issue_kernel(cost(1 << 20), SimTime::ZERO, "K");
-        let k3 = lane.issue_kernel(cost(1 << 20), SimTime::ZERO, "K");
+        let k1 = lane
+            .issue_kernel(cost(1 << 20), SimTime::ZERO, "K")
+            .unwrap();
+        let k2 = lane
+            .issue_kernel(cost(1 << 20), SimTime::ZERO, "K")
+            .unwrap();
+        let k3 = lane
+            .issue_kernel(cost(1 << 20), SimTime::ZERO, "K")
+            .unwrap();
         assert_eq!(k1.start, SimTime::ZERO);
         assert_eq!(k2.start, SimTime::ZERO, "second stream starts fresh");
         assert!(k3.start >= k1.end, "wrap-around queues behind stream 0");
@@ -270,19 +388,111 @@ mod tests {
     #[test]
     fn streamed_issue_orders_h2d_before_kernel() {
         let mut l = lane(4);
-        let k = l.issue_streamed(1 << 16, Some(256), cost(1 << 10), SimTime::ZERO);
+        let k = l
+            .issue_streamed(1 << 16, Some(256), cost(1 << 10), SimTime::ZERO)
+            .unwrap();
         assert!(k.start > SimTime::ZERO, "kernel waits for its copies");
         assert_eq!(l.timer().bytes_h2d(), (1 << 16) + 256);
         assert_eq!(l.timer().kernels(), 1);
         // No RA at all skips the copy; a zero-byte RA still pays latency.
         let mut bare = lane(4);
-        let k_bare = bare.issue_streamed(1 << 16, None, cost(1 << 10), SimTime::ZERO);
+        let k_bare = bare
+            .issue_streamed(1 << 16, None, cost(1 << 10), SimTime::ZERO)
+            .unwrap();
         assert_eq!(bare.timer().bytes_h2d(), 1 << 16);
         let mut zero = lane(4);
-        let k_zero = zero.issue_streamed(1 << 16, Some(0), cost(1 << 10), SimTime::ZERO);
+        let k_zero = zero
+            .issue_streamed(1 << 16, Some(0), cost(1 << 10), SimTime::ZERO)
+            .unwrap();
         assert!(
             k_zero.start > k_bare.start,
             "zero-byte RA copy still costs a PCI-E latency"
+        );
+    }
+
+    #[test]
+    fn quiet_fault_plan_changes_nothing() {
+        use gts_faults::{FaultConfig, FaultPlan};
+        let mut plain = lane(2);
+        let mut quiet = lane(2);
+        quiet.attach_faults(FaultPlan::new(FaultConfig::quiet(7)));
+        for _ in 0..4 {
+            let a = plain
+                .issue_streamed(1 << 14, Some(64), cost(1 << 10), SimTime::ZERO)
+                .unwrap();
+            let b = quiet
+                .issue_streamed(1 << 14, Some(64), cost(1 << 10), SimTime::ZERO)
+                .unwrap();
+            assert_eq!(a, b, "zero-rate plan must not perturb the schedule");
+        }
+        assert_eq!(quiet.copy_faults, 0);
+        assert_eq!(quiet.launch_faults, 0);
+    }
+
+    #[test]
+    fn certain_faults_exhaust_retries_into_typed_errors() {
+        use gts_faults::{FaultConfig, FaultPlan, PPM_SCALE};
+        let cfg = FaultConfig {
+            copy_fault_ppm: PPM_SCALE,
+            launch_fault_ppm: 0,
+            max_retries: 2,
+            ..FaultConfig::quiet(1)
+        };
+        let mut l = lane(2);
+        l.attach_faults(FaultPlan::new(cfg.clone()));
+        match l.issue_streamed(1 << 14, None, cost(1 << 10), SimTime::ZERO) {
+            Err(EngineError::GpuFault { gpu, op, attempts }) => {
+                assert_eq!(gpu, 0);
+                assert_eq!(op, "H2D copy");
+                assert_eq!(attempts, 3);
+            }
+            other => panic!("expected GpuFault, got {other:?}"),
+        }
+        // Every failed attempt paid the full transfer on the timer.
+        assert_eq!(l.timer().bytes_h2d(), 3 << 14);
+        assert_eq!(l.copy_faults, 3);
+
+        let mut k = lane(2);
+        k.attach_faults(FaultPlan::new(FaultConfig {
+            copy_fault_ppm: 0,
+            launch_fault_ppm: PPM_SCALE,
+            ..cfg
+        }));
+        match k.issue_kernel(cost(1 << 10), SimTime::ZERO, "K") {
+            Err(EngineError::GpuFault { op, .. }) => assert_eq!(op, "kernel launch"),
+            other => panic!("expected GpuFault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transient_launch_fault_is_retried_on_the_same_stream() {
+        use gts_faults::{FaultConfig, FaultPlan};
+        // Find a seed whose first launch draw faults and second does not;
+        // the scan is deterministic, so the test is too.
+        let mk = |seed| {
+            FaultPlan::new(FaultConfig {
+                launch_fault_ppm: 500_000,
+                max_retries: 4,
+                ..FaultConfig::quiet(seed)
+            })
+        };
+        let seed = (0..64)
+            .find(|&s| {
+                let probe = mk(s);
+                probe.gpu_launch_fault(0) && !probe.gpu_launch_fault(0)
+            })
+            .expect("some seed faults once then heals");
+        let mut l = lane(2);
+        l.attach_faults(mk(seed));
+        let healthy = lane(2)
+            .issue_kernel(cost(1 << 12), SimTime::ZERO, "K")
+            .unwrap();
+        let k = l.issue_kernel(cost(1 << 12), SimTime::ZERO, "K").unwrap();
+        assert_eq!(l.launch_faults, 1);
+        assert_eq!(l.timer().kernels(), 2, "failed attempt also launched");
+        assert!(
+            k.start > healthy.end,
+            "retry waits out the failed attempt plus backoff"
         );
     }
 

@@ -1,0 +1,84 @@
+//! Self-contained deterministic PRNG for fault schedules.
+//!
+//! Mirrors the xoshiro256** + splitmix64 construction `gts-graph` uses
+//! for dataset generation (and that `rand`'s small RNGs use), carried
+//! locally so this crate depends only on `gts-sim` and the build stays
+//! registry-free. Streams are fully determined by the seed.
+
+/// xoshiro256** pseudo-random generator (Blackman & Vigna).
+#[derive(Debug, Clone)]
+pub(crate) struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Seed the generator; any seed (including 0) gives a good stream
+    /// because the state is expanded through splitmix64.
+    pub(crate) fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Rng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `u32` in `[0, n)` (Lemire's multiply-shift with rejection).
+    pub(crate) fn below_u32(&mut self, n: u32) -> u32 {
+        debug_assert!(n > 0, "below_u32 bound must be non-zero");
+        let n = u64::from(n);
+        if n.is_power_of_two() {
+            return (self.next_u64() & (n - 1)) as u32;
+        }
+        let threshold = n.wrapping_neg() % n;
+        loop {
+            let x = self.next_u64();
+            let wide = u128::from(x) * u128::from(n);
+            let (hi, lo) = ((wide >> 64) as u64, wide as u64);
+            if lo >= threshold {
+                return hi as u32;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic on failure by design
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = Rng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(r.below_u32(1_000_000) < 1_000_000);
+        }
+    }
+}

@@ -506,6 +506,7 @@ pub fn build_from_csr(csr: &Csr, cfg: PageFormatConfig) -> Result<GraphStore, Bu
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic on failure by design
 mod tests {
     use super::*;
     use crate::format::{PageKind, PhysicalIdConfig};
@@ -546,8 +547,8 @@ mod tests {
         let g = EdgeList::new(301, edges);
         let store = build_graph_store(&g, small_cfg()).unwrap();
         assert!(!store.large_pids().is_empty());
-        // 300 rids at lp_capacity (256-8-6)/4 = 60 per page → 5 chunks.
-        assert_eq!(store.large_pids().len(), 300usize.div_ceil(60));
+        // 300 rids at lp_capacity (256-8-8-6)/4 = 58 per page → 6 chunks.
+        assert_eq!(store.large_pids().len(), 300usize.div_ceil(58));
         roundtrip(&g, small_cfg());
         // The LP vertex's rid points at its first LP, slot 0.
         let rid = store.rid_of_vertex(0);

@@ -95,6 +95,8 @@ impl CachePolicy for LruCache {
             return false;
         }
         if self.entries.len() >= self.capacity {
+            // len >= capacity > 0, and by_stamp mirrors entries 1:1.
+            #[allow(clippy::expect_used)]
             let (&oldest, &victim) = self.by_stamp.first_key_value().expect("cache non-empty");
             self.by_stamp.remove(&oldest);
             self.entries.remove(&victim);
@@ -262,7 +264,8 @@ impl CachePolicy for RandomCache {
             let victim_at = (self.next_rand() % self.entries.len() as u64) as usize;
             let victim = self.entries[victim_at];
             self.index.remove(&victim);
-            // Swap-remove keeps eviction O(1).
+            // Swap-remove keeps eviction O(1); len >= capacity > 0 here.
+            #[allow(clippy::expect_used)]
             let last = *self.entries.last().expect("non-empty");
             self.entries.swap_remove(victim_at);
             if victim_at < self.entries.len() {
@@ -307,6 +310,7 @@ impl CachePolicy for RandomCache {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic on failure by design
 mod tests {
     use super::*;
 

@@ -6,10 +6,61 @@
 //! line 23). [`BlockDevice`] models one drive as a FIFO queue with a fixed
 //! per-request latency plus bandwidth-proportional transfer time;
 //! [`StorageArray`] stripes pages across drives exactly like `g(j)`.
+//!
+//! With a [`FaultPlan`] attached, [`StorageArray::fetch_verified`] turns
+//! into the recovery path of the fault model: transient read errors and
+//! torn pages are retried with simulated backoff (each failed attempt
+//! still occupies the drive), a drive is quarantined after repeated
+//! consecutive failures (surviving drives re-stripe its pages, mirroring
+//! the `g(j)` rehash), and persistent checksum failures surface as a
+//! typed [`StorageError`] instead of a panic.
 
+use crate::page::Page;
+use gts_faults::{FaultPlan, ReadOutcome};
 use gts_sim::resource::Scheduled;
 use gts_sim::{Bandwidth, Resource, SimDuration, SimTime};
 use gts_telemetry::{keys, SpanCat, Telemetry, Track};
+
+/// Typed failures of the verified fetch path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// Transient errors persisted past the retry budget.
+    RetriesExhausted {
+        /// Page that could not be read.
+        pid: u64,
+        /// Attempts spent (first try + retries).
+        attempts: u32,
+    },
+    /// The page's bytes fail their trailer checksum on every attempt:
+    /// the corruption is real, so re-fetching can never heal it.
+    CorruptPage {
+        /// Page whose checksum never matched.
+        pid: u64,
+    },
+    /// Every drive has been quarantined; no one can serve the page.
+    AllDrivesQuarantined {
+        /// Page that could not be routed.
+        pid: u64,
+    },
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::RetriesExhausted { pid, attempts } => {
+                write!(f, "page {pid}: read failed after {attempts} attempts")
+            }
+            StorageError::CorruptPage { pid } => {
+                write!(f, "page {pid}: persistent trailer checksum mismatch")
+            }
+            StorageError::AllDrivesQuarantined { pid } => {
+                write!(f, "page {pid}: all drives quarantined")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
 
 /// Kind of drive, for presets and reporting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,6 +155,15 @@ impl BlockDevice {
 pub struct StorageArray {
     devices: Vec<BlockDevice>,
     telemetry: Option<Telemetry>,
+    faults: Option<FaultPlan>,
+    /// Per-drive quarantine flag; quarantined drives serve no more reads.
+    quarantined: Vec<bool>,
+    /// Per-drive consecutive failed attempts (reset on success).
+    consecutive_failures: Vec<u32>,
+    read_errors: u64,
+    checksum_mismatches: u64,
+    retries: u64,
+    drives_quarantined: u64,
 }
 
 impl StorageArray {
@@ -114,10 +174,24 @@ impl StorageArray {
     /// storage needs at least one drive.
     pub fn new(devices: Vec<BlockDevice>) -> Self {
         assert!(!devices.is_empty(), "storage array needs >= 1 device");
+        let n = devices.len();
         StorageArray {
             devices,
             telemetry: None,
+            faults: None,
+            quarantined: vec![false; n],
+            consecutive_failures: vec![0; n],
+            read_errors: 0,
+            checksum_mismatches: 0,
+            retries: 0,
+            drives_quarantined: 0,
         }
+    }
+
+    /// Attach a seeded fault schedule; [`StorageArray::fetch_verified`]
+    /// consults it on every read attempt.
+    pub fn attach_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
     }
 
     /// Share `tel` as this array's recording surface: fetches draw I/O
@@ -162,6 +236,25 @@ impl StorageArray {
         (pid % self.devices.len() as u64) as usize
     }
 
+    /// `g(j)` over the *live* (non-quarantined) drives: with no drive
+    /// quarantined this equals [`StorageArray::g`]; after a quarantine the
+    /// victim's pages re-stripe onto the survivors.
+    pub fn route(&self, pid: u64) -> Option<usize> {
+        let live: Vec<usize> = (0..self.devices.len())
+            .filter(|&d| !self.quarantined[d])
+            .collect();
+        if live.is_empty() {
+            None
+        } else {
+            Some(live[(pid % live.len() as u64) as usize])
+        }
+    }
+
+    /// Number of drives currently quarantined.
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.iter().filter(|&&q| q).count()
+    }
+
     /// Fetch page `pid` of `bytes` bytes; ready at `ready`.
     pub fn fetch(&mut self, pid: u64, bytes: u64, ready: SimTime) -> Scheduled {
         let dev = self.g(pid);
@@ -178,14 +271,124 @@ impl StorageArray {
         s
     }
 
+    /// Fetch page `pid` with integrity checking and bounded recovery.
+    ///
+    /// Every attempt occupies a live drive for the full read (failed reads
+    /// are not free), `page`'s trailer checksum decides whether the bytes
+    /// that "arrived" are usable, and retries wait out the configured
+    /// backoff on the simulated clock. Without an attached [`FaultPlan`]
+    /// this is a single checksum-verified read: intact pages behave
+    /// exactly like [`StorageArray::fetch`], corrupt ones surface as
+    /// [`StorageError::CorruptPage`].
+    pub fn fetch_verified(
+        &mut self,
+        pid: u64,
+        page: &Page,
+        bytes: u64,
+        ready: SimTime,
+    ) -> Result<Scheduled, StorageError> {
+        let (max_retries, backoff, quarantine_after) = match &self.faults {
+            Some(f) => {
+                let c = f.config();
+                (c.max_retries, c.backoff, c.quarantine_after)
+            }
+            None => (0, SimDuration::ZERO, u32::MAX),
+        };
+        let mut at = ready;
+        let attempts = max_retries + 1;
+        for attempt in 0..attempts {
+            let dev = self
+                .route(pid)
+                .ok_or(StorageError::AllDrivesQuarantined { pid })?;
+            let s = self.devices[dev].read(bytes, at);
+            if attempt > 0 {
+                self.retries += 1;
+            }
+            let injected = match &self.faults {
+                Some(f) => f.device_read(dev as u64),
+                None => ReadOutcome::Ok,
+            };
+            // A torn read delivers bytes that fail the trailer check — the
+            // same detection path as real on-page corruption, except a
+            // re-fetch heals it.
+            let failure = match injected {
+                ReadOutcome::TransientError => Some(("!read", true)),
+                ReadOutcome::TornPage => Some(("!torn", false)),
+                ReadOutcome::Ok if !page.checksum_ok() => Some(("!corrupt", false)),
+                ReadOutcome::Ok => None,
+            };
+            match failure {
+                None => {
+                    self.consecutive_failures[dev] = 0;
+                    self.record_io_span(dev, format!("page {pid}"), s.start, s.end);
+                    return Ok(s);
+                }
+                Some((tag, is_read_error)) => {
+                    if is_read_error {
+                        self.read_errors += 1;
+                    } else {
+                        self.checksum_mismatches += 1;
+                    }
+                    self.record_io_span(dev, format!("page {pid} {tag}"), s.start, s.end);
+                    self.consecutive_failures[dev] += 1;
+                    if self.consecutive_failures[dev] >= quarantine_after {
+                        self.quarantine(dev, s.end);
+                    }
+                    at = s.end + backoff;
+                }
+            }
+        }
+        if page.checksum_ok() {
+            Err(StorageError::RetriesExhausted { pid, attempts })
+        } else {
+            Err(StorageError::CorruptPage { pid })
+        }
+    }
+
+    /// Take `dev` offline; its pages re-stripe onto the surviving drives.
+    fn quarantine(&mut self, dev: usize, when: SimTime) {
+        if self.quarantined[dev] {
+            return;
+        }
+        self.quarantined[dev] = true;
+        self.drives_quarantined += 1;
+        if let Some(tel) = &self.telemetry {
+            tel.record_span(
+                Track::new(keys::pid::STORAGE, dev as u32),
+                SpanCat::Degrade,
+                format!("quarantine dev{dev}"),
+                when,
+                when,
+            );
+        }
+    }
+
+    fn record_io_span(&self, dev: usize, name: String, start: SimTime, end: SimTime) {
+        if let Some(tel) = &self.telemetry {
+            tel.record_span(
+                Track::new(keys::pid::STORAGE, dev as u32),
+                SpanCat::Io,
+                name,
+                start,
+                end,
+            );
+        }
+    }
+
     /// Total bytes read across all drives.
     pub fn bytes_read(&self) -> u64 {
         self.devices.iter().map(|d| d.bytes_read()).sum()
     }
 
-    /// Flush the array's byte counter into `tel`'s registry.
+    /// Flush the array's byte and fault counters into `tel`'s registry.
+    /// Fault counters at zero leave no key behind, so fault-free runs
+    /// report exactly what they always did.
     pub fn flush_to(&self, tel: &Telemetry) {
         tel.add(keys::IO_BYTES_READ, self.bytes_read());
+        tel.add(keys::IO_READ_ERRORS, self.read_errors);
+        tel.add(keys::IO_CHECKSUM_MISMATCHES, self.checksum_mismatches);
+        tel.add(keys::IO_RETRIES, self.retries);
+        tel.add(keys::IO_DRIVES_QUARANTINED, self.drives_quarantined);
     }
 
     /// Aggregate sequential bandwidth of the array.
@@ -206,15 +409,22 @@ impl StorageArray {
             .fold(SimTime::ZERO, SimTime::max)
     }
 
-    /// Reset all drives.
+    /// Reset all drives, lifting quarantines and clearing fault counters.
     pub fn reset(&mut self) {
         for d in &mut self.devices {
             d.reset();
         }
+        self.quarantined.fill(false);
+        self.consecutive_failures.fill(0);
+        self.read_errors = 0;
+        self.checksum_mismatches = 0;
+        self.retries = 0;
+        self.drives_quarantined = 0;
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic on failure by design
 mod tests {
     use super::*;
 
@@ -312,5 +522,134 @@ mod tests {
     #[should_panic(expected = ">= 1 device")]
     fn empty_array_rejected() {
         let _ = StorageArray::new(vec![]);
+    }
+
+    use crate::format::{PageFormatConfig, PhysicalIdConfig, RecordId, PAGE_HEADER_BYTES};
+    use crate::page::SmallPageEncoder;
+    use gts_faults::{FaultConfig, FaultPlan};
+
+    fn test_page() -> Page {
+        let cfg = PageFormatConfig::new(PhysicalIdConfig::ORIGINAL, 256);
+        let mut enc = SmallPageEncoder::new(cfg);
+        enc.push_vertex(1, &[RecordId::new(0, 0)]);
+        enc.finish(0)
+    }
+
+    #[test]
+    fn verified_fetch_without_faults_matches_plain_fetch() {
+        let page = test_page();
+        let mut a = StorageArray::ssds(2);
+        let mut b = StorageArray::ssds(2);
+        let plain = a.fetch(0, 1_000, SimTime::ZERO);
+        let verified = b.fetch_verified(0, &page, 1_000, SimTime::ZERO).unwrap();
+        assert_eq!(plain, verified);
+    }
+
+    #[test]
+    fn verified_fetch_detects_real_corruption() {
+        let mut page = test_page();
+        page.data[PAGE_HEADER_BYTES] ^= 0xFF;
+        let mut arr = StorageArray::ssds(2);
+        let err = arr
+            .fetch_verified(7, &page, 1_000, SimTime::ZERO)
+            .unwrap_err();
+        assert_eq!(err, StorageError::CorruptPage { pid: 7 });
+        // With a fault plan attached, retries are paid but cannot heal it.
+        let mut arr = StorageArray::ssds(2);
+        arr.attach_faults(FaultPlan::new(FaultConfig::quiet(1)));
+        let err = arr
+            .fetch_verified(7, &page, 1_000, SimTime::ZERO)
+            .unwrap_err();
+        assert_eq!(err, StorageError::CorruptPage { pid: 7 });
+        let tel = Telemetry::new();
+        arr.flush_to(&tel);
+        assert_eq!(tel.counter(keys::IO_CHECKSUM_MISMATCHES), 5); // 1 + 4 retries
+        assert_eq!(tel.counter(keys::IO_RETRIES), 4);
+    }
+
+    #[test]
+    fn transient_errors_cost_time_but_heal() {
+        let page = test_page();
+        // ~30% of reads fail; 8 retries make eventual success overwhelming.
+        let cfg = FaultConfig {
+            read_error_ppm: 300_000,
+            corrupt_page_ppm: 0,
+            max_retries: 8,
+            quarantine_after: u32::MAX,
+            ..FaultConfig::with_seed(42)
+        };
+        let mut faulty = StorageArray::ssds(1);
+        faulty.attach_faults(FaultPlan::new(cfg));
+        let mut clean = StorageArray::ssds(1);
+        let mut saw_retry = false;
+        for pid in 0..64 {
+            let f = faulty
+                .fetch_verified(pid, &page, 4_096, SimTime::ZERO)
+                .unwrap();
+            let c = clean
+                .fetch_verified(pid, &page, 4_096, SimTime::ZERO)
+                .unwrap();
+            assert!(f.end >= c.end, "faults can only add simulated time");
+            saw_retry |= f.end > c.end;
+        }
+        assert!(
+            saw_retry,
+            "seed 42 at 30% must fault at least once in 64 reads"
+        );
+        let tel = Telemetry::new();
+        faulty.flush_to(&tel);
+        assert!(tel.counter(keys::IO_READ_ERRORS) > 0);
+        assert_eq!(
+            tel.counter(keys::IO_RETRIES),
+            tel.counter(keys::IO_READ_ERRORS)
+        );
+    }
+
+    #[test]
+    fn always_failing_drives_get_quarantined_then_typed_error() {
+        let page = test_page();
+        let cfg = FaultConfig {
+            read_error_ppm: 1_000_000, // every attempt fails
+            corrupt_page_ppm: 0,
+            max_retries: 16,
+            quarantine_after: 2,
+            ..FaultConfig::with_seed(5)
+        };
+        let mut arr = StorageArray::ssds(2);
+        arr.attach_faults(FaultPlan::new(cfg));
+        assert_eq!(arr.route(0), Some(0));
+        assert_eq!(arr.route(1), Some(1));
+        let err = arr
+            .fetch_verified(0, &page, 1_000, SimTime::ZERO)
+            .unwrap_err();
+        assert_eq!(err, StorageError::AllDrivesQuarantined { pid: 0 });
+        assert_eq!(arr.quarantined_count(), 2);
+        // Both drives died after 2 consecutive failures each.
+        let tel = Telemetry::new();
+        arr.flush_to(&tel);
+        assert_eq!(tel.counter(keys::IO_DRIVES_QUARANTINED), 2);
+        assert_eq!(tel.counter(keys::IO_READ_ERRORS), 4);
+        arr.reset();
+        assert_eq!(arr.quarantined_count(), 0);
+        assert_eq!(arr.route(0), Some(0));
+    }
+
+    #[test]
+    fn quarantine_re_stripes_to_survivors() {
+        let page = test_page();
+        let cfg = FaultConfig {
+            read_error_ppm: 0,
+            corrupt_page_ppm: 0,
+            ..FaultConfig::with_seed(9)
+        };
+        let mut arr = StorageArray::ssds(3);
+        arr.attach_faults(FaultPlan::new(cfg));
+        arr.quarantine(1, SimTime::ZERO);
+        // Live drives are {0, 2}; pid routing rehashes over them.
+        assert_eq!(arr.route(0), Some(0));
+        assert_eq!(arr.route(1), Some(2));
+        assert_eq!(arr.route(2), Some(0));
+        let s = arr.fetch_verified(1, &page, 1_000, SimTime::ZERO).unwrap();
+        assert_eq!(s.start, SimTime::ZERO);
     }
 }

@@ -11,7 +11,7 @@
 //! ```text
 //! offset  size  field
 //! 0       8     magic "GTSPAGES"
-//! 8       4     format version (LE u32, currently 1)
+//! 8       4     format version (LE u32, currently 2: checksummed pages)
 //! 12      4     page size in bytes (LE u32)
 //! 16      1     p (page-id bytes)
 //! 17      1     q (slot bytes)
@@ -29,8 +29,25 @@ use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"GTSPAGES";
-const VERSION: u32 = 1;
+/// Version 2 added the per-page trailer checksum; version-1 files have no
+/// trailer (slots reach the page end) and are rejected as unsupported.
+const VERSION: u32 = 2;
 const HEADER_BYTES: usize = 40;
+
+/// Decode a little-endian `u32` at `at` without `unwrap` (the caller
+/// guarantees `buf` holds at least `at + 4` bytes).
+fn le_u32(buf: &[u8], at: usize) -> u32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&buf[at..at + 4]);
+    u32::from_le_bytes(b)
+}
+
+/// Decode a little-endian `u64` at `at`.
+fn le_u64(buf: &[u8], at: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[at..at + 8]);
+    u64::from_le_bytes(b)
+}
 
 /// Errors from reading a store file.
 #[derive(Debug)]
@@ -85,19 +102,19 @@ pub fn load_store(path: impl AsRef<Path>) -> Result<GraphStore, FileError> {
     if &header[0..8] != MAGIC {
         return Err(FileError::BadHeader("wrong magic".into()));
     }
-    let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
+    let version = le_u32(&header, 8);
     if version != VERSION {
         return Err(FileError::BadHeader(format!(
             "unsupported version {version} (expected {VERSION})"
         )));
     }
-    let page_size = u32::from_le_bytes(header[12..16].try_into().unwrap()) as usize;
+    let page_size = le_u32(&header, 12) as usize;
     let (p, q) = (header[16], header[17]);
     if !(1..=8).contains(&p) || !(1..=8).contains(&q) {
         return Err(FileError::BadHeader(format!("bad id widths ({p},{q})")));
     }
-    let num_vertices = u64::from_le_bytes(header[24..32].try_into().unwrap());
-    let num_pages = u64::from_le_bytes(header[32..40].try_into().unwrap());
+    let num_vertices = le_u64(&header, 24);
+    let num_pages = le_u64(&header, 32);
     // Validate before constructing: PageFormatConfig::new treats bad
     // combinations as programming errors (panics), but here they indicate
     // a corrupt or foreign file.
@@ -145,6 +162,7 @@ pub fn load_store(path: impl AsRef<Path>) -> Result<GraphStore, FileError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic on failure by design
 mod tests {
     use super::*;
     use crate::builder::build_graph_store;

@@ -28,6 +28,10 @@ pub const ADJLIST_SZ_BYTES: usize = 4;
 pub const MIN_VERTEX_FOOTPRINT: u64 = (VID_BYTES + OFF_BYTES + ADJLIST_SZ_BYTES + 6) as u64;
 /// Bytes of the page header: kind (1) + entry count (4), padded to 8.
 pub const PAGE_HEADER_BYTES: usize = 8;
+/// Bytes of the page trailer: a little-endian FNV-1a 64 checksum over the
+/// rest of the page, sealed at encode time and verified on every fetch so
+/// torn or corrupt pages are *detected*, not silently traversed.
+pub const PAGE_TRAILER_BYTES: usize = 8;
 
 impl PhysicalIdConfig {
     /// The original TurboGraph configuration: 2-byte page ID, 2-byte slot.
@@ -137,7 +141,12 @@ impl PageFormatConfig {
             id.max_page_size(),
             id
         );
-        let min = PAGE_HEADER_BYTES + VID_BYTES + OFF_BYTES + ADJLIST_SZ_BYTES + id.rid_bytes();
+        let min = PAGE_HEADER_BYTES
+            + PAGE_TRAILER_BYTES
+            + VID_BYTES
+            + OFF_BYTES
+            + ADJLIST_SZ_BYTES
+            + id.rid_bytes();
         assert!(
             page_size >= min,
             "page size {page_size} below minimum {min}"
@@ -159,11 +168,11 @@ impl PageFormatConfig {
     }
 
     /// Record-ID entries a Large Page chunk can carry. The LP layout is
-    /// header (kind + entry count) + VID + packed record IDs — the entry
-    /// count lives in the page header, so no separate ADJLIST_SZ field is
-    /// spent.
+    /// header (kind + entry count) + VID + packed record IDs + checksum
+    /// trailer — the entry count lives in the page header, so no separate
+    /// ADJLIST_SZ field is spent.
     pub fn lp_capacity(&self) -> usize {
-        (self.page_size - PAGE_HEADER_BYTES - VID_BYTES) / self.id.rid_bytes()
+        (self.page_size - PAGE_HEADER_BYTES - PAGE_TRAILER_BYTES - VID_BYTES) / self.id.rid_bytes()
     }
 
     /// Bytes a Small-Page vertex with `degree` out-edges consumes
@@ -172,9 +181,10 @@ impl PageFormatConfig {
         VID_BYTES + OFF_BYTES + ADJLIST_SZ_BYTES + degree * self.id.rid_bytes()
     }
 
-    /// Usable byte budget of a Small Page.
+    /// Usable byte budget of a Small Page (header and checksum trailer
+    /// excluded).
     pub fn sp_budget(&self) -> usize {
-        self.page_size - PAGE_HEADER_BYTES
+        self.page_size - PAGE_HEADER_BYTES - PAGE_TRAILER_BYTES
     }
 
     /// True if a vertex of `degree` fits in one (empty) Small Page.
@@ -184,6 +194,7 @@ impl PageFormatConfig {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic on failure by design
 mod tests {
     use super::*;
 
@@ -237,7 +248,7 @@ mod tests {
         let cfg = PageFormatConfig::new(PhysicalIdConfig::ORIGINAL, 4096);
         // rid = 4 bytes under (2,2).
         assert_eq!(cfg.id.rid_bytes(), 4);
-        assert_eq!(cfg.lp_capacity(), (4096 - 8 - 6) / 4);
+        assert_eq!(cfg.lp_capacity(), (4096 - 8 - 8 - 6) / 4);
         assert_eq!(cfg.sp_vertex_bytes(3), 6 + 4 + 4 + 12);
         assert!(cfg.fits_in_small_page(100));
         assert!(!cfg.fits_in_small_page(100_000));

@@ -7,10 +7,13 @@
 //! high-degree vertex's adjacency list.
 //!
 //! All multi-byte fields are little-endian with configurable widths (the
-//! `(p,q)` generalisation of Sec. 6.1).
+//! `(p,q)` generalisation of Sec. 6.1). Every page ends in a
+//! [`PAGE_TRAILER_BYTES`]-wide FNV-1a checksum sealed at encode time;
+//! slots grow backward from just before the trailer.
 
 use crate::format::{
-    PageFormatConfig, PageKind, RecordId, ADJLIST_SZ_BYTES, OFF_BYTES, PAGE_HEADER_BYTES, VID_BYTES,
+    PageFormatConfig, PageKind, RecordId, ADJLIST_SZ_BYTES, OFF_BYTES, PAGE_HEADER_BYTES,
+    PAGE_TRAILER_BYTES, VID_BYTES,
 };
 
 /// An encoded fixed-size slotted page.
@@ -29,6 +32,34 @@ impl Page {
     pub fn size_bytes(&self) -> usize {
         self.data.len()
     }
+
+    /// The checksum stored in the page trailer.
+    pub fn stored_checksum(&self) -> u64 {
+        let at = self.data.len() - PAGE_TRAILER_BYTES;
+        read_le(&self.data[at..], PAGE_TRAILER_BYTES)
+    }
+
+    /// Recompute the trailer checksum and compare it to the stored one.
+    pub fn checksum_ok(&self) -> bool {
+        self.stored_checksum() == page_checksum(&self.data)
+    }
+}
+
+/// FNV-1a 64 over everything except the trailer itself.
+pub fn page_checksum(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in &data[..data.len() - PAGE_TRAILER_BYTES] {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Write the checksum of `data` into its trailer.
+fn seal(data: &mut [u8]) {
+    let sum = page_checksum(data);
+    let at = data.len() - PAGE_TRAILER_BYTES;
+    write_le(&mut data[at..], sum, PAGE_TRAILER_BYTES);
 }
 
 #[inline]
@@ -70,8 +101,10 @@ impl SmallPageEncoder {
 
     /// Bytes still available for one more vertex (slot + record).
     pub fn remaining(&self) -> usize {
-        let used =
-            PAGE_HEADER_BYTES + self.record_cursor + self.slots as usize * (VID_BYTES + OFF_BYTES);
+        let used = PAGE_HEADER_BYTES
+            + PAGE_TRAILER_BYTES
+            + self.record_cursor
+            + self.slots as usize * (VID_BYTES + OFF_BYTES);
         self.cfg.page_size - used
     }
 
@@ -108,19 +141,22 @@ impl SmallPageEncoder {
             at += rid_w;
         }
         self.record_cursor += ADJLIST_SZ_BYTES + adj.len() * rid_w;
-        // Slot, growing backward from the page end.
+        // Slot, growing backward from just before the checksum trailer.
         let slot_no = self.slots;
-        let slot_at = self.cfg.page_size - (slot_no as usize + 1) * (VID_BYTES + OFF_BYTES);
+        let slot_at = self.cfg.page_size
+            - PAGE_TRAILER_BYTES
+            - (slot_no as usize + 1) * (VID_BYTES + OFF_BYTES);
         write_le(&mut self.data[slot_at..], vid, VID_BYTES);
         write_le(&mut self.data[slot_at + VID_BYTES..], off as u64, OFF_BYTES);
         self.slots += 1;
         slot_no
     }
 
-    /// Finish the page with its global ID.
+    /// Finish the page with its global ID, sealing the trailer checksum.
     pub fn finish(mut self, pid: u64) -> Page {
         self.data[0] = 0; // kind = Small
         write_le(&mut self.data[1..], self.slots as u64, 4);
+        seal(&mut self.data);
         Page {
             pid,
             kind: PageKind::Small,
@@ -151,6 +187,7 @@ pub fn encode_large_page(cfg: PageFormatConfig, pid: u64, vid: u64, adj: &[Recor
         );
         at += cfg.id.rid_bytes();
     }
+    seal(&mut data);
     Page {
         pid,
         kind: PageKind::Large,
@@ -193,7 +230,8 @@ impl<'a> PageView<'a> {
     /// Panics if `slot` is out of range for this page.
     pub fn sp_vid(&self, slot: u32) -> u64 {
         assert!(slot < self.count(), "slot {slot} out of range");
-        let at = self.cfg.page_size - (slot as usize + 1) * (VID_BYTES + OFF_BYTES);
+        let at =
+            self.cfg.page_size - PAGE_TRAILER_BYTES - (slot as usize + 1) * (VID_BYTES + OFF_BYTES);
         read_le(&self.page.data[at..], VID_BYTES)
     }
 
@@ -249,7 +287,8 @@ impl<'a> PageView<'a> {
         // out-of-range slot would wrap the offset arithmetic and read
         // garbage (or panic deep in slice indexing) — fail loudly here.
         assert!(slot < self.count(), "slot {slot} out of range");
-        let at = self.cfg.page_size - (slot as usize + 1) * (VID_BYTES + OFF_BYTES);
+        let at =
+            self.cfg.page_size - PAGE_TRAILER_BYTES - (slot as usize + 1) * (VID_BYTES + OFF_BYTES);
         let off = read_le(&self.page.data[at + VID_BYTES..], OFF_BYTES) as usize;
         PAGE_HEADER_BYTES + off
     }
@@ -277,14 +316,21 @@ pub fn validate_layout(cfg: PageFormatConfig, page: &Page) -> Result<(), String>
             cfg.page_size
         ));
     }
+    if !page.checksum_ok() {
+        return Err(format!(
+            "page {}: trailer checksum mismatch (stored {:#018x}, computed {:#018x})",
+            page.pid,
+            page.stored_checksum(),
+            page_checksum(&page.data)
+        ));
+    }
     let view = PageView::new(cfg, page);
     let rid_w = cfg.id.rid_bytes();
     match view.kind() {
         PageKind::Small => {
             let count = view.count() as usize;
             let slot_bytes = VID_BYTES + OFF_BYTES;
-            let slots_start = cfg
-                .page_size
+            let slots_start = (cfg.page_size - PAGE_TRAILER_BYTES)
                 .checked_sub(count * slot_bytes)
                 .ok_or_else(|| format!("page {}: {} slots overflow the page", page.pid, count))?;
             if slots_start < PAGE_HEADER_BYTES {
@@ -294,7 +340,7 @@ pub fn validate_layout(cfg: PageFormatConfig, page: &Page) -> Result<(), String>
                 ));
             }
             for slot in 0..count as u32 {
-                let at = cfg.page_size - (slot as usize + 1) * slot_bytes;
+                let at = cfg.page_size - PAGE_TRAILER_BYTES - (slot as usize + 1) * slot_bytes;
                 let off = read_le(&page.data[at + VID_BYTES..], OFF_BYTES) as usize;
                 let rec = PAGE_HEADER_BYTES + off;
                 if rec + ADJLIST_SZ_BYTES > slots_start {
@@ -316,7 +362,7 @@ pub fn validate_layout(cfg: PageFormatConfig, page: &Page) -> Result<(), String>
         PageKind::Large => {
             let count = view.count() as usize;
             let end = PAGE_HEADER_BYTES + VID_BYTES + count * rid_w;
-            if end > cfg.page_size {
+            if end > cfg.page_size - PAGE_TRAILER_BYTES {
                 return Err(format!(
                     "page {}: LP chunk of {count} entries overruns the page",
                     page.pid
@@ -356,6 +402,7 @@ impl Iterator for SpAdjIter<'_> {
 impl ExactSizeIterator for SpAdjIter<'_> {}
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic on failure by design
 mod tests {
     use super::*;
     use crate::format::PhysicalIdConfig;
@@ -413,13 +460,14 @@ mod tests {
     fn capacity_tracking_refuses_overflow() {
         let c = cfg();
         let mut enc = SmallPageEncoder::new(c);
-        // Each vertex with 1 edge costs 6+4+4+4 = 18 bytes; budget 248.
+        // Each vertex with 1 edge costs 6+4+4+4 = 18 bytes; budget 240
+        // (header and checksum trailer excluded).
         let mut n = 0;
         while enc.fits(1) {
             enc.push_vertex(n, &[RecordId::new(0, 0)]);
             n += 1;
         }
-        assert_eq!(n, (256 - 8) / 18);
+        assert_eq!(n, (256 - 8 - 8) / 18);
         assert!(!enc.fits(1));
         assert!(enc.fits(0) || !enc.fits(0)); // remaining() stays consistent
     }
@@ -448,6 +496,31 @@ mod tests {
             assert_eq!(v.lp_adj(i as u32), *r);
         }
         assert_eq!(v.edges_in_page(), adj.len() as u64);
+    }
+
+    #[test]
+    fn encoded_pages_carry_valid_checksums() {
+        let c = cfg();
+        let mut enc = SmallPageEncoder::new(c);
+        enc.push_vertex(1, &[RecordId::new(0, 0)]);
+        let sp = enc.finish(0);
+        assert!(sp.checksum_ok());
+        assert!(validate_layout(c, &sp).is_ok());
+        let lp = encode_large_page(c, 1, 7, &[RecordId::new(2, 3)]);
+        assert!(lp.checksum_ok());
+        assert!(validate_layout(c, &lp).is_ok());
+    }
+
+    #[test]
+    fn flipped_bit_is_detected() {
+        let c = cfg();
+        let mut enc = SmallPageEncoder::new(c);
+        enc.push_vertex(1, &[RecordId::new(0, 0)]);
+        let mut page = enc.finish(0);
+        page.data[PAGE_HEADER_BYTES + 1] ^= 0x40;
+        assert!(!page.checksum_ok());
+        let err = validate_layout(c, &page).unwrap_err();
+        assert!(err.contains("checksum"), "unexpected error: {err}");
     }
 
     #[test]

@@ -18,6 +18,11 @@
 //! | `kernel.launches` | kernel launches across all GPUs |
 //! | `stream.stalls` | stream operations delayed by a busy engine |
 //! | `io.bytes_read` | bytes fetched from the storage array |
+//! | `io.read_errors` | injected transient device read errors |
+//! | `io.checksum_mismatches` | fetched pages failing the trailer checksum |
+//! | `io.retries` | paid re-fetch attempts after a failed read |
+//! | `io.drives_quarantined` | drives taken offline after repeated failures |
+//! | `degrade.events` | recorded step-downs of the execution strategy |
 //! | `net.bytes` | bytes shipped over the cluster network (baselines) |
 //! | `mem.peak` | peak working-set bytes (max-merged, baselines) |
 //! | `gpu{i}.bytes_h2d` … | per-GPU fields, see the `GPU_*` constants |
@@ -50,6 +55,16 @@ pub const KERNEL_LAUNCHES: &str = "kernel.launches";
 pub const STREAM_STALLS: &str = "stream.stalls";
 /// Bytes fetched from the storage array (SSD/HDD streaming).
 pub const IO_BYTES_READ: &str = "io.bytes_read";
+/// Injected transient device read errors (each costs a full read + backoff).
+pub const IO_READ_ERRORS: &str = "io.read_errors";
+/// Fetched pages whose trailer checksum failed (torn or corrupt reads).
+pub const IO_CHECKSUM_MISMATCHES: &str = "io.checksum_mismatches";
+/// Paid re-fetch attempts issued after a failed read.
+pub const IO_RETRIES: &str = "io.retries";
+/// Drives quarantined after repeated consecutive failures.
+pub const IO_DRIVES_QUARANTINED: &str = "io.drives_quarantined";
+/// Typed degradation events (strategy step-downs) recorded by the engine.
+pub const DEGRADE_EVENTS: &str = "degrade.events";
 /// Bytes shipped over the simulated cluster network (distributed baselines).
 pub const NETWORK_BYTES: &str = "net.bytes";
 /// Peak working-set bytes (max-merged; CPU/GPU baselines).
@@ -75,6 +90,10 @@ pub const GPU_CACHE_HITS: &str = "cache_hits";
 pub const GPU_CACHE_MISSES: &str = "cache_misses";
 /// Per-GPU field: page-cache capacity in pages.
 pub const GPU_CACHE_CAPACITY_PAGES: &str = "cache_capacity_pages";
+/// Per-GPU field: injected transient copy faults absorbed by retry.
+pub const GPU_COPY_FAULTS: &str = "copy_faults";
+/// Per-GPU field: injected transient kernel-launch faults absorbed by retry.
+pub const GPU_LAUNCH_FAULTS: &str = "launch_faults";
 
 /// Per-sweep field: pages visited.
 pub const SWEEP_PAGES: &str = "pages";

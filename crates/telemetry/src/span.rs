@@ -35,6 +35,8 @@ pub enum SpanCat {
     Run,
     /// One sweep/superstep/iteration within a run.
     Sweep,
+    /// A recovery or degradation event (retry, quarantine, step-down).
+    Degrade,
     /// Anything else (sync, merge, ...).
     Other,
 }
@@ -49,6 +51,7 @@ impl SpanCat {
             SpanCat::Cache => "cache",
             SpanCat::Run => "run",
             SpanCat::Sweep => "sweep",
+            SpanCat::Degrade => "degrade",
             SpanCat::Other => "other",
         }
     }
@@ -62,6 +65,7 @@ impl SpanCat {
             SpanCat::Cache => '+',
             SpanCat::Run => '=',
             SpanCat::Sweep => '-',
+            SpanCat::Degrade => '!',
             SpanCat::Other => '~',
         }
     }

@@ -2,10 +2,11 @@
 //!
 //! The engine's reports, counter registry, and chrome traces for a fixed
 //! set of configurations are checked into `tests/golden/` byte-for-byte.
-//! They were generated from the engine *before* the sweep-pipeline
-//! decomposition (`crates/core/src/sweep/`), so any refactor of the sweep
-//! stages that changes a single simulated number, counter, or span shows
-//! up as a diff here — the pipeline must be behavior-preserving.
+//! Any refactor of the sweep stages that changes a single simulated
+//! number, counter, or span shows up as a diff here — the pipeline must
+//! be behavior-preserving. (The fixtures were last blessed when the page
+//! format gained its checksum trailer, which shrank per-page capacity
+//! and therefore shifted every page count and timing.)
 //!
 //! To regenerate after an *intentional* timing-model change:
 //!
@@ -16,8 +17,10 @@
 use gts_core::engine::{Gts, GtsConfig, StorageLocation};
 use gts_core::programs::{Bfs, GtsProgram, PageRank};
 use gts_core::{Strategy, Telemetry};
+use gts_gpu::GpuConfig;
 use gts_graph::generate::rmat;
 use gts_storage::{build_graph_store, GraphStore, PageFormatConfig, PhysicalIdConfig};
+use gts_telemetry::keys;
 use std::path::PathBuf;
 
 /// A named factory for fresh program instances (each run needs its own).
@@ -156,5 +159,66 @@ fn reports_counters_and_traces_match_pre_refactor_goldens() {
         mismatches.is_empty(),
         "outputs diverged from pre-refactor goldens: {mismatches:?}\n\
          (if the timing model changed intentionally, re-bless with GTS_BLESS=1)"
+    );
+}
+
+/// The blessed degraded run: a 4-GPU Strategy-P configuration whose
+/// replicated WA cannot fit any single GPU, so the engine records a
+/// `degrade.events` step-down to Strategy-S and completes anyway. The
+/// fixture pins the degraded timeline — the step-down must stay visible
+/// (and deterministic) in report, counters, and trace.
+#[test]
+fn degraded_oom_step_down_matches_golden() {
+    let store = store();
+    let v = store.num_vertices();
+    let wa = gts_core::attrs::AlgorithmKind::PageRank.wa_bytes(v);
+    let page = store.cfg().page_size as u64;
+    let streams = 16u64;
+    let max_sp_vertices = page / 14; // VID(6) + OFF(4) + ADJLIST_SZ(4)
+    let buffers = streams * page * 2 + streams * max_sp_vertices * 4 + store.rvt().memory_bytes();
+    // Room for the streaming buffers plus half the WA: Strategy-P's full
+    // replica can never fit, a quarter split under Strategy-S can.
+    let cfg = GtsConfig {
+        num_gpus: 4,
+        strategy: Strategy::Performance,
+        storage: StorageLocation::Ssds(2),
+        gpu: GpuConfig::titan_x().with_device_memory(buffers + wa / 2),
+        ..GtsConfig::default()
+    };
+    let engine = Gts::builder()
+        .config(cfg)
+        .telemetry(Telemetry::with_spans())
+        .build()
+        .unwrap();
+    let mut pr = PageRank::new(v, 3);
+    let report = engine
+        .run(&store, &mut pr)
+        .expect("step-down must rescue the run");
+    let tel = engine.telemetry();
+    assert!(
+        tel.counter(keys::DEGRADE_EVENTS) >= 1,
+        "no step-down recorded"
+    );
+
+    let mut mismatches = Vec::new();
+    check_or_bless(
+        "degraded_4gpu_p_ssd_pagerank.report.json",
+        &format!("{}\n", report.to_json()),
+        &mut mismatches,
+    );
+    check_or_bless(
+        "degraded_4gpu_p_ssd_pagerank.counters.json",
+        &counters_json(tel),
+        &mut mismatches,
+    );
+    check_or_bless(
+        "degraded_4gpu_p_ssd_pagerank.trace.json",
+        &tel.to_chrome_trace(),
+        &mut mismatches,
+    );
+    assert!(
+        mismatches.is_empty(),
+        "degraded run diverged from its blessed fixture: {mismatches:?}\n\
+         (if the degradation ladder changed intentionally, re-bless with GTS_BLESS=1)"
     );
 }

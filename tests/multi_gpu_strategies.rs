@@ -117,6 +117,9 @@ fn capacity_scales_linearly_with_gpus_under_strategy_s() {
             num_gpus: gpus,
             strategy: Strategy::Scalability,
             gpu: GpuConfig::titan_x().with_device_memory(capacity),
+            // Fail fast: this test pins the raw capacity boundary, not the
+            // engine's degraded-mode rescue (covered by its own tests).
+            degrade_on_oom: false,
             ..GtsConfig::default()
         };
         let mut cc = Cc::new(s.num_vertices());

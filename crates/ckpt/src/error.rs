@@ -1,0 +1,105 @@
+//! Typed checkpoint errors.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Everything that can go wrong while writing, reading, or decoding a
+/// checkpoint. Every variant carries enough context to act on without a
+/// debugger; the `Display` impls are the user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CkptError {
+    /// A filesystem operation failed.
+    Io {
+        /// What we were doing ("create", "write", "rename", ...).
+        op: &'static str,
+        /// The path involved.
+        path: PathBuf,
+        /// The OS error, stringified.
+        source: String,
+    },
+    /// Snapshot bytes failed structural validation (bad magic, checksum
+    /// mismatch, malformed section table).
+    Corrupt {
+        /// What exactly failed to validate.
+        reason: String,
+    },
+    /// A bounds-checked read ran off the end of the data.
+    Truncated {
+        /// The field being decoded.
+        what: &'static str,
+        /// Bytes the field needs.
+        need: usize,
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// The snapshot was written by an incompatible payload-schema version.
+    VersionMismatch {
+        /// Version found in the snapshot header.
+        found: u32,
+        /// Version this build expects.
+        expected: u32,
+    },
+    /// A section the decoder requires is absent from the snapshot.
+    MissingSection {
+        /// The section name.
+        name: String,
+    },
+    /// There is nothing to resume from: no manifest in the directory.
+    NoSnapshot {
+        /// The checkpoint directory searched.
+        dir: PathBuf,
+    },
+    /// The snapshot belongs to a different run setup (graph store or
+    /// engine config fingerprint differs).
+    Mismatch {
+        /// Which fingerprint disagreed ("store fingerprint", ...).
+        what: &'static str,
+        /// Fingerprint of the current run.
+        want: u64,
+        /// Fingerprint recorded in the snapshot.
+        got: u64,
+    },
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Io { op, path, source } => {
+                write!(f, "checkpoint {op} failed for {}: {source}", path.display())
+            }
+            CkptError::Corrupt { reason } => write!(f, "corrupt checkpoint: {reason}"),
+            CkptError::Truncated { what, need, have } => write!(
+                f,
+                "truncated checkpoint data: {what} needs {need} bytes, {have} available"
+            ),
+            CkptError::VersionMismatch { found, expected } => write!(
+                f,
+                "checkpoint schema version {found} is not supported (this build expects {expected})"
+            ),
+            CkptError::MissingSection { name } => {
+                write!(f, "checkpoint is missing required section \"{name}\"")
+            }
+            CkptError::NoSnapshot { dir } => {
+                write!(f, "no checkpoint to resume from in {}", dir.display())
+            }
+            CkptError::Mismatch { what, want, got } => write!(
+                f,
+                "checkpoint {what} mismatch: snapshot was taken with {got:#018x}, \
+                 this run has {want:#018x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+impl CkptError {
+    /// Helper for wrapping `std::io::Error` with operation + path context.
+    pub(crate) fn io(op: &'static str, path: &std::path::Path, e: &std::io::Error) -> Self {
+        CkptError::Io {
+            op,
+            path: path.to_path_buf(),
+            source: e.to_string(),
+        }
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+// Same no-panic policy as gts-storage / gts-faults: checkpoint code runs on
+// the recovery path, where an unwrap would turn a detectable torn write into
+// an abort of the very run the snapshot exists to rescue.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
+//! # gts-ckpt — crash-consistent checkpoint snapshots
+//!
+//! Long multi-sweep GTS runs (PageRank over an SSD-resident RMAT graph
+//! streams the full topology every iteration) must survive a crash by
+//! resuming from the last sweep boundary, not by restarting from scratch.
+//! This crate provides the storage half of that contract:
+//!
+//! * [`Snapshot`] — a versioned container of named byte sections, sealed
+//!   with the same FNV-1a trailer checksum the slotted-page format uses,
+//!   so a torn or bit-flipped snapshot is *detected*, never silently
+//!   resumed from.
+//! * [`CkptStore`] — a directory of snapshots written crash-atomically
+//!   (temp file → fsync → rename → directory fsync) plus a `MANIFEST`
+//!   naming valid snapshots newest-first. [`CkptStore::load_latest`]
+//!   walks the manifest and returns the first snapshot that decodes and
+//!   checksums cleanly, falling back past torn entries.
+//! * [`codec`] — a minimal little-endian byte codec ([`ByteWriter`] /
+//!   [`ByteReader`]) used by the engine to encode section payloads; every
+//!   read is bounds-checked and returns a typed [`CkptError`].
+//!
+//! What goes *into* the sections (WA vectors, sim clock, fault-RNG
+//! cursors, ...) is the engine's business — see `gts-core::sweep::ckpt`
+//! and DESIGN.md §10. This crate only guarantees that what was written is
+//! either read back exactly or rejected loudly.
+//!
+//! The [`CkptStore::write_torn`] hook deliberately publishes a truncated
+//! snapshot in the manifest; the kill-and-resume chaos tests use it to
+//! prove the fallback path.
+
+pub mod codec;
+mod error;
+mod snapshot;
+mod store;
+
+pub use codec::{ByteReader, ByteWriter};
+pub use error::CkptError;
+pub use snapshot::{fnv1a, Snapshot};
+pub use store::CkptStore;

@@ -25,7 +25,7 @@ use gts_core::engine::{CachePolicyKind, Gts, GtsConfig, StorageLocation};
 use gts_core::programs::{
     Bc, Bfs, Cc, Degrees, GtsProgram, KCore, PageRank, RadiusEstimation, Rwr, Sssp,
 };
-use gts_core::FaultConfig;
+use gts_core::{CheckpointConfig, CrashPoint, FaultConfig};
 use gts_core::{Strategy, Telemetry};
 use gts_gpu::GpuConfig;
 use gts_graph::generate::{erdos_renyi, web_like, Rmat};
@@ -103,6 +103,9 @@ USAGE:
                [--strategy p|s] [--storage mem|ssd:N|hdd:N]
                [--device-memory BYTES] [--cache lru|fifo|random] [--json]
                [--trace-out trace.json] [--host-threads N] [--fault-seed N]
+               [--checkpoint-dir DIR] [--checkpoint-every N] [--resume true]
+               [--run-budget NS] [--sweep-deadline NS] [--counters-out FILE]
+               [--crash-at-sweep K | --crash-mid-write K]
   gts help
 
 Edge files are the binary GTSEDGES format produced by `gts generate`, or
@@ -114,6 +117,16 @@ machine (default: all cores); results, traces and simulated times are
 identical for every value. `--fault-seed` enables deterministic fault
 injection (transient read errors, torn/corrupt pages, GPU copy/launch
 faults) with that seed; recovered faults only add simulated time.
+
+Checkpoint/restart: `--checkpoint-dir` snapshots resumable state every
+`--checkpoint-every` sweeps (default 1) with crash-atomic writes;
+`--resume true` restarts from the latest valid snapshot there. The
+watchdog budgets `--sweep-deadline` / `--run-budget` (simulated ns) abort
+an overrunning run with exit code 4 after flushing a final checkpoint and
+the trace. `--crash-at-sweep K` / `--crash-mid-write K` inject a
+deterministic kill at (or during the snapshot write of) sweep K's
+boundary, for kill-and-resume chaos testing. `--counters-out` writes the
+final counter registry as sorted 'key value' lines, also on failure.
 
 Exit codes: 0 success, 2 usage error, 3 I/O failure, 4 engine failure.";
 
@@ -257,6 +270,59 @@ fn parse_storage(s: &str) -> Result<StorageLocation, String> {
     Err(format!("bad --storage {s:?} (mem | ssd:N | hdd:N)"))
 }
 
+/// The `--checkpoint-dir` / `--checkpoint-every` / `--resume` trio.
+/// `--checkpoint-every` and `--resume` are meaningless without a
+/// directory, so they are usage errors on their own (typo protection).
+fn parse_checkpoint(args: &Args) -> Result<Option<CheckpointConfig>, CliError> {
+    let resume = match args.optional("resume") {
+        None | Some("false") => false,
+        Some("true") => true,
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "bad --resume {other:?} (true | false)"
+            )))
+        }
+    };
+    let Some(dir) = args.optional("checkpoint-dir") else {
+        if args.optional("checkpoint-every").is_some() || resume {
+            return Err(CliError::Usage(
+                "--checkpoint-every/--resume need --checkpoint-dir".into(),
+            ));
+        }
+        return Ok(None);
+    };
+    let every: u32 = match args.optional("checkpoint-every") {
+        None => 1,
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("bad --checkpoint-every {v:?} (sweeps)"))?,
+    };
+    let ck = CheckpointConfig::new(dir, every);
+    Ok(Some(if resume { ck.resuming() } else { ck }))
+}
+
+/// `--crash-at-sweep K` / `--crash-mid-write K` — at most one.
+fn parse_crash_point(args: &Args) -> Result<Option<CrashPoint>, CliError> {
+    let parse = |name: &str, v: &str| -> Result<u32, CliError> {
+        v.parse()
+            .map_err(|_| CliError::Usage(format!("bad --{name} {v:?} (sweep number)")))
+    };
+    match (
+        args.optional("crash-at-sweep"),
+        args.optional("crash-mid-write"),
+    ) {
+        (Some(_), Some(_)) => Err(CliError::Usage(
+            "--crash-at-sweep and --crash-mid-write are mutually exclusive".into(),
+        )),
+        (Some(k), None) => Ok(Some(CrashPoint::AtSweep(parse("crash-at-sweep", k)?))),
+        (None, Some(k)) => Ok(Some(CrashPoint::MidSnapshotWrite(parse(
+            "crash-mid-write",
+            k,
+        )?))),
+        (None, None) => Ok(None),
+    }
+}
+
 fn run(args: &Args) -> Result<(), CliError> {
     args.reject_unknown(&[
         "store",
@@ -273,6 +339,14 @@ fn run(args: &Args) -> Result<(), CliError> {
         "trace-out",
         "host-threads",
         "fault-seed",
+        "checkpoint-dir",
+        "checkpoint-every",
+        "resume",
+        "run-budget",
+        "sweep-deadline",
+        "crash-at-sweep",
+        "crash-mid-write",
+        "counters-out",
     ])?;
     let alg = args
         .positional(1)
@@ -310,11 +384,33 @@ fn run(args: &Args) -> Result<(), CliError> {
                 .map_err(|_| format!("bad --host-threads {ht:?}"))?,
         );
     }
-    if let Some(seed) = args.optional("fault-seed") {
-        let seed: u64 = seed
+    let mut faults = match args.optional("fault-seed") {
+        Some(seed) => Some(FaultConfig::with_seed(
+            seed.parse()
+                .map_err(|_| format!("bad --fault-seed {seed:?}"))?,
+        )),
+        None => None,
+    };
+    if let Some(crash) = parse_crash_point(args)? {
+        // A crash point needs a fault plan to live in; without an
+        // explicit seed, use a quiet plan so the kill is the only fault.
+        faults.get_or_insert_with(|| FaultConfig::quiet(0)).crash = Some(crash);
+    }
+    cfg_builder = cfg_builder.faults(faults);
+    if let Some(ck) = parse_checkpoint(args)? {
+        cfg_builder = cfg_builder.checkpoint(Some(ck));
+    }
+    if let Some(ns) = args.optional("sweep-deadline") {
+        let ns: u64 = ns
             .parse()
-            .map_err(|_| format!("bad --fault-seed {seed:?}"))?;
-        cfg_builder = cfg_builder.faults(Some(FaultConfig::with_seed(seed)));
+            .map_err(|_| format!("bad --sweep-deadline {ns:?} (simulated ns)"))?;
+        cfg_builder = cfg_builder.sweep_deadline_ns(Some(ns));
+    }
+    if let Some(ns) = args.optional("run-budget") {
+        let ns: u64 = ns
+            .parse()
+            .map_err(|_| format!("bad --run-budget {ns:?} (simulated ns)"))?;
+        cfg_builder = cfg_builder.run_budget_ns(Some(ns));
     }
     let cfg = cfg_builder.build().map_err(|e| e.to_string())?;
 
@@ -419,6 +515,15 @@ fn run(args: &Args) -> Result<(), CliError> {
         std::fs::write(path, engine.telemetry().to_chrome_trace())
             .map_err(|e| CliError::Io(format!("writing {path}: {e}")))?;
         outln!("trace:          {path} (load in ui.perfetto.dev or chrome://tracing)");
+    }
+    if let Some(path) = args.optional("counters-out") {
+        // Written before the outcome propagates: a crashed/deadlined run's
+        // counters are exactly what the kill-resume CI job diffs.
+        let mut lines = String::new();
+        for (k, v) in engine.telemetry().counters() {
+            lines.push_str(&format!("{k} {v}\n"));
+        }
+        std::fs::write(path, lines).map_err(|e| CliError::Io(format!("writing {path}: {e}")))?;
     }
     let (report, summary) = outcome?;
     if args.optional("json").map(|v| v == "true").unwrap_or(false) {
@@ -603,6 +708,127 @@ mod tests {
         assert_eq!(err.exit_code(), EXIT_IO);
         let msg = err.to_string();
         assert!(msg.contains("i/o") || msg.contains("No such file"), "{msg}");
+    }
+
+    /// Every malformed checkpoint/watchdog/chaos flag is a typed usage
+    /// error (exit 2) naming the flag — one case per flag.
+    #[test]
+    fn checkpoint_and_watchdog_flags_validate() {
+        let cases: &[(&[&str], &str)] = &[
+            (&["--checkpoint-every", "x"], "--checkpoint-every"),
+            (&["--checkpoint-every", "2"], "--checkpoint-dir"),
+            (&["--resume", "true"], "--checkpoint-dir"),
+            (&["--checkpoint-dir", "d", "--resume", "yes"], "--resume"),
+            (
+                &["--checkpoint-dir", "d", "--checkpoint-every", "0"],
+                "checkpoint.every",
+            ),
+            (&["--run-budget", "soon"], "--run-budget"),
+            (&["--run-budget", "0"], "run_budget_ns"),
+            (&["--sweep-deadline", "-1"], "--sweep-deadline"),
+            (&["--sweep-deadline", "0"], "sweep_deadline_ns"),
+            (&["--crash-at-sweep", "x"], "--crash-at-sweep"),
+            (&["--crash-mid-write", "x"], "--crash-mid-write"),
+            (
+                &["--crash-at-sweep", "2", "--crash-mid-write", "4"],
+                "mutually exclusive",
+            ),
+        ];
+        // A real store so validation (not a missing file) is what fails.
+        let el = tmp("v.el");
+        let st = tmp("v.gts");
+        dispatch(&sv(&[
+            "generate", "--kind", "rmat", "--scale", "8", "--out", &el,
+        ]))
+        .unwrap();
+        dispatch(&sv(&[
+            "build",
+            "--graph",
+            &el,
+            "--out",
+            &st,
+            "--page-size",
+            "4096",
+        ]))
+        .unwrap();
+        for (flags, needle) in cases {
+            let mut argv = sv(&["run", "bfs", "--store", &st]);
+            argv.extend(sv(flags));
+            let err = dispatch(&argv).unwrap_err();
+            assert_eq!(err.exit_code(), EXIT_USAGE, "{flags:?}: {err}");
+            assert!(
+                err.to_string().contains(needle),
+                "{flags:?}: error {err:?} does not name {needle:?}"
+            );
+        }
+        std::fs::remove_file(&el).ok();
+        std::fs::remove_file(&st).ok();
+    }
+
+    /// The flags work end to end: checkpoint, injected kill (engine exit
+    /// code), resume to completion, counters dumped as sorted lines.
+    #[test]
+    fn kill_and_resume_through_the_cli() {
+        let el = tmp("kr.el");
+        let st = tmp("kr.gts");
+        let ck = tmp("kr-ckpts");
+        let counters = tmp("kr-counters.txt");
+        std::fs::remove_dir_all(&ck).ok();
+        dispatch(&sv(&[
+            "generate", "--kind", "rmat", "--scale", "9", "--out", &el,
+        ]))
+        .unwrap();
+        dispatch(&sv(&[
+            "build",
+            "--graph",
+            &el,
+            "--out",
+            &st,
+            "--page-size",
+            "4096",
+        ]))
+        .unwrap();
+        let run = |extra: &[&str]| {
+            let mut argv = sv(&[
+                "run",
+                "pagerank",
+                "--store",
+                &st,
+                "--iterations",
+                "6",
+                "--storage",
+                "ssd:2",
+                "--checkpoint-dir",
+                &ck,
+                "--checkpoint-every",
+                "2",
+            ]);
+            argv.extend(sv(extra));
+            dispatch(&argv)
+        };
+        let err = run(&["--crash-at-sweep", "3"]).unwrap_err();
+        assert_eq!(err.exit_code(), EXIT_ENGINE, "{err}");
+        assert!(err.to_string().contains("injected crash"), "{err}");
+        run(&["--resume", "true", "--counters-out", &counters]).unwrap();
+        let dump = std::fs::read_to_string(&counters).unwrap();
+        let keys: Vec<&str> = dump.lines().map(|l| l.split_once(' ').unwrap().0).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "counters must be sorted");
+        assert!(dump.contains("run.sweeps "), "{dump}");
+        // A deadline abort is the engine's typed failure, trace intact.
+        let tr = tmp("kr-deadline-trace.json");
+        let err = run(&["--run-budget", "1", "--trace-out", &tr]).unwrap_err();
+        assert_eq!(err.exit_code(), EXIT_ENGINE, "{err}");
+        assert!(err.to_string().contains("run_budget_ns"), "{err}");
+        assert!(std::fs::read_to_string(&tr)
+            .unwrap()
+            .contains("traceEvents"));
+        std::fs::remove_file(&tr).ok();
+        std::fs::remove_file(&counters).ok();
+        std::fs::remove_file(&el).ok();
+        std::fs::remove_file(&st).ok();
+        std::fs::remove_dir_all(&ck).ok();
     }
 
     #[test]

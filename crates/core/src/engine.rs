@@ -27,13 +27,15 @@ use crate::programs::{ExecMode, GtsProgram, KernelScratch, SweepControl};
 use crate::report::RunReport;
 use crate::strategy::Strategy;
 use crate::sweep::account::{self, AccountCtx, SweepAccounting};
+use crate::sweep::ckpt;
 use crate::sweep::ingest;
 use crate::sweep::ingest::PageSource;
 use crate::sweep::kernels::{self, KernelEnv};
 use crate::sweep::plan::SweepPlan;
 use crate::sweep::schedule::{self, GpuLane};
+use gts_ckpt::{CkptError, CkptStore, Snapshot};
 use gts_exec::ThreadPool;
-use gts_faults::{FaultConfig, FaultPlan};
+use gts_faults::{CrashPoint, FaultConfig, FaultPlan};
 use gts_gpu::memory::GpuOom;
 use gts_gpu::warp::MicroTechnique;
 use gts_gpu::{GpuConfig, PcieConfig};
@@ -43,6 +45,7 @@ use gts_storage::cache::{FifoCache, LruCache, PageCache, RandomCache};
 use gts_storage::StorageError;
 use gts_telemetry::{keys, SpanCat, Telemetry, Track};
 use std::fmt;
+use std::path::PathBuf;
 
 /// Where the topology pages live before streaming.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,6 +125,51 @@ pub struct GtsConfig {
     /// counts, then no page cache — each step recorded as a typed degrade
     /// event. `false` restores fail-fast O.O.M. reporting.
     pub degrade_on_oom: bool,
+    /// Crash-consistent checkpointing: write a resumable snapshot every
+    /// `every` sweeps to `dir`, and optionally start the run by resuming
+    /// the directory's latest valid snapshot. `None` disables it.
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Watchdog deadline for any single sweep, in simulated nanoseconds.
+    /// A sweep that exceeds it aborts the run with
+    /// [`EngineError::DeadlineExceeded`] — after a final checkpoint is
+    /// flushed (when checkpointing is configured). `None` disables it.
+    pub sweep_deadline_ns: Option<u64>,
+    /// Watchdog budget for the whole run, in simulated nanoseconds,
+    /// checked at every sweep boundary; same abort semantics as
+    /// [`GtsConfig::sweep_deadline_ns`]. `None` disables it.
+    pub run_budget_ns: Option<u64>,
+}
+
+/// Where snapshots go, how often they are taken, and whether this run
+/// starts from one (see [`GtsConfig::checkpoint`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointConfig {
+    /// Directory holding the snapshot files and the manifest.
+    pub dir: PathBuf,
+    /// Snapshot cadence in sweeps (>= 1): a snapshot is written at the
+    /// top of every sweep whose index is a multiple of `every`.
+    pub every: u32,
+    /// Resume from the directory's latest valid snapshot instead of
+    /// starting at sweep 0. Fails with a typed error when the directory
+    /// has no usable snapshot or it belongs to a different run setup.
+    pub resume: bool,
+}
+
+impl CheckpointConfig {
+    /// Checkpoint into `dir` every `every` sweeps, without resuming.
+    pub fn new(dir: impl Into<PathBuf>, every: u32) -> CheckpointConfig {
+        CheckpointConfig {
+            dir: dir.into(),
+            every,
+            resume: false,
+        }
+    }
+
+    /// The same configuration, but resuming from the latest snapshot.
+    pub fn resuming(mut self) -> CheckpointConfig {
+        self.resume = true;
+        self
+    }
 }
 
 impl Default for GtsConfig {
@@ -141,6 +189,9 @@ impl Default for GtsConfig {
             host_threads: gts_exec::default_host_threads(),
             faults: None,
             degrade_on_oom: true,
+            checkpoint: None,
+            sweep_deadline_ns: None,
+            run_budget_ns: None,
         }
     }
 }
@@ -179,6 +230,21 @@ impl GtsConfig {
                 });
             }
         }
+        if let Some(c) = &self.checkpoint {
+            if c.every < 1 {
+                return Err(ConfigError::ZeroCheckpointEvery);
+            }
+        }
+        if self.sweep_deadline_ns == Some(0) {
+            return Err(ConfigError::ZeroDeadline {
+                what: "sweep_deadline_ns",
+            });
+        }
+        if self.run_budget_ns == Some(0) {
+            return Err(ConfigError::ZeroDeadline {
+                what: "run_budget_ns",
+            });
+        }
         Ok(())
     }
 }
@@ -203,6 +269,16 @@ pub enum ConfigError {
         /// The configured GPU's device memory in bytes.
         device_memory: u64,
     },
+    /// `checkpoint.every` was zero — the cadence is in sweeps and a
+    /// snapshot every 0 sweeps is meaningless.
+    ZeroCheckpointEvery,
+    /// A watchdog deadline was zero — every sweep takes simulated time,
+    /// so a zero budget would abort unconditionally.
+    ZeroDeadline {
+        /// Which budget was zero (`"sweep_deadline_ns"` or
+        /// `"run_budget_ns"`).
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -221,6 +297,12 @@ impl fmt::Display for ConfigError {
                 f,
                 "cache_limit_bytes ({limit}) exceeds device memory ({device_memory})"
             ),
+            ConfigError::ZeroCheckpointEvery => {
+                write!(f, "checkpoint.every must be >= 1 (it is a sweep cadence)")
+            }
+            ConfigError::ZeroDeadline { what } => {
+                write!(f, "{what} must be > 0 when set")
+            }
         }
     }
 }
@@ -282,6 +364,13 @@ impl GtsConfigBuilder {
         /// Step down (P→S, fewer streams, no cache) instead of aborting
         /// on device O.O.M.
         degrade_on_oom: bool,
+        /// Crash-consistent checkpointing (`None` disables it).
+        checkpoint: Option<CheckpointConfig>,
+        /// Watchdog deadline per sweep, simulated ns (`None` disables it).
+        sweep_deadline_ns: Option<u64>,
+        /// Watchdog budget for the whole run, simulated ns (`None`
+        /// disables it).
+        run_budget_ns: Option<u64>,
     }
 
     /// Validate and produce the configuration.
@@ -317,6 +406,28 @@ pub enum EngineError {
         /// Attempts made, the first one included.
         attempts: u32,
     },
+    /// The fault plan's injected crash point fired (kill-and-resume chaos
+    /// testing): the process "died" at a sweep boundary, after any
+    /// checkpoint due there reached the directory.
+    InjectedCrash {
+        /// The sweep at whose boundary the crash fired.
+        sweep: u32,
+    },
+    /// A watchdog deadline was exceeded on the simulated clock. When
+    /// checkpointing is configured, a final snapshot was flushed before
+    /// this error surfaced, so the run is resumable.
+    DeadlineExceeded {
+        /// Which budget tripped (`"sweep_deadline_ns"` or
+        /// `"run_budget_ns"`).
+        what: &'static str,
+        /// The configured budget, simulated nanoseconds.
+        limit_ns: u64,
+        /// What was actually spent, simulated nanoseconds.
+        elapsed_ns: u64,
+    },
+    /// A checkpoint operation failed: the directory is unusable, a write
+    /// did not land, or a resume found no compatible snapshot.
+    Checkpoint(CkptError),
 }
 
 impl fmt::Display for EngineError {
@@ -331,6 +442,18 @@ impl fmt::Display for EngineError {
             EngineError::GpuFault { gpu, op, attempts } => {
                 write!(f, "gpu{gpu}: {op} failed after {attempts} attempts")
             }
+            EngineError::InjectedCrash { sweep } => {
+                write!(f, "injected crash at sweep {sweep} boundary")
+            }
+            EngineError::DeadlineExceeded {
+                what,
+                limit_ns,
+                elapsed_ns,
+            } => write!(
+                f,
+                "{what} exceeded: {elapsed_ns} ns spent against a {limit_ns} ns budget"
+            ),
+            EngineError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
         }
     }
 }
@@ -346,6 +469,12 @@ impl From<GpuOom> for EngineError {
 impl From<StorageError> for EngineError {
     fn from(e: StorageError) -> Self {
         EngineError::Storage(e)
+    }
+}
+
+impl From<CkptError> for EngineError {
+    fn from(e: CkptError) -> Self {
+        EngineError::Checkpoint(e)
     }
 }
 
@@ -401,6 +530,13 @@ impl GtsBuilder {
         /// Step down (P→S, fewer streams, no cache) instead of aborting
         /// on device O.O.M.
         degrade_on_oom: bool,
+        /// Crash-consistent checkpointing (`None` disables it).
+        checkpoint: Option<CheckpointConfig>,
+        /// Watchdog deadline per sweep, simulated ns (`None` disables it).
+        sweep_deadline_ns: Option<u64>,
+        /// Watchdog budget for the whole run, simulated ns (`None`
+        /// disables it).
+        run_budget_ns: Option<u64>,
     }
 
     /// Replace the whole configuration (e.g. one made by
@@ -492,22 +628,51 @@ impl Gts {
             tel.name_thread(Track::new(keys::pid::ENGINE, 1), "cache");
         }
         let faults = self.cfg.faults.clone().map(FaultPlan::new);
+        let ck_store = match &self.cfg.checkpoint {
+            Some(c) => Some(CkptStore::open(&c.dir).map_err(EngineError::Checkpoint)?),
+            None => None,
+        };
+        let mut resume: Option<Snapshot> = None;
+        if let (Some(ck), Some(c)) = (&ck_store, &self.cfg.checkpoint) {
+            if c.resume {
+                let (_seq, snap) = ck.load_latest().map_err(EngineError::Checkpoint)?;
+                ckpt::verify_meta(&snap, store, &self.cfg, prog.name())
+                    .map_err(EngineError::Checkpoint)?;
+                resume = Some(snap);
+            }
+        }
+        // A resumed run re-enters at the rung the snapshot recorded —
+        // including any degradations — instead of replaying the ladder.
+        let rung = match &resume {
+            Some(snap) => Some(ckpt::rung_of(snap).map_err(EngineError::Checkpoint)?),
+            None => None,
+        };
         let wa_total = prog.wa_bytes_per_vertex() * store.num_vertices();
-        let mut setup =
-            self.prepare_lanes(store, wa_total, prog.ra_bytes_per_vertex(), faults.as_ref())?;
+        let mut setup = self.prepare_lanes(
+            store,
+            wa_total,
+            prog.ra_bytes_per_vertex(),
+            faults.as_ref(),
+            rung,
+        )?;
         let mut source = ingest::for_config(&self.cfg, store.num_pages(), tel, faults.as_ref());
         let mut out = RunState {
             t: SimTime::ZERO,
             sweeps: 0,
             edges: 0,
         };
+        let env = SweepEnv {
+            faults: faults.as_ref(),
+            ck: ck_store.as_ref(),
+            resume,
+        };
         let err = self
-            .sweep_loop(store, prog, &mut setup, source.as_mut(), &mut out)
+            .sweep_loop(store, prog, &mut setup, source.as_mut(), env, &mut out)
             .err();
         // Flush unconditionally: a failed run still lands its counters,
         // closes its spans, and yields a partial trace — often the very
         // evidence needed to diagnose the fault.
-        self.finalize(prog.name(), &setup.lanes, source.as_ref(), &out);
+        self.finalize(prog.name(), &setup, source.as_ref(), &out);
         match err {
             Some(e) => Err(e),
             None => Ok(RunReport::from_telemetry(tel, prog.name(), "GTS")),
@@ -526,6 +691,7 @@ impl Gts {
         wa_total: u64,
         ra_bpv: u64,
         faults: Option<&FaultPlan>,
+        rung: Option<ckpt::Rung>,
     ) -> Result<LaneSetup, EngineError> {
         let cfg = &self.cfg;
         let tel = &self.telemetry;
@@ -534,6 +700,17 @@ impl Gts {
         // The effective stream count is capped by the CUDA concurrent-kernel
         // limit the paper cites (32).
         eff.num_streams = cfg.num_streams.min(cfg.gpu.max_concurrent_kernels);
+        // A resume starts directly on the snapshot's (possibly degraded)
+        // rung: the ladder already ran before the snapshot was taken, and
+        // its degrade events live in the restored counters.
+        let resumed = rung.is_some();
+        if let Some(r) = rung {
+            eff.strategy = r.strategy;
+            eff.num_streams = r.num_streams;
+            if r.cache_off {
+                eff.cache_limit_bytes = Some(0);
+            }
+        }
         let mut first_err: Option<EngineError> = None;
         loop {
             let wa_per_gpu = eff.strategy.wa_bytes_per_gpu(wa_total, n);
@@ -563,10 +740,12 @@ impl Gts {
                     lanes,
                     strategy: eff.strategy,
                     wa_per_gpu,
+                    num_streams: eff.num_streams,
+                    cache_off: eff.cache_limit_bytes == Some(0),
                 });
             };
             let first = first_err.get_or_insert(e).clone();
-            if !cfg.degrade_on_oom {
+            if resumed || !cfg.degrade_on_oom {
                 return Err(first);
             }
             // One rung down the ladder; out of rungs → the original error.
@@ -608,27 +787,47 @@ impl Gts {
         prog: &mut dyn GtsProgram,
         setup: &mut LaneSetup,
         source: &mut dyn PageSource,
+        env: SweepEnv<'_>,
         out: &mut RunState,
     ) -> Result<(), EngineError> {
         let cfg = &self.cfg;
         let tel = &self.telemetry;
         let spans = tel.spans_enabled();
+        let rung = ckpt::Rung::of(setup);
         let lanes = &mut setup.lanes;
+        let crash = env.faults.and_then(FaultPlan::crash);
 
         // Total degree of every Large-Page vertex (K_PR_LP needs it).
         let lp_degrees = kernels::lp_total_degrees(store);
 
-        // --- Initial WA chunk copy (Alg. 1 line 11 / Fig. 2 step 1).
-        // Each GPU has its own PCI-E link, so the broadcast is parallel.
         let mut t = SimTime::ZERO;
         let sweep_mode = prog.mode() == ExecMode::Sweep;
-        if !sweep_mode {
-            t = schedule::broadcast_wa(lanes, setup.wa_per_gpu, t);
+        let mut sweep: u32 = 0;
+        let mut resumed_at: Option<u32> = None;
+        let mut plan;
+        if let Some(snap) = &env.resume {
+            // Re-enter mid-run: counters, program vectors, fault cursors,
+            // and quarantine state restore in place; the initial WA
+            // broadcast is already inside the restored clock.
+            let rs = ckpt::import_snapshot(snap, tel, prog, source, env.faults)
+                .map_err(EngineError::Checkpoint)?;
+            t = rs.t;
+            sweep = rs.sweep;
+            out.edges = rs.edges;
+            out.sweeps = rs.sweep;
+            resumed_at = Some(rs.sweep);
+            plan = rs.plan;
+        } else {
+            // --- Initial WA chunk copy (Alg. 1 line 11 / Fig. 2 step 1).
+            // Each GPU has its own PCI-E link, so the broadcast is
+            // parallel.
+            if !sweep_mode {
+                t = schedule::broadcast_wa(lanes, setup.wa_per_gpu, t);
+            }
+            // Seed nextPIDSet (Alg. 1 lines 4-7).
+            plan = SweepPlan::seeded(store, prog.start_vertex())?;
         }
         out.t = t;
-
-        // Seed nextPIDSet (Alg. 1 lines 4-7).
-        let mut plan = SweepPlan::seeded(store, prog.start_vertex())?;
 
         let mut scratch = KernelScratch::default();
         // Host threads execute kernel bodies (functional work only); the
@@ -645,8 +844,33 @@ impl Gts {
             tel,
             spans,
         };
-        let mut sweep: u32 = 0;
         loop {
+            // --- Checkpoint boundary: the top of sweep `sweep`, where
+            // the previous end_sweep left every accumulator in its
+            // between-sweeps shape. The boundary the run resumed at is
+            // skipped — its snapshot already exists.
+            if let (Some(c), Some(ck)) = (&cfg.checkpoint, env.ck) {
+                if sweep > 0 && sweep.is_multiple_of(c.every) && resumed_at != Some(sweep) {
+                    let torn = crash == Some(CrashPoint::MidSnapshotWrite(sweep));
+                    let w = ckpt::WriteCtx {
+                        cfg,
+                        tel,
+                        store,
+                        ck,
+                        faults: env.faults,
+                    };
+                    let b = ckpt::Boundary {
+                        rung,
+                        t,
+                        sweep,
+                        edges: out.edges,
+                    };
+                    ckpt::write_checkpoint(&w, lanes, source, prog, &plan, &b, torn)?;
+                }
+            }
+            if crash == Some(CrashPoint::AtSweep(sweep)) {
+                return Err(EngineError::InjectedCrash { sweep });
+            }
             let sweep_wall = t;
             if sweep_mode {
                 // Each iteration re-initialises WA on device (nextPR reset;
@@ -699,6 +923,41 @@ impl Gts {
                 }
             }
             sweep += 1;
+
+            // --- Watchdog: simulated-clock budgets, checked at the sweep
+            // boundary so a final checkpoint (and the caller's trace
+            // flush) leave the run resumable.
+            let run_ns = (t - SimTime::ZERO).as_nanos();
+            let tripped = match (cfg.sweep_deadline_ns, cfg.run_budget_ns) {
+                (Some(limit), _) if stats.elapsed.as_nanos() > limit => {
+                    Some(("sweep_deadline_ns", limit, stats.elapsed.as_nanos()))
+                }
+                (_, Some(limit)) if run_ns > limit => Some(("run_budget_ns", limit, run_ns)),
+                _ => None,
+            };
+            if let Some((what, limit_ns, elapsed_ns)) = tripped {
+                if let (Some(_), Some(ck)) = (&cfg.checkpoint, env.ck) {
+                    let w = ckpt::WriteCtx {
+                        cfg,
+                        tel,
+                        store,
+                        ck,
+                        faults: env.faults,
+                    };
+                    let b = ckpt::Boundary {
+                        rung,
+                        t,
+                        sweep,
+                        edges: out.edges,
+                    };
+                    ckpt::write_checkpoint(&w, lanes, source, prog, &plan, &b, false)?;
+                }
+                return Err(EngineError::DeadlineExceeded {
+                    what,
+                    limit_ns,
+                    elapsed_ns,
+                });
+            }
         }
 
         // Final WA write-back for traversal programs (the cost models note
@@ -715,13 +974,15 @@ impl Gts {
     /// misses ARE the streamed pages and hits the cache serves — no
     /// parallel hand-maintained counters to drift. Called on the error
     /// path too, so partial runs still report what they did.
-    fn finalize(&self, name: &str, lanes: &[GpuLane], source: &dyn PageSource, out: &RunState) {
+    fn finalize(&self, name: &str, setup: &LaneSetup, source: &dyn PageSource, out: &RunState) {
         let tel = &self.telemetry;
         let mut hits = 0u64;
         let mut misses = 0u64;
-        for (i, lane) in lanes.iter().enumerate() {
-            hits += lane.cache().hits();
-            misses += lane.cache().misses();
+        for (i, lane) in setup.lanes.iter().enumerate() {
+            // Bank-inclusive totals: checkpoint boundaries rebuild the
+            // caches cold, banking their statistics first.
+            hits += lane.cache_hits_total();
+            misses += lane.cache_misses_total();
             lane.flush_to(tel, i as u32);
         }
         tel.add(keys::CACHE_HITS, hits);
@@ -732,6 +993,14 @@ impl Gts {
         tel.set(keys::RUN_SWEEPS, out.sweeps as u64);
         tel.set(keys::RUN_GPUS, self.cfg.num_gpus as u64);
         tel.set(keys::RUN_ELAPSED_NS, (out.t - SimTime::ZERO).as_nanos());
+        // Degraded-mode end state: what the run actually executed with,
+        // after any O.O.M. step-downs (or a resumed rung).
+        tel.set(
+            keys::RUN_FINAL_STRATEGY,
+            u64::from(ckpt::strategy_code(setup.strategy)),
+        );
+        tel.set(keys::RUN_FINAL_STREAMS, setup.num_streams as u64);
+        tel.set(keys::RUN_CACHE_ENABLED, u64::from(!setup.cache_off));
         if tel.spans_enabled() {
             tel.record_span(
                 Track::new(keys::pid::ENGINE, 0),
@@ -746,10 +1015,20 @@ impl Gts {
 
 /// The effective (possibly degraded) execution parameters plus the lanes
 /// built under them.
-struct LaneSetup {
-    lanes: Vec<GpuLane>,
-    strategy: Strategy,
-    wa_per_gpu: u64,
+pub(crate) struct LaneSetup {
+    pub(crate) lanes: Vec<GpuLane>,
+    pub(crate) strategy: Strategy,
+    pub(crate) wa_per_gpu: u64,
+    pub(crate) num_streams: usize,
+    pub(crate) cache_off: bool,
+}
+
+/// Per-run context threaded into the sweep loop: the fault plan, the
+/// checkpoint store, and the snapshot a resuming run starts from.
+struct SweepEnv<'a> {
+    faults: Option<&'a FaultPlan>,
+    ck: Option<&'a CkptStore>,
+    resume: Option<Snapshot>,
 }
 
 /// Progress of one run, updated as it is made so the error path can
@@ -1135,6 +1414,86 @@ mod tests {
         assert_eq!(cfg.num_streams, 8);
         assert_eq!(cfg.strategy, Strategy::Scalability);
         assert!(Gts::builder().num_gpus(0).build().is_err());
+        assert_eq!(
+            GtsConfig::builder()
+                .checkpoint(Some(CheckpointConfig::new("ckpts", 0)))
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroCheckpointEvery
+        );
+        assert_eq!(
+            GtsConfig::builder()
+                .sweep_deadline_ns(Some(0))
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroDeadline {
+                what: "sweep_deadline_ns"
+            }
+        );
+        assert_eq!(
+            GtsConfig::builder()
+                .run_budget_ns(Some(0))
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroDeadline {
+                what: "run_budget_ns"
+            }
+        );
+    }
+
+    /// Every [`EngineError`] variant renders its context fields as prose
+    /// an operator can act on — no `{:?}` leakage of variant names.
+    #[test]
+    fn engine_error_display_renders_every_variant() {
+        let cases = [
+            (
+                EngineError::DeviceOom(GpuOom {
+                    requested: 100,
+                    available: 25,
+                    capacity: 50,
+                    label: "WABuf",
+                }),
+                "GPU out of memory allocating WABuf (100 B requested, 25 B free of 50 B)",
+            ),
+            (
+                EngineError::CorruptRvt { pid: 3 },
+                "corrupt RVT: Large Page 3 has no LP_RANGE in its entry",
+            ),
+            (
+                EngineError::Storage(StorageError::CorruptPage { pid: 42 }),
+                "storage: page 42: persistent trailer checksum mismatch",
+            ),
+            (
+                EngineError::GpuFault {
+                    gpu: 2,
+                    op: "H2D copy",
+                    attempts: 4,
+                },
+                "gpu2: H2D copy failed after 4 attempts",
+            ),
+            (
+                EngineError::InjectedCrash { sweep: 6 },
+                "injected crash at sweep 6 boundary",
+            ),
+            (
+                EngineError::DeadlineExceeded {
+                    what: "run_budget_ns",
+                    limit_ns: 1_000,
+                    elapsed_ns: 2_500,
+                },
+                "run_budget_ns exceeded: 2500 ns spent against a 1000 ns budget",
+            ),
+            (
+                EngineError::Checkpoint(CkptError::NoSnapshot {
+                    dir: "ckpts".into(),
+                }),
+                "checkpoint: no checkpoint to resume from in ckpts",
+            ),
+        ];
+        for (e, want) in cases {
+            assert_eq!(e.to_string(), want);
+            assert_ne!(e.to_string(), format!("{e:?}"), "Display must not be Debug");
+        }
     }
 
     #[test]

@@ -74,8 +74,10 @@ pub mod report;
 pub mod strategy;
 pub mod sweep;
 
-pub use engine::{ConfigError, EngineError, Gts, GtsBuilder, GtsConfig, StorageLocation};
-pub use gts_faults::{FaultConfig, FaultPlan};
+pub use engine::{
+    CheckpointConfig, ConfigError, EngineError, Gts, GtsBuilder, GtsConfig, StorageLocation,
+};
+pub use gts_faults::{CrashPoint, FaultConfig, FaultPlan};
 pub use gts_telemetry::Telemetry;
 pub use report::RunReport;
 pub use strategy::Strategy;

@@ -15,8 +15,11 @@
 //! The paper runs BC in single-source mode (its Fig. 13c); multi-source BC
 //! is the sum over sources of independent runs.
 
-use super::{visit_page, ExecMode, GtsProgram, KernelScratch, PageCtx, PageWork, SweepControl};
+use super::{
+    state, visit_page, ExecMode, GtsProgram, KernelScratch, PageCtx, PageWork, SweepControl,
+};
 use crate::attrs::AlgorithmKind;
+use gts_ckpt::{ByteReader, ByteWriter, CkptError};
 use gts_gpu::timer::KernelClass;
 
 const DIST_NULL: u16 = u16::MAX;
@@ -214,4 +217,64 @@ impl GtsProgram for Bc {
             }
         }
     }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        state::put_u16s(&mut w, &self.dist);
+        state::put_f32s(&mut w, &self.sigma);
+        state::put_f32s(&mut w, &self.delta);
+        state::put_f32s(&mut w, &self.bc);
+        match self.phase {
+            Phase::Forward => {
+                w.put_u8(0);
+                w.put_u32(0);
+            }
+            Phase::Backward(l) => {
+                w.put_u8(1);
+                w.put_u32(l);
+            }
+        }
+        w.put_u64(self.pages_by_level.len() as u64);
+        for level in &self.pages_by_level {
+            state::put_u64s(&mut w, level);
+        }
+        w.into_bytes()
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), CkptError> {
+        let mut r = ByteReader::new(bytes);
+        state::load_u16s(&mut r, "bc.dist", &mut self.dist)?;
+        state::load_f32s(&mut r, "bc.sigma", &mut self.sigma)?;
+        state::load_f32s(&mut r, "bc.delta", &mut self.delta)?;
+        state::load_f32s(&mut r, "bc.bc", &mut self.bc)?;
+        let tag = r.take_u8("bc.phase tag")?;
+        let level = r.take_u32("bc.phase level")?;
+        self.phase = match tag {
+            0 => Phase::Forward,
+            1 => Phase::Backward(level),
+            other => {
+                return Err(CkptError::Corrupt {
+                    reason: format!("bc.phase: unknown tag {other}"),
+                })
+            }
+        };
+        let depth = r.take_u64("bc.pages_by_level count")? as usize;
+        self.pages_by_level = Vec::with_capacity(depth);
+        for _ in 0..depth {
+            let n = r.take_u64("bc.level pids count")? as usize;
+            let mut pids = vec![0u64; n];
+            state_load_raw_u64s(&mut r, &mut pids)?;
+            self.pages_by_level.push(pids);
+        }
+        r.finish()
+    }
+}
+
+/// Read `into.len()` raw u64s (no length prefix — the caller already
+/// consumed it to size the buffer).
+fn state_load_raw_u64s(r: &mut ByteReader<'_>, into: &mut [u64]) -> Result<(), CkptError> {
+    for slot in into {
+        *slot = r.take_u64("bc.level pid")?;
+    }
+    Ok(())
 }

@@ -7,8 +7,11 @@
 //! their *pages* are marked in the local `nextPIDSet` so only pages
 //! containing frontier vertices are streamed next level (Sec. 3.3).
 
-use super::{visit_page, ExecMode, GtsProgram, KernelScratch, PageCtx, PageWork, SweepControl};
+use super::{
+    state, visit_page, ExecMode, GtsProgram, KernelScratch, PageCtx, PageWork, SweepControl,
+};
 use crate::attrs::AlgorithmKind;
+use gts_ckpt::{ByteReader, ByteWriter, CkptError};
 use gts_gpu::timer::KernelClass;
 
 /// Level value for undiscovered vertices (the kernel's `NULL`).
@@ -116,5 +119,17 @@ impl GtsProgram for Bfs {
         } else {
             SweepControl::Continue
         }
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        state::put_u16s(&mut w, &self.lv);
+        w.into_bytes()
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), CkptError> {
+        let mut r = ByteReader::new(bytes);
+        state::load_u16s(&mut r, "bfs.lv", &mut self.lv)?;
+        r.finish()
     }
 }

@@ -8,8 +8,11 @@
 //! carries the minimum vertex ID of its component (the same labelling as
 //! `gts_graph::reference::connected_components`).
 
-use super::{visit_page, ExecMode, GtsProgram, KernelScratch, PageCtx, PageWork, SweepControl};
+use super::{
+    state, visit_page, ExecMode, GtsProgram, KernelScratch, PageCtx, PageWork, SweepControl,
+};
 use crate::attrs::AlgorithmKind;
+use gts_ckpt::{ByteReader, ByteWriter, CkptError};
 use gts_gpu::timer::KernelClass;
 
 /// Connected-components vertex program.
@@ -101,5 +104,17 @@ impl GtsProgram for Cc {
         } else {
             SweepControl::Done
         }
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        state::put_u64s(&mut w, &self.label);
+        w.into_bytes()
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), CkptError> {
+        let mut r = ByteReader::new(bytes);
+        state::load_u64s(&mut r, "cc.label", &mut self.label)?;
+        r.finish()
     }
 }

@@ -8,9 +8,11 @@
 //! [`GtsProgram`].
 
 use super::{
-    visit_page, ExecMode, GtsProgram, KernelScratch, PageCtx, PageWork, SharedKernel, SweepControl,
+    state, visit_page, ExecMode, GtsProgram, KernelScratch, PageCtx, PageWork, SharedKernel,
+    SweepControl,
 };
 use crate::attrs::AlgorithmKind;
+use gts_ckpt::{ByteReader, ByteWriter, CkptError};
 use gts_gpu::timer::KernelClass;
 use gts_storage::PageKind;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -92,6 +94,33 @@ impl GtsProgram for Degrees {
             *slot = *acc.get_mut();
         }
         SweepControl::Done
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u64(self.acc.len() as u64);
+        for a in &self.acc {
+            w.put_u32(a.load(Ordering::Relaxed));
+        }
+        state::put_u32s(&mut w, &self.degree);
+        w.into_bytes()
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), CkptError> {
+        let mut r = ByteReader::new(bytes);
+        let n = r.take_u64("degrees.acc count")?;
+        if n != self.acc.len() as u64 {
+            return Err(CkptError::Mismatch {
+                what: "degrees.acc",
+                want: self.acc.len() as u64,
+                got: n,
+            });
+        }
+        for a in &self.acc {
+            a.store(r.take_u32("degrees.acc")?, Ordering::Relaxed);
+        }
+        state::load_u32s(&mut r, "degrees.degree", &mut self.degree)?;
+        r.finish()
     }
 }
 

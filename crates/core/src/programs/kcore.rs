@@ -11,8 +11,11 @@
 //! rounds-based peeling reaches it in at most `#removed` sweeps and
 //! usually far fewer.
 
-use super::{visit_page, ExecMode, GtsProgram, KernelScratch, PageCtx, PageWork, SweepControl};
+use super::{
+    state, visit_page, ExecMode, GtsProgram, KernelScratch, PageCtx, PageWork, SweepControl,
+};
 use crate::attrs::AlgorithmKind;
+use gts_ckpt::{ByteReader, ByteWriter, CkptError};
 use gts_gpu::timer::KernelClass;
 
 /// K-core vertex program. Each sweep counts alive-degrees over the
@@ -107,6 +110,22 @@ impl GtsProgram for KCore {
         }
         self.degree.fill(0);
         SweepControl::Continue
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        // Boundary invariant: `end_sweep` just zero-filled `degree`, so
+        // only the alive flags carry state (degree saved for robustness).
+        let mut w = ByteWriter::new();
+        state::put_bools(&mut w, &self.alive);
+        state::put_u32s(&mut w, &self.degree);
+        w.into_bytes()
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), CkptError> {
+        let mut r = ByteReader::new(bytes);
+        state::load_bools(&mut r, "kcore.alive", &mut self.alive)?;
+        state::load_u32s(&mut r, "kcore.degree", &mut self.degree)?;
+        r.finish()
     }
 }
 

@@ -37,6 +37,7 @@ pub use rwr::Rwr;
 pub use sssp::Sssp;
 
 use crate::attrs::AlgorithmKind;
+use gts_ckpt::CkptError;
 use gts_gpu::timer::KernelClass;
 use gts_gpu::warp::MicroTechnique;
 use gts_storage::page::PageView;
@@ -164,6 +165,34 @@ pub trait GtsProgram {
     /// `any_update` whether any kernel changed WA this sweep.
     fn end_sweep(&mut self, sweep: u32, frontier_empty: bool, any_update: bool) -> SweepControl;
 
+    /// Serialize the program's mutable state as of a sweep boundary (the
+    /// top of the engine loop, where per-sweep accumulators are freshly
+    /// cleared — PageRank's fixed-point scatter sums, SSSP's next
+    /// frontier, ...). The engine embeds the blob in checkpoint
+    /// snapshots; [`GtsProgram::load_state`] must reconstruct the exact
+    /// same state in a freshly-constructed program. The empty default
+    /// means "nothing beyond the constructed state".
+    fn save_state(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restore a blob produced by [`GtsProgram::save_state`] into a
+    /// program freshly constructed with the *same* arguments (graph size,
+    /// source vertex, iteration budget, ...).
+    ///
+    /// # Errors
+    /// [`CkptError`] when the blob is truncated, carries trailing bytes,
+    /// or belongs to a differently-sized graph.
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), CkptError> {
+        if bytes.is_empty() {
+            Ok(())
+        } else {
+            Err(CkptError::Corrupt {
+                reason: "program does not carry checkpoint state".to_string(),
+            })
+        }
+    }
+
     /// The shared-state form of the kernel, if this program supports
     /// executing pages concurrently on host threads. Returning `Some`
     /// asserts that every WA update the kernel performs is *atomically
@@ -197,6 +226,122 @@ pub trait SharedKernel: Sync {
 /// This is the K_SP/K_LP dispatch every program shares; keeping it in one
 /// place keeps the per-page bookkeeping conventions (degree pushes,
 /// active-vertex counting) from drifting across the nine kernels.
+/// Helpers for [`GtsProgram::save_state`] / [`GtsProgram::load_state`]
+/// blobs. Every vector is length-prefixed and, on load, checked against
+/// the freshly-constructed vector's length — so resuming a snapshot
+/// against a different graph fails with a typed [`CkptError::Mismatch`]
+/// instead of scribbling over the wrong vertices.
+pub(crate) mod state {
+    use gts_ckpt::{ByteReader, ByteWriter, CkptError};
+
+    fn check_len(what: &'static str, want: usize, got: u64) -> Result<(), CkptError> {
+        if got == want as u64 {
+            Ok(())
+        } else {
+            Err(CkptError::Mismatch {
+                what,
+                want: want as u64,
+                got,
+            })
+        }
+    }
+
+    pub(crate) fn put_u16s(w: &mut ByteWriter, v: &[u16]) {
+        w.put_u64(v.len() as u64);
+        for &x in v {
+            w.put_u16(x);
+        }
+    }
+
+    pub(crate) fn load_u16s(
+        r: &mut ByteReader<'_>,
+        what: &'static str,
+        into: &mut [u16],
+    ) -> Result<(), CkptError> {
+        check_len(what, into.len(), r.take_u64(what)?)?;
+        for slot in into {
+            *slot = r.take_u16(what)?;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn put_u32s(w: &mut ByteWriter, v: &[u32]) {
+        w.put_u64(v.len() as u64);
+        for &x in v {
+            w.put_u32(x);
+        }
+    }
+
+    pub(crate) fn load_u32s(
+        r: &mut ByteReader<'_>,
+        what: &'static str,
+        into: &mut [u32],
+    ) -> Result<(), CkptError> {
+        check_len(what, into.len(), r.take_u64(what)?)?;
+        for slot in into {
+            *slot = r.take_u32(what)?;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn put_u64s(w: &mut ByteWriter, v: &[u64]) {
+        w.put_u64(v.len() as u64);
+        for &x in v {
+            w.put_u64(x);
+        }
+    }
+
+    pub(crate) fn load_u64s(
+        r: &mut ByteReader<'_>,
+        what: &'static str,
+        into: &mut [u64],
+    ) -> Result<(), CkptError> {
+        check_len(what, into.len(), r.take_u64(what)?)?;
+        for slot in into {
+            *slot = r.take_u64(what)?;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn put_f32s(w: &mut ByteWriter, v: &[f32]) {
+        w.put_u64(v.len() as u64);
+        for &x in v {
+            w.put_f32(x);
+        }
+    }
+
+    pub(crate) fn load_f32s(
+        r: &mut ByteReader<'_>,
+        what: &'static str,
+        into: &mut [f32],
+    ) -> Result<(), CkptError> {
+        check_len(what, into.len(), r.take_u64(what)?)?;
+        for slot in into {
+            *slot = r.take_f32(what)?;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn put_bools(w: &mut ByteWriter, v: &[bool]) {
+        w.put_u64(v.len() as u64);
+        for &x in v {
+            w.put_bool(x);
+        }
+    }
+
+    pub(crate) fn load_bools(
+        r: &mut ByteReader<'_>,
+        what: &'static str,
+        into: &mut [bool],
+    ) -> Result<(), CkptError> {
+        check_len(what, into.len(), r.take_u64(what)?)?;
+        for slot in into {
+            *slot = r.take_bool(what)?;
+        }
+        Ok(())
+    }
+}
+
 pub(crate) fn visit_page<F>(view: PageView<'_>, mut f: F)
 where
     F: FnMut(u64, u32, PageKind, &mut dyn Iterator<Item = RecordId>),

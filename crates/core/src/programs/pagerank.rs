@@ -8,9 +8,11 @@
 //! `gts_graph::reference::pagerank`).
 
 use super::{
-    visit_page, ExecMode, GtsProgram, KernelScratch, PageCtx, PageWork, SharedKernel, SweepControl,
+    state, visit_page, ExecMode, GtsProgram, KernelScratch, PageCtx, PageWork, SharedKernel,
+    SweepControl,
 };
 use crate::attrs::AlgorithmKind;
+use gts_ckpt::{ByteReader, ByteWriter, CkptError};
 use gts_exec::FixedVec;
 use gts_gpu::timer::KernelClass;
 use gts_storage::PageKind;
@@ -185,6 +187,28 @@ impl GtsProgram for PageRank {
         // teleport base re-applied on the next fold).
         std::mem::swap(&mut self.prev, &mut self.next);
         SweepControl::Continue
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        // Boundary invariant: `materialize` ran at the end of the previous
+        // sweep, so `acc` is empty — only the rank vectors and the
+        // convergence marker carry state.
+        let mut w = ByteWriter::new();
+        state::put_f32s(&mut w, &self.prev);
+        state::put_f32s(&mut w, &self.next);
+        w.put_bool(self.converged_at.is_some());
+        w.put_u32(self.converged_at.unwrap_or(0));
+        w.into_bytes()
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), CkptError> {
+        let mut r = ByteReader::new(bytes);
+        state::load_f32s(&mut r, "pagerank.prev", &mut self.prev)?;
+        state::load_f32s(&mut r, "pagerank.next", &mut self.next)?;
+        let some = r.take_bool("pagerank.converged_at tag")?;
+        let at = r.take_u32("pagerank.converged_at")?;
+        self.converged_at = some.then_some(at);
+        r.finish()
     }
 }
 

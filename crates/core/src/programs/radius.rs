@@ -16,8 +16,11 @@
 //! (the hash's trailing-zero count sets one bit), trading exactness for
 //! constant space, exactly as HADI does.
 
-use super::{visit_page, ExecMode, GtsProgram, KernelScratch, PageCtx, PageWork, SweepControl};
+use super::{
+    state, visit_page, ExecMode, GtsProgram, KernelScratch, PageCtx, PageWork, SweepControl,
+};
 use crate::attrs::AlgorithmKind;
+use gts_ckpt::{ByteReader, ByteWriter, CkptError};
 use gts_gpu::timer::KernelClass;
 
 /// Radius-estimation vertex program.
@@ -157,6 +160,24 @@ impl GtsProgram for RadiusEstimation {
         } else {
             SweepControl::Done
         }
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        state::put_u64s(&mut w, &self.prev);
+        state::put_u64s(&mut w, &self.cur);
+        state::put_u16s(&mut w, &self.last_change);
+        w.put_bool(self.changed);
+        w.into_bytes()
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), CkptError> {
+        let mut r = ByteReader::new(bytes);
+        state::load_u64s(&mut r, "radius.prev", &mut self.prev)?;
+        state::load_u64s(&mut r, "radius.cur", &mut self.cur)?;
+        state::load_u16s(&mut r, "radius.last_change", &mut self.last_change)?;
+        self.changed = r.take_bool("radius.changed")?;
+        r.finish()
     }
 }
 

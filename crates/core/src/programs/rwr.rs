@@ -11,9 +11,11 @@
 //! different Apply rule.
 
 use super::{
-    visit_page, ExecMode, GtsProgram, KernelScratch, PageCtx, PageWork, SharedKernel, SweepControl,
+    state, visit_page, ExecMode, GtsProgram, KernelScratch, PageCtx, PageWork, SharedKernel,
+    SweepControl,
 };
 use crate::attrs::AlgorithmKind;
+use gts_ckpt::{ByteReader, ByteWriter, CkptError};
 use gts_exec::FixedVec;
 use gts_gpu::timer::KernelClass;
 use gts_storage::PageKind;
@@ -144,6 +146,22 @@ impl GtsProgram for Rwr {
         }
         std::mem::swap(&mut self.prev, &mut self.next);
         SweepControl::Continue
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        // Boundary invariant: `materialize` already folded and cleared
+        // `acc`, so only the two score vectors carry state.
+        let mut w = ByteWriter::new();
+        state::put_f32s(&mut w, &self.prev);
+        state::put_f32s(&mut w, &self.next);
+        w.into_bytes()
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), CkptError> {
+        let mut r = ByteReader::new(bytes);
+        state::load_f32s(&mut r, "rwr.prev", &mut self.prev)?;
+        state::load_f32s(&mut r, "rwr.next", &mut self.next)?;
+        r.finish()
     }
 }
 

@@ -6,8 +6,11 @@
 //! weights of [`gts_graph::EdgeList::edge_weight`] (the paper's datasets
 //! are unweighted, so its SSSP runs also used generated weights).
 
-use super::{visit_page, ExecMode, GtsProgram, KernelScratch, PageCtx, PageWork, SweepControl};
+use super::{
+    state, visit_page, ExecMode, GtsProgram, KernelScratch, PageCtx, PageWork, SweepControl,
+};
 use crate::attrs::AlgorithmKind;
+use gts_ckpt::{ByteReader, ByteWriter, CkptError};
 use gts_gpu::timer::KernelClass;
 use gts_graph::EdgeList;
 
@@ -114,5 +117,22 @@ impl GtsProgram for Sssp {
         } else {
             SweepControl::Continue
         }
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        // Boundary invariant: `end_sweep` swapped the frontiers and
+        // blanked `next_active`, so only `dist` and `active` carry state.
+        let mut w = ByteWriter::new();
+        state::put_u32s(&mut w, &self.dist);
+        state::put_bools(&mut w, &self.active);
+        w.into_bytes()
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), CkptError> {
+        let mut r = ByteReader::new(bytes);
+        state::load_u32s(&mut r, "sssp.dist", &mut self.dist)?;
+        state::load_bools(&mut r, "sssp.active", &mut self.active)?;
+        self.next_active.fill(false);
+        r.finish()
     }
 }

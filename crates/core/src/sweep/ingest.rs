@@ -20,7 +20,7 @@ use gts_sim::SimTime;
 use gts_storage::device::StorageArray;
 use gts_storage::mmbuf::MmBuf;
 use gts_storage::Page;
-use gts_telemetry::Telemetry;
+use gts_telemetry::{keys, Telemetry};
 
 /// Where streamed pages come from, on the simulated clock.
 pub trait PageSource {
@@ -41,6 +41,21 @@ pub trait PageSource {
     /// Flush the source's counters (MMBuf hits/misses, I/O bytes) into
     /// `tel`'s registry at end of run.
     fn flush_to(&self, tel: &Telemetry);
+
+    /// Checkpoint-boundary reset: discard warm state a resumed run could
+    /// not rebuild (the MMBuf ring), banking its statistics first so run
+    /// totals survive. The in-memory source holds no such state.
+    fn checkpoint_reset(&mut self) {}
+
+    /// Per-drive recovery state (quarantine flags, consecutive-failure
+    /// counts) for a snapshot; empty for sources without drives.
+    fn export_recovery(&self) -> (Vec<bool>, Vec<u32>) {
+        (Vec::new(), Vec::new())
+    }
+
+    /// Restore state captured by [`PageSource::export_recovery`]. Ignored
+    /// by sources without drives (and by arrays of a different shape).
+    fn import_recovery(&mut self, _quarantined: &[bool], _failures: &[u32]) {}
 }
 
 /// The whole graph is resident in main memory (the paper's in-memory
@@ -68,12 +83,23 @@ impl PageSource for InMemorySource {
 pub struct StorageSource {
     array: StorageArray,
     mmbuf: MmBuf,
+    /// MMBuf statistics accumulated before checkpoint-boundary clears
+    /// (`MmBuf::clear` zeroes its counters along with residency).
+    banked_hits: u64,
+    banked_misses: u64,
+    banked_evictions: u64,
 }
 
 impl StorageSource {
     /// A source reading from `array` with `mmbuf` in front.
     pub fn new(array: StorageArray, mmbuf: MmBuf) -> StorageSource {
-        StorageSource { array, mmbuf }
+        StorageSource {
+            array,
+            mmbuf,
+            banked_hits: 0,
+            banked_misses: 0,
+            banked_evictions: 0,
+        }
     }
 
     /// The underlying MMBuf (hit/miss statistics).
@@ -108,8 +134,31 @@ impl PageSource for StorageSource {
     }
 
     fn flush_to(&self, tel: &Telemetry) {
-        self.mmbuf.flush_to(tel);
+        tel.add(keys::MMBUF_HITS, self.banked_hits + self.mmbuf.hits());
+        tel.add(keys::MMBUF_MISSES, self.banked_misses + self.mmbuf.misses());
+        tel.add(
+            keys::MMBUF_EVICTIONS,
+            self.banked_evictions + self.mmbuf.evictions(),
+        );
         self.array.flush_to(tel);
+    }
+
+    fn checkpoint_reset(&mut self) {
+        // A resumed run's MMBuf starts empty; the checkpointing run must
+        // go cold at the same boundary or the ready-times diverge. Bank
+        // the counters first — `clear` zeroes them with the residency.
+        self.banked_hits += self.mmbuf.hits();
+        self.banked_misses += self.mmbuf.misses();
+        self.banked_evictions += self.mmbuf.evictions();
+        self.mmbuf.clear();
+    }
+
+    fn export_recovery(&self) -> (Vec<bool>, Vec<u32>) {
+        self.array.export_recovery_state()
+    }
+
+    fn import_recovery(&mut self, quarantined: &[bool], failures: &[u32]) {
+        self.array.import_recovery_state(quarantined, failures);
     }
 }
 

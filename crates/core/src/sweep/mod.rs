@@ -21,12 +21,16 @@
 //! * [`kernels`] — phase A: functional kernel execution, possibly spread
 //!   over host threads (simulated time is accounted afterwards, in
 //!   [`account`], so host parallelism can never change a number).
+//! * [`ckpt`] — sweep-boundary snapshots: build, write, verify, and
+//!   restore the resumable state behind crash-consistent
+//!   checkpoint/restart.
 //!
 //! `Gts::run` composes these stages; the decomposition is
 //! behavior-preserving by construction and pinned byte-for-byte by the
 //! golden-report fixtures in `tests/golden/`.
 
 pub mod account;
+pub(crate) mod ckpt;
 pub mod ingest;
 pub mod kernels;
 pub mod plan;

@@ -81,6 +81,13 @@ impl SweepPlan {
         })
     }
 
+    /// Rebuild a plan from checkpointed page lists. Both lists were
+    /// sorted when the snapshot was taken and the snapshot container is
+    /// checksummed, so they are trusted as-is.
+    pub(crate) fn from_parts(sp_pids: Vec<u64>, lp_pids: Vec<u64>) -> SweepPlan {
+        SweepPlan { sp_pids, lp_pids }
+    }
+
     /// The Small-Page phase, ascending.
     pub fn sp_pids(&self) -> &[u64] {
         &self.sp_pids

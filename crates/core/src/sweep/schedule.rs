@@ -33,6 +33,11 @@ pub struct GpuLane {
     copy_faults: u64,
     /// Injected transient kernel-launch faults absorbed by retry.
     launch_faults: u64,
+    /// Cache hits accumulated before checkpoint-boundary cache resets
+    /// (the live cache's counters die with it; see `checkpoint_reset`).
+    banked_cache_hits: u64,
+    /// Cache misses accumulated before checkpoint-boundary cache resets.
+    banked_cache_misses: u64,
     // Held for their Drop-based accounting; the device-memory pool itself
     // is owned here too so allocations stay alive exactly as long as the
     // lane (i.e. the run).
@@ -51,6 +56,8 @@ impl GpuLane {
             faults: None,
             copy_faults: 0,
             launch_faults: 0,
+            banked_cache_hits: 0,
+            banked_cache_misses: 0,
             _mem: None,
             _allocs: Vec::new(),
         }
@@ -116,6 +123,8 @@ impl GpuLane {
             faults: None,
             copy_faults: 0,
             launch_faults: 0,
+            banked_cache_hits: 0,
+            banked_cache_misses: 0,
             _mem: Some(mem),
             _allocs: allocs,
         })
@@ -282,14 +291,41 @@ impl GpuLane {
         self.cache.as_ref()
     }
 
+    /// Cache hits including those banked before checkpoint-boundary
+    /// cache resets.
+    pub fn cache_hits_total(&self) -> u64 {
+        self.banked_cache_hits + self.cache.hits()
+    }
+
+    /// Cache misses including those banked before checkpoint-boundary
+    /// cache resets.
+    pub fn cache_misses_total(&self) -> u64 {
+        self.banked_cache_misses + self.cache.misses()
+    }
+
+    /// Checkpoint-boundary reset. A resumed run rebuilds its page cache
+    /// cold, so the checkpointing run itself must also go cold at every
+    /// boundary or the two schedules diverge; the dying cache's hit/miss
+    /// counters are banked first so run totals still add up. The
+    /// round-robin stream cursor rewinds with it (it is not serialized).
+    pub(crate) fn checkpoint_reset(&mut self, fresh: PageCache) {
+        self.banked_cache_hits += self.cache.hits();
+        self.banked_cache_misses += self.cache.misses();
+        self.cache = fresh;
+        self.stream_cursor = 0;
+    }
+
     /// Flush the lane's counters — timer statistics plus cache
     /// hits/misses/capacity — into `tel`'s registry as GPU `index`.
     pub fn flush_to(&self, tel: &Telemetry, index: u32) {
         self.timer.flush_to(tel, index);
-        tel.add(keys::gpu(index, keys::GPU_CACHE_HITS), self.cache.hits());
+        tel.add(
+            keys::gpu(index, keys::GPU_CACHE_HITS),
+            self.cache_hits_total(),
+        );
         tel.add(
             keys::gpu(index, keys::GPU_CACHE_MISSES),
-            self.cache.misses(),
+            self.cache_misses_total(),
         );
         tel.set(
             keys::gpu(index, keys::GPU_CACHE_CAPACITY_PAGES),

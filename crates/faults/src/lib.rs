@@ -65,6 +65,9 @@ pub struct FaultConfig {
     pub quarantine_after: u32,
     /// Simulated backoff charged between an error and its retry.
     pub backoff: SimDuration,
+    /// An injected process death, for kill-and-resume chaos testing.
+    /// `None` (the default) never crashes.
+    pub crash: Option<CrashPoint>,
 }
 
 impl FaultConfig {
@@ -81,6 +84,7 @@ impl FaultConfig {
             max_retries: 4,
             quarantine_after: 3,
             backoff: SimDuration::from_micros(100),
+            crash: None,
         }
     }
 
@@ -94,6 +98,21 @@ impl FaultConfig {
             ..FaultConfig::with_seed(seed)
         }
     }
+}
+
+/// Where an injected crash kills the run. Both points die *after* state
+/// that should survive has reached the checkpoint directory, so a
+/// subsequent `--resume` must reproduce the uncrashed run byte-for-byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Die at the top of sweep `k`, immediately after any checkpoint due
+    /// at that boundary has been written.
+    AtSweep(u32),
+    /// Die halfway through writing the checkpoint due at sweep `k`: a
+    /// torn snapshot lands at its final path and the manifest names it,
+    /// so resume must detect the bad checksum and fall back to the
+    /// previous snapshot.
+    MidSnapshotWrite(u32),
 }
 
 /// What one simulated device read attempt returns.
@@ -172,6 +191,35 @@ impl FaultPlan {
     /// Whether the next kernel launch on GPU `gpu` faults.
     pub fn gpu_launch_fault(&self, gpu: u32) -> bool {
         self.draw(Domain::GpuLaunch, gpu as u64) < self.config.launch_fault_ppm
+    }
+
+    /// The injected crash point, if any.
+    pub fn crash(&self) -> Option<CrashPoint> {
+        self.config.crash
+    }
+
+    /// Export every per-`(domain, entity)` stream's exact RNG state, for
+    /// the checkpoint. Streams that were never touched are simply absent:
+    /// they are re-derived lazily from the seed on demand, identically
+    /// before and after a resume.
+    pub fn export_cursors(&self) -> BTreeMap<(u8, u64), [u64; 4]> {
+        #[allow(clippy::unwrap_used)] // plan queries never panic while holding the lock
+        let g = self.streams.lock().unwrap();
+        g.by_entity
+            .iter()
+            .map(|(&k, rng)| (k, rng.state()))
+            .collect()
+    }
+
+    /// Restore stream states captured by [`FaultPlan::export_cursors`],
+    /// so the first post-resume draw on each entity continues the
+    /// pre-crash schedule exactly.
+    pub fn restore_cursors(&self, cursors: &BTreeMap<(u8, u64), [u64; 4]>) {
+        #[allow(clippy::unwrap_used)] // plan queries never panic while holding the lock
+        let mut g = self.streams.lock().unwrap();
+        for (&k, &state) in cursors {
+            g.by_entity.insert(k, Rng::from_state(state));
+        }
     }
 
     /// Advance entity `(domain, entity)`'s stream and return a uniform
@@ -271,6 +319,55 @@ mod tests {
         let frac = |c: u32| f64::from(c) / f64::from(n);
         assert!((frac(errs) - 0.1).abs() < 0.01, "err rate {}", frac(errs));
         assert!((frac(torn) - 0.1).abs() < 0.01, "torn rate {}", frac(torn));
+    }
+
+    #[test]
+    fn exported_cursors_resume_the_schedule_exactly() {
+        let cfg = FaultConfig {
+            read_error_ppm: 300_000,
+            corrupt_page_ppm: 200_000,
+            ..FaultConfig::with_seed(17)
+        };
+        // Reference: one uninterrupted plan.
+        let full = FaultPlan::new(cfg.clone());
+        let want: Vec<ReadOutcome> = (0..128).map(|i| full.device_read(i % 3)).collect();
+
+        // Crashed-and-resumed: draw half, export, rebuild, restore, draw
+        // the rest. The concatenation must equal the uninterrupted run.
+        let first = FaultPlan::new(cfg.clone());
+        let mut got: Vec<ReadOutcome> = (0..64).map(|i| first.device_read(i % 3)).collect();
+        let cursors = first.export_cursors();
+        drop(first);
+        let resumed = FaultPlan::new(cfg);
+        resumed.restore_cursors(&cursors);
+        got.extend((64..128).map(|i| resumed.device_read(i % 3)));
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn untouched_streams_are_absent_from_cursors_and_rederived() {
+        let plan = FaultPlan::new(FaultConfig::with_seed(9));
+        let _ = plan.device_read(0);
+        let cursors = plan.export_cursors();
+        assert_eq!(cursors.len(), 1, "only the touched stream is exported");
+        // A resumed plan still derives entity 1's stream from the seed.
+        let resumed = FaultPlan::new(FaultConfig::with_seed(9));
+        resumed.restore_cursors(&cursors);
+        let fresh = FaultPlan::new(FaultConfig::with_seed(9));
+        let _ = fresh.device_read(0);
+        for _ in 0..32 {
+            assert_eq!(resumed.device_read(1), fresh.device_read(1));
+        }
+    }
+
+    #[test]
+    fn crash_point_rides_in_the_config() {
+        assert_eq!(FaultPlan::new(FaultConfig::with_seed(1)).crash(), None);
+        let plan = FaultPlan::new(FaultConfig {
+            crash: Some(CrashPoint::MidSnapshotWrite(3)),
+            ..FaultConfig::quiet(1)
+        });
+        assert_eq!(plan.crash(), Some(CrashPoint::MidSnapshotWrite(3)));
     }
 
     #[test]

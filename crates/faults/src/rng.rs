@@ -41,6 +41,16 @@ impl Rng {
         result
     }
 
+    /// The raw generator state, for checkpointing a stream mid-schedule.
+    pub(crate) fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild a generator at an exact checkpointed state.
+    pub(crate) fn from_state(s: [u64; 4]) -> Self {
+        Rng { s }
+    }
+
     /// Uniform `u32` in `[0, n)` (Lemire's multiply-shift with rejection).
     pub(crate) fn below_u32(&mut self, n: u32) -> u32 {
         debug_assert!(n > 0, "below_u32 bound must be non-zero");

@@ -380,6 +380,28 @@ impl StorageArray {
         self.devices.iter().map(|d| d.bytes_read()).sum()
     }
 
+    /// Export the array's durable recovery state for a checkpoint:
+    /// per-drive quarantine flags and consecutive-failure counts. The
+    /// stat counters (`read_errors`, `retries`, ...) are deliberately
+    /// NOT exported — a resumed run imports the run's counter registry
+    /// wholesale and accumulates post-resume deltas on top, so carrying
+    /// them here as well would double-count.
+    pub fn export_recovery_state(&self) -> (Vec<bool>, Vec<u32>) {
+        (self.quarantined.clone(), self.consecutive_failures.clone())
+    }
+
+    /// Restore state captured by [`StorageArray::export_recovery_state`].
+    /// Returns `false` (importing nothing) when the drive count differs —
+    /// per-drive flags from a differently-shaped array are meaningless.
+    pub fn import_recovery_state(&mut self, quarantined: &[bool], failures: &[u32]) -> bool {
+        if quarantined.len() != self.devices.len() || failures.len() != self.devices.len() {
+            return false;
+        }
+        self.quarantined.copy_from_slice(quarantined);
+        self.consecutive_failures.copy_from_slice(failures);
+        true
+    }
+
     /// Flush the array's byte and fault counters into `tel`'s registry.
     /// Fault counters at zero leave no key behind, so fault-free runs
     /// report exactly what they always did.
@@ -427,6 +449,33 @@ impl StorageArray {
 #[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic on failure by design
 mod tests {
     use super::*;
+
+    /// Every variant renders its context fields as prose an operator can
+    /// act on — no `{:?}` leakage of variant or field names.
+    #[test]
+    fn storage_error_display_renders_every_variant() {
+        let cases = [
+            (
+                StorageError::RetriesExhausted {
+                    pid: 7,
+                    attempts: 5,
+                },
+                "page 7: read failed after 5 attempts",
+            ),
+            (
+                StorageError::CorruptPage { pid: 42 },
+                "page 42: persistent trailer checksum mismatch",
+            ),
+            (
+                StorageError::AllDrivesQuarantined { pid: 9 },
+                "page 9: all drives quarantined",
+            ),
+        ];
+        for (e, want) in cases {
+            assert_eq!(e.to_string(), want);
+            assert_ne!(e.to_string(), format!("{e:?}"), "Display must not be Debug");
+        }
+    }
 
     #[test]
     fn read_time_is_latency_plus_transfer() {

@@ -23,6 +23,11 @@
 //! | `io.retries` | paid re-fetch attempts after a failed read |
 //! | `io.drives_quarantined` | drives taken offline after repeated failures |
 //! | `degrade.events` | recorded step-downs of the execution strategy |
+//! | `run.final_strategy` | strategy in effect at run end (1 = P, 2 = S) |
+//! | `run.final_streams` | streams per GPU in effect at run end |
+//! | `run.cache_enabled` | device page cache on (1) or off (0) at run end |
+//! | `ckpt.bytes` | bytes written to checkpoint snapshots (wall-side) |
+//! | `ckpt.write_ns` | wall-clock ns spent writing checkpoints (wall-side) |
 //! | `net.bytes` | bytes shipped over the cluster network (baselines) |
 //! | `mem.peak` | peak working-set bytes (max-merged, baselines) |
 //! | `gpu{i}.bytes_h2d` … | per-GPU fields, see the `GPU_*` constants |
@@ -65,6 +70,22 @@ pub const IO_RETRIES: &str = "io.retries";
 pub const IO_DRIVES_QUARANTINED: &str = "io.drives_quarantined";
 /// Typed degradation events (strategy step-downs) recorded by the engine.
 pub const DEGRADE_EVENTS: &str = "degrade.events";
+/// Execution strategy in effect when the run ended, after any OOM
+/// step-downs: 1 = Performance, 2 = Scalability, 0 = not recorded.
+pub const RUN_FINAL_STRATEGY: &str = "run.final_strategy";
+/// Streams per GPU in effect when the run ended, after any step-downs.
+pub const RUN_FINAL_STREAMS: &str = "run.final_streams";
+/// Whether the device page cache was enabled at run end (1) or stepped
+/// down to off (0).
+pub const RUN_CACHE_ENABLED: &str = "run.cache_enabled";
+/// Bytes written to checkpoint snapshots. Wall-side bookkeeping: this key
+/// (like `ckpt.write_ns`) is OUTSIDE the determinism contract — an
+/// uncrashed run and a crashed-plus-resumed run write different numbers
+/// of snapshots — so determinism comparisons must filter `ckpt.*` keys.
+pub const CKPT_BYTES: &str = "ckpt.bytes";
+/// Wall-clock nanoseconds spent encoding + fsyncing checkpoint snapshots
+/// (real time, not simulated; outside the determinism contract).
+pub const CKPT_WRITE_NS: &str = "ckpt.write_ns";
 /// Bytes shipped over the simulated cluster network (distributed baselines).
 pub const NETWORK_BYTES: &str = "net.bytes";
 /// Peak working-set bytes (max-merged; CPU/GPU baselines).

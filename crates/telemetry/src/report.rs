@@ -78,6 +78,19 @@ pub struct RunReport {
     /// Peak working-set bytes on the most loaded node/device (baselines;
     /// zero where not tracked).
     pub memory_peak: u64,
+    /// Execution strategy in effect when the run ended, after any OOM
+    /// step-downs: `"performance"`, `"scalability"`, or `"none"` where
+    /// the engine does not record one (baselines).
+    pub final_strategy: String,
+    /// Streams per GPU in effect when the run ended, after any
+    /// step-downs (zero where not recorded).
+    pub final_streams: u32,
+    /// Whether the device page cache was still enabled at run end (the
+    /// last OOM rung turns it off).
+    pub cache_enabled: bool,
+    /// Degradation step-downs the engine recorded (`degrade.events`), so
+    /// operators can see post-OOM rungs without reading the trace.
+    pub degrade_events: u64,
 }
 
 impl RunReport {
@@ -139,6 +152,14 @@ impl RunReport {
             per_sweep,
             network_bytes: tel.counter(keys::NETWORK_BYTES),
             memory_peak: tel.counter(keys::MEMORY_PEAK),
+            final_strategy: match tel.counter(keys::RUN_FINAL_STRATEGY) {
+                1 => "performance".to_string(),
+                2 => "scalability".to_string(),
+                _ => "none".to_string(),
+            },
+            final_streams: tel.counter(keys::RUN_FINAL_STREAMS) as u32,
+            cache_enabled: tel.counter(keys::RUN_CACHE_ENABLED) != 0,
+            degrade_events: tel.counter(keys::DEGRADE_EVENTS),
         }
     }
 
@@ -203,6 +224,13 @@ impl RunReport {
         out.push_str(&format!("  \"mteps\": {},\n", num(self.mteps())));
         out.push_str(&format!("  \"network_bytes\": {},\n", self.network_bytes));
         out.push_str(&format!("  \"memory_peak\": {},\n", self.memory_peak));
+        out.push_str(&format!(
+            "  \"final_strategy\": \"{}\",\n",
+            escape(&self.final_strategy)
+        ));
+        out.push_str(&format!("  \"final_streams\": {},\n", self.final_streams));
+        out.push_str(&format!("  \"cache_enabled\": {},\n", self.cache_enabled));
+        out.push_str(&format!("  \"degrade_events\": {},\n", self.degrade_events));
         out.push_str("  \"per_gpu\": [\n");
         for (i, g) in self.per_gpu.iter().enumerate() {
             out.push_str(&format!(
@@ -311,5 +339,27 @@ mod tests {
         assert!(j.contains("\"algorithm\": \"PR\""));
         assert!(j.contains("\"per_gpu\""));
         assert!(j.contains("\"per_sweep\""));
+        assert!(j.contains("\"final_strategy\": \"none\""));
+        assert!(j.contains("\"cache_enabled\": false"));
+        assert!(j.contains("\"degrade_events\": 0"));
+    }
+
+    #[test]
+    fn degraded_end_state_is_surfaced() {
+        let tel = Telemetry::new();
+        tel.set(keys::RUN_FINAL_STRATEGY, 2);
+        tel.set(keys::RUN_FINAL_STREAMS, 8);
+        tel.set(keys::RUN_CACHE_ENABLED, 1);
+        tel.add(keys::DEGRADE_EVENTS, 3);
+        let r = RunReport::from_telemetry(&tel, "PR", "GTS");
+        assert_eq!(r.final_strategy, "scalability");
+        assert_eq!(r.final_streams, 8);
+        assert!(r.cache_enabled);
+        assert_eq!(r.degrade_events, 3);
+        let j = r.to_json();
+        assert!(j.contains("\"final_strategy\": \"scalability\""));
+        assert!(j.contains("\"final_streams\": 8"));
+        assert!(j.contains("\"cache_enabled\": true"));
+        assert!(j.contains("\"degrade_events\": 3"));
     }
 }

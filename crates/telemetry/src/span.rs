@@ -37,6 +37,8 @@ pub enum SpanCat {
     Sweep,
     /// A recovery or degradation event (retry, quarantine, step-down).
     Degrade,
+    /// A checkpoint snapshot write at a sweep boundary.
+    Checkpoint,
     /// Anything else (sync, merge, ...).
     Other,
 }
@@ -52,6 +54,7 @@ impl SpanCat {
             SpanCat::Run => "run",
             SpanCat::Sweep => "sweep",
             SpanCat::Degrade => "degrade",
+            SpanCat::Checkpoint => "ckpt",
             SpanCat::Other => "other",
         }
     }
@@ -66,6 +69,7 @@ impl SpanCat {
             SpanCat::Run => '=',
             SpanCat::Sweep => '-',
             SpanCat::Degrade => '!',
+            SpanCat::Checkpoint => '#',
             SpanCat::Other => '~',
         }
     }

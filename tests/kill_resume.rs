@@ -1,0 +1,428 @@
+//! Kill-and-resume chaos tests for crash-consistent checkpoint/restart.
+//!
+//! The contract under test: a run that is killed at (or during) a
+//! checkpoint boundary and restarted with `resume` produces a final
+//! report, counter registry, and program results **byte-identical** to
+//! the same run never having crashed — at every `--host-threads` value.
+//! Only the `ckpt.*` wall-clock counters are outside the contract (they
+//! measure real snapshot I/O, not simulated work), so comparisons drop
+//! them. A snapshot torn mid-write must be detected by its checksum and
+//! the previous snapshot used instead. Watchdog deadlines must surface
+//! as typed [`EngineError::DeadlineExceeded`] after flushing a final
+//! checkpoint and the telemetry trace — never a panic, never a hang.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use gts_ckpt::{CkptError, CkptStore};
+use gts_core::engine::{CheckpointConfig, EngineError, Gts, GtsConfig, StorageLocation};
+use gts_core::programs::{Bfs, PageRank};
+use gts_core::{CrashPoint, FaultConfig, Strategy, Telemetry};
+use gts_graph::generate::rmat;
+use gts_storage::{build_graph_store, GraphStore, PageFormatConfig, PhysicalIdConfig};
+
+fn store() -> GraphStore {
+    build_graph_store(
+        &rmat(9),
+        PageFormatConfig::new(PhysicalIdConfig::ORIGINAL, 1024),
+    )
+    .unwrap()
+}
+
+/// Fresh per-test scratch directory (removed up-front so reruns of a
+/// failed test never resume from stale snapshots).
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("gts-it-ckpt-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&p).ok();
+    p
+}
+
+/// The CI kill-resume configuration: 4-GPU Strategy-P over striped SSDs
+/// with the MMBuf enabled, so resume must reproduce cold-buffer
+/// boundaries, and checkpoints every 2 sweeps.
+fn ck_config(host_threads: usize, dir: &Path, seed: u64, crash: Option<CrashPoint>) -> GtsConfig {
+    GtsConfig {
+        num_gpus: 4,
+        strategy: Strategy::Performance,
+        storage: StorageLocation::Ssds(2),
+        mmbuf_percent: 20,
+        host_threads,
+        faults: Some(FaultConfig {
+            crash,
+            ..FaultConfig::with_seed(seed)
+        }),
+        checkpoint: Some(CheckpointConfig::new(dir, 2)),
+        ..GtsConfig::default()
+    }
+}
+
+/// One observed run: report JSON, program ranks, and the counter
+/// registry with the non-deterministic `ckpt.*` wall-clock keys dropped.
+struct Observed {
+    result: Result<String, EngineError>,
+    ranks: Vec<f64>,
+    counters: BTreeMap<String, u64>,
+}
+
+fn observe(store: &GraphStore, cfg: GtsConfig) -> Observed {
+    let engine = Gts::builder()
+        .config(cfg)
+        .telemetry(Telemetry::with_spans())
+        .build()
+        .unwrap();
+    let mut pr = PageRank::new(store.num_vertices(), 8);
+    let result = engine.run(store, &mut pr).map(|r| r.to_json());
+    Observed {
+        result,
+        ranks: pr.ranks().iter().map(|&r| f64::from(r)).collect(),
+        counters: engine
+            .telemetry()
+            .counters()
+            .into_iter()
+            .filter(|(k, _)| !k.starts_with("ckpt."))
+            .collect(),
+    }
+}
+
+/// Crash at a sweep boundary, resume, and require the resumed run to be
+/// byte-identical to the never-crashed run — at 1 and 4 host threads.
+#[test]
+fn kill_at_sweep_boundary_then_resume_is_byte_identical() {
+    let store = store();
+    let mut cells: Vec<String> = Vec::new();
+    for threads in [1usize, 4] {
+        let base_dir = tmp(&format!("base-{threads}"));
+        let crash_dir = tmp(&format!("crash-{threads}"));
+
+        // The baseline checkpoints at the same cadence (boundary resets
+        // are part of the deterministic schedule) but never crashes.
+        let clean = observe(&store, ck_config(threads, &base_dir, 0xA11CE, None));
+        let clean_json = clean.result.expect("uncrashed run completes");
+
+        // Killed at the sweep-5 boundary: the last snapshot is sweep 4.
+        let killed = observe(
+            &store,
+            ck_config(threads, &crash_dir, 0xA11CE, Some(CrashPoint::AtSweep(5))),
+        );
+        match killed.result {
+            Err(EngineError::InjectedCrash { sweep: 5 }) => {}
+            other => panic!("expected injected crash at sweep 5, got {other:?}"),
+        }
+
+        // Restart from the snapshot. No crash this time.
+        let resumed = observe(
+            &store,
+            GtsConfig {
+                checkpoint: Some(CheckpointConfig::new(&crash_dir, 2).resuming()),
+                ..ck_config(threads, &crash_dir, 0xA11CE, None)
+            },
+        );
+        let resumed_json = resumed.result.expect("resumed run completes");
+
+        assert_eq!(
+            resumed_json, clean_json,
+            "{threads} threads: report diverged"
+        );
+        assert_eq!(
+            resumed.ranks, clean.ranks,
+            "{threads} threads: ranks diverged"
+        );
+        assert_eq!(
+            resumed.counters, clean.counters,
+            "{threads} threads: counters diverged"
+        );
+        cells.push(resumed_json);
+
+        std::fs::remove_dir_all(&base_dir).ok();
+        std::fs::remove_dir_all(&crash_dir).ok();
+    }
+    assert_eq!(cells[0], cells[1], "host threads leaked into the report");
+}
+
+/// A crash *during* the snapshot write leaves a torn file behind; the
+/// manifest-guided load must fall back to the previous good snapshot and
+/// the resumed run must still match the uncrashed one exactly.
+#[test]
+fn torn_snapshot_falls_back_to_previous_and_still_matches() {
+    let store = store();
+    let base_dir = tmp("torn-base");
+    let crash_dir = tmp("torn-crash");
+
+    let clean = observe(&store, ck_config(1, &base_dir, 7, None));
+    let clean_json = clean.result.expect("uncrashed run completes");
+
+    // Die mid-write at the sweep-6 boundary: snapshots 2 and 4 are good,
+    // snapshot 6 is torn (bad checksum) but named by the manifest.
+    let killed = observe(
+        &store,
+        ck_config(1, &crash_dir, 7, Some(CrashPoint::MidSnapshotWrite(6))),
+    );
+    match killed.result {
+        Err(EngineError::InjectedCrash { sweep: 6 }) => {}
+        other => panic!("expected injected crash mid-write at sweep 6, got {other:?}"),
+    }
+
+    // The store itself must report the fallback: latest *valid* is 4.
+    let ck = CkptStore::open(&crash_dir).unwrap();
+    let (seq, _snap) = ck.load_latest().expect("previous snapshot still loads");
+    assert_eq!(seq, 4, "torn snapshot 6 must not be the recovery point");
+
+    let resumed = observe(
+        &store,
+        GtsConfig {
+            checkpoint: Some(CheckpointConfig::new(&crash_dir, 2).resuming()),
+            ..ck_config(1, &crash_dir, 7, None)
+        },
+    );
+    assert_eq!(
+        resumed.result.expect("resume from fallback completes"),
+        clean_json,
+        "report diverged after torn-write fallback"
+    );
+    assert_eq!(resumed.ranks, clean.ranks);
+    assert_eq!(resumed.counters, clean.counters);
+
+    std::fs::remove_dir_all(&base_dir).ok();
+    std::fs::remove_dir_all(&crash_dir).ok();
+}
+
+/// The traversal path (frontier bitmaps, per-sweep plans) survives
+/// kill-and-resume too: BFS levels and report match the uncrashed run.
+#[test]
+fn bfs_traversal_survives_kill_and_resume() {
+    let store = store();
+    let base_dir = tmp("bfs-base");
+    let crash_dir = tmp("bfs-crash");
+    let cfg = |dir: &Path, crash: Option<CrashPoint>, resume: bool| {
+        let ck = CheckpointConfig::new(dir, 1);
+        GtsConfig {
+            checkpoint: Some(if resume { ck.resuming() } else { ck }),
+            ..ck_config(2, dir, 3, crash)
+        }
+    };
+    let run = |c: GtsConfig| {
+        let engine = Gts::new(c);
+        let mut bfs = Bfs::new(store.num_vertices(), 0);
+        let result = engine.run(&store, &mut bfs).map(|r| r.to_json());
+        (result, bfs.levels().to_vec())
+    };
+
+    let (clean_json, clean_levels) = {
+        let (r, l) = run(cfg(&base_dir, None, false));
+        (r.expect("uncrashed BFS completes"), l)
+    };
+    let (killed, _) = run(cfg(&crash_dir, Some(CrashPoint::AtSweep(2)), false));
+    assert!(
+        matches!(killed, Err(EngineError::InjectedCrash { sweep: 2 })),
+        "{killed:?}"
+    );
+    let (resumed, levels) = run(cfg(&crash_dir, None, true));
+    assert_eq!(resumed.expect("resumed BFS completes"), clean_json);
+    assert_eq!(levels, clean_levels, "BFS levels diverged after resume");
+
+    std::fs::remove_dir_all(&base_dir).ok();
+    std::fs::remove_dir_all(&crash_dir).ok();
+}
+
+/// Blowing the run budget surfaces as a typed error, flushes a final
+/// checkpoint, keeps the trace exportable — and the budget-free resume
+/// from that checkpoint finishes with the uncrashed run's exact
+/// *results*. (The report's simulated timings may differ: the emergency
+/// checkpoint can land mid-cadence, adding a cold cache/MMBuf boundary
+/// the uncrashed run never had. Kill-and-resume byte-identity is a
+/// boundary-checkpoint property; the deadline contract is typed error +
+/// valid snapshot + exact results.)
+#[test]
+fn run_budget_exceeded_checkpoints_then_resumes_to_the_same_answer() {
+    let store = store();
+    let base_dir = tmp("budget-base");
+    let dead_dir = tmp("budget-dead");
+
+    let clean = observe(&store, ck_config(1, &base_dir, 11, None));
+    let clean_json = clean.result.expect("uncrashed run completes");
+
+    // A budget of 1 ns trips at the first watchdog check (end of the
+    // first sweep), long before the run can finish.
+    let engine = Gts::builder()
+        .config(GtsConfig {
+            run_budget_ns: Some(1),
+            ..ck_config(1, &dead_dir, 11, None)
+        })
+        .telemetry(Telemetry::with_spans())
+        .build()
+        .unwrap();
+    let mut pr = PageRank::new(store.num_vertices(), 8);
+    match engine.run(&store, &mut pr) {
+        Err(EngineError::DeadlineExceeded {
+            what: "run_budget_ns",
+            limit_ns: 1,
+            elapsed_ns,
+        }) => assert!(elapsed_ns > 1, "elapsed must report the overrun"),
+        other => panic!("expected run-budget deadline, got {other:?}"),
+    }
+    // The final checkpoint was flushed and is valid (load_latest decodes
+    // the snapshot, which includes its checksum verification)…
+    let ck = CkptStore::open(&dead_dir).unwrap();
+    let (_, snap) = ck.load_latest().expect("deadline flushes a checkpoint");
+    assert!(snap.section("clock").is_ok(), "snapshot decodes intact");
+    // …and the trace is still exportable (spans were not lost).
+    let trace = engine.telemetry().to_chrome_trace();
+    assert!(trace.contains("ckpt"), "trace lost the checkpoint span");
+
+    let resumed = observe(
+        &store,
+        GtsConfig {
+            checkpoint: Some(CheckpointConfig::new(&dead_dir, 2).resuming()),
+            ..ck_config(1, &dead_dir, 11, None)
+        },
+    );
+    let resumed_json = resumed.result.expect("resume after deadline completes");
+    assert_eq!(resumed.ranks, clean.ranks, "ranks diverged after deadline");
+    for key in ["\"sweeps\": ", "\"edges_traversed\": "] {
+        let field = |json: &str| {
+            let at = json.find(key).map(|i| i + key.len()).unwrap();
+            json[at..].split(',').next().unwrap().to_owned()
+        };
+        assert_eq!(
+            field(&resumed_json),
+            field(&clean_json),
+            "{key} diverged after deadline + resume"
+        );
+    }
+
+    std::fs::remove_dir_all(&base_dir).ok();
+    std::fs::remove_dir_all(&dead_dir).ok();
+}
+
+/// The per-sweep deadline trips independently of the run budget and is
+/// typed even with no checkpointing configured at all.
+#[test]
+fn sweep_deadline_is_typed_without_checkpointing() {
+    let store = store();
+    let cfg = GtsConfig {
+        num_gpus: 2,
+        strategy: Strategy::Performance,
+        storage: StorageLocation::InMemory,
+        sweep_deadline_ns: Some(1),
+        ..GtsConfig::default()
+    };
+    let engine = Gts::new(cfg);
+    let mut pr = PageRank::new(store.num_vertices(), 4);
+    match engine.run(&store, &mut pr) {
+        Err(EngineError::DeadlineExceeded {
+            what: "sweep_deadline_ns",
+            limit_ns: 1,
+            elapsed_ns,
+        }) => assert!(elapsed_ns > 1),
+        other => panic!("expected sweep deadline, got {other:?}"),
+    }
+}
+
+/// A run that *finishes* under budget never reports a deadline — the
+/// watchdog must not fire on the final boundary of a completed run.
+#[test]
+fn generous_budgets_never_trip() {
+    let store = store();
+    let cfg = GtsConfig {
+        num_gpus: 2,
+        strategy: Strategy::Performance,
+        storage: StorageLocation::InMemory,
+        sweep_deadline_ns: Some(u64::MAX),
+        run_budget_ns: Some(u64::MAX),
+        ..GtsConfig::default()
+    };
+    let engine = Gts::new(cfg);
+    let mut pr = PageRank::new(store.num_vertices(), 4);
+    engine.run(&store, &mut pr).expect("generous budgets pass");
+}
+
+/// Resuming against a different configuration (or graph) is refused with
+/// a typed fingerprint mismatch, not silently-wrong results.
+#[test]
+fn resume_refuses_a_mismatched_config_or_store() {
+    let store = store();
+    let dir = tmp("mismatch");
+
+    let killed = observe(&store, ck_config(1, &dir, 5, Some(CrashPoint::AtSweep(4))));
+    assert!(matches!(
+        killed.result,
+        Err(EngineError::InjectedCrash { sweep: 4 })
+    ));
+
+    // Same snapshot, different GPU count: config fingerprint mismatch.
+    let wrong_cfg = GtsConfig {
+        num_gpus: 2,
+        checkpoint: Some(CheckpointConfig::new(&dir, 2).resuming()),
+        ..ck_config(1, &dir, 5, None)
+    };
+    match observe(&store, wrong_cfg).result {
+        Err(EngineError::Checkpoint(CkptError::Mismatch { what, .. })) => {
+            assert_eq!(what, "config fingerprint");
+        }
+        other => panic!("expected config-fingerprint mismatch, got {other:?}"),
+    }
+
+    // Same config, different graph: store fingerprint mismatch.
+    let other_store = build_graph_store(
+        &rmat(8),
+        PageFormatConfig::new(PhysicalIdConfig::ORIGINAL, 1024),
+    )
+    .unwrap();
+    let resume_cfg = GtsConfig {
+        checkpoint: Some(CheckpointConfig::new(&dir, 2).resuming()),
+        ..ck_config(1, &dir, 5, None)
+    };
+    match observe(&other_store, resume_cfg).result {
+        Err(EngineError::Checkpoint(CkptError::Mismatch { what, .. })) => {
+            assert_eq!(what, "store fingerprint");
+        }
+        other => panic!("expected store-fingerprint mismatch, got {other:?}"),
+    }
+
+    // An empty directory has nothing to resume from.
+    let empty = tmp("mismatch-empty");
+    let cold_cfg = GtsConfig {
+        checkpoint: Some(CheckpointConfig::new(&empty, 2).resuming()),
+        ..ck_config(1, &empty, 5, None)
+    };
+    assert!(matches!(
+        observe(&store, cold_cfg).result,
+        Err(EngineError::Checkpoint(CkptError::NoSnapshot { .. }))
+    ));
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&empty).ok();
+}
+
+/// Checkpoint/watchdog configuration is validated up front with typed
+/// errors, not deep-in-the-run surprises.
+#[test]
+fn checkpoint_and_deadline_config_is_validated() {
+    let zero_every = GtsConfig {
+        checkpoint: Some(CheckpointConfig::new("unused", 0)),
+        ..GtsConfig::default()
+    };
+    let e = zero_every.validate().unwrap_err();
+    assert!(e.to_string().contains("checkpoint.every"), "{e}");
+
+    for (what, cfg) in [
+        (
+            "sweep_deadline_ns",
+            GtsConfig {
+                sweep_deadline_ns: Some(0),
+                ..GtsConfig::default()
+            },
+        ),
+        (
+            "run_budget_ns",
+            GtsConfig {
+                run_budget_ns: Some(0),
+                ..GtsConfig::default()
+            },
+        ),
+    ] {
+        let e = cfg.validate().unwrap_err();
+        assert!(e.to_string().contains(what), "{what}: {e}");
+    }
+}

@@ -1,0 +1,708 @@
+//! The wall-clock benchmark harness: [`BenchSpec`] → [`BenchReport`].
+//!
+//! The figure/table benches replay the paper's *simulated* evaluation;
+//! this module measures the *reproduction itself* — real nanoseconds on
+//! the machine running it — under a fixed protocol: `warmup` discarded
+//! runs, then `repeats` recorded samples, summarised by the median (the
+//! repeat-robust central tendency; min/max are kept for dispersion).
+//!
+//! Reports serialise to a small hand-rolled JSON dialect (the workspace
+//! deliberately has no serde) under the schema tag
+//! [`SCHEMA`], so checked-in `BENCH_*.json` files are diffable,
+//! machine-readable, and validated in CI. Entries are either
+//! *informational* (raw nanoseconds — machine-dependent, never gated) or
+//! *gated* (ratios, shares, and simulated times — stable across
+//! machines), and [`BenchReport::compare`] enforces a relative tolerance
+//! on the gated ones against a baseline report.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+use std::time::Instant;
+
+/// Schema tag every report carries; bump on incompatible changes.
+pub const SCHEMA: &str = "gts-bench-report/v1";
+
+/// The measurement protocol for one benchmark: how many discarded warmup
+/// runs and recorded repeats, and what unit the samples are in.
+#[derive(Debug, Clone)]
+pub struct BenchSpec {
+    /// Entry identifier (unique within a suite), e.g. `"page_encode"`.
+    pub id: String,
+    /// Unit of every sample, e.g. `"ns"`, `"ratio"`, `"share"`.
+    pub unit: String,
+    /// Discarded runs before sampling starts.
+    pub warmup: u32,
+    /// Recorded samples.
+    pub repeats: u32,
+}
+
+/// Builder for [`BenchSpec`]; start with [`BenchSpec::builder`].
+#[derive(Debug, Clone)]
+pub struct BenchSpecBuilder {
+    spec: BenchSpec,
+}
+
+impl BenchSpec {
+    /// A spec for entry `id` with the default protocol: 1 warmup,
+    /// 5 repeats, nanosecond samples.
+    pub fn builder(id: &str) -> BenchSpecBuilder {
+        BenchSpecBuilder {
+            spec: BenchSpec {
+                id: id.to_string(),
+                unit: "ns".to_string(),
+                warmup: 1,
+                repeats: 5,
+            },
+        }
+    }
+
+    /// Run `body` under the protocol (`warmup` discarded, `repeats`
+    /// recorded), timing each run; samples are wall nanoseconds.
+    pub fn run(&self, mut body: impl FnMut()) -> BenchEntry {
+        let mut samples = Vec::with_capacity(self.repeats as usize);
+        for i in 0..self.warmup + self.repeats.max(1) {
+            let t0 = Instant::now();
+            body();
+            let ns = t0.elapsed().as_nanos() as f64;
+            if i >= self.warmup {
+                samples.push(ns);
+            }
+        }
+        self.entry(samples)
+    }
+
+    /// Run `body` under the protocol, recording whatever value it
+    /// returns instead of timing it (for derived quantities: ratios,
+    /// shares, simulated nanoseconds).
+    pub fn run_values(&self, mut body: impl FnMut() -> f64) -> BenchEntry {
+        let mut samples = Vec::with_capacity(self.repeats as usize);
+        for i in 0..self.warmup + self.repeats.max(1) {
+            let v = body();
+            if i >= self.warmup {
+                samples.push(v);
+            }
+        }
+        self.entry(samples)
+    }
+
+    fn entry(&self, samples: Vec<f64>) -> BenchEntry {
+        BenchEntry {
+            id: self.id.clone(),
+            unit: self.unit.clone(),
+            params: Vec::new(),
+            samples,
+            gate: false,
+        }
+    }
+}
+
+impl BenchSpecBuilder {
+    /// Unit of the recorded samples (default `"ns"`).
+    pub fn unit(mut self, unit: &str) -> Self {
+        self.spec.unit = unit.to_string();
+        self
+    }
+
+    /// Discarded warmup runs (default 1).
+    pub fn warmup(mut self, warmup: u32) -> Self {
+        self.spec.warmup = warmup;
+        self
+    }
+
+    /// Recorded repeats (default 5; clamped to at least 1 when run).
+    pub fn repeats(mut self, repeats: u32) -> Self {
+        self.spec.repeats = repeats;
+        self
+    }
+
+    /// Finish the spec.
+    pub fn build(self) -> BenchSpec {
+        self.spec
+    }
+}
+
+/// One benchmark's recorded samples plus identifying parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Entry identifier, unique within its suite.
+    pub id: String,
+    /// Unit of the samples.
+    pub unit: String,
+    /// Identifying parameters (`("scale", "14")`, …), in display order.
+    pub params: Vec<(String, String)>,
+    /// The recorded samples, in run order.
+    pub samples: Vec<f64>,
+    /// Whether [`BenchReport::compare`] regresses this entry against a
+    /// baseline. Only machine-robust quantities (ratios, shares,
+    /// simulated times) should be gated; raw wall times are
+    /// informational.
+    pub gate: bool,
+}
+
+impl BenchEntry {
+    /// Attach an identifying parameter (builder-style).
+    pub fn param(mut self, key: &str, value: impl ToString) -> Self {
+        self.params.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Mark the entry as regression-gated (builder-style).
+    pub fn gated(mut self) -> Self {
+        self.gate = true;
+        self
+    }
+
+    /// Median sample — the entry's headline value (0 when empty).
+    pub fn median(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut s = self.samples.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let mid = s.len() / 2;
+        if s.len() % 2 == 1 {
+            s[mid]
+        } else {
+            (s[mid - 1] + s[mid]) / 2.0
+        }
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// A suite's worth of [`BenchEntry`]s, serialisable to/from JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Suite name (`"page"`, `"sweep"`, `"e2e"`).
+    pub suite: String,
+    /// Human title shown by the table formatter.
+    pub title: String,
+    /// The entries, in insertion order.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchReport {
+    /// An empty report for `suite`.
+    pub fn new(suite: &str, title: &str) -> BenchReport {
+        BenchReport {
+            suite: suite.to_string(),
+            title: title.to_string(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Append an entry.
+    pub fn push(&mut self, entry: BenchEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Entry by id, if present.
+    pub fn entry(&self, id: &str) -> Option<&BenchEntry> {
+        self.entries.iter().find(|e| e.id == id)
+    }
+
+    /// Serialise to the `gts-bench-report/v1` JSON dialect (pretty,
+    /// newline-terminated — the checked-in artifact format).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": {},", json_str(SCHEMA));
+        let _ = writeln!(out, "  \"suite\": {},", json_str(&self.suite));
+        let _ = writeln!(out, "  \"title\": {},", json_str(&self.title));
+        out.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str("    {");
+            let _ = write!(
+                out,
+                "\"id\": {}, \"unit\": {}, \"gate\": {}, \"median\": {}, ",
+                json_str(&e.id),
+                json_str(&e.unit),
+                e.gate,
+                json_num(e.median()),
+            );
+            out.push_str("\"params\": {");
+            for (j, (k, v)) in e.params.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{}: {}", json_str(k), json_str(v));
+            }
+            out.push_str("}, \"samples\": [");
+            for (j, s) in e.samples.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&json_num(*s));
+            }
+            out.push_str("]}");
+            out.push_str(if i + 1 < self.entries.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parse a report back from [`BenchReport::to_json`] output (or any
+    /// JSON with the same shape). Rejects missing fields and a wrong
+    /// schema tag with a descriptive error — this is also the CI
+    /// artifact validator.
+    pub fn from_json(text: &str) -> Result<BenchReport, String> {
+        let v = json::parse(text)?;
+        let obj = v.as_obj("report")?;
+        let schema = obj.get_str("schema")?;
+        if schema != SCHEMA {
+            return Err(format!("schema {schema:?}, expected {SCHEMA:?}"));
+        }
+        let mut report = BenchReport::new(&obj.get_str("suite")?, &obj.get_str("title")?);
+        for (i, e) in obj.get_arr("entries")?.iter().enumerate() {
+            let e = e.as_obj(&format!("entries[{i}]"))?;
+            let mut entry = BenchEntry {
+                id: e.get_str("id")?,
+                unit: e.get_str("unit")?,
+                params: Vec::new(),
+                samples: Vec::new(),
+                gate: e.get_bool("gate")?,
+            };
+            for (k, v) in &e.get_obj("params")?.fields {
+                entry.params.push((k.clone(), v.as_str(k)?.to_string()));
+            }
+            for (j, s) in e.get_arr("samples")?.iter().enumerate() {
+                entry.samples.push(s.as_num(&format!("samples[{j}]"))?);
+            }
+            report.push(entry);
+        }
+        Ok(report)
+    }
+
+    /// Write the JSON artifact to `path`.
+    pub fn write_json(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                fs::create_dir_all(dir)?;
+            }
+        }
+        fs::write(path, self.to_json())
+    }
+
+    /// Regression check: every **gated** entry of `self` whose median
+    /// exceeds the matching baseline entry's median by more than
+    /// `tolerance` (relative) yields one violation line. Entries absent
+    /// from the baseline, and informational entries, are skipped — new
+    /// benchmarks must not fail the gate retroactively.
+    pub fn compare(&self, baseline: &BenchReport, tolerance: f64) -> Vec<String> {
+        let mut violations = Vec::new();
+        for e in self.entries.iter().filter(|e| e.gate) {
+            let Some(base) = baseline.entry(&e.id) else {
+                continue;
+            };
+            let (new, old) = (e.median(), base.median());
+            if old > 0.0 && new > old * (1.0 + tolerance) {
+                violations.push(format!(
+                    "{}/{}: {} {} vs baseline {} (+{:.1}% > {:.0}% tolerance)",
+                    self.suite,
+                    e.id,
+                    json_num(new),
+                    e.unit,
+                    json_num(old),
+                    (new / old - 1.0) * 100.0,
+                    tolerance * 100.0,
+                ));
+            }
+        }
+        violations
+    }
+}
+
+/// JSON string literal (escapes quotes, backslashes, control bytes).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number: finite shortest-round-trip; non-finite values (which
+/// JSON cannot carry) degrade to 0.
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// A minimal JSON reader — just enough for the report dialect (objects,
+/// arrays, strings, numbers, booleans, null). No serde in the workspace
+/// by design.
+mod json {
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// Any JSON number, as `f64`.
+        Num(f64),
+        /// A string.
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object, fields in document order.
+        Obj(Obj),
+    }
+
+    /// An object's fields, in document order (duplicates keep last).
+    #[derive(Debug, Clone, PartialEq, Default)]
+    pub struct Obj {
+        /// `(key, value)` pairs.
+        pub fields: Vec<(String, Value)>,
+    }
+
+    impl Obj {
+        fn get(&self, key: &str) -> Result<&Value, String> {
+            self.fields
+                .iter()
+                .rev()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing field {key:?}"))
+        }
+
+        /// Required string field.
+        pub fn get_str(&self, key: &str) -> Result<String, String> {
+            Ok(self.get(key)?.as_str(key)?.to_string())
+        }
+
+        /// Required boolean field.
+        pub fn get_bool(&self, key: &str) -> Result<bool, String> {
+            match self.get(key)? {
+                Value::Bool(b) => Ok(*b),
+                other => Err(format!("{key:?}: expected bool, got {other:?}")),
+            }
+        }
+
+        /// Required array field.
+        pub fn get_arr(&self, key: &str) -> Result<&[Value], String> {
+            match self.get(key)? {
+                Value::Arr(a) => Ok(a),
+                other => Err(format!("{key:?}: expected array, got {other:?}")),
+            }
+        }
+
+        /// Required object field.
+        pub fn get_obj(&self, key: &str) -> Result<&Obj, String> {
+            match self.get(key)? {
+                Value::Obj(o) => Ok(o),
+                other => Err(format!("{key:?}: expected object, got {other:?}")),
+            }
+        }
+    }
+
+    impl Value {
+        /// This value as a string.
+        pub fn as_str(&self, what: &str) -> Result<&str, String> {
+            match self {
+                Value::Str(s) => Ok(s),
+                other => Err(format!("{what}: expected string, got {other:?}")),
+            }
+        }
+
+        /// This value as a number.
+        pub fn as_num(&self, what: &str) -> Result<f64, String> {
+            match self {
+                Value::Num(n) => Ok(*n),
+                other => Err(format!("{what}: expected number, got {other:?}")),
+            }
+        }
+
+        /// This value as an object.
+        pub fn as_obj(&self, what: &str) -> Result<&Obj, String> {
+            match self {
+                Value::Obj(o) => Ok(o),
+                other => Err(format!("{what}: expected object, got {other:?}")),
+            }
+        }
+    }
+
+    /// Parse `text` as a single JSON value (trailing whitespace only).
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let b = text.as_bytes();
+        let mut pos = 0;
+        let v = value(b, &mut pos)?;
+        skip_ws(b, &mut pos);
+        if pos != b.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&c) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", c as char, *pos))
+        }
+    }
+
+    fn value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b'{') => object(b, pos),
+            Some(b'[') => array(b, pos),
+            Some(b'"') => Ok(Value::Str(string(b, pos)?)),
+            Some(b't') => literal(b, pos, "true", Value::Bool(true)),
+            Some(b'f') => literal(b, pos, "false", Value::Bool(false)),
+            Some(b'n') => literal(b, pos, "null", Value::Null),
+            Some(_) => number(b, pos),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn literal(b: &[u8], pos: &mut usize, word: &str, v: Value) -> Result<Value, String> {
+        if b[*pos..].starts_with(word.as_bytes()) {
+            *pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", *pos))
+        }
+    }
+
+    fn object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'{')?;
+        let mut obj = Obj::default();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Obj(obj));
+        }
+        loop {
+            skip_ws(b, pos);
+            let key = string(b, pos)?;
+            expect(b, pos, b':')?;
+            obj.fields.push((key, value(b, pos)?));
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Obj(obj));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+            }
+        }
+    }
+
+    fn array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'[')?;
+        let mut arr = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Arr(arr));
+        }
+        loop {
+            arr.push(value(b, pos)?);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Arr(arr));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+            }
+        }
+    }
+
+    fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(b, pos, b'"')?;
+        let mut out = String::new();
+        loop {
+            match b.get(*pos) {
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match b.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = b
+                                .get(*pos + 1..*pos + 5)
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                            let cp = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                            *pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    *pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so
+                    // boundaries are valid).
+                    let s = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                    let c = s.chars().next().ok_or("empty")?;
+                    out.push(c);
+                    *pos += c.len_utf8();
+                }
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+            *pos += 1;
+        }
+        std::str::from_utf8(&b[start..*pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_discards_warmup_and_records_repeats() {
+        let spec = BenchSpec::builder("x")
+            .warmup(2)
+            .repeats(3)
+            .unit("count")
+            .build();
+        let mut calls = 0u32;
+        let entry = spec.run_values(|| {
+            calls += 1;
+            calls as f64
+        });
+        assert_eq!(calls, 5, "2 warmup + 3 recorded");
+        assert_eq!(entry.samples, vec![3.0, 4.0, 5.0]);
+        assert_eq!(entry.median(), 4.0);
+        assert_eq!(entry.min(), 3.0);
+        assert_eq!(entry.max(), 5.0);
+    }
+
+    #[test]
+    fn median_of_even_sample_count_averages_the_middle_pair() {
+        let spec = BenchSpec::builder("x").warmup(0).repeats(4).build();
+        let mut v = [9.0, 1.0, 5.0, 3.0].into_iter();
+        let entry = spec.run_values(|| v.next().unwrap());
+        assert_eq!(entry.median(), 4.0);
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let mut report = BenchReport::new("page", "Page hot paths");
+        report.push(
+            BenchSpec::builder("encode")
+                .warmup(0)
+                .repeats(3)
+                .build()
+                .run_values({
+                    let mut i = 0.0;
+                    move || {
+                        i += 1.5;
+                        i
+                    }
+                })
+                .param("scale", 12)
+                .param("kind", "small"),
+        );
+        report.push(
+            BenchSpec::builder("probe_ratio")
+                .unit("ratio")
+                .warmup(0)
+                .repeats(1)
+                .build()
+                .run_values(|| 0.875)
+                .gated(),
+        );
+        let text = report.to_json();
+        let back = BenchReport::from_json(&text).unwrap();
+        assert_eq!(back, report);
+        // The artifact is pretty-printed and newline-terminated.
+        assert!(text.ends_with("]\n}\n"), "{text}");
+    }
+
+    #[test]
+    fn from_json_rejects_wrong_schema_and_garbage() {
+        let good = BenchReport::new("s", "t").to_json();
+        let bad = good.replace(SCHEMA, "gts-bench-report/v0");
+        assert!(BenchReport::from_json(&bad).unwrap_err().contains("schema"));
+        assert!(BenchReport::from_json("{").is_err());
+        assert!(BenchReport::from_json("{} junk").is_err());
+    }
+
+    #[test]
+    fn compare_gates_only_gated_entries_within_tolerance() {
+        let entry = |id: &str, v: f64, gate: bool| BenchEntry {
+            id: id.to_string(),
+            unit: "ratio".to_string(),
+            params: Vec::new(),
+            samples: vec![v],
+            gate,
+        };
+        let mut base = BenchReport::new("s", "t");
+        base.push(entry("a", 1.0, true));
+        base.push(entry("b", 1.0, false));
+        let mut new = BenchReport::new("s", "t");
+        new.push(entry("a", 1.1, true)); // +10% — inside 20%
+        new.push(entry("b", 9.0, false)); // ungated — ignored
+        new.push(entry("c", 9.0, true)); // not in baseline — ignored
+        assert!(new.compare(&base, 0.2).is_empty());
+        let mut worse = BenchReport::new("s", "t");
+        worse.push(entry("a", 1.5, true)); // +50% — violation
+        let v = worse.compare(&base, 0.2);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("s/a"), "{v:?}");
+    }
+}

@@ -19,6 +19,13 @@
 //! scoped in `DESIGN.md` §1 and recorded per-experiment in
 //! `EXPERIMENTS.md`.
 
+//! Alongside the simulated-evaluation benches, [`bench`] is the
+//! **wall-clock** harness: `BenchSpec` → `BenchReport` with a
+//! warmup/repeat/median protocol and machine-readable JSON artifacts
+//! (`BENCH_*.json` at the repo root), driven by the `gts-bench` binary
+//! (`cargo run -p gts-bench --release -- --suite all --json-out .`).
+
+pub mod bench;
 pub mod datasets;
 pub mod scale;
 pub mod table;

@@ -1,6 +1,13 @@
-//! Experiment output: aligned console tables plus CSV files under
-//! `target/experiments/` for downstream plotting.
+//! Experiment output formatting: aligned console tables plus CSV files
+//! under `target/experiments/` for downstream plotting.
+//!
+//! Rendering is pure — [`render`] and [`to_csv`] turn a header and rows
+//! into strings without touching the filesystem or stdout — and every
+//! consumer goes through the same two functions: [`ExperimentTable`]
+//! (the figure/table benches' accumulator) and [`report_table`] (the
+//! tabular view of a wall-clock [`BenchReport`]).
 
+use crate::bench::BenchReport;
 use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -33,45 +40,91 @@ impl ExperimentTable {
 
     /// Print to stdout and write the CSV; returns the CSV path.
     pub fn finish(&self) -> PathBuf {
-        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
-        for row in &self.rows {
-            for (i, c) in row.iter().enumerate() {
-                widths[i] = widths[i].max(c.len());
-            }
-        }
-        println!("\n== {} — {} ==", self.id, self.title);
-        let print_row = |cells: &[String]| {
-            let line: Vec<String> = cells
-                .iter()
-                .enumerate()
-                .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
-                .collect();
-            println!("  {}", line.join("  "));
-        };
-        print_row(&self.header);
-        println!(
-            "  {}",
-            widths
-                .iter()
-                .map(|w| "-".repeat(*w))
-                .collect::<Vec<_>>()
-                .join("  ")
+        print!(
+            "{}",
+            render(&self.id, &self.title, &self.header, &self.rows)
         );
-        for row in &self.rows {
-            print_row(row);
-        }
 
         let dir = out_dir();
         fs::create_dir_all(&dir).expect("create experiments dir");
         let path = dir.join(format!("{}.csv", self.id));
         let mut f = fs::File::create(&path).expect("create csv");
-        writeln!(f, "{}", self.header.join(",")).unwrap();
-        for row in &self.rows {
-            writeln!(f, "{}", row.join(",")).unwrap();
-        }
+        write!(f, "{}", to_csv(&self.header, &self.rows)).expect("write csv");
         println!("  -> {}", path.display());
         path
     }
+}
+
+/// Render an aligned console table (pure; includes the leading blank
+/// line and title banner the benches have always printed).
+pub fn render(id: &str, title: &str, header: &[String], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, c) in row.iter().enumerate() {
+            widths[i] = widths[i].max(c.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        let line: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
+            .collect();
+        format!("  {}\n", line.join("  "))
+    };
+    let mut out = format!("\n== {id} — {title} ==\n");
+    out.push_str(&fmt_row(header));
+    out.push_str(&format!(
+        "  {}\n",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    ));
+    for row in rows {
+        out.push_str(&fmt_row(row));
+    }
+    out
+}
+
+/// Render the CSV body (pure): header line plus one line per row.
+pub fn to_csv(header: &[String], rows: &[Vec<String>]) -> String {
+    let mut out = format!("{}\n", header.join(","));
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// The tabular view of a wall-clock benchmark report: one row per entry
+/// (id, parameters flattened to `k=v`, median/min/max in the entry's
+/// unit, and whether the entry is regression-gated).
+pub fn report_table(report: &BenchReport) -> ExperimentTable {
+    let mut t = ExperimentTable::new(
+        &format!("bench_{}", report.suite),
+        &report.title,
+        &["entry", "params", "median", "min", "max", "unit", "gated"],
+    );
+    for e in &report.entries {
+        let params = e
+            .params
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        t.row(vec![
+            e.id.clone(),
+            params,
+            format!("{:.1}", e.median()),
+            format!("{:.1}", e.min()),
+            format!("{:.1}", e.max()),
+            e.unit.clone(),
+            if e.gate { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    t
 }
 
 /// Where experiment CSVs land.
@@ -102,6 +155,7 @@ pub fn secs_or_oom<E>(r: &Result<gts_sim::SimDuration, E>) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bench::{BenchEntry, BenchReport};
     use gts_sim::SimDuration;
 
     #[test]
@@ -119,6 +173,35 @@ mod tests {
     fn arity_checked() {
         let mut t = ExperimentTable::new("x", "y", &["a", "b"]);
         t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn render_is_aligned_and_pure() {
+        let header = vec!["col".to_string(), "wide_column".to_string()];
+        let rows = vec![vec!["1".to_string(), "2".to_string()]];
+        let s = render("id", "title", &header, &rows);
+        assert!(s.starts_with("\n== id — title ==\n"));
+        assert!(s.contains("col  wide_column"));
+        assert!(s.contains("  1            2"), "{s}");
+        assert_eq!(to_csv(&header, &rows), "col,wide_column\n1,2\n");
+    }
+
+    #[test]
+    fn report_table_flattens_entries() {
+        let mut r = BenchReport::new("page", "Page hot paths");
+        r.push(BenchEntry {
+            id: "encode".to_string(),
+            unit: "ns".to_string(),
+            params: vec![("scale".to_string(), "12".to_string())],
+            samples: vec![2.0, 4.0, 6.0],
+            gate: true,
+        });
+        let t = report_table(&r);
+        let s = render(&t.id, &t.title, &t.header, &t.rows);
+        assert!(s.contains("bench_page"));
+        assert!(s.contains("scale=12"));
+        assert!(s.contains("4.0"), "{s}");
+        assert!(s.contains("yes"));
     }
 
     #[test]

@@ -103,6 +103,7 @@ USAGE:
                [--strategy p|s] [--storage mem|ssd:N|hdd:N]
                [--device-memory BYTES] [--cache lru|fifo|random] [--json]
                [--trace-out trace.json] [--host-threads N] [--fault-seed N]
+               [--measure-host-phases true]
                [--checkpoint-dir DIR] [--checkpoint-every N] [--resume true]
                [--run-budget NS] [--sweep-deadline NS] [--counters-out FILE]
                [--crash-at-sweep K | --crash-mid-write K]
@@ -117,6 +118,9 @@ machine (default: all cores); results, traces and simulated times are
 identical for every value. `--fault-seed` enables deterministic fault
 injection (transient read errors, torn/corrupt pages, GPU copy/launch
 faults) with that seed; recovered faults only add simulated time.
+`--measure-host-phases true` records wall-clock host time in kernel
+phase A vs accounting phase B under `host.phase_*_ns` counter keys
+(wall-side, outside the determinism contract — like `ckpt.*`).
 
 Checkpoint/restart: `--checkpoint-dir` snapshots resumable state every
 `--checkpoint-every` sweeps (default 1) with crash-atomic writes;
@@ -338,6 +342,7 @@ fn run(args: &Args) -> Result<(), CliError> {
         "json",
         "trace-out",
         "host-threads",
+        "measure-host-phases",
         "fault-seed",
         "checkpoint-dir",
         "checkpoint-every",
@@ -383,6 +388,13 @@ fn run(args: &Args) -> Result<(), CliError> {
             ht.parse()
                 .map_err(|_| format!("bad --host-threads {ht:?}"))?,
         );
+    }
+    if args
+        .optional("measure-host-phases")
+        .map(|v| v == "true")
+        .unwrap_or(false)
+    {
+        cfg_builder = cfg_builder.measure_host_phases(true);
     }
     let mut faults = match args.optional("fault-seed") {
         Some(seed) => Some(FaultConfig::with_seed(

@@ -115,6 +115,13 @@ pub struct GtsConfig {
     /// every value produces byte-identical reports and traces because all
     /// parallel updates are atomically commutative.
     pub host_threads: usize,
+    /// Record wall-clock nanoseconds spent in host phase A (functional
+    /// kernels) and phase B (accounting) under the `host.phase_*_ns`
+    /// telemetry keys. Wall-clock readings vary run to run, so these
+    /// keys sit OUTSIDE the determinism contract (like `ckpt.*`) and
+    /// the flag defaults to off; the bench harness turns it on to track
+    /// the phase-B share of host time.
+    pub measure_host_phases: bool,
     /// Deterministic fault-injection plan for the run: seeded schedules
     /// of transient device read errors, torn pages, and GPU copy/launch
     /// faults, all absorbed by bounded retry on the simulated clock.
@@ -187,6 +194,7 @@ impl Default for GtsConfig {
             cache_limit_bytes: None,
             p2p_sync: true,
             host_threads: gts_exec::default_host_threads(),
+            measure_host_phases: false,
             faults: None,
             degrade_on_oom: true,
             checkpoint: None,
@@ -359,6 +367,9 @@ impl GtsConfigBuilder {
         /// Host threads for kernel bodies (>= 1; `1` = exact serial order,
         /// any value = byte-identical results).
         host_threads: usize,
+        /// Record wall-clock phase A/B host times (`host.phase_*_ns`
+        /// keys, outside the determinism contract; default off).
+        measure_host_phases: bool,
         /// Deterministic fault-injection plan (`None` disables injection).
         faults: Option<FaultConfig>,
         /// Step down (P→S, fewer streams, no cache) instead of aborting
@@ -525,6 +536,9 @@ impl GtsBuilder {
         /// Host threads for kernel bodies (>= 1; `1` = exact serial order,
         /// any value = byte-identical results).
         host_threads: usize,
+        /// Record wall-clock phase A/B host times (`host.phase_*_ns`
+        /// keys, outside the determinism contract; default off).
+        measure_host_phases: bool,
         /// Deterministic fault-injection plan (`None` disables injection).
         faults: Option<FaultConfig>,
         /// Step down (P→S, fewer streams, no cache) instead of aborting
@@ -778,9 +792,10 @@ impl Gts {
 
     /// The repeat-until loop (Alg. 1 lines 13-31): per sweep, run the
     /// functional kernels (phase A, host-parallel safe), account their
-    /// simulated cost (phase B, strictly serial), then barrier and
-    /// synchronise. Progress lands in `out` as it is made, so a typed
-    /// mid-run error leaves `out` describing the partial run.
+    /// simulated cost (phase B: parallel merge + batched probes around a
+    /// serial issue core), then barrier and synchronise. Progress lands
+    /// in `out` as it is made, so a typed mid-run error leaves `out`
+    /// describing the partial run.
     fn sweep_loop(
         &self,
         store: &GraphStore,
@@ -830,9 +845,10 @@ impl Gts {
         out.t = t;
 
         let mut scratch = KernelScratch::default();
-        // Host threads execute kernel bodies (functional work only); the
-        // accounting stage never runs on the pool, so simulated time is
-        // independent of `host_threads`.
+        // Host threads execute kernel bodies (phase A) and phase B's
+        // order-independent bookkeeping (exact integer merges, batched
+        // cache probes); the serial issue core orders simulated time, so
+        // results are independent of `host_threads`.
         let pool = ThreadPool::new(cfg.host_threads);
         let ctx = AccountCtx {
             store,
@@ -887,8 +903,11 @@ impl Gts {
                     technique: cfg.technique,
                     sweep,
                 };
+                let a0 = cfg.measure_host_phases.then(std::time::Instant::now);
                 let outcomes = kernels::run_page_kernels(prog, &pool, &env, phase, &mut scratch);
-                acc.account_phase(&ctx, lanes, source, phase, &outcomes)?;
+                let b0 = cfg.measure_host_phases.then(std::time::Instant::now);
+                acc.account_phase(&ctx, &pool, lanes, source, phase, &outcomes)?;
+                record_host_phases(tel, a0, b0);
             }
 
             // Barrier: all GPUs finish the sweep (Alg. 1 line 27)...
@@ -1010,6 +1029,27 @@ impl Gts {
                 out.t,
             );
         }
+    }
+}
+
+/// Record one phase's A/B wall-clock split when `measure_host_phases`
+/// captured the two instants. Wall-clock, not simulated: the `host.*`
+/// keys sit OUTSIDE the determinism contract (like `ckpt.*`) and are
+/// only written when explicitly asked for.
+fn record_host_phases(
+    tel: &Telemetry,
+    a0: Option<std::time::Instant>,
+    b0: Option<std::time::Instant>,
+) {
+    if let (Some(a0), Some(b0)) = (a0, b0) {
+        tel.add(
+            keys::HOST_PHASE_A_NS,
+            (b0 - a0).as_nanos().min(u64::MAX as u128) as u64,
+        );
+        tel.add(
+            keys::HOST_PHASE_B_NS,
+            b0.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+        );
     }
 }
 

@@ -12,7 +12,8 @@
 //! ([`crate::sweep::schedule`]). Every storage fetch verifies the page's
 //! trailer checksum and is subject to the run's fault plan (injected
 //! transient read errors and torn pages, bounded retry with backoff,
-//! drive quarantine) — see `gts_storage::StorageArray::fetch_verified`.
+//! drive quarantine) — see `gts_storage::StorageArray::fetch` and its
+//! default verify+retry `gts_storage::FetchPolicy`.
 
 use crate::engine::{EngineError, GtsConfig, StorageLocation};
 use gts_faults::FaultPlan;
@@ -129,7 +130,8 @@ impl PageSource for StorageSource {
             Ok(start)
         } else {
             let bytes = page.size_bytes() as u64;
-            Ok(self.array.fetch_verified(pid, page, bytes, start)?.end)
+            let policy = gts_storage::FetchPolicy::verified(page);
+            Ok(self.array.fetch(pid, bytes, start, policy)?.end)
         }
     }
 

@@ -83,9 +83,21 @@ impl GraphStore {
         &self.pages[pid as usize]
     }
 
-    /// Decoded view of one page.
+    /// Decoded view of one page. Verification is cached per page: the
+    /// first view of a page pays the checksum + layout walk (a no-op for
+    /// builder-encoded pages, already done at load for reconstructed
+    /// ones), later views are one atomic load.
+    ///
+    /// # Panics
+    /// Panics if the page fails verification — store pages are sealed at
+    /// build or verified at load, so this only fires when page bytes
+    /// were mutated behind the store's back.
     pub fn view(&self, pid: u64) -> PageView<'_> {
-        PageView::new(self.cfg, &self.pages[pid as usize])
+        let page = &self.pages[pid as usize];
+        match page.verify(self.cfg) {
+            Ok(token) => PageView::new(token),
+            Err(e) => panic!("store page {pid} failed verification: {e}"),
+        }
     }
 
     /// The RVT mapping table.
@@ -194,10 +206,11 @@ impl GraphStore {
                 pages.len()
             ));
         }
-        // Structural pass: after this, PageView accessors cannot go out of
-        // bounds on any page.
+        // Verification pass: after this, PageView accessors cannot go out
+        // of bounds on any page — and each page caches its verified state,
+        // so every later view over it is O(1).
         for page in &pages {
-            crate::page::validate_layout(cfg, page)?;
+            page.verify(cfg)?;
         }
         let mut rvt_entries = Vec::with_capacity(pages.len());
         let mut small_pids = Vec::new();
@@ -211,7 +224,7 @@ impl GraphStore {
         let mut i = 0usize;
         while i < pages.len() {
             let pid = i as u64;
-            let view = PageView::new(cfg, &pages[i]);
+            let view = pages[i].verify(cfg)?.view();
             match view.kind() {
                 crate::format::PageKind::Small => {
                     let count = view.count();
@@ -254,7 +267,7 @@ impl GraphStore {
                     // Measure the run: consecutive LPs of the same vertex.
                     let mut chunks = 0usize;
                     while i + chunks < pages.len() {
-                        let v = PageView::new(cfg, &pages[i + chunks]);
+                        let v = pages[i + chunks].verify(cfg)?.view();
                         if v.kind() != crate::format::PageKind::Large || v.lp_vid() != vid {
                             break;
                         }
@@ -262,7 +275,7 @@ impl GraphStore {
                     }
                     vertex_rid[vid as usize] = RecordId::new(pid, 0);
                     for c in 0..chunks {
-                        let v = PageView::new(cfg, &pages[i + c]);
+                        let v = pages[i + c].verify(cfg)?.view();
                         let edges = v.count() as u64;
                         rvt_entries.push(RvtEntry {
                             start_vid: vid,

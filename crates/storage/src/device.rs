@@ -7,13 +7,17 @@
 //! per-request latency plus bandwidth-proportional transfer time;
 //! [`StorageArray`] stripes pages across drives exactly like `g(j)`.
 //!
-//! With a [`FaultPlan`] attached, [`StorageArray::fetch_verified`] turns
-//! into the recovery path of the fault model: transient read errors and
-//! torn pages are retried with simulated backoff (each failed attempt
-//! still occupies the drive), a drive is quarantined after repeated
-//! consecutive failures (surviving drives re-stripe its pages, mirroring
-//! the `g(j)` rehash), and persistent checksum failures surface as a
-//! typed [`StorageError`] instead of a panic.
+//! All reads go through the single [`StorageArray::fetch`] entrypoint,
+//! parameterised by a [`FetchPolicy`] whose default is *verify + retry*:
+//! every fetched page's trailer checksum is checked (cached after the
+//! first success, so intact hot pages pay the hash once). With a
+//! [`FaultPlan`] attached, fetching turns into the recovery path of the
+//! fault model: transient read errors and torn pages are retried with
+//! simulated backoff (each failed attempt still occupies the drive), a
+//! drive is quarantined after repeated consecutive failures (surviving
+//! drives re-stripe its pages, mirroring the `g(j)` rehash), and
+//! persistent checksum failures surface as a typed [`StorageError`]
+//! instead of a panic.
 
 use crate::page::Page;
 use gts_faults::{FaultPlan, ReadOutcome};
@@ -61,6 +65,43 @@ impl std::fmt::Display for StorageError {
 }
 
 impl std::error::Error for StorageError {}
+
+/// How a [`StorageArray::fetch`] verifies and retries.
+///
+/// The only constructor is [`FetchPolicy::verified`]: every fetch checks
+/// the page's trailer checksum against the bytes that "arrived" (there is
+/// deliberately no unverified public path — PR 4's fault model made
+/// integrity checking load-bearing). Retry behaviour defaults to the
+/// array's attached fault plan; [`FetchPolicy::fail_fast`] opts a single
+/// fetch out of retries.
+#[derive(Clone, Copy)]
+pub struct FetchPolicy<'a> {
+    page: &'a Page,
+    fail_fast: bool,
+}
+
+impl<'a> FetchPolicy<'a> {
+    /// Verify `page`'s trailer checksum on every attempt, retrying with
+    /// backoff per the array's fault plan (the default policy).
+    pub fn verified(page: &'a Page) -> Self {
+        FetchPolicy {
+            page,
+            fail_fast: false,
+        }
+    }
+
+    /// Disable retries for this fetch: one attempt, first failure is
+    /// final. Verification still applies.
+    pub fn fail_fast(mut self) -> Self {
+        self.fail_fast = true;
+        self
+    }
+
+    /// The page whose integrity this fetch is checked against.
+    pub fn page(&self) -> &'a Page {
+        self.page
+    }
+}
 
 /// Kind of drive, for presets and reporting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -188,8 +229,8 @@ impl StorageArray {
         }
     }
 
-    /// Attach a seeded fault schedule; [`StorageArray::fetch_verified`]
-    /// consults it on every read attempt.
+    /// Attach a seeded fault schedule; [`StorageArray::fetch`] consults
+    /// it on every read attempt.
     pub fn attach_faults(&mut self, plan: FaultPlan) {
         self.faults = Some(plan);
     }
@@ -255,43 +296,31 @@ impl StorageArray {
         self.quarantined.iter().filter(|&&q| q).count()
     }
 
-    /// Fetch page `pid` of `bytes` bytes; ready at `ready`.
-    pub fn fetch(&mut self, pid: u64, bytes: u64, ready: SimTime) -> Scheduled {
-        let dev = self.g(pid);
-        let s = self.devices[dev].read(bytes, ready);
-        if let Some(tel) = &self.telemetry {
-            tel.record_span(
-                Track::new(keys::pid::STORAGE, dev as u32),
-                SpanCat::Io,
-                format!("page {pid}"),
-                s.start,
-                s.end,
-            );
-        }
-        s
-    }
-
-    /// Fetch page `pid` with integrity checking and bounded recovery.
+    /// Fetch page `pid` of `bytes` bytes, ready at `ready`, under
+    /// `policy` — the single entrypoint for all reads.
     ///
-    /// Every attempt occupies a live drive for the full read (failed reads
-    /// are not free), `page`'s trailer checksum decides whether the bytes
-    /// that "arrived" are usable, and retries wait out the configured
-    /// backoff on the simulated clock. Without an attached [`FaultPlan`]
-    /// this is a single checksum-verified read: intact pages behave
-    /// exactly like [`StorageArray::fetch`], corrupt ones surface as
+    /// Every attempt occupies a live drive for the full read (failed
+    /// reads are not free), the policy page's trailer checksum decides
+    /// whether the bytes that "arrived" are usable (the check is cached
+    /// per page after the first success, so re-fetches of an intact page
+    /// are O(1)), and retries wait out the configured backoff on the
+    /// simulated clock. Without an attached [`FaultPlan`] this is a
+    /// single checksum-verified read; corrupt pages surface as
     /// [`StorageError::CorruptPage`].
-    pub fn fetch_verified(
+    pub fn fetch(
         &mut self,
         pid: u64,
-        page: &Page,
         bytes: u64,
         ready: SimTime,
+        policy: FetchPolicy<'_>,
     ) -> Result<Scheduled, StorageError> {
+        let page = policy.page;
         let (max_retries, backoff, quarantine_after) = match &self.faults {
-            Some(f) => {
+            Some(f) if !policy.fail_fast => {
                 let c = f.config();
                 (c.max_retries, c.backoff, c.quarantine_after)
             }
+            Some(f) => (0, SimDuration::ZERO, f.config().quarantine_after),
             None => (0, SimDuration::ZERO, u32::MAX),
         };
         let mut at = ready;
@@ -314,7 +343,7 @@ impl StorageArray {
             let failure = match injected {
                 ReadOutcome::TransientError => Some(("!read", true)),
                 ReadOutcome::TornPage => Some(("!torn", false)),
-                ReadOutcome::Ok if !page.checksum_ok() => Some(("!corrupt", false)),
+                ReadOutcome::Ok if !page.checksum_ok_cached() => Some(("!corrupt", false)),
                 ReadOutcome::Ok => None,
             };
             match failure {
@@ -338,7 +367,7 @@ impl StorageArray {
                 }
             }
         }
-        if page.checksum_ok() {
+        if page.checksum_ok_cached() {
             Err(StorageError::RetriesExhausted { pid, attempts })
         } else {
             Err(StorageError::CorruptPage { pid })
@@ -520,12 +549,14 @@ mod tests {
         assert_eq!(arr.g(0), 0);
         assert_eq!(arr.g(1), 1);
         assert_eq!(arr.g(2), 0);
+        let page = test_page();
+        let p = FetchPolicy::verified(&page);
         // Two pages on different drives overlap fully.
-        let a = arr.fetch(0, 1_000, SimTime::ZERO);
-        let b = arr.fetch(1, 1_000, SimTime::ZERO);
+        let a = arr.fetch(0, 1_000, SimTime::ZERO, p).unwrap();
+        let b = arr.fetch(1, 1_000, SimTime::ZERO, p).unwrap();
         assert_eq!(a.start, b.start);
         // A third page lands behind the first on drive 0.
-        let c = arr.fetch(2, 1_000, SimTime::ZERO);
+        let c = arr.fetch(2, 1_000, SimTime::ZERO, p).unwrap();
         assert_eq!(c.start, a.end);
     }
 
@@ -549,7 +580,9 @@ mod tests {
     #[test]
     fn reset_restores_t0() {
         let mut arr = StorageArray::ssds(2);
-        arr.fetch(0, 1 << 20, SimTime::ZERO);
+        let page = test_page();
+        arr.fetch(0, 1 << 20, SimTime::ZERO, FetchPolicy::verified(&page))
+            .unwrap();
         arr.reset();
         assert_eq!(arr.drain_time(), SimTime::ZERO);
     }
@@ -559,8 +592,10 @@ mod tests {
         let tel = Telemetry::with_spans();
         let mut arr = StorageArray::ssds(2);
         arr.attach_telemetry(tel.clone());
-        arr.fetch(0, 1_000, SimTime::ZERO);
-        arr.fetch(1, 2_000, SimTime::ZERO);
+        let page = test_page();
+        let p = FetchPolicy::verified(&page);
+        arr.fetch(0, 1_000, SimTime::ZERO, p).unwrap();
+        arr.fetch(1, 2_000, SimTime::ZERO, p).unwrap();
         assert_eq!(tel.span_count(), 2);
         assert!(tel.spans().iter().all(|s| s.cat == SpanCat::Io));
         arr.flush_to(&tel);
@@ -585,13 +620,56 @@ mod tests {
     }
 
     #[test]
-    fn verified_fetch_without_faults_matches_plain_fetch() {
+    fn fail_fast_matches_default_policy_without_faults() {
+        // With no fault plan both policies are a single verified read —
+        // identical schedules on identical arrays.
         let page = test_page();
         let mut a = StorageArray::ssds(2);
         let mut b = StorageArray::ssds(2);
-        let plain = a.fetch(0, 1_000, SimTime::ZERO);
-        let verified = b.fetch_verified(0, &page, 1_000, SimTime::ZERO).unwrap();
-        assert_eq!(plain, verified);
+        let fast = a
+            .fetch(
+                0,
+                1_000,
+                SimTime::ZERO,
+                FetchPolicy::verified(&page).fail_fast(),
+            )
+            .unwrap();
+        let default = b
+            .fetch(0, 1_000, SimTime::ZERO, FetchPolicy::verified(&page))
+            .unwrap();
+        assert_eq!(fast, default);
+    }
+
+    #[test]
+    fn fail_fast_skips_retries_under_faults() {
+        let page = test_page();
+        let cfg = FaultConfig {
+            read_error_ppm: 1_000_000, // every attempt fails
+            corrupt_page_ppm: 0,
+            max_retries: 8,
+            quarantine_after: u32::MAX,
+            ..FaultConfig::with_seed(3)
+        };
+        let mut arr = StorageArray::ssds(1);
+        arr.attach_faults(FaultPlan::new(cfg));
+        let err = arr
+            .fetch(
+                0,
+                1_000,
+                SimTime::ZERO,
+                FetchPolicy::verified(&page).fail_fast(),
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            StorageError::RetriesExhausted {
+                pid: 0,
+                attempts: 1
+            }
+        );
+        let tel = Telemetry::new();
+        arr.flush_to(&tel);
+        assert_eq!(tel.counter(keys::IO_RETRIES), 0);
     }
 
     #[test]
@@ -600,14 +678,14 @@ mod tests {
         page.data[PAGE_HEADER_BYTES] ^= 0xFF;
         let mut arr = StorageArray::ssds(2);
         let err = arr
-            .fetch_verified(7, &page, 1_000, SimTime::ZERO)
+            .fetch(7, 1_000, SimTime::ZERO, FetchPolicy::verified(&page))
             .unwrap_err();
         assert_eq!(err, StorageError::CorruptPage { pid: 7 });
         // With a fault plan attached, retries are paid but cannot heal it.
         let mut arr = StorageArray::ssds(2);
         arr.attach_faults(FaultPlan::new(FaultConfig::quiet(1)));
         let err = arr
-            .fetch_verified(7, &page, 1_000, SimTime::ZERO)
+            .fetch(7, 1_000, SimTime::ZERO, FetchPolicy::verified(&page))
             .unwrap_err();
         assert_eq!(err, StorageError::CorruptPage { pid: 7 });
         let tel = Telemetry::new();
@@ -633,10 +711,10 @@ mod tests {
         let mut saw_retry = false;
         for pid in 0..64 {
             let f = faulty
-                .fetch_verified(pid, &page, 4_096, SimTime::ZERO)
+                .fetch(pid, 4_096, SimTime::ZERO, FetchPolicy::verified(&page))
                 .unwrap();
             let c = clean
-                .fetch_verified(pid, &page, 4_096, SimTime::ZERO)
+                .fetch(pid, 4_096, SimTime::ZERO, FetchPolicy::verified(&page))
                 .unwrap();
             assert!(f.end >= c.end, "faults can only add simulated time");
             saw_retry |= f.end > c.end;
@@ -669,7 +747,7 @@ mod tests {
         assert_eq!(arr.route(0), Some(0));
         assert_eq!(arr.route(1), Some(1));
         let err = arr
-            .fetch_verified(0, &page, 1_000, SimTime::ZERO)
+            .fetch(0, 1_000, SimTime::ZERO, FetchPolicy::verified(&page))
             .unwrap_err();
         assert_eq!(err, StorageError::AllDrivesQuarantined { pid: 0 });
         assert_eq!(arr.quarantined_count(), 2);
@@ -698,7 +776,9 @@ mod tests {
         assert_eq!(arr.route(0), Some(0));
         assert_eq!(arr.route(1), Some(2));
         assert_eq!(arr.route(2), Some(0));
-        let s = arr.fetch_verified(1, &page, 1_000, SimTime::ZERO).unwrap();
+        let s = arr
+            .fetch(1, 1_000, SimTime::ZERO, FetchPolicy::verified(&page))
+            .unwrap();
         assert_eq!(s.start, SimTime::ZERO);
     }
 }

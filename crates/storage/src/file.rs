@@ -152,11 +152,7 @@ pub fn load_store(path: impl AsRef<Path>) -> Result<GraphStore, FileError> {
         } else {
             PageKind::Large
         };
-        pages.push(Page {
-            pid,
-            kind,
-            data: data.into_boxed_slice(),
-        });
+        pages.push(Page::new(pid, kind, data.into_boxed_slice()));
     }
     GraphStore::reconstruct(cfg, pages, num_vertices).map_err(FileError::BadHeader)
 }

@@ -36,9 +36,9 @@ pub mod rvt;
 
 pub use builder::{build_graph_store, BuildError, GraphStore};
 pub use cache::{CachePolicy, FifoCache, LruCache, PageCache, RandomCache};
-pub use device::{BlockDevice, DeviceKind, StorageArray, StorageError};
+pub use device::{BlockDevice, DeviceKind, FetchPolicy, StorageArray, StorageError};
 pub use file::{load_store, save_store, FileError};
 pub use format::{PageFormatConfig, PageKind, PhysicalIdConfig, RecordId};
 pub use mmbuf::MmBuf;
-pub use page::{page_checksum, Page, PageView};
+pub use page::{page_checksum, Page, PageView, VerifiedPage};
 pub use rvt::{Rvt, RvtEntry};

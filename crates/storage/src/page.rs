@@ -15,9 +15,22 @@ use crate::format::{
     PageFormatConfig, PageKind, RecordId, ADJLIST_SZ_BYTES, OFF_BYTES, PAGE_HEADER_BYTES,
     PAGE_TRAILER_BYTES, VID_BYTES,
 };
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Bit set once the trailer checksum has matched (see [`Page::verify`]).
+const VERIFIED_CSUM: u8 = 1 << 0;
+/// Bit set once full verification (checksum + layout) has passed.
+const VERIFIED_FULL: u8 = 1 << 1;
 
 /// An encoded fixed-size slotted page.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// A page caches its own verification state: the first successful
+/// [`Page::verify`] (or [`Page::checksum_ok_cached`]) hashes the bytes,
+/// every later call is a single atomic load. This is *verified-once /
+/// borrow-after* semantics — mutating `data` after a successful
+/// verification is NOT detected by the cached paths (the pure
+/// [`Page::checksum_ok`] always recomputes).
+#[derive(Debug)]
 pub struct Page {
     /// Global page ID (index into the store's page table).
     pub pid: u64,
@@ -25,9 +38,41 @@ pub struct Page {
     pub kind: PageKind,
     /// Raw page bytes, exactly `page_size` long.
     pub data: Box<[u8]>,
+    /// Cached verification state ([`VERIFIED_CSUM`] | [`VERIFIED_FULL`]).
+    verified: AtomicU8,
 }
 
+impl Clone for Page {
+    fn clone(&self) -> Self {
+        Page {
+            pid: self.pid,
+            kind: self.kind,
+            data: self.data.clone(),
+            // The bytes are copied unchanged, so verification carries over.
+            verified: AtomicU8::new(self.verified.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl PartialEq for Page {
+    fn eq(&self, other: &Self) -> bool {
+        self.pid == other.pid && self.kind == other.kind && self.data == other.data
+    }
+}
+
+impl Eq for Page {}
+
 impl Page {
+    /// Wrap encoded bytes as a page, in the unverified state.
+    pub fn new(pid: u64, kind: PageKind, data: Box<[u8]>) -> Self {
+        Page {
+            pid,
+            kind,
+            data,
+            verified: AtomicU8::new(0),
+        }
+    }
+
     /// Page size in bytes (the streaming unit of GTS).
     pub fn size_bytes(&self) -> usize {
         self.data.len()
@@ -40,8 +85,87 @@ impl Page {
     }
 
     /// Recompute the trailer checksum and compare it to the stored one.
+    /// Always hashes the full page; see [`Page::checksum_ok_cached`] for
+    /// the amortised variant used on fetch hot paths.
     pub fn checksum_ok(&self) -> bool {
         self.stored_checksum() == page_checksum(&self.data)
+    }
+
+    /// Like [`Page::checksum_ok`], but a successful check is cached: the
+    /// first call hashes the page, later calls are one atomic load.
+    /// Failures are never cached (a torn read may be retried with the
+    /// same `Page` object).
+    pub fn checksum_ok_cached(&self) -> bool {
+        if self.verified.load(Ordering::Relaxed) & VERIFIED_CSUM != 0 {
+            return true;
+        }
+        let ok = self.checksum_ok();
+        if ok {
+            self.verified.fetch_or(VERIFIED_CSUM, Ordering::Relaxed);
+        }
+        ok
+    }
+
+    /// Fully verify this page under `cfg` — size, trailer checksum and
+    /// structural layout (every [`PageView`] accessor stays in bounds) —
+    /// and mint the [`VerifiedPage`] token that [`PageView::new`]
+    /// requires. Success is cached on the page, so only the first call
+    /// pays the O(page) hash + layout walk.
+    ///
+    /// Pages loaded from untrusted bytes (disk files) surface malformed
+    /// layouts here as an error, never as an out-of-bounds panic.
+    pub fn verify(&self, cfg: PageFormatConfig) -> Result<VerifiedPage<'_>, String> {
+        if self.verified.load(Ordering::Relaxed) & VERIFIED_FULL != 0 {
+            return Ok(VerifiedPage { cfg, page: self });
+        }
+        if self.data.len() != cfg.page_size {
+            return Err(format!(
+                "page {}: {} bytes, expected {}",
+                self.pid,
+                self.data.len(),
+                cfg.page_size
+            ));
+        }
+        if !self.checksum_ok_cached() {
+            return Err(format!(
+                "page {}: trailer checksum mismatch (stored {:#018x}, computed {:#018x})",
+                self.pid,
+                self.stored_checksum(),
+                page_checksum(&self.data)
+            ));
+        }
+        validate_structure(cfg, self)?;
+        self.verified
+            .fetch_or(VERIFIED_FULL | VERIFIED_CSUM, Ordering::Relaxed);
+        Ok(VerifiedPage { cfg, page: self })
+    }
+}
+
+/// Proof that a [`Page`]'s bytes passed full verification (trailer
+/// checksum + structural layout) under a format config. The only way to
+/// obtain one is [`Page::verify`]; the only way to decode a page is to
+/// hand one to [`PageView::new`] — views over unverified bytes are
+/// unrepresentable.
+#[derive(Debug, Clone, Copy)]
+pub struct VerifiedPage<'a> {
+    cfg: PageFormatConfig,
+    page: &'a Page,
+}
+
+impl<'a> VerifiedPage<'a> {
+    /// The verified page.
+    pub fn page(&self) -> &'a Page {
+        self.page
+    }
+
+    /// The format config the page was verified under.
+    pub fn cfg(&self) -> PageFormatConfig {
+        self.cfg
+    }
+
+    /// Decode this page (shorthand for `PageView::new(token)`).
+    pub fn view(&self) -> PageView<'a> {
+        PageView::new(*self)
     }
 }
 
@@ -157,11 +281,7 @@ impl SmallPageEncoder {
         self.data[0] = 0; // kind = Small
         write_le(&mut self.data[1..], self.slots as u64, 4);
         seal(&mut self.data);
-        Page {
-            pid,
-            kind: PageKind::Small,
-            data: self.data.into_boxed_slice(),
-        }
+        Page::new(pid, PageKind::Small, self.data.into_boxed_slice())
     }
 }
 
@@ -188,11 +308,7 @@ pub fn encode_large_page(cfg: PageFormatConfig, pid: u64, vid: u64, adj: &[Recor
         at += cfg.id.rid_bytes();
     }
     seal(&mut data);
-    Page {
-        pid,
-        kind: PageKind::Large,
-        data: data.into_boxed_slice(),
-    }
+    Page::new(pid, PageKind::Large, data.into_boxed_slice())
 }
 
 /// Zero-copy decoded view over a [`Page`].
@@ -203,10 +319,14 @@ pub struct PageView<'a> {
 }
 
 impl<'a> PageView<'a> {
-    /// Wrap a page for decoding. The config must match the one it was
-    /// encoded with (stores keep a single config).
-    pub fn new(cfg: PageFormatConfig, page: &'a Page) -> Self {
-        PageView { cfg, page }
+    /// Wrap a verified page for decoding. Only a [`VerifiedPage`] token
+    /// (minted by [`Page::verify`]) is accepted: every accessor below
+    /// indexes raw bytes, so unverified input could panic out of bounds.
+    pub fn new(verified: VerifiedPage<'a>) -> Self {
+        PageView {
+            cfg: verified.cfg,
+            page: verified.page,
+        }
     }
 
     /// Page kind as encoded in the header.
@@ -303,28 +423,13 @@ impl<'a> PageView<'a> {
     }
 }
 
-/// Structurally validate a page's byte layout so that every subsequent
-/// [`PageView`] accessor stays in bounds. Used when loading pages from
-/// untrusted bytes (disk files): a malformed page must surface as an
-/// error, never as an out-of-bounds panic.
-pub fn validate_layout(cfg: PageFormatConfig, page: &Page) -> Result<(), String> {
-    if page.data.len() != cfg.page_size {
-        return Err(format!(
-            "page {}: {} bytes, expected {}",
-            page.pid,
-            page.data.len(),
-            cfg.page_size
-        ));
-    }
-    if !page.checksum_ok() {
-        return Err(format!(
-            "page {}: trailer checksum mismatch (stored {:#018x}, computed {:#018x})",
-            page.pid,
-            page.stored_checksum(),
-            page_checksum(&page.data)
-        ));
-    }
-    let view = PageView::new(cfg, page);
+/// Structural half of [`Page::verify`]: check that every [`PageView`]
+/// accessor would stay in bounds. Size and checksum are already checked
+/// by the caller.
+fn validate_structure(cfg: PageFormatConfig, page: &Page) -> Result<(), String> {
+    // Raw in-module view: the page is structurally unproven, but this
+    // function only reads the header fields it is about to bound-check.
+    let view = PageView { cfg, page };
     let rid_w = cfg.id.rid_bytes();
     match view.kind() {
         PageKind::Small => {
@@ -422,7 +527,7 @@ mod tests {
         assert_eq!(enc.push_vertex(11, &adj1), 1);
         assert_eq!(enc.push_vertex(12, &adj2), 2);
         let page = enc.finish(7);
-        let v = PageView::new(c, &page);
+        let v = page.verify(c).unwrap().view();
         assert_eq!(v.kind(), PageKind::Small);
         assert_eq!(v.count(), 3);
         assert_eq!(v.sp_vid(0), 10);
@@ -442,7 +547,7 @@ mod tests {
         enc.push_vertex(5, &[RecordId::new(1, 1)]);
         enc.push_vertex(6, &[RecordId::new(2, 2), RecordId::new(2, 3)]);
         let page = enc.finish(0);
-        let v = PageView::new(c, &page);
+        let v = page.verify(c).unwrap().view();
         let collected: Vec<(u64, Vec<RecordId>)> = v
             .sp_vertices()
             .map(|(vid, adj)| (vid, adj.collect()))
@@ -488,7 +593,7 @@ mod tests {
             .map(|i| RecordId::new(i as u64 % 7, i))
             .collect();
         let page = encode_large_page(c, 9, 0x0012_3456_789A, &adj);
-        let v = PageView::new(c, &page);
+        let v = page.verify(c).unwrap().view();
         assert_eq!(v.kind(), PageKind::Large);
         assert_eq!(v.lp_vid(), 0x0012_3456_789A);
         assert_eq!(v.count() as usize, adj.len());
@@ -505,10 +610,10 @@ mod tests {
         enc.push_vertex(1, &[RecordId::new(0, 0)]);
         let sp = enc.finish(0);
         assert!(sp.checksum_ok());
-        assert!(validate_layout(c, &sp).is_ok());
+        assert!(sp.verify(c).is_ok());
         let lp = encode_large_page(c, 1, 7, &[RecordId::new(2, 3)]);
         assert!(lp.checksum_ok());
-        assert!(validate_layout(c, &lp).is_ok());
+        assert!(lp.verify(c).is_ok());
     }
 
     #[test]
@@ -519,8 +624,40 @@ mod tests {
         let mut page = enc.finish(0);
         page.data[PAGE_HEADER_BYTES + 1] ^= 0x40;
         assert!(!page.checksum_ok());
-        let err = validate_layout(c, &page).unwrap_err();
+        let err = page.verify(c).unwrap_err();
         assert!(err.contains("checksum"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn verification_is_cached_with_borrow_after_semantics() {
+        let c = cfg();
+        let mut enc = SmallPageEncoder::new(c);
+        enc.push_vertex(1, &[RecordId::new(0, 0)]);
+        let mut page = enc.finish(0);
+        assert!(page.verify(c).is_ok());
+        // Mutating after a successful verification is the documented
+        // blind spot: cached paths still say "verified"...
+        page.data[PAGE_HEADER_BYTES + 1] ^= 0x40;
+        assert!(page.verify(c).is_ok());
+        assert!(page.checksum_ok_cached());
+        // ...while the pure recomputation still sees the damage, and a
+        // clone made *before* first verification detects it too.
+        assert!(!page.checksum_ok());
+    }
+
+    #[test]
+    fn checksum_cache_never_caches_failures() {
+        let c = cfg();
+        let mut enc = SmallPageEncoder::new(c);
+        enc.push_vertex(1, &[RecordId::new(0, 0)]);
+        let mut page = enc.finish(0);
+        page.data[PAGE_HEADER_BYTES + 1] ^= 0x40;
+        assert!(!page.checksum_ok_cached());
+        assert!(page.verify(c).is_err());
+        // Healing the bytes (a successful re-read) must be observable.
+        page.data[PAGE_HEADER_BYTES + 1] ^= 0x40;
+        assert!(page.checksum_ok_cached());
+        assert!(page.verify(c).is_ok());
     }
 
     #[test]
@@ -531,7 +668,7 @@ mod tests {
         let adj = [RecordId::new(0xABCDEF, 0x123456)];
         enc.push_vertex(0x00FF_FFFF_FFFF, &adj);
         let page = enc.finish(0);
-        let v = PageView::new(c, &page);
+        let v = page.verify(c).unwrap().view();
         assert_eq!(v.sp_vid(0), 0x00FF_FFFF_FFFF);
         assert_eq!(v.sp_adj(0, 0), RecordId::new(0xABCDEF, 0x123456));
     }

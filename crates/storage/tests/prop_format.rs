@@ -199,14 +199,17 @@ fn vid_range_spanning_vertex_ids_work_at_48_bits() {
     // Not random: one deliberate boundary check at the 6-byte VID limit
     // via direct page encoding (graph-level builds at 2^48 vertices are
     // not materialisable).
-    use gts_storage::page::{PageView, SmallPageEncoder};
+    use gts_storage::page::SmallPageEncoder;
     use gts_storage::RecordId;
     let cfg = PageFormatConfig::new(PhysicalIdConfig::new(4, 4), 4096);
     let mut enc = SmallPageEncoder::new(cfg);
     let vid = (1u64 << 48) - 1;
     enc.push_vertex(vid, &[RecordId::new((1 << 32) - 1, u32::MAX)]);
     let page = enc.finish(0);
-    let v = PageView::new(cfg, &page);
+    let v = page
+        .verify(cfg)
+        .expect("encoder-sealed page verifies")
+        .view();
     assert_eq!(v.sp_vid(0), vid);
     assert_eq!(v.sp_adj(0, 0), RecordId::new((1 << 32) - 1, u32::MAX));
 }

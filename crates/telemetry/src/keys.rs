@@ -28,6 +28,8 @@
 //! | `run.cache_enabled` | device page cache on (1) or off (0) at run end |
 //! | `ckpt.bytes` | bytes written to checkpoint snapshots (wall-side) |
 //! | `ckpt.write_ns` | wall-clock ns spent writing checkpoints (wall-side) |
+//! | `host.phase_a_ns` | wall-clock ns in host phase A kernels (opt-in, wall-side) |
+//! | `host.phase_b_ns` | wall-clock ns in host phase B accounting (opt-in, wall-side) |
 //! | `net.bytes` | bytes shipped over the cluster network (baselines) |
 //! | `mem.peak` | peak working-set bytes (max-merged, baselines) |
 //! | `gpu{i}.bytes_h2d` … | per-GPU fields, see the `GPU_*` constants |
@@ -86,6 +88,15 @@ pub const CKPT_BYTES: &str = "ckpt.bytes";
 /// Wall-clock nanoseconds spent encoding + fsyncing checkpoint snapshots
 /// (real time, not simulated; outside the determinism contract).
 pub const CKPT_WRITE_NS: &str = "ckpt.write_ns";
+/// Wall-clock nanoseconds the host spent in phase A (functional kernels)
+/// across all sweeps. Only written when the engine's
+/// `measure_host_phases` flag is on; real time, not simulated, so (like
+/// `ckpt.*`) OUTSIDE the determinism contract — determinism comparisons
+/// must filter `host.*` keys.
+pub const HOST_PHASE_A_NS: &str = "host.phase_a_ns";
+/// Wall-clock nanoseconds the host spent in phase B (accounting) across
+/// all sweeps (same caveats as [`HOST_PHASE_A_NS`]).
+pub const HOST_PHASE_B_NS: &str = "host.phase_b_ns";
 /// Bytes shipped over the simulated cluster network (distributed baselines).
 pub const NETWORK_BYTES: &str = "net.bytes";
 /// Peak working-set bytes (max-merged; CPU/GPU baselines).

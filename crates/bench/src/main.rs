@@ -1,12 +1,13 @@
 //! `gts-bench` — the wall-clock benchmark binary.
 //!
-//! Runs the reproducible benchmark suites (`page`, `sweep`, `e2e`) under
+//! Runs the reproducible benchmark suites (`page`, `sweep`, `e2e`,
+//! `mutation`) under
 //! the warmup/repeat/median protocol of [`gts_bench::bench`], prints
 //! each suite as an aligned table, and optionally writes / validates /
 //! regression-checks the machine-readable `BENCH_*.json` artifacts.
 //!
 //! ```text
-//! gts-bench [--suite page|sweep|e2e|all] [--json-out PATH]
+//! gts-bench [--suite page|sweep|e2e|mutation|all] [--json-out PATH]
 //!           [--repeats N] [--warmup N] [--quick]
 //!           [--check-against PATH] [--tolerance F]
 //!           [--validate FILE ...]
@@ -25,8 +26,9 @@ use gts_bench::scale;
 use gts_bench::table::report_table;
 use gts_core::engine::{Gts, GtsConfig, StorageLocation};
 use gts_core::programs::{Bfs, PageRank};
+use gts_core::{MutationBatch, MutationSchedule};
 use gts_graph::Dataset;
-use gts_storage::{build_graph_store, CachePolicy, FifoCache, LruCache, RandomCache};
+use gts_storage::{build_graph_store, CachePolicy, FifoCache, GraphStore, LruCache, RandomCache};
 use gts_telemetry::keys;
 use std::hint::black_box;
 use std::path::{Path, PathBuf};
@@ -60,10 +62,10 @@ fn main() -> ExitCode {
     }
 
     let suites: Vec<&str> = match opts.suite.as_str() {
-        "all" => vec!["page", "sweep", "e2e"],
-        s @ ("page" | "sweep" | "e2e") => vec![s],
+        "all" => vec!["page", "sweep", "e2e", "mutation"],
+        s @ ("page" | "sweep" | "e2e" | "mutation") => vec![s],
         other => {
-            eprintln!("gts-bench: unknown suite {other:?} (page | sweep | e2e | all)");
+            eprintln!("gts-bench: unknown suite {other:?} (page | sweep | e2e | mutation | all)");
             return ExitCode::from(2);
         }
     };
@@ -73,6 +75,7 @@ fn main() -> ExitCode {
         let report = match *suite {
             "page" => page_suite(&opts),
             "sweep" => sweep_suite(&opts),
+            "mutation" => mutation_suite(&opts),
             _ => e2e_suite(&opts),
         };
         report_table(&report).finish();
@@ -559,6 +562,160 @@ fn e2e_suite(opts: &Opts) -> BenchReport {
                 ("rmat_scale", s.to_string()),
                 ("paper_rmat", scale::paper_rmat(s).to_string()),
                 ("alg", alg.to_string()),
+            ];
+            report.push(entry(
+                &format!("{alg}_rmat{s}_wall_ns"),
+                "ns",
+                wall,
+                &params,
+            ));
+            let mut simulated = entry(&format!("{alg}_rmat{s}_sim_ns"), "ns", sim, &params);
+            // Simulated time is bit-deterministic — any drift is a real
+            // regression, so these entries anchor the CI gate.
+            simulated.gate = true;
+            report.push(simulated);
+        }
+    }
+    report
+}
+
+// ------------------------------------------------------------ mutation
+
+/// A deterministic xorshift64 mutation batch — `inserts` random endpoint
+/// pairs plus `deletes` evenly-strided existing edges — reproducible
+/// from the seed alone (mirrors the CLI's `--mutate-*` generation).
+fn bench_batch(store: &GraphStore, inserts: u64, deletes: u64, seed: u64) -> MutationBatch {
+    let n = store.num_vertices();
+    let mut x = seed | 1;
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    let mut batch = MutationBatch::new();
+    for _ in 0..inserts {
+        let s = next() % n;
+        let d = next() % n;
+        batch.insert(s, d);
+    }
+    if deletes > 0 {
+        let edges = store.decode_edges();
+        let take = deletes.min(edges.len() as u64);
+        let stride = (edges.len() as u64 / take.max(1)).max(1);
+        for i in 0..take {
+            let (s, d) = edges[(i * stride) as usize % edges.len()];
+            batch.delete(s, d);
+        }
+    }
+    batch
+}
+
+/// Update-while-query: the storage-level batch-apply cost, then whole
+/// live runs — a batch landing mid-traversal (BFS at sweep 1) and one
+/// reviving a converged sweep program (PageRank refresh past its last
+/// iteration). Wall times are informational; simulated times are
+/// deterministic and gated.
+fn mutation_suite(opts: &Opts) -> BenchReport {
+    let mut report = BenchReport::new(
+        "mutation",
+        "Update-while-query: batched edge mutations with epoch visibility (ssd:2, 2 GPUs)",
+    );
+    let scales: Vec<u32> = if opts.quick {
+        vec![12]
+    } else {
+        vec![12, 13, 14]
+    };
+    let inserts = 256u64;
+    let deletes = 64u64;
+    let seed = 0x6715_2016u64;
+    for s in scales {
+        let edges = Dataset::Rmat(s).generate();
+        let fmt = scale::page_format_small();
+
+        // Raw storage cost: validate + rewrite + delta allocation + RVT
+        // update for one batch, on a fresh store each sample.
+        report.push(
+            spec(opts, &format!("apply_batch_rmat{s}_ns"), "ns")
+                .run_values(|| {
+                    let mut store = build_graph_store(&edges, fmt).expect("store");
+                    let batch = bench_batch(&store, inserts, deletes, seed);
+                    let t0 = Instant::now();
+                    black_box(store.apply_mutations(&batch).expect("apply"));
+                    t0.elapsed().as_nanos() as f64
+                })
+                .param("rmat_scale", s)
+                .param("inserts", inserts)
+                .param("deletes", deletes),
+        );
+
+        let cfg = || GtsConfig {
+            num_gpus: 2,
+            storage: StorageLocation::Ssds(2),
+            ..scale::gts_config()
+        };
+        type RunAlg<'a> = Box<dyn Fn() -> (f64, f64) + 'a>;
+        let algos: Vec<(&str, u32, RunAlg<'_>)> = vec![
+            (
+                "bfs_live",
+                1,
+                Box::new({
+                    let edges = &edges;
+                    move || {
+                        let mut store = build_graph_store(edges, fmt).expect("store");
+                        let batch = bench_batch(&store, inserts, deletes, seed);
+                        let mut bfs = Bfs::new(store.num_vertices(), 0);
+                        let t0 = Instant::now();
+                        let rep = Gts::new(cfg())
+                            .run_live(&mut store, &mut bfs, MutationSchedule::new().at(1, batch))
+                            .expect("run");
+                        (
+                            t0.elapsed().as_nanos() as f64,
+                            rep.elapsed.as_nanos() as f64,
+                        )
+                    }
+                }),
+            ),
+            (
+                // Batch scheduled past Fixed(10)'s convergence: the run
+                // revives for exactly one refresh sweep over the mutated
+                // topology.
+                "pagerank_live",
+                20,
+                Box::new({
+                    let edges = &edges;
+                    move || {
+                        let mut store = build_graph_store(edges, fmt).expect("store");
+                        let batch = bench_batch(&store, inserts, deletes, seed);
+                        let mut pr = PageRank::new(store.num_vertices(), 10);
+                        let t0 = Instant::now();
+                        let rep = Gts::new(cfg())
+                            .run_live(&mut store, &mut pr, MutationSchedule::new().at(20, batch))
+                            .expect("run");
+                        (
+                            t0.elapsed().as_nanos() as f64,
+                            rep.elapsed.as_nanos() as f64,
+                        )
+                    }
+                }),
+            ),
+        ];
+        for (alg, at, run) in algos {
+            let mut wall = Vec::new();
+            let mut sim = Vec::new();
+            for i in 0..opts.warmup + opts.repeats.max(1) {
+                let (w, sm) = run();
+                if i >= opts.warmup {
+                    wall.push(w);
+                    sim.push(sm);
+                }
+            }
+            let params = [
+                ("rmat_scale", s.to_string()),
+                ("alg", alg.to_string()),
+                ("mutate_at", at.to_string()),
+                ("inserts", inserts.to_string()),
+                ("deletes", deletes.to_string()),
             ];
             report.push(entry(
                 &format!("{alg}_rmat{s}_wall_ns"),

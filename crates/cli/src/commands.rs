@@ -26,6 +26,7 @@ use gts_core::programs::{
     Bc, Bfs, Cc, Degrees, GtsProgram, KCore, PageRank, RadiusEstimation, Rwr, Sssp,
 };
 use gts_core::{CheckpointConfig, CrashPoint, FaultConfig};
+use gts_core::{MutationBatch, MutationSchedule};
 use gts_core::{Strategy, Telemetry};
 use gts_gpu::GpuConfig;
 use gts_graph::generate::{erdos_renyi, web_like, Rmat};
@@ -107,6 +108,8 @@ USAGE:
                [--checkpoint-dir DIR] [--checkpoint-every N] [--resume true]
                [--run-budget NS] [--sweep-deadline NS] [--counters-out FILE]
                [--crash-at-sweep K | --crash-mid-write K]
+               [--mutate-at K] [--mutate-inserts N] [--mutate-deletes N]
+               [--mutate-seed N]
   gts help
 
 Edge files are the binary GTSEDGES format produced by `gts generate`, or
@@ -131,6 +134,16 @@ the trace. `--crash-at-sweep K` / `--crash-mid-write K` inject a
 deterministic kill at (or during the snapshot write of) sweep K's
 boundary, for kill-and-resume chaos testing. `--counters-out` writes the
 final counter registry as sorted 'key value' lines, also on failure.
+
+Live topology: `--mutate-at K` applies a batched edge mutation at the
+boundary of sweep K while the query runs (Sec. 2's slotted pages are
+rewritten in place, with delta pages on slot overflow, and the store
+epoch bumps so checkpoints from before the batch refuse a stale resume).
+The batch is generated deterministically from `--mutate-seed`:
+`--mutate-inserts` random edge insertions (default 64) plus
+`--mutate-deletes` deletions of existing edges (default 0). Results are
+identical at every `--host-threads` value; progress is visible in the
+`mut.*` counters.
 
 Exit codes: 0 success, 2 usage error, 3 I/O failure, 4 engine failure.";
 
@@ -189,7 +202,7 @@ fn generate(args: &Args) -> Result<(), CliError> {
         "yahooweb" => Dataset::YahooWebLike.generate(),
         other => return Err(CliError::Usage(format!("unknown graph kind {other:?}"))),
     };
-    edgelist::write(&graph, out).map_err(CliError::Io)?;
+    edgelist::write(&graph, out).map_err(|e| CliError::Io(e.to_string()))?;
     outln!(
         "wrote {} vertices, {} edges to {out}",
         graph.num_vertices,
@@ -200,7 +213,7 @@ fn generate(args: &Args) -> Result<(), CliError> {
 
 fn build(args: &Args) -> Result<(), CliError> {
     args.reject_unknown(&["graph", "out", "page-size", "p", "q"])?;
-    let graph = edgelist::read(args.required("graph")?).map_err(CliError::Io)?;
+    let graph = edgelist::read(args.required("graph")?).map_err(|e| CliError::Io(e.to_string()))?;
     let out = args.required("out")?;
     let page_size = args.get_or("page-size", 64 * 1024usize)?;
     let p = args.get_or("p", 2u8)?;
@@ -327,6 +340,61 @@ fn parse_crash_point(args: &Args) -> Result<Option<CrashPoint>, CliError> {
     }
 }
 
+/// The `--mutate-at` / `--mutate-inserts` / `--mutate-deletes` /
+/// `--mutate-seed` quartet: one deterministic update-while-query batch
+/// applied at the given sweep boundary via [`Gts::run_live`]. The batch
+/// flags are meaningless without `--mutate-at`.
+fn parse_mutation(args: &Args, store: &GraphStore) -> Result<Option<MutationSchedule>, CliError> {
+    let Some(at) = args.optional("mutate-at") else {
+        for flag in ["mutate-inserts", "mutate-deletes", "mutate-seed"] {
+            if args.optional(flag).is_some() {
+                return Err(CliError::Usage(format!("--{flag} needs --mutate-at")));
+            }
+        }
+        return Ok(None);
+    };
+    let at: u32 = at
+        .parse()
+        .map_err(|_| CliError::Usage(format!("bad --mutate-at {at:?} (sweep number)")))?;
+    let inserts = args.get_or("mutate-inserts", 64u64)?;
+    let deletes = args.get_or("mutate-deletes", 0u64)?;
+    let seed = args.get_or("mutate-seed", 0x6715_2016u64)?;
+    let batch = mutation_batch(store, inserts, deletes, seed);
+    Ok(Some(MutationSchedule::new().at(at, batch)))
+}
+
+/// A deterministic mutation batch: xorshift64-drawn endpoint pairs for
+/// the insertions, evenly-strided existing edges for the deletions —
+/// reproducible from the seed alone, independent of host threading.
+fn mutation_batch(store: &GraphStore, inserts: u64, deletes: u64, seed: u64) -> MutationBatch {
+    let n = store.num_vertices();
+    let mut x = seed | 1;
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    let mut batch = MutationBatch::new();
+    for _ in 0..inserts {
+        let s = next() % n;
+        let d = next() % n;
+        batch.insert(s, d);
+    }
+    if deletes > 0 {
+        // Deletions must name edges that exist: stride over the decoded
+        // edge list (duplicates are fine — each occurrence deletes once).
+        let edges = store.decode_edges();
+        let take = deletes.min(edges.len() as u64);
+        let stride = (edges.len() as u64 / take.max(1)).max(1);
+        for i in 0..take {
+            let (s, d) = edges[(i * stride) as usize % edges.len()];
+            batch.delete(s, d);
+        }
+    }
+    batch
+}
+
 fn run(args: &Args) -> Result<(), CliError> {
     args.reject_unknown(&[
         "store",
@@ -352,12 +420,17 @@ fn run(args: &Args) -> Result<(), CliError> {
         "crash-at-sweep",
         "crash-mid-write",
         "counters-out",
+        "mutate-at",
+        "mutate-inserts",
+        "mutate-deletes",
+        "mutate-seed",
     ])?;
     let alg = args
         .positional(1)
         .ok_or("usage: gts run <algorithm> --store <file>")?;
-    let store: GraphStore =
+    let mut store: GraphStore =
         load_store(args.required("store")?).map_err(|e| CliError::Io(e.to_string()))?;
+    let mut schedule = parse_mutation(args, &store)?;
     let source = args.get_or("source", 0u64)?;
     let iterations = args.get_or("iterations", 10u32)?;
     if source >= store.num_vertices() {
@@ -436,10 +509,12 @@ fn run(args: &Args) -> Result<(), CliError> {
         builder = builder.telemetry(Telemetry::with_spans());
     }
     let engine = builder.build().map_err(|e| e.to_string())?;
-    let exec = |prog: &mut dyn GtsProgram| {
-        engine
-            .run(&store, prog)
-            .map_err(|e| CliError::Engine(e.to_string()))
+    let mut exec = |prog: &mut dyn GtsProgram| {
+        let r = match schedule.take() {
+            Some(s) => engine.run_live(&mut store, prog, s),
+            None => engine.run(&store, prog),
+        };
+        r.map_err(|e| CliError::Engine(e.to_string()))
     };
     // Run the algorithm but hold the result: when the run fails mid-sweep
     // the engine still flushes its open spans and counters, and the
@@ -745,6 +820,10 @@ mod tests {
                 &["--crash-at-sweep", "2", "--crash-mid-write", "4"],
                 "mutually exclusive",
             ),
+            (&["--mutate-at", "x"], "--mutate-at"),
+            (&["--mutate-inserts", "5"], "--mutate-at"),
+            (&["--mutate-deletes", "5"], "--mutate-at"),
+            (&["--mutate-seed", "5"], "--mutate-at"),
         ];
         // A real store so validation (not a missing file) is what fails.
         let el = tmp("v.el");
@@ -841,6 +920,60 @@ mod tests {
         std::fs::remove_file(&el).ok();
         std::fs::remove_file(&st).ok();
         std::fs::remove_dir_all(&ck).ok();
+    }
+
+    /// A mutate-while-sweep run is byte-identical at any host-thread
+    /// count — the CI determinism job diffs exactly these counter dumps.
+    #[test]
+    fn mutate_while_sweep_is_thread_count_invariant() {
+        let el = tmp("mut.el");
+        let st = tmp("mut.gts");
+        dispatch(&sv(&[
+            "generate", "--kind", "rmat", "--scale", "9", "--out", &el,
+        ]))
+        .unwrap();
+        dispatch(&sv(&[
+            "build",
+            "--graph",
+            &el,
+            "--out",
+            &st,
+            "--page-size",
+            "4096",
+        ]))
+        .unwrap();
+        let dump = |threads: &str, out: &str| {
+            dispatch(&sv(&[
+                "run",
+                "bfs",
+                "--store",
+                &st,
+                "--mutate-at",
+                "1",
+                "--mutate-inserts",
+                "48",
+                "--mutate-deletes",
+                "8",
+                "--host-threads",
+                threads,
+                "--counters-out",
+                out,
+            ]))
+            .unwrap();
+            std::fs::read_to_string(out).unwrap()
+        };
+        let c1 = tmp("mut-counters-1.txt");
+        let c4 = tmp("mut-counters-4.txt");
+        let one = dump("1", &c1);
+        let four = dump("4", &c4);
+        assert_eq!(one, four, "mutated run must not depend on host threads");
+        assert!(one.contains("mut.batches 1"), "{one}");
+        assert!(one.contains("mut.inserted 48"), "{one}");
+        assert!(one.contains("mut.deleted 8"), "{one}");
+        assert!(one.contains("mut.epoch 1"), "{one}");
+        for p in [&el, &st, &c1, &c4] {
+            std::fs::remove_file(p).ok();
+        }
     }
 
     #[test]

@@ -13,15 +13,94 @@
 //! also accepted by [`read`] for interoperability with common datasets.
 
 use gts_graph::{EdgeList, VertexId};
+use std::fmt;
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"GTSEDGES";
 
+/// Size of the binary header: magic + vertex count + edge count.
+const HEADER_BYTES: u64 = 20;
+/// Size of one binary edge record: two LE u32 endpoints.
+const EDGE_BYTES: u64 = 8;
+
+/// A malformed or unreadable edge-list file. This is the CLI's untrusted
+/// input boundary: every field of the file is hostile until validated, so
+/// failures are typed — never panics, and never allocations sized by an
+/// unchecked header field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EdgeListError {
+    /// Underlying I/O failed.
+    Io(String),
+    /// The binary payload ended before the declared edge count.
+    Truncated {
+        /// Index of the first edge that could not be read.
+        edge: u64,
+    },
+    /// The header declares more edges than the file could possibly hold —
+    /// rejected *before* sizing any allocation from it.
+    CountExceedsFile {
+        /// Edge count from the header.
+        declared: u64,
+        /// Edges the file's byte length can actually hold.
+        possible: u64,
+    },
+    /// A binary edge endpoint is not `< num_vertices`.
+    EndpointOutOfRange {
+        /// Index of the offending edge.
+        edge: u64,
+        /// Its endpoints.
+        src: u32,
+        /// Its endpoints.
+        dst: u32,
+        /// The header's vertex count.
+        num_vertices: u32,
+    },
+    /// A text line failed to parse.
+    Parse {
+        /// 1-indexed line number.
+        line: usize,
+        /// What was wrong with it.
+        what: String,
+    },
+}
+
+impl fmt::Display for EdgeListError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdgeListError::Io(e) => write!(f, "edge file: {e}"),
+            EdgeListError::Truncated { edge } => {
+                write!(f, "edge file truncated at edge {edge}")
+            }
+            EdgeListError::CountExceedsFile { declared, possible } => write!(
+                f,
+                "edge file truncated: header declares {declared} edges but \
+                 the file holds at most {possible}"
+            ),
+            EdgeListError::EndpointOutOfRange {
+                edge,
+                src,
+                dst,
+                num_vertices,
+            } => write!(
+                f,
+                "edge {edge} ({src},{dst}) out of range (n={num_vertices})"
+            ),
+            EdgeListError::Parse { line, what } => write!(f, "line {line}: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for EdgeListError {}
+
+fn io_err(e: std::io::Error) -> EdgeListError {
+    EdgeListError::Io(e.to_string())
+}
+
 /// Write `graph` as a binary edge-list file.
-pub fn write(graph: &EdgeList, path: impl AsRef<Path>) -> Result<(), String> {
-    let mut w = BufWriter::new(File::create(&path).map_err(|e| e.to_string())?);
+pub fn write(graph: &EdgeList, path: impl AsRef<Path>) -> Result<(), EdgeListError> {
+    let mut w = BufWriter::new(File::create(&path).map_err(io_err)?);
     let mut run = || -> std::io::Result<()> {
         w.write_all(MAGIC)?;
         w.write_all(&graph.num_vertices.to_le_bytes())?;
@@ -32,51 +111,74 @@ pub fn write(graph: &EdgeList, path: impl AsRef<Path>) -> Result<(), String> {
         }
         w.flush()
     };
-    run().map_err(|e| e.to_string())
+    run().map_err(io_err)
 }
 
 /// Read an edge list: binary format if the magic matches, otherwise
 /// parsed as whitespace-separated text pairs.
-pub fn read(path: impl AsRef<Path>) -> Result<EdgeList, String> {
-    let mut f = File::open(&path).map_err(|e| e.to_string())?;
+pub fn read(path: impl AsRef<Path>) -> Result<EdgeList, EdgeListError> {
+    let mut f = File::open(&path).map_err(io_err)?;
     let mut magic = [0u8; 8];
     let is_binary = f.read_exact(&mut magic).is_ok() && &magic == MAGIC;
     if is_binary {
         read_binary(f)
     } else {
-        read_text(File::open(&path).map_err(|e| e.to_string())?)
+        read_text(File::open(&path).map_err(io_err)?)
     }
 }
 
-fn read_binary(mut f: File) -> Result<EdgeList, String> {
+fn read_binary(mut f: File) -> Result<EdgeList, EdgeListError> {
     let mut head = [0u8; 12];
-    f.read_exact(&mut head).map_err(|e| e.to_string())?;
+    f.read_exact(&mut head).map_err(io_err)?;
     let n = u32::from_le_bytes(head[0..4].try_into().unwrap());
     let m = u64::from_le_bytes(head[4..12].try_into().unwrap());
+    // The declared count sizes the allocation below, so it must be proved
+    // against the one thing the header cannot lie about — the file's own
+    // byte length. A hostile `m` of 2^63 is rejected here in O(1) instead
+    // of aborting the process inside `Vec::with_capacity`.
+    let possible = f
+        .metadata()
+        .map_err(io_err)?
+        .len()
+        .saturating_sub(HEADER_BYTES)
+        / EDGE_BYTES;
+    if m > possible {
+        return Err(EdgeListError::CountExceedsFile {
+            declared: m,
+            possible,
+        });
+    }
     let mut r = BufReader::new(f);
     let mut edges = Vec::with_capacity(m as usize);
     let mut buf = [0u8; 8];
     for i in 0..m {
         r.read_exact(&mut buf)
-            .map_err(|_| format!("edge file truncated at edge {i}"))?;
+            .map_err(|_| EdgeListError::Truncated { edge: i })?;
         let s = u32::from_le_bytes(buf[0..4].try_into().unwrap());
         let d = u32::from_le_bytes(buf[4..8].try_into().unwrap());
         if s >= n || d >= n {
-            return Err(format!("edge {i} ({s},{d}) out of range (n={n})"));
+            // Validated here so `EdgeList::new`'s in-range invariant (a
+            // panic, aimed at programming errors) never fires on input.
+            return Err(EdgeListError::EndpointOutOfRange {
+                edge: i,
+                src: s,
+                dst: d,
+                num_vertices: n,
+            });
         }
         edges.push((s, d));
     }
     Ok(EdgeList::new(n, edges))
 }
 
-fn read_text(f: File) -> Result<EdgeList, String> {
+fn read_text(f: File) -> Result<EdgeList, EdgeListError> {
     let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
     let mut max_v: u64 = 0;
     let mut matrix_market = false;
     let mut mm_header_seen = false;
     let mut declared_n: Option<u32> = None;
     for (lineno, line) in BufReader::new(f).lines().enumerate() {
-        let line = line.map_err(|e| e.to_string())?;
+        let line = line.map_err(io_err)?;
         let line = line.trim();
         if lineno == 0 && line.starts_with("%%MatrixMarket") {
             matrix_market = true;
@@ -85,6 +187,10 @@ fn read_text(f: File) -> Result<EdgeList, String> {
         if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
             continue;
         }
+        let bad = |what: &str| EdgeListError::Parse {
+            line: lineno + 1,
+            what: what.into(),
+        };
         let mut it = line.split_whitespace();
         if matrix_market && !mm_header_seen {
             // Dimensions line: rows cols nnz.
@@ -92,30 +198,32 @@ fn read_text(f: File) -> Result<EdgeList, String> {
             let rows: u32 = it
                 .next()
                 .and_then(|t| t.parse().ok())
-                .ok_or_else(|| format!("line {}: bad MatrixMarket size line", lineno + 1))?;
+                .ok_or_else(|| bad("bad MatrixMarket size line"))?;
             let cols: u32 = it
                 .next()
                 .and_then(|t| t.parse().ok())
-                .ok_or_else(|| format!("line {}: bad MatrixMarket size line", lineno + 1))?;
+                .ok_or_else(|| bad("bad MatrixMarket size line"))?;
             declared_n = Some(rows.max(cols));
             continue;
         }
-        let parse = |tok: Option<&str>| -> Result<VertexId, String> {
-            tok.ok_or_else(|| format!("line {}: expected 'src dst'", lineno + 1))?
+        let parse = |tok: Option<&str>| -> Result<VertexId, EdgeListError> {
+            tok.ok_or_else(|| bad("expected 'src dst'"))?
                 .parse()
-                .map_err(|_| format!("line {}: bad vertex id", lineno + 1))
+                .map_err(|_| bad("bad vertex id"))
         };
         let (mut s, mut d) = (parse(it.next())?, parse(it.next())?);
         if matrix_market {
             // Coordinate entries are 1-indexed.
             if s == 0 || d == 0 {
-                return Err(format!(
-                    "line {}: MatrixMarket ids are 1-indexed",
-                    lineno + 1
-                ));
+                return Err(bad("MatrixMarket ids are 1-indexed"));
             }
             s -= 1;
             d -= 1;
+        }
+        if s == VertexId::MAX || d == VertexId::MAX {
+            // `num_vertices` is max id + 1, which must itself fit in the
+            // id type.
+            return Err(bad("vertex id overflows the u32 id space"));
         }
         max_v = max_v.max(s as u64).max(d as u64);
         edges.push((s, d));
@@ -191,7 +299,7 @@ mod tests {
 ",
         )
         .unwrap();
-        let err = read(&path).unwrap_err();
+        let err = read(&path).unwrap_err().to_string();
         std::fs::remove_file(&path).ok();
         assert!(err.contains("1-indexed"), "{err}");
     }
@@ -202,7 +310,8 @@ mod tests {
         std::fs::write(&path, "0 1\nnot numbers\n").unwrap();
         let err = read(&path).unwrap_err();
         std::fs::remove_file(&path).ok();
-        assert!(err.contains("line 2"), "{err}");
+        assert!(matches!(err, EdgeListError::Parse { line: 2, .. }), "{err}");
+        assert!(err.to_string().contains("line 2"), "{err}");
     }
 
     #[test]
@@ -214,6 +323,63 @@ mod tests {
         std::fs::write(&path, &bytes[..bytes.len() - 4]).unwrap();
         let err = read(&path).unwrap_err();
         std::fs::remove_file(&path).ok();
-        assert!(err.contains("truncated"), "{err}");
+        assert!(err.to_string().contains("truncated"), "{err}");
+    }
+
+    /// A header declaring 2^60 edges over a 28-byte file must be rejected
+    /// up front — typed, instantly, and without sizing any allocation
+    /// from the hostile count.
+    #[test]
+    fn hostile_edge_count_rejected_before_allocating() {
+        let path = tmp("hostile");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&10u32.to_le_bytes());
+        bytes.extend_from_slice(&(1u64 << 60).to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 8]); // one real edge
+        std::fs::write(&path, &bytes).unwrap();
+        let err = read(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        match err {
+            EdgeListError::CountExceedsFile { declared, possible } => {
+                assert_eq!(declared, 1 << 60);
+                assert_eq!(possible, 1);
+            }
+            other => panic!("expected CountExceedsFile, got {other:?}"),
+        }
+        assert!(err.to_string().contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn binary_endpoint_out_of_range_is_typed() {
+        let path = tmp("oorange");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        bytes.extend_from_slice(&5u32.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let err = read(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(
+            err,
+            EdgeListError::EndpointOutOfRange {
+                edge: 0,
+                src: 5,
+                dst: 0,
+                num_vertices: 2
+            },
+            "out-of-range endpoints are an error, not an EdgeList panic"
+        );
+    }
+
+    #[test]
+    fn text_id_overflowing_u32_space_is_rejected() {
+        let path = tmp("idmax");
+        std::fs::write(&path, format!("0 {}\n", u32::MAX)).unwrap();
+        let err = read(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, EdgeListError::Parse { line: 1, .. }), "{err}");
     }
 }

@@ -42,8 +42,9 @@ use gts_gpu::{GpuConfig, PcieConfig};
 use gts_sim::SimTime;
 use gts_storage::builder::GraphStore;
 use gts_storage::cache::{FifoCache, LruCache, PageCache, RandomCache};
-use gts_storage::StorageError;
+use gts_storage::{MutateError, MutationBatch, MutationOutcome, StorageError};
 use gts_telemetry::{keys, SpanCat, Telemetry, Track};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::fmt;
 use std::path::PathBuf;
 
@@ -439,6 +440,12 @@ pub enum EngineError {
     /// A checkpoint operation failed: the directory is unusable, a write
     /// did not land, or a resume found no compatible snapshot.
     Checkpoint(CkptError),
+    /// A scheduled mutation batch was rejected by the store (out-of-range
+    /// endpoint, deleting a missing edge, page-ID exhaustion). The store
+    /// is unchanged — [`gts_storage::GraphStore::apply_mutations`] stages
+    /// before it installs — but the run aborts: silently skipping a batch
+    /// would leave the caller believing it applied.
+    Mutation(MutateError),
 }
 
 impl fmt::Display for EngineError {
@@ -465,11 +472,18 @@ impl fmt::Display for EngineError {
                 "{what} exceeded: {elapsed_ns} ns spent against a {limit_ns} ns budget"
             ),
             EngineError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+            EngineError::Mutation(e) => write!(f, "mutation: {e}"),
         }
     }
 }
 
 impl std::error::Error for EngineError {}
+
+impl From<MutateError> for EngineError {
+    fn from(e: MutateError) -> Self {
+        EngineError::Mutation(e)
+    }
+}
 
 impl From<GpuOom> for EngineError {
     fn from(e: GpuOom) -> Self {
@@ -486,6 +500,147 @@ impl From<StorageError> for EngineError {
 impl From<CkptError> for EngineError {
     fn from(e: CkptError) -> Self {
         EngineError::Checkpoint(e)
+    }
+}
+
+/// When each [`MutationBatch`] of a live run applies: at the boundary of
+/// the keyed sweep (before that sweep streams any page), so an in-flight
+/// sweep always sees one consistent epoch of the topology. A batch whose
+/// sweep the algorithm never reaches — it converged earlier — is *not*
+/// dropped: the engine keeps the run alive at the fixpoint, applies the
+/// batch, and re-sweeps incrementally (see [`Gts::run_live`]).
+#[derive(Debug, Clone, Default)]
+pub struct MutationSchedule {
+    batches: BTreeMap<u32, MutationBatch>,
+}
+
+impl MutationSchedule {
+    /// An empty schedule ([`Gts::run_live`] then behaves like [`Gts::run`]).
+    pub fn new() -> MutationSchedule {
+        MutationSchedule::default()
+    }
+
+    /// Apply `batch` at the boundary of sweep `sweep` (builder-style).
+    /// Scheduling twice at the same sweep appends to the existing batch in
+    /// call order.
+    pub fn at(mut self, sweep: u32, batch: MutationBatch) -> MutationSchedule {
+        let slot = self.batches.entry(sweep).or_default();
+        for &op in batch.ops() {
+            slot.push(op);
+        }
+        self
+    }
+
+    /// Number of scheduled (non-empty-keyed) batches.
+    pub fn len(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.batches.is_empty()
+    }
+
+    /// The due-ordered application queue.
+    fn into_queue(self) -> VecDeque<(u32, MutationBatch)> {
+        self.batches.into_iter().collect()
+    }
+}
+
+/// What one boundary's [`StoreHandle::apply_due`] did: the merged outcome
+/// of every batch that came due, plus how many batches that was.
+struct AppliedMutations {
+    outcome: MutationOutcome,
+    batches: u64,
+}
+
+/// The sweep loop's access to the graph: read-only for [`Gts::run`], or a
+/// mutable store plus a due-ordered mutation queue for [`Gts::run_live`].
+/// Mutation is confined to [`StoreHandle::apply_due`], which only the
+/// sweep boundary calls — mid-sweep code can only obtain `&GraphStore`,
+/// so a sweep in flight always reads one consistent epoch.
+enum StoreHandle<'a> {
+    /// Immutable topology (the classic static run).
+    Shared(&'a GraphStore),
+    /// Live topology: batches from a [`MutationSchedule`] apply at sweep
+    /// boundaries.
+    Live {
+        store: &'a mut GraphStore,
+        queue: VecDeque<(u32, MutationBatch)>,
+    },
+}
+
+impl StoreHandle<'_> {
+    /// The store, read-only (any variant).
+    fn store(&self) -> &GraphStore {
+        match self {
+            StoreHandle::Shared(s) => s,
+            StoreHandle::Live { store, .. } => store,
+        }
+    }
+
+    /// The earliest sweep with an unapplied batch, if any.
+    fn earliest_pending(&self) -> Option<u32> {
+        match self {
+            StoreHandle::Shared(_) => None,
+            StoreHandle::Live { queue, .. } => queue.front().map(|&(s, _)| s),
+        }
+    }
+
+    /// Apply every batch due at or before the boundary of `sweep`,
+    /// merging their outcomes. `None` when nothing was due. A rejected
+    /// batch aborts with [`EngineError::Mutation`], the store unchanged
+    /// by the rejected batch (earlier batches of the same boundary stay
+    /// applied — each batch is individually atomic).
+    fn apply_due(&mut self, sweep: u32) -> Result<Option<AppliedMutations>, EngineError> {
+        let StoreHandle::Live { store, queue } = self else {
+            return Ok(None);
+        };
+        let mut applied: Option<AppliedMutations> = None;
+        while queue.front().is_some_and(|&(s, _)| s <= sweep) {
+            let Some((_, batch)) = queue.pop_front() else {
+                break;
+            };
+            let outcome = store.apply_mutations(&batch)?;
+            applied = Some(match applied {
+                None => AppliedMutations {
+                    outcome,
+                    batches: 1,
+                },
+                Some(prev) => AppliedMutations {
+                    outcome: merge_outcomes(prev.outcome, outcome),
+                    batches: prev.batches + 1,
+                },
+            });
+        }
+        Ok(applied)
+    }
+}
+
+/// Fold two same-boundary outcomes into one. A pid allocated by the first
+/// batch and rewritten by the second stays in `new_pids` (no sweep ran in
+/// between, so no cache ever saw it and placement happens once).
+fn merge_outcomes(a: MutationOutcome, b: MutationOutcome) -> MutationOutcome {
+    let new_pids: Vec<u64> = {
+        let mut set: BTreeSet<u64> = a.new_pids.into_iter().collect();
+        set.extend(b.new_pids);
+        set.into_iter().collect()
+    };
+    let dirty_pids: Vec<u64> = {
+        let mut set: BTreeSet<u64> = a.dirty_pids.into_iter().collect();
+        set.extend(b.dirty_pids);
+        set.into_iter()
+            .filter(|pid| !new_pids.contains(pid))
+            .collect()
+    };
+    MutationOutcome {
+        inserted: a.inserted + b.inserted,
+        deleted: a.deleted + b.deleted,
+        pages_rewritten: a.pages_rewritten + b.pages_rewritten,
+        delta_pages_allocated: a.delta_pages_allocated + b.delta_pages_allocated,
+        dirty_pids,
+        new_pids,
+        epoch: a.epoch.max(b.epoch),
     }
 }
 
@@ -634,6 +789,43 @@ impl Gts {
         store: &GraphStore,
         prog: &mut dyn GtsProgram,
     ) -> Result<RunReport, EngineError> {
+        self.run_inner(&mut StoreHandle::Shared(store), prog)
+    }
+
+    /// Execute `prog` over a *live* `store`: each of `schedule`'s mutation
+    /// batches applies atomically at its sweep's boundary, bumping the
+    /// store's epoch, invalidating the rewritten pages in every GPU cache
+    /// and the MMBuf, and pinning freshly-allocated delta pages onto
+    /// surviving drives. The program is notified through
+    /// [`GtsProgram::on_mutation`] and may continue incrementally; batches
+    /// scheduled past the algorithm's convergence still apply — the run
+    /// stays alive at the fixpoint, jumps to the next due boundary, and
+    /// re-sweeps from the mutation's seeds.
+    ///
+    /// Results are byte-identical at any `host_threads`, exactly as for
+    /// [`Gts::run`]: batches apply serially at boundaries, never during a
+    /// sweep.
+    pub fn run_live(
+        &self,
+        store: &mut GraphStore,
+        prog: &mut dyn GtsProgram,
+        schedule: MutationSchedule,
+    ) -> Result<RunReport, EngineError> {
+        self.run_inner(
+            &mut StoreHandle::Live {
+                store,
+                queue: schedule.into_queue(),
+            },
+            prog,
+        )
+    }
+
+    fn run_inner(
+        &self,
+        handle: &mut StoreHandle<'_>,
+        prog: &mut dyn GtsProgram,
+    ) -> Result<RunReport, EngineError> {
+        let store = handle.store();
         let tel = &self.telemetry;
         tel.start_run();
         if tel.spans_enabled() {
@@ -681,7 +873,7 @@ impl Gts {
             resume,
         };
         let err = self
-            .sweep_loop(store, prog, &mut setup, source.as_mut(), env, &mut out)
+            .sweep_loop(handle, prog, &mut setup, source.as_mut(), env, &mut out)
             .err();
         // Flush unconditionally: a failed run still lands its counters,
         // closes its spans, and yields a partial trace — often the very
@@ -796,9 +988,106 @@ impl Gts {
     /// serial issue core), then barrier and synchronise. Progress lands
     /// in `out` as it is made, so a typed mid-run error leaves `out`
     /// describing the partial run.
+    /// Assemble the write context and emit one boundary checkpoint
+    /// (shared by the periodic path and the watchdog's final snapshot).
+    #[allow(clippy::too_many_arguments)]
+    fn write_ckpt(
+        &self,
+        ck: &CkptStore,
+        faults: Option<&FaultPlan>,
+        store: &GraphStore,
+        lanes: &mut [GpuLane],
+        source: &mut dyn PageSource,
+        prog: &dyn GtsProgram,
+        plan: &SweepPlan,
+        b: ckpt::Boundary,
+        torn: bool,
+    ) -> Result<(), EngineError> {
+        let w = ckpt::WriteCtx {
+            cfg: &self.cfg,
+            tel: &self.telemetry,
+            store,
+            ck,
+            faults,
+        };
+        ckpt::write_checkpoint(&w, lanes, source, prog, plan, &b, torn)
+    }
+
+    /// Apply every mutation batch due at the top of `sweep` and absorb the
+    /// result into the run: drop rewritten pages from all GPU caches and
+    /// the MMBuf, register the fresh delta pages with the storage array,
+    /// refresh the LP degree map, bump the `mut.*` counters, and rebuild
+    /// the sweep plan around the program's re-activation seeds.
+    ///
+    /// Returns `true` when the new plan is a seed-restricted sweep-mode
+    /// plan (only sound after a `Done` revival: the program's state is a
+    /// fixpoint of the pre-mutation topology, so only the disturbed pages
+    /// can start new propagation). `false` — with a full rebuild of the
+    /// plan — in every other case, including "nothing was due".
+    #[allow(clippy::too_many_arguments)]
+    fn mutation_boundary(
+        &self,
+        handle: &mut StoreHandle<'_>,
+        prog: &mut dyn GtsProgram,
+        lanes: &mut [GpuLane],
+        source: &mut dyn PageSource,
+        lp_degrees: &mut HashMap<u64, u64>,
+        plan: &mut SweepPlan,
+        sweep: u32,
+        sweep_mode: bool,
+        revived: bool,
+    ) -> Result<bool, EngineError> {
+        let Some(applied) = handle.apply_due(sweep)? else {
+            return Ok(false);
+        };
+        let tel = &self.telemetry;
+        let o = &applied.outcome;
+        // Targeted invalidation: every cached copy of a rewritten page —
+        // GPU page caches and the host-side MMBuf — is stale. Delta pages
+        // are brand new, so they cannot be cached and only need placement
+        // on the storage array's live drives.
+        let mut dropped = 0u64;
+        for lane in lanes.iter_mut() {
+            dropped += lane.invalidate_pages(&o.dirty_pids);
+        }
+        source.invalidate(&o.dirty_pids);
+        source.note_new_pages(&o.new_pids);
+        let store = handle.store();
+        *lp_degrees = kernels::lp_total_degrees(store);
+        tel.add(keys::MUT_BATCHES, applied.batches);
+        tel.add(keys::MUT_INSERTED, o.inserted);
+        tel.add(keys::MUT_DELETED, o.deleted);
+        tel.add(keys::MUT_PAGES_REWRITTEN, o.pages_rewritten);
+        tel.add(keys::MUT_DELTA_PAGES, o.delta_pages_allocated);
+        tel.add(keys::MUT_CACHE_INVALIDATIONS, dropped);
+        tel.set(keys::MUT_EPOCH, o.epoch);
+        let seeds = prog.on_mutation(store, o);
+        if sweep_mode {
+            if revived && !seeds.is_empty() {
+                *plan = SweepPlan::from_marked(store, seeds.into_iter().collect())?;
+                return Ok(true);
+            }
+            // Mid-run (state is not a fixpoint) the full plan is the only
+            // sound choice; likewise when the program gave no seeds.
+            *plan = SweepPlan::full(store);
+        } else {
+            // Traversal: the pending frontier pages stay planned; the
+            // mutation's seeds join them.
+            let mut marked: BTreeSet<u64> = plan
+                .sp_pids()
+                .iter()
+                .chain(plan.lp_pids())
+                .copied()
+                .collect();
+            marked.extend(seeds);
+            *plan = SweepPlan::from_marked(store, marked)?;
+        }
+        Ok(false)
+    }
+
     fn sweep_loop(
         &self,
-        store: &GraphStore,
+        handle: &mut StoreHandle<'_>,
         prog: &mut dyn GtsProgram,
         setup: &mut LaneSetup,
         source: &mut dyn PageSource,
@@ -812,13 +1101,21 @@ impl Gts {
         let lanes = &mut setup.lanes;
         let crash = env.faults.and_then(FaultPlan::crash);
 
-        // Total degree of every Large-Page vertex (K_PR_LP needs it).
-        let lp_degrees = kernels::lp_total_degrees(store);
+        // Total degree of every Large-Page vertex (K_PR_LP needs it);
+        // recomputed whenever a mutation boundary changes the topology.
+        let mut lp_degrees = kernels::lp_total_degrees(handle.store());
 
         let mut t = SimTime::ZERO;
         let sweep_mode = prog.mode() == ExecMode::Sweep;
         let mut sweep: u32 = 0;
         let mut resumed_at: Option<u32> = None;
+        // Post-convergence revival (unapplied batches remain): the next
+        // boundary's mutation may restrict the sweep to its seeds.
+        let mut revived = false;
+        // The current sweep-mode plan is seed-restricted; if it updates
+        // anything, the following sweep falls back to the full plan.
+        // (Assigned at every mutation boundary before it is read.)
+        let mut restricted;
         let mut plan;
         if let Some(snap) = &env.resume {
             // Re-enter mid-run: counters, program vectors, fault cursors,
@@ -840,7 +1137,7 @@ impl Gts {
                 t = schedule::broadcast_wa(lanes, setup.wa_per_gpu, t);
             }
             // Seed nextPIDSet (Alg. 1 lines 4-7).
-            plan = SweepPlan::seeded(store, prog.start_vertex())?;
+            plan = SweepPlan::seeded(handle.store(), prog.start_vertex())?;
         }
         out.t = t;
 
@@ -850,43 +1147,52 @@ impl Gts {
         // cache probes); the serial issue core orders simulated time, so
         // results are independent of `host_threads`.
         let pool = ThreadPool::new(cfg.host_threads);
-        let ctx = AccountCtx {
-            store,
-            strategy: setup.strategy,
-            num_gpus: cfg.num_gpus,
-            page_size: store.cfg().page_size as u64,
-            ra_bytes_per_vertex: prog.ra_bytes_per_vertex(),
-            class: prog.class(),
-            tel,
-            spans,
-        };
         loop {
             // --- Checkpoint boundary: the top of sweep `sweep`, where
             // the previous end_sweep left every accumulator in its
             // between-sweeps shape. The boundary the run resumed at is
-            // skipped — its snapshot already exists.
+            // skipped — its snapshot already exists. Written BEFORE the
+            // mutation boundary below, so the snapshot fingerprints the
+            // pre-mutation epoch and a resume against the mutated store
+            // is refused with a typed mismatch.
             if let (Some(c), Some(ck)) = (&cfg.checkpoint, env.ck) {
                 if sweep > 0 && sweep.is_multiple_of(c.every) && resumed_at != Some(sweep) {
                     let torn = crash == Some(CrashPoint::MidSnapshotWrite(sweep));
-                    let w = ckpt::WriteCtx {
-                        cfg,
-                        tel,
-                        store,
-                        ck,
-                        faults: env.faults,
-                    };
-                    let b = ckpt::Boundary {
-                        rung,
-                        t,
-                        sweep,
-                        edges: out.edges,
-                    };
-                    ckpt::write_checkpoint(&w, lanes, source, prog, &plan, &b, torn)?;
+                    let b = boundary(rung, t, sweep, out.edges);
+                    let store = handle.store();
+                    self.write_ckpt(ck, env.faults, store, lanes, source, prog, &plan, b, torn)?;
                 }
             }
             if crash == Some(CrashPoint::AtSweep(sweep)) {
                 return Err(EngineError::InjectedCrash { sweep });
             }
+            // --- Mutation boundary: apply every batch due at this sweep
+            // and invalidate/reseed around it. In-flight state only ever
+            // sees the store before or after a whole batch — never mid-
+            // rewrite (epoch visibility, DESIGN.md §12).
+            restricted = self.mutation_boundary(
+                handle,
+                prog,
+                lanes,
+                source,
+                &mut lp_degrees,
+                &mut plan,
+                sweep,
+                sweep_mode,
+                revived,
+            )?;
+            revived = false;
+            let store = handle.store();
+            let ctx = AccountCtx {
+                store,
+                strategy: setup.strategy,
+                num_gpus: cfg.num_gpus,
+                page_size: store.cfg().page_size as u64,
+                ra_bytes_per_vertex: prog.ra_bytes_per_vertex(),
+                class: prog.class(),
+                tel,
+                spans,
+            };
             let sweep_wall = t;
             if sweep_mode {
                 // Each iteration re-initialises WA on device (nextPR reset;
@@ -930,12 +1236,32 @@ impl Gts {
             out.sweeps = sweep + 1;
 
             match prog.end_sweep(sweep, acc.next.is_empty(), acc.any_update) {
-                SweepControl::Done => break,
+                SweepControl::Done => {
+                    let Some(due) = handle.earliest_pending() else {
+                        break;
+                    };
+                    // Converged, but mutation batches are still scheduled:
+                    // keep the run alive and jump straight to the next due
+                    // boundary. The state is a fixpoint of the current
+                    // topology, so the boundary's seeds are sufficient to
+                    // re-activate exactly what the batch disturbs.
+                    revived = true;
+                    if !sweep_mode {
+                        plan = SweepPlan::from_parts(Vec::new(), Vec::new());
+                    }
+                    sweep = sweep.max(due.saturating_sub(1));
+                }
                 SweepControl::Continue => {
                     if !sweep_mode {
                         plan = SweepPlan::from_marked(store, acc.next)?;
+                    } else if restricted {
+                        // The seed-restricted sweep changed something, so
+                        // the perturbation may have escaped the dirty
+                        // pages: fall back to the invariant full plan
+                        // until the program converges again.
+                        plan = SweepPlan::full(store);
                     }
-                    // Sweep programs keep the invariant full-page plan.
+                    // Sweep programs otherwise keep the full-page plan.
                 }
                 SweepControl::ContinueWith(pids) => {
                     plan = SweepPlan::from_marked(store, pids.into_iter().collect())?;
@@ -956,20 +1282,8 @@ impl Gts {
             };
             if let Some((what, limit_ns, elapsed_ns)) = tripped {
                 if let (Some(_), Some(ck)) = (&cfg.checkpoint, env.ck) {
-                    let w = ckpt::WriteCtx {
-                        cfg,
-                        tel,
-                        store,
-                        ck,
-                        faults: env.faults,
-                    };
-                    let b = ckpt::Boundary {
-                        rung,
-                        t,
-                        sweep,
-                        edges: out.edges,
-                    };
-                    ckpt::write_checkpoint(&w, lanes, source, prog, &plan, &b, false)?;
+                    let b = boundary(rung, t, sweep, out.edges);
+                    self.write_ckpt(ck, env.faults, store, lanes, source, prog, &plan, b, false)?;
                 }
                 return Err(EngineError::DeadlineExceeded {
                     what,
@@ -1036,6 +1350,16 @@ impl Gts {
 /// captured the two instants. Wall-clock, not simulated: the `host.*`
 /// keys sit OUTSIDE the determinism contract (like `ckpt.*`) and are
 /// only written when explicitly asked for.
+/// Shorthand for one sweep boundary's progress tuple.
+fn boundary(rung: ckpt::Rung, t: SimTime, sweep: u32, edges: u64) -> ckpt::Boundary {
+    ckpt::Boundary {
+        rung,
+        t,
+        sweep,
+        edges,
+    }
+}
+
 fn record_host_phases(
     tel: &Telemetry,
     a0: Option<std::time::Instant>,
@@ -1756,5 +2080,203 @@ mod tests {
             assert_eq!(par.1, serial.1, "elapsed differs at {threads} threads");
             assert_eq!(par.2, serial.2, "edges differ at {threads} threads");
         }
+    }
+
+    /// Up to `want` edges `(hub, v)` absent from `g` — insert-only batches
+    /// built from these keep the live result comparable to a from-scratch
+    /// run over the union graph.
+    fn missing_edges(g: &gts_graph::EdgeList, hub: u32, want: usize) -> Vec<(u32, u32)> {
+        let present: std::collections::HashSet<(u32, u32)> = g.edges.iter().copied().collect();
+        (0..g.num_vertices)
+            .filter(|&v| v != hub && !present.contains(&(hub, v)))
+            .take(want)
+            .map(|v| (hub, v))
+            .collect()
+    }
+
+    #[test]
+    fn live_bfs_matches_reference_on_the_mutated_graph() {
+        // Insert a burst of edges out of vertex 1 mid-traversal (sweep 2):
+        // the monotone relaxation plus `pending` re-activation must land on
+        // exactly the BFS levels of the union graph.
+        let g = rmat(9);
+        let store0 =
+            build_graph_store(&g, PageFormatConfig::new(PhysicalIdConfig::ORIGINAL, 1024)).unwrap();
+        let extra = missing_edges(&g, 1, 40);
+        assert!(extra.len() >= 30, "rmat(9) vertex 1 is nowhere near full");
+        let mut batch = MutationBatch::new();
+        for &(s, d) in &extra {
+            batch.insert(s as u64, d as u64);
+        }
+        let mut store = store0;
+        let engine = Gts::new(GtsConfig::default());
+        let mut bfs = Bfs::new(store.num_vertices(), 0);
+        engine
+            .run_live(&mut store, &mut bfs, MutationSchedule::new().at(2, batch))
+            .unwrap();
+        let mut g2 = g.clone();
+        g2.edges.extend(extra);
+        let want = reference::bfs(&Csr::from_edge_list(&g2), 0);
+        assert_eq!(bfs.levels_u32(), want);
+        assert_eq!(store.epoch(), 1, "one applied batch, one epoch bump");
+        assert_eq!(engine.telemetry().counter(keys::MUT_EPOCH), 1);
+        assert!(engine.telemetry().counter(keys::MUT_INSERTED) >= 30);
+    }
+
+    #[test]
+    fn live_cc_post_done_batch_merges_components() {
+        // Two disjoint directed paths; CC converges, then a scheduled
+        // bridge edge revives the run (post-Done revival) and min-label
+        // propagation must flood label 0 across the second path.
+        let n = 64u32;
+        let mut edges: Vec<(u32, u32)> = (0..31).map(|v| (v, v + 1)).collect();
+        edges.extend((32..63).map(|v| (v, v + 1)));
+        let mut store = build_graph_store(
+            &gts_graph::EdgeList::new(n, edges),
+            PageFormatConfig::new(PhysicalIdConfig::ORIGINAL, 1024),
+        )
+        .unwrap();
+        let mut batch = MutationBatch::new();
+        batch.insert(0, 32);
+        let engine = Gts::new(GtsConfig::default());
+        let mut cc = crate::programs::Cc::new(n as u64);
+        let report = engine
+            .run_live(&mut store, &mut cc, MutationSchedule::new().at(50, batch))
+            .unwrap();
+        assert!(
+            cc.labels().iter().all(|&l| l == 0),
+            "bridge must merge everything into component 0: {:?}",
+            cc.labels()
+        );
+        assert!(report.sweeps > 50, "the run must revive past sweep 50");
+        assert_eq!(engine.telemetry().counter(keys::MUT_BATCHES), 1);
+        assert_eq!(engine.telemetry().counter(keys::MUT_EPOCH), 1);
+    }
+
+    #[test]
+    fn live_pagerank_post_done_batch_gets_a_refresh_sweep() {
+        // Sweep programs with the default (empty) `on_mutation` get a full
+        // refresh sweep per post-Done batch: Fixed(3) converges at sweep 2,
+        // the batch at sweep 10 revives the run for exactly one more sweep.
+        let g = rmat(8);
+        let mut store =
+            build_graph_store(&g, PageFormatConfig::new(PhysicalIdConfig::ORIGINAL, 1024)).unwrap();
+        let extra = missing_edges(&g, 3, 20);
+        let mut batch = MutationBatch::new();
+        for &(s, d) in &extra {
+            batch.insert(s as u64, d as u64);
+        }
+        let mut base = PageRank::new(store.num_vertices(), 3);
+        Gts::new(GtsConfig::default())
+            .run(&store, &mut base)
+            .unwrap();
+        let engine = Gts::new(GtsConfig::default());
+        let mut pr = PageRank::new(store.num_vertices(), 3);
+        let report = engine
+            .run_live(&mut store, &mut pr, MutationSchedule::new().at(10, batch))
+            .unwrap();
+        assert_eq!(report.sweeps, 11, "3 iterations + the jump to sweep 10");
+        assert_ne!(
+            pr.ranks(),
+            base.ranks(),
+            "the refresh sweep must see the inserted edges"
+        );
+        assert_eq!(engine.telemetry().counter(keys::MUT_BATCHES), 1);
+    }
+
+    #[test]
+    fn live_runs_identical_across_host_threads() {
+        // The whole mutation path is host-serial and BTree-ordered, so a
+        // mutate-while-sweep run must be byte-identical at any thread
+        // count — levels, simulated clock, and every mut.* counter.
+        let g = rmat(9);
+        let extra = missing_edges(&g, 2, 24);
+        let run = |threads: usize| {
+            let mut store =
+                build_graph_store(&g, PageFormatConfig::new(PhysicalIdConfig::ORIGINAL, 1024))
+                    .unwrap();
+            let mut ins = MutationBatch::new();
+            for &(s, d) in &extra {
+                ins.insert(s as u64, d as u64);
+            }
+            let mut del = MutationBatch::new();
+            del.delete(g.edges[0].0 as u64, g.edges[0].1 as u64);
+            let cfg = GtsConfig {
+                host_threads: threads,
+                ..GtsConfig::default()
+            };
+            let engine = Gts::new(cfg);
+            let mut bfs = Bfs::new(store.num_vertices(), 0);
+            let report = engine
+                .run_live(
+                    &mut store,
+                    &mut bfs,
+                    MutationSchedule::new().at(1, ins).at(2, del),
+                )
+                .unwrap();
+            let tel = engine.telemetry();
+            let muts: Vec<u64> = [
+                keys::MUT_BATCHES,
+                keys::MUT_INSERTED,
+                keys::MUT_DELETED,
+                keys::MUT_PAGES_REWRITTEN,
+                keys::MUT_DELTA_PAGES,
+                keys::MUT_CACHE_INVALIDATIONS,
+                keys::MUT_EPOCH,
+            ]
+            .iter()
+            .map(|k| tel.counter(k))
+            .collect();
+            (bfs.levels().to_vec(), report.elapsed, report.sweeps, muts)
+        };
+        let serial = run(1);
+        assert_eq!(serial.3[0], 2, "both batches applied");
+        for threads in [2, 4] {
+            assert_eq!(
+                run(threads),
+                serial,
+                "live run differs at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn mutated_store_refuses_a_stale_resume() {
+        // A snapshot fingerprints the store *epoch*: a checkpoint taken
+        // before a mutation batch must refuse to resume against the
+        // mutated store — typed, not a wrong-answer resume.
+        let dir = std::env::temp_dir().join(format!("gts-stale-resume-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let g = rmat(9);
+        let mut store =
+            build_graph_store(&g, PageFormatConfig::new(PhysicalIdConfig::ORIGINAL, 1024)).unwrap();
+        let extra = missing_edges(&g, 1, 8);
+        let mut batch = MutationBatch::new();
+        for &(s, d) in &extra {
+            batch.insert(s as u64, d as u64);
+        }
+        let mk = |resume: bool| {
+            let ck = CheckpointConfig::new(&dir, 2);
+            GtsConfig {
+                checkpoint: Some(if resume { ck.resuming() } else { ck }),
+                ..GtsConfig::default()
+            }
+        };
+        // Snapshot lands at sweep 2 (epoch 0); the batch applies at the
+        // sweep-3 boundary and bumps the epoch; Fixed(4) ends before the
+        // sweep-4 boundary would re-snapshot the new epoch.
+        let mut pr = PageRank::new(store.num_vertices(), 4);
+        Gts::new(mk(false))
+            .run_live(&mut store, &mut pr, MutationSchedule::new().at(3, batch))
+            .unwrap();
+        assert_eq!(store.epoch(), 1);
+        let mut pr2 = PageRank::new(store.num_vertices(), 4);
+        match Gts::new(mk(true)).run(&store, &mut pr2) {
+            Err(EngineError::Checkpoint(CkptError::Mismatch { what, .. })) => {
+                assert_eq!(what, "store fingerprint");
+            }
+            other => panic!("expected a stale-resume refusal, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

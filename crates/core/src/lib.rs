@@ -75,9 +75,11 @@ pub mod strategy;
 pub mod sweep;
 
 pub use engine::{
-    CheckpointConfig, ConfigError, EngineError, Gts, GtsBuilder, GtsConfig, StorageLocation,
+    CheckpointConfig, ConfigError, EngineError, Gts, GtsBuilder, GtsConfig, MutationSchedule,
+    StorageLocation,
 };
 pub use gts_faults::{CrashPoint, FaultConfig, FaultPlan};
+pub use gts_storage::{EdgeOp, MutateError, MutationBatch, MutationOutcome};
 pub use gts_telemetry::Telemetry;
 pub use report::RunReport;
 pub use strategy::Strategy;

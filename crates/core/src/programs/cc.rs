@@ -14,6 +14,8 @@ use super::{
 use crate::attrs::AlgorithmKind;
 use gts_ckpt::{ByteReader, ByteWriter, CkptError};
 use gts_gpu::timer::KernelClass;
+use gts_storage::builder::GraphStore;
+use gts_storage::MutationOutcome;
 
 /// Connected-components vertex program.
 pub struct Cc {
@@ -104,6 +106,23 @@ impl GtsProgram for Cc {
         } else {
             SweepControl::Done
         }
+    }
+
+    fn on_mutation(&mut self, _store: &GraphStore, outcome: &MutationOutcome) -> Vec<u64> {
+        // Labels are already a fixpoint of the old topology, so only the
+        // rewritten and freshly-allocated pages can start new propagation:
+        // seed exactly those. Min-label propagation is monotone, so if the
+        // restricted sweep updates anything the engine falls back to full
+        // sweeps until the new fixpoint; if it updates nothing, the old
+        // labels were already correct. (Deletions never *raise* labels —
+        // a split component keeps its old minimum; documented in
+        // DESIGN.md §12.)
+        outcome
+            .dirty_pids
+            .iter()
+            .chain(&outcome.new_pids)
+            .copied()
+            .collect()
     }
 
     fn save_state(&self) -> Vec<u8> {

@@ -40,9 +40,10 @@ use crate::attrs::AlgorithmKind;
 use gts_ckpt::CkptError;
 use gts_gpu::timer::KernelClass;
 use gts_gpu::warp::MicroTechnique;
+use gts_storage::builder::GraphStore;
 use gts_storage::page::PageView;
 use gts_storage::rvt::Rvt;
-use gts_storage::{PageKind, RecordId};
+use gts_storage::{MutationOutcome, PageKind, RecordId};
 
 /// Everything a kernel sees when invoked on one streamed page.
 pub struct PageCtx<'a> {
@@ -191,6 +192,19 @@ pub trait GtsProgram {
                 reason: "program does not carry checkpoint state".to_string(),
             })
         }
+    }
+
+    /// Notification that a mutation batch was applied at a sweep boundary:
+    /// `outcome.dirty_pids` were rewritten in place and `outcome.new_pids`
+    /// are freshly-allocated delta pages (`store` already reflects the new
+    /// topology). Programs that can continue *incrementally* re-activate
+    /// the affected vertices in their own state and return the pages to
+    /// seed the next sweep with; the engine widens those seeds through
+    /// [`crate::sweep::plan::SweepPlan::from_marked`] (LP runs and delta
+    /// pages included). The empty default means "no incremental seeds" —
+    /// the engine falls back to a full re-sweep, which is always sound.
+    fn on_mutation(&mut self, _store: &GraphStore, _outcome: &MutationOutcome) -> Vec<u64> {
+        Vec::new()
     }
 
     /// The shared-state form of the kernel, if this program supports

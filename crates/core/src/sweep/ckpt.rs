@@ -120,7 +120,11 @@ pub(crate) struct ResumeState {
     pub plan: SweepPlan,
 }
 
-/// Fingerprint of the graph store a snapshot belongs to.
+/// Fingerprint of the graph store a snapshot belongs to. The mutation
+/// epoch is folded in, so a snapshot taken before a mutation batch was
+/// applied refuses to resume against the mutated store (typed
+/// [`CkptError::Mismatch`] on `"store fingerprint"`) — an in-flight
+/// sweep's saved state describes the pre-mutation topology.
 pub(crate) fn store_fingerprint(store: &GraphStore) -> u64 {
     let mut w = ByteWriter::new();
     w.put_u64(store.num_vertices());
@@ -129,6 +133,7 @@ pub(crate) fn store_fingerprint(store: &GraphStore) -> u64 {
     w.put_u64(store.cfg().page_size as u64);
     w.put_u64(store.small_pids().len() as u64);
     w.put_u64(store.large_pids().len() as u64);
+    w.put_u64(store.epoch());
     fnv1a(&w.into_bytes())
 }
 

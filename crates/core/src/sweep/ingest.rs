@@ -57,6 +57,17 @@ pub trait PageSource {
     /// Restore state captured by [`PageSource::export_recovery`]. Ignored
     /// by sources without drives (and by arrays of a different shape).
     fn import_recovery(&mut self, _quarantined: &[bool], _failures: &[u32]) {}
+
+    /// Drop host-side buffered copies of `pids` after a mutation batch
+    /// rewrote them: the buffered bytes are stale and the next access must
+    /// re-fetch. Sources without host buffering ignore it.
+    fn invalidate(&mut self, _pids: &[u64]) {}
+
+    /// Register pages allocated *after* build (delta/overflow pages from a
+    /// mutation batch) so storage placement can pin them to surviving
+    /// drives instead of the original stripe map. Sources without drives
+    /// ignore it.
+    fn note_new_pages(&mut self, _pids: &[u64]) {}
 }
 
 /// The whole graph is resident in main memory (the paper's in-memory
@@ -161,6 +172,16 @@ impl PageSource for StorageSource {
 
     fn import_recovery(&mut self, quarantined: &[bool], failures: &[u32]) {
         self.array.import_recovery_state(quarantined, failures);
+    }
+
+    fn invalidate(&mut self, pids: &[u64]) {
+        for &pid in pids {
+            self.mmbuf.invalidate(pid);
+        }
+    }
+
+    fn note_new_pages(&mut self, pids: &[u64]) {
+        self.array.place_new_pages(pids);
     }
 }
 

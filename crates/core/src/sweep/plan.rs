@@ -41,12 +41,18 @@ impl SweepPlan {
 
     /// Expand a marked page set into a plan, widening each Large-Page
     /// reference to the vertex's whole chunk run: a record ID always points
-    /// at the *first* chunk, but a traversal must stream them all.
+    /// at the *first* chunk, but a traversal must stream them all. A page
+    /// holding a vertex with delta/overflow pages (allocated by a mutation
+    /// batch) additionally pulls those delta pages in — record IDs only
+    /// ever name home pages, so without this widening a mutated vertex's
+    /// overflow edges would never be streamed.
     ///
     /// Fails with [`EngineError::CorruptRvt`] if a Large Page's RVT entry
     /// is missing its `LP_RANGE` (the tuple the paper's Fig. 12 stores as
     /// −1 only for Small Pages) — a store corruption the engine surfaces
-    /// instead of panicking.
+    /// instead of panicking — and with [`EngineError::Storage`] when a
+    /// marked pid is out of range (`ContinueWith` lists are
+    /// program-supplied, so they are validated, not trusted).
     pub fn from_marked(
         store: &GraphStore,
         marked: BTreeSet<u64>,
@@ -54,7 +60,7 @@ impl SweepPlan {
         let mut sps = Vec::new();
         let mut lps = Vec::new();
         for pid in marked {
-            match store.view(pid).kind() {
+            match store.try_view(pid)?.kind() {
                 PageKind::Small => sps.push(pid),
                 PageKind::Large => {
                     let range = store
@@ -67,6 +73,7 @@ impl SweepPlan {
                     }
                 }
             }
+            lps.extend(store.delta_pids_for_page(pid));
         }
         // Several chunks of one run may have been marked independently
         // (each record ID points at the first chunk, but ContinueWith
@@ -177,6 +184,43 @@ mod tests {
         let marked: BTreeSet<u64> = want.iter().copied().collect();
         let plan2 = SweepPlan::from_marked(&store, marked).unwrap();
         assert_eq!(plan2.lp_pids(), want.as_slice());
+    }
+
+    #[test]
+    fn marking_a_home_page_pulls_in_its_delta_pages() {
+        use gts_storage::MutationBatch;
+        let mut store = star_store();
+        // Overflow a spoke vertex's Small-Page slot so the batch spills it
+        // into delta pages.
+        let mut batch = MutationBatch::new();
+        for d in 2..40 {
+            batch.insert(1, d);
+        }
+        let out = store.apply_mutations(&batch).unwrap();
+        assert!(
+            !out.new_pids.is_empty(),
+            "38 inserts must overflow the slot: {out:?}"
+        );
+        let home = store.pid_of_vertex(1);
+        let plan = SweepPlan::from_marked(&store, std::iter::once(home).collect()).unwrap();
+        assert!(plan.sp_pids().contains(&home));
+        for pid in &out.new_pids {
+            assert!(
+                plan.lp_pids().contains(pid),
+                "delta page {pid} missing from {plan:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_marked_pid_is_a_typed_error() {
+        let store = star_store();
+        // ContinueWith lists are program-supplied: validated, not trusted.
+        let bad = store.num_pages() + 7;
+        match SweepPlan::from_marked(&store, std::iter::once(bad).collect()) {
+            Err(crate::engine::EngineError::Storage(_)) => {}
+            other => panic!("expected a typed BadPid error, got {other:?}"),
+        }
     }
 
     #[test]

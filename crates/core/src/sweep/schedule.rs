@@ -312,6 +312,21 @@ impl GpuLane {
         self.banked_cache_misses + self.cache.misses()
     }
 
+    /// Drop rewritten pages from this lane's topology cache after a
+    /// mutation batch: the cached copies are stale and the next probe
+    /// must miss and re-stream. Returns how many of `pids` were resident.
+    /// Hit/miss counters and the survivors' replacement bookkeeping are
+    /// untouched (the [`CachePolicy::invalidate`] contract).
+    pub fn invalidate_pages(&mut self, pids: &[u64]) -> u64 {
+        let mut dropped = 0;
+        for &pid in pids {
+            if self.cache.invalidate(pid) {
+                dropped += 1;
+            }
+        }
+        dropped
+    }
+
     /// Checkpoint-boundary reset. A resumed run rebuilds its page cache
     /// cold, so the checkpointing run itself must also go cold at every
     /// boundary or the two schedules diverge; the dying cache's hit/miss

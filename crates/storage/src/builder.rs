@@ -10,10 +10,12 @@
 //! [`RecordId`] (adjacency lists store *record IDs*, so targets must be
 //! placed before any page can be encoded); pass 2 encodes pages.
 
+use crate::device::StorageError;
 use crate::format::{PageFormatConfig, RecordId};
 use crate::page::{encode_large_page, Page, PageView, SmallPageEncoder};
 use crate::rvt::{Rvt, RvtEntry};
 use gts_graph::{Csr, EdgeList};
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Reasons a graph cannot be represented under a given format config.
@@ -56,15 +58,22 @@ impl std::error::Error for BuildError {}
 /// A graph in the slotted page format: the unit GTS streams to GPUs.
 #[derive(Debug, Clone)]
 pub struct GraphStore {
-    cfg: PageFormatConfig,
-    pages: Vec<Page>,
-    rvt: Rvt,
-    small_pids: Vec<u64>,
-    large_pids: Vec<u64>,
-    vertex_rid: Vec<RecordId>,
-    num_edges: u64,
+    pub(crate) cfg: PageFormatConfig,
+    pub(crate) pages: Vec<Page>,
+    pub(crate) rvt: Rvt,
+    pub(crate) small_pids: Vec<u64>,
+    pub(crate) large_pids: Vec<u64>,
+    pub(crate) vertex_rid: Vec<RecordId>,
+    pub(crate) num_edges: u64,
     /// Record-ID entries per page, precomputed for the cost models.
-    edges_per_page: Vec<u64>,
+    pub(crate) edges_per_page: Vec<u64>,
+    /// Mutation epoch: bumped once per applied non-empty
+    /// [`crate::mutate::MutationBatch`].
+    pub(crate) epoch: u64,
+    /// Delta pages per vertex, ascending pid order: pages appended after
+    /// build holding the whole adjacency of a spilled Small-Page vertex or
+    /// the overflow of a Large-Page vertex.
+    pub(crate) delta_pages: BTreeMap<u64, Vec<u64>>,
 }
 
 impl GraphStore {
@@ -152,6 +161,73 @@ impl GraphStore {
         self.edges_per_page[pid as usize]
     }
 
+    /// Mutation epoch: 0 at build/reconstruct, bumped once per applied
+    /// non-empty [`crate::mutate::MutationBatch`]. The checkpoint
+    /// fingerprint folds this in so a snapshot taken before a mutation
+    /// refuses to resume against the mutated store.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Delta pages appended for `vid` by mutation batches, ascending.
+    /// Empty for vertices whose adjacency lives fully in home pages.
+    pub fn delta_pids_of(&self, vid: u64) -> &[u64] {
+        self.delta_pages.get(&vid).map_or(&[], |v| v.as_slice())
+    }
+
+    /// True if any vertex has delta pages (the store has grown beyond
+    /// in-place rewrites).
+    pub fn has_delta_pages(&self) -> bool {
+        !self.delta_pages.is_empty()
+    }
+
+    /// Delta pages of every vertex resident in page `pid`. The planner
+    /// widens a marked home page by these: an inbound record ID always
+    /// names the *home* page, so a sweep that re-activates a vertex must
+    /// also stream the pages holding its spilled/overflow edges.
+    pub fn delta_pids_for_page(&self, pid: u64) -> Vec<u64> {
+        if self.delta_pages.is_empty() {
+            return Vec::new();
+        }
+        let view = self.view(pid);
+        let (lo, hi) = match view.kind() {
+            crate::format::PageKind::Small => {
+                let s = self.rvt.entry(pid).start_vid;
+                (s, s + (view.count() as u64).saturating_sub(1))
+            }
+            crate::format::PageKind::Large => {
+                let v = view.lp_vid();
+                (v, v)
+            }
+        };
+        let mut out = Vec::new();
+        for (_, pids) in self.delta_pages.range(lo..=hi) {
+            out.extend_from_slice(pids);
+        }
+        out
+    }
+
+    /// Checked [`Self::page`]: an out-of-range page ID becomes a typed
+    /// [`StorageError::BadPid`] instead of an index panic.
+    pub fn try_page(&self, pid: u64) -> Result<&Page, StorageError> {
+        self.pages.get(pid as usize).ok_or(StorageError::BadPid {
+            pid,
+            num_pages: self.pages.len() as u64,
+        })
+    }
+
+    /// Checked [`Self::view`]: out-of-range page IDs and verification
+    /// failures become typed errors instead of panics — the entry point
+    /// for page IDs that originate outside the store (program-returned
+    /// `ContinueWith` sets, mutation batches).
+    pub fn try_view(&self, pid: u64) -> Result<PageView<'_>, StorageError> {
+        let page = self.try_page(pid)?;
+        match page.verify(self.cfg) {
+            Ok(token) => Ok(PageView::new(token)),
+            Err(_) => Err(StorageError::CorruptPage { pid }),
+        }
+    }
+
     /// Total topology bytes = #pages × page size (Table 4's denominator).
     pub fn topology_bytes(&self) -> u64 {
         self.num_pages() * self.cfg.page_size as u64
@@ -218,6 +294,7 @@ impl GraphStore {
         let mut edges_per_page = Vec::with_capacity(pages.len());
         let mut vertex_rid = vec![RecordId::new(u64::MAX, 0); num_vertices as usize];
         let mut num_edges = 0u64;
+        let mut delta_pages: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
 
         // First pass: kinds, per-page edges, vertex placements, and the
         // Large-Page run structure (consecutive chunks of one vertex).
@@ -261,9 +338,6 @@ impl GraphStore {
                     if vid >= num_vertices {
                         return Err(format!("page {pid}: LP vid {vid} out of range"));
                     }
-                    if vertex_rid[vid as usize].pid != u64::MAX {
-                        return Err(format!("page {pid}: LP vid {vid} placed twice"));
-                    }
                     // Measure the run: consecutive LPs of the same vertex.
                     let mut chunks = 0usize;
                     while i + chunks < pages.len() {
@@ -273,17 +347,37 @@ impl GraphStore {
                         }
                         chunks += 1;
                     }
-                    vertex_rid[vid as usize] = RecordId::new(pid, 0);
-                    for c in 0..chunks {
-                        let v = pages[i + c].verify(cfg)?.view();
-                        let edges = v.count() as u64;
-                        rvt_entries.push(RvtEntry {
-                            start_vid: vid,
-                            lp_range: Some((chunks - 1 - c) as u32),
-                        });
-                        large_pids.push(pid + c as u64);
-                        edges_per_page.push(edges);
-                        num_edges += edges;
+                    if vertex_rid[vid as usize].pid == u64::MAX {
+                        // Home run of a high-degree vertex.
+                        vertex_rid[vid as usize] = RecordId::new(pid, 0);
+                        for c in 0..chunks {
+                            let v = pages[i + c].verify(cfg)?.view();
+                            let edges = v.count() as u64;
+                            rvt_entries.push(RvtEntry {
+                                start_vid: vid,
+                                lp_range: Some((chunks - 1 - c) as u32),
+                            });
+                            large_pids.push(pid + c as u64);
+                            edges_per_page.push(edges);
+                            num_edges += edges;
+                        }
+                    } else {
+                        // The vertex is already placed: these are delta
+                        // pages appended by a mutation batch. Each one
+                        // stands alone (LP_RANGE 0) — no inbound record
+                        // ID ever names a delta page.
+                        for c in 0..chunks {
+                            let v = pages[i + c].verify(cfg)?.view();
+                            let edges = v.count() as u64;
+                            rvt_entries.push(RvtEntry {
+                                start_vid: vid,
+                                lp_range: Some(0),
+                            });
+                            large_pids.push(pid + c as u64);
+                            edges_per_page.push(edges);
+                            num_edges += edges;
+                            delta_pages.entry(vid).or_default().push(pid + c as u64);
+                        }
                     }
                     i += chunks;
                 }
@@ -303,6 +397,8 @@ impl GraphStore {
             vertex_rid,
             num_edges,
             edges_per_page,
+            epoch: 0,
+            delta_pages,
         };
         // Semantic pass over adjacency: every record ID must resolve to a
         // real vertex (the translation is what every kernel trusts).
@@ -515,6 +611,8 @@ pub fn build_from_csr(csr: &Csr, cfg: PageFormatConfig) -> Result<GraphStore, Bu
         vertex_rid,
         num_edges: csr.num_edges() as u64,
         edges_per_page,
+        epoch: 0,
+        delta_pages: BTreeMap::new(),
     })
 }
 

@@ -28,6 +28,17 @@ pub trait CachePolicy: Send {
     fn probe_batch(&mut self, pids: &[u64]) -> Vec<bool> {
         pids.iter().map(|&p| self.access(p)).collect()
     }
+    /// Drop `pid` from the cache if resident, returning whether it was.
+    ///
+    /// Mutation batches use this for targeted invalidation: a rewritten
+    /// page's cached copy is stale and must re-stream on next access.
+    /// Counters are untouched (an invalidation is neither a hit nor a
+    /// miss), and the bookkeeping for the surviving residents — recency
+    /// stamps, FIFO order, the random policy's slot order and RNG state —
+    /// is preserved exactly, so the future behaviour matches a cache
+    /// replaying the same access/invalidate stream from scratch (the
+    /// cross-policy property test pins this equivalence).
+    fn invalidate(&mut self, pid: u64) -> bool;
     /// Is the page currently cached (no recency update)?
     fn contains(&self, pid: u64) -> bool;
     /// Maximum number of cached pages.
@@ -132,6 +143,15 @@ impl CachePolicy for LruCache {
         hits
     }
 
+    fn invalidate(&mut self, pid: u64) -> bool {
+        if let Some(s) = self.entries.remove(&pid) {
+            self.by_stamp.remove(&s);
+            true
+        } else {
+            false
+        }
+    }
+
     fn contains(&self, pid: u64) -> bool {
         self.entries.contains_key(&pid)
     }
@@ -220,6 +240,15 @@ impl CachePolicy for FifoCache {
             hits.push(self.access_one(pid));
         }
         hits
+    }
+
+    fn invalidate(&mut self, pid: u64) -> bool {
+        if self.resident.remove(&pid) {
+            self.order.retain(|&p| p != pid);
+            true
+        } else {
+            false
+        }
     }
 
     fn contains(&self, pid: u64) -> bool {
@@ -331,6 +360,22 @@ impl CachePolicy for RandomCache {
             hits.push(self.access_one(pid));
         }
         hits
+    }
+
+    fn invalidate(&mut self, pid: u64) -> bool {
+        if let Some(at) = self.index.remove(&pid) {
+            // Order-preserving removal, unlike the O(1) swap_remove on
+            // eviction: the surviving residents must keep their relative
+            // slot order (and the RNG must not advance) so that future
+            // victim picks match a from-scratch replay of the stream.
+            self.entries.remove(at);
+            for (off, &p) in self.entries[at..].iter().enumerate() {
+                self.index.insert(p, at + off);
+            }
+            true
+        } else {
+            false
+        }
     }
 
     fn contains(&self, pid: u64) -> bool {
@@ -467,6 +512,236 @@ mod tests {
                     b.name()
                 );
             }
+        }
+    }
+
+    /// One op of the randomized access/invalidate streams below.
+    #[derive(Debug, Clone, Copy)]
+    enum Op {
+        Access(u64),
+        Invalidate(u64),
+    }
+
+    /// Straight-line single-`Vec` reimplementations of each policy's
+    /// semantics, kept deliberately free of the incremental index/mirror
+    /// bookkeeping the real caches use. Replaying the same op stream
+    /// through both and demanding identical hit sequences, counters and
+    /// residency pins `invalidate` to "consistent with a rebuild from
+    /// scratch" across all three policies.
+    struct LruModel {
+        cap: usize,
+        order: Vec<u64>, // LRU .. MRU
+        hits: u64,
+        misses: u64,
+    }
+
+    impl LruModel {
+        fn access(&mut self, pid: u64) -> bool {
+            if let Some(at) = self.order.iter().position(|&p| p == pid) {
+                self.order.remove(at);
+                self.order.push(pid);
+                self.hits += 1;
+                return true;
+            }
+            self.misses += 1;
+            if self.cap == 0 {
+                return false;
+            }
+            if self.order.len() >= self.cap {
+                self.order.remove(0);
+            }
+            self.order.push(pid);
+            false
+        }
+
+        fn invalidate(&mut self, pid: u64) {
+            self.order.retain(|&p| p != pid);
+        }
+    }
+
+    struct FifoModel {
+        cap: usize,
+        order: Vec<u64>, // admission order
+        hits: u64,
+        misses: u64,
+    }
+
+    impl FifoModel {
+        fn access(&mut self, pid: u64) -> bool {
+            if self.order.contains(&pid) {
+                self.hits += 1;
+                return true;
+            }
+            self.misses += 1;
+            if self.cap == 0 {
+                return false;
+            }
+            if self.order.len() >= self.cap {
+                self.order.remove(0);
+            }
+            self.order.push(pid);
+            false
+        }
+
+        fn invalidate(&mut self, pid: u64) {
+            self.order.retain(|&p| p != pid);
+        }
+    }
+
+    struct RandomModel {
+        cap: usize,
+        slots: Vec<u64>,
+        state: u64, // mirrors RandomCache's xorshift64*
+        hits: u64,
+        misses: u64,
+    }
+
+    impl RandomModel {
+        fn next_rand(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+
+        fn access(&mut self, pid: u64) -> bool {
+            if self.slots.contains(&pid) {
+                self.hits += 1;
+                return true;
+            }
+            self.misses += 1;
+            if self.cap == 0 {
+                return false;
+            }
+            if self.slots.len() >= self.cap {
+                let at = (self.next_rand() % self.slots.len() as u64) as usize;
+                self.slots.swap_remove(at);
+            }
+            self.slots.push(pid);
+            false
+        }
+
+        fn invalidate(&mut self, pid: u64) {
+            // Order-preserving, RNG untouched — the contract the real
+            // cache's invalidate documents.
+            self.slots.retain(|&p| p != pid);
+        }
+    }
+
+    /// Deterministic op stream: ~1 in 4 ops invalidates a page from a
+    /// small universe, the rest access.
+    fn op_stream(seed: u64, len: usize, universe: u64) -> Vec<Op> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            let mut x = state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            state = x;
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        };
+        (0..len)
+            .map(|_| {
+                let pid = next() % universe;
+                if next() % 4 == 0 {
+                    Op::Invalidate(pid)
+                } else {
+                    Op::Access(pid)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn invalidate_is_consistent_with_rebuild_from_scratch_across_policies() {
+        const CAP: usize = 4;
+        const SEED: u64 = 0x6715;
+        for stream_seed in 0..24u64 {
+            let ops = op_stream(stream_seed, 400, 17);
+            let mut caches: Vec<PageCache> = vec![
+                Box::new(LruCache::new(CAP)),
+                Box::new(FifoCache::new(CAP)),
+                Box::new(RandomCache::new(CAP, SEED)),
+            ];
+            let mut lru = LruModel {
+                cap: CAP,
+                order: Vec::new(),
+                hits: 0,
+                misses: 0,
+            };
+            let mut fifo = FifoModel {
+                cap: CAP,
+                order: Vec::new(),
+                hits: 0,
+                misses: 0,
+            };
+            let mut random = RandomModel {
+                cap: CAP,
+                slots: Vec::new(),
+                state: SEED | 1,
+                hits: 0,
+                misses: 0,
+            };
+            for (i, &op) in ops.iter().enumerate() {
+                match op {
+                    Op::Access(pid) => {
+                        let want = [lru.access(pid), fifo.access(pid), random.access(pid)];
+                        for (c, w) in caches.iter_mut().zip(want) {
+                            assert_eq!(
+                                c.access(pid),
+                                w,
+                                "{} diverged from model at op {i} of stream {stream_seed}",
+                                c.name()
+                            );
+                        }
+                    }
+                    Op::Invalidate(pid) => {
+                        lru.invalidate(pid);
+                        fifo.invalidate(pid);
+                        random.invalidate(pid);
+                        for c in caches.iter_mut() {
+                            c.invalidate(pid);
+                            assert!(!c.contains(pid), "{} kept an invalidated page", c.name());
+                        }
+                    }
+                }
+            }
+            let residency = |m: &[u64]| (0..17u64).map(|p| m.contains(&p)).collect::<Vec<bool>>();
+            let want = [
+                (residency(&lru.order), lru.hits, lru.misses),
+                (residency(&fifo.order), fifo.hits, fifo.misses),
+                (residency(&random.slots), random.hits, random.misses),
+            ];
+            for (c, (res, hits, misses)) in caches.iter().zip(want) {
+                let got: Vec<bool> = (0..17u64).map(|p| c.contains(p)).collect();
+                assert_eq!(got, res, "{} residency, stream {stream_seed}", c.name());
+                assert_eq!(c.hits(), hits, "{} hits", c.name());
+                assert_eq!(c.misses(), misses, "{} misses", c.name());
+                assert!(c.len() <= CAP);
+            }
+        }
+    }
+
+    #[test]
+    fn invalidate_reports_residency_and_leaves_counters_alone() {
+        let mut caches: Vec<PageCache> = vec![
+            Box::new(LruCache::new(4)),
+            Box::new(FifoCache::new(4)),
+            Box::new(RandomCache::new(4, 7)),
+        ];
+        for c in &mut caches {
+            c.access(1);
+            c.access(2);
+            let (h, m) = (c.hits(), c.misses());
+            assert!(c.invalidate(1), "{}", c.name());
+            assert!(!c.invalidate(1), "{} double-invalidate", c.name());
+            assert!(!c.invalidate(99), "{} never-resident", c.name());
+            assert_eq!((c.hits(), c.misses()), (h, m), "{} counters", c.name());
+            assert!(!c.contains(1));
+            assert!(c.contains(2));
+            assert_eq!(c.len(), 1);
         }
     }
 

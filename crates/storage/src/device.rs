@@ -24,6 +24,7 @@ use gts_faults::{FaultPlan, ReadOutcome};
 use gts_sim::resource::Scheduled;
 use gts_sim::{Bandwidth, Resource, SimDuration, SimTime};
 use gts_telemetry::{keys, SpanCat, Telemetry, Track};
+use std::collections::BTreeMap;
 
 /// Typed failures of the verified fetch path.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,6 +47,15 @@ pub enum StorageError {
         /// Page that could not be routed.
         pid: u64,
     },
+    /// A page ID outside the store's page range — a corrupt RVT, a bad
+    /// program-returned pid, or a stale reference to a page that a
+    /// mutation never created.
+    BadPid {
+        /// The out-of-range page ID.
+        pid: u64,
+        /// How many pages the store actually has.
+        num_pages: u64,
+    },
 }
 
 impl std::fmt::Display for StorageError {
@@ -59,6 +69,9 @@ impl std::fmt::Display for StorageError {
             }
             StorageError::AllDrivesQuarantined { pid } => {
                 write!(f, "page {pid}: all drives quarantined")
+            }
+            StorageError::BadPid { pid, num_pages } => {
+                write!(f, "page {pid}: out of range (store has {num_pages} pages)")
             }
         }
     }
@@ -201,6 +214,10 @@ pub struct StorageArray {
     quarantined: Vec<bool>,
     /// Per-drive consecutive failed attempts (reset on success).
     consecutive_failures: Vec<u32>,
+    /// Drive assignment for pages created after build (delta pages):
+    /// the original stripe map `g(j)` knows nothing about these pids,
+    /// so each is pinned to a drive that was live at creation time.
+    delta_homes: BTreeMap<u64, usize>,
     read_errors: u64,
     checksum_mismatches: u64,
     retries: u64,
@@ -222,6 +239,7 @@ impl StorageArray {
             faults: None,
             quarantined: vec![false; n],
             consecutive_failures: vec![0; n],
+            delta_homes: BTreeMap::new(),
             read_errors: 0,
             checksum_mismatches: 0,
             retries: 0,
@@ -281,6 +299,14 @@ impl StorageArray {
     /// quarantined this equals [`StorageArray::g`]; after a quarantine the
     /// victim's pages re-stripe onto the survivors.
     pub fn route(&self, pid: u64) -> Option<usize> {
+        // A page created after build goes to the drive it was pinned to
+        // at creation time, as long as that drive survives; if its home
+        // has since been quarantined it re-stripes like any other page.
+        if let Some(&d) = self.delta_homes.get(&pid) {
+            if !self.quarantined[d] {
+                return Some(d);
+            }
+        }
         let live: Vec<usize> = (0..self.devices.len())
             .filter(|&d| !self.quarantined[d])
             .collect();
@@ -288,6 +314,28 @@ impl StorageArray {
             None
         } else {
             Some(live[(pid % live.len() as u64) as usize])
+        }
+    }
+
+    /// Register pages created after build (delta pages appended by a
+    /// mutation batch). Each is pinned to a drive chosen by rehashing
+    /// over the drives live *now*: the build-time stripe map `g(j)` was
+    /// computed before these pids existed, and a quarantined drive must
+    /// never be handed new pages. Re-registering a pid is a no-op.
+    pub fn place_new_pages(&mut self, pids: &[u64]) {
+        let live: Vec<usize> = (0..self.devices.len())
+            .filter(|&d| !self.quarantined[d])
+            .collect();
+        for &pid in pids {
+            if self.delta_homes.contains_key(&pid) {
+                continue;
+            }
+            let home = if live.is_empty() {
+                self.g(pid)
+            } else {
+                live[(pid % live.len() as u64) as usize]
+            };
+            self.delta_homes.insert(pid, home);
         }
     }
 
@@ -498,6 +546,13 @@ mod tests {
             (
                 StorageError::AllDrivesQuarantined { pid: 9 },
                 "page 9: all drives quarantined",
+            ),
+            (
+                StorageError::BadPid {
+                    pid: 100,
+                    num_pages: 12,
+                },
+                "page 100: out of range (store has 12 pages)",
             ),
         ];
         for (e, want) in cases {
@@ -780,5 +835,40 @@ mod tests {
             .fetch(1, 1_000, SimTime::ZERO, FetchPolicy::verified(&page))
             .unwrap();
         assert_eq!(s.start, SimTime::ZERO);
+    }
+
+    #[test]
+    fn new_pages_are_placed_on_surviving_drives() {
+        let cfg = FaultConfig {
+            read_error_ppm: 0,
+            corrupt_page_ppm: 0,
+            ..FaultConfig::with_seed(9)
+        };
+        let mut arr = StorageArray::ssds(3);
+        arr.attach_faults(FaultPlan::new(cfg));
+        arr.quarantine(1, SimTime::ZERO);
+        // The build-time stripe map would send pid 7 to drive 1 (7 % 3),
+        // which is dead; placement must pick among the survivors {0, 2}.
+        assert_eq!(arr.g(7), 1);
+        arr.place_new_pages(&[7, 8]);
+        assert_eq!(arr.route(7), Some(2)); // live[7 % 2] = live[1] = 2
+        assert_eq!(arr.route(8), Some(0)); // live[8 % 2] = live[0] = 0
+                                           // The placement is sticky: routing does not drift when further
+                                           // drives die, as long as the pinned home survives.
+        arr.quarantine(0, SimTime::ZERO);
+        assert_eq!(arr.route(7), Some(2));
+        // If the pinned home itself dies, the page re-stripes over the
+        // remaining live drives like any other page.
+        arr.quarantine(2, SimTime::ZERO);
+        assert_eq!(arr.route(7), None);
+    }
+
+    #[test]
+    fn placement_without_quarantines_matches_the_stripe_map() {
+        let mut arr = StorageArray::ssds(3);
+        arr.place_new_pages(&[9, 10, 11]);
+        for pid in [9u64, 10, 11] {
+            assert_eq!(arr.route(pid), Some(arr.g(pid)));
+        }
     }
 }

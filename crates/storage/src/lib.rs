@@ -31,6 +31,7 @@ pub mod device;
 pub mod file;
 pub mod format;
 pub mod mmbuf;
+pub mod mutate;
 pub mod page;
 pub mod rvt;
 
@@ -40,5 +41,6 @@ pub use device::{BlockDevice, DeviceKind, FetchPolicy, StorageArray, StorageErro
 pub use file::{load_store, save_store, FileError};
 pub use format::{PageFormatConfig, PageKind, PhysicalIdConfig, RecordId};
 pub use mmbuf::MmBuf;
+pub use mutate::{EdgeOp, MutateError, MutationBatch, MutationOutcome};
 pub use page::{page_checksum, Page, PageView, VerifiedPage};
 pub use rvt::{Rvt, RvtEntry};

@@ -94,6 +94,20 @@ impl MmBuf {
         false
     }
 
+    /// Drop `pid` from the buffer if resident, returning whether it was.
+    /// Used for targeted invalidation after a mutation batch rewrites a
+    /// page: the buffered copy is stale and must be re-fetched. Counters
+    /// are untouched — an invalidation is neither an access nor an
+    /// eviction.
+    pub fn invalidate(&mut self, pid: u64) -> bool {
+        if self.resident.remove(&pid) {
+            self.fifo.retain(|&p| p != pid);
+            true
+        } else {
+            false
+        }
+    }
+
     /// Buffer hits recorded so far.
     pub fn hits(&self) -> u64 {
         self.hits

@@ -57,6 +57,13 @@ impl Rvt {
         self.entries[pid as usize] = entry;
     }
 
+    /// Append the entry for a newly allocated page. Mutation batches use
+    /// this when they grow the store with delta pages; the table stays
+    /// indexed by page ID, so entries must be pushed in pid order.
+    pub fn push_entry(&mut self, entry: RvtEntry) {
+        self.entries.push(entry);
+    }
+
     /// Translate a record ID to its vertex ID:
     /// `RVT[ADJ_PID].START_VID + ADJ_OFF` (Appendix A).
     #[inline]

@@ -23,6 +23,7 @@
 //! | `io.retries` | paid re-fetch attempts after a failed read |
 //! | `io.drives_quarantined` | drives taken offline after repeated failures |
 //! | `degrade.events` | recorded step-downs of the execution strategy |
+//! | `mut.*` | mutation batches applied at sweep boundaries, see `MUT_*` |
 //! | `run.final_strategy` | strategy in effect at run end (1 = P, 2 = S) |
 //! | `run.final_streams` | streams per GPU in effect at run end |
 //! | `run.cache_enabled` | device page cache on (1) or off (0) at run end |
@@ -97,6 +98,21 @@ pub const HOST_PHASE_A_NS: &str = "host.phase_a_ns";
 /// Wall-clock nanoseconds the host spent in phase B (accounting) across
 /// all sweeps (same caveats as [`HOST_PHASE_A_NS`]).
 pub const HOST_PHASE_B_NS: &str = "host.phase_b_ns";
+/// Mutation batches applied at sweep boundaries (live-topology runs).
+pub const MUT_BATCHES: &str = "mut.batches";
+/// Edges inserted by applied mutation batches.
+pub const MUT_INSERTED: &str = "mut.inserted";
+/// Edges deleted by applied mutation batches.
+pub const MUT_DELETED: &str = "mut.deleted";
+/// Existing pages rewritten in place by mutation batches.
+pub const MUT_PAGES_REWRITTEN: &str = "mut.pages_rewritten";
+/// Delta/overflow pages allocated by mutation batches.
+pub const MUT_DELTA_PAGES: &str = "mut.delta_pages";
+/// Stale cached pages dropped from GPU page caches after mutations.
+pub const MUT_CACHE_INVALIDATIONS: &str = "mut.cache_invalidations";
+/// The store's epoch after the last applied mutation batch (set, not
+/// added: it mirrors `GraphStore::epoch`).
+pub const MUT_EPOCH: &str = "mut.epoch";
 /// Bytes shipped over the simulated cluster network (distributed baselines).
 pub const NETWORK_BYTES: &str = "net.bytes";
 /// Peak working-set bytes (max-merged; CPU/GPU baselines).

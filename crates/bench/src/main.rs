@@ -1,13 +1,13 @@
 //! `gts-bench` — the wall-clock benchmark binary.
 //!
 //! Runs the reproducible benchmark suites (`page`, `sweep`, `e2e`,
-//! `mutation`) under
+//! `mutation`, `serve`) under
 //! the warmup/repeat/median protocol of [`gts_bench::bench`], prints
 //! each suite as an aligned table, and optionally writes / validates /
 //! regression-checks the machine-readable `BENCH_*.json` artifacts.
 //!
 //! ```text
-//! gts-bench [--suite page|sweep|e2e|mutation|all] [--json-out PATH]
+//! gts-bench [--suite page|sweep|e2e|mutation|serve|all] [--json-out PATH]
 //!           [--repeats N] [--warmup N] [--quick]
 //!           [--check-against PATH] [--tolerance F]
 //!           [--validate FILE ...]
@@ -26,9 +26,11 @@ use gts_bench::scale;
 use gts_bench::table::report_table;
 use gts_core::engine::{Gts, GtsConfig, StorageLocation};
 use gts_core::programs::{Bfs, PageRank};
-use gts_core::{MutationBatch, MutationSchedule};
+use gts_core::{Engine, MutationSchedule};
 use gts_graph::Dataset;
-use gts_storage::{build_graph_store, CachePolicy, FifoCache, GraphStore, LruCache, RandomCache};
+use gts_serve::scheduler::{serve, ServeConfig};
+use gts_serve::workload::{seeded_batch, synthetic};
+use gts_storage::{build_graph_store, CachePolicy, FifoCache, LruCache, RandomCache};
 use gts_telemetry::keys;
 use std::hint::black_box;
 use std::path::{Path, PathBuf};
@@ -62,10 +64,12 @@ fn main() -> ExitCode {
     }
 
     let suites: Vec<&str> = match opts.suite.as_str() {
-        "all" => vec!["page", "sweep", "e2e", "mutation"],
-        s @ ("page" | "sweep" | "e2e" | "mutation") => vec![s],
+        "all" => vec!["page", "sweep", "e2e", "mutation", "serve"],
+        s @ ("page" | "sweep" | "e2e" | "mutation" | "serve") => vec![s],
         other => {
-            eprintln!("gts-bench: unknown suite {other:?} (page | sweep | e2e | mutation | all)");
+            eprintln!(
+                "gts-bench: unknown suite {other:?} (page | sweep | e2e | mutation | serve | all)"
+            );
             return ExitCode::from(2);
         }
     };
@@ -76,6 +80,7 @@ fn main() -> ExitCode {
             "page" => page_suite(&opts),
             "sweep" => sweep_suite(&opts),
             "mutation" => mutation_suite(&opts),
+            "serve" => serve_suite(&opts),
             _ => e2e_suite(&opts),
         };
         report_table(&report).finish();
@@ -581,36 +586,6 @@ fn e2e_suite(opts: &Opts) -> BenchReport {
 
 // ------------------------------------------------------------ mutation
 
-/// A deterministic xorshift64 mutation batch — `inserts` random endpoint
-/// pairs plus `deletes` evenly-strided existing edges — reproducible
-/// from the seed alone (mirrors the CLI's `--mutate-*` generation).
-fn bench_batch(store: &GraphStore, inserts: u64, deletes: u64, seed: u64) -> MutationBatch {
-    let n = store.num_vertices();
-    let mut x = seed | 1;
-    let mut next = move || {
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        x
-    };
-    let mut batch = MutationBatch::new();
-    for _ in 0..inserts {
-        let s = next() % n;
-        let d = next() % n;
-        batch.insert(s, d);
-    }
-    if deletes > 0 {
-        let edges = store.decode_edges();
-        let take = deletes.min(edges.len() as u64);
-        let stride = (edges.len() as u64 / take.max(1)).max(1);
-        for i in 0..take {
-            let (s, d) = edges[(i * stride) as usize % edges.len()];
-            batch.delete(s, d);
-        }
-    }
-    batch
-}
-
 /// Update-while-query: the storage-level batch-apply cost, then whole
 /// live runs — a batch landing mid-traversal (BFS at sweep 1) and one
 /// reviving a converged sweep program (PageRank refresh past its last
@@ -639,7 +614,7 @@ fn mutation_suite(opts: &Opts) -> BenchReport {
             spec(opts, &format!("apply_batch_rmat{s}_ns"), "ns")
                 .run_values(|| {
                     let mut store = build_graph_store(&edges, fmt).expect("store");
-                    let batch = bench_batch(&store, inserts, deletes, seed);
+                    let batch = seeded_batch(&store, inserts, deletes, seed);
                     let t0 = Instant::now();
                     black_box(store.apply_mutations(&batch).expect("apply"));
                     t0.elapsed().as_nanos() as f64
@@ -663,7 +638,7 @@ fn mutation_suite(opts: &Opts) -> BenchReport {
                     let edges = &edges;
                     move || {
                         let mut store = build_graph_store(edges, fmt).expect("store");
-                        let batch = bench_batch(&store, inserts, deletes, seed);
+                        let batch = seeded_batch(&store, inserts, deletes, seed);
                         let mut bfs = Bfs::new(store.num_vertices(), 0);
                         let t0 = Instant::now();
                         let rep = Gts::new(cfg())
@@ -686,7 +661,7 @@ fn mutation_suite(opts: &Opts) -> BenchReport {
                     let edges = &edges;
                     move || {
                         let mut store = build_graph_store(edges, fmt).expect("store");
-                        let batch = bench_batch(&store, inserts, deletes, seed);
+                        let batch = seeded_batch(&store, inserts, deletes, seed);
                         let mut pr = PageRank::new(store.num_vertices(), 10);
                         let t0 = Instant::now();
                         let rep = Gts::new(cfg())
@@ -728,6 +703,99 @@ fn mutation_suite(opts: &Opts) -> BenchReport {
             // regression, so these entries anchor the CI gate.
             simulated.gate = true;
             report.push(simulated);
+        }
+    }
+    report
+}
+
+// --------------------------------------------------------------- serve
+
+/// Multi-tenant serve mode: the synthetic mixed read/mutate workload
+/// through the FIFO scheduler at 1, 4, and 16 concurrent tenants, with
+/// one service slot per tenant. Wall times are informational; simulated
+/// makespan, throughput, and latency percentiles are deterministic and
+/// gated. `--quick` trims the tenancy levels, never the per-level
+/// workload, so quick entries stay comparable to the checked-in
+/// full-run baseline.
+fn serve_suite(opts: &Opts) -> BenchReport {
+    let mut report = BenchReport::new(
+        "serve",
+        "Multi-tenant serve throughput and latency percentiles (ssd:2, 2 GPUs)",
+    );
+    let rmat_scale = 12u32;
+    let edges = Dataset::Rmat(rmat_scale).generate();
+    let fmt = scale::page_format_small();
+    let jobs_per_tenant = 4u32;
+    let seed = 0x6715_2016u64;
+    let levels: &[usize] = if opts.quick { &[1, 4] } else { &[1, 4, 16] };
+    for &tenants in levels {
+        let workload = synthetic(tenants as u32, jobs_per_tenant, seed, true);
+        let serve_cfg = ServeConfig {
+            slots: tenants,
+            // The suite measures saturated throughput, not admission
+            // control: caps sized so nothing drops.
+            queue_capacity: workload.len().max(64),
+            tenant_queue_capacity: workload.len().max(16),
+            deadline_ns: None,
+        };
+        let mut wall = Vec::new();
+        let mut makespan = Vec::new();
+        let mut throughput = Vec::new();
+        let mut percentiles = [Vec::new(), Vec::new(), Vec::new()];
+        for i in 0..opts.warmup + opts.repeats.max(1) {
+            // Fresh store every sample: the workload mutates it.
+            let mut store = build_graph_store(&edges, fmt).expect("store");
+            let engine = Engine::new(GtsConfig {
+                num_gpus: 2,
+                storage: StorageLocation::Ssds(2),
+                ..scale::gts_config()
+            })
+            .expect("valid engine config");
+            let t0 = Instant::now();
+            let out = serve(&engine, &mut store, &workload, &serve_cfg).expect("serve");
+            let w = t0.elapsed().as_nanos() as f64;
+            assert_eq!(out.completed, workload.len(), "caps sized for zero drops");
+            if i >= opts.warmup {
+                wall.push(w);
+                makespan.push(out.makespan_ns as f64);
+                let secs = out.makespan_ns as f64 / 1e9;
+                throughput.push(if secs > 0.0 {
+                    out.completed as f64 / secs
+                } else {
+                    0.0
+                });
+                for (slot, p) in [(0usize, 50u32), (1, 95), (2, 99)] {
+                    let v = out.telemetry.percentile("serve.lat.all", p).unwrap_or(0);
+                    percentiles[slot].push(v as f64);
+                }
+            }
+        }
+        let params = [
+            ("rmat_scale", rmat_scale.to_string()),
+            ("tenants", tenants.to_string()),
+            ("slots", tenants.to_string()),
+            ("jobs", (tenants as u32 * jobs_per_tenant).to_string()),
+        ];
+        report.push(entry(
+            &format!("serve_c{tenants}_wall_ns"),
+            "ns",
+            wall,
+            &params,
+        ));
+        let gated: [(&str, &str, Vec<f64>); 5] = [
+            ("makespan_sim_ns", "ns", makespan),
+            ("throughput_jobs_s", "jobs/s", throughput),
+            ("lat_p50_ns", "ns", percentiles[0].clone()),
+            ("lat_p95_ns", "ns", percentiles[1].clone()),
+            ("lat_p99_ns", "ns", percentiles[2].clone()),
+        ];
+        for (name, unit, samples) in gated {
+            let mut e = entry(&format!("serve_c{tenants}_{name}"), unit, samples, &params);
+            // Scheduling runs on the simulated clock — makespan,
+            // throughput, and latency percentiles are bit-deterministic,
+            // so any drift is a real regression.
+            e.gate = true;
+            report.push(e);
         }
     }
     report

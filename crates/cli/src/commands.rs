@@ -25,12 +25,15 @@ use gts_core::engine::{CachePolicyKind, Gts, GtsConfig, StorageLocation};
 use gts_core::programs::{
     Bc, Bfs, Cc, Degrees, GtsProgram, KCore, PageRank, RadiusEstimation, Rwr, Sssp,
 };
+use gts_core::MutationSchedule;
 use gts_core::{CheckpointConfig, CrashPoint, FaultConfig};
-use gts_core::{MutationBatch, MutationSchedule};
 use gts_core::{Strategy, Telemetry};
 use gts_gpu::GpuConfig;
 use gts_graph::generate::{erdos_renyi, web_like, Rmat};
 use gts_graph::{Dataset, EdgeList};
+use gts_serve::scheduler::{serve, JobStatus, ServeConfig, ServeOutcome};
+use gts_serve::workload::seeded_batch;
+use gts_serve::ServeError;
 use gts_storage::{
     build_graph_store, load_store, save_store, GraphStore, PageFormatConfig, PhysicalIdConfig,
 };
@@ -110,6 +113,12 @@ USAGE:
                [--crash-at-sweep K | --crash-mid-write K]
                [--mutate-at K] [--mutate-inserts N] [--mutate-deletes N]
                [--mutate-seed N]
+  gts serve    --store <store file> --workload <file>
+               [--slots N] [--queue-cap N] [--tenant-queue-cap N]
+               [--deadline NS] [--gpus N] [--streams N] [--strategy p|s]
+               [--storage mem|ssd:N|hdd:N] [--device-memory BYTES]
+               [--cache lru|fifo|random] [--host-threads N] [--json]
+               [--counters-out FILE] [--jobs-out FILE]
   gts help
 
 Edge files are the binary GTSEDGES format produced by `gts generate`, or
@@ -145,6 +154,21 @@ The batch is generated deterministically from `--mutate-seed`:
 identical at every `--host-threads` value; progress is visible in the
 `mut.*` counters.
 
+Serve mode: `gts serve` runs a scripted multi-tenant workload (one job
+per line: `at=<ns> tenant=<id> job=<algorithm> [source=N] [iters=N]
+[k=N] [mutate-at=K inserts=N deletes=N seed=N]`, `#` comments) through
+a long-lived engine over the shared store. `--slots` service slots are
+multiplexed FIFO on the simulated clock; admission control bounds the
+shared queue (`--queue-cap`), each tenant's share (`--tenant-queue-cap`)
+and the tolerated wait (`--deadline`, simulated ns). Mutating jobs
+serialise through the epoch pipeline as an all-slots barrier. Every
+job's report and counters are byte-identical to the same job run solo,
+at any `--host-threads`. `--jobs-out` writes one record per job plus its
+full counter registry (what the CI serve-smoke job diffs across thread
+counts); `--counters-out` writes the service-level registry, including
+per-class `serve.lat.*` latency percentiles and the per-tenant
+`tenant.<id>.cache.*` rollup.
+
 Exit codes: 0 success, 2 usage error, 3 I/O failure, 4 engine failure.";
 
 /// Dispatch the command line.
@@ -155,6 +179,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), CliError> {
         Some("build") => build(&args),
         Some("info") => info(&args),
         Some("run") => run(&args),
+        Some("serve") => serve_cmd(&args),
         Some("help") | None => {
             outln!("{USAGE}");
             Ok(())
@@ -359,40 +384,40 @@ fn parse_mutation(args: &Args, store: &GraphStore) -> Result<Option<MutationSche
     let inserts = args.get_or("mutate-inserts", 64u64)?;
     let deletes = args.get_or("mutate-deletes", 0u64)?;
     let seed = args.get_or("mutate-seed", 0x6715_2016u64)?;
-    let batch = mutation_batch(store, inserts, deletes, seed);
+    // The same seeded generator serves workload `mutate-at=` lines, so a
+    // serve job and its solo replay build the identical batch.
+    let batch = seeded_batch(store, inserts, deletes, seed);
     Ok(Some(MutationSchedule::new().at(at, batch)))
 }
 
-/// A deterministic mutation batch: xorshift64-drawn endpoint pairs for
-/// the insertions, evenly-strided existing edges for the deletions —
-/// reproducible from the seed alone, independent of host threading.
-fn mutation_batch(store: &GraphStore, inserts: u64, deletes: u64, seed: u64) -> MutationBatch {
-    let n = store.num_vertices();
-    let mut x = seed | 1;
-    let mut next = move || {
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        x
-    };
-    let mut batch = MutationBatch::new();
-    for _ in 0..inserts {
-        let s = next() % n;
-        let d = next() % n;
-        batch.insert(s, d);
+/// The flags shared by `run` and `serve` that shape the engine itself:
+/// GPU topology, streams, strategy, storage tier, device memory, cache
+/// policy, host threads. Returns the builder so each command can stack
+/// its own extras (faults, checkpoints, budgets) on top.
+fn engine_config_builder(args: &Args) -> Result<gts_core::engine::GtsConfigBuilder, CliError> {
+    let mut cfg_builder = GtsConfig::builder()
+        .num_gpus(args.get_or("gpus", 1usize)?)
+        .num_streams(args.get_or("streams", 16usize)?)
+        .strategy(match args.optional("strategy").unwrap_or("p") {
+            "p" => Strategy::Performance,
+            "s" => Strategy::Scalability,
+            other => return Err(CliError::Usage(format!("bad --strategy {other:?} (p | s)"))),
+        })
+        .storage(parse_storage(args.optional("storage").unwrap_or("mem"))?)
+        .gpu(GpuConfig::titan_x().with_device_memory(args.get_or("device-memory", 12u64 << 30)?))
+        .cache_policy(match args.optional("cache").unwrap_or("lru") {
+            "lru" => CachePolicyKind::Lru,
+            "fifo" => CachePolicyKind::Fifo,
+            "random" => CachePolicyKind::Random,
+            other => return Err(CliError::Usage(format!("bad --cache {other:?}"))),
+        });
+    if let Some(ht) = args.optional("host-threads") {
+        cfg_builder = cfg_builder.host_threads(
+            ht.parse()
+                .map_err(|_| format!("bad --host-threads {ht:?}"))?,
+        );
     }
-    if deletes > 0 {
-        // Deletions must name edges that exist: stride over the decoded
-        // edge list (duplicates are fine — each occurrence deletes once).
-        let edges = store.decode_edges();
-        let take = deletes.min(edges.len() as u64);
-        let stride = (edges.len() as u64 / take.max(1)).max(1);
-        for i in 0..take {
-            let (s, d) = edges[(i * stride) as usize % edges.len()];
-            batch.delete(s, d);
-        }
-    }
-    batch
+    Ok(cfg_builder)
 }
 
 fn run(args: &Args) -> Result<(), CliError> {
@@ -440,28 +465,7 @@ fn run(args: &Args) -> Result<(), CliError> {
         )));
     }
 
-    let mut cfg_builder = GtsConfig::builder()
-        .num_gpus(args.get_or("gpus", 1usize)?)
-        .num_streams(args.get_or("streams", 16usize)?)
-        .strategy(match args.optional("strategy").unwrap_or("p") {
-            "p" => Strategy::Performance,
-            "s" => Strategy::Scalability,
-            other => return Err(CliError::Usage(format!("bad --strategy {other:?} (p | s)"))),
-        })
-        .storage(parse_storage(args.optional("storage").unwrap_or("mem"))?)
-        .gpu(GpuConfig::titan_x().with_device_memory(args.get_or("device-memory", 12u64 << 30)?))
-        .cache_policy(match args.optional("cache").unwrap_or("lru") {
-            "lru" => CachePolicyKind::Lru,
-            "fifo" => CachePolicyKind::Fifo,
-            "random" => CachePolicyKind::Random,
-            other => return Err(CliError::Usage(format!("bad --cache {other:?}"))),
-        });
-    if let Some(ht) = args.optional("host-threads") {
-        cfg_builder = cfg_builder.host_threads(
-            ht.parse()
-                .map_err(|_| format!("bad --host-threads {ht:?}"))?,
-        );
-    }
+    let mut cfg_builder = engine_config_builder(args)?;
     if args
         .optional("measure-host-phases")
         .map(|v| v == "true")
@@ -633,6 +637,145 @@ fn run(args: &Args) -> Result<(), CliError> {
         outln!("result:         {summary}");
     }
     Ok(())
+}
+
+/// `gts serve`: a scripted multi-tenant workload through the long-lived
+/// engine over the shared store. Scheduling runs on the simulated
+/// clock, so every output is byte-identical at any `--host-threads`.
+fn serve_cmd(args: &Args) -> Result<(), CliError> {
+    args.reject_unknown(&[
+        "store",
+        "workload",
+        "slots",
+        "queue-cap",
+        "tenant-queue-cap",
+        "deadline",
+        "gpus",
+        "streams",
+        "strategy",
+        "storage",
+        "device-memory",
+        "cache",
+        "host-threads",
+        "json",
+        "counters-out",
+        "jobs-out",
+    ])?;
+    let mut store: GraphStore =
+        load_store(args.required("store")?).map_err(|e| CliError::Io(e.to_string()))?;
+    let path = args.required("workload")?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("reading {path}: {e}")))?;
+    let jobs =
+        gts_serve::workload::parse(&text).map_err(|e| CliError::Usage(format!("{path}: {e}")))?;
+    let cfg = engine_config_builder(args)?
+        .build()
+        .map_err(|e| e.to_string())?;
+    let engine = gts_core::Engine::new(cfg).map_err(|e| e.to_string())?;
+    let deadline_ns = match args.optional("deadline") {
+        None => None,
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("bad --deadline {v:?} (simulated ns)"))?,
+        ),
+    };
+    let serve_cfg = ServeConfig {
+        slots: args.get_or("slots", 4usize)?,
+        queue_capacity: args.get_or("queue-cap", 64usize)?,
+        tenant_queue_capacity: args.get_or("tenant-queue-cap", 16usize)?,
+        deadline_ns,
+    };
+    let out = serve(&engine, &mut store, &jobs, &serve_cfg).map_err(|e| match e {
+        ServeError::Config(_) | ServeError::Workload(_) => CliError::Usage(e.to_string()),
+        other => CliError::Engine(other.to_string()),
+    })?;
+    write_serve_outputs(args, &out)?;
+    if args.optional("json").map(|v| v == "true").unwrap_or(false) {
+        outln!(
+            "{{\"jobs\":{},\"completed\":{},\"dropped\":{},\"failed\":{},\"epochs\":{},\"makespan_ns\":{},\"latency\":{}}}",
+            out.jobs.len(),
+            out.completed,
+            out.dropped,
+            out.failed,
+            out.telemetry.counter("serve.epochs"),
+            out.makespan_ns,
+            out.telemetry.histograms_to_json()
+        );
+    } else {
+        outln!(
+            "jobs:       {} ({} completed, {} dropped, {} failed)",
+            out.jobs.len(),
+            out.completed,
+            out.dropped,
+            out.failed
+        );
+        outln!("slots:      {}", serve_cfg.slots);
+        outln!(
+            "epochs:     {} mutation batches applied",
+            out.telemetry.counter("serve.epochs")
+        );
+        outln!("makespan:   {} simulated ns", out.makespan_ns);
+        for (key, s) in out.telemetry.histogram_summaries() {
+            outln!(
+                "{key}: n={} p50={} p95={} p99={} ns",
+                s.count,
+                s.p50,
+                s.p95,
+                s.p99
+            );
+        }
+    }
+    Ok(())
+}
+
+/// `--jobs-out` (one record line plus the full counter registry per job
+/// — exactly what the CI serve-smoke job diffs across host-thread
+/// counts) and `--counters-out` (the service-level registry as sorted
+/// `key value` lines, percentile counters included).
+fn write_serve_outputs(args: &Args, out: &ServeOutcome) -> Result<(), CliError> {
+    if let Some(path) = args.optional("jobs-out") {
+        let mut lines = String::new();
+        for j in &out.jobs {
+            lines.push_str(&format!(
+                "job={} tenant={} class={} mutating={} arrival={} status={} \
+                 start={} finish={} service={} wait={} latency={}\n",
+                j.index,
+                j.tenant,
+                j.class,
+                j.mutating,
+                j.arrival_ns,
+                status_word(&j.status),
+                j.start_ns,
+                j.finish_ns,
+                j.service_ns,
+                j.wait_ns(),
+                j.latency_ns()
+            ));
+            for (k, v) in &j.counters {
+                lines.push_str(&format!("job.{}.{k} {v}\n", j.index));
+            }
+        }
+        std::fs::write(path, lines).map_err(|e| CliError::Io(format!("writing {path}: {e}")))?;
+    }
+    if let Some(path) = args.optional("counters-out") {
+        let mut lines = String::new();
+        for (k, v) in out.telemetry.counters() {
+            lines.push_str(&format!("{k} {v}\n"));
+        }
+        std::fs::write(path, lines).map_err(|e| CliError::Io(format!("writing {path}: {e}")))?;
+    }
+    Ok(())
+}
+
+fn status_word(s: &JobStatus) -> &'static str {
+    match s {
+        JobStatus::Completed => "completed",
+        JobStatus::Dropped(ServeError::QueueFull { .. }) => "dropped:queue_full",
+        JobStatus::Dropped(ServeError::Rejected { .. }) => "dropped:rejected",
+        JobStatus::Dropped(ServeError::Deadline { .. }) => "dropped:deadline",
+        JobStatus::Dropped(_) => "dropped",
+        JobStatus::Failed(_) => "failed",
+    }
 }
 
 /// Highest-scoring vertex (NaN-safe via total order); `None` on empty.
@@ -972,6 +1115,158 @@ mod tests {
         assert!(one.contains("mut.deleted 8"), "{one}");
         assert!(one.contains("mut.epoch 1"), "{one}");
         for p in [&el, &st, &c1, &c4] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    /// Every malformed `serve` flag is a typed usage error (exit 2)
+    /// naming the flag or field — one case per flag, mirroring the
+    /// `--mutate-*`/`--checkpoint-*` validation contract.
+    #[test]
+    fn serve_flags_validate() {
+        let el = tmp("sv.el");
+        let st = tmp("sv.gts");
+        let wl = tmp("sv.wl");
+        dispatch(&sv(&[
+            "generate", "--kind", "rmat", "--scale", "8", "--out", &el,
+        ]))
+        .unwrap();
+        dispatch(&sv(&[
+            "build",
+            "--graph",
+            &el,
+            "--out",
+            &st,
+            "--page-size",
+            "4096",
+        ]))
+        .unwrap();
+        std::fs::write(&wl, "at=0 tenant=a job=bfs\n").unwrap();
+        let cases: &[(&[&str], &str)] = &[
+            (&["--slots", "three"], "--slots"),
+            (&["--slots", "0"], "slots"),
+            (&["--queue-cap", "x"], "--queue-cap"),
+            (&["--queue-cap", "0"], "queue_capacity"),
+            (&["--tenant-queue-cap", "x"], "--tenant-queue-cap"),
+            (&["--tenant-queue-cap", "0"], "tenant_queue_capacity"),
+            (&["--deadline", "soon"], "--deadline"),
+            (&["--deadline", "0"], "deadline_ns"),
+            (&["--host-threads", "zero"], "--host-threads"),
+            (&["--strategy", "q"], "--strategy"),
+            (&["--mutate-at", "1"], "unknown flag"),
+            (&["--checkpoint-dir", "d"], "unknown flag"),
+        ];
+        for (flags, needle) in cases {
+            let mut argv = sv(&["serve", "--store", &st, "--workload", &wl]);
+            argv.extend(sv(flags));
+            let err = dispatch(&argv).unwrap_err();
+            assert_eq!(err.exit_code(), EXIT_USAGE, "{flags:?}: {err}");
+            assert!(
+                err.to_string().contains(needle),
+                "{flags:?}: error {err:?} does not name {needle:?}"
+            );
+        }
+        // A malformed workload line is a usage error naming file + line.
+        std::fs::write(&wl, "at=0 tenant=a job=frobnicate\n").unwrap();
+        let err = dispatch(&sv(&["serve", "--store", &st, "--workload", &wl])).unwrap_err();
+        assert_eq!(err.exit_code(), EXIT_USAGE, "{err}");
+        assert!(err.to_string().contains("line 1"), "{err}");
+        // A missing workload file is an I/O error, not usage.
+        let err = dispatch(&sv(&[
+            "serve",
+            "--store",
+            &st,
+            "--workload",
+            "/nonexistent-gts-workload",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), EXIT_IO, "{err}");
+        for p in [&el, &st, &wl] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    /// `gts serve` end to end: the scripted workload runs, writes the
+    /// per-job and service dumps, and both are byte-identical at 1 vs 4
+    /// host threads — the same diff the CI serve-smoke job performs.
+    #[test]
+    fn serve_is_host_thread_invariant_through_the_cli() {
+        let el = tmp("serve.el");
+        let st = tmp("serve.gts");
+        let wl = tmp("serve.wl");
+        dispatch(&sv(&[
+            "generate", "--kind", "rmat", "--scale", "9", "--out", &el,
+        ]))
+        .unwrap();
+        dispatch(&sv(&[
+            "build",
+            "--graph",
+            &el,
+            "--out",
+            &st,
+            "--page-size",
+            "4096",
+        ]))
+        .unwrap();
+        std::fs::write(
+            &wl,
+            "# serve smoke\n\
+             at=0      tenant=a job=bfs\n\
+             at=100000 tenant=b job=pagerank iters=3\n\
+             at=200000 tenant=a job=cc\n\
+             at=300000 tenant=m job=bfs mutate-at=1 inserts=16 deletes=2 seed=5\n\
+             at=400000 tenant=b job=bfs source=1\n",
+        )
+        .unwrap();
+        let dump = |threads: &str, jobs: &str, counters: &str| {
+            dispatch(&sv(&[
+                "serve",
+                "--store",
+                &st,
+                "--workload",
+                &wl,
+                "--slots",
+                "2",
+                "--host-threads",
+                threads,
+                "--jobs-out",
+                jobs,
+                "--counters-out",
+                counters,
+            ]))
+            .unwrap();
+            (
+                std::fs::read_to_string(jobs).unwrap(),
+                std::fs::read_to_string(counters).unwrap(),
+            )
+        };
+        let j1 = tmp("serve-jobs-1.txt");
+        let c1 = tmp("serve-counters-1.txt");
+        let j4 = tmp("serve-jobs-4.txt");
+        let c4 = tmp("serve-counters-4.txt");
+        let (jobs_one, counters_one) = dump("1", &j1, &c1);
+        let (jobs_four, counters_four) = dump("4", &j4, &c4);
+        assert_eq!(
+            jobs_one, jobs_four,
+            "per-job dumps must not depend on host threads"
+        );
+        assert_eq!(counters_one, counters_four);
+        assert_eq!(jobs_one.matches("status=completed").count(), 5);
+        assert!(jobs_one.contains("job.3.mut.batches 1"), "{jobs_one}");
+        assert!(jobs_one.contains("job.0.tenant.a.cache.bytes_streamed"));
+        assert!(
+            counters_one.contains("serve.lat.all.count 5"),
+            "{counters_one}"
+        );
+        assert!(counters_one.contains("serve.epochs 1"));
+        let keys: Vec<&str> = counters_one
+            .lines()
+            .map(|l| l.split_once(' ').unwrap().0)
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "counters must be sorted");
+        for p in [&el, &st, &wl, &j1, &c1, &j4, &c4] {
             std::fs::remove_file(p).ok();
         }
     }

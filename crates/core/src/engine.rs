@@ -23,28 +23,19 @@
 //! Functional results are exact (kernels really run); time is accounted on
 //! the simulated clock (see `gts-gpu`).
 
-use crate::programs::{ExecMode, GtsProgram, KernelScratch, SweepControl};
+use crate::job::{Engine, JobOptions};
+use crate::programs::GtsProgram;
 use crate::report::RunReport;
 use crate::strategy::Strategy;
-use crate::sweep::account::{self, AccountCtx, SweepAccounting};
-use crate::sweep::ckpt;
-use crate::sweep::ingest;
-use crate::sweep::ingest::PageSource;
-use crate::sweep::kernels::{self, KernelEnv};
-use crate::sweep::plan::SweepPlan;
-use crate::sweep::schedule::{self, GpuLane};
-use gts_ckpt::{CkptError, CkptStore, Snapshot};
-use gts_exec::ThreadPool;
-use gts_faults::{CrashPoint, FaultConfig, FaultPlan};
+use gts_ckpt::CkptError;
+use gts_faults::FaultConfig;
 use gts_gpu::memory::GpuOom;
 use gts_gpu::warp::MicroTechnique;
 use gts_gpu::{GpuConfig, PcieConfig};
-use gts_sim::SimTime;
 use gts_storage::builder::GraphStore;
 use gts_storage::cache::{FifoCache, LruCache, PageCache, RandomCache};
-use gts_storage::{MutateError, MutationBatch, MutationOutcome, StorageError};
-use gts_telemetry::{keys, SpanCat, Telemetry, Track};
-use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use gts_storage::{MutateError, StorageError};
+use gts_telemetry::Telemetry;
 use std::fmt;
 use std::path::PathBuf;
 
@@ -503,146 +494,7 @@ impl From<CkptError> for EngineError {
     }
 }
 
-/// When each [`MutationBatch`] of a live run applies: at the boundary of
-/// the keyed sweep (before that sweep streams any page), so an in-flight
-/// sweep always sees one consistent epoch of the topology. A batch whose
-/// sweep the algorithm never reaches — it converged earlier — is *not*
-/// dropped: the engine keeps the run alive at the fixpoint, applies the
-/// batch, and re-sweeps incrementally (see [`Gts::run_live`]).
-#[derive(Debug, Clone, Default)]
-pub struct MutationSchedule {
-    batches: BTreeMap<u32, MutationBatch>,
-}
-
-impl MutationSchedule {
-    /// An empty schedule ([`Gts::run_live`] then behaves like [`Gts::run`]).
-    pub fn new() -> MutationSchedule {
-        MutationSchedule::default()
-    }
-
-    /// Apply `batch` at the boundary of sweep `sweep` (builder-style).
-    /// Scheduling twice at the same sweep appends to the existing batch in
-    /// call order.
-    pub fn at(mut self, sweep: u32, batch: MutationBatch) -> MutationSchedule {
-        let slot = self.batches.entry(sweep).or_default();
-        for &op in batch.ops() {
-            slot.push(op);
-        }
-        self
-    }
-
-    /// Number of scheduled (non-empty-keyed) batches.
-    pub fn len(&self) -> usize {
-        self.batches.len()
-    }
-
-    /// True when nothing is scheduled.
-    pub fn is_empty(&self) -> bool {
-        self.batches.is_empty()
-    }
-
-    /// The due-ordered application queue.
-    fn into_queue(self) -> VecDeque<(u32, MutationBatch)> {
-        self.batches.into_iter().collect()
-    }
-}
-
-/// What one boundary's [`StoreHandle::apply_due`] did: the merged outcome
-/// of every batch that came due, plus how many batches that was.
-struct AppliedMutations {
-    outcome: MutationOutcome,
-    batches: u64,
-}
-
-/// The sweep loop's access to the graph: read-only for [`Gts::run`], or a
-/// mutable store plus a due-ordered mutation queue for [`Gts::run_live`].
-/// Mutation is confined to [`StoreHandle::apply_due`], which only the
-/// sweep boundary calls — mid-sweep code can only obtain `&GraphStore`,
-/// so a sweep in flight always reads one consistent epoch.
-enum StoreHandle<'a> {
-    /// Immutable topology (the classic static run).
-    Shared(&'a GraphStore),
-    /// Live topology: batches from a [`MutationSchedule`] apply at sweep
-    /// boundaries.
-    Live {
-        store: &'a mut GraphStore,
-        queue: VecDeque<(u32, MutationBatch)>,
-    },
-}
-
-impl StoreHandle<'_> {
-    /// The store, read-only (any variant).
-    fn store(&self) -> &GraphStore {
-        match self {
-            StoreHandle::Shared(s) => s,
-            StoreHandle::Live { store, .. } => store,
-        }
-    }
-
-    /// The earliest sweep with an unapplied batch, if any.
-    fn earliest_pending(&self) -> Option<u32> {
-        match self {
-            StoreHandle::Shared(_) => None,
-            StoreHandle::Live { queue, .. } => queue.front().map(|&(s, _)| s),
-        }
-    }
-
-    /// Apply every batch due at or before the boundary of `sweep`,
-    /// merging their outcomes. `None` when nothing was due. A rejected
-    /// batch aborts with [`EngineError::Mutation`], the store unchanged
-    /// by the rejected batch (earlier batches of the same boundary stay
-    /// applied — each batch is individually atomic).
-    fn apply_due(&mut self, sweep: u32) -> Result<Option<AppliedMutations>, EngineError> {
-        let StoreHandle::Live { store, queue } = self else {
-            return Ok(None);
-        };
-        let mut applied: Option<AppliedMutations> = None;
-        while queue.front().is_some_and(|&(s, _)| s <= sweep) {
-            let Some((_, batch)) = queue.pop_front() else {
-                break;
-            };
-            let outcome = store.apply_mutations(&batch)?;
-            applied = Some(match applied {
-                None => AppliedMutations {
-                    outcome,
-                    batches: 1,
-                },
-                Some(prev) => AppliedMutations {
-                    outcome: merge_outcomes(prev.outcome, outcome),
-                    batches: prev.batches + 1,
-                },
-            });
-        }
-        Ok(applied)
-    }
-}
-
-/// Fold two same-boundary outcomes into one. A pid allocated by the first
-/// batch and rewritten by the second stays in `new_pids` (no sweep ran in
-/// between, so no cache ever saw it and placement happens once).
-fn merge_outcomes(a: MutationOutcome, b: MutationOutcome) -> MutationOutcome {
-    let new_pids: Vec<u64> = {
-        let mut set: BTreeSet<u64> = a.new_pids.into_iter().collect();
-        set.extend(b.new_pids);
-        set.into_iter().collect()
-    };
-    let dirty_pids: Vec<u64> = {
-        let mut set: BTreeSet<u64> = a.dirty_pids.into_iter().collect();
-        set.extend(b.dirty_pids);
-        set.into_iter()
-            .filter(|pid| !new_pids.contains(pid))
-            .collect()
-    };
-    MutationOutcome {
-        inserted: a.inserted + b.inserted,
-        deleted: a.deleted + b.deleted,
-        pages_rewritten: a.pages_rewritten + b.pages_rewritten,
-        delta_pages_allocated: a.delta_pages_allocated + b.delta_pages_allocated,
-        dirty_pids,
-        new_pids,
-        epoch: a.epoch.max(b.epoch),
-    }
-}
+pub use crate::sweep::live::MutationSchedule;
 
 /// The GTS engine.
 #[derive(Debug, Clone)]
@@ -789,7 +641,7 @@ impl Gts {
         store: &GraphStore,
         prog: &mut dyn GtsProgram,
     ) -> Result<RunReport, EngineError> {
-        self.run_inner(&mut StoreHandle::Shared(store), prog)
+        self.session().run_job(store, prog, &self.job_options())
     }
 
     /// Execute `prog` over a *live* `store`: each of `schedule`'s mutation
@@ -811,596 +663,22 @@ impl Gts {
         prog: &mut dyn GtsProgram,
         schedule: MutationSchedule,
     ) -> Result<RunReport, EngineError> {
-        self.run_inner(
-            &mut StoreHandle::Live {
-                store,
-                queue: schedule.into_queue(),
-            },
-            prog,
-        )
+        self.session()
+            .run_job_live(store, prog, schedule, &self.job_options())
     }
 
-    fn run_inner(
-        &self,
-        handle: &mut StoreHandle<'_>,
-        prog: &mut dyn GtsProgram,
-    ) -> Result<RunReport, EngineError> {
-        let store = handle.store();
-        let tel = &self.telemetry;
-        tel.start_run();
-        if tel.spans_enabled() {
-            tel.name_process(keys::pid::ENGINE, "engine");
-            tel.name_thread(Track::new(keys::pid::ENGINE, 0), "run");
-            tel.name_thread(Track::new(keys::pid::ENGINE, 1), "cache");
-        }
-        let faults = self.cfg.faults.clone().map(FaultPlan::new);
-        let ck_store = match &self.cfg.checkpoint {
-            Some(c) => Some(CkptStore::open(&c.dir).map_err(EngineError::Checkpoint)?),
-            None => None,
-        };
-        let mut resume: Option<Snapshot> = None;
-        if let (Some(ck), Some(c)) = (&ck_store, &self.cfg.checkpoint) {
-            if c.resume {
-                let (_seq, snap) = ck.load_latest().map_err(EngineError::Checkpoint)?;
-                ckpt::verify_meta(&snap, store, &self.cfg, prog.name())
-                    .map_err(EngineError::Checkpoint)?;
-                resume = Some(snap);
-            }
-        }
-        // A resumed run re-enters at the rung the snapshot recorded —
-        // including any degradations — instead of replaying the ladder.
-        let rung = match &resume {
-            Some(snap) => Some(ckpt::rung_of(snap).map_err(EngineError::Checkpoint)?),
-            None => None,
-        };
-        let wa_total = prog.wa_bytes_per_vertex() * store.num_vertices();
-        let mut setup = self.prepare_lanes(
-            store,
-            wa_total,
-            prog.ra_bytes_per_vertex(),
-            faults.as_ref(),
-            rung,
-        )?;
-        let mut source = ingest::for_config(&self.cfg, store.num_pages(), tel, faults.as_ref());
-        let mut out = RunState {
-            t: SimTime::ZERO,
-            sweeps: 0,
-            edges: 0,
-        };
-        let env = SweepEnv {
-            faults: faults.as_ref(),
-            ck: ck_store.as_ref(),
-            resume,
-        };
-        let err = self
-            .sweep_loop(handle, prog, &mut setup, source.as_mut(), env, &mut out)
-            .err();
-        // Flush unconditionally: a failed run still lands its counters,
-        // closes its spans, and yields a partial trace — often the very
-        // evidence needed to diagnose the fault.
-        self.finalize(prog.name(), &setup, source.as_ref(), &out);
-        match err {
-            Some(e) => Err(e),
-            None => Ok(RunReport::from_telemetry(tel, prog.name(), "GTS")),
-        }
+    /// The one-job session behind [`Gts::run`]/[`Gts::run_live`]: a
+    /// long-lived [`Engine`] over this configuration. The configuration
+    /// was validated at construction, so this cannot fail.
+    fn session(&self) -> Engine {
+        Engine::from_validated(self.cfg.clone())
     }
 
-    /// Build the per-GPU lanes, degrading the configuration on O.O.M.
-    /// when [`GtsConfig::degrade_on_oom`] allows it: Strategy-P drops to
-    /// Strategy-S (splitting the WA), then the stream count halves until
-    /// 1, then the page cache is turned off. Every step is counted under
-    /// `degrade.events` and recorded as a [`SpanCat::Degrade`] span; if
-    /// the ladder runs out, the *original* O.O.M. is returned.
-    fn prepare_lanes(
-        &self,
-        store: &GraphStore,
-        wa_total: u64,
-        ra_bpv: u64,
-        faults: Option<&FaultPlan>,
-        rung: Option<ckpt::Rung>,
-    ) -> Result<LaneSetup, EngineError> {
-        let cfg = &self.cfg;
-        let tel = &self.telemetry;
-        let n = cfg.num_gpus;
-        let mut eff = cfg.clone();
-        // The effective stream count is capped by the CUDA concurrent-kernel
-        // limit the paper cites (32).
-        eff.num_streams = cfg.num_streams.min(cfg.gpu.max_concurrent_kernels);
-        // A resume starts directly on the snapshot's (possibly degraded)
-        // rung: the ladder already ran before the snapshot was taken, and
-        // its degrade events live in the restored counters.
-        let resumed = rung.is_some();
-        if let Some(r) = rung {
-            eff.strategy = r.strategy;
-            eff.num_streams = r.num_streams;
-            if r.cache_off {
-                eff.cache_limit_bytes = Some(0);
-            }
-        }
-        let mut first_err: Option<EngineError> = None;
-        loop {
-            let wa_per_gpu = eff.strategy.wa_bytes_per_gpu(wa_total, n);
-            let mut lanes = Vec::with_capacity(n);
-            let oom = (0..n).find_map(|i| {
-                match GpuLane::for_engine(
-                    &eff,
-                    store,
-                    eff.num_streams,
-                    wa_per_gpu,
-                    ra_bpv,
-                    tel,
-                    i as u32,
-                ) {
-                    Ok(mut lane) => {
-                        if let Some(plan) = faults {
-                            lane.attach_faults(plan.clone());
-                        }
-                        lanes.push(lane);
-                        None
-                    }
-                    Err(e) => Some(e),
-                }
-            });
-            let Some(e) = oom else {
-                return Ok(LaneSetup {
-                    lanes,
-                    strategy: eff.strategy,
-                    wa_per_gpu,
-                    num_streams: eff.num_streams,
-                    cache_off: eff.cache_limit_bytes == Some(0),
-                });
-            };
-            let first = first_err.get_or_insert(e).clone();
-            if resumed || !cfg.degrade_on_oom {
-                return Err(first);
-            }
-            // One rung down the ladder; out of rungs → the original error.
-            let step = if matches!(eff.strategy, Strategy::Performance) && n > 1 {
-                eff.strategy = Strategy::Scalability;
-                "strategy P->S".to_string()
-            } else if eff.num_streams > 1 {
-                let to = eff.num_streams / 2;
-                let label = format!("streams {}->{}", eff.num_streams, to);
-                eff.num_streams = to;
-                label
-            } else if eff.cache_limit_bytes != Some(0) {
-                eff.cache_limit_bytes = Some(0);
-                "cache off".to_string()
-            } else {
-                return Err(first);
-            };
-            tel.add(keys::DEGRADE_EVENTS, 1);
-            if tel.spans_enabled() {
-                tel.record_span(
-                    Track::new(keys::pid::ENGINE, 0),
-                    SpanCat::Degrade,
-                    step,
-                    SimTime::ZERO,
-                    SimTime::ZERO,
-                );
-            }
-        }
+    /// Solo runs record into the engine's own telemetry handle with no
+    /// tenant attribution.
+    fn job_options(&self) -> JobOptions {
+        JobOptions::with_telemetry(self.telemetry.clone())
     }
-
-    /// The repeat-until loop (Alg. 1 lines 13-31): per sweep, run the
-    /// functional kernels (phase A, host-parallel safe), account their
-    /// simulated cost (phase B: parallel merge + batched probes around a
-    /// serial issue core), then barrier and synchronise. Progress lands
-    /// in `out` as it is made, so a typed mid-run error leaves `out`
-    /// describing the partial run.
-    /// Assemble the write context and emit one boundary checkpoint
-    /// (shared by the periodic path and the watchdog's final snapshot).
-    #[allow(clippy::too_many_arguments)]
-    fn write_ckpt(
-        &self,
-        ck: &CkptStore,
-        faults: Option<&FaultPlan>,
-        store: &GraphStore,
-        lanes: &mut [GpuLane],
-        source: &mut dyn PageSource,
-        prog: &dyn GtsProgram,
-        plan: &SweepPlan,
-        b: ckpt::Boundary,
-        torn: bool,
-    ) -> Result<(), EngineError> {
-        let w = ckpt::WriteCtx {
-            cfg: &self.cfg,
-            tel: &self.telemetry,
-            store,
-            ck,
-            faults,
-        };
-        ckpt::write_checkpoint(&w, lanes, source, prog, plan, &b, torn)
-    }
-
-    /// Apply every mutation batch due at the top of `sweep` and absorb the
-    /// result into the run: drop rewritten pages from all GPU caches and
-    /// the MMBuf, register the fresh delta pages with the storage array,
-    /// refresh the LP degree map, bump the `mut.*` counters, and rebuild
-    /// the sweep plan around the program's re-activation seeds.
-    ///
-    /// Returns `true` when the new plan is a seed-restricted sweep-mode
-    /// plan (only sound after a `Done` revival: the program's state is a
-    /// fixpoint of the pre-mutation topology, so only the disturbed pages
-    /// can start new propagation). `false` — with a full rebuild of the
-    /// plan — in every other case, including "nothing was due".
-    #[allow(clippy::too_many_arguments)]
-    fn mutation_boundary(
-        &self,
-        handle: &mut StoreHandle<'_>,
-        prog: &mut dyn GtsProgram,
-        lanes: &mut [GpuLane],
-        source: &mut dyn PageSource,
-        lp_degrees: &mut HashMap<u64, u64>,
-        plan: &mut SweepPlan,
-        sweep: u32,
-        sweep_mode: bool,
-        revived: bool,
-    ) -> Result<bool, EngineError> {
-        let Some(applied) = handle.apply_due(sweep)? else {
-            return Ok(false);
-        };
-        let tel = &self.telemetry;
-        let o = &applied.outcome;
-        // Targeted invalidation: every cached copy of a rewritten page —
-        // GPU page caches and the host-side MMBuf — is stale. Delta pages
-        // are brand new, so they cannot be cached and only need placement
-        // on the storage array's live drives.
-        let mut dropped = 0u64;
-        for lane in lanes.iter_mut() {
-            dropped += lane.invalidate_pages(&o.dirty_pids);
-        }
-        source.invalidate(&o.dirty_pids);
-        source.note_new_pages(&o.new_pids);
-        let store = handle.store();
-        *lp_degrees = kernels::lp_total_degrees(store);
-        tel.add(keys::MUT_BATCHES, applied.batches);
-        tel.add(keys::MUT_INSERTED, o.inserted);
-        tel.add(keys::MUT_DELETED, o.deleted);
-        tel.add(keys::MUT_PAGES_REWRITTEN, o.pages_rewritten);
-        tel.add(keys::MUT_DELTA_PAGES, o.delta_pages_allocated);
-        tel.add(keys::MUT_CACHE_INVALIDATIONS, dropped);
-        tel.set(keys::MUT_EPOCH, o.epoch);
-        let seeds = prog.on_mutation(store, o);
-        if sweep_mode {
-            if revived && !seeds.is_empty() {
-                *plan = SweepPlan::from_marked(store, seeds.into_iter().collect())?;
-                return Ok(true);
-            }
-            // Mid-run (state is not a fixpoint) the full plan is the only
-            // sound choice; likewise when the program gave no seeds.
-            *plan = SweepPlan::full(store);
-        } else {
-            // Traversal: the pending frontier pages stay planned; the
-            // mutation's seeds join them.
-            let mut marked: BTreeSet<u64> = plan
-                .sp_pids()
-                .iter()
-                .chain(plan.lp_pids())
-                .copied()
-                .collect();
-            marked.extend(seeds);
-            *plan = SweepPlan::from_marked(store, marked)?;
-        }
-        Ok(false)
-    }
-
-    fn sweep_loop(
-        &self,
-        handle: &mut StoreHandle<'_>,
-        prog: &mut dyn GtsProgram,
-        setup: &mut LaneSetup,
-        source: &mut dyn PageSource,
-        env: SweepEnv<'_>,
-        out: &mut RunState,
-    ) -> Result<(), EngineError> {
-        let cfg = &self.cfg;
-        let tel = &self.telemetry;
-        let spans = tel.spans_enabled();
-        let rung = ckpt::Rung::of(setup);
-        let lanes = &mut setup.lanes;
-        let crash = env.faults.and_then(FaultPlan::crash);
-
-        // Total degree of every Large-Page vertex (K_PR_LP needs it);
-        // recomputed whenever a mutation boundary changes the topology.
-        let mut lp_degrees = kernels::lp_total_degrees(handle.store());
-
-        let mut t = SimTime::ZERO;
-        let sweep_mode = prog.mode() == ExecMode::Sweep;
-        let mut sweep: u32 = 0;
-        let mut resumed_at: Option<u32> = None;
-        // Post-convergence revival (unapplied batches remain): the next
-        // boundary's mutation may restrict the sweep to its seeds.
-        let mut revived = false;
-        // The current sweep-mode plan is seed-restricted; if it updates
-        // anything, the following sweep falls back to the full plan.
-        // (Assigned at every mutation boundary before it is read.)
-        let mut restricted;
-        let mut plan;
-        if let Some(snap) = &env.resume {
-            // Re-enter mid-run: counters, program vectors, fault cursors,
-            // and quarantine state restore in place; the initial WA
-            // broadcast is already inside the restored clock.
-            let rs = ckpt::import_snapshot(snap, tel, prog, source, env.faults)
-                .map_err(EngineError::Checkpoint)?;
-            t = rs.t;
-            sweep = rs.sweep;
-            out.edges = rs.edges;
-            out.sweeps = rs.sweep;
-            resumed_at = Some(rs.sweep);
-            plan = rs.plan;
-        } else {
-            // --- Initial WA chunk copy (Alg. 1 line 11 / Fig. 2 step 1).
-            // Each GPU has its own PCI-E link, so the broadcast is
-            // parallel.
-            if !sweep_mode {
-                t = schedule::broadcast_wa(lanes, setup.wa_per_gpu, t);
-            }
-            // Seed nextPIDSet (Alg. 1 lines 4-7).
-            plan = SweepPlan::seeded(handle.store(), prog.start_vertex())?;
-        }
-        out.t = t;
-
-        let mut scratch = KernelScratch::default();
-        // Host threads execute kernel bodies (phase A) and phase B's
-        // order-independent bookkeeping (exact integer merges, batched
-        // cache probes); the serial issue core orders simulated time, so
-        // results are independent of `host_threads`.
-        let pool = ThreadPool::new(cfg.host_threads);
-        loop {
-            // --- Checkpoint boundary: the top of sweep `sweep`, where
-            // the previous end_sweep left every accumulator in its
-            // between-sweeps shape. The boundary the run resumed at is
-            // skipped — its snapshot already exists. Written BEFORE the
-            // mutation boundary below, so the snapshot fingerprints the
-            // pre-mutation epoch and a resume against the mutated store
-            // is refused with a typed mismatch.
-            if let (Some(c), Some(ck)) = (&cfg.checkpoint, env.ck) {
-                if sweep > 0 && sweep.is_multiple_of(c.every) && resumed_at != Some(sweep) {
-                    let torn = crash == Some(CrashPoint::MidSnapshotWrite(sweep));
-                    let b = boundary(rung, t, sweep, out.edges);
-                    let store = handle.store();
-                    self.write_ckpt(ck, env.faults, store, lanes, source, prog, &plan, b, torn)?;
-                }
-            }
-            if crash == Some(CrashPoint::AtSweep(sweep)) {
-                return Err(EngineError::InjectedCrash { sweep });
-            }
-            // --- Mutation boundary: apply every batch due at this sweep
-            // and invalidate/reseed around it. In-flight state only ever
-            // sees the store before or after a whole batch — never mid-
-            // rewrite (epoch visibility, DESIGN.md §12).
-            restricted = self.mutation_boundary(
-                handle,
-                prog,
-                lanes,
-                source,
-                &mut lp_degrees,
-                &mut plan,
-                sweep,
-                sweep_mode,
-                revived,
-            )?;
-            revived = false;
-            let store = handle.store();
-            let ctx = AccountCtx {
-                store,
-                strategy: setup.strategy,
-                num_gpus: cfg.num_gpus,
-                page_size: store.cfg().page_size as u64,
-                ra_bytes_per_vertex: prog.ra_bytes_per_vertex(),
-                class: prog.class(),
-                tel,
-                spans,
-            };
-            let sweep_wall = t;
-            if sweep_mode {
-                // Each iteration re-initialises WA on device (nextPR reset;
-                // Eq. (1)'s first |WA|/c1 term).
-                t = schedule::broadcast_wa(lanes, setup.wa_per_gpu, t);
-            }
-            let mut acc = SweepAccounting::new(t);
-
-            // SPs first, then LPs (reduces kernel switching, Sec. 3.2).
-            for phase in plan.phases() {
-                let env = KernelEnv {
-                    store,
-                    lp_degrees: &lp_degrees,
-                    technique: cfg.technique,
-                    sweep,
-                };
-                let a0 = cfg.measure_host_phases.then(std::time::Instant::now);
-                let outcomes = kernels::run_page_kernels(prog, &pool, &env, phase, &mut scratch);
-                let b0 = cfg.measure_host_phases.then(std::time::Instant::now);
-                acc.account_phase(&ctx, &pool, lanes, source, phase, &outcomes)?;
-                record_host_phases(tel, a0, b0);
-            }
-
-            // Barrier: all GPUs finish the sweep (Alg. 1 line 27)...
-            t = account::barrier(lanes, t);
-            if !sweep_mode {
-                // ...then copy nextPIDSet / cachedPIDMap back (lines
-                // 29-30): one small bitmap pair per GPU.
-                t = account::frontier_copy_back(lanes, store.num_pages(), t);
-            } else {
-                // ...or the per-sweep WA write-back for sweep programs
-                // (Fig. 2 step 3; Eq. (1)'s second |WA|/c1 + tsync terms).
-                t = account::sync_wa(lanes, setup.strategy, cfg.p2p_sync, setup.wa_per_gpu, t);
-            }
-
-            out.edges += acc.edges;
-            let mut stats = acc.stats;
-            stats.elapsed = t - sweep_wall;
-            account::emit_sweep(tel, spans, sweep, &stats, sweep_wall, t);
-            out.t = t;
-            out.sweeps = sweep + 1;
-
-            match prog.end_sweep(sweep, acc.next.is_empty(), acc.any_update) {
-                SweepControl::Done => {
-                    let Some(due) = handle.earliest_pending() else {
-                        break;
-                    };
-                    // Converged, but mutation batches are still scheduled:
-                    // keep the run alive and jump straight to the next due
-                    // boundary. The state is a fixpoint of the current
-                    // topology, so the boundary's seeds are sufficient to
-                    // re-activate exactly what the batch disturbs.
-                    revived = true;
-                    if !sweep_mode {
-                        plan = SweepPlan::from_parts(Vec::new(), Vec::new());
-                    }
-                    sweep = sweep.max(due.saturating_sub(1));
-                }
-                SweepControl::Continue => {
-                    if !sweep_mode {
-                        plan = SweepPlan::from_marked(store, acc.next)?;
-                    } else if restricted {
-                        // The seed-restricted sweep changed something, so
-                        // the perturbation may have escaped the dirty
-                        // pages: fall back to the invariant full plan
-                        // until the program converges again.
-                        plan = SweepPlan::full(store);
-                    }
-                    // Sweep programs otherwise keep the full-page plan.
-                }
-                SweepControl::ContinueWith(pids) => {
-                    plan = SweepPlan::from_marked(store, pids.into_iter().collect())?;
-                }
-            }
-            sweep += 1;
-
-            // --- Watchdog: simulated-clock budgets, checked at the sweep
-            // boundary so a final checkpoint (and the caller's trace
-            // flush) leave the run resumable.
-            let run_ns = (t - SimTime::ZERO).as_nanos();
-            let tripped = match (cfg.sweep_deadline_ns, cfg.run_budget_ns) {
-                (Some(limit), _) if stats.elapsed.as_nanos() > limit => {
-                    Some(("sweep_deadline_ns", limit, stats.elapsed.as_nanos()))
-                }
-                (_, Some(limit)) if run_ns > limit => Some(("run_budget_ns", limit, run_ns)),
-                _ => None,
-            };
-            if let Some((what, limit_ns, elapsed_ns)) = tripped {
-                if let (Some(_), Some(ck)) = (&cfg.checkpoint, env.ck) {
-                    let b = boundary(rung, t, sweep, out.edges);
-                    self.write_ckpt(ck, env.faults, store, lanes, source, prog, &plan, b, false)?;
-                }
-                return Err(EngineError::DeadlineExceeded {
-                    what,
-                    limit_ns,
-                    elapsed_ns,
-                });
-            }
-        }
-
-        // Final WA write-back for traversal programs (the cost models note
-        // this is negligible, but it is part of the data flow).
-        if !sweep_mode {
-            t = account::sync_wa(lanes, setup.strategy, cfg.p2p_sync, setup.wa_per_gpu, t);
-            out.t = t;
-        }
-        Ok(())
-    }
-
-    /// Flush every component's counters into the registry and close the
-    /// run span. Every page touch goes through the per-GPU caches, so
-    /// misses ARE the streamed pages and hits the cache serves — no
-    /// parallel hand-maintained counters to drift. Called on the error
-    /// path too, so partial runs still report what they did.
-    fn finalize(&self, name: &str, setup: &LaneSetup, source: &dyn PageSource, out: &RunState) {
-        let tel = &self.telemetry;
-        let mut hits = 0u64;
-        let mut misses = 0u64;
-        for (i, lane) in setup.lanes.iter().enumerate() {
-            // Bank-inclusive totals: checkpoint boundaries rebuild the
-            // caches cold, banking their statistics first.
-            hits += lane.cache_hits_total();
-            misses += lane.cache_misses_total();
-            lane.flush_to(tel, i as u32);
-        }
-        tel.add(keys::CACHE_HITS, hits);
-        tel.add(keys::CACHE_MISSES, misses);
-        tel.add(keys::PAGES_STREAMED, misses);
-        tel.add(keys::EDGES_TRAVERSED, out.edges);
-        source.flush_to(tel);
-        tel.set(keys::RUN_SWEEPS, out.sweeps as u64);
-        tel.set(keys::RUN_GPUS, self.cfg.num_gpus as u64);
-        tel.set(keys::RUN_ELAPSED_NS, (out.t - SimTime::ZERO).as_nanos());
-        // Degraded-mode end state: what the run actually executed with,
-        // after any O.O.M. step-downs (or a resumed rung).
-        tel.set(
-            keys::RUN_FINAL_STRATEGY,
-            u64::from(ckpt::strategy_code(setup.strategy)),
-        );
-        tel.set(keys::RUN_FINAL_STREAMS, setup.num_streams as u64);
-        tel.set(keys::RUN_CACHE_ENABLED, u64::from(!setup.cache_off));
-        if tel.spans_enabled() {
-            tel.record_span(
-                Track::new(keys::pid::ENGINE, 0),
-                SpanCat::Run,
-                format!("{name} run"),
-                SimTime::ZERO,
-                out.t,
-            );
-        }
-    }
-}
-
-/// Record one phase's A/B wall-clock split when `measure_host_phases`
-/// captured the two instants. Wall-clock, not simulated: the `host.*`
-/// keys sit OUTSIDE the determinism contract (like `ckpt.*`) and are
-/// only written when explicitly asked for.
-/// Shorthand for one sweep boundary's progress tuple.
-fn boundary(rung: ckpt::Rung, t: SimTime, sweep: u32, edges: u64) -> ckpt::Boundary {
-    ckpt::Boundary {
-        rung,
-        t,
-        sweep,
-        edges,
-    }
-}
-
-fn record_host_phases(
-    tel: &Telemetry,
-    a0: Option<std::time::Instant>,
-    b0: Option<std::time::Instant>,
-) {
-    if let (Some(a0), Some(b0)) = (a0, b0) {
-        tel.add(
-            keys::HOST_PHASE_A_NS,
-            (b0 - a0).as_nanos().min(u64::MAX as u128) as u64,
-        );
-        tel.add(
-            keys::HOST_PHASE_B_NS,
-            b0.elapsed().as_nanos().min(u64::MAX as u128) as u64,
-        );
-    }
-}
-
-/// The effective (possibly degraded) execution parameters plus the lanes
-/// built under them.
-pub(crate) struct LaneSetup {
-    pub(crate) lanes: Vec<GpuLane>,
-    pub(crate) strategy: Strategy,
-    pub(crate) wa_per_gpu: u64,
-    pub(crate) num_streams: usize,
-    pub(crate) cache_off: bool,
-}
-
-/// Per-run context threaded into the sweep loop: the fault plan, the
-/// checkpoint store, and the snapshot a resuming run starts from.
-struct SweepEnv<'a> {
-    faults: Option<&'a FaultPlan>,
-    ck: Option<&'a CkptStore>,
-    resume: Option<Snapshot>,
-}
-
-/// Progress of one run, updated as it is made so the error path can
-/// still report the partial run.
-struct RunState {
-    t: SimTime,
-    sweeps: u32,
-    edges: u64,
 }
 
 #[cfg(test)]
@@ -1409,7 +687,8 @@ mod tests {
     use crate::programs::{Bfs, PageRank};
     use gts_graph::generate::rmat;
     use gts_graph::{reference, Csr};
-    use gts_storage::{build_graph_store, PageFormatConfig, PhysicalIdConfig};
+    use gts_storage::{build_graph_store, MutationBatch, PageFormatConfig, PhysicalIdConfig};
+    use gts_telemetry::{keys, SpanCat};
 
     fn small_store() -> GraphStore {
         build_graph_store(

@@ -1,0 +1,728 @@
+//! The long-lived engine and its per-job state.
+//!
+//! [`crate::Gts`] owns exactly one run; a *service* admits many. This
+//! module splits the old monolithic run path along that line:
+//!
+//! * [`Engine`] — what outlives a job: the validated configuration and
+//!   the lane/cache provisioning recipe built from it. An `Engine` holds
+//!   no per-run state, so one instance can execute any number of jobs,
+//!   sequentially or (over read-only stores) concurrently from many
+//!   threads.
+//! * [`JobContext`] — what one job owns: its counter registry (a
+//!   dedicated [`Telemetry`] handle), fault/RNG domains, checkpoint glue,
+//!   the per-GPU lanes with their page caches, and the page source.
+//!   Opened by [`Engine::run_job`]/[`Engine::run_job_live`], dropped when
+//!   the job's [`RunReport`] is produced.
+//!
+//! Solo [`crate::Gts::run`] is a thin one-job session over this API and
+//! is pinned byte-for-byte by the golden fixtures: a job admitted through
+//! a service produces the same report/counters as the same job run solo,
+//! at any `host_threads`.
+
+use crate::programs::{ExecMode, GtsProgram, KernelScratch, SweepControl};
+use crate::report::RunReport;
+use crate::strategy::Strategy;
+use crate::sweep::account::{self, AccountCtx, SweepAccounting};
+use crate::sweep::ckpt;
+use crate::sweep::ingest::{self, PageSource};
+use crate::sweep::kernels::{self, KernelEnv};
+use crate::sweep::live::{self, BoundaryCtx, MutationSchedule, StoreHandle};
+use crate::sweep::plan::SweepPlan;
+use crate::sweep::schedule::{self, GpuLane};
+use crate::{ConfigError, EngineError, GtsConfig};
+use gts_ckpt::{CkptStore, Snapshot};
+use gts_exec::ThreadPool;
+use gts_faults::{CrashPoint, FaultPlan};
+use gts_sim::SimTime;
+use gts_storage::builder::GraphStore;
+use gts_telemetry::{keys, SpanCat, Telemetry, Track};
+
+/// A long-lived engine: the validated configuration, with no per-run
+/// state. One `Engine` executes any number of jobs over shared
+/// [`GraphStore`]s; each job gets its own [`JobContext`] (lanes, caches,
+/// fault domains, counter registry), which is what keeps per-job
+/// reports byte-identical to solo runs.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    cfg: GtsConfig,
+}
+
+/// Per-job knobs that are not part of the engine configuration: where
+/// the job's counters land and which tenant it is accounted to.
+#[derive(Debug, Clone)]
+pub struct JobOptions {
+    /// The job's counter registry (and span sink). Each admitted job
+    /// should bring its own handle — [`Telemetry::start_run`] clears it.
+    pub telemetry: Telemetry,
+    /// Tenant tag for per-tenant cache accounting: when set, every lane
+    /// attributes its cache probes to `tenant.<tag>.cache.*` keys in the
+    /// job's telemetry. `None` (the solo default) writes no tenant keys.
+    pub tenant: Option<String>,
+}
+
+impl Default for JobOptions {
+    fn default() -> Self {
+        JobOptions {
+            telemetry: Telemetry::new(),
+            tenant: None,
+        }
+    }
+}
+
+impl JobOptions {
+    /// Options recording into `tel`, with no tenant attribution.
+    pub fn with_telemetry(tel: Telemetry) -> JobOptions {
+        JobOptions {
+            telemetry: tel,
+            tenant: None,
+        }
+    }
+
+    /// Attribute this job's cache traffic to `tenant` (builder-style).
+    pub fn tenant(mut self, tenant: impl Into<String>) -> JobOptions {
+        self.tenant = Some(tenant.into());
+        self
+    }
+}
+
+/// One job's run state, opened by the engine and consumed by its
+/// execution: the job's telemetry handle, fault plan, checkpoint store
+/// and resume snapshot, the per-GPU lanes (with their page caches) and
+/// the page source, plus the progress the sweep loop has made so far.
+pub struct JobContext {
+    tel: Telemetry,
+    tenant: Option<String>,
+    faults: Option<FaultPlan>,
+    ck: Option<CkptStore>,
+    resume: Option<Snapshot>,
+    setup: LaneSetup,
+    source: Box<dyn PageSource>,
+    out: RunState,
+}
+
+impl JobContext {
+    /// The job's telemetry handle.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
+    }
+}
+
+impl Engine {
+    /// Validate `cfg` and produce an engine.
+    pub fn new(cfg: GtsConfig) -> Result<Engine, ConfigError> {
+        cfg.validate()?;
+        Ok(Engine { cfg })
+    }
+
+    /// An engine over a configuration that is already known valid (both
+    /// `Gts` construction paths validate).
+    pub(crate) fn from_validated(cfg: GtsConfig) -> Engine {
+        Engine { cfg }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &GtsConfig {
+        &self.cfg
+    }
+
+    /// Execute `prog` over a shared read-only `store` as one job. The
+    /// job's counters land in `opts.telemetry`; the returned report is
+    /// derived from exactly those counters, byte-identical to
+    /// [`crate::Gts::run`] of the same job at any `host_threads`.
+    pub fn run_job(
+        &self,
+        store: &GraphStore,
+        prog: &mut dyn GtsProgram,
+        opts: &JobOptions,
+    ) -> Result<RunReport, EngineError> {
+        self.run_handle(&mut StoreHandle::Shared(store), prog, opts)
+    }
+
+    /// Execute `prog` over a *live* `store` as one job: `schedule`'s
+    /// batches apply at sweep boundaries through the epoch pipeline,
+    /// exactly as [`crate::Gts::run_live`].
+    pub fn run_job_live(
+        &self,
+        store: &mut GraphStore,
+        prog: &mut dyn GtsProgram,
+        schedule: MutationSchedule,
+        opts: &JobOptions,
+    ) -> Result<RunReport, EngineError> {
+        self.run_handle(
+            &mut StoreHandle::Live {
+                store,
+                queue: schedule.into_queue(),
+            },
+            prog,
+            opts,
+        )
+    }
+
+    pub(crate) fn run_handle(
+        &self,
+        handle: &mut StoreHandle<'_>,
+        prog: &mut dyn GtsProgram,
+        opts: &JobOptions,
+    ) -> Result<RunReport, EngineError> {
+        let mut job = self.open_job(handle.store(), prog, opts)?;
+        self.execute_job(&mut job, handle, prog)
+    }
+
+    /// First half of a run: clear the job's registry, open fault /
+    /// checkpoint domains, provision lanes (degrading on O.O.M. when
+    /// allowed), and build the page source.
+    fn open_job(
+        &self,
+        store: &GraphStore,
+        prog: &mut dyn GtsProgram,
+        opts: &JobOptions,
+    ) -> Result<JobContext, EngineError> {
+        let tel = opts.telemetry.clone();
+        tel.start_run();
+        if tel.spans_enabled() {
+            tel.name_process(keys::pid::ENGINE, "engine");
+            tel.name_thread(Track::new(keys::pid::ENGINE, 0), "run");
+            tel.name_thread(Track::new(keys::pid::ENGINE, 1), "cache");
+        }
+        let faults = self.cfg.faults.clone().map(FaultPlan::new);
+        let ck = match &self.cfg.checkpoint {
+            Some(c) => Some(CkptStore::open(&c.dir).map_err(EngineError::Checkpoint)?),
+            None => None,
+        };
+        let mut resume: Option<Snapshot> = None;
+        if let (Some(ck), Some(c)) = (&ck, &self.cfg.checkpoint) {
+            if c.resume {
+                let (_seq, snap) = ck.load_latest().map_err(EngineError::Checkpoint)?;
+                ckpt::verify_meta(&snap, store, &self.cfg, prog.name())
+                    .map_err(EngineError::Checkpoint)?;
+                resume = Some(snap);
+            }
+        }
+        // A resumed run re-enters at the rung the snapshot recorded —
+        // including any degradations — instead of replaying the ladder.
+        let rung = match &resume {
+            Some(snap) => Some(ckpt::rung_of(snap).map_err(EngineError::Checkpoint)?),
+            None => None,
+        };
+        let wa_total = prog.wa_bytes_per_vertex() * store.num_vertices();
+        let exec = ExecCtx {
+            cfg: &self.cfg,
+            tel: &tel,
+            tenant: opts.tenant.as_deref(),
+        };
+        let setup = exec.prepare_lanes(
+            store,
+            wa_total,
+            prog.ra_bytes_per_vertex(),
+            faults.as_ref(),
+            rung,
+        )?;
+        let source = ingest::for_config(&self.cfg, store.num_pages(), &tel, faults.as_ref());
+        Ok(JobContext {
+            tel,
+            tenant: opts.tenant.clone(),
+            faults,
+            ck,
+            resume,
+            setup,
+            source,
+            out: RunState {
+                t: SimTime::ZERO,
+                sweeps: 0,
+                edges: 0,
+            },
+        })
+    }
+
+    /// Second half of a run: the sweep loop, then the unconditional
+    /// counter flush — a failed run still lands its counters, closes its
+    /// spans, and yields a partial trace.
+    fn execute_job(
+        &self,
+        job: &mut JobContext,
+        handle: &mut StoreHandle<'_>,
+        prog: &mut dyn GtsProgram,
+    ) -> Result<RunReport, EngineError> {
+        let exec = ExecCtx {
+            cfg: &self.cfg,
+            tel: &job.tel,
+            tenant: job.tenant.as_deref(),
+        };
+        let env = SweepEnv {
+            faults: job.faults.as_ref(),
+            ck: job.ck.as_ref(),
+            resume: job.resume.take(),
+        };
+        let err = exec
+            .sweep_loop(
+                handle,
+                prog,
+                &mut job.setup,
+                job.source.as_mut(),
+                env,
+                &mut job.out,
+            )
+            .err();
+        exec.finalize(prog.name(), &job.setup, job.source.as_ref(), &job.out);
+        match err {
+            Some(e) => Err(e),
+            None => Ok(RunReport::from_telemetry(&job.tel, prog.name(), "GTS")),
+        }
+    }
+}
+
+/// What one job's execution reads everywhere: the engine configuration,
+/// the job's counter registry, and its tenant tag. This is the `self` of
+/// the run machinery — an `Engine` has no telemetry of its own.
+struct ExecCtx<'a> {
+    cfg: &'a GtsConfig,
+    tel: &'a Telemetry,
+    tenant: Option<&'a str>,
+}
+
+impl ExecCtx<'_> {
+    /// The checkpoint-write context for one boundary: this job's
+    /// configuration and registry plus the run's store/checkpoint/fault
+    /// handles.
+    fn write_ctx<'b>(
+        &'b self,
+        store: &'b GraphStore,
+        ck: &'b CkptStore,
+        faults: Option<&'b FaultPlan>,
+    ) -> ckpt::WriteCtx<'b> {
+        ckpt::WriteCtx {
+            cfg: self.cfg,
+            tel: self.tel,
+            store,
+            ck,
+            faults,
+        }
+    }
+
+    /// Build the per-GPU lanes, degrading the configuration on O.O.M.
+    /// when [`GtsConfig::degrade_on_oom`] allows it: Strategy-P drops to
+    /// Strategy-S (splitting the WA), then the stream count halves until
+    /// 1, then the page cache is turned off. Every step is counted under
+    /// `degrade.events` and recorded as a [`SpanCat::Degrade`] span; if
+    /// the ladder runs out, the *original* O.O.M. is returned.
+    fn prepare_lanes(
+        &self,
+        store: &GraphStore,
+        wa_total: u64,
+        ra_bpv: u64,
+        faults: Option<&FaultPlan>,
+        rung: Option<ckpt::Rung>,
+    ) -> Result<LaneSetup, EngineError> {
+        let cfg = self.cfg;
+        let tel = self.tel;
+        let n = cfg.num_gpus;
+        let mut eff = cfg.clone();
+        // The effective stream count is capped by the CUDA concurrent-kernel
+        // limit the paper cites (32).
+        eff.num_streams = cfg.num_streams.min(cfg.gpu.max_concurrent_kernels);
+        // A resume starts directly on the snapshot's (possibly degraded)
+        // rung: the ladder already ran before the snapshot was taken, and
+        // its degrade events live in the restored counters.
+        let resumed = rung.is_some();
+        if let Some(r) = rung {
+            eff.strategy = r.strategy;
+            eff.num_streams = r.num_streams;
+            if r.cache_off {
+                eff.cache_limit_bytes = Some(0);
+            }
+        }
+        let mut first_err: Option<EngineError> = None;
+        loop {
+            let wa_per_gpu = eff.strategy.wa_bytes_per_gpu(wa_total, n);
+            let mut lanes = Vec::with_capacity(n);
+            let oom = (0..n).find_map(|i| {
+                match GpuLane::for_engine(
+                    &eff,
+                    store,
+                    eff.num_streams,
+                    wa_per_gpu,
+                    ra_bpv,
+                    tel,
+                    i as u32,
+                ) {
+                    Ok(mut lane) => {
+                        if let Some(plan) = faults {
+                            lane.attach_faults(plan.clone());
+                        }
+                        if let Some(tenant) = self.tenant {
+                            lane.set_tenant(tenant);
+                        }
+                        lanes.push(lane);
+                        None
+                    }
+                    Err(e) => Some(e),
+                }
+            });
+            let Some(e) = oom else {
+                return Ok(LaneSetup {
+                    lanes,
+                    strategy: eff.strategy,
+                    wa_per_gpu,
+                    num_streams: eff.num_streams,
+                    cache_off: eff.cache_limit_bytes == Some(0),
+                });
+            };
+            let first = first_err.get_or_insert(e).clone();
+            if resumed || !cfg.degrade_on_oom {
+                return Err(first);
+            }
+            // One rung down the ladder; out of rungs → the original error.
+            let step = if matches!(eff.strategy, Strategy::Performance) && n > 1 {
+                eff.strategy = Strategy::Scalability;
+                "strategy P->S".to_string()
+            } else if eff.num_streams > 1 {
+                let to = eff.num_streams / 2;
+                let label = format!("streams {}->{}", eff.num_streams, to);
+                eff.num_streams = to;
+                label
+            } else if eff.cache_limit_bytes != Some(0) {
+                eff.cache_limit_bytes = Some(0);
+                "cache off".to_string()
+            } else {
+                return Err(first);
+            };
+            tel.add(keys::DEGRADE_EVENTS, 1);
+            if tel.spans_enabled() {
+                tel.record_span(
+                    Track::new(keys::pid::ENGINE, 0),
+                    SpanCat::Degrade,
+                    step,
+                    SimTime::ZERO,
+                    SimTime::ZERO,
+                );
+            }
+        }
+    }
+
+    /// The repeat-until loop (Alg. 1 lines 13-31): per sweep, run the
+    /// functional kernels (phase A, host-parallel safe), account their
+    /// simulated cost (phase B: parallel merge + batched probes around a
+    /// serial issue core), then barrier and synchronise. Progress lands
+    /// in `out` as it is made, so a typed mid-run error leaves `out`
+    /// describing the partial run.
+    fn sweep_loop(
+        &self,
+        handle: &mut StoreHandle<'_>,
+        prog: &mut dyn GtsProgram,
+        setup: &mut LaneSetup,
+        source: &mut dyn PageSource,
+        env: SweepEnv<'_>,
+        out: &mut RunState,
+    ) -> Result<(), EngineError> {
+        let cfg = self.cfg;
+        let tel = self.tel;
+        let spans = tel.spans_enabled();
+        let rung = ckpt::Rung::of(setup);
+        let lanes = &mut setup.lanes;
+        let crash = env.faults.and_then(FaultPlan::crash);
+
+        // Total degree of every Large-Page vertex (K_PR_LP needs it);
+        // recomputed whenever a mutation boundary changes the topology.
+        let mut lp_degrees = kernels::lp_total_degrees(handle.store());
+
+        let mut t = SimTime::ZERO;
+        let sweep_mode = prog.mode() == ExecMode::Sweep;
+        let mut sweep: u32 = 0;
+        let mut resumed_at: Option<u32> = None;
+        // Post-convergence revival (unapplied batches remain): the next
+        // boundary's mutation may restrict the sweep to its seeds.
+        let mut revived = false;
+        // The current sweep-mode plan is seed-restricted; if it updates
+        // anything, the following sweep falls back to the full plan.
+        // (Assigned at every mutation boundary before it is read.)
+        let mut restricted;
+        let mut plan;
+        if let Some(snap) = &env.resume {
+            // Re-enter mid-run: counters, program vectors, fault cursors,
+            // and quarantine state restore in place; the initial WA
+            // broadcast is already inside the restored clock.
+            let rs = ckpt::import_snapshot(snap, tel, prog, source, env.faults)
+                .map_err(EngineError::Checkpoint)?;
+            t = rs.t;
+            sweep = rs.sweep;
+            out.edges = rs.edges;
+            out.sweeps = rs.sweep;
+            resumed_at = Some(rs.sweep);
+            plan = rs.plan;
+        } else {
+            // --- Initial WA chunk copy (Alg. 1 line 11 / Fig. 2 step 1).
+            // Each GPU has its own PCI-E link, so the broadcast is
+            // parallel.
+            if !sweep_mode {
+                t = schedule::broadcast_wa(lanes, setup.wa_per_gpu, t);
+            }
+            // Seed nextPIDSet (Alg. 1 lines 4-7).
+            plan = SweepPlan::seeded(handle.store(), prog.start_vertex())?;
+        }
+        out.t = t;
+
+        let mut scratch = KernelScratch::default();
+        // Host threads execute kernel bodies (phase A) and phase B's
+        // order-independent bookkeeping (exact integer merges, batched
+        // cache probes); the serial issue core orders simulated time, so
+        // results are independent of `host_threads`.
+        let pool = ThreadPool::new(cfg.host_threads);
+        loop {
+            // --- Checkpoint boundary: the top of sweep `sweep`, where
+            // the previous end_sweep left every accumulator in its
+            // between-sweeps shape. The boundary the run resumed at is
+            // skipped — its snapshot already exists. Written BEFORE the
+            // mutation boundary below, so the snapshot fingerprints the
+            // pre-mutation epoch and a resume against the mutated store
+            // is refused with a typed mismatch.
+            if let (Some(c), Some(ck)) = (&cfg.checkpoint, env.ck) {
+                if sweep > 0 && sweep.is_multiple_of(c.every) && resumed_at != Some(sweep) {
+                    let torn = crash == Some(CrashPoint::MidSnapshotWrite(sweep));
+                    let b = boundary(rung, t, sweep, out.edges);
+                    let w = self.write_ctx(handle.store(), ck, env.faults);
+                    ckpt::write_checkpoint(&w, lanes, source, prog, &plan, &b, torn)?;
+                }
+            }
+            if crash == Some(CrashPoint::AtSweep(sweep)) {
+                return Err(EngineError::InjectedCrash { sweep });
+            }
+            // --- Mutation boundary: apply every batch due at this sweep
+            // and invalidate/reseed around it. In-flight state only ever
+            // sees the store before or after a whole batch — never mid-
+            // rewrite (epoch visibility, DESIGN.md §12).
+            restricted = live::mutation_boundary(
+                handle,
+                prog,
+                BoundaryCtx {
+                    tel,
+                    lanes: lanes.as_mut_slice(),
+                    source: &mut *source,
+                    lp_degrees: &mut lp_degrees,
+                    plan: &mut plan,
+                    sweep,
+                    sweep_mode,
+                    revived,
+                },
+            )?;
+            revived = false;
+            let store = handle.store();
+            let ctx = AccountCtx {
+                store,
+                strategy: setup.strategy,
+                num_gpus: cfg.num_gpus,
+                page_size: store.cfg().page_size as u64,
+                ra_bytes_per_vertex: prog.ra_bytes_per_vertex(),
+                class: prog.class(),
+                tel,
+                spans,
+            };
+            let sweep_wall = t;
+            if sweep_mode {
+                // Each iteration re-initialises WA on device (nextPR reset;
+                // Eq. (1)'s first |WA|/c1 term).
+                t = schedule::broadcast_wa(lanes, setup.wa_per_gpu, t);
+            }
+            let mut acc = SweepAccounting::new(t);
+
+            // SPs first, then LPs (reduces kernel switching, Sec. 3.2).
+            for phase in plan.phases() {
+                let env = KernelEnv {
+                    store,
+                    lp_degrees: &lp_degrees,
+                    technique: cfg.technique,
+                    sweep,
+                };
+                let a0 = cfg.measure_host_phases.then(std::time::Instant::now);
+                let outcomes = kernels::run_page_kernels(prog, &pool, &env, phase, &mut scratch);
+                let b0 = cfg.measure_host_phases.then(std::time::Instant::now);
+                acc.account_phase(&ctx, &pool, lanes, source, phase, &outcomes)?;
+                record_host_phases(tel, a0, b0);
+            }
+
+            // Barrier: all GPUs finish the sweep (Alg. 1 line 27)...
+            t = account::barrier(lanes, t);
+            if !sweep_mode {
+                // ...then copy nextPIDSet / cachedPIDMap back (lines
+                // 29-30): one small bitmap pair per GPU.
+                t = account::frontier_copy_back(lanes, store.num_pages(), t);
+            } else {
+                // ...or the per-sweep WA write-back for sweep programs
+                // (Fig. 2 step 3; Eq. (1)'s second |WA|/c1 + tsync terms).
+                t = account::sync_wa(lanes, setup.strategy, cfg.p2p_sync, setup.wa_per_gpu, t);
+            }
+
+            out.edges += acc.edges;
+            let mut stats = acc.stats;
+            stats.elapsed = t - sweep_wall;
+            account::emit_sweep(tel, spans, sweep, &stats, sweep_wall, t);
+            out.t = t;
+            out.sweeps = sweep + 1;
+
+            match prog.end_sweep(sweep, acc.next.is_empty(), acc.any_update) {
+                SweepControl::Done => {
+                    let Some(due) = handle.earliest_pending() else {
+                        break;
+                    };
+                    // Converged, but mutation batches are still scheduled:
+                    // keep the run alive and jump straight to the next due
+                    // boundary. The state is a fixpoint of the current
+                    // topology, so the boundary's seeds are sufficient to
+                    // re-activate exactly what the batch disturbs.
+                    revived = true;
+                    if !sweep_mode {
+                        plan = SweepPlan::from_parts(Vec::new(), Vec::new());
+                    }
+                    sweep = sweep.max(due.saturating_sub(1));
+                }
+                SweepControl::Continue => {
+                    if !sweep_mode {
+                        plan = SweepPlan::from_marked(store, acc.next)?;
+                    } else if restricted {
+                        // The seed-restricted sweep changed something, so
+                        // the perturbation may have escaped the dirty
+                        // pages: fall back to the invariant full plan
+                        // until the program converges again.
+                        plan = SweepPlan::full(store);
+                    }
+                    // Sweep programs otherwise keep the full-page plan.
+                }
+                SweepControl::ContinueWith(pids) => {
+                    plan = SweepPlan::from_marked(store, pids.into_iter().collect())?;
+                }
+            }
+            sweep += 1;
+
+            // --- Watchdog: simulated-clock budgets, checked at the sweep
+            // boundary so a final checkpoint (and the caller's trace
+            // flush) leave the run resumable.
+            let run_ns = (t - SimTime::ZERO).as_nanos();
+            let tripped = match (cfg.sweep_deadline_ns, cfg.run_budget_ns) {
+                (Some(limit), _) if stats.elapsed.as_nanos() > limit => {
+                    Some(("sweep_deadline_ns", limit, stats.elapsed.as_nanos()))
+                }
+                (_, Some(limit)) if run_ns > limit => Some(("run_budget_ns", limit, run_ns)),
+                _ => None,
+            };
+            if let Some((what, limit_ns, elapsed_ns)) = tripped {
+                if let (Some(_), Some(ck)) = (&cfg.checkpoint, env.ck) {
+                    let b = boundary(rung, t, sweep, out.edges);
+                    let w = self.write_ctx(store, ck, env.faults);
+                    ckpt::write_checkpoint(&w, lanes, source, prog, &plan, &b, false)?;
+                }
+                return Err(EngineError::DeadlineExceeded {
+                    what,
+                    limit_ns,
+                    elapsed_ns,
+                });
+            }
+        }
+
+        // Final WA write-back for traversal programs (the cost models note
+        // this is negligible, but it is part of the data flow).
+        if !sweep_mode {
+            t = account::sync_wa(lanes, setup.strategy, cfg.p2p_sync, setup.wa_per_gpu, t);
+            out.t = t;
+        }
+        Ok(())
+    }
+
+    /// Flush every component's counters into the registry and close the
+    /// run span. Every page touch goes through the per-GPU caches, so
+    /// misses ARE the streamed pages and hits the cache serves — no
+    /// parallel hand-maintained counters to drift. Called on the error
+    /// path too, so partial runs still report what they did.
+    fn finalize(&self, name: &str, setup: &LaneSetup, source: &dyn PageSource, out: &RunState) {
+        let tel = self.tel;
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        for (i, lane) in setup.lanes.iter().enumerate() {
+            // Bank-inclusive totals: checkpoint boundaries rebuild the
+            // caches cold, banking their statistics first.
+            hits += lane.cache_hits_total();
+            misses += lane.cache_misses_total();
+            lane.flush_to(tel, i as u32);
+        }
+        tel.add(keys::CACHE_HITS, hits);
+        tel.add(keys::CACHE_MISSES, misses);
+        tel.add(keys::PAGES_STREAMED, misses);
+        tel.add(keys::EDGES_TRAVERSED, out.edges);
+        source.flush_to(tel);
+        tel.set(keys::RUN_SWEEPS, out.sweeps as u64);
+        tel.set(keys::RUN_GPUS, self.cfg.num_gpus as u64);
+        tel.set(keys::RUN_ELAPSED_NS, (out.t - SimTime::ZERO).as_nanos());
+        // Degraded-mode end state: what the run actually executed with,
+        // after any O.O.M. step-downs (or a resumed rung).
+        tel.set(
+            keys::RUN_FINAL_STRATEGY,
+            u64::from(ckpt::strategy_code(setup.strategy)),
+        );
+        tel.set(keys::RUN_FINAL_STREAMS, setup.num_streams as u64);
+        tel.set(keys::RUN_CACHE_ENABLED, u64::from(!setup.cache_off));
+        if tel.spans_enabled() {
+            tel.record_span(
+                Track::new(keys::pid::ENGINE, 0),
+                SpanCat::Run,
+                format!("{name} run"),
+                SimTime::ZERO,
+                out.t,
+            );
+        }
+    }
+}
+
+/// Shorthand for one sweep boundary's progress tuple.
+fn boundary(rung: ckpt::Rung, t: SimTime, sweep: u32, edges: u64) -> ckpt::Boundary {
+    ckpt::Boundary {
+        rung,
+        t,
+        sweep,
+        edges,
+    }
+}
+
+/// Record one phase's A/B wall-clock split when `measure_host_phases`
+/// captured the two instants. Wall-clock, not simulated: the `host.*`
+/// keys sit OUTSIDE the determinism contract (like `ckpt.*`) and are
+/// only written when explicitly asked for.
+fn record_host_phases(
+    tel: &Telemetry,
+    a0: Option<std::time::Instant>,
+    b0: Option<std::time::Instant>,
+) {
+    if let (Some(a0), Some(b0)) = (a0, b0) {
+        tel.add(
+            keys::HOST_PHASE_A_NS,
+            (b0 - a0).as_nanos().min(u64::MAX as u128) as u64,
+        );
+        tel.add(
+            keys::HOST_PHASE_B_NS,
+            b0.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+        );
+    }
+}
+
+/// The effective (possibly degraded) execution parameters plus the lanes
+/// built under them.
+pub(crate) struct LaneSetup {
+    pub(crate) lanes: Vec<GpuLane>,
+    pub(crate) strategy: Strategy,
+    pub(crate) wa_per_gpu: u64,
+    pub(crate) num_streams: usize,
+    pub(crate) cache_off: bool,
+}
+
+/// Per-run context threaded into the sweep loop: the fault plan, the
+/// checkpoint store, and the snapshot a resuming run starts from.
+struct SweepEnv<'a> {
+    faults: Option<&'a FaultPlan>,
+    ck: Option<&'a CkptStore>,
+    resume: Option<Snapshot>,
+}
+
+/// Progress of one run, updated as it is made so the error path can
+/// still report the partial run.
+struct RunState {
+    t: SimTime,
+    sweeps: u32,
+    edges: u64,
+}

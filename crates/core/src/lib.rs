@@ -68,6 +68,7 @@
 pub mod attrs;
 pub mod cost;
 pub mod engine;
+pub mod job;
 pub mod programs;
 pub mod queries;
 pub mod report;
@@ -81,5 +82,6 @@ pub use engine::{
 pub use gts_faults::{CrashPoint, FaultConfig, FaultPlan};
 pub use gts_storage::{EdgeOp, MutateError, MutationBatch, MutationOutcome};
 pub use gts_telemetry::Telemetry;
+pub use job::{Engine, JobContext, JobOptions};
 pub use report::RunReport;
 pub use strategy::Strategy;

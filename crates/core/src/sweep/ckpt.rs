@@ -21,7 +21,8 @@
 //! resumed run see identical schedules; timers and drive queues are fully
 //! drained at the boundary barrier, so fresh ones behave identically.
 
-use crate::engine::{EngineError, GtsConfig, LaneSetup, StorageLocation};
+use crate::engine::{EngineError, GtsConfig, StorageLocation};
+use crate::job::LaneSetup;
 use crate::programs::GtsProgram;
 use crate::strategy::Strategy;
 use crate::sweep::ingest::PageSource;

@@ -1,0 +1,245 @@
+//! Live-topology glue: mutation schedules, the sweep loop's store handle,
+//! and the sweep-boundary application path (DESIGN.md §12).
+//!
+//! Mutation is confined to sweep boundaries: mid-sweep code can only
+//! obtain `&GraphStore`, so an in-flight sweep always reads one
+//! consistent epoch. Everything that touches `&mut GraphStore` — the
+//! due-ordered batch queue, outcome merging, cache/MMBuf invalidation,
+//! plan reseeding — lives in this module.
+
+use crate::programs::GtsProgram;
+use crate::sweep::ingest::PageSource;
+use crate::sweep::kernels;
+use crate::sweep::plan::SweepPlan;
+use crate::sweep::schedule::GpuLane;
+use crate::EngineError;
+use gts_storage::builder::GraphStore;
+use gts_storage::{MutationBatch, MutationOutcome};
+use gts_telemetry::{keys, Telemetry};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+/// When each [`MutationBatch`] of a live run applies: at the boundary of
+/// the keyed sweep (before that sweep streams any page), so an in-flight
+/// sweep always sees one consistent epoch of the topology. A batch whose
+/// sweep the algorithm never reaches — it converged earlier — is *not*
+/// dropped: the engine keeps the run alive at the fixpoint, applies the
+/// batch, and re-sweeps incrementally (see [`crate::Gts::run_live`]).
+#[derive(Debug, Clone, Default)]
+pub struct MutationSchedule {
+    batches: BTreeMap<u32, MutationBatch>,
+}
+
+impl MutationSchedule {
+    /// An empty schedule ([`crate::Gts::run_live`] then behaves like
+    /// [`crate::Gts::run`]).
+    pub fn new() -> MutationSchedule {
+        MutationSchedule::default()
+    }
+
+    /// Apply `batch` at the boundary of sweep `sweep` (builder-style).
+    /// Scheduling twice at the same sweep appends to the existing batch in
+    /// call order.
+    pub fn at(mut self, sweep: u32, batch: MutationBatch) -> MutationSchedule {
+        let slot = self.batches.entry(sweep).or_default();
+        for &op in batch.ops() {
+            slot.push(op);
+        }
+        self
+    }
+
+    /// Number of scheduled (non-empty-keyed) batches.
+    pub fn len(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.batches.is_empty()
+    }
+
+    /// The due-ordered application queue.
+    pub(crate) fn into_queue(self) -> VecDeque<(u32, MutationBatch)> {
+        self.batches.into_iter().collect()
+    }
+}
+
+/// What one boundary's [`StoreHandle::apply_due`] did: the merged outcome
+/// of every batch that came due, plus how many batches that was.
+pub(crate) struct AppliedMutations {
+    pub(crate) outcome: MutationOutcome,
+    pub(crate) batches: u64,
+}
+
+/// The sweep loop's access to the graph: read-only for [`crate::Gts::run`],
+/// or a mutable store plus a due-ordered mutation queue for
+/// [`crate::Gts::run_live`]. Mutation is confined to
+/// [`StoreHandle::apply_due`], which only the sweep boundary calls —
+/// mid-sweep code can only obtain `&GraphStore`, so a sweep in flight
+/// always reads one consistent epoch.
+pub(crate) enum StoreHandle<'a> {
+    /// Immutable topology (the classic static run).
+    Shared(&'a GraphStore),
+    /// Live topology: batches from a [`MutationSchedule`] apply at sweep
+    /// boundaries.
+    Live {
+        store: &'a mut GraphStore,
+        queue: VecDeque<(u32, MutationBatch)>,
+    },
+}
+
+impl StoreHandle<'_> {
+    /// The store, read-only (any variant).
+    pub(crate) fn store(&self) -> &GraphStore {
+        match self {
+            StoreHandle::Shared(s) => s,
+            StoreHandle::Live { store, .. } => store,
+        }
+    }
+
+    /// The earliest sweep with an unapplied batch, if any.
+    pub(crate) fn earliest_pending(&self) -> Option<u32> {
+        match self {
+            StoreHandle::Shared(_) => None,
+            StoreHandle::Live { queue, .. } => queue.front().map(|&(s, _)| s),
+        }
+    }
+
+    /// Apply every batch due at or before the boundary of `sweep`,
+    /// merging their outcomes. `None` when nothing was due. A rejected
+    /// batch aborts with [`EngineError::Mutation`], the store unchanged
+    /// by the rejected batch (earlier batches of the same boundary stay
+    /// applied — each batch is individually atomic).
+    pub(crate) fn apply_due(
+        &mut self,
+        sweep: u32,
+    ) -> Result<Option<AppliedMutations>, EngineError> {
+        let StoreHandle::Live { store, queue } = self else {
+            return Ok(None);
+        };
+        let mut applied: Option<AppliedMutations> = None;
+        while queue.front().is_some_and(|&(s, _)| s <= sweep) {
+            let Some((_, batch)) = queue.pop_front() else {
+                break;
+            };
+            let outcome = store.apply_mutations(&batch)?;
+            applied = Some(match applied {
+                None => AppliedMutations {
+                    outcome,
+                    batches: 1,
+                },
+                Some(prev) => AppliedMutations {
+                    outcome: merge_outcomes(prev.outcome, outcome),
+                    batches: prev.batches + 1,
+                },
+            });
+        }
+        Ok(applied)
+    }
+}
+
+/// Fold two same-boundary outcomes into one. A pid allocated by the first
+/// batch and rewritten by the second stays in `new_pids` (no sweep ran in
+/// between, so no cache ever saw it and placement happens once).
+fn merge_outcomes(a: MutationOutcome, b: MutationOutcome) -> MutationOutcome {
+    let new_pids: Vec<u64> = {
+        let mut set: BTreeSet<u64> = a.new_pids.into_iter().collect();
+        set.extend(b.new_pids);
+        set.into_iter().collect()
+    };
+    let dirty_pids: Vec<u64> = {
+        let mut set: BTreeSet<u64> = a.dirty_pids.into_iter().collect();
+        set.extend(b.dirty_pids);
+        set.into_iter()
+            .filter(|pid| !new_pids.contains(pid))
+            .collect()
+    };
+    MutationOutcome {
+        inserted: a.inserted + b.inserted,
+        deleted: a.deleted + b.deleted,
+        pages_rewritten: a.pages_rewritten + b.pages_rewritten,
+        delta_pages_allocated: a.delta_pages_allocated + b.delta_pages_allocated,
+        dirty_pids,
+        new_pids,
+        epoch: a.epoch.max(b.epoch),
+    }
+}
+
+/// Everything a mutation boundary reaches into: the job's counter
+/// registry, the per-GPU lanes and the page source (for targeted
+/// invalidation), the LP degree map, the sweep plan it rebuilds, and the
+/// loop flags that pick the rebuild shape.
+pub(crate) struct BoundaryCtx<'a> {
+    pub(crate) tel: &'a Telemetry,
+    pub(crate) lanes: &'a mut [GpuLane],
+    pub(crate) source: &'a mut dyn PageSource,
+    pub(crate) lp_degrees: &'a mut HashMap<u64, u64>,
+    pub(crate) plan: &'a mut SweepPlan,
+    pub(crate) sweep: u32,
+    pub(crate) sweep_mode: bool,
+    pub(crate) revived: bool,
+}
+
+/// Apply every mutation batch due at the top of `ctx.sweep` and absorb
+/// the result into the run: drop rewritten pages from all GPU caches and
+/// the MMBuf, register the fresh delta pages with the storage array,
+/// refresh the LP degree map, bump the `mut.*` counters, and rebuild the
+/// sweep plan around the program's re-activation seeds.
+///
+/// Returns `true` when the new plan is a seed-restricted sweep-mode plan
+/// (only sound after a `Done` revival: the program's state is a fixpoint
+/// of the pre-mutation topology, so only the disturbed pages can start
+/// new propagation). `false` — with a full rebuild of the plan — in every
+/// other case, including "nothing was due".
+pub(crate) fn mutation_boundary(
+    handle: &mut StoreHandle<'_>,
+    prog: &mut dyn GtsProgram,
+    ctx: BoundaryCtx<'_>,
+) -> Result<bool, EngineError> {
+    let Some(applied) = handle.apply_due(ctx.sweep)? else {
+        return Ok(false);
+    };
+    let tel = ctx.tel;
+    let o = &applied.outcome;
+    // Targeted invalidation: every cached copy of a rewritten page —
+    // GPU page caches and the host-side MMBuf — is stale. Delta pages
+    // are brand new, so they cannot be cached and only need placement
+    // on the storage array's live drives.
+    let mut dropped = 0u64;
+    for lane in ctx.lanes.iter_mut() {
+        dropped += lane.invalidate_pages(&o.dirty_pids);
+    }
+    ctx.source.invalidate(&o.dirty_pids);
+    ctx.source.note_new_pages(&o.new_pids);
+    let store = handle.store();
+    *ctx.lp_degrees = kernels::lp_total_degrees(store);
+    tel.add(keys::MUT_BATCHES, applied.batches);
+    tel.add(keys::MUT_INSERTED, o.inserted);
+    tel.add(keys::MUT_DELETED, o.deleted);
+    tel.add(keys::MUT_PAGES_REWRITTEN, o.pages_rewritten);
+    tel.add(keys::MUT_DELTA_PAGES, o.delta_pages_allocated);
+    tel.add(keys::MUT_CACHE_INVALIDATIONS, dropped);
+    tel.set(keys::MUT_EPOCH, o.epoch);
+    let seeds = prog.on_mutation(store, o);
+    if ctx.sweep_mode {
+        if ctx.revived && !seeds.is_empty() {
+            *ctx.plan = SweepPlan::from_marked(store, seeds.into_iter().collect())?;
+            return Ok(true);
+        }
+        // Mid-run (state is not a fixpoint) the full plan is the only
+        // sound choice; likewise when the program gave no seeds.
+        *ctx.plan = SweepPlan::full(store);
+    } else {
+        // Traversal: the pending frontier pages stay planned; the
+        // mutation's seeds join them.
+        let mut marked: BTreeSet<u64> = ctx
+            .plan
+            .sp_pids()
+            .iter()
+            .chain(ctx.plan.lp_pids())
+            .copied()
+            .collect();
+        marked.extend(seeds);
+        *ctx.plan = SweepPlan::from_marked(store, marked)?;
+    }
+    Ok(false)
+}

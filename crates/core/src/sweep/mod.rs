@@ -24,6 +24,9 @@
 //! * [`ckpt`] — sweep-boundary snapshots: build, write, verify, and
 //!   restore the resumable state behind crash-consistent
 //!   checkpoint/restart.
+//! * [`live`] — live-topology glue: mutation schedules, the sweep loop's
+//!   store handle, and the boundary application path that keeps every
+//!   in-flight sweep on one consistent epoch (DESIGN.md §12).
 //!
 //! `Gts::run` composes these stages; the decomposition is
 //! behavior-preserving by construction and pinned byte-for-byte by the
@@ -33,6 +36,7 @@ pub mod account;
 pub(crate) mod ckpt;
 pub mod ingest;
 pub mod kernels;
+pub(crate) mod live;
 pub mod plan;
 pub mod schedule;
 

@@ -38,6 +38,18 @@ pub struct GpuLane {
     banked_cache_hits: u64,
     /// Cache misses accumulated before checkpoint-boundary cache resets.
     banked_cache_misses: u64,
+    /// Evictions accumulated before checkpoint-boundary cache resets.
+    banked_cache_evictions: u64,
+    /// Tenant this lane's cache traffic is attributed to. A lane serves
+    /// exactly one job, so every probe it takes belongs to one tenant;
+    /// flushing the attribution per lane is therefore identical to
+    /// tagging each probe individually, and deterministic because probes
+    /// are issued in the serial accounting phase. `None` (solo runs)
+    /// writes no `tenant.*` keys.
+    tenant: Option<String>,
+    /// Page size in bytes, for tenant byte attribution (0 for bare lanes
+    /// built via [`GpuLane::new`], which never carry a tenant).
+    page_size: u64,
     // Held for their Drop-based accounting; the device-memory pool itself
     // is owned here too so allocations stay alive exactly as long as the
     // lane (i.e. the run).
@@ -58,9 +70,19 @@ impl GpuLane {
             launch_faults: 0,
             banked_cache_hits: 0,
             banked_cache_misses: 0,
+            banked_cache_evictions: 0,
+            tenant: None,
+            page_size: 0,
             _mem: None,
             _allocs: Vec::new(),
         }
+    }
+
+    /// Attribute this lane's cache traffic to `tenant`: the flush adds
+    /// `tenant.<tenant>.cache.{hits,misses,evictions,bytes_streamed}` to
+    /// the job's registry alongside the per-GPU keys.
+    pub fn set_tenant(&mut self, tenant: impl Into<String>) {
+        self.tenant = Some(tenant.into());
     }
 
     /// Subject this lane's copies and kernel launches to `plan`'s
@@ -125,6 +147,9 @@ impl GpuLane {
             launch_faults: 0,
             banked_cache_hits: 0,
             banked_cache_misses: 0,
+            banked_cache_evictions: 0,
+            tenant: None,
+            page_size,
             _mem: Some(mem),
             _allocs: allocs,
         })
@@ -312,6 +337,12 @@ impl GpuLane {
         self.banked_cache_misses + self.cache.misses()
     }
 
+    /// Cache evictions including those banked before checkpoint-boundary
+    /// cache resets.
+    pub fn cache_evictions_total(&self) -> u64 {
+        self.banked_cache_evictions + self.cache.evictions()
+    }
+
     /// Drop rewritten pages from this lane's topology cache after a
     /// mutation batch: the cached copies are stale and the next probe
     /// must miss and re-stream. Returns how many of `pids` were resident.
@@ -335,6 +366,7 @@ impl GpuLane {
     pub(crate) fn checkpoint_reset(&mut self, fresh: PageCache) {
         self.banked_cache_hits += self.cache.hits();
         self.banked_cache_misses += self.cache.misses();
+        self.banked_cache_evictions += self.cache.evictions();
         self.cache = fresh;
         self.stream_cursor = 0;
     }
@@ -361,6 +393,26 @@ impl GpuLane {
             keys::gpu(index, keys::GPU_LAUNCH_FAULTS),
             self.launch_faults,
         );
+        // Per-tenant attribution, only for tagged (serve-mode) jobs:
+        // solo runs keep their key set — and their goldens — unchanged.
+        if let Some(tenant) = &self.tenant {
+            tel.add(
+                keys::tenant(tenant, keys::TENANT_CACHE_HITS),
+                self.cache_hits_total(),
+            );
+            tel.add(
+                keys::tenant(tenant, keys::TENANT_CACHE_MISSES),
+                self.cache_misses_total(),
+            );
+            tel.add(
+                keys::tenant(tenant, keys::TENANT_CACHE_EVICTIONS),
+                self.cache_evictions_total(),
+            );
+            tel.add(
+                keys::tenant(tenant, keys::TENANT_CACHE_BYTES_STREAMED),
+                self.cache_misses_total() * self.page_size,
+            );
+        }
     }
 }
 

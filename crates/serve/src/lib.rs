@@ -1,0 +1,126 @@
+#![warn(missing_docs)]
+#![warn(clippy::too_many_lines)]
+
+//! # gts-serve — the GTS engine as a long-lived multi-tenant service
+//!
+//! The paper's engine answers one query and exits; a deployment keeps the
+//! slotted-page store resident and admits a *stream* of jobs from many
+//! tenants. This crate is that serving layer over [`gts_core::Engine`]:
+//!
+//! * [`workload`] — deterministic scripted workloads: a line format of
+//!   arrival sim-times × job specs (`at=… tenant=… job=…`), a parser,
+//!   a seeded synthetic generator, and the seeded mutation-batch
+//!   generator shared with the CLI's `--mutate-*` flags.
+//! * [`scheduler`] — the service itself: a FIFO queueing simulation on
+//!   the *simulated* clock that multiplexes a fixed number of service
+//!   slots (GPU lane sets + their share of storage bandwidth) across
+//!   tenants, with admission control and typed backpressure
+//!   ([`ServeError::QueueFull`] / [`ServeError::Rejected`] /
+//!   [`ServeError::Deadline`]). Edge-mutating jobs serialise through the
+//!   store's epoch pipeline as an all-slots barrier.
+//!
+//! ## The determinism contract, extended to serving
+//!
+//! Each admitted job runs in its own [`gts_core::JobContext`] (own lanes,
+//! page caches, fault domains, counter registry), so its report and
+//! counters are **byte-identical to the same job run solo** — at any
+//! `host_threads` value, at any slot count, regardless of what the other
+//! tenants are doing. Host threads only change wall-clock speed: read
+//! jobs are executed speculatively in parallel on the `gts-exec` pool
+//! (they are side-effect-free over a shared store), while the queueing
+//! dynamics — start times, drops, latency percentiles — are pure
+//! sim-time arithmetic. The property tests and the CI `serve-smoke` job
+//! diff exactly this.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use gts_core::{Engine, GtsConfig};
+//! use gts_graph::generate::rmat;
+//! use gts_serve::scheduler::{serve, ServeConfig};
+//! use gts_serve::workload;
+//! use gts_storage::{build_graph_store, PageFormatConfig};
+//!
+//! let mut store = build_graph_store(&rmat(8), PageFormatConfig::small_default()).unwrap();
+//! let engine = Engine::new(GtsConfig::default()).unwrap();
+//! let jobs = workload::parse("at=0 tenant=a job=bfs\nat=1000 tenant=b job=cc").unwrap();
+//! let outcome = serve(&engine, &mut store, &jobs, &ServeConfig::default()).unwrap();
+//! assert_eq!(outcome.completed, 2);
+//! assert_eq!(outcome.telemetry.counter("serve.lat.all.count"), 2);
+//! ```
+
+pub mod scheduler;
+pub mod workload;
+
+pub use scheduler::{serve, JobOutcome, JobStatus, ServeConfig, ServeOutcome};
+pub use workload::{parse, synthetic, JobSpec, MutateSpec};
+
+/// Why the service refused or abandoned a job (or could not start at
+/// all). The first three variants are the typed backpressure surfaced
+/// per job in [`JobOutcome`]: scripts and tenants can tell "the service
+/// is saturated" ([`ServeError::QueueFull`]) from "you are over your
+/// share" ([`ServeError::Rejected`]) from "it waited too long"
+/// ([`ServeError::Deadline`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The shared waiting queue was at capacity when the job arrived.
+    QueueFull {
+        /// Jobs waiting at the arrival instant.
+        waiting: usize,
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// The tenant already had its full share of waiting jobs.
+    Rejected {
+        /// The over-quota tenant.
+        tenant: String,
+        /// That tenant's waiting jobs at the arrival instant.
+        waiting: usize,
+        /// The configured per-tenant queue capacity.
+        capacity: usize,
+    },
+    /// The job could not start within its deadline; it was dropped at
+    /// dispatch time instead of running uselessly late.
+    Deadline {
+        /// Simulated wait it would have needed.
+        waited_ns: u64,
+        /// The configured admission deadline.
+        deadline_ns: u64,
+    },
+    /// The service configuration itself is invalid.
+    Config(String),
+    /// The workload script is malformed or names impossible work.
+    Workload(String),
+    /// The engine rejected the configuration or a run failed.
+    Engine(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::QueueFull { waiting, capacity } => {
+                write!(f, "queue full: {waiting} waiting >= capacity {capacity}")
+            }
+            ServeError::Rejected {
+                tenant,
+                waiting,
+                capacity,
+            } => write!(
+                f,
+                "tenant {tenant:?} rejected: {waiting} waiting >= per-tenant capacity {capacity}"
+            ),
+            ServeError::Deadline {
+                waited_ns,
+                deadline_ns,
+            } => write!(
+                f,
+                "deadline exceeded: would wait {waited_ns} ns > deadline {deadline_ns} ns"
+            ),
+            ServeError::Config(m) => write!(f, "serve config: {m}"),
+            ServeError::Workload(m) => write!(f, "workload: {m}"),
+            ServeError::Engine(m) => write!(f, "engine: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

@@ -1,0 +1,762 @@
+//! The job scheduler: a deterministic multi-tenant queueing layer over
+//! [`gts_core::Engine`].
+//!
+//! ## Model
+//!
+//! The service owns `slots` concurrent **service slots** — each slot
+//! stands for one provisioned set of GPU lanes plus its share of
+//! storage bandwidth. Jobs arrive at scripted simulated times and are
+//! dispatched FIFO: a read job takes the earliest-free slot, an
+//! edge-mutating job is an **all-slots barrier** (topology rewriting
+//! owns every lane, exactly like the epoch pipeline's invalidation
+//! sweep), so no read ever observes a half-applied batch. Store state
+//! is therefore a clean sequence of epochs: every job admitted after a
+//! mutation sees it, every job admitted before it does not.
+//!
+//! ## Admission control
+//!
+//! A job that cannot start the instant it arrives must wait, and
+//! waiting is bounded three ways, surfaced as typed backpressure:
+//!
+//! * [`ServeError::QueueFull`] — the shared queue already holds
+//!   `queue_capacity` waiting jobs.
+//! * [`ServeError::Rejected`] — this tenant already has
+//!   `tenant_queue_capacity` waiting jobs (one noisy tenant cannot
+//!   starve the rest of the queue).
+//! * [`ServeError::Deadline`] — the job's start would come more than
+//!   `deadline_ns` after arrival; it is dropped at dispatch instead of
+//!   running uselessly late (it still occupies queue space until the
+//!   deadline expires).
+//!
+//! ## Determinism
+//!
+//! Service times are each job's *simulated* elapsed time — the same
+//! number the job reports when run solo — so queueing dynamics are pure
+//! u64 arithmetic over the script. Host threads only change wall-clock
+//! speed: read jobs within an epoch execute speculatively in parallel
+//! on the `gts-exec` pool (side-effect-free over the shared store), and
+//! each runs in its own [`JobContext`](gts_core::JobContext), keeping
+//! its report and counters byte-identical to a solo run.
+
+use crate::workload::{seeded_batch, JobSpec, ALGORITHMS};
+use crate::ServeError;
+use gts_core::programs::{
+    Bc, Bfs, Cc, Degrees, GtsProgram, KCore, PageRank, RadiusEstimation, Rwr, Sssp,
+};
+use gts_core::{Engine, JobOptions, MutationSchedule, RunReport};
+use gts_exec::ThreadPool;
+use gts_storage::builder::GraphStore;
+use gts_telemetry::Telemetry;
+use std::collections::BTreeMap;
+
+/// Service provisioning and admission-control bounds.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Concurrent service slots (GPU lane sets) the service multiplexes.
+    pub slots: usize,
+    /// Shared waiting-queue capacity; arrivals beyond it get
+    /// [`ServeError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Per-tenant waiting cap; a tenant over it gets
+    /// [`ServeError::Rejected`].
+    pub tenant_queue_capacity: usize,
+    /// Maximum simulated wait between arrival and start; `None` waits
+    /// forever, `Some(d)` drops overdue jobs with
+    /// [`ServeError::Deadline`].
+    pub deadline_ns: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            slots: 4,
+            queue_capacity: 64,
+            tenant_queue_capacity: 16,
+            deadline_ns: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    fn validate(&self) -> Result<(), ServeError> {
+        for (name, v) in [
+            ("slots", self.slots),
+            ("queue_capacity", self.queue_capacity),
+            ("tenant_queue_capacity", self.tenant_queue_capacity),
+        ] {
+            if v == 0 {
+                return Err(ServeError::Config(format!("{name} must be >= 1")));
+            }
+        }
+        if self.deadline_ns == Some(0) {
+            return Err(ServeError::Config("deadline_ns must be >= 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// How one scheduled job ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Ran to completion; report and counters are attached.
+    Completed,
+    /// Never ran: dropped by admission control with this backpressure.
+    Dropped(ServeError),
+    /// Admitted but the engine failed it (message attached). The slot
+    /// time it would have used is not charged.
+    Failed(String),
+}
+
+/// The per-job record the service returns, in admission order.
+#[derive(Debug)]
+pub struct JobOutcome {
+    /// Position in the admitted (arrival-sorted) workload.
+    pub index: usize,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Job class — the algorithm name; latency histograms are keyed
+    /// `serve.lat.<class>`.
+    pub class: String,
+    /// Whether this job mutated topology (all-slots barrier).
+    pub mutating: bool,
+    /// Scripted arrival, simulated ns.
+    pub arrival_ns: u64,
+    /// Dispatch time (0 for dropped jobs).
+    pub start_ns: u64,
+    /// Completion time (0 for dropped jobs).
+    pub finish_ns: u64,
+    /// Solo simulated elapsed time of the run (0 for dropped jobs).
+    pub service_ns: u64,
+    /// How the job ended.
+    pub status: JobStatus,
+    /// The job's full counter registry — byte-identical to the same job
+    /// run solo (empty for dropped jobs).
+    pub counters: BTreeMap<String, u64>,
+    /// The job's report (completed jobs only).
+    pub report: Option<RunReport>,
+}
+
+impl JobOutcome {
+    /// Simulated time spent waiting for a slot.
+    pub fn wait_ns(&self) -> u64 {
+        self.start_ns.saturating_sub(self.arrival_ns)
+    }
+
+    /// Arrival-to-completion simulated latency (what the tenant feels;
+    /// the `serve.lat.*` histograms record this).
+    pub fn latency_ns(&self) -> u64 {
+        self.finish_ns.saturating_sub(self.arrival_ns)
+    }
+
+    fn dropped(index: usize, spec: &JobSpec, why: ServeError) -> JobOutcome {
+        JobOutcome {
+            index,
+            tenant: spec.tenant.clone(),
+            class: spec.algorithm.clone(),
+            mutating: spec.mutate.is_some(),
+            arrival_ns: spec.at_ns,
+            start_ns: 0,
+            finish_ns: 0,
+            service_ns: 0,
+            status: JobStatus::Dropped(why),
+            counters: BTreeMap::new(),
+            report: None,
+        }
+    }
+}
+
+/// Everything one `serve` call produced.
+#[derive(Debug)]
+pub struct ServeOutcome {
+    /// Per-job records, in admission (arrival-sorted) order.
+    pub jobs: Vec<JobOutcome>,
+    /// The service-level registry: `serve.*` counters, `serve.lat.*`
+    /// latency histograms (plus their derived `.count`/`.p50`/`.p95`/
+    /// `.p99` counters), and the per-tenant `tenant.<tag>.cache.*`
+    /// rollup aggregated from every completed job.
+    pub telemetry: Telemetry,
+    /// Simulated completion time of the last finishing job.
+    pub makespan_ns: u64,
+    /// Jobs that ran to completion.
+    pub completed: usize,
+    /// Jobs dropped by admission control.
+    pub dropped: usize,
+    /// Jobs the engine failed.
+    pub failed: usize,
+}
+
+/// The FIFO G/G/c state on the simulated clock. `slots[i]` is the time
+/// slot *i* becomes free; `waiting` are dispatched-but-not-yet-started
+/// (or deadline-doomed) jobs, kept so queue-occupancy checks at later
+/// arrivals see them — a job occupies queue space from arrival until
+/// its start (or until its deadline expires).
+struct Sim {
+    slots: Vec<u64>,
+    waiting: Vec<(u64, String)>,
+    queue_capacity: usize,
+    tenant_queue_capacity: usize,
+    deadline_ns: Option<u64>,
+}
+
+impl Sim {
+    fn new(cfg: &ServeConfig) -> Sim {
+        Sim {
+            slots: vec![0; cfg.slots],
+            waiting: Vec::new(),
+            queue_capacity: cfg.queue_capacity,
+            tenant_queue_capacity: cfg.tenant_queue_capacity,
+            deadline_ns: cfg.deadline_ns,
+        }
+    }
+
+    /// Admission decision for a job arriving at `arrival`: its start
+    /// time, or the typed drop. Processing jobs in arrival order with
+    /// `start = max(earliest-free, arrival)` *is* the FIFO simulation —
+    /// dispatch order equals arrival order, so decisions depend only on
+    /// already-settled jobs.
+    fn decide(&mut self, arrival: u64, tenant: &str, mutating: bool) -> Result<u64, ServeError> {
+        self.waiting.retain(|(until, _)| *until > arrival);
+        let slot_free = if mutating {
+            // Topology rewrite: every lane set must drain first.
+            self.slots.iter().copied().max().unwrap_or(0)
+        } else {
+            self.slots.iter().copied().min().unwrap_or(0)
+        };
+        let start = slot_free.max(arrival);
+        if start == arrival {
+            return Ok(start); // a slot is free right now: no queueing
+        }
+        let mine = self.waiting.iter().filter(|(_, t)| t == tenant).count();
+        if mine >= self.tenant_queue_capacity {
+            return Err(ServeError::Rejected {
+                tenant: tenant.to_string(),
+                waiting: mine,
+                capacity: self.tenant_queue_capacity,
+            });
+        }
+        if self.waiting.len() >= self.queue_capacity {
+            return Err(ServeError::QueueFull {
+                waiting: self.waiting.len(),
+                capacity: self.queue_capacity,
+            });
+        }
+        if let Some(deadline) = self.deadline_ns {
+            if start - arrival > deadline {
+                // Doomed, but it still sits in the queue until the
+                // deadline expires — later arrivals must see it there.
+                self.waiting.push((arrival + deadline, tenant.to_string()));
+                return Err(ServeError::Deadline {
+                    waited_ns: start - arrival,
+                    deadline_ns: deadline,
+                });
+            }
+        }
+        self.waiting.push((start, tenant.to_string()));
+        Ok(start)
+    }
+
+    /// Occupy slot time for a job admitted at `start`.
+    fn commit(&mut self, start: u64, service_ns: u64, mutating: bool) {
+        let finish = start + service_ns;
+        if mutating {
+            for s in &mut self.slots {
+                *s = finish;
+            }
+        } else if let Some(s) = self.slots.iter_mut().min_by_key(|s| **s) {
+            *s = finish;
+        }
+    }
+}
+
+/// Build the program a spec names. `n` is the store's vertex count.
+fn make_program(spec: &JobSpec, n: u64) -> Result<Box<dyn GtsProgram>, ServeError> {
+    Ok(match spec.algorithm.as_str() {
+        "bfs" => Box::new(Bfs::new(n, spec.source)),
+        "pagerank" => Box::new(PageRank::new(n, spec.iterations)),
+        "sssp" => Box::new(Sssp::new(n, spec.source)),
+        "cc" => Box::new(Cc::new(n)),
+        "bc" => Box::new(Bc::new(n, spec.source)),
+        "rwr" => Box::new(Rwr::new(n, spec.source, spec.iterations)),
+        "degrees" => Box::new(Degrees::new(n)),
+        "kcore" => Box::new(KCore::new(n, spec.k)),
+        "radius" => Box::new(RadiusEstimation::new(n)),
+        other => return Err(ServeError::Workload(format!("unknown algorithm {other:?}"))),
+    })
+}
+
+fn job_options(spec: &JobSpec) -> JobOptions {
+    JobOptions::with_telemetry(Telemetry::new()).tenant(spec.tenant.clone())
+}
+
+/// Execute one read job solo (its own `JobContext`, its own registry).
+fn execute_read(
+    engine: &Engine,
+    store: &GraphStore,
+    spec: &JobSpec,
+) -> Result<(RunReport, Telemetry), ServeError> {
+    let mut prog = make_program(spec, store.num_vertices())?;
+    let opts = job_options(spec);
+    let report = engine
+        .run_job(store, &mut *prog, &opts)
+        .map_err(|e| ServeError::Engine(e.to_string()))?;
+    Ok((report, opts.telemetry))
+}
+
+/// Execute the mutating job that closes an epoch group: its batch goes
+/// through the store's epoch pipeline at the scripted sweep boundary.
+fn execute_mutating(
+    engine: &Engine,
+    store: &mut GraphStore,
+    spec: &JobSpec,
+) -> Result<(RunReport, Telemetry), ServeError> {
+    let m = spec.mutate.expect("caller checked spec.mutate");
+    let batch = seeded_batch(store, m.inserts, m.deletes, m.seed);
+    let schedule = MutationSchedule::new().at(m.at_sweep, batch);
+    let mut prog = make_program(spec, store.num_vertices())?;
+    let opts = job_options(spec);
+    let report = engine
+        .run_job_live(store, &mut *prog, schedule, &opts)
+        .map_err(|e| ServeError::Engine(e.to_string()))?;
+    Ok((report, opts.telemetry))
+}
+
+/// Fold one admitted job's execution into its outcome record and the
+/// service registry: latency histograms by class, admission counters,
+/// and the per-tenant `tenant.*` rollup.
+fn settle(
+    tel: &Telemetry,
+    sim: &mut Sim,
+    index: usize,
+    spec: &JobSpec,
+    start: u64,
+    executed: Result<(RunReport, Telemetry), ServeError>,
+) -> JobOutcome {
+    tel.add("serve.jobs.admitted", 1);
+    let mut out = JobOutcome::dropped(index, spec, ServeError::Config(String::new()));
+    out.start_ns = start;
+    match executed {
+        Ok((report, jtel)) => {
+            out.service_ns = report.elapsed.as_nanos();
+            out.finish_ns = start + out.service_ns;
+            out.counters = jtel.counters();
+            out.report = Some(report);
+            out.status = JobStatus::Completed;
+            sim.commit(start, out.service_ns, out.mutating);
+            tel.add("serve.jobs.completed", 1);
+            if out.mutating {
+                tel.add("serve.epochs", 1);
+            }
+            let latency = out.latency_ns();
+            tel.observe(format!("serve.lat.{}", out.class), latency);
+            tel.observe("serve.lat.all", latency);
+            for (k, v) in &out.counters {
+                if k.starts_with("tenant.") {
+                    tel.add(k, *v);
+                }
+            }
+        }
+        Err(why) => {
+            out.finish_ns = start;
+            out.status = JobStatus::Failed(why.to_string());
+            sim.commit(start, 0, out.mutating);
+            tel.add("serve.jobs.failed", 1);
+        }
+    }
+    out
+}
+
+fn check_workload(workload: &[JobSpec], store: &GraphStore) -> Result<(), ServeError> {
+    for spec in workload {
+        if !ALGORITHMS.contains(&spec.algorithm.as_str()) {
+            return Err(ServeError::Workload(format!(
+                "unknown algorithm {:?}",
+                spec.algorithm
+            )));
+        }
+        if spec.source >= store.num_vertices() {
+            return Err(ServeError::Workload(format!(
+                "source {} out of range ({} vertices)",
+                spec.source,
+                store.num_vertices()
+            )));
+        }
+        if spec.tenant.is_empty() {
+            return Err(ServeError::Workload("empty tenant tag".into()));
+        }
+    }
+    Ok(())
+}
+
+/// Run `workload` through the service: admit jobs in arrival order
+/// against `cfg`'s slots and bounds, execute the admitted ones on
+/// `engine` over the shared `store`, and aggregate service-level
+/// telemetry. Only scheduling errors that make the whole call
+/// meaningless (bad config, malformed workload) are `Err`; per-job
+/// drops and failures are data in the returned [`ServeOutcome`].
+pub fn serve(
+    engine: &Engine,
+    store: &mut GraphStore,
+    workload: &[JobSpec],
+    cfg: &ServeConfig,
+) -> Result<ServeOutcome, ServeError> {
+    cfg.validate()?;
+    check_workload(workload, store)?;
+    let mut jobs = workload.to_vec();
+    jobs.sort_by_key(|j| j.at_ns);
+    let pool = ThreadPool::new(engine.config().host_threads);
+    let tel = Telemetry::new();
+    let mut sim = Sim::new(cfg);
+    let mut outcomes: Vec<JobOutcome> = Vec::with_capacity(jobs.len());
+
+    let mut next = 0;
+    while next < jobs.len() {
+        // One epoch group: the maximal run of read jobs, plus the
+        // mutating job (if any) that terminates it. Arrival sort makes
+        // groups contiguous, so group k executes entirely against the
+        // store state epoch k left behind.
+        let end = jobs[next..]
+            .iter()
+            .position(|j| j.mutate.is_some())
+            .map_or(jobs.len(), |p| next + p);
+        let reads = &jobs[next..end];
+        // Speculative parallel execution: reads are side-effect-free, so
+        // running ones that admission later drops wastes only wall time.
+        let executed = pool.par_map(reads, |_, spec| execute_read(engine, store, spec));
+        for (spec, executed) in reads.iter().zip(executed) {
+            let index = outcomes.len();
+            outcomes.push(match sim.decide(spec.at_ns, &spec.tenant, false) {
+                Ok(start) => settle(&tel, &mut sim, index, spec, start, executed),
+                Err(why) => JobOutcome::dropped(index, spec, why),
+            });
+        }
+        if end < jobs.len() {
+            let spec = &jobs[end];
+            let index = outcomes.len();
+            // Decide *before* executing: a dropped mutating job must not
+            // advance the store epoch.
+            outcomes.push(match sim.decide(spec.at_ns, &spec.tenant, true) {
+                Ok(start) => {
+                    let executed = execute_mutating(engine, store, spec);
+                    settle(&tel, &mut sim, index, spec, start, executed)
+                }
+                Err(why) => JobOutcome::dropped(index, spec, why),
+            });
+        }
+        next = end + 1;
+    }
+
+    for out in &outcomes {
+        if let JobStatus::Dropped(why) = &out.status {
+            tel.add(
+                match why {
+                    ServeError::QueueFull { .. } => "serve.drop.queue_full",
+                    ServeError::Rejected { .. } => "serve.drop.rejected",
+                    ServeError::Deadline { .. } => "serve.drop.deadline",
+                    _ => "serve.drop.other",
+                },
+                1,
+            );
+        }
+    }
+    let makespan_ns = outcomes.iter().map(|o| o.finish_ns).max().unwrap_or(0);
+    tel.set("serve.jobs.total", outcomes.len() as u64);
+    tel.set("serve.makespan_ns", makespan_ns);
+    tel.set("serve.slots", cfg.slots as u64);
+    // Derived percentile counters: histograms rendered into the flat
+    // registry, so `--counters-out` dumps and CI diffs carry them.
+    for (key, s) in tel.histogram_summaries() {
+        tel.set(format!("{key}.count"), s.count);
+        tel.set(format!("{key}.p50"), s.p50);
+        tel.set(format!("{key}.p95"), s.p95);
+        tel.set(format!("{key}.p99"), s.p99);
+    }
+    let count = |f: fn(&JobStatus) -> bool| outcomes.iter().filter(|o| f(&o.status)).count();
+    Ok(ServeOutcome {
+        completed: count(|s| matches!(s, JobStatus::Completed)),
+        dropped: count(|s| matches!(s, JobStatus::Dropped(_))),
+        failed: count(|s| matches!(s, JobStatus::Failed(_))),
+        jobs: outcomes,
+        telemetry: tel,
+        makespan_ns,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{parse, synthetic};
+    use gts_core::{Gts, GtsConfig};
+    use gts_graph::generate::rmat;
+    use gts_storage::{build_graph_store, PageFormatConfig};
+
+    fn store() -> GraphStore {
+        build_graph_store(&rmat(8), PageFormatConfig::small_default()).unwrap()
+    }
+
+    fn engine(host_threads: usize) -> Engine {
+        Engine::new(
+            GtsConfig::builder()
+                .host_threads(host_threads)
+                .build()
+                .unwrap(),
+        )
+        .unwrap()
+    }
+
+    /// The tentpole contract: a job admitted through the service has the
+    /// same report and counters as the same job run solo, epoch by
+    /// epoch, and the tenant rollup is its only addition over plain
+    /// `Gts::run`.
+    #[test]
+    fn jobs_are_byte_identical_to_solo_runs() {
+        let engine = engine(2);
+        let mut st = store();
+        let mut solo_st = store();
+        let jobs = parse(
+            "at=0    tenant=a job=bfs\n\
+             at=1000 tenant=b job=pagerank iters=3\n\
+             at=2000 tenant=m job=bfs mutate-at=1 inserts=16 deletes=2 seed=5\n\
+             at=3000 tenant=a job=cc\n",
+        )
+        .unwrap();
+        let out = serve(&engine, &mut st, &jobs, &ServeConfig::default()).unwrap();
+        assert_eq!(out.completed, 4, "{:?}", out.jobs);
+        for (job, spec) in out.jobs.iter().zip(&jobs) {
+            let mut prog = make_program(spec, solo_st.num_vertices()).unwrap();
+            let opts = job_options(spec);
+            let report = match spec.mutate {
+                Some(m) => {
+                    let batch = seeded_batch(&solo_st, m.inserts, m.deletes, m.seed);
+                    let schedule = MutationSchedule::new().at(m.at_sweep, batch);
+                    engine
+                        .run_job_live(&mut solo_st, &mut *prog, schedule, &opts)
+                        .unwrap()
+                }
+                None => engine.run_job(&solo_st, &mut *prog, &opts).unwrap(),
+            };
+            assert_eq!(job.counters, opts.telemetry.counters(), "job {}", job.index);
+            assert_eq!(job.service_ns, report.elapsed.as_nanos());
+        }
+        assert_eq!(st.epoch(), solo_st.epoch());
+        // Job 0 vs the plain solo path: identical once the tenant rollup
+        // (the only serve-mode addition) is set aside.
+        let gts = Gts::builder()
+            .config(engine.config().clone())
+            .build()
+            .unwrap();
+        let mut bfs = Bfs::new(solo_st.num_vertices(), 0);
+        gts.run(&store(), &mut bfs).unwrap();
+        let mut tagged = out.jobs[0].counters.clone();
+        tagged.retain(|k, _| !k.starts_with("tenant."));
+        assert_eq!(tagged, gts.telemetry().counters());
+    }
+
+    #[test]
+    fn serve_is_host_thread_invariant() {
+        let jobs = synthetic(3, 3, 11, true);
+        let cfg = ServeConfig {
+            slots: 2,
+            ..ServeConfig::default()
+        };
+        let outs: Vec<ServeOutcome> = [1usize, 4]
+            .iter()
+            .map(|&ht| serve(&engine(ht), &mut store(), &jobs, &cfg).unwrap())
+            .collect();
+        assert_eq!(
+            outs[0].telemetry.counters(),
+            outs[1].telemetry.counters(),
+            "service registry must not depend on host threads"
+        );
+        assert_eq!(
+            outs[0].telemetry.histograms(),
+            outs[1].telemetry.histograms()
+        );
+        for (a, b) in outs[0].jobs.iter().zip(&outs[1].jobs) {
+            assert_eq!(a.counters, b.counters, "job {}", a.index);
+            assert_eq!(a.status, b.status);
+            assert_eq!((a.start_ns, a.finish_ns), (b.start_ns, b.finish_ns));
+        }
+    }
+
+    #[test]
+    fn admission_control_drops_with_typed_backpressure() {
+        let mut st = store();
+        // Three near-simultaneous arrivals into one slot with a one-deep
+        // queue: the third finds the queue full.
+        let jobs =
+            parse("at=0 tenant=a job=bfs\nat=1 tenant=b job=bfs\nat=2 tenant=c job=bfs").unwrap();
+        let cfg = ServeConfig {
+            slots: 1,
+            queue_capacity: 1,
+            ..ServeConfig::default()
+        };
+        let out = serve(&engine(1), &mut st, &jobs, &cfg).unwrap();
+        assert_eq!(out.jobs[0].status, JobStatus::Completed);
+        assert_eq!(out.jobs[1].status, JobStatus::Completed);
+        assert!(
+            matches!(
+                out.jobs[2].status,
+                JobStatus::Dropped(ServeError::QueueFull { .. })
+            ),
+            "{:?}",
+            out.jobs[2].status
+        );
+        assert_eq!(out.telemetry.counter("serve.drop.queue_full"), 1);
+        assert_eq!((out.completed, out.dropped), (2, 1));
+        // FIFO: the queued job starts exactly when the first finishes.
+        assert_eq!(out.jobs[1].start_ns, out.jobs[0].finish_ns);
+
+        // One tenant hogging the queue is rejected before the shared
+        // queue fills.
+        let jobs =
+            parse("at=0 tenant=a job=bfs\nat=1 tenant=a job=bfs\nat=2 tenant=a job=bfs").unwrap();
+        let cfg = ServeConfig {
+            slots: 1,
+            tenant_queue_capacity: 1,
+            ..ServeConfig::default()
+        };
+        let out = serve(&engine(1), &mut st, &jobs, &cfg).unwrap();
+        assert!(
+            matches!(
+                &out.jobs[2].status,
+                JobStatus::Dropped(ServeError::Rejected { tenant, .. }) if tenant == "a"
+            ),
+            "{:?}",
+            out.jobs[2].status
+        );
+        assert_eq!(out.telemetry.counter("serve.drop.rejected"), 1);
+
+        // A job that cannot start within its deadline is dropped.
+        let jobs = parse("at=0 tenant=a job=bfs\nat=1 tenant=b job=bfs").unwrap();
+        let cfg = ServeConfig {
+            slots: 1,
+            deadline_ns: Some(1),
+            ..ServeConfig::default()
+        };
+        let out = serve(&engine(1), &mut st, &jobs, &cfg).unwrap();
+        assert!(
+            matches!(
+                out.jobs[1].status,
+                JobStatus::Dropped(ServeError::Deadline { waited_ns, deadline_ns: 1 })
+                    if waited_ns > 1
+            ),
+            "{:?}",
+            out.jobs[1].status
+        );
+        assert_eq!(out.telemetry.counter("serve.drop.deadline"), 1);
+    }
+
+    #[test]
+    fn mutation_is_an_all_slots_barrier_and_drops_keep_the_epoch() {
+        let mut st = store();
+        // Four reads saturate four slots; the mutation must wait for all
+        // of them, and the read behind it sees the new epoch.
+        let jobs = parse(
+            "at=0 tenant=a job=bfs\nat=0 tenant=b job=bfs\n\
+             at=0 tenant=c job=pagerank iters=3\nat=0 tenant=d job=cc\n\
+             at=1 tenant=m job=bfs mutate-at=1 inserts=16 deletes=2 seed=5\n\
+             at=2 tenant=a job=bfs\n",
+        )
+        .unwrap();
+        let cfg = ServeConfig {
+            slots: 4,
+            ..ServeConfig::default()
+        };
+        let out = serve(&engine(2), &mut st, &jobs, &cfg).unwrap();
+        assert_eq!(out.completed, 6, "{:?}", out.jobs);
+        let slowest_read = out.jobs[..4].iter().map(|j| j.finish_ns).max().unwrap();
+        assert_eq!(out.jobs[4].start_ns, slowest_read, "barrier waits for all");
+        assert_eq!(out.jobs[5].start_ns, out.jobs[4].finish_ns);
+        assert_eq!(st.epoch(), 1);
+        assert_eq!(out.telemetry.counter("serve.epochs"), 1);
+        assert_eq!(out.jobs[4].counters["mut.batches"], 1);
+        // The post-mutation read really ran against the new epoch: its
+        // counters differ from the identical pre-mutation job.
+        assert_ne!(out.jobs[0].counters, out.jobs[5].counters);
+
+        // A mutating job dropped by admission must not advance the epoch.
+        let mut st = store();
+        let jobs = parse(
+            "at=0 tenant=a job=pagerank iters=3\n\
+             at=1 tenant=m job=bfs mutate-at=1 inserts=16 seed=5\n",
+        )
+        .unwrap();
+        let cfg = ServeConfig {
+            slots: 1,
+            deadline_ns: Some(1),
+            ..ServeConfig::default()
+        };
+        let out = serve(&engine(2), &mut st, &jobs, &cfg).unwrap();
+        assert!(
+            matches!(
+                out.jobs[1].status,
+                JobStatus::Dropped(ServeError::Deadline { .. })
+            ),
+            "{:?}",
+            out.jobs[1].status
+        );
+        assert_eq!(st.epoch(), 0, "dropped mutation must not touch the store");
+        assert_eq!(out.telemetry.counter("serve.epochs"), 0);
+    }
+
+    #[test]
+    fn service_registry_aggregates_tenants_and_latency() {
+        let mut st = store();
+        let jobs =
+            parse("at=0 tenant=a job=bfs\nat=100 tenant=a job=cc\nat=200 tenant=b job=bfs\n")
+                .unwrap();
+        let out = serve(&engine(2), &mut st, &jobs, &ServeConfig::default()).unwrap();
+        assert_eq!(out.completed, 3);
+        // Latency histograms: per class and overall, with derived
+        // percentile counters in the flat registry.
+        let tel = &out.telemetry;
+        assert_eq!(tel.counter("serve.lat.all.count"), 3);
+        assert_eq!(tel.counter("serve.lat.bfs.count"), 2);
+        assert_eq!(tel.counter("serve.lat.cc.count"), 1);
+        assert!(tel.counter("serve.lat.all.p50") <= tel.counter("serve.lat.all.p95"));
+        assert!(tel.counter("serve.lat.all.p95") <= tel.counter("serve.lat.all.p99"));
+        assert_eq!(
+            tel.percentile("serve.lat.all", 99),
+            Some(tel.counter("serve.lat.all.p99"))
+        );
+        // Per-tenant rollup equals the sum over that tenant's jobs.
+        for tenant in ["a", "b"] {
+            let key = format!("tenant.{tenant}.cache.bytes_streamed");
+            let per_job: u64 = out
+                .jobs
+                .iter()
+                .filter(|j| j.tenant == tenant)
+                .map(|j| j.counters.get(&key).copied().unwrap_or(0))
+                .sum();
+            assert!(per_job > 0, "expected streamed bytes for {tenant}");
+            assert_eq!(tel.counter(&key), per_job);
+        }
+        assert_eq!(tel.counter("serve.jobs.total"), 3);
+        assert_eq!(tel.counter("serve.makespan_ns"), out.makespan_ns);
+        assert!(out.makespan_ns > 0);
+    }
+
+    #[test]
+    fn invalid_config_and_workload_are_typed_errors() {
+        let mut st = store();
+        let bad_cfg = ServeConfig {
+            slots: 0,
+            ..ServeConfig::default()
+        };
+        assert!(matches!(
+            serve(&engine(1), &mut st, &[], &bad_cfg),
+            Err(ServeError::Config(_))
+        ));
+        let mut spec = JobSpec::new(0, "a", "bfs");
+        spec.source = u64::MAX;
+        assert!(matches!(
+            serve(&engine(1), &mut st, &[spec], &ServeConfig::default()),
+            Err(ServeError::Workload(_))
+        ));
+        let spec = JobSpec::new(0, "a", "frobnicate");
+        assert!(matches!(
+            serve(&engine(1), &mut st, &[spec], &ServeConfig::default()),
+            Err(ServeError::Workload(_))
+        ));
+    }
+}

@@ -55,6 +55,11 @@ pub trait CachePolicy: Send {
     fn hits(&self) -> u64;
     /// Misses recorded so far.
     fn misses(&self) -> u64;
+    /// Evictions recorded so far: admissions that displaced a resident
+    /// page. Invalidations are not evictions (targeted drops are neither
+    /// a hit nor a miss nor a replacement decision), and a miss into a
+    /// not-yet-full cache admits without evicting.
+    fn evictions(&self) -> u64;
     /// Hit rate in [0, 1] (Fig. 11b's y-axis).
     fn hit_rate(&self) -> f64 {
         let t = self.hits() + self.misses();
@@ -86,6 +91,7 @@ pub struct LruCache {
     by_stamp: BTreeMap<u64, u64>,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl LruCache {
@@ -98,6 +104,7 @@ impl LruCache {
             by_stamp: BTreeMap::new(),
             hits: 0,
             misses: 0,
+            evictions: 0,
         }
     }
 
@@ -123,6 +130,7 @@ impl LruCache {
             let (&oldest, &victim) = self.by_stamp.first_key_value().expect("cache non-empty");
             self.by_stamp.remove(&oldest);
             self.entries.remove(&victim);
+            self.evictions += 1;
         }
         self.entries.insert(pid, self.stamp);
         self.by_stamp.insert(self.stamp, pid);
@@ -169,6 +177,7 @@ impl CachePolicy for LruCache {
         self.by_stamp.clear();
         self.hits = 0;
         self.misses = 0;
+        self.evictions = 0;
         self.stamp = 0;
     }
 
@@ -178,6 +187,10 @@ impl CachePolicy for LruCache {
 
     fn misses(&self) -> u64 {
         self.misses
+    }
+
+    fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     fn name(&self) -> &'static str {
@@ -193,6 +206,7 @@ pub struct FifoCache {
     order: VecDeque<u64>,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl FifoCache {
@@ -204,6 +218,7 @@ impl FifoCache {
             order: VecDeque::with_capacity(capacity),
             hits: 0,
             misses: 0,
+            evictions: 0,
         }
     }
 
@@ -221,6 +236,7 @@ impl FifoCache {
         if self.resident.len() >= self.capacity {
             if let Some(old) = self.order.pop_front() {
                 self.resident.remove(&old);
+                self.evictions += 1;
             }
         }
         self.resident.insert(pid);
@@ -268,6 +284,7 @@ impl CachePolicy for FifoCache {
         self.order.clear();
         self.hits = 0;
         self.misses = 0;
+        self.evictions = 0;
     }
 
     fn hits(&self) -> u64 {
@@ -276,6 +293,10 @@ impl CachePolicy for FifoCache {
 
     fn misses(&self) -> u64 {
         self.misses
+    }
+
+    fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     fn name(&self) -> &'static str {
@@ -292,6 +313,7 @@ pub struct RandomCache {
     state: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl RandomCache {
@@ -305,6 +327,7 @@ impl RandomCache {
             state: seed | 1,
             hits: 0,
             misses: 0,
+            evictions: 0,
         }
     }
 
@@ -342,6 +365,7 @@ impl RandomCache {
             if victim_at < self.entries.len() {
                 self.index.insert(last, victim_at);
             }
+            self.evictions += 1;
         }
         self.index.insert(pid, self.entries.len());
         self.entries.push(pid);
@@ -395,6 +419,7 @@ impl CachePolicy for RandomCache {
         self.index.clear();
         self.hits = 0;
         self.misses = 0;
+        self.evictions = 0;
     }
 
     fn hits(&self) -> u64 {
@@ -403,6 +428,10 @@ impl CachePolicy for RandomCache {
 
     fn misses(&self) -> u64 {
         self.misses
+    }
+
+    fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     fn name(&self) -> &'static str {

@@ -10,8 +10,24 @@ pub(crate) struct Inner {
     pub(crate) spans_enabled: bool,
     pub(crate) spans: Vec<Span>,
     pub(crate) counters: BTreeMap<String, u64>,
+    pub(crate) hists: BTreeMap<String, Vec<u64>>,
     pub(crate) process_names: BTreeMap<u32, String>,
     pub(crate) thread_names: BTreeMap<Track, String>,
+}
+
+/// Percentile summary of one histogram, on exact nearest-rank values (no
+/// interpolation: every reported number is one of the observations, so
+/// deterministic inputs give byte-stable summaries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// 50th percentile (nearest rank).
+    pub p50: u64,
+    /// 95th percentile (nearest rank).
+    pub p95: u64,
+    /// 99th percentile (nearest rank).
+    pub p99: u64,
 }
 
 /// Shared recording surface for one run: spans + counters.
@@ -56,6 +72,7 @@ impl Telemetry {
         let mut g = self.inner.lock().unwrap();
         g.spans.clear();
         g.counters.clear();
+        g.hists.clear();
         g.process_names.clear();
         g.thread_names.clear();
     }
@@ -171,9 +188,100 @@ impl Telemetry {
         out
     }
 
+    /// Record one observation under histogram `key` (creating it empty).
+    /// Histograms keep every value, in recording order — percentile math
+    /// is exact nearest-rank over the full population, never a sketch.
+    pub fn observe(&self, key: impl AsRef<str>, value: u64) {
+        let mut g = self.inner.lock().unwrap();
+        g.hists
+            .entry(key.as_ref().to_owned())
+            .or_default()
+            .push(value);
+    }
+
+    /// The observations recorded under `key`, in recording order (empty
+    /// if the histogram was never touched).
+    pub fn observations(&self, key: impl AsRef<str>) -> Vec<u64> {
+        self.inner
+            .lock()
+            .unwrap()
+            .hists
+            .get(key.as_ref())
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Snapshot of every histogram's observations, in recording order.
+    pub fn histograms(&self) -> BTreeMap<String, Vec<u64>> {
+        self.inner.lock().unwrap().hists.clone()
+    }
+
+    /// The `p`-th percentile of histogram `key` by the nearest-rank
+    /// method: the value at sorted rank `ceil(p·n/100)` (clamped into
+    /// `1..=n`), so the result is always one of the observations — no
+    /// interpolation, no ambiguity on deterministic inputs. `None` when
+    /// the histogram is empty.
+    pub fn percentile(&self, key: impl AsRef<str>, p: u32) -> Option<u64> {
+        let g = self.inner.lock().unwrap();
+        let values = g.hists.get(key.as_ref())?;
+        percentile_of(values, p)
+    }
+
+    /// Nearest-rank `count`/`p50`/`p95`/`p99` per histogram. Empty
+    /// histograms never exist (a histogram is created by its first
+    /// observation), so every summary is total.
+    pub fn histogram_summaries(&self) -> BTreeMap<String, HistSummary> {
+        let g = self.inner.lock().unwrap();
+        g.hists
+            .iter()
+            .filter_map(|(k, v)| {
+                Some((
+                    k.clone(),
+                    HistSummary {
+                        count: v.len() as u64,
+                        p50: percentile_of(v, 50)?,
+                        p95: percentile_of(v, 95)?,
+                        p99: percentile_of(v, 99)?,
+                    },
+                ))
+            })
+            .collect()
+    }
+
+    /// Render every histogram's summary as one JSON object, keys sorted:
+    /// `{"k":{"count":n,"p50":...,"p95":...,"p99":...},...}`. `{}` with
+    /// no histograms. Byte-stable for byte-identical observation streams.
+    pub fn histograms_to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (key, s)) in self.histogram_summaries().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{key}\":{{\"count\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                s.count, s.p50, s.p95, s.p99
+            ));
+        }
+        out.push('}');
+        out
+    }
+
     pub(crate) fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
         self.inner.lock().unwrap()
     }
+}
+
+/// Nearest-rank percentile over `values`: sort a copy, take the value at
+/// rank `ceil(p·n/100)`, clamped into `1..=n`. `None` only when empty.
+fn percentile_of(values: &[u64], p: u32) -> Option<u64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as u64;
+    let rank = (u64::from(p) * n).div_ceil(100).clamp(1, n);
+    Some(sorted[(rank - 1) as usize])
 }
 
 #[cfg(test)]
@@ -253,6 +361,89 @@ mod tests {
         for w in 0..WORKERS {
             assert_eq!(tel.counter(format!("worker.{w}")), ADDS * (ADDS - 1) / 2);
         }
+    }
+
+    #[test]
+    fn percentile_exact_ranks_no_interpolation() {
+        // Nearest-rank over n=10 distinct values: rank(p) = ceil(p*10/100).
+        // Every assertion pins an exact observation — a switch to any
+        // interpolating method would land between observations and fail.
+        let tel = Telemetry::new();
+        for v in [70, 30, 100, 10, 50, 90, 20, 60, 40, 80] {
+            tel.observe("lat", v);
+        }
+        assert_eq!(tel.percentile("lat", 50), Some(50)); // rank 5
+        assert_eq!(tel.percentile("lat", 95), Some(100)); // rank ceil(9.5)=10
+        assert_eq!(tel.percentile("lat", 99), Some(100)); // rank ceil(9.9)=10
+        assert_eq!(tel.percentile("lat", 100), Some(100));
+        assert_eq!(tel.percentile("lat", 1), Some(10)); // rank ceil(0.1)=1
+        assert_eq!(tel.percentile("lat", 0), Some(10)); // rank clamps to 1
+        assert_eq!(tel.percentile("lat", 10), Some(10)); // rank 1 exactly
+        assert_eq!(tel.percentile("lat", 11), Some(20)); // rank ceil(1.1)=2
+        assert_eq!(tel.percentile("missing", 50), None);
+    }
+
+    #[test]
+    fn percentile_singleton_and_duplicates() {
+        let tel = Telemetry::new();
+        tel.observe("one", 7);
+        for p in [0, 1, 50, 99, 100] {
+            assert_eq!(tel.percentile("one", p), Some(7));
+        }
+        // n=4 with duplicates: sorted = [5, 5, 5, 9].
+        for v in [5, 9, 5, 5] {
+            tel.observe("dup", v);
+        }
+        assert_eq!(tel.percentile("dup", 50), Some(5)); // rank 2
+        assert_eq!(tel.percentile("dup", 75), Some(5)); // rank 3
+        assert_eq!(tel.percentile("dup", 76), Some(9)); // rank ceil(3.04)=4
+        assert_eq!(tel.percentile("dup", 99), Some(9)); // rank 4
+    }
+
+    #[test]
+    fn histograms_snapshot_and_json_rendering() {
+        let tel = Telemetry::new();
+        for v in [3, 1, 2] {
+            tel.observe("serve.lat.bfs", v);
+        }
+        tel.observe("serve.lat.pr", 40);
+        // Snapshots keep recording order; summaries are nearest-rank.
+        assert_eq!(tel.observations("serve.lat.bfs"), vec![3, 1, 2]);
+        assert_eq!(tel.histograms().len(), 2);
+        let sums = tel.histogram_summaries();
+        assert_eq!(
+            sums["serve.lat.bfs"],
+            HistSummary {
+                count: 3,
+                p50: 2,
+                p95: 3,
+                p99: 3
+            }
+        );
+        assert_eq!(
+            sums["serve.lat.pr"],
+            HistSummary {
+                count: 1,
+                p50: 40,
+                p95: 40,
+                p99: 40
+            }
+        );
+        assert_eq!(
+            tel.histograms_to_json(),
+            "{\"serve.lat.bfs\":{\"count\":3,\"p50\":2,\"p95\":3,\"p99\":3},\
+             \"serve.lat.pr\":{\"count\":1,\"p50\":40,\"p95\":40,\"p99\":40}}"
+        );
+        assert_eq!(Telemetry::new().histograms_to_json(), "{}");
+    }
+
+    #[test]
+    fn start_run_clears_histograms() {
+        let tel = Telemetry::new();
+        tel.observe("h", 1);
+        tel.start_run();
+        assert!(tel.histograms().is_empty());
+        assert_eq!(tel.percentile("h", 50), None);
     }
 
     #[test]

@@ -154,9 +154,25 @@ pub const SWEEP_ACTIVE_EDGES: &str = "active_edges";
 /// Per-sweep field: simulated sweep duration, ns.
 pub const SWEEP_ELAPSED_NS: &str = "elapsed_ns";
 
+/// Per-tenant field: page-cache hits attributed to the tenant's jobs.
+pub const TENANT_CACHE_HITS: &str = "cache.hits";
+/// Per-tenant field: page-cache misses attributed to the tenant's jobs.
+pub const TENANT_CACHE_MISSES: &str = "cache.misses";
+/// Per-tenant field: pages evicted under the tenant's probes.
+pub const TENANT_CACHE_EVICTIONS: &str = "cache.evictions";
+/// Per-tenant field: topology bytes streamed for the tenant's misses.
+pub const TENANT_CACHE_BYTES_STREAMED: &str = "cache.bytes_streamed";
+
 /// Key for per-GPU field `field` of GPU `i` (e.g. `gpu0.bytes_h2d`).
 pub fn gpu(i: u32, field: &str) -> String {
     format!("gpu{i}.{field}")
+}
+
+/// Key for per-tenant field `field` of tenant `tag` (e.g.
+/// `tenant.alice.cache.hits`). Written only by jobs carrying a tenant
+/// tag, so solo runs emit no tenant keys at all.
+pub fn tenant(tag: &str, field: &str) -> String {
+    format!("tenant.{tag}.{field}")
 }
 
 /// Key for per-sweep field `field` of sweep `j` (e.g. `sweep0.pages`).

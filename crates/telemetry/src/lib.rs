@@ -47,6 +47,6 @@ mod report;
 mod span;
 mod trace;
 
-pub use handle::Telemetry;
+pub use handle::{HistSummary, Telemetry};
 pub use report::{GpuRunStats, RunReport, SweepStats};
 pub use span::{Span, SpanCat, Track};

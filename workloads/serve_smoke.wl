@@ -1,0 +1,14 @@
+# Serve-mode smoke workload: three read tenants multiplexing one shared
+# store, plus one epoch-advancing mutation landing mid-stream. Used by
+# CI's serve-smoke job (host-thread invariance diff) and handy as a
+# `gts serve --workload` starting point.
+#
+# Format, one job per line (defaults: source=0 iters=10 k=2):
+#   at=<ns> tenant=<id> job=<alg> [source=N] [iters=N] [k=N]
+#          [mutate-at=K inserts=N deletes=N seed=N]
+at=0      tenant=alpha job=bfs source=0
+at=50000  tenant=beta  job=pagerank iters=5
+at=100000 tenant=alpha job=cc
+at=150000 tenant=mut   job=bfs mutate-at=1 inserts=48 deletes=8 seed=7
+at=200000 tenant=beta  job=sssp source=3
+at=250000 tenant=gamma job=kcore k=3

@@ -737,6 +737,7 @@ fn serve_suite(opts: &Opts) -> BenchReport {
             queue_capacity: workload.len().max(64),
             tenant_queue_capacity: workload.len().max(16),
             deadline_ns: None,
+            ..ServeConfig::default()
         };
         let mut wall = Vec::new();
         let mut makespan = Vec::new();

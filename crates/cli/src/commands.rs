@@ -33,7 +33,7 @@ use gts_graph::generate::{erdos_renyi, web_like, Rmat};
 use gts_graph::{Dataset, EdgeList};
 use gts_serve::scheduler::{serve, JobStatus, ServeConfig, ServeOutcome};
 use gts_serve::workload::seeded_batch;
-use gts_serve::ServeError;
+use gts_serve::{JournalConfig, ResilienceConfig, ServeError};
 use gts_storage::{
     build_graph_store, load_store, save_store, GraphStore, PageFormatConfig, PhysicalIdConfig,
 };
@@ -119,6 +119,11 @@ USAGE:
                [--storage mem|ssd:N|hdd:N] [--device-memory BYTES]
                [--cache lru|fifo|random] [--host-threads N] [--json]
                [--counters-out FILE] [--jobs-out FILE]
+               [--fault-seed N] [--retry-max N] [--backoff-base NS]
+               [--breaker-threshold K] [--breaker-cooldown NS]
+               [--shed-watermark PCT]
+               [--journal-dir DIR] [--resume-serve true]
+               [--crash-at-epoch K]
   gts help
 
 Edge files are the binary GTSEDGES format produced by `gts generate`, or
@@ -168,6 +173,32 @@ full counter registry (what the CI serve-smoke job diffs across thread
 counts); `--counters-out` writes the service-level registry, including
 per-class `serve.lat.*` latency percentiles and the per-tenant
 `tenant.<id>.cache.*` rollup.
+
+Serve resilience: `--fault-seed` arms a service fault template — every
+(job, attempt) execution derives its own fault domain from that one
+seed, so a fault in one tenant's job never perturbs another's counters.
+The serve template uses GPU copy/launch fault rates with no lane-level
+retries, so failures surface to the service layer as typed
+`status=failed` records instead of being healed invisibly. `--retry-max`
+re-admits failed read jobs with capped exponential backoff
+(`--backoff-base`, simulated ns, jittered per job) until quarantine
+(`status=quarantined`, `serve.quarantine.*` counters).
+`--breaker-threshold K` trips a per-tenant circuit breaker after K
+consecutive failures, shedding that tenant's arrivals
+(`dropped:breaker_open`) until `--breaker-cooldown` elapses.
+`--shed-watermark PCT` arms overload shedding: when queue occupancy or
+projected deadline consumption crosses a job's priority-scaled
+watermark the job is dropped (`dropped:shed`, `serve.shed.*` counters);
+higher `prio=` classes in the workload survive longer.
+
+Serve recovery: `--journal-dir` keeps a crash-consistent service
+journal (JRNL1 records over the checkpoint store's atomic writes);
+`--resume-serve true` resumes a killed daemon from it — settled jobs
+are not re-run (`serve.resume.cached`) and the outputs are
+byte-identical to an uncrashed run, modulo the wall-side
+`serve.journal.*` / `serve.resume.*` keys. `--crash-at-epoch K` injects
+a deterministic kill right before the service applies its K-th epoch
+bump (exit code 4), for kill-and-resume chaos testing.
 
 Exit codes: 0 success, 2 usage error, 3 I/O failure, 4 engine failure.";
 
@@ -639,6 +670,65 @@ fn run(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `--fault-seed` for serve mode. Unlike `run`, the serve template uses
+/// GPU copy/launch rates with no lane-level retries: the default store
+/// is in-memory (no device reads to fault), and healing is the service
+/// layer's job — failures must surface as typed [`JobStatus::Failed`]
+/// for retry/quarantine/breaker policy to act on, not vanish inside a
+/// lane's own retry loop.
+fn serve_fault_template(args: &Args) -> Result<Option<FaultConfig>, CliError> {
+    match args.optional("fault-seed") {
+        None => Ok(None),
+        Some(seed) => {
+            let seed: u64 = seed
+                .parse()
+                .map_err(|_| CliError::Usage(format!("bad --fault-seed {seed:?}")))?;
+            Ok(Some(FaultConfig {
+                copy_fault_ppm: 60_000,
+                launch_fault_ppm: 60_000,
+                max_retries: 0,
+                ..FaultConfig::with_seed(seed)
+            }))
+        }
+    }
+}
+
+/// The retry/backoff, circuit-breaker, and shedding knobs; every flag
+/// defaults to the policy being off.
+fn serve_resilience(args: &Args) -> Result<ResilienceConfig, CliError> {
+    let mut r = ResilienceConfig::default();
+    r.retry_max = args.get_or("retry-max", r.retry_max)?;
+    r.backoff_base_ns = args.get_or("backoff-base", r.backoff_base_ns)?;
+    r.breaker_threshold = args.get_or("breaker-threshold", r.breaker_threshold)?;
+    r.breaker_cooldown_ns = args.get_or("breaker-cooldown", r.breaker_cooldown_ns)?;
+    if let Some(pct) = args.optional("shed-watermark") {
+        r.shed_watermark_pct = Some(pct.parse().map_err(|_| {
+            CliError::Usage(format!("bad --shed-watermark {pct:?} (percent 1-100)"))
+        })?);
+    }
+    Ok(r)
+}
+
+/// `--journal-dir` / `--resume-serve`: the crash-consistent service
+/// journal. Resuming without a journal directory is a usage error.
+fn serve_journal(args: &Args) -> Result<Option<JournalConfig>, CliError> {
+    let resume = args
+        .optional("resume-serve")
+        .map(|v| v == "true")
+        .unwrap_or(false);
+    match args.optional("journal-dir") {
+        Some(dir) => {
+            let mut j = JournalConfig::new(dir);
+            j.resume = resume;
+            Ok(Some(j))
+        }
+        None if resume => Err(CliError::Usage(
+            "--resume-serve requires --journal-dir (nowhere to resume from)".into(),
+        )),
+        None => Ok(None),
+    }
+}
+
 /// `gts serve`: a scripted multi-tenant workload through the long-lived
 /// engine over the shared store. Scheduling runs on the simulated
 /// clock, so every output is byte-identical at any `--host-threads`.
@@ -660,6 +750,15 @@ fn serve_cmd(args: &Args) -> Result<(), CliError> {
         "json",
         "counters-out",
         "jobs-out",
+        "fault-seed",
+        "retry-max",
+        "backoff-base",
+        "breaker-threshold",
+        "breaker-cooldown",
+        "shed-watermark",
+        "journal-dir",
+        "resume-serve",
+        "crash-at-epoch",
     ])?;
     let mut store: GraphStore =
         load_store(args.required("store")?).map_err(|e| CliError::Io(e.to_string()))?;
@@ -684,30 +783,48 @@ fn serve_cmd(args: &Args) -> Result<(), CliError> {
         queue_capacity: args.get_or("queue-cap", 64usize)?,
         tenant_queue_capacity: args.get_or("tenant-queue-cap", 16usize)?,
         deadline_ns,
+        faults: serve_fault_template(args)?,
+        resilience: serve_resilience(args)?,
+        journal: serve_journal(args)?,
+        crash: match args.optional("crash-at-epoch") {
+            None => None,
+            Some(k) => Some(CrashPoint::AtEpoch(k.parse().map_err(|_| {
+                CliError::Usage(format!("bad --crash-at-epoch {k:?} (epoch number)"))
+            })?)),
+        },
     };
+    if serve_cfg.journal.is_none() && serve_cfg.crash.is_some() {
+        return Err(CliError::Usage(
+            "--crash-at-epoch requires --journal-dir (a crash without a journal cannot resume)"
+                .into(),
+        ));
+    }
     let out = serve(&engine, &mut store, &jobs, &serve_cfg).map_err(|e| match e {
         ServeError::Config(_) | ServeError::Workload(_) => CliError::Usage(e.to_string()),
+        ServeError::Journal(_) => CliError::Io(e.to_string()),
         other => CliError::Engine(other.to_string()),
     })?;
     write_serve_outputs(args, &out)?;
     if args.optional("json").map(|v| v == "true").unwrap_or(false) {
         outln!(
-            "{{\"jobs\":{},\"completed\":{},\"dropped\":{},\"failed\":{},\"epochs\":{},\"makespan_ns\":{},\"latency\":{}}}",
+            "{{\"jobs\":{},\"completed\":{},\"dropped\":{},\"failed\":{},\"quarantined\":{},\"epochs\":{},\"makespan_ns\":{},\"latency\":{}}}",
             out.jobs.len(),
             out.completed,
             out.dropped,
             out.failed,
+            out.quarantined,
             out.telemetry.counter("serve.epochs"),
             out.makespan_ns,
             out.telemetry.histograms_to_json()
         );
     } else {
         outln!(
-            "jobs:       {} ({} completed, {} dropped, {} failed)",
+            "jobs:       {} ({} completed, {} dropped, {} failed, {} quarantined)",
             out.jobs.len(),
             out.completed,
             out.dropped,
-            out.failed
+            out.failed,
+            out.quarantined
         );
         outln!("slots:      {}", serve_cfg.slots);
         outln!(
@@ -738,7 +855,8 @@ fn write_serve_outputs(args: &Args, out: &ServeOutcome) -> Result<(), CliError> 
         for j in &out.jobs {
             lines.push_str(&format!(
                 "job={} tenant={} class={} mutating={} arrival={} status={} \
-                 start={} finish={} service={} wait={} latency={}\n",
+                 start={} finish={} service={} wait={} latency={} \
+                 attempts={} result={:#018x}\n",
                 j.index,
                 j.tenant,
                 j.class,
@@ -749,7 +867,9 @@ fn write_serve_outputs(args: &Args, out: &ServeOutcome) -> Result<(), CliError> 
                 j.finish_ns,
                 j.service_ns,
                 j.wait_ns(),
-                j.latency_ns()
+                j.latency_ns(),
+                j.attempts,
+                j.result_fp
             ));
             for (k, v) in &j.counters {
                 lines.push_str(&format!("job.{}.{k} {v}\n", j.index));
@@ -773,8 +893,11 @@ fn status_word(s: &JobStatus) -> &'static str {
         JobStatus::Dropped(ServeError::QueueFull { .. }) => "dropped:queue_full",
         JobStatus::Dropped(ServeError::Rejected { .. }) => "dropped:rejected",
         JobStatus::Dropped(ServeError::Deadline { .. }) => "dropped:deadline",
+        JobStatus::Dropped(ServeError::BreakerOpen { .. }) => "dropped:breaker_open",
+        JobStatus::Dropped(ServeError::Shed { .. }) => "dropped:shed",
         JobStatus::Dropped(_) => "dropped",
-        JobStatus::Failed(_) => "failed",
+        JobStatus::Failed { .. } => "failed",
+        JobStatus::Quarantined { .. } => "quarantined",
     }
 }
 
@@ -1153,6 +1276,21 @@ mod tests {
             (&["--deadline", "0"], "deadline_ns"),
             (&["--host-threads", "zero"], "--host-threads"),
             (&["--strategy", "q"], "--strategy"),
+            (&["--fault-seed", "lucky"], "--fault-seed"),
+            (&["--retry-max", "x"], "--retry-max"),
+            (&["--backoff-base", "x"], "--backoff-base"),
+            (&["--backoff-base", "0"], "backoff_base_ns"),
+            (&["--breaker-threshold", "x"], "--breaker-threshold"),
+            (&["--breaker-cooldown", "x"], "--breaker-cooldown"),
+            (
+                &["--breaker-threshold", "2", "--breaker-cooldown", "0"],
+                "breaker_cooldown_ns",
+            ),
+            (&["--shed-watermark", "hot"], "--shed-watermark"),
+            (&["--shed-watermark", "150"], "shed_watermark_pct"),
+            (&["--crash-at-epoch", "x"], "--crash-at-epoch"),
+            (&["--crash-at-epoch", "1"], "--journal-dir"),
+            (&["--resume-serve", "true"], "--journal-dir"),
             (&["--mutate-at", "1"], "unknown flag"),
             (&["--checkpoint-dir", "d"], "unknown flag"),
         ];
@@ -1269,6 +1407,230 @@ mod tests {
         for p in [&el, &st, &wl, &j1, &c1, &j4, &c4] {
             std::fs::remove_file(p).ok();
         }
+    }
+
+    /// Every job status renders a stable machine-readable word in the
+    /// `--jobs-out` dump — scripts grep these, so each variant must map
+    /// to a distinct word.
+    #[test]
+    fn status_words_cover_every_variant() {
+        let cases: &[(JobStatus, &str)] = &[
+            (JobStatus::Completed, "completed"),
+            (
+                JobStatus::Dropped(ServeError::QueueFull {
+                    waiting: 1,
+                    capacity: 1,
+                }),
+                "dropped:queue_full",
+            ),
+            (
+                JobStatus::Dropped(ServeError::Rejected {
+                    tenant: "a".into(),
+                    waiting: 1,
+                    capacity: 1,
+                }),
+                "dropped:rejected",
+            ),
+            (
+                JobStatus::Dropped(ServeError::Deadline {
+                    waited_ns: 2,
+                    deadline_ns: 1,
+                }),
+                "dropped:deadline",
+            ),
+            (
+                JobStatus::Dropped(ServeError::BreakerOpen {
+                    tenant: "a".into(),
+                    failures: 3,
+                    until_ns: 9,
+                }),
+                "dropped:breaker_open",
+            ),
+            (
+                JobStatus::Dropped(ServeError::Shed {
+                    class: "cc".into(),
+                    pressure_pct: 50,
+                    watermark_pct: 40,
+                }),
+                "dropped:shed",
+            ),
+            (
+                JobStatus::Failed {
+                    error: "engine: gpu fault".into(),
+                },
+                "failed",
+            ),
+            (
+                JobStatus::Quarantined {
+                    error: "engine: gpu fault".into(),
+                    attempts: 3,
+                },
+                "quarantined",
+            ),
+        ];
+        for (status, word) in cases {
+            assert_eq!(status_word(status), *word);
+        }
+    }
+
+    /// `gts serve` with a fault template and retries, end to end: some
+    /// jobs fail or quarantine (typed statuses, never an abort), the
+    /// retry/quarantine counters land in `--counters-out`, and the whole
+    /// dump is byte-identical at 1 vs 4 host threads — the CI
+    /// serve-chaos diff.
+    #[test]
+    fn serve_chaos_is_host_thread_invariant_through_the_cli() {
+        let el = tmp("chaos.el");
+        let st = tmp("chaos.gts");
+        let wl = tmp("chaos.wl");
+        dispatch(&sv(&[
+            "generate", "--kind", "rmat", "--scale", "8", "--out", &el,
+        ]))
+        .unwrap();
+        dispatch(&sv(&["build", "--graph", &el, "--out", &st])).unwrap();
+        std::fs::write(
+            &wl,
+            "at=0      tenant=a job=bfs\n\
+             at=10000  tenant=b job=pagerank iters=3\n\
+             at=20000  tenant=a job=cc\n\
+             at=30000  tenant=c job=sssp\n\
+             at=40000  tenant=b job=degrees\n\
+             at=50000  tenant=c job=kcore k=2\n",
+        )
+        .unwrap();
+        let dump = |seed: &str, threads: &str, jobs: &str, counters: &str| {
+            dispatch(&sv(&[
+                "serve",
+                "--store",
+                &st,
+                "--workload",
+                &wl,
+                "--slots",
+                "2",
+                "--fault-seed",
+                seed,
+                "--retry-max",
+                "2",
+                "--backoff-base",
+                "1000",
+                "--host-threads",
+                threads,
+                "--jobs-out",
+                jobs,
+                "--counters-out",
+                counters,
+            ]))
+            .unwrap();
+            (
+                std::fs::read_to_string(jobs).unwrap(),
+                std::fs::read_to_string(counters).unwrap(),
+            )
+        };
+        let j1 = tmp("chaos-jobs-1.txt");
+        let c1 = tmp("chaos-counters-1.txt");
+        let j4 = tmp("chaos-jobs-4.txt");
+        let c4 = tmp("chaos-counters-4.txt");
+        // The fault template is seed-derived, so scan deterministically
+        // for a seed whose derived domains actually quarantine a job —
+        // the interesting path — then pin the invariance on that seed.
+        let seed = (0u64..64)
+            .map(|s| s.to_string())
+            .find(|s| {
+                let (jobs, _) = dump(s, "1", &j1, &c1);
+                jobs.contains("status=quarantined")
+            })
+            .expect("no seed in 0..64 quarantines a job");
+        let (jobs_one, counters_one) = dump(&seed, "1", &j1, &c1);
+        let (jobs_four, counters_four) = dump(&seed, "4", &j4, &c4);
+        assert_eq!(
+            jobs_one, jobs_four,
+            "chaos per-job dump must not depend on host threads"
+        );
+        assert_eq!(counters_one, counters_four);
+        assert!(
+            counters_one.contains("serve.quarantine.jobs"),
+            "{counters_one}"
+        );
+        assert!(
+            counters_one.contains("serve.retry.attempts"),
+            "{counters_one}"
+        );
+        assert!(jobs_one.contains("attempts=3"), "{jobs_one}");
+        for p in [&el, &st, &wl, &j1, &c1, &j4, &c4] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    /// Kill-and-resume through the CLI: `--crash-at-epoch` exits with
+    /// the engine code mid-workload, `--resume-serve` replays from the
+    /// journal, and both dumps match an uncrashed run byte-for-byte
+    /// (modulo the wall-side `serve.journal.*`/`serve.resume.*` keys).
+    /// Resuming from an empty journal directory is an I/O error.
+    #[test]
+    fn serve_crash_and_resume_through_the_cli() {
+        let el = tmp("resume.el");
+        let st = tmp("resume.gts");
+        let wl = tmp("resume.wl");
+        let dir = tmp("resume-journal");
+        std::fs::create_dir_all(&dir).unwrap();
+        dispatch(&sv(&[
+            "generate", "--kind", "rmat", "--scale", "8", "--out", &el,
+        ]))
+        .unwrap();
+        dispatch(&sv(&["build", "--graph", &el, "--out", &st])).unwrap();
+        std::fs::write(
+            &wl,
+            "at=0      tenant=a job=bfs\n\
+             at=10000  tenant=b job=pagerank iters=3\n\
+             at=20000  tenant=m job=bfs mutate-at=1 inserts=16 deletes=2 seed=5\n\
+             at=30000  tenant=a job=cc\n\
+             at=40000  tenant=b job=sssp\n",
+        )
+        .unwrap();
+        let base = sv(&["serve", "--store", &st, "--workload", &wl, "--slots", "2"]);
+        let outputs = |tag: &str| (tmp(&format!("{tag}-jobs")), tmp(&format!("{tag}-counters")));
+        let run = |extra: &[&str], jobs: &str, counters: &str| {
+            let mut argv = base.clone();
+            argv.extend(sv(extra));
+            argv.extend(sv(&["--jobs-out", jobs, "--counters-out", counters]));
+            dispatch(&argv)
+        };
+        // Resuming before any journal exists is an I/O failure (exit 3).
+        let (rj, rc) = outputs("resume");
+        let err = run(&["--journal-dir", &dir, "--resume-serve", "true"], &rj, &rc).unwrap_err();
+        assert_eq!(err.exit_code(), EXIT_IO, "{err}");
+        // Uncrashed baseline, no journal.
+        let (bj, bc) = outputs("base");
+        run(&[], &bj, &bc).unwrap();
+        // Crash right before the epoch bump: engine failure (exit 4).
+        let (cj, cc) = outputs("crash");
+        let err = run(&["--journal-dir", &dir, "--crash-at-epoch", "0"], &cj, &cc).unwrap_err();
+        assert_eq!(err.exit_code(), EXIT_ENGINE, "{err}");
+        assert!(err.to_string().contains("injected crash"), "{err}");
+        // Resume from the journal: byte-identical to the baseline.
+        run(&["--journal-dir", &dir, "--resume-serve", "true"], &rj, &rc).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&bj).unwrap(),
+            std::fs::read_to_string(&rj).unwrap(),
+            "resumed per-job dump must match the uncrashed run"
+        );
+        let strip = |text: String| -> String {
+            text.lines()
+                .filter(|l| !l.starts_with("serve.journal.") && !l.starts_with("serve.resume."))
+                .map(|l| format!("{l}\n"))
+                .collect()
+        };
+        let resumed = std::fs::read_to_string(&rc).unwrap();
+        assert!(resumed.contains("serve.resume.cached"), "{resumed}");
+        assert_eq!(
+            strip(std::fs::read_to_string(&bc).unwrap()),
+            strip(resumed),
+            "resumed counters must match the uncrashed run"
+        );
+        for p in [&el, &st, &wl, &bj, &bc, &cj, &cc, &rj, &rc] {
+            std::fs::remove_file(p).ok();
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -880,6 +880,40 @@ mod tests {
     }
 
     #[test]
+    fn job_options_override_the_engine_fault_domain() {
+        use crate::job::{Engine, JobOptions};
+        let store = small_store();
+        let cfg = GtsConfig {
+            storage: StorageLocation::Ssds(2),
+            mmbuf_percent: 0,
+            cache_limit_bytes: Some(0),
+            faults: None, // the engine itself is fault-free
+            ..GtsConfig::default()
+        };
+        let engine = Engine::new(cfg).unwrap();
+        // A job bringing its own domain sees that domain's faults...
+        let faulty = JobOptions::default().faults(FaultConfig::with_seed(0xFA));
+        let mut pr = PageRank::new(store.num_vertices(), 3);
+        engine.run_job(&store, &mut pr, &faulty).unwrap();
+        assert!(faulty.telemetry.counter(keys::IO_RETRIES) > 0);
+        // ...while the next job on the same engine stays clean, and the
+        // override reproduces the engine-wide config byte for byte.
+        let clean = JobOptions::default();
+        let mut pr = PageRank::new(store.num_vertices(), 3);
+        engine.run_job(&store, &mut pr, &clean).unwrap();
+        assert_eq!(clean.telemetry.counter(keys::IO_RETRIES), 0);
+        let engine_wide = Engine::new(GtsConfig {
+            faults: Some(FaultConfig::with_seed(0xFA)),
+            ..engine.config().clone()
+        })
+        .unwrap();
+        let wide = JobOptions::default();
+        let mut pr = PageRank::new(store.num_vertices(), 3);
+        engine_wide.run_job(&store, &mut pr, &wide).unwrap();
+        assert_eq!(wide.telemetry.counters(), faulty.telemetry.counters());
+    }
+
+    #[test]
     fn failed_runs_still_flush_counters_and_spans() {
         // Corrupt RVT mid-run (the truncated-entry setup below) with
         // spans on: the run errs, but the partial trace and counters

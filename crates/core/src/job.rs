@@ -58,6 +58,13 @@ pub struct JobOptions {
     /// attributes its cache probes to `tenant.<tag>.cache.*` keys in the
     /// job's telemetry. `None` (the solo default) writes no tenant keys.
     pub tenant: Option<String>,
+    /// Per-job fault domain: when set, this job opens its fault plan
+    /// from *this* config instead of the engine-wide
+    /// [`GtsConfig::faults`](crate::GtsConfig), so a service can give
+    /// every admitted job its own seeded schedule. A fault that exhausts
+    /// the job's retry budget surfaces as this job's typed
+    /// [`EngineError`] — it never touches any other job's context.
+    pub faults: Option<gts_faults::FaultConfig>,
 }
 
 impl Default for JobOptions {
@@ -65,6 +72,7 @@ impl Default for JobOptions {
         JobOptions {
             telemetry: Telemetry::new(),
             tenant: None,
+            faults: None,
         }
     }
 }
@@ -75,12 +83,20 @@ impl JobOptions {
         JobOptions {
             telemetry: tel,
             tenant: None,
+            faults: None,
         }
     }
 
     /// Attribute this job's cache traffic to `tenant` (builder-style).
     pub fn tenant(mut self, tenant: impl Into<String>) -> JobOptions {
         self.tenant = Some(tenant.into());
+        self
+    }
+
+    /// Give this job its own fault domain (builder-style), overriding
+    /// the engine-wide fault config for this job only.
+    pub fn faults(mut self, faults: gts_faults::FaultConfig) -> JobOptions {
+        self.faults = Some(faults);
         self
     }
 }
@@ -184,7 +200,11 @@ impl Engine {
             tel.name_thread(Track::new(keys::pid::ENGINE, 0), "run");
             tel.name_thread(Track::new(keys::pid::ENGINE, 1), "cache");
         }
-        let faults = self.cfg.faults.clone().map(FaultPlan::new);
+        let faults = opts
+            .faults
+            .clone()
+            .or_else(|| self.cfg.faults.clone())
+            .map(FaultPlan::new);
         let ck = match &self.cfg.checkpoint {
             Some(c) => Some(CkptStore::open(&c.dir).map_err(EngineError::Checkpoint)?),
             None => None,

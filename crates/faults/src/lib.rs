@@ -98,6 +98,36 @@ impl FaultConfig {
             ..FaultConfig::with_seed(seed)
         }
     }
+
+    /// The fault domain for one *served job attempt*: same rates and
+    /// recovery policy, but an independent seed mixed from this config's
+    /// seed, the job id, and the attempt number — so every job (and every
+    /// service-level retry of it) draws an unrelated schedule, while the
+    /// schedule itself stays a pure function of `(service seed, job,
+    /// attempt)` at any host thread count. The crash point is stripped:
+    /// process death belongs to the service, never to one tenant's job.
+    pub fn derived(&self, job: u64, attempt: u32) -> FaultConfig {
+        FaultConfig {
+            seed: domain_seed(self.seed, job, u64::from(attempt)),
+            crash: None,
+            ..self.clone()
+        }
+    }
+}
+
+/// Mix `(seed, a, b)` into one derived seed via the same chained
+/// splitmix64 finalizers as the per-entity streams. Public so the serve
+/// layer can derive ancillary per-job streams (e.g. backoff jitter) that
+/// are independent of the fault schedules themselves.
+pub fn domain_seed(seed: u64, a: u64, b: u64) -> u64 {
+    // Offset the domain tag past the private `Domain` discriminants so a
+    // derived config's entity streams can never collide with the parent
+    // seed's own streams.
+    stream_seed(
+        seed.wrapping_add(b.wrapping_mul(0xA076_1D64_78BD_642F)),
+        9,
+        a,
+    )
 }
 
 /// Where an injected crash kills the run. Both points die *after* state
@@ -113,6 +143,12 @@ pub enum CrashPoint {
     /// so resume must detect the bad checksum and fall back to the
     /// previous snapshot.
     MidSnapshotWrite(u32),
+    /// Die in serve mode, immediately before executing the admitted
+    /// mutating job that would apply the service's `k`-th epoch bump
+    /// (0-based) — after every preceding job has settled and the service
+    /// journal has flushed. A `k` past the workload's mutation count
+    /// never fires. Ignored outside serve mode.
+    AtEpoch(u32),
 }
 
 /// What one simulated device read attempt returns.
@@ -368,6 +404,44 @@ mod tests {
             ..FaultConfig::quiet(1)
         });
         assert_eq!(plan.crash(), Some(CrashPoint::MidSnapshotWrite(3)));
+    }
+
+    #[test]
+    fn derived_domains_are_deterministic_independent_and_crash_free() {
+        let svc = FaultConfig {
+            crash: Some(CrashPoint::AtEpoch(1)),
+            ..FaultConfig::with_seed(42)
+        };
+        // Deterministic: same (job, attempt), same domain.
+        assert_eq!(svc.derived(3, 1), svc.derived(3, 1));
+        // Independent: job ids and attempts each shift the seed.
+        assert_ne!(svc.derived(3, 1).seed, svc.derived(4, 1).seed);
+        assert_ne!(svc.derived(3, 1).seed, svc.derived(3, 2).seed);
+        // Policy rides along; the crash point does not.
+        let d = svc.derived(0, 1);
+        assert_eq!(d.max_retries, svc.max_retries);
+        assert_eq!(d.read_error_ppm, svc.read_error_ppm);
+        assert_eq!(d.crash, None);
+        // And the derived schedule really differs from the parent's.
+        let a = FaultPlan::new(FaultConfig {
+            read_error_ppm: 500_000,
+            ..FaultConfig::with_seed(42).derived(1, 1)
+        });
+        let b = FaultPlan::new(FaultConfig {
+            read_error_ppm: 500_000,
+            ..FaultConfig::with_seed(42)
+        });
+        let xs: Vec<ReadOutcome> = (0..64).map(|_| a.device_read(0)).collect();
+        let ys: Vec<ReadOutcome> = (0..64).map(|_| b.device_read(0)).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn domain_seed_mixes_both_salts() {
+        assert_eq!(domain_seed(7, 1, 2), domain_seed(7, 1, 2));
+        assert_ne!(domain_seed(7, 1, 2), domain_seed(7, 2, 2));
+        assert_ne!(domain_seed(7, 1, 2), domain_seed(7, 1, 3));
+        assert_ne!(domain_seed(7, 1, 2), domain_seed(8, 1, 2));
     }
 
     #[test]

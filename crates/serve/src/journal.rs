@@ -1,0 +1,493 @@
+//! The crash-consistent service journal: `JRNL1` records over
+//! `gts-ckpt`'s atomic snapshot store.
+//!
+//! After every scheduler step (a speculative read wave or one mutating
+//! job), the service encodes its full record log — admissions, starts,
+//! execution results, quarantines, epoch bumps — into one snapshot
+//! section and writes it through [`CkptStore`]'s tmp → fsync → rename
+//! path, so a kill at any instant leaves either the previous or the new
+//! journal intact, never a torn one.
+//!
+//! ## Resume model
+//!
+//! The scheduler is a pure function of `(workload, service seed)`, so a
+//! resumed daemon does not reconstruct queue state from the journal — it
+//! *re-runs the whole simulation* and uses the journal as a memo table:
+//! every `(job, attempt)` execution whose [`ExecRecord`] was journaled
+//! is served from the record instead of touching the engine (settled
+//! jobs are never re-run; a journaled mutation re-applies its seeded
+//! batch directly so the store fast-forwards through the same epochs),
+//! while in-flight work — attempts with no record — executes fresh,
+//! deterministically reproducing what the crashed run would have done.
+//! The header binds the journal to its workload, store, and normalized
+//! config (host threads excluded — resuming at a different
+//! `--host-threads` is part of the determinism contract), with typed
+//! [`ServeError::Journal`] mismatches.
+
+use crate::workload::{render, JobSpec};
+use crate::ServeError;
+use gts_ckpt::{fnv1a, ByteReader, ByteWriter, CkptStore, Snapshot};
+use gts_storage::GraphStore;
+use gts_telemetry::{keys, Telemetry};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// The record-format tag written at the head of every journal section.
+pub const JRNL_MAGIC: &str = "JRNL1";
+/// Snapshot payload schema version for journal snapshots.
+const JRNL_VERSION: u32 = 1;
+/// The single snapshot section holding the encoded journal.
+const SECTION: &str = "journal";
+
+/// Where the service journal lives and whether this run resumes from it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalConfig {
+    /// Directory for the journal's snapshot store.
+    pub dir: PathBuf,
+    /// Resume from the newest intact journal instead of starting empty.
+    pub resume: bool,
+}
+
+impl JournalConfig {
+    /// A journal at `dir`, starting fresh.
+    pub fn new(dir: impl Into<PathBuf>) -> JournalConfig {
+        JournalConfig {
+            dir: dir.into(),
+            resume: false,
+        }
+    }
+}
+
+/// The memoized result of one `(job, attempt)` engine execution — the
+/// payload a resumed service replays instead of re-running the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ExecRecord {
+    /// Position in the arrival-sorted workload.
+    pub job: u32,
+    /// 1-based execution attempt.
+    pub attempt: u32,
+    /// Whether the engine run completed.
+    pub ok: bool,
+    /// The engine's error rendering when `!ok` (empty otherwise).
+    pub error: String,
+    /// Simulated service time of the run (0 when `!ok`).
+    pub service_ns: u64,
+    /// FNV-1a fingerprint of the program's final state (0 when `!ok`).
+    pub result_fp: u64,
+    /// Whether this execution advanced the store epoch (mutating jobs).
+    pub epoch_advanced: bool,
+    /// The job's full counter registry.
+    pub counters: BTreeMap<String, u64>,
+}
+
+/// One journal entry, appended in settle order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Record {
+    /// Admission granted: the job will occupy slot time.
+    Admit {
+        /// Workload position.
+        job: u32,
+        /// 1-based attempt.
+        attempt: u32,
+        /// Simulated arrival of this attempt.
+        at_ns: u64,
+    },
+    /// Execution dispatched at `start_ns` on the simulated clock.
+    Start {
+        /// Workload position.
+        job: u32,
+        /// 1-based attempt.
+        attempt: u32,
+        /// Simulated dispatch instant.
+        start_ns: u64,
+    },
+    /// The attempt's engine execution settled (completion or failure).
+    Exec(ExecRecord),
+    /// The job exhausted its service-level retries and was quarantined.
+    Quarantine {
+        /// Workload position.
+        job: u32,
+        /// Total attempts consumed.
+        attempts: u32,
+    },
+    /// A mutating job advanced the store epoch.
+    Epoch {
+        /// Workload position of the mutating job.
+        job: u32,
+        /// The store epoch after the bump.
+        epoch: u64,
+    },
+}
+
+fn jerr(e: impl std::fmt::Display) -> ServeError {
+    ServeError::Journal(e.to_string())
+}
+
+/// The identity a journal is bound to. `cfg_fp` must be computed from a
+/// *normalized* config rendering (host threads and crash point
+/// excluded) so a journal written at `--host-threads 4` resumes at 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Header {
+    pub workload_fp: u64,
+    pub store_fp: u64,
+    pub cfg_fp: u64,
+}
+
+impl Header {
+    pub(crate) fn bind(jobs: &[JobSpec], store: &GraphStore, cfg_rendering: &str) -> Header {
+        let mut w = ByteWriter::new();
+        w.put_u64(store.num_vertices());
+        w.put_u64(store.num_edges());
+        w.put_u64(store.num_pages());
+        w.put_u64(store.epoch());
+        Header {
+            workload_fp: fnv1a(render(jobs).as_bytes()),
+            store_fp: fnv1a(&w.into_bytes()),
+            cfg_fp: fnv1a(cfg_rendering.as_bytes()),
+        }
+    }
+}
+
+fn encode(header: &Header, records: &[Record]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_str(JRNL_MAGIC);
+    w.put_u64(header.workload_fp);
+    w.put_u64(header.store_fp);
+    w.put_u64(header.cfg_fp);
+    w.put_u32(records.len() as u32);
+    for r in records {
+        match r {
+            Record::Admit {
+                job,
+                attempt,
+                at_ns,
+            } => {
+                w.put_u8(1);
+                w.put_u32(*job);
+                w.put_u32(*attempt);
+                w.put_u64(*at_ns);
+            }
+            Record::Start {
+                job,
+                attempt,
+                start_ns,
+            } => {
+                w.put_u8(2);
+                w.put_u32(*job);
+                w.put_u32(*attempt);
+                w.put_u64(*start_ns);
+            }
+            Record::Exec(e) => {
+                w.put_u8(3);
+                w.put_u32(e.job);
+                w.put_u32(e.attempt);
+                w.put_bool(e.ok);
+                w.put_str(&e.error);
+                w.put_u64(e.service_ns);
+                w.put_u64(e.result_fp);
+                w.put_bool(e.epoch_advanced);
+                w.put_u32(e.counters.len() as u32);
+                for (k, v) in &e.counters {
+                    w.put_str(k);
+                    w.put_u64(*v);
+                }
+            }
+            Record::Quarantine { job, attempts } => {
+                w.put_u8(4);
+                w.put_u32(*job);
+                w.put_u32(*attempts);
+            }
+            Record::Epoch { job, epoch } => {
+                w.put_u8(5);
+                w.put_u32(*job);
+                w.put_u64(*epoch);
+            }
+        }
+    }
+    w.into_bytes()
+}
+
+fn decode(bytes: &[u8]) -> Result<(Header, Vec<Record>), ServeError> {
+    let mut r = ByteReader::new(bytes);
+    let magic = r.take_str("journal magic").map_err(jerr)?;
+    if magic != JRNL_MAGIC {
+        return Err(ServeError::Journal(format!(
+            "bad magic {magic:?}, expected {JRNL_MAGIC:?}"
+        )));
+    }
+    let header = Header {
+        workload_fp: r.take_u64("workload fingerprint").map_err(jerr)?,
+        store_fp: r.take_u64("store fingerprint").map_err(jerr)?,
+        cfg_fp: r.take_u64("config fingerprint").map_err(jerr)?,
+    };
+    let n = r.take_u32("record count").map_err(jerr)?;
+    let mut records = Vec::with_capacity((n as usize).min(bytes.len()));
+    for _ in 0..n {
+        let rec = match r.take_u8("record tag").map_err(jerr)? {
+            1 => Record::Admit {
+                job: r.take_u32("admit job").map_err(jerr)?,
+                attempt: r.take_u32("admit attempt").map_err(jerr)?,
+                at_ns: r.take_u64("admit at").map_err(jerr)?,
+            },
+            2 => Record::Start {
+                job: r.take_u32("start job").map_err(jerr)?,
+                attempt: r.take_u32("start attempt").map_err(jerr)?,
+                start_ns: r.take_u64("start ns").map_err(jerr)?,
+            },
+            3 => {
+                let job = r.take_u32("exec job").map_err(jerr)?;
+                let attempt = r.take_u32("exec attempt").map_err(jerr)?;
+                let ok = r.take_bool("exec ok").map_err(jerr)?;
+                let error = r.take_str("exec error").map_err(jerr)?;
+                let service_ns = r.take_u64("exec service").map_err(jerr)?;
+                let result_fp = r.take_u64("exec result fp").map_err(jerr)?;
+                let epoch_advanced = r.take_bool("exec epoch flag").map_err(jerr)?;
+                let k = r.take_u32("exec counter count").map_err(jerr)?;
+                let mut counters = BTreeMap::new();
+                for _ in 0..k {
+                    let key = r.take_str("exec counter key").map_err(jerr)?;
+                    let v = r.take_u64("exec counter value").map_err(jerr)?;
+                    counters.insert(key, v);
+                }
+                Record::Exec(ExecRecord {
+                    job,
+                    attempt,
+                    ok,
+                    error,
+                    service_ns,
+                    result_fp,
+                    epoch_advanced,
+                    counters,
+                })
+            }
+            4 => Record::Quarantine {
+                job: r.take_u32("quarantine job").map_err(jerr)?,
+                attempts: r.take_u32("quarantine attempts").map_err(jerr)?,
+            },
+            5 => Record::Epoch {
+                job: r.take_u32("epoch job").map_err(jerr)?,
+                epoch: r.take_u64("epoch value").map_err(jerr)?,
+            },
+            tag => return Err(ServeError::Journal(format!("unknown record tag {tag}"))),
+        };
+        records.push(rec);
+    }
+    r.finish().map_err(jerr)?;
+    Ok((header, records))
+}
+
+/// The live journal: the record log, the memo table of settled
+/// executions, and the snapshot store the log flushes through.
+#[derive(Debug)]
+pub(crate) struct Journal {
+    ck: CkptStore,
+    header: Header,
+    records: Vec<Record>,
+    cached: BTreeMap<(u32, u32), ExecRecord>,
+    seq: u64,
+}
+
+impl Journal {
+    /// Open (and on `cfg.resume` load + verify) the journal at
+    /// `cfg.dir`. A resume with no intact journal, or one bound to a
+    /// different workload/store/config, is a typed error.
+    pub(crate) fn open(cfg: &JournalConfig, header: Header) -> Result<Journal, ServeError> {
+        let ck = CkptStore::open(&cfg.dir).map_err(jerr)?;
+        let mut j = Journal {
+            ck,
+            header,
+            records: Vec::new(),
+            cached: BTreeMap::new(),
+            seq: 0,
+        };
+        if cfg.resume {
+            let (seq, snap) = j.ck.load_latest().map_err(jerr)?;
+            snap.require_version(JRNL_VERSION).map_err(jerr)?;
+            let (found, records) = decode(snap.section(SECTION).map_err(jerr)?)?;
+            for (what, found, want) in [
+                ("workload", found.workload_fp, header.workload_fp),
+                ("store", found.store_fp, header.store_fp),
+                ("config", found.cfg_fp, header.cfg_fp),
+            ] {
+                if found != want {
+                    return Err(ServeError::Journal(format!(
+                        "{what} fingerprint mismatch: journal {found:#x}, this run {want:#x}"
+                    )));
+                }
+            }
+            for r in &records {
+                if let Record::Exec(e) = r {
+                    j.cached.insert((e.job, e.attempt), e.clone());
+                }
+            }
+            j.records = records;
+            j.seq = seq + 1;
+        }
+        Ok(j)
+    }
+
+    /// The memoized execution of `(job, attempt)`, when it settled
+    /// before the crash.
+    pub(crate) fn cached(&self, job: u32, attempt: u32) -> Option<&ExecRecord> {
+        self.cached.get(&(job, attempt))
+    }
+
+    /// Append one record (live settles only — memo hits are already in
+    /// the log from the crashed run).
+    pub(crate) fn append(&mut self, r: Record) {
+        if let Record::Exec(e) = &r {
+            self.cached.insert((e.job, e.attempt), e.clone());
+        }
+        self.records.push(r);
+    }
+
+    /// Flush the full log as one atomic snapshot and account the I/O
+    /// under the wall-side `serve.journal.*` keys.
+    pub(crate) fn flush(&mut self, tel: &Telemetry) -> Result<(), ServeError> {
+        let mut snap = Snapshot::new(JRNL_VERSION);
+        snap.insert(SECTION, encode(&self.header, &self.records));
+        let bytes = self.ck.write(self.seq, &snap).map_err(jerr)?;
+        self.seq += 1;
+        tel.add(keys::SERVE_JOURNAL_FLUSHES, 1);
+        tel.set(keys::SERVE_JOURNAL_RECORDS, self.records.len() as u64);
+        tel.add("serve.journal.bytes", bytes);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn tempdir(tag: &str) -> PathBuf {
+        static N: AtomicU32 = AtomicU32::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "gts-serve-journal-{}-{tag}-{n}",
+            std::process::id()
+        ))
+    }
+
+    fn sample_records() -> Vec<Record> {
+        vec![
+            Record::Admit {
+                job: 0,
+                attempt: 1,
+                at_ns: 10,
+            },
+            Record::Start {
+                job: 0,
+                attempt: 1,
+                start_ns: 10,
+            },
+            Record::Exec(ExecRecord {
+                job: 0,
+                attempt: 1,
+                ok: false,
+                error: "gpu0: H2D copy failed after 5 attempts".into(),
+                service_ns: 0,
+                result_fp: 0,
+                epoch_advanced: false,
+                counters: BTreeMap::new(),
+            }),
+            Record::Exec(ExecRecord {
+                job: 1,
+                attempt: 2,
+                ok: true,
+                error: String::new(),
+                service_ns: 1234,
+                result_fp: 0xFEED,
+                epoch_advanced: true,
+                counters: BTreeMap::from([("run.sweeps".to_string(), 3u64)]),
+            }),
+            Record::Quarantine {
+                job: 0,
+                attempts: 3,
+            },
+            Record::Epoch { job: 1, epoch: 1 },
+        ]
+    }
+
+    #[test]
+    fn records_round_trip_through_the_codec() {
+        let header = Header {
+            workload_fp: 1,
+            store_fp: 2,
+            cfg_fp: 3,
+        };
+        let records = sample_records();
+        let (h, rs) = decode(&encode(&header, &records)).unwrap();
+        assert_eq!(h, header);
+        assert_eq!(rs, records);
+    }
+
+    #[test]
+    fn truncated_or_mislabeled_bytes_are_typed_errors() {
+        let header = Header {
+            workload_fp: 1,
+            store_fp: 2,
+            cfg_fp: 3,
+        };
+        let bytes = encode(&header, &sample_records());
+        let err = decode(&bytes[..bytes.len() - 3]).unwrap_err();
+        assert!(matches!(err, ServeError::Journal(_)), "{err}");
+        let err = decode(&encode_bad_magic()).unwrap_err();
+        assert!(err.to_string().contains("bad magic"), "{err}");
+    }
+
+    fn encode_bad_magic() -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_str("NOPE!");
+        w.into_bytes()
+    }
+
+    #[test]
+    fn flush_load_resume_verifies_the_binding() {
+        let dir = tempdir("bind");
+        let header = Header {
+            workload_fp: 11,
+            store_fp: 22,
+            cfg_fp: 33,
+        };
+        let tel = Telemetry::new();
+        let mut j = Journal::open(&JournalConfig::new(&dir), header).unwrap();
+        for r in sample_records() {
+            j.append(r);
+        }
+        j.flush(&tel).unwrap();
+        assert_eq!(tel.counter(keys::SERVE_JOURNAL_FLUSHES), 1);
+        assert_eq!(tel.counter(keys::SERVE_JOURNAL_RECORDS), 6);
+
+        // Resume with the same binding: the memo table holds both execs.
+        let resume = JournalConfig {
+            dir: dir.clone(),
+            resume: true,
+        };
+        let j2 = Journal::open(&resume, header).unwrap();
+        assert!(!j2.cached(0, 1).unwrap().ok);
+        assert_eq!(j2.cached(1, 2).unwrap().service_ns, 1234);
+        assert_eq!(j2.cached(9, 1), None);
+
+        // A different workload fingerprint is refused, typed.
+        let other = Header {
+            workload_fp: 99,
+            ..header
+        };
+        let err = Journal::open(&resume, other).unwrap_err();
+        assert!(
+            err.to_string().contains("workload fingerprint mismatch"),
+            "{err}"
+        );
+        // Resuming an empty directory is refused, not silently fresh.
+        let empty = JournalConfig {
+            dir: tempdir("empty"),
+            resume: true,
+        };
+        assert!(matches!(
+            Journal::open(&empty, header),
+            Err(ServeError::Journal(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -18,6 +18,15 @@
 //!   ([`ServeError::QueueFull`] / [`ServeError::Rejected`] /
 //!   [`ServeError::Deadline`]). Edge-mutating jobs serialise through the
 //!   store's epoch pipeline as an all-slots barrier.
+//! * [`resilience`] — the service-level fault policy: per-job fault
+//!   domains derived from one service seed, capped exponential backoff
+//!   retry with quarantine ([`JobStatus::Quarantined`]), a per-tenant
+//!   circuit breaker ([`ServeError::BreakerOpen`]), and load-aware
+//!   overload shedding ([`ServeError::Shed`]).
+//! * [`journal`] — the crash-consistent service journal (`JRNL1`
+//!   records over `gts-ckpt`'s atomic snapshot store): a killed daemon
+//!   resumes without re-running settled jobs, byte-identical to an
+//!   uncrashed run.
 //!
 //! ## The determinism contract, extended to serving
 //!
@@ -49,11 +58,15 @@
 //! assert_eq!(outcome.telemetry.counter("serve.lat.all.count"), 2);
 //! ```
 
+pub mod journal;
+pub mod resilience;
 pub mod scheduler;
 pub mod workload;
 
+pub use journal::JournalConfig;
+pub use resilience::ResilienceConfig;
 pub use scheduler::{serve, JobOutcome, JobStatus, ServeConfig, ServeOutcome};
-pub use workload::{parse, synthetic, JobSpec, MutateSpec};
+pub use workload::{parse, synthetic, JobSpec, MutateSpec, WorkloadError};
 
 /// Why the service refused or abandoned a job (or could not start at
 /// all). The first three variants are the typed backpressure surfaced
@@ -87,6 +100,40 @@ pub enum ServeError {
         /// The configured admission deadline.
         deadline_ns: u64,
     },
+    /// The tenant's circuit breaker was open when the job arrived: the
+    /// tenant accumulated `breaker_threshold` consecutive failures and
+    /// its arrivals are shed until the cool-down elapses.
+    BreakerOpen {
+        /// The tenant whose breaker tripped.
+        tenant: String,
+        /// Consecutive failures that tripped it.
+        failures: u32,
+        /// Simulated instant the breaker closes again.
+        until_ns: u64,
+    },
+    /// Load-aware admission shed the job: service pressure crossed the
+    /// job's priority-scaled watermark, so the lowest classes go first.
+    Shed {
+        /// The shed job's class (algorithm name).
+        class: String,
+        /// Effective pressure at arrival, percent (max of queue
+        /// occupancy and projected deadline consumption).
+        pressure_pct: u32,
+        /// The watermark this job's priority had to stay under.
+        watermark_pct: u32,
+    },
+    /// The injected serve-mode crash point fired
+    /// ([`CrashPoint::AtEpoch`](gts_faults::CrashPoint)): the daemon
+    /// "died" right before applying this epoch bump, after flushing its
+    /// journal, so `--resume-serve` must reproduce the uncrashed run.
+    InjectedCrash {
+        /// The 0-based epoch bump the service was about to apply.
+        epoch: u32,
+    },
+    /// The service journal is unusable: the directory cannot be opened,
+    /// a record is malformed, or the journal belongs to a different
+    /// workload/config/store than the one being resumed.
+    Journal(String),
     /// The service configuration itself is invalid.
     Config(String),
     /// The workload script is malformed or names impossible work.
@@ -116,6 +163,26 @@ impl std::fmt::Display for ServeError {
                 f,
                 "deadline exceeded: would wait {waited_ns} ns > deadline {deadline_ns} ns"
             ),
+            ServeError::BreakerOpen {
+                tenant,
+                failures,
+                until_ns,
+            } => write!(
+                f,
+                "tenant {tenant:?} breaker open after {failures} consecutive failures (closes at {until_ns} ns)"
+            ),
+            ServeError::Shed {
+                class,
+                pressure_pct,
+                watermark_pct,
+            } => write!(
+                f,
+                "shed {class} job: pressure {pressure_pct}% over watermark {watermark_pct}%"
+            ),
+            ServeError::InjectedCrash { epoch } => {
+                write!(f, "injected crash before epoch bump {epoch}")
+            }
+            ServeError::Journal(m) => write!(f, "serve journal: {m}"),
             ServeError::Config(m) => write!(f, "serve config: {m}"),
             ServeError::Workload(m) => write!(f, "workload: {m}"),
             ServeError::Engine(m) => write!(f, "engine: {m}"),

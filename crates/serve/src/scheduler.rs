@@ -16,8 +16,13 @@
 //! ## Admission control
 //!
 //! A job that cannot start the instant it arrives must wait, and
-//! waiting is bounded three ways, surfaced as typed backpressure:
+//! waiting is bounded, surfaced as typed backpressure:
 //!
+//! * [`ServeError::BreakerOpen`] — the tenant's circuit breaker is
+//!   open: it accumulated too many consecutive failures and its
+//!   arrivals are shed until the cool-down elapses.
+//! * [`ServeError::Shed`] — load-aware overload shedding: service
+//!   pressure crossed the job's priority-scaled watermark.
 //! * [`ServeError::QueueFull`] — the shared queue already holds
 //!   `queue_capacity` waiting jobs.
 //! * [`ServeError::Rejected`] — this tenant already has
@@ -25,8 +30,30 @@
 //!   starve the rest of the queue).
 //! * [`ServeError::Deadline`] — the job's start would come more than
 //!   `deadline_ns` after arrival; it is dropped at dispatch instead of
-//!   running uselessly late (it still occupies queue space until the
-//!   deadline expires).
+//!   running uselessly late, and it frees its queue slot immediately
+//!   (a job known dead at decision time never crowds out later
+//!   arrivals).
+//!
+//! ## Faults and resilience
+//!
+//! With a service fault template configured ([`ServeConfig::faults`]),
+//! every `(job, attempt)` execution derives its own fault domain from
+//! the one service seed ([`gts_faults::FaultConfig::derived`]), so one
+//! tenant's faults never perturb another tenant's counters and the
+//! whole service stays deterministic at any `host_threads`. An engine
+//! failure becomes a typed [`JobStatus::Failed`] — never a service
+//! abort — and the [`resilience`](crate::resilience) layer can
+//! re-admit it with capped exponential backoff until quarantine
+//! ([`JobStatus::Quarantined`]).
+//!
+//! ## Crash consistency
+//!
+//! With a journal configured ([`ServeConfig::journal`]), every settled
+//! execution is logged through `gts-ckpt`'s atomic store; a daemon
+//! killed mid-workload (the injected [`CrashPoint::AtEpoch`] fires
+//! right before an epoch bump) resumes by re-running the simulation
+//! with settled executions served from the journal — see
+//! [`journal`](crate::journal) for the memoization model.
 //!
 //! ## Determinism
 //!
@@ -38,15 +65,19 @@
 //! each runs in its own [`JobContext`](gts_core::JobContext), keeping
 //! its report and counters byte-identical to a solo run.
 
+use crate::journal::{ExecRecord, Header, Journal, JournalConfig, Record};
+use crate::resilience::{Resilience, ResilienceConfig};
 use crate::workload::{seeded_batch, JobSpec, ALGORITHMS};
 use crate::ServeError;
+use gts_ckpt::fnv1a;
 use gts_core::programs::{
     Bc, Bfs, Cc, Degrees, GtsProgram, KCore, PageRank, RadiusEstimation, Rwr, Sssp,
 };
 use gts_core::{Engine, JobOptions, MutationSchedule, RunReport};
 use gts_exec::ThreadPool;
+use gts_faults::{CrashPoint, FaultConfig};
 use gts_storage::builder::GraphStore;
-use gts_telemetry::Telemetry;
+use gts_telemetry::{keys, Telemetry};
 use std::collections::BTreeMap;
 
 /// Service provisioning and admission-control bounds.
@@ -64,6 +95,19 @@ pub struct ServeConfig {
     /// forever, `Some(d)` drops overdue jobs with
     /// [`ServeError::Deadline`].
     pub deadline_ns: Option<u64>,
+    /// The service fault template: each `(job, attempt)` execution
+    /// derives its own domain from this seed. `None` (default) serves
+    /// fault-free.
+    pub faults: Option<FaultConfig>,
+    /// Retry/backoff, quarantine, circuit-breaker, and shedding knobs;
+    /// all default to off.
+    pub resilience: ResilienceConfig,
+    /// The crash-consistent service journal; `None` (default) keeps no
+    /// journal.
+    pub journal: Option<JournalConfig>,
+    /// Injected crash point for crash-consistency testing; only
+    /// [`CrashPoint::AtEpoch`] is meaningful in serve mode.
+    pub crash: Option<CrashPoint>,
 }
 
 impl Default for ServeConfig {
@@ -73,6 +117,10 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             tenant_queue_capacity: 16,
             deadline_ns: None,
+            faults: None,
+            resilience: ResilienceConfig::default(),
+            journal: None,
+            crash: None,
         }
     }
 }
@@ -91,6 +139,14 @@ impl ServeConfig {
         if self.deadline_ns == Some(0) {
             return Err(ServeError::Config("deadline_ns must be >= 1".into()));
         }
+        self.resilience.validate()?;
+        if let Some(crash) = self.crash {
+            if !matches!(crash, CrashPoint::AtEpoch(_)) {
+                return Err(ServeError::Config(format!(
+                    "serve crash point must be at-epoch, got {crash:?}"
+                )));
+            }
+        }
         Ok(())
     }
 }
@@ -102,9 +158,22 @@ pub enum JobStatus {
     Completed,
     /// Never ran: dropped by admission control with this backpressure.
     Dropped(ServeError),
-    /// Admitted but the engine failed it (message attached). The slot
-    /// time it would have used is not charged.
-    Failed(String),
+    /// Admitted but the engine failed it and the service-level retry
+    /// budget is zero (or the job is mutating, which is never
+    /// service-retried). The slot time it would have used is not
+    /// charged.
+    Failed {
+        /// The engine's error rendering.
+        error: String,
+    },
+    /// Poison: the job failed every one of its `retry_max + 1`
+    /// attempts, each under a fresh fault domain, and is quarantined.
+    Quarantined {
+        /// The final attempt's error rendering.
+        error: String,
+        /// Total execution attempts consumed.
+        attempts: u32,
+    },
 }
 
 /// The per-job record the service returns, in admission order.
@@ -121,16 +190,22 @@ pub struct JobOutcome {
     pub mutating: bool,
     /// Scripted arrival, simulated ns.
     pub arrival_ns: u64,
-    /// Dispatch time (0 for dropped jobs).
+    /// Dispatch time of the final attempt (0 for dropped jobs).
     pub start_ns: u64,
     /// Completion time (0 for dropped jobs).
     pub finish_ns: u64,
     /// Solo simulated elapsed time of the run (0 for dropped jobs).
     pub service_ns: u64,
+    /// Execution attempts consumed (0 for jobs dropped before ever
+    /// running; service-level retries count each re-admission).
+    pub attempts: u32,
+    /// FNV-1a fingerprint of the program's final state (0 unless
+    /// completed) — lets callers compare results without the payload.
+    pub result_fp: u64,
     /// How the job ended.
     pub status: JobStatus,
     /// The job's full counter registry — byte-identical to the same job
-    /// run solo (empty for dropped jobs).
+    /// run solo (empty for dropped and failed jobs).
     pub counters: BTreeMap<String, u64>,
     /// The job's report (completed jobs only).
     pub report: Option<RunReport>,
@@ -158,6 +233,8 @@ impl JobOutcome {
             start_ns: 0,
             finish_ns: 0,
             service_ns: 0,
+            attempts: 0,
+            result_fp: 0,
             status: JobStatus::Dropped(why),
             counters: BTreeMap::new(),
             report: None,
@@ -181,15 +258,17 @@ pub struct ServeOutcome {
     pub completed: usize,
     /// Jobs dropped by admission control.
     pub dropped: usize,
-    /// Jobs the engine failed.
+    /// Jobs the engine failed terminally (no retry budget).
     pub failed: usize,
+    /// Jobs quarantined after exhausting their retry budget.
+    pub quarantined: usize,
 }
 
 /// The FIFO G/G/c state on the simulated clock. `slots[i]` is the time
 /// slot *i* becomes free; `waiting` are dispatched-but-not-yet-started
-/// (or deadline-doomed) jobs, kept so queue-occupancy checks at later
-/// arrivals see them — a job occupies queue space from arrival until
-/// its start (or until its deadline expires).
+/// jobs, kept so queue-occupancy checks at later arrivals see them — a
+/// job occupies queue space from arrival until its start. Jobs doomed
+/// by their deadline are dropped without ever occupying queue space.
 struct Sim {
     slots: Vec<u64>,
     waiting: Vec<(u64, String)>,
@@ -209,14 +288,20 @@ impl Sim {
         }
     }
 
-    /// Admission decision for a job arriving at `arrival`: its start
-    /// time, or the typed drop. Processing jobs in arrival order with
-    /// `start = max(earliest-free, arrival)` *is* the FIFO simulation —
-    /// dispatch order equals arrival order, so decisions depend only on
-    /// already-settled jobs.
-    fn decide(&mut self, arrival: u64, tenant: &str, mutating: bool) -> Result<u64, ServeError> {
+    /// Admission decision for `spec` arriving at `arrival` (which is
+    /// later than `spec.at_ns` for service-level re-admissions): its
+    /// start time, or the typed drop. Processing jobs in arrival order
+    /// with `start = max(earliest-free, arrival)` *is* the FIFO
+    /// simulation — dispatch order equals arrival order, so decisions
+    /// depend only on already-settled jobs.
+    fn decide(
+        &mut self,
+        arrival: u64,
+        spec: &JobSpec,
+        resil: &Resilience,
+    ) -> Result<u64, ServeError> {
         self.waiting.retain(|(until, _)| *until > arrival);
-        let slot_free = if mutating {
+        let slot_free = if spec.mutate.is_some() {
             // Topology rewrite: every lane set must drain first.
             self.slots.iter().copied().max().unwrap_or(0)
         } else {
@@ -226,10 +311,29 @@ impl Sim {
         if start == arrival {
             return Ok(start); // a slot is free right now: no queueing
         }
-        let mine = self.waiting.iter().filter(|(_, t)| t == tenant).count();
+        // An overloaded service refuses before capacity bookkeeping:
+        // shedding is a pressure decision, not a queue-full accident.
+        if let Some((pressure_pct, watermark_pct)) = resil.shed(
+            spec.priority,
+            self.waiting.len(),
+            self.queue_capacity,
+            start - arrival,
+            self.deadline_ns,
+        ) {
+            return Err(ServeError::Shed {
+                class: spec.algorithm.clone(),
+                pressure_pct,
+                watermark_pct,
+            });
+        }
+        let mine = self
+            .waiting
+            .iter()
+            .filter(|(_, t)| *t == spec.tenant)
+            .count();
         if mine >= self.tenant_queue_capacity {
             return Err(ServeError::Rejected {
-                tenant: tenant.to_string(),
+                tenant: spec.tenant.clone(),
                 waiting: mine,
                 capacity: self.tenant_queue_capacity,
             });
@@ -242,16 +346,16 @@ impl Sim {
         }
         if let Some(deadline) = self.deadline_ns {
             if start - arrival > deadline {
-                // Doomed, but it still sits in the queue until the
-                // deadline expires — later arrivals must see it there.
-                self.waiting.push((arrival + deadline, tenant.to_string()));
+                // Doomed at decision time: known dead now, so it frees
+                // its queue slot immediately instead of crowding out
+                // later arrivals until the deadline expires.
                 return Err(ServeError::Deadline {
                     waited_ns: start - arrival,
                     deadline_ns: deadline,
                 });
             }
         }
-        self.waiting.push((start, tenant.to_string()));
+        self.waiting.push((start, spec.tenant.clone()));
         Ok(start)
     }
 
@@ -288,81 +392,148 @@ fn job_options(spec: &JobSpec) -> JobOptions {
     JobOptions::with_telemetry(Telemetry::new()).tenant(spec.tenant.clone())
 }
 
-/// Execute one read job solo (its own `JobContext`, its own registry).
-fn execute_read(
+/// A job attempt awaiting execution: the initial admission is attempt
+/// 1 arriving at the scripted time; service-level re-admissions bump
+/// `attempt` and arrive after backoff.
+#[derive(Debug, Clone)]
+struct Pending {
+    arrival: u64,
+    seq: u32,
+    attempt: u32,
+}
+
+/// Options for one execution attempt: the job's own registry plus its
+/// derived fault domain when the service has a fault template.
+fn attempt_options(spec: &JobSpec, cfg: &ServeConfig, p: &Pending) -> JobOptions {
+    let mut opts = job_options(spec);
+    if let Some(template) = &cfg.faults {
+        opts = opts.faults(template.derived(u64::from(p.seq), p.attempt));
+    }
+    opts
+}
+
+fn failed_record(p: &Pending, error: String) -> ExecRecord {
+    ExecRecord {
+        job: p.seq,
+        attempt: p.attempt,
+        ok: false,
+        error,
+        service_ns: 0,
+        result_fp: 0,
+        epoch_advanced: false,
+        counters: BTreeMap::new(),
+    }
+}
+
+fn completed_record(
+    p: &Pending,
+    report: &RunReport,
+    prog: &dyn GtsProgram,
+    opts: &JobOptions,
+) -> ExecRecord {
+    ExecRecord {
+        job: p.seq,
+        attempt: p.attempt,
+        ok: true,
+        error: String::new(),
+        service_ns: report.elapsed.as_nanos(),
+        result_fp: fnv1a(&prog.save_state()),
+        epoch_advanced: false,
+        counters: opts.telemetry.counters(),
+    }
+}
+
+/// Execute one read job solo (its own `JobContext`, its own registry,
+/// its own fault domain). Failures are data in the record, never an
+/// error: a job fault must not abort the service.
+fn run_read(
     engine: &Engine,
     store: &GraphStore,
     spec: &JobSpec,
-) -> Result<(RunReport, Telemetry), ServeError> {
-    let mut prog = make_program(spec, store.num_vertices())?;
-    let opts = job_options(spec);
-    let report = engine
-        .run_job(store, &mut *prog, &opts)
-        .map_err(|e| ServeError::Engine(e.to_string()))?;
-    Ok((report, opts.telemetry))
+    p: &Pending,
+    cfg: &ServeConfig,
+) -> (ExecRecord, Option<RunReport>) {
+    let opts = attempt_options(spec, cfg, p);
+    let mut prog = match make_program(spec, store.num_vertices()) {
+        Ok(prog) => prog,
+        Err(e) => return (failed_record(p, e.to_string()), None),
+    };
+    match engine.run_job(store, &mut *prog, &opts) {
+        Ok(report) => {
+            let rec = completed_record(p, &report, &*prog, &opts);
+            (rec, Some(report))
+        }
+        Err(e) => (
+            failed_record(p, ServeError::Engine(e.to_string()).to_string()),
+            None,
+        ),
+    }
 }
 
 /// Execute the mutating job that closes an epoch group: its batch goes
 /// through the store's epoch pipeline at the scripted sweep boundary.
-fn execute_mutating(
+/// `epoch_advanced` reflects the store, not the job status — a faulted
+/// run may fail *after* its batch applied.
+fn run_mutating(
     engine: &Engine,
     store: &mut GraphStore,
     spec: &JobSpec,
-) -> Result<(RunReport, Telemetry), ServeError> {
+    p: &Pending,
+    cfg: &ServeConfig,
+) -> (ExecRecord, Option<RunReport>) {
+    let before = store.epoch();
     let m = spec.mutate.expect("caller checked spec.mutate");
     let batch = seeded_batch(store, m.inserts, m.deletes, m.seed);
     let schedule = MutationSchedule::new().at(m.at_sweep, batch);
-    let mut prog = make_program(spec, store.num_vertices())?;
-    let opts = job_options(spec);
-    let report = engine
-        .run_job_live(store, &mut *prog, schedule, &opts)
-        .map_err(|e| ServeError::Engine(e.to_string()))?;
-    Ok((report, opts.telemetry))
+    let opts = attempt_options(spec, cfg, p);
+    let (mut rec, report) = match make_program(spec, store.num_vertices()) {
+        Ok(mut prog) => match engine.run_job_live(store, &mut *prog, schedule, &opts) {
+            Ok(report) => {
+                let rec = completed_record(p, &report, &*prog, &opts);
+                (rec, Some(report))
+            }
+            Err(e) => (
+                failed_record(p, ServeError::Engine(e.to_string()).to_string()),
+                None,
+            ),
+        },
+        Err(e) => (failed_record(p, e.to_string()), None),
+    };
+    rec.epoch_advanced = store.epoch() > before;
+    (rec, report)
 }
 
-/// Fold one admitted job's execution into its outcome record and the
-/// service registry: latency histograms by class, admission counters,
-/// and the per-tenant `tenant.*` rollup.
-fn settle(
-    tel: &Telemetry,
-    sim: &mut Sim,
-    index: usize,
-    spec: &JobSpec,
-    start: u64,
-    executed: Result<(RunReport, Telemetry), ServeError>,
-) -> JobOutcome {
-    tel.add("serve.jobs.admitted", 1);
-    let mut out = JobOutcome::dropped(index, spec, ServeError::Config(String::new()));
-    out.start_ns = start;
-    match executed {
-        Ok((report, jtel)) => {
-            out.service_ns = report.elapsed.as_nanos();
-            out.finish_ns = start + out.service_ns;
-            out.counters = jtel.counters();
-            out.report = Some(report);
-            out.status = JobStatus::Completed;
-            sim.commit(start, out.service_ns, out.mutating);
-            tel.add("serve.jobs.completed", 1);
-            if out.mutating {
-                tel.add("serve.epochs", 1);
-            }
-            let latency = out.latency_ns();
-            tel.observe(format!("serve.lat.{}", out.class), latency);
-            tel.observe("serve.lat.all", latency);
-            for (k, v) in &out.counters {
-                if k.starts_with("tenant.") {
-                    tel.add(k, *v);
-                }
-            }
-        }
-        Err(why) => {
-            out.finish_ns = start;
-            out.status = JobStatus::Failed(why.to_string());
-            sim.commit(start, 0, out.mutating);
-            tel.add("serve.jobs.failed", 1);
-        }
+/// Rebuild a journal-restored completion's report from its memoized
+/// counters — [`RunReport::from_telemetry`] reads nothing else, so the
+/// rebuilt report equals the one the crashed run held in memory.
+fn rebuild_report(store: &GraphStore, spec: &JobSpec, rec: &ExecRecord) -> RunReport {
+    let tel = Telemetry::new();
+    for (k, v) in &rec.counters {
+        tel.set(k, *v);
     }
-    out
+    let algorithm = make_program(spec, store.num_vertices())
+        .map_or_else(|_| spec.algorithm.clone(), |prog| prog.name().to_string());
+    RunReport::from_telemetry(&tel, algorithm, "GTS")
+}
+
+/// The normalized config rendering the journal header is bound to.
+/// Host threads and host-phase measurement are excluded — both are
+/// wall-side only, and resuming at a different `--host-threads` is part
+/// of the determinism contract. The crash point and journal location
+/// are excluded too: the resumed run drops the crash flag by design.
+fn config_rendering(engine: &Engine, cfg: &ServeConfig) -> String {
+    let mut ecfg = engine.config().clone();
+    ecfg.host_threads = 1;
+    ecfg.measure_host_phases = false;
+    format!(
+        "engine={ecfg:?} slots={} queue={} tenant_queue={} deadline={:?} faults={:?} resilience={:?}",
+        cfg.slots,
+        cfg.queue_capacity,
+        cfg.tenant_queue_capacity,
+        cfg.deadline_ns,
+        cfg.faults,
+        cfg.resilience,
+    )
 }
 
 fn check_workload(workload: &[JobSpec], store: &GraphStore) -> Result<(), ServeError> {
@@ -387,12 +558,354 @@ fn check_workload(workload: &[JobSpec], store: &GraphStore) -> Result<(), ServeE
     Ok(())
 }
 
+/// The live service: the pending-attempt pool, the queueing simulation,
+/// the resilience policy, and the journal, advanced in deterministic
+/// `(arrival, seq, attempt)` order.
+struct Service<'a> {
+    engine: &'a Engine,
+    jobs: &'a [JobSpec],
+    cfg: &'a ServeConfig,
+    pool: ThreadPool,
+    tel: Telemetry,
+    sim: Sim,
+    resil: Resilience,
+    journal: Option<Journal>,
+    pending: Vec<Pending>,
+    outcomes: Vec<Option<JobOutcome>>,
+    epochs_applied: u32,
+}
+
+impl Service<'_> {
+    /// Drain the pending pool: repeatedly settle the maximal wave of
+    /// read attempts ordered before the next mutating job, then that
+    /// mutating job (an all-slots barrier), until nothing is pending.
+    /// Settled failures re-enter the pool as backoff-delayed retries.
+    fn run(&mut self, store: &mut GraphStore) -> Result<(), ServeError> {
+        loop {
+            self.pending.sort_by_key(|p| (p.arrival, p.seq, p.attempt));
+            let jobs = self.jobs;
+            let wave_len = self
+                .pending
+                .iter()
+                .position(|p| jobs[p.seq as usize].mutate.is_some())
+                .unwrap_or(self.pending.len());
+            if wave_len > 0 {
+                let wave: Vec<Pending> = self.pending.drain(..wave_len).collect();
+                self.wave(store, &wave)?;
+            } else if self.pending.is_empty() {
+                return Ok(());
+            } else {
+                let p = self.pending.remove(0);
+                self.mutation(store, &p)?;
+            }
+        }
+    }
+
+    /// One read wave: speculative parallel execution (reads are
+    /// side-effect-free, so running ones that admission later drops
+    /// wastes only wall time), then settlement in deterministic order.
+    /// Journal-memoized attempts skip the engine entirely.
+    fn wave(&mut self, store: &GraphStore, wave: &[Pending]) -> Result<(), ServeError> {
+        let (engine, jobs, cfg) = (self.engine, self.jobs, self.cfg);
+        let hits: Vec<Option<ExecRecord>> = wave
+            .iter()
+            .map(|p| {
+                self.journal
+                    .as_ref()
+                    .and_then(|j| j.cached(p.seq, p.attempt))
+                    .cloned()
+            })
+            .collect();
+        let hits_ref = &hits;
+        let live = self.pool.par_map(wave, |i, p| {
+            if hits_ref[i].is_some() {
+                None
+            } else {
+                Some(run_read(engine, store, &jobs[p.seq as usize], p, cfg))
+            }
+        });
+        for ((p, hit), live) in wave.iter().zip(hits).zip(live) {
+            self.settle_read(store, p, hit, live);
+        }
+        self.flush()
+    }
+
+    fn settle_read(
+        &mut self,
+        store: &GraphStore,
+        p: &Pending,
+        hit: Option<ExecRecord>,
+        live: Option<(ExecRecord, Option<RunReport>)>,
+    ) {
+        let jobs = self.jobs;
+        let spec = &jobs[p.seq as usize];
+        match self.admit(p, spec) {
+            Err(why) => self.drop_job(p, spec, why),
+            Ok(start) => {
+                let (rec, report, cached) = match hit {
+                    Some(rec) => (rec, None, true),
+                    None => {
+                        let (rec, report) = live.expect("speculative execution covered this job");
+                        (rec, report, false)
+                    }
+                };
+                self.record_admission(p, start, &rec, cached);
+                self.settle_exec(store, p, start, rec, report, cached);
+            }
+        }
+    }
+
+    /// One mutating job: the injected crash point fires *before* the
+    /// epoch bump it names (the journal is flushed, then the daemon
+    /// "dies"); otherwise admission is decided before execution — a
+    /// dropped mutating job must not advance the store epoch — and a
+    /// journal-memoized mutation fast-forwards the store by re-applying
+    /// its seeded batch directly, without the engine.
+    fn mutation(&mut self, store: &mut GraphStore, p: &Pending) -> Result<(), ServeError> {
+        let jobs = self.jobs;
+        let spec = &jobs[p.seq as usize];
+        if let Some(CrashPoint::AtEpoch(k)) = self.cfg.crash {
+            if self.epochs_applied == k {
+                self.flush()?;
+                return Err(ServeError::InjectedCrash { epoch: k });
+            }
+        }
+        match self.admit(p, spec) {
+            Err(why) => self.drop_job(p, spec, why),
+            Ok(start) => {
+                let hit = self
+                    .journal
+                    .as_ref()
+                    .and_then(|j| j.cached(p.seq, p.attempt))
+                    .cloned();
+                let (rec, report, cached) = match hit {
+                    Some(rec) => {
+                        if rec.epoch_advanced {
+                            let m = spec.mutate.expect("mutation() only sees mutating jobs");
+                            let batch = seeded_batch(store, m.inserts, m.deletes, m.seed);
+                            store.apply_mutations(&batch).map_err(|e| {
+                                ServeError::Journal(format!("epoch replay failed: {e}"))
+                            })?;
+                        }
+                        (rec, None, true)
+                    }
+                    None => {
+                        let (rec, report) = run_mutating(self.engine, store, spec, p, self.cfg);
+                        (rec, report, false)
+                    }
+                };
+                self.record_admission(p, start, &rec, cached);
+                if !cached && rec.epoch_advanced {
+                    if let Some(j) = &mut self.journal {
+                        j.append(Record::Epoch {
+                            job: p.seq,
+                            epoch: store.epoch(),
+                        });
+                    }
+                }
+                if rec.epoch_advanced {
+                    self.epochs_applied += 1;
+                }
+                self.settle_exec(store, p, start, rec, report, cached);
+            }
+        }
+        self.flush()
+    }
+
+    /// Breaker gate, then the queueing decision.
+    fn admit(&mut self, p: &Pending, spec: &JobSpec) -> Result<u64, ServeError> {
+        self.resil.admission_gate(&spec.tenant, p.arrival)?;
+        self.sim.decide(p.arrival, spec, &self.resil)
+    }
+
+    fn drop_job(&mut self, p: &Pending, spec: &JobSpec, why: ServeError) {
+        let mut out = JobOutcome::dropped(p.seq as usize, spec, why);
+        out.attempts = p.attempt - 1;
+        self.outcomes[p.seq as usize] = Some(out);
+    }
+
+    /// Journal the admission + execution of a live attempt, or count
+    /// the memo hit.
+    fn record_admission(&mut self, p: &Pending, start: u64, rec: &ExecRecord, cached: bool) {
+        if cached {
+            self.tel.add(keys::SERVE_RESUME_CACHED, 1);
+            return;
+        }
+        if let Some(j) = &mut self.journal {
+            j.append(Record::Admit {
+                job: p.seq,
+                attempt: p.attempt,
+                at_ns: p.arrival,
+            });
+            j.append(Record::Start {
+                job: p.seq,
+                attempt: p.attempt,
+                start_ns: start,
+            });
+            j.append(Record::Exec(rec.clone()));
+        }
+    }
+
+    /// Fold one admitted attempt's execution into the simulation, the
+    /// service registry, and either a settled outcome or a re-admission.
+    fn settle_exec(
+        &mut self,
+        store: &GraphStore,
+        p: &Pending,
+        start: u64,
+        rec: ExecRecord,
+        report: Option<RunReport>,
+        cached: bool,
+    ) {
+        let jobs = self.jobs;
+        let spec = &jobs[p.seq as usize];
+        let seq = p.seq as usize;
+        self.tel.add("serve.jobs.admitted", 1);
+        let mutating = spec.mutate.is_some();
+        if rec.ok {
+            let mut out = JobOutcome::dropped(seq, spec, ServeError::Config(String::new()));
+            out.attempts = p.attempt;
+            out.start_ns = start;
+            out.service_ns = rec.service_ns;
+            out.finish_ns = start + rec.service_ns;
+            out.result_fp = rec.result_fp;
+            out.report = Some(report.unwrap_or_else(|| rebuild_report(store, spec, &rec)));
+            out.counters = rec.counters;
+            out.status = JobStatus::Completed;
+            self.sim.commit(start, out.service_ns, mutating);
+            self.resil.record_success(&spec.tenant);
+            self.tel.add("serve.jobs.completed", 1);
+            if mutating {
+                self.tel.add("serve.epochs", 1);
+            }
+            if p.attempt > 1 {
+                self.tel.add(keys::SERVE_RETRY_RECOVERED, 1);
+            }
+            let latency = out.latency_ns();
+            self.tel
+                .observe(format!("serve.lat.{}", out.class), latency);
+            self.tel.observe("serve.lat.all", latency);
+            for (k, v) in &out.counters {
+                if k.starts_with("tenant.") {
+                    self.tel.add(k, *v);
+                }
+            }
+            self.outcomes[seq] = Some(out);
+            return;
+        }
+        // The attempt failed: the slot time it would have used is not
+        // charged, and the failure feeds the tenant's breaker.
+        self.sim.commit(start, 0, mutating);
+        self.resil.record_failure(&spec.tenant, start);
+        if !mutating && p.attempt <= self.resil.retry_max() {
+            self.tel.add(keys::SERVE_RETRY_ATTEMPTS, 1);
+            let delay = self.resil.backoff_ns(u64::from(p.seq), p.attempt);
+            self.pending.push(Pending {
+                arrival: start.saturating_add(delay),
+                seq: p.seq,
+                attempt: p.attempt + 1,
+            });
+            return;
+        }
+        let mut out = JobOutcome::dropped(seq, spec, ServeError::Config(String::new()));
+        out.attempts = p.attempt;
+        out.start_ns = start;
+        out.finish_ns = start;
+        if !mutating && self.resil.retry_max() > 0 {
+            out.status = JobStatus::Quarantined {
+                error: rec.error,
+                attempts: p.attempt,
+            };
+            self.tel.add(keys::SERVE_QUARANTINE_JOBS, 1);
+            self.tel
+                .add(keys::SERVE_QUARANTINE_ATTEMPTS, u64::from(p.attempt));
+            if !cached {
+                if let Some(j) = &mut self.journal {
+                    j.append(Record::Quarantine {
+                        job: p.seq,
+                        attempts: p.attempt,
+                    });
+                }
+            }
+        } else {
+            out.status = JobStatus::Failed { error: rec.error };
+            self.tel.add("serve.jobs.failed", 1);
+        }
+        self.outcomes[seq] = Some(out);
+    }
+
+    fn flush(&mut self) -> Result<(), ServeError> {
+        if let Some(j) = &mut self.journal {
+            j.flush(&self.tel)?;
+        }
+        Ok(())
+    }
+
+    /// Drop accounting, derived counters, and the final outcome.
+    fn finish(self, cfg: &ServeConfig) -> ServeOutcome {
+        let tel = self.tel;
+        let outcomes: Vec<JobOutcome> = self
+            .outcomes
+            .into_iter()
+            .map(|o| o.expect("every job settles before the service returns"))
+            .collect();
+        for out in &outcomes {
+            if let JobStatus::Dropped(why) = &out.status {
+                let key = match why {
+                    ServeError::QueueFull { .. } => "serve.drop.queue_full",
+                    ServeError::Rejected { .. } => "serve.drop.rejected",
+                    ServeError::Deadline { .. } => "serve.drop.deadline",
+                    ServeError::BreakerOpen { .. } => keys::SERVE_DROP_BREAKER,
+                    ServeError::Shed {
+                        class,
+                        pressure_pct,
+                        ..
+                    } => {
+                        tel.add(keys::SERVE_SHED_TOTAL, 1);
+                        tel.add(format!("serve.shed.{class}"), 1);
+                        tel.observe("serve.shed.pressure", u64::from(*pressure_pct));
+                        "serve.drop.shed"
+                    }
+                    _ => "serve.drop.other",
+                };
+                tel.add(key, 1);
+            }
+        }
+        if cfg.resilience.breaker_threshold > 0 {
+            tel.set(keys::SERVE_BREAKER_TRIPS, self.resil.trips);
+        }
+        let makespan_ns = outcomes.iter().map(|o| o.finish_ns).max().unwrap_or(0);
+        tel.set("serve.jobs.total", outcomes.len() as u64);
+        tel.set("serve.makespan_ns", makespan_ns);
+        tel.set("serve.slots", cfg.slots as u64);
+        // Derived percentile counters: histograms rendered into the flat
+        // registry, so `--counters-out` dumps and CI diffs carry them.
+        for (key, s) in tel.histogram_summaries() {
+            tel.set(format!("{key}.count"), s.count);
+            tel.set(format!("{key}.p50"), s.p50);
+            tel.set(format!("{key}.p95"), s.p95);
+            tel.set(format!("{key}.p99"), s.p99);
+        }
+        let count = |f: fn(&JobStatus) -> bool| outcomes.iter().filter(|o| f(&o.status)).count();
+        ServeOutcome {
+            completed: count(|s| matches!(s, JobStatus::Completed)),
+            dropped: count(|s| matches!(s, JobStatus::Dropped(_))),
+            failed: count(|s| matches!(s, JobStatus::Failed { .. })),
+            quarantined: count(|s| matches!(s, JobStatus::Quarantined { .. })),
+            jobs: outcomes,
+            telemetry: tel,
+            makespan_ns,
+        }
+    }
+}
+
 /// Run `workload` through the service: admit jobs in arrival order
 /// against `cfg`'s slots and bounds, execute the admitted ones on
 /// `engine` over the shared `store`, and aggregate service-level
-/// telemetry. Only scheduling errors that make the whole call
-/// meaningless (bad config, malformed workload) are `Err`; per-job
-/// drops and failures are data in the returned [`ServeOutcome`].
+/// telemetry. Only errors that make the whole call meaningless (bad
+/// config, malformed workload, an unusable journal) — plus the injected
+/// crash point — are `Err`; per-job drops, failures, and quarantines
+/// are data in the returned [`ServeOutcome`].
 pub fn serve(
     engine: &Engine,
     store: &mut GraphStore,
@@ -403,82 +916,37 @@ pub fn serve(
     check_workload(workload, store)?;
     let mut jobs = workload.to_vec();
     jobs.sort_by_key(|j| j.at_ns);
-    let pool = ThreadPool::new(engine.config().host_threads);
-    let tel = Telemetry::new();
-    let mut sim = Sim::new(cfg);
-    let mut outcomes: Vec<JobOutcome> = Vec::with_capacity(jobs.len());
-
-    let mut next = 0;
-    while next < jobs.len() {
-        // One epoch group: the maximal run of read jobs, plus the
-        // mutating job (if any) that terminates it. Arrival sort makes
-        // groups contiguous, so group k executes entirely against the
-        // store state epoch k left behind.
-        let end = jobs[next..]
+    let journal = match &cfg.journal {
+        Some(jc) => Some(Journal::open(
+            jc,
+            Header::bind(&jobs, store, &config_rendering(engine, cfg)),
+        )?),
+        None => None,
+    };
+    let jitter_seed = cfg.faults.as_ref().map_or(0, |f| f.seed);
+    let mut svc = Service {
+        engine,
+        jobs: &jobs,
+        cfg,
+        pool: ThreadPool::new(engine.config().host_threads),
+        tel: Telemetry::new(),
+        sim: Sim::new(cfg),
+        resil: Resilience::new(cfg.resilience.clone(), jitter_seed),
+        journal,
+        pending: jobs
             .iter()
-            .position(|j| j.mutate.is_some())
-            .map_or(jobs.len(), |p| next + p);
-        let reads = &jobs[next..end];
-        // Speculative parallel execution: reads are side-effect-free, so
-        // running ones that admission later drops wastes only wall time.
-        let executed = pool.par_map(reads, |_, spec| execute_read(engine, store, spec));
-        for (spec, executed) in reads.iter().zip(executed) {
-            let index = outcomes.len();
-            outcomes.push(match sim.decide(spec.at_ns, &spec.tenant, false) {
-                Ok(start) => settle(&tel, &mut sim, index, spec, start, executed),
-                Err(why) => JobOutcome::dropped(index, spec, why),
-            });
-        }
-        if end < jobs.len() {
-            let spec = &jobs[end];
-            let index = outcomes.len();
-            // Decide *before* executing: a dropped mutating job must not
-            // advance the store epoch.
-            outcomes.push(match sim.decide(spec.at_ns, &spec.tenant, true) {
-                Ok(start) => {
-                    let executed = execute_mutating(engine, store, spec);
-                    settle(&tel, &mut sim, index, spec, start, executed)
-                }
-                Err(why) => JobOutcome::dropped(index, spec, why),
-            });
-        }
-        next = end + 1;
-    }
-
-    for out in &outcomes {
-        if let JobStatus::Dropped(why) = &out.status {
-            tel.add(
-                match why {
-                    ServeError::QueueFull { .. } => "serve.drop.queue_full",
-                    ServeError::Rejected { .. } => "serve.drop.rejected",
-                    ServeError::Deadline { .. } => "serve.drop.deadline",
-                    _ => "serve.drop.other",
-                },
-                1,
-            );
-        }
-    }
-    let makespan_ns = outcomes.iter().map(|o| o.finish_ns).max().unwrap_or(0);
-    tel.set("serve.jobs.total", outcomes.len() as u64);
-    tel.set("serve.makespan_ns", makespan_ns);
-    tel.set("serve.slots", cfg.slots as u64);
-    // Derived percentile counters: histograms rendered into the flat
-    // registry, so `--counters-out` dumps and CI diffs carry them.
-    for (key, s) in tel.histogram_summaries() {
-        tel.set(format!("{key}.count"), s.count);
-        tel.set(format!("{key}.p50"), s.p50);
-        tel.set(format!("{key}.p95"), s.p95);
-        tel.set(format!("{key}.p99"), s.p99);
-    }
-    let count = |f: fn(&JobStatus) -> bool| outcomes.iter().filter(|o| f(&o.status)).count();
-    Ok(ServeOutcome {
-        completed: count(|s| matches!(s, JobStatus::Completed)),
-        dropped: count(|s| matches!(s, JobStatus::Dropped(_))),
-        failed: count(|s| matches!(s, JobStatus::Failed(_))),
-        jobs: outcomes,
-        telemetry: tel,
-        makespan_ns,
-    })
+            .enumerate()
+            .map(|(seq, spec)| Pending {
+                arrival: spec.at_ns,
+                seq: seq as u32,
+                attempt: 1,
+            })
+            .collect(),
+        outcomes: jobs.iter().map(|_| None).collect(),
+        epochs_applied: 0,
+    };
+    svc.run(store)?;
+    Ok(svc.finish(cfg))
 }
 
 #[cfg(test)]
@@ -488,6 +956,8 @@ mod tests {
     use gts_core::{Gts, GtsConfig};
     use gts_graph::generate::rmat;
     use gts_storage::{build_graph_store, PageFormatConfig};
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU32, Ordering};
 
     fn store() -> GraphStore {
         build_graph_store(&rmat(8), PageFormatConfig::small_default()).unwrap()
@@ -501,6 +971,37 @@ mod tests {
                 .unwrap(),
         )
         .unwrap()
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        static N: AtomicU32 = AtomicU32::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("gts-serve-sched-{}-{tag}-{n}", std::process::id()))
+    }
+
+    /// An always-failing fault template: every H2D copy faults and the
+    /// engine-level retry budget is zero, so every attempt fails. (The
+    /// default in-memory storage never consults read faults; GPU-side
+    /// faults fire through each job's own lanes.)
+    fn poison() -> FaultConfig {
+        FaultConfig {
+            copy_fault_ppm: 1_000_000,
+            launch_fault_ppm: 0,
+            max_retries: 0,
+            ..FaultConfig::with_seed(0xDEAD)
+        }
+    }
+
+    /// A flaky template: a sizeable per-copy/per-launch fault rate with
+    /// no engine-level retries, so some derived domains fail their job
+    /// and fresh per-attempt domains can recover it.
+    fn flaky(seed: u64) -> FaultConfig {
+        FaultConfig {
+            copy_fault_ppm: 80_000,
+            launch_fault_ppm: 80_000,
+            max_retries: 0,
+            ..FaultConfig::with_seed(seed)
+        }
     }
 
     /// The tentpole contract: a job admitted through the service has the
@@ -536,6 +1037,8 @@ mod tests {
             };
             assert_eq!(job.counters, opts.telemetry.counters(), "job {}", job.index);
             assert_eq!(job.service_ns, report.elapsed.as_nanos());
+            assert_eq!(job.attempts, 1);
+            assert_eq!(job.result_fp, fnv1a(&prog.save_state()));
         }
         assert_eq!(st.epoch(), solo_st.epoch());
         // Job 0 vs the plain solo path: identical once the tenant rollup
@@ -646,6 +1149,42 @@ mod tests {
         assert_eq!(out.telemetry.counter("serve.drop.deadline"), 1);
     }
 
+    /// Regression for the doomed-job queue leak: a job already known
+    /// dead (its wait exceeds the deadline) must not occupy queue space
+    /// until its deadline expires. Under the old accounting, the third
+    /// job here found the one-deep queue full; the correct drop is its
+    /// own deadline, and the queue stays available for admissible work.
+    #[test]
+    fn doomed_jobs_free_their_queue_space_immediately() {
+        let mut st = store();
+        let jobs =
+            parse("at=0 tenant=a job=bfs\nat=1 tenant=b job=bfs\nat=5 tenant=c job=bfs").unwrap();
+        let cfg = ServeConfig {
+            slots: 1,
+            queue_capacity: 1,
+            deadline_ns: Some(10),
+            ..ServeConfig::default()
+        };
+        let out = serve(&engine(1), &mut st, &jobs, &cfg).unwrap();
+        assert_eq!(out.jobs[0].status, JobStatus::Completed);
+        assert!(
+            out.jobs[0].finish_ns > 15,
+            "bfs must outlast both deadlines"
+        );
+        for doomed in &out.jobs[1..] {
+            assert!(
+                matches!(
+                    doomed.status,
+                    JobStatus::Dropped(ServeError::Deadline { .. })
+                ),
+                "expected a deadline drop, not queue-full: {:?}",
+                doomed.status
+            );
+        }
+        assert_eq!(out.telemetry.counter("serve.drop.deadline"), 2);
+        assert_eq!(out.telemetry.counter("serve.drop.queue_full"), 0);
+    }
+
     #[test]
     fn mutation_is_an_all_slots_barrier_and_drops_keep_the_epoch() {
         let mut st = store();
@@ -736,11 +1275,348 @@ mod tests {
         assert!(out.makespan_ns > 0);
     }
 
+    /// Job-scoped fault domains: under a service fault template, a
+    /// faulted job becomes a typed `Failed` — never a service abort —
+    /// while the other tenants' jobs complete byte-identical to solo
+    /// runs under the same derived domains.
+    #[test]
+    fn job_faults_are_isolated_and_never_abort_the_service() {
+        let engine = engine(2);
+        let mut st = store();
+        let jobs = parse(
+            "at=0 tenant=a job=bfs\nat=1000 tenant=b job=cc\nat=2000 tenant=c job=degrees\n\
+             at=3000 tenant=d job=pagerank iters=3\nat=4000 tenant=e job=sssp\n\
+             at=5000 tenant=f job=kcore k=2\n",
+        )
+        .unwrap();
+        let template = FaultConfig {
+            copy_fault_ppm: 200_000,
+            launch_fault_ppm: 200_000,
+            max_retries: 0,
+            ..FaultConfig::with_seed(0x5EED)
+        };
+        let cfg = ServeConfig {
+            faults: Some(template.clone()),
+            ..ServeConfig::default()
+        };
+        let out = serve(&engine, &mut st, &jobs, &cfg).unwrap();
+        assert!(
+            out.failed > 0,
+            "expected at least one fault: {:?}",
+            out.jobs
+        );
+        assert!(out.completed > 0, "expected survivors: {:?}", out.jobs);
+        for (seq, (job, spec)) in out.jobs.iter().zip(&jobs).enumerate() {
+            // Solo replay under the same derived fault domain.
+            let mut prog = make_program(spec, st.num_vertices()).unwrap();
+            let opts = job_options(spec).faults(template.derived(seq as u64, 1));
+            match engine.run_job(&st, &mut *prog, &opts) {
+                Ok(_) => {
+                    assert_eq!(job.status, JobStatus::Completed, "job {seq}");
+                    assert_eq!(job.counters, opts.telemetry.counters(), "job {seq}");
+                    assert_eq!(job.result_fp, fnv1a(&prog.save_state()));
+                }
+                Err(e) => {
+                    let error = ServeError::Engine(e.to_string()).to_string();
+                    assert_eq!(job.status, JobStatus::Failed { error }, "job {seq}");
+                }
+            }
+        }
+        assert_eq!(
+            out.telemetry.counter("serve.jobs.failed"),
+            out.failed as u64
+        );
+    }
+
+    /// Retry/backoff and quarantine: an always-failing job burns its
+    /// whole budget and is quarantined with typed attempts; a job whose
+    /// fresh per-attempt domain eventually succeeds recovers.
+    #[test]
+    fn retries_backoff_then_recover_or_quarantine() {
+        let engine = engine(2);
+        // Poison: every attempt of every job fails, so the lone job is
+        // quarantined after retry_max + 1 attempts.
+        let jobs = parse("at=0 tenant=a job=bfs\n").unwrap();
+        let cfg = ServeConfig {
+            faults: Some(poison()),
+            resilience: ResilienceConfig {
+                retry_max: 2,
+                backoff_base_ns: 500,
+                ..ResilienceConfig::default()
+            },
+            ..ServeConfig::default()
+        };
+        let out = serve(&engine, &mut store(), &jobs, &cfg).unwrap();
+        assert_eq!(out.quarantined, 1);
+        assert!(
+            matches!(
+                &out.jobs[0].status,
+                JobStatus::Quarantined { attempts: 3, error } if !error.is_empty()
+            ),
+            "{:?}",
+            out.jobs[0].status
+        );
+        assert_eq!(out.jobs[0].attempts, 3);
+        // Re-admission k starts after capped-exponential backoff.
+        assert!(out.jobs[0].start_ns >= 500 + 1000);
+        let tel = &out.telemetry;
+        assert_eq!(tel.counter(keys::SERVE_RETRY_ATTEMPTS), 2);
+        assert_eq!(tel.counter(keys::SERVE_QUARANTINE_JOBS), 1);
+        assert_eq!(tel.counter(keys::SERVE_QUARANTINE_ATTEMPTS), 3);
+        assert_eq!(tel.counter(keys::SERVE_RETRY_RECOVERED), 0);
+
+        // Recovery: a fault rate that fails some first attempts but not
+        // every derived domain lets retried jobs complete.
+        let jobs = synthetic(4, 3, 11, false);
+        let cfg = ServeConfig {
+            faults: Some(flaky(0x5EED)),
+            resilience: ResilienceConfig {
+                retry_max: 4,
+                backoff_base_ns: 500,
+                ..ResilienceConfig::default()
+            },
+            ..ServeConfig::default()
+        };
+        let out = serve(&engine, &mut store(), &jobs, &cfg).unwrap();
+        let recovered = out
+            .jobs
+            .iter()
+            .filter(|j| j.status == JobStatus::Completed && j.attempts > 1)
+            .count() as u64;
+        assert!(recovered > 0, "expected a retry to recover: {:?}", out.jobs);
+        assert_eq!(
+            out.telemetry.counter(keys::SERVE_RETRY_RECOVERED),
+            recovered
+        );
+        assert_eq!(
+            out.failed, 0,
+            "retry_max > 0 never leaves a bare Failed read"
+        );
+    }
+
+    /// The per-tenant circuit breaker: consecutive failures trip it,
+    /// the tripped tenant's arrivals shed with `BreakerOpen`, and other
+    /// tenants are untouched.
+    #[test]
+    fn breaker_trips_shed_the_tenant_and_spare_the_rest() {
+        let engine = engine(1);
+        let jobs = parse(
+            "at=0 tenant=bad job=bfs\nat=1 tenant=bad job=bfs\n\
+             at=2 tenant=bad job=bfs\nat=3 tenant=good job=bfs\n",
+        )
+        .unwrap();
+        let cfg = ServeConfig {
+            slots: 4,
+            faults: Some(poison()),
+            resilience: ResilienceConfig {
+                breaker_threshold: 2,
+                breaker_cooldown_ns: 1_000_000,
+                ..ResilienceConfig::default()
+            },
+            ..ServeConfig::default()
+        };
+        let mut st = store();
+        let out = serve(&engine, &mut st, &jobs, &cfg).unwrap();
+        assert!(matches!(out.jobs[0].status, JobStatus::Failed { .. }));
+        assert!(matches!(out.jobs[1].status, JobStatus::Failed { .. }));
+        assert!(
+            matches!(
+                &out.jobs[2].status,
+                JobStatus::Dropped(ServeError::BreakerOpen { tenant, failures: 2, .. })
+                    if tenant == "bad"
+            ),
+            "{:?}",
+            out.jobs[2].status
+        );
+        // "good" fails too (poison template) but its breaker is its own.
+        assert!(matches!(out.jobs[3].status, JobStatus::Failed { .. }));
+        let tel = &out.telemetry;
+        assert_eq!(tel.counter(keys::SERVE_BREAKER_TRIPS), 1);
+        assert_eq!(tel.counter(keys::SERVE_DROP_BREAKER), 1);
+        assert_eq!((out.failed, out.dropped), (3, 1));
+    }
+
+    /// Overload shedding: past the watermark, the lowest-priority
+    /// arrivals shed first with a typed `Shed` drop; a high-priority
+    /// job rides out the same pressure.
+    #[test]
+    fn overload_sheds_lowest_priority_first() {
+        let engine = engine(1);
+        let jobs = parse(
+            "at=0 tenant=t0 job=bfs\nat=1 tenant=t1 job=bfs\nat=2 tenant=t2 job=bfs\n\
+             at=3 tenant=t3 job=bfs\nat=4 tenant=t4 job=bfs\n\
+             at=5 tenant=low job=cc prio=0\nat=6 tenant=high job=cc prio=3\n",
+        )
+        .unwrap();
+        let cfg = ServeConfig {
+            slots: 1,
+            queue_capacity: 10,
+            resilience: ResilienceConfig {
+                shed_watermark_pct: Some(40),
+                ..ResilienceConfig::default()
+            },
+            ..ServeConfig::default()
+        };
+        let out = serve(&engine, &mut store(), &jobs, &cfg).unwrap();
+        // Arrivals 1-4 queue (occupancy 0-30% at decision time); the
+        // prio-0 job sees 40% >= its watermark 40 and sheds; the prio-3
+        // job shares that pressure but its watermark is 85.
+        assert!(
+            matches!(
+                &out.jobs[5].status,
+                JobStatus::Dropped(ServeError::Shed { class, pressure_pct: 40, watermark_pct: 40 })
+                    if class == "cc"
+            ),
+            "{:?}",
+            out.jobs[5].status
+        );
+        assert_eq!(
+            out.jobs[6].status,
+            JobStatus::Completed,
+            "prio 3 rides it out"
+        );
+        let tel = &out.telemetry;
+        assert_eq!(tel.counter(keys::SERVE_SHED_TOTAL), 1);
+        assert_eq!(tel.counter("serve.shed.cc"), 1);
+        assert_eq!(tel.counter("serve.drop.shed"), 1);
+        assert_eq!(tel.counter("serve.shed.pressure.count"), 1);
+        assert_eq!(out.completed, 6);
+    }
+
+    /// Crash consistency: a daemon killed at an epoch bump resumes from
+    /// its journal, serves settled executions from the memo table, and
+    /// lands byte-identical (outcomes, job counters, contract-side
+    /// service counters) to an uncrashed run.
+    #[test]
+    fn killed_daemon_resumes_byte_identical_to_uncrashed() {
+        let engine = engine(2);
+        let jobs = parse(
+            "at=0 tenant=a job=bfs\nat=1000 tenant=b job=pagerank iters=3\n\
+             at=2000 tenant=m job=bfs mutate-at=1 inserts=16 deletes=2 seed=5\n\
+             at=3000 tenant=a job=cc\n\
+             at=4000 tenant=m job=cc mutate-at=1 inserts=8 seed=7\n\
+             at=5000 tenant=b job=degrees\n",
+        )
+        .unwrap();
+        let baseline = serve(&engine, &mut store(), &jobs, &ServeConfig::default()).unwrap();
+
+        let dir = tempdir("resume");
+        let crash_cfg = ServeConfig {
+            journal: Some(JournalConfig::new(&dir)),
+            crash: Some(CrashPoint::AtEpoch(1)),
+            ..ServeConfig::default()
+        };
+        let mut crashed_st = store();
+        let err = serve(&engine, &mut crashed_st, &jobs, &crash_cfg).unwrap_err();
+        assert_eq!(err, ServeError::InjectedCrash { epoch: 1 });
+        assert_eq!(crashed_st.epoch(), 1, "first epoch landed before the kill");
+
+        // Restart: fresh store (the daemon reloads its base graph), the
+        // same workload, resume from the journal, no crash flag.
+        let resume_cfg = ServeConfig {
+            journal: Some(JournalConfig {
+                dir: dir.clone(),
+                resume: true,
+            }),
+            ..ServeConfig::default()
+        };
+        let mut resumed_st = store();
+        let out = serve(&engine, &mut resumed_st, &jobs, &resume_cfg).unwrap();
+        assert!(
+            out.telemetry.counter(keys::SERVE_RESUME_CACHED) >= 4,
+            "settled executions must come from the journal: {}",
+            out.telemetry.counter(keys::SERVE_RESUME_CACHED)
+        );
+        assert_eq!(resumed_st.epoch(), 2);
+        for (a, b) in baseline.jobs.iter().zip(&out.jobs) {
+            assert_eq!(a.status, b.status, "job {}", a.index);
+            assert_eq!(a.counters, b.counters, "job {}", a.index);
+            assert_eq!(
+                (a.start_ns, a.finish_ns, a.attempts, a.result_fp),
+                (b.start_ns, b.finish_ns, b.attempts, b.result_fp),
+                "job {}",
+                a.index
+            );
+        }
+        // Contract-side counters match exactly once the wall-side
+        // journal/resume keys are set aside.
+        let strip = |t: &Telemetry| {
+            let mut c = t.counters();
+            c.retain(|k, _| !k.starts_with("serve.journal.") && !k.starts_with("serve.resume."));
+            c
+        };
+        assert_eq!(strip(&baseline.telemetry), strip(&out.telemetry));
+
+        // Resuming against a different workload is refused, typed.
+        let other = parse("at=0 tenant=z job=bfs\n").unwrap();
+        let err = serve(&engine, &mut store(), &other, &resume_cfg).unwrap_err();
+        assert!(
+            err.to_string().contains("workload fingerprint mismatch"),
+            "{err}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The whole resilience layer is host-thread invariant: same fault
+    /// seed, same retries, same quarantines, same shed decisions at 1
+    /// and 4 host threads.
+    #[test]
+    fn resilience_is_host_thread_invariant() {
+        let jobs = synthetic(4, 3, 11, true);
+        let cfg = ServeConfig {
+            slots: 2,
+            faults: Some(flaky(0x5EED)),
+            resilience: ResilienceConfig {
+                retry_max: 2,
+                backoff_base_ns: 500,
+                breaker_threshold: 3,
+                ..ResilienceConfig::default()
+            },
+            ..ServeConfig::default()
+        };
+        let outs: Vec<ServeOutcome> = [1usize, 4]
+            .iter()
+            .map(|&ht| serve(&engine(ht), &mut store(), &jobs, &cfg).unwrap())
+            .collect();
+        assert_eq!(outs[0].telemetry.counters(), outs[1].telemetry.counters());
+        for (a, b) in outs[0].jobs.iter().zip(&outs[1].jobs) {
+            assert_eq!(a.status, b.status, "job {}", a.index);
+            assert_eq!(a.counters, b.counters, "job {}", a.index);
+            assert_eq!(
+                (a.start_ns, a.finish_ns, a.attempts, a.result_fp),
+                (b.start_ns, b.finish_ns, b.attempts, b.result_fp)
+            );
+        }
+        assert_eq!(
+            (outs[0].completed, outs[0].failed, outs[0].quarantined),
+            (outs[1].completed, outs[1].failed, outs[1].quarantined)
+        );
+    }
+
     #[test]
     fn invalid_config_and_workload_are_typed_errors() {
         let mut st = store();
         let bad_cfg = ServeConfig {
             slots: 0,
+            ..ServeConfig::default()
+        };
+        assert!(matches!(
+            serve(&engine(1), &mut st, &[], &bad_cfg),
+            Err(ServeError::Config(_))
+        ));
+        let bad_cfg = ServeConfig {
+            crash: Some(CrashPoint::AtSweep(1)),
+            ..ServeConfig::default()
+        };
+        assert!(matches!(
+            serve(&engine(1), &mut st, &[], &bad_cfg),
+            Err(ServeError::Config(_))
+        ));
+        let bad_cfg = ServeConfig {
+            resilience: ResilienceConfig {
+                backoff_base_ns: 0,
+                ..ResilienceConfig::default()
+            },
             ..ServeConfig::default()
         };
         assert!(matches!(

@@ -96,6 +96,7 @@ fn wide_open(slots: usize) -> ServeConfig {
         queue_capacity: 1024,
         tenant_queue_capacity: 1024,
         deadline_ns: None,
+        ..ServeConfig::default()
     }
 }
 

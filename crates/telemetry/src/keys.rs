@@ -35,6 +35,8 @@
 //! | `mem.peak` | peak working-set bytes (max-merged, baselines) |
 //! | `gpu{i}.bytes_h2d` … | per-GPU fields, see the `GPU_*` constants |
 //! | `sweep{j}.pages` … | per-sweep fields, see the `SWEEP_*` constants |
+//! | `serve.retry.*` / `serve.quarantine.*` / `serve.breaker.*` / `serve.shed.*` | serve-mode resilience counters (sim-side, deterministic) |
+//! | `serve.journal.*` / `serve.resume.*` | service-journal bookkeeping (outside the resume-diff contract, like `ckpt.*`) |
 
 /// Simulated makespan of the run, nanoseconds (set once at run end).
 pub const RUN_ELAPSED_NS: &str = "run.elapsed_ns";
@@ -162,6 +164,35 @@ pub const TENANT_CACHE_MISSES: &str = "cache.misses";
 pub const TENANT_CACHE_EVICTIONS: &str = "cache.evictions";
 /// Per-tenant field: topology bytes streamed for the tenant's misses.
 pub const TENANT_CACHE_BYTES_STREAMED: &str = "cache.bytes_streamed";
+
+/// Service-level re-admissions of failed jobs (each backoff retry).
+/// Like every `serve.*` key except the journal/resume bookkeeping
+/// below, this is pure sim-clock arithmetic: INSIDE the determinism
+/// contract at any host thread count.
+pub const SERVE_RETRY_ATTEMPTS: &str = "serve.retry.attempts";
+/// Jobs that completed after at least one service-level retry.
+pub const SERVE_RETRY_RECOVERED: &str = "serve.retry.recovered";
+/// Jobs quarantined as poison after exhausting `retry_max` retries.
+pub const SERVE_QUARANTINE_JOBS: &str = "serve.quarantine.jobs";
+/// Execution attempts consumed by jobs that ended quarantined.
+pub const SERVE_QUARANTINE_ATTEMPTS: &str = "serve.quarantine.attempts";
+/// Per-tenant circuit-breaker trips (K consecutive failures).
+pub const SERVE_BREAKER_TRIPS: &str = "serve.breaker.trips";
+/// Arrivals dropped because their tenant's breaker was open.
+pub const SERVE_DROP_BREAKER: &str = "serve.drop.breaker";
+/// Arrivals shed by load-aware admission (see also the per-class
+/// `serve.shed.<class>` keys the scheduler writes).
+pub const SERVE_SHED_TOTAL: &str = "serve.shed.total";
+/// Records appended to the service journal. Journal keys count I/O the
+/// crashed and resumed halves of a run split differently, so (like
+/// `ckpt.*`) `serve.journal.*` and `serve.resume.*` sit OUTSIDE the
+/// resume-diff determinism contract; CI filters them.
+pub const SERVE_JOURNAL_RECORDS: &str = "serve.journal.records";
+/// Journal snapshots flushed through the atomic checkpoint store.
+pub const SERVE_JOURNAL_FLUSHES: &str = "serve.journal.flushes";
+/// Executions served from the journal on `--resume-serve` instead of
+/// being re-run (outside the resume-diff contract, as above).
+pub const SERVE_RESUME_CACHED: &str = "serve.resume.cached";
 
 /// Key for per-GPU field `field` of GPU `i` (e.g. `gpu0.bytes_h2d`).
 pub fn gpu(i: u32, field: &str) -> String {

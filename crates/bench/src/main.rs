@@ -1,13 +1,13 @@
 //! `gts-bench` — the wall-clock benchmark binary.
 //!
 //! Runs the reproducible benchmark suites (`page`, `sweep`, `e2e`,
-//! `mutation`, `serve`) under
+//! `mutation`, `serve`, `wal`) under
 //! the warmup/repeat/median protocol of [`gts_bench::bench`], prints
 //! each suite as an aligned table, and optionally writes / validates /
 //! regression-checks the machine-readable `BENCH_*.json` artifacts.
 //!
 //! ```text
-//! gts-bench [--suite page|sweep|e2e|mutation|serve|all] [--json-out PATH]
+//! gts-bench [--suite page|sweep|e2e|mutation|serve|wal|all] [--json-out PATH]
 //!           [--repeats N] [--warmup N] [--quick]
 //!           [--check-against PATH] [--tolerance F]
 //!           [--validate FILE ...]
@@ -64,11 +64,11 @@ fn main() -> ExitCode {
     }
 
     let suites: Vec<&str> = match opts.suite.as_str() {
-        "all" => vec!["page", "sweep", "e2e", "mutation", "serve"],
-        s @ ("page" | "sweep" | "e2e" | "mutation" | "serve") => vec![s],
+        "all" => vec!["page", "sweep", "e2e", "mutation", "serve", "wal"],
+        s @ ("page" | "sweep" | "e2e" | "mutation" | "serve" | "wal") => vec![s],
         other => {
             eprintln!(
-                "gts-bench: unknown suite {other:?} (page | sweep | e2e | mutation | serve | all)"
+                "gts-bench: unknown suite {other:?} (page | sweep | e2e | mutation | serve | wal | all)"
             );
             return ExitCode::from(2);
         }
@@ -81,6 +81,7 @@ fn main() -> ExitCode {
             "sweep" => sweep_suite(&opts),
             "mutation" => mutation_suite(&opts),
             "serve" => serve_suite(&opts),
+            "wal" => wal_suite(&opts),
             _ => e2e_suite(&opts),
         };
         report_table(&report).finish();
@@ -799,5 +800,169 @@ fn serve_suite(opts: &Opts) -> BenchReport {
             report.push(e);
         }
     }
+    report
+}
+
+// ----------------------------------------------------------------- wal
+
+/// Durability hot paths: the log-before-apply tax over a bare batch
+/// apply, crash-recovery replay of the full chain, torn-tail repair on
+/// reopen, and the background scrub's checksum walk. Every entry is
+/// real wall-clock (the WAL fsyncs real files), so all stay
+/// informational — the CI bench-smoke job validates the artifact, it
+/// does not gate on fsync latency.
+fn wal_suite(opts: &Opts) -> BenchReport {
+    use gts_storage::{Wal, WAL_FILE};
+
+    let mut report = BenchReport::new(
+        "wal",
+        "Durability: WAL append/replay/repair and scrub checksum walk",
+    );
+    let rmat_scale = 12u32;
+    let edges = Dataset::Rmat(rmat_scale).generate();
+    let fmt = scale::page_format_small();
+    let base = build_graph_store(&edges, fmt).expect("store");
+    let chain = if opts.quick { 4u64 } else { 8 };
+    let inserts = 128u64;
+    let deletes = 32u64;
+    let seed = 0x6715_2016u64;
+    let params = [
+        ("rmat_scale", rmat_scale.to_string()),
+        ("chain", chain.to_string()),
+        ("inserts", inserts.to_string()),
+        ("deletes", deletes.to_string()),
+    ];
+
+    // Every timed sample gets its own scratch directory: the WAL is a
+    // real fsynced file, and recycling a log across samples would turn
+    // appends into idempotent no-ops.
+    let scratch_n = std::sync::atomic::AtomicU32::new(0);
+    let scratch = |tag: &str| {
+        let n = scratch_n.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut p = std::env::temp_dir();
+        p.push(format!("gts-bench-wal-{}-{tag}-{n}", std::process::id()));
+        std::fs::remove_dir_all(&p).ok();
+        p
+    };
+
+    let tag = |mut e: BenchEntry| {
+        e.params = params
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect();
+        e
+    };
+
+    // The same deterministic batch chain drives every entry: each batch
+    // is seeded from the store state it lands on.
+    let next_batch = |store: &gts_storage::GraphStore| {
+        seeded_batch(store, inserts, deletes, seed ^ store.epoch())
+    };
+
+    // Baseline: the chain applied with no log at all.
+    report.push(tag(spec(opts, "apply_chain_plain_ns", "ns").run_values(
+        || {
+            let mut store = base.clone();
+            let t0 = Instant::now();
+            for _ in 0..chain {
+                let b = next_batch(&store);
+                store.apply_mutations(&b).expect("apply");
+            }
+            t0.elapsed().as_nanos() as f64
+        },
+    )));
+    let plain_med = report.entries.last().expect("just pushed").median();
+
+    // Log-before-apply: the same chain through `apply_mutations_logged`,
+    // paying a sealed fsynced append per batch.
+    report.push(tag(spec(opts, "apply_chain_logged_ns", "ns").run_values(
+        || {
+            let mut store = base.clone();
+            let dir = scratch("logged");
+            let mut wal = Wal::open(&dir, &store).expect("fresh wal");
+            let t0 = Instant::now();
+            for _ in 0..chain {
+                let b = next_batch(&store);
+                store.apply_mutations_logged(&b, &mut wal).expect("apply");
+            }
+            let ns = t0.elapsed().as_nanos() as f64;
+            std::fs::remove_dir_all(&dir).ok();
+            ns
+        },
+    )));
+    let logged_med = report.entries.last().expect("just pushed").median();
+    report.push(entry(
+        "logged_vs_plain",
+        "ratio",
+        vec![if plain_med > 0.0 {
+            logged_med / plain_med
+        } else {
+            0.0
+        }],
+        &params,
+    ));
+
+    // One sealed chain on disk, reused (read-only) by the recovery
+    // entries below.
+    let sealed_dir = scratch("sealed");
+    let tip_batch = {
+        let mut store = base.clone();
+        let mut wal = Wal::open(&sealed_dir, &store).expect("fresh wal");
+        for _ in 0..chain {
+            let b = next_batch(&store);
+            store.apply_mutations_logged(&b, &mut wal).expect("apply");
+        }
+        next_batch(&store)
+    };
+    let sealed_log = sealed_dir.join(WAL_FILE);
+
+    // Crash recovery: load the sealed chain and replay all of it onto
+    // the base-epoch store — the cost of coming back from a snapshot
+    // that predates every logged batch.
+    report.push(tag(spec(opts, "recover_replay_ns", "ns").run_values(
+        || {
+            let mut store = base.clone();
+            let t0 = Instant::now();
+            let wal = Wal::load(&sealed_dir).expect("sealed log loads");
+            let applied = wal.replay_onto(&mut store).expect("replay");
+            let ns = t0.elapsed().as_nanos() as f64;
+            assert_eq!(applied, chain, "whole chain replays");
+            ns
+        },
+    )));
+
+    // Torn-tail repair: a half-written append after the sealed chain,
+    // truncated (and re-fsynced) by the next `Wal::open`.
+    report.push(tag(spec(opts, "reopen_repair_ns", "ns").run_values(|| {
+        let dir = scratch("repair");
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        std::fs::copy(&sealed_log, dir.join(WAL_FILE)).expect("copy sealed log");
+        let mut torn = Wal::load(&dir).expect("sealed log loads");
+        torn.log_batch_torn(&tip_batch, chain, chain + 1)
+            .expect("torn append");
+        let t0 = Instant::now();
+        let repaired = Wal::open(&dir, &base).expect("repair");
+        let ns = t0.elapsed().as_nanos() as f64;
+        assert_eq!(repaired.records().len() as u64, chain, "tail dropped");
+        std::fs::remove_dir_all(&dir).ok();
+        ns
+    })));
+    std::fs::remove_dir_all(&sealed_dir).ok();
+
+    // The scrub pass: one full checksum walk over the page set, the
+    // per-interval cost `--scrub-every N` buys.
+    let pages = base.num_pages();
+    report.push(
+        spec(opts, "scrub_walk_ns", "ns")
+            .run(|| {
+                let mut ok = 0u64;
+                for pid in 0..pages {
+                    ok += u64::from(base.page(pid).checksum_ok());
+                }
+                black_box(ok);
+            })
+            .param("rmat_scale", rmat_scale)
+            .param("pages", pages),
+    );
     report
 }

@@ -93,6 +93,17 @@ impl CkptStore {
     /// walking the manifest newest-first past torn entries. Returns the
     /// sequence number it was written under alongside the snapshot.
     pub fn load_latest(&self) -> Result<(u64, Snapshot), CkptError> {
+        self.load_latest_with_skipped()
+            .map(|(seq, snap, _)| (seq, snap))
+    }
+
+    /// [`CkptStore::load_latest`], surfacing the fallback: the third
+    /// element names every newer manifest entry that was skipped as
+    /// missing, torn, or corrupt before an intact snapshot decoded.
+    /// Callers that recover should report these (the `gts fsck`
+    /// verifier and the engine's `ckpt.manifest.skipped` counter do) —
+    /// a skipped entry means real damage on disk, silently walked past.
+    pub fn load_latest_with_skipped(&self) -> Result<(u64, Snapshot, Vec<String>), CkptError> {
         let manifest = self.dir.join(MANIFEST);
         let text = match fs::read_to_string(&manifest) {
             Ok(t) => t,
@@ -119,18 +130,24 @@ impl CkptStore {
                 dir: self.dir.clone(),
             });
         }
+        let mut skipped = Vec::new();
         for name in &entries {
             let path = self.dir.join(name);
             let Ok(bytes) = fs::read(&path) else {
-                continue; // missing file: fall back to the next entry
-            };
-            let Ok(snap) = Snapshot::decode(&bytes) else {
-                continue; // torn or corrupt: fall back to the next entry
-            };
-            let Some(seq) = Self::parse_seq(name) else {
+                // Missing file: fall back to the next entry.
+                skipped.push((*name).to_string());
                 continue;
             };
-            return Ok((seq, snap));
+            let Ok(snap) = Snapshot::decode(&bytes) else {
+                // Torn or corrupt: fall back to the next entry.
+                skipped.push((*name).to_string());
+                continue;
+            };
+            let Some(seq) = Self::parse_seq(name) else {
+                skipped.push((*name).to_string());
+                continue;
+            };
+            return Ok((seq, snap, skipped));
         }
         Err(CkptError::Corrupt {
             reason: format!(
@@ -249,6 +266,27 @@ mod tests {
         let (seq, loaded) = store.load_latest().unwrap();
         assert_eq!(seq, 2);
         assert_eq!(loaded, snap(2));
+    }
+
+    #[test]
+    fn skipped_manifest_entries_are_surfaced_by_name() {
+        let store = CkptStore::open(tmp_dir("skipped")).unwrap();
+        store.write(2, &snap(2)).unwrap();
+        store.write_torn(4, &snap(4)).unwrap();
+        let (seq, loaded, skipped) = store.load_latest_with_skipped().unwrap();
+        assert_eq!(seq, 2);
+        assert_eq!(loaded, snap(2));
+        assert_eq!(skipped, vec!["ckpt-0000000004.snap".to_string()]);
+
+        // A hand-corrupted newest entry (not just a torn write) is
+        // surfaced the same way: real damage, silently walked past.
+        let store = CkptStore::open(tmp_dir("corrupted")).unwrap();
+        store.write(1, &snap(1)).unwrap();
+        store.write(2, &snap(2)).unwrap();
+        fs::write(store.dir().join("ckpt-0000000002.snap"), b"JUNK").unwrap();
+        let (seq, loaded, skipped) = store.load_latest_with_skipped().unwrap();
+        assert_eq!((seq, loaded), (1, snap(1)));
+        assert_eq!(skipped, vec!["ckpt-0000000002.snap".to_string()]);
     }
 
     #[test]

@@ -110,9 +110,11 @@ USAGE:
                [--measure-host-phases true]
                [--checkpoint-dir DIR] [--checkpoint-every N] [--resume true]
                [--run-budget NS] [--sweep-deadline NS] [--counters-out FILE]
-               [--crash-at-sweep K | --crash-mid-write K]
+               [--crash-at-sweep K | --crash-mid-write K |
+                --crash-mid-wal K | --crash-pre-apply K]
                [--mutate-at K] [--mutate-inserts N] [--mutate-deletes N]
                [--mutate-seed N]
+               [--wal-dir DIR] [--scrub-every N] [--bit-rot-ppm N]
   gts serve    --store <store file> --workload <file>
                [--slots N] [--queue-cap N] [--tenant-queue-cap N]
                [--deadline NS] [--gpus N] [--streams N] [--strategy p|s]
@@ -123,7 +125,10 @@ USAGE:
                [--breaker-threshold K] [--breaker-cooldown NS]
                [--shed-watermark PCT]
                [--journal-dir DIR] [--resume-serve true]
-               [--crash-at-epoch K]
+               [--crash-at-epoch K | --crash-mid-wal K | --crash-pre-apply K]
+               [--wal-dir DIR]
+  gts fsck     --store <store file> [--wal-dir DIR] [--checkpoint-dir DIR]
+               [--journal-dir DIR] [--json]
   gts help
 
 Edge files are the binary GTSEDGES format produced by `gts generate`, or
@@ -200,6 +205,29 @@ byte-identical to an uncrashed run, modulo the wall-side
 a deterministic kill right before the service applies its K-th epoch
 bump (exit code 4), for kill-and-resume chaos testing.
 
+Durability: `--wal-dir` keeps a mutation write-ahead log for live runs —
+every batch is sealed into the log (fsync) before it touches the store,
+so a `--resume true` run whose crash landed between a checkpoint and the
+next boundary rolls the store forward by replaying the logged bytes
+(`wal.*` counters) instead of refusing with a fingerprint mismatch.
+`--crash-mid-wal K` / `--crash-pre-apply K` kill sweep K's boundary
+mid-append (torn frame) or after the seal but before the apply, for
+kill-and-recover chaos testing. `--scrub-every N` walks every at-rest
+page each N sweeps verifying trailer checksums, repairing detections
+from the in-memory copy and routing them through drive quarantine
+(`scrub.*` counters); `--bit-rot-ppm` arms the seeded rot injector that
+gives the scrubber something to find. `gts serve --wal-dir` logs
+mutating jobs through the same path, binds the journal header to the
+log, and re-derives journaled epoch bumps from the logged bytes on
+`--resume-serve` (`serve.wal.replayed`).
+
+`gts fsck` verifies artifacts offline and cross-checks every pair it is
+given: store page trailers and the RVT, the WAL chain and its
+replayability onto the store, checkpoint manifest fallbacks
+(`ckpt.manifest.skipped`) and snapshot reachability through the log, and
+the serve journal's store/WAL bindings. One line per finding; exit 0
+when clean, 3 when an artifact is unreadable, 4 when findings exist.
+
 Exit codes: 0 success, 2 usage error, 3 I/O failure, 4 engine failure.";
 
 /// Dispatch the command line.
@@ -211,6 +239,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), CliError> {
         Some("info") => info(&args),
         Some("run") => run(&args),
         Some("serve") => serve_cmd(&args),
+        Some("fsck") => fsck(&args),
         Some("help") | None => {
             outln!("{USAGE}");
             Ok(())
@@ -374,25 +403,64 @@ fn parse_checkpoint(args: &Args) -> Result<Option<CheckpointConfig>, CliError> {
     Ok(Some(if resume { ck.resuming() } else { ck }))
 }
 
-/// `--crash-at-sweep K` / `--crash-mid-write K` — at most one.
+/// `--crash-at-sweep K` / `--crash-mid-write K` / `--crash-mid-wal K` /
+/// `--crash-pre-apply K` — at most one. The WAL kinds kill inside the
+/// log-before-apply window and are meaningless without `--wal-dir`
+/// (there is no log to tear).
 fn parse_crash_point(args: &Args) -> Result<Option<CrashPoint>, CliError> {
     let parse = |name: &str, v: &str| -> Result<u32, CliError> {
         v.parse()
             .map_err(|_| CliError::Usage(format!("bad --{name} {v:?} (sweep number)")))
     };
-    match (
-        args.optional("crash-at-sweep"),
-        args.optional("crash-mid-write"),
-    ) {
-        (Some(_), Some(_)) => Err(CliError::Usage(
-            "--crash-at-sweep and --crash-mid-write are mutually exclusive".into(),
-        )),
-        (Some(k), None) => Ok(Some(CrashPoint::AtSweep(parse("crash-at-sweep", k)?))),
-        (None, Some(k)) => Ok(Some(CrashPoint::MidSnapshotWrite(parse(
-            "crash-mid-write",
-            k,
-        )?))),
-        (None, None) => Ok(None),
+    let set: Vec<(&str, &str)> = [
+        "crash-at-sweep",
+        "crash-mid-write",
+        "crash-mid-wal",
+        "crash-pre-apply",
+    ]
+    .iter()
+    .filter_map(|&name| args.optional(name).map(|v| (name, v)))
+    .collect();
+    if set.len() > 1 {
+        let names: Vec<String> = set.iter().map(|(n, _)| format!("--{n}")).collect();
+        return Err(CliError::Usage(format!(
+            "{} are mutually exclusive (one crash point per run)",
+            names.join(" and ")
+        )));
+    }
+    let Some(&(name, v)) = set.first() else {
+        return Ok(None);
+    };
+    let k = parse(name, v)?;
+    let point = match name {
+        "crash-at-sweep" => CrashPoint::AtSweep(k),
+        "crash-mid-write" => CrashPoint::MidSnapshotWrite(k),
+        "crash-mid-wal" => CrashPoint::MidWalAppend(k),
+        "crash-pre-apply" => CrashPoint::BetweenLogAndApply(k),
+        _ => unreachable!("crash flag list above is exhaustive"),
+    };
+    if matches!(
+        point,
+        CrashPoint::MidWalAppend(_) | CrashPoint::BetweenLogAndApply(_)
+    ) && args.optional("wal-dir").is_none()
+    {
+        return Err(CliError::Usage(format!(
+            "--{name} needs --wal-dir (there is no log to tear)"
+        )));
+    }
+    Ok(Some(point))
+}
+
+/// `--scrub-every N`: background integrity scrub cadence in sweeps.
+fn parse_scrub_every(args: &Args) -> Result<Option<u32>, CliError> {
+    match args.optional("scrub-every") {
+        None => Ok(None),
+        Some(v) => match v.parse::<u32>() {
+            Ok(n) if n >= 1 => Ok(Some(n)),
+            _ => Err(CliError::Usage(format!(
+                "bad --scrub-every {v:?} (sweep cadence, >= 1)"
+            ))),
+        },
     }
 }
 
@@ -475,11 +543,16 @@ fn run(args: &Args) -> Result<(), CliError> {
         "sweep-deadline",
         "crash-at-sweep",
         "crash-mid-write",
+        "crash-mid-wal",
+        "crash-pre-apply",
         "counters-out",
         "mutate-at",
         "mutate-inserts",
         "mutate-deletes",
         "mutate-seed",
+        "wal-dir",
+        "scrub-every",
+        "bit-rot-ppm",
     ])?;
     let alg = args
         .positional(1)
@@ -516,7 +589,22 @@ fn run(args: &Args) -> Result<(), CliError> {
         // explicit seed, use a quiet plan so the kill is the only fault.
         faults.get_or_insert_with(|| FaultConfig::quiet(0)).crash = Some(crash);
     }
+    if let Some(ppm) = args.optional("bit-rot-ppm") {
+        let ppm: u32 = ppm
+            .parse()
+            .map_err(|_| format!("bad --bit-rot-ppm {ppm:?} (parts per million)"))?;
+        // Rot rides in a fault plan; a quiet one makes it the only fault.
+        faults
+            .get_or_insert_with(|| FaultConfig::quiet(0))
+            .bit_rot_ppm = ppm;
+    }
     cfg_builder = cfg_builder.faults(faults);
+    if let Some(dir) = args.optional("wal-dir") {
+        cfg_builder = cfg_builder.wal_dir(Some(dir.into()));
+    }
+    if let Some(every) = parse_scrub_every(args)? {
+        cfg_builder = cfg_builder.scrub_every(Some(every));
+    }
     if let Some(ck) = parse_checkpoint(args)? {
         cfg_builder = cfg_builder.checkpoint(Some(ck));
     }
@@ -729,6 +817,42 @@ fn serve_journal(args: &Args) -> Result<Option<JournalConfig>, CliError> {
     }
 }
 
+/// `--crash-at-epoch K` / `--crash-mid-wal K` / `--crash-pre-apply K`
+/// for serve mode — at most one. The WAL kinds kill the daemon inside
+/// the mutating job's log-before-apply window and need `--wal-dir`.
+fn serve_crash_point(args: &Args) -> Result<Option<CrashPoint>, CliError> {
+    let parse = |name: &str, v: &str, what: &str| -> Result<u32, CliError> {
+        v.parse()
+            .map_err(|_| CliError::Usage(format!("bad --{name} {v:?} ({what})")))
+    };
+    let set: Vec<(&str, &str)> = ["crash-at-epoch", "crash-mid-wal", "crash-pre-apply"]
+        .iter()
+        .filter_map(|&name| args.optional(name).map(|v| (name, v)))
+        .collect();
+    if set.len() > 1 {
+        let names: Vec<String> = set.iter().map(|(n, _)| format!("--{n}")).collect();
+        return Err(CliError::Usage(format!(
+            "{} are mutually exclusive (one crash point per service)",
+            names.join(" and ")
+        )));
+    }
+    let Some(&(name, v)) = set.first() else {
+        return Ok(None);
+    };
+    let point = match name {
+        "crash-at-epoch" => CrashPoint::AtEpoch(parse(name, v, "epoch number")?),
+        "crash-mid-wal" => CrashPoint::MidWalAppend(parse(name, v, "epoch number")?),
+        "crash-pre-apply" => CrashPoint::BetweenLogAndApply(parse(name, v, "epoch number")?),
+        _ => unreachable!("serve crash flag list above is exhaustive"),
+    };
+    if !matches!(point, CrashPoint::AtEpoch(_)) && args.optional("wal-dir").is_none() {
+        return Err(CliError::Usage(format!(
+            "--{name} needs --wal-dir (there is no log to tear)"
+        )));
+    }
+    Ok(Some(point))
+}
+
 /// `gts serve`: a scripted multi-tenant workload through the long-lived
 /// engine over the shared store. Scheduling runs on the simulated
 /// clock, so every output is byte-identical at any `--host-threads`.
@@ -759,6 +883,9 @@ fn serve_cmd(args: &Args) -> Result<(), CliError> {
         "journal-dir",
         "resume-serve",
         "crash-at-epoch",
+        "wal-dir",
+        "crash-mid-wal",
+        "crash-pre-apply",
     ])?;
     let mut store: GraphStore =
         load_store(args.required("store")?).map_err(|e| CliError::Io(e.to_string()))?;
@@ -786,16 +913,12 @@ fn serve_cmd(args: &Args) -> Result<(), CliError> {
         faults: serve_fault_template(args)?,
         resilience: serve_resilience(args)?,
         journal: serve_journal(args)?,
-        crash: match args.optional("crash-at-epoch") {
-            None => None,
-            Some(k) => Some(CrashPoint::AtEpoch(k.parse().map_err(|_| {
-                CliError::Usage(format!("bad --crash-at-epoch {k:?} (epoch number)"))
-            })?)),
-        },
+        crash: serve_crash_point(args)?,
+        wal_dir: args.optional("wal-dir").map(std::path::PathBuf::from),
     };
     if serve_cfg.journal.is_none() && serve_cfg.crash.is_some() {
         return Err(CliError::Usage(
-            "--crash-at-epoch requires --journal-dir (a crash without a journal cannot resume)"
+            "serve crash points require --journal-dir (a crash without a journal cannot resume)"
                 .into(),
         ));
     }
@@ -843,6 +966,295 @@ fn serve_cmd(args: &Args) -> Result<(), CliError> {
         }
     }
     Ok(())
+}
+
+/// One inconsistency `gts fsck` found: which artifact it lives in and
+/// what disagreed.
+struct Finding {
+    artifact: &'static str,
+    detail: String,
+}
+
+/// `gts fsck`: offline cross-artifact verifier. Loads the store and,
+/// for every artifact directory it is given, verifies it internally and
+/// cross-checks it against everything else on the table:
+///
+/// - store: every page's at-rest trailer checksum, and the RVT's shape
+///   (one entry per page; `LP_RANGE` present exactly on Large Pages);
+/// - `--wal-dir`: the log's header/trailer chain (torn tails included),
+///   its identity binding to the store, and that every record replays
+///   onto the store in epoch order;
+/// - `--checkpoint-dir`: manifest entries silently skipped as torn or
+///   unreadable, and that the newest snapshot's store fingerprint is
+///   reachable from the store by replaying the log;
+/// - `--journal-dir`: the serve journal's store binding, its WAL-epoch
+///   binding, and that every journaled epoch lies inside the log's
+///   chain.
+///
+/// Nothing is modified (the WAL's torn tail is *noted*, not repaired).
+/// One line per finding; exit 0 when clean, 3 when an artifact cannot
+/// be read at all, 4 when findings exist.
+fn fsck(args: &Args) -> Result<(), CliError> {
+    args.reject_unknown(&["store", "wal-dir", "checkpoint-dir", "journal-dir", "json"])?;
+    let store: GraphStore =
+        load_store(args.required("store")?).map_err(|e| CliError::Io(e.to_string()))?;
+    let mut findings: Vec<Finding> = Vec::new();
+    let finding = |artifact: &'static str, detail: String| Finding { artifact, detail };
+    let mut checked: Vec<&'static str> = vec!["store"];
+
+    // --- Store: at-rest page trailers, then the RVT's shape.
+    for pid in 0..store.num_pages() {
+        if !store.page(pid).checksum_ok() {
+            findings.push(finding(
+                "store",
+                format!("page {pid}: trailer checksum mismatch"),
+            ));
+        }
+    }
+    if store.rvt().len() as u64 != store.num_pages() {
+        findings.push(finding(
+            "store",
+            format!(
+                "rvt covers {} pages, store has {}",
+                store.rvt().len(),
+                store.num_pages()
+            ),
+        ));
+    } else {
+        for &pid in store.large_pids() {
+            if store.rvt().entry(pid).lp_range.is_none() {
+                findings.push(finding(
+                    "store",
+                    format!("rvt: large page {pid} lacks its LP_RANGE"),
+                ));
+            }
+        }
+        for &pid in store.small_pids() {
+            if store.rvt().entry(pid).lp_range.is_some() {
+                findings.push(finding(
+                    "store",
+                    format!("rvt: small page {pid} carries an LP_RANGE"),
+                ));
+            }
+        }
+    }
+
+    // --- WAL: chain integrity, identity binding, replayability. The
+    // stepwise fingerprints double as the checkpoint reachability set.
+    let mut wal: Option<gts_storage::Wal> = None;
+    let mut replay_fps: Option<Vec<u64>> = None;
+    if let Some(dir) = args.optional("wal-dir") {
+        checked.push("wal");
+        match gts_storage::Wal::load(dir) {
+            Err(gts_storage::WalError::Io { op, path, source }) => {
+                return Err(CliError::Io(format!(
+                    "wal: {op} {}: {source}",
+                    path.display()
+                )));
+            }
+            Err(e) => findings.push(finding("wal", e.to_string())),
+            Ok(w) => {
+                if w.truncated_tail() > 0 {
+                    findings.push(finding(
+                        "wal",
+                        format!(
+                            "torn tail: {} trailing bytes form no sealed record",
+                            w.truncated_tail()
+                        ),
+                    ));
+                }
+                let cfg = store.cfg();
+                let want = gts_storage::store_identity_fp(
+                    store.num_vertices(),
+                    cfg.page_size as u32,
+                    cfg.id.p,
+                    cfg.id.q,
+                );
+                if w.header().store_id_fp != want {
+                    findings.push(finding(
+                        "wal",
+                        format!(
+                            "log belongs to a different store (log {:#x}, store {want:#x})",
+                            w.header().store_id_fp
+                        ),
+                    ));
+                } else {
+                    if w.header().base_epoch != store.epoch() {
+                        findings.push(finding(
+                            "wal",
+                            format!(
+                                "log base epoch {} != store epoch {}",
+                                w.header().base_epoch,
+                                store.epoch()
+                            ),
+                        ));
+                    }
+                    let mut scratch = store.clone();
+                    let mut fps = vec![gts_core::store_fingerprint(&scratch)];
+                    for (i, rec) in w.records().iter().enumerate() {
+                        match scratch.apply_mutations(&rec.batch) {
+                            Ok(_) => fps.push(gts_core::store_fingerprint(&scratch)),
+                            Err(e) => {
+                                findings.push(finding(
+                                    "wal",
+                                    format!(
+                                        "record {i} (epoch {} -> {}) does not apply \
+                                         onto the store: {e}",
+                                        rec.pre_epoch, rec.post_epoch
+                                    ),
+                                ));
+                                break;
+                            }
+                        }
+                    }
+                    replay_fps = Some(fps);
+                }
+                wal = Some(w);
+            }
+        }
+    }
+
+    // --- Checkpoints: surfaced manifest fallbacks, then snapshot
+    // reachability from the store through the log.
+    if let Some(dir) = args.optional("checkpoint-dir") {
+        checked.push("checkpoint");
+        if !std::path::Path::new(dir).is_dir() {
+            return Err(CliError::Io(format!("checkpoint dir {dir}: not found")));
+        }
+        let ck = gts_ckpt::CkptStore::open(dir).map_err(|e| CliError::Io(e.to_string()))?;
+        match ck.load_latest_with_skipped() {
+            Err(e @ gts_ckpt::CkptError::Io { .. }) => return Err(CliError::Io(e.to_string())),
+            Err(e) => findings.push(finding("checkpoint", e.to_string())),
+            Ok((seq, snap, skipped)) => {
+                for name in skipped {
+                    findings.push(finding(
+                        "checkpoint",
+                        format!("manifest entry {name} skipped (missing, torn, or corrupt)"),
+                    ));
+                }
+                match gts_core::snapshot_progress(&snap) {
+                    Err(e) => findings.push(finding(
+                        "checkpoint",
+                        format!("snapshot {seq} does not decode: {e}"),
+                    )),
+                    Ok((target_fp, sweep)) => {
+                        if let Some(fps) = &replay_fps {
+                            if !fps.contains(&target_fp) {
+                                findings.push(finding(
+                                    "checkpoint",
+                                    format!(
+                                        "snapshot {seq} (sweep {sweep}) records store \
+                                         fingerprint {target_fp:#x}, unreachable from the \
+                                         store through the log"
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // --- Serve journal: store binding, WAL-epoch binding, and every
+    // journaled epoch inside the log's chain.
+    if let Some(dir) = args.optional("journal-dir") {
+        checked.push("journal");
+        if !std::path::Path::new(dir).is_dir() {
+            return Err(CliError::Io(format!("journal dir {dir}: not found")));
+        }
+        match gts_serve::inspect_journal(dir) {
+            Err(e) => findings.push(finding("journal", e.to_string())),
+            Ok(info) => {
+                for name in &info.skipped {
+                    findings.push(finding(
+                        "journal",
+                        format!("manifest entry {name} skipped (missing, torn, or corrupt)"),
+                    ));
+                }
+                let want = gts_serve::store_binding_fp(&store);
+                if info.store_fp != want {
+                    findings.push(finding(
+                        "journal",
+                        format!(
+                            "bound to a different store (journal {:#x}, this store {want:#x})",
+                            info.store_fp
+                        ),
+                    ));
+                }
+                match (&wal, info.wal_fp) {
+                    (Some(w), fp) => {
+                        let want = gts_ckpt::fnv1a(&w.header().base_epoch.to_le_bytes());
+                        if fp != want {
+                            findings.push(finding(
+                                "journal",
+                                format!("WAL binding mismatch (journal {fp:#x}, log {want:#x})"),
+                            ));
+                        }
+                        let base = w.header().base_epoch;
+                        let tip = base + w.records().len() as u64;
+                        for &e in &info.epochs {
+                            if e <= base || e > tip {
+                                findings.push(finding(
+                                    "journal",
+                                    format!(
+                                        "journaled epoch {e} outside the log's chain \
+                                         ({base}, {tip}]"
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                    (None, fp) if fp != 0 => findings.push(finding(
+                        "journal",
+                        format!(
+                            "journal binds a mutation WAL ({fp:#x}) but no --wal-dir \
+                             was given to check it against"
+                        ),
+                    )),
+                    (None, _) => {}
+                }
+            }
+        }
+    }
+
+    // --- Report.
+    let json = args.optional("json").map(|v| v == "true").unwrap_or(false);
+    if json {
+        let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+        let list: Vec<String> = findings
+            .iter()
+            .map(|f| {
+                format!(
+                    "{{\"artifact\":\"{}\",\"detail\":\"{}\"}}",
+                    f.artifact,
+                    esc(&f.detail)
+                )
+            })
+            .collect();
+        let names: Vec<String> = checked.iter().map(|c| format!("\"{c}\"")).collect();
+        outln!(
+            "{{\"checked\":[{}],\"findings\":[{}]}}",
+            names.join(","),
+            list.join(",")
+        );
+    } else {
+        for f in &findings {
+            outln!("fsck: {}: {}", f.artifact, f.detail);
+        }
+        if findings.is_empty() {
+            outln!("fsck: clean ({})", checked.join(" + "));
+        }
+    }
+    if findings.is_empty() {
+        Ok(())
+    } else {
+        Err(CliError::Engine(format!(
+            "fsck: {} finding(s) across {}",
+            findings.len(),
+            checked.join(" + ")
+        )))
+    }
 }
 
 /// `--jobs-out` (one record line plus the full counter registry per job
@@ -1090,6 +1502,26 @@ mod tests {
             (&["--mutate-inserts", "5"], "--mutate-at"),
             (&["--mutate-deletes", "5"], "--mutate-at"),
             (&["--mutate-seed", "5"], "--mutate-at"),
+            (
+                &["--wal-dir", "d", "--crash-mid-wal", "x"],
+                "--crash-mid-wal",
+            ),
+            (&["--crash-mid-wal", "3"], "--wal-dir"),
+            (&["--crash-pre-apply", "3"], "--wal-dir"),
+            (
+                &[
+                    "--wal-dir",
+                    "d",
+                    "--crash-at-sweep",
+                    "2",
+                    "--crash-mid-wal",
+                    "3",
+                ],
+                "mutually exclusive",
+            ),
+            (&["--scrub-every", "x"], "--scrub-every"),
+            (&["--scrub-every", "0"], "--scrub-every"),
+            (&["--bit-rot-ppm", "lots"], "--bit-rot-ppm"),
         ];
         // A real store so validation (not a missing file) is what fails.
         let el = tmp("v.el");
@@ -1186,6 +1618,81 @@ mod tests {
         std::fs::remove_file(&el).ok();
         std::fs::remove_file(&st).ok();
         std::fs::remove_dir_all(&ck).ok();
+    }
+
+    /// The durability surface end to end: a mid-WAL-append kill leaves a
+    /// torn tail that `gts fsck` reports (exit 4), resume repairs and
+    /// completes, and fsck then signs off on every artifact (exit 0).
+    #[test]
+    fn wal_crash_fsck_and_recover_through_the_cli() {
+        let el = tmp("wal.el");
+        let st = tmp("wal.gts");
+        let ck = tmp("wal-ckpts");
+        let wd = tmp("wal-log");
+        std::fs::remove_dir_all(&ck).ok();
+        std::fs::remove_dir_all(&wd).ok();
+        dispatch(&sv(&[
+            "generate", "--kind", "rmat", "--scale", "8", "--out", &el,
+        ]))
+        .unwrap();
+        dispatch(&sv(&[
+            "build",
+            "--graph",
+            &el,
+            "--out",
+            &st,
+            "--page-size",
+            "4096",
+        ]))
+        .unwrap();
+        let run = |extra: &[&str]| {
+            let mut argv = sv(&[
+                "run",
+                "pagerank",
+                "--store",
+                &st,
+                "--iterations",
+                "6",
+                "--checkpoint-dir",
+                &ck,
+                "--checkpoint-every",
+                "2",
+                "--wal-dir",
+                &wd,
+                "--mutate-at",
+                "3",
+                "--mutate-inserts",
+                "32",
+            ]);
+            argv.extend(sv(extra));
+            dispatch(&argv)
+        };
+        let err = run(&["--crash-mid-wal", "3"]).unwrap_err();
+        assert_eq!(err.exit_code(), EXIT_ENGINE, "{err}");
+        assert!(err.to_string().contains("injected crash"), "{err}");
+        // fsck sees the torn tail the kill left behind.
+        let fsck = |extra: &[&str]| {
+            let mut argv = sv(&["fsck", "--store", &st]);
+            argv.extend(sv(extra));
+            dispatch(&argv)
+        };
+        let err = fsck(&["--wal-dir", &wd, "--checkpoint-dir", &ck]).unwrap_err();
+        assert_eq!(err.exit_code(), EXIT_ENGINE, "{err}");
+        assert!(err.to_string().contains("finding"), "{err}");
+        // Resume repairs the tail, replays the log, and finishes the run.
+        run(&["--resume", "true"]).unwrap();
+        fsck(&["--wal-dir", &wd, "--checkpoint-dir", &ck]).unwrap();
+        // fsck's own argument and I/O failures stay classified.
+        let err = dispatch(&sv(&["fsck"])).unwrap_err();
+        assert_eq!(err.exit_code(), EXIT_USAGE, "{err}");
+        let err = dispatch(&sv(&["fsck", "--store", "/nonexistent-gts-file"])).unwrap_err();
+        assert_eq!(err.exit_code(), EXIT_IO, "{err}");
+        let err = fsck(&["--wal-dir", &tmp("wal-no-such-log")]).unwrap_err();
+        assert_eq!(err.exit_code(), EXIT_IO, "{err}");
+        std::fs::remove_file(&el).ok();
+        std::fs::remove_file(&st).ok();
+        std::fs::remove_dir_all(&ck).ok();
+        std::fs::remove_dir_all(&wd).ok();
     }
 
     /// A mutate-while-sweep run is byte-identical at any host-thread
@@ -1291,6 +1798,19 @@ mod tests {
             (&["--crash-at-epoch", "x"], "--crash-at-epoch"),
             (&["--crash-at-epoch", "1"], "--journal-dir"),
             (&["--resume-serve", "true"], "--journal-dir"),
+            (&["--crash-mid-wal", "1"], "--wal-dir"),
+            (&["--crash-pre-apply", "1"], "--wal-dir"),
+            (
+                &[
+                    "--wal-dir",
+                    "d",
+                    "--crash-mid-wal",
+                    "1",
+                    "--crash-at-epoch",
+                    "1",
+                ],
+                "mutually exclusive",
+            ),
             (&["--mutate-at", "1"], "unknown flag"),
             (&["--checkpoint-dir", "d"], "unknown flag"),
         ];

@@ -34,7 +34,7 @@ use gts_gpu::warp::MicroTechnique;
 use gts_gpu::{GpuConfig, PcieConfig};
 use gts_storage::builder::GraphStore;
 use gts_storage::cache::{FifoCache, LruCache, PageCache, RandomCache};
-use gts_storage::{MutateError, StorageError};
+use gts_storage::{MutateError, StorageError, WalError};
 use gts_telemetry::Telemetry;
 use std::fmt;
 use std::path::PathBuf;
@@ -128,6 +128,21 @@ pub struct GtsConfig {
     /// `every` sweeps to `dir`, and optionally start the run by resuming
     /// the directory's latest valid snapshot. `None` disables it.
     pub checkpoint: Option<CheckpointConfig>,
+    /// Mutation write-ahead log for live runs: every scheduled batch is
+    /// sealed into `<dir>/wal.log` *before* it applies, so a crash between
+    /// checkpoints loses no applied mutation — resume replays the log
+    /// suffix on top of the newest snapshot instead of refusing with a
+    /// store-fingerprint mismatch. Ignored by static ([`Gts::run`]) jobs;
+    /// `None` disables logging (and live resume keeps its old refusal).
+    pub wal_dir: Option<PathBuf>,
+    /// Background scrub cadence in sweeps (>= 1): at the boundary of
+    /// every sweep whose index is a multiple of this, walk every store
+    /// page in the serial accounting phase, verify its at-rest trailer
+    /// checksum against the fault plan's bit-rot schedule, repair
+    /// detections from the authoritative in-memory copy, and route them
+    /// to drive quarantine/re-striping. Results land under the sim-side
+    /// deterministic `scrub.*` counters. `None` disables scrubbing.
+    pub scrub_every: Option<u32>,
     /// Watchdog deadline for any single sweep, in simulated nanoseconds.
     /// A sweep that exceeds it aborts the run with
     /// [`EngineError::DeadlineExceeded`] — after a final checkpoint is
@@ -190,6 +205,8 @@ impl Default for GtsConfig {
             faults: None,
             degrade_on_oom: true,
             checkpoint: None,
+            wal_dir: None,
+            scrub_every: None,
             sweep_deadline_ns: None,
             run_budget_ns: None,
         }
@@ -235,6 +252,9 @@ impl GtsConfig {
                 return Err(ConfigError::ZeroCheckpointEvery);
             }
         }
+        if self.scrub_every == Some(0) {
+            return Err(ConfigError::ZeroScrubEvery);
+        }
         if self.sweep_deadline_ns == Some(0) {
             return Err(ConfigError::ZeroDeadline {
                 what: "sweep_deadline_ns",
@@ -272,6 +292,9 @@ pub enum ConfigError {
     /// `checkpoint.every` was zero — the cadence is in sweeps and a
     /// snapshot every 0 sweeps is meaningless.
     ZeroCheckpointEvery,
+    /// `scrub_every` was zero — the scrub cadence is in sweeps and a
+    /// pass every 0 sweeps is meaningless.
+    ZeroScrubEvery,
     /// A watchdog deadline was zero — every sweep takes simulated time,
     /// so a zero budget would abort unconditionally.
     ZeroDeadline {
@@ -299,6 +322,9 @@ impl fmt::Display for ConfigError {
             ),
             ConfigError::ZeroCheckpointEvery => {
                 write!(f, "checkpoint.every must be >= 1 (it is a sweep cadence)")
+            }
+            ConfigError::ZeroScrubEvery => {
+                write!(f, "scrub_every must be >= 1 (it is a sweep cadence)")
             }
             ConfigError::ZeroDeadline { what } => {
                 write!(f, "{what} must be > 0 when set")
@@ -369,6 +395,12 @@ impl GtsConfigBuilder {
         degrade_on_oom: bool,
         /// Crash-consistent checkpointing (`None` disables it).
         checkpoint: Option<CheckpointConfig>,
+        /// Mutation write-ahead log directory for live runs (`None`
+        /// disables logging).
+        wal_dir: Option<PathBuf>,
+        /// Background scrub cadence in sweeps (>= 1; `None` disables
+        /// scrubbing).
+        scrub_every: Option<u32>,
         /// Watchdog deadline per sweep, simulated ns (`None` disables it).
         sweep_deadline_ns: Option<u64>,
         /// Watchdog budget for the whole run, simulated ns (`None`
@@ -437,6 +469,12 @@ pub enum EngineError {
     /// before it installs — but the run aborts: silently skipping a batch
     /// would leave the caller believing it applied.
     Mutation(MutateError),
+    /// A write-ahead-log operation failed: the log directory is unusable,
+    /// an append did not land, the log belongs to a different store, or
+    /// recovery found a chain the store cannot replay. (A batch the store
+    /// *rejects* after logging is rolled back out of the log and surfaces
+    /// as [`EngineError::Mutation`], not here.)
+    Wal(WalError),
 }
 
 impl fmt::Display for EngineError {
@@ -464,6 +502,7 @@ impl fmt::Display for EngineError {
             ),
             EngineError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
             EngineError::Mutation(e) => write!(f, "mutation: {e}"),
+            EngineError::Wal(e) => write!(f, "wal: {e}"),
         }
     }
 }
@@ -491,6 +530,18 @@ impl From<StorageError> for EngineError {
 impl From<CkptError> for EngineError {
     fn from(e: CkptError) -> Self {
         EngineError::Checkpoint(e)
+    }
+}
+
+impl From<WalError> for EngineError {
+    /// A batch the store rejected *after* logging keeps its typed
+    /// [`EngineError::Mutation`] identity — the WAL rolled the record
+    /// back, so the failure is the store's, not the log's.
+    fn from(e: WalError) -> Self {
+        match e {
+            WalError::Rejected(m) => EngineError::Mutation(m),
+            other => EngineError::Wal(other),
+        }
     }
 }
 
@@ -553,6 +604,12 @@ impl GtsBuilder {
         degrade_on_oom: bool,
         /// Crash-consistent checkpointing (`None` disables it).
         checkpoint: Option<CheckpointConfig>,
+        /// Mutation write-ahead log directory for live runs (`None`
+        /// disables logging).
+        wal_dir: Option<PathBuf>,
+        /// Background scrub cadence in sweeps (>= 1; `None` disables
+        /// scrubbing).
+        scrub_every: Option<u32>,
         /// Watchdog deadline per sweep, simulated ns (`None` disables it).
         sweep_deadline_ns: Option<u64>,
         /// Watchdog budget for the whole run, simulated ns (`None`
@@ -1100,6 +1157,21 @@ mod tests {
         );
         assert_eq!(
             GtsConfig::builder()
+                .scrub_every(Some(0))
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroScrubEvery
+        );
+        assert_eq!(
+            GtsConfig::builder()
+                .scrub_every(Some(4))
+                .build()
+                .unwrap()
+                .scrub_every,
+            Some(4)
+        );
+        assert_eq!(
+            GtsConfig::builder()
                 .sweep_deadline_ns(Some(0))
                 .build()
                 .unwrap_err(),
@@ -1165,6 +1237,12 @@ mod tests {
                     dir: "ckpts".into(),
                 }),
                 "checkpoint: no checkpoint to resume from in ckpts",
+            ),
+            (
+                EngineError::Wal(WalError::Corrupt {
+                    reason: "header truncated".to_string(),
+                }),
+                "wal: corrupt wal: header truncated",
             ),
         ];
         for (e, want) in cases {
@@ -1591,5 +1669,223 @@ mod tests {
             other => panic!("expected a stale-resume refusal, got {other:?}"),
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Scratch dirs for one WAL test: (checkpoints, wal), both fresh.
+    fn wal_dirs(tag: &str) -> (std::path::PathBuf, std::path::PathBuf) {
+        let base = std::env::temp_dir().join(format!("gts-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&base).ok();
+        (base.join("ckpts"), base.join("wal"))
+    }
+
+    /// One insert-only batch out of `hub`, absent from `g`.
+    fn burst(g: &gts_graph::EdgeList, hub: u32, want: usize) -> MutationBatch {
+        let mut batch = MutationBatch::new();
+        for &(s, d) in &missing_edges(g, hub, want) {
+            batch.insert(s as u64, d as u64);
+        }
+        batch
+    }
+
+    #[test]
+    fn wal_replays_the_log_to_reach_a_post_mutation_snapshot() {
+        // The batch applies at sweep 3, the snapshot lands at sweep 4
+        // (post-mutation epoch), the crash kills sweep 5. Resuming over a
+        // FRESH store — epoch 0, exactly what an operator rebuilds from
+        // the original edge list — used to refuse with a fingerprint
+        // mismatch; with the WAL it rolls the store forward to the
+        // snapshot's epoch and completes byte-identically.
+        let (ck_dir, wal_dir) = wal_dirs("wal-replay");
+        let g = rmat(9);
+        let build = || {
+            build_graph_store(&g, PageFormatConfig::new(PhysicalIdConfig::ORIGINAL, 1024)).unwrap()
+        };
+        let mk = |resume: bool, crash: Option<gts_faults::CrashPoint>| {
+            let ck = CheckpointConfig::new(&ck_dir, 4);
+            GtsConfig {
+                checkpoint: Some(if resume { ck.resuming() } else { ck }),
+                wal_dir: Some(wal_dir.clone()),
+                faults: Some(FaultConfig {
+                    crash,
+                    ..FaultConfig::quiet(7)
+                }),
+                ..GtsConfig::default()
+            }
+        };
+        // Uncrashed baseline: the same configuration shape (checkpoints
+        // perturb simulated time by rebuilding the caches cold, so the
+        // baseline must checkpoint too) over its own scratch dirs.
+        let (base_ck, base_wal) = wal_dirs("wal-replay-base");
+        let mut base_store = build();
+        let mut base_pr = PageRank::new(base_store.num_vertices(), 7);
+        let base = Gts::new(GtsConfig {
+            checkpoint: Some(CheckpointConfig::new(&base_ck, 4)),
+            wal_dir: Some(base_wal),
+            faults: Some(FaultConfig::quiet(7)),
+            ..GtsConfig::default()
+        })
+        .run_live(
+            &mut base_store,
+            &mut base_pr,
+            MutationSchedule::new().at(3, burst(&g, 1, 24)),
+        )
+        .unwrap();
+        // Crashed run.
+        let mut store = build();
+        let mut pr = PageRank::new(store.num_vertices(), 7);
+        let err = Gts::new(mk(false, Some(gts_faults::CrashPoint::AtSweep(5))))
+            .run_live(
+                &mut store,
+                &mut pr,
+                MutationSchedule::new().at(3, burst(&g, 1, 24)),
+            )
+            .unwrap_err();
+        assert!(matches!(err, EngineError::InjectedCrash { sweep: 5 }));
+        assert_eq!(store.epoch(), 1, "the batch applied before the crash");
+        // Recover over a FRESH store: the WAL supplies the missing epoch.
+        let mut fresh = build();
+        let engine = Gts::new(mk(true, None));
+        let mut pr2 = PageRank::new(fresh.num_vertices(), 7);
+        let report = engine
+            .run_live(
+                &mut fresh,
+                &mut pr2,
+                MutationSchedule::new().at(3, burst(&g, 1, 24)),
+            )
+            .unwrap();
+        assert_eq!(engine.telemetry().counter(keys::WAL_REPLAYED), 1);
+        assert_eq!(pr2.ranks(), base_pr.ranks());
+        assert_eq!(report.elapsed, base.elapsed);
+        assert_eq!(report.sweeps, base.sweeps);
+        assert_eq!(report.edges_traversed, base.edges_traversed);
+        assert_eq!(
+            crate::sweep::ckpt::store_fingerprint(&fresh),
+            crate::sweep::ckpt::store_fingerprint(&base_store),
+            "recovered store must be byte-equivalent to the uncrashed one"
+        );
+        std::fs::remove_dir_all(ck_dir.parent().unwrap()).ok();
+        std::fs::remove_dir_all(base_ck.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn wal_crash_points_recover_without_double_apply() {
+        // Both WAL crash kinds at the sweep-3 boundary: MidWalAppend
+        // persists a torn frame (repaired on reopen, then the batch is
+        // re-logged for real), BetweenLogAndApply persists the full
+        // record (the resumed boundary's re-log is an idempotent 0-byte
+        // append). Either way the resumed run matches the uncrashed one.
+        let g = rmat(9);
+        let build = || {
+            build_graph_store(&g, PageFormatConfig::new(PhysicalIdConfig::ORIGINAL, 1024)).unwrap()
+        };
+        let mut base_store = build();
+        let mut base_pr = PageRank::new(base_store.num_vertices(), 6);
+        Gts::new(GtsConfig::default())
+            .run_live(
+                &mut base_store,
+                &mut base_pr,
+                MutationSchedule::new().at(3, burst(&g, 2, 16)),
+            )
+            .unwrap();
+        for (tag, crash, want_appends) in [
+            ("torn", gts_faults::CrashPoint::MidWalAppend(3), 1),
+            ("sealed", gts_faults::CrashPoint::BetweenLogAndApply(3), 0),
+        ] {
+            let (ck_dir, wal_dir) = wal_dirs(&format!("wal-crash-{tag}"));
+            let mk = |resume: bool, crash: Option<gts_faults::CrashPoint>| {
+                let ck = CheckpointConfig::new(&ck_dir, 2);
+                GtsConfig {
+                    checkpoint: Some(if resume { ck.resuming() } else { ck }),
+                    wal_dir: Some(wal_dir.clone()),
+                    faults: Some(FaultConfig {
+                        crash,
+                        ..FaultConfig::quiet(7)
+                    }),
+                    ..GtsConfig::default()
+                }
+            };
+            let mut store = build();
+            let mut pr = PageRank::new(store.num_vertices(), 6);
+            let err = Gts::new(mk(false, Some(crash)))
+                .run_live(
+                    &mut store,
+                    &mut pr,
+                    MutationSchedule::new().at(3, burst(&g, 2, 16)),
+                )
+                .unwrap_err();
+            assert!(
+                matches!(err, EngineError::InjectedCrash { sweep: 3 }),
+                "{tag}: {err:?}"
+            );
+            assert_eq!(store.epoch(), 0, "{tag}: died before the apply");
+            let engine = Gts::new(mk(true, None));
+            let mut pr2 = PageRank::new(store.num_vertices(), 6);
+            engine
+                .run_live(
+                    &mut store,
+                    &mut pr2,
+                    MutationSchedule::new().at(3, burst(&g, 2, 16)),
+                )
+                .unwrap();
+            assert_eq!(pr2.ranks(), base_pr.ranks(), "{tag}");
+            assert_eq!(store.epoch(), 1, "{tag}: applied exactly once");
+            assert_eq!(
+                engine.telemetry().counter(keys::WAL_APPENDS),
+                want_appends,
+                "{tag}"
+            );
+            assert_eq!(
+                crate::sweep::ckpt::store_fingerprint(&store),
+                crate::sweep::ckpt::store_fingerprint(&base_store),
+                "{tag}"
+            );
+            std::fs::remove_dir_all(ck_dir.parent().unwrap()).ok();
+        }
+    }
+
+    #[test]
+    fn scrub_detects_rot_without_disturbing_the_run() {
+        // A scrub pass verifies the at-rest copies and repairs in place:
+        // the simulated numbers and the program's answer are identical to
+        // the same run without scrubbing, while the scrub.* counters show
+        // the rot that was caught. Deterministic at any host_threads.
+        let store = small_store();
+        let mut quiet_pr = PageRank::new(store.num_vertices(), 6);
+        let quiet = Gts::new(GtsConfig::default())
+            .run(&store, &mut quiet_pr)
+            .unwrap();
+        let run = |threads: usize| {
+            let cfg = GtsConfig {
+                scrub_every: Some(2),
+                host_threads: threads,
+                faults: Some(FaultConfig {
+                    bit_rot_ppm: 300_000,
+                    ..FaultConfig::quiet(0xB17)
+                }),
+                ..GtsConfig::default()
+            };
+            let engine = Gts::new(cfg);
+            let mut pr = PageRank::new(store.num_vertices(), 6);
+            let report = engine.run(&store, &mut pr).unwrap();
+            let tel = engine.telemetry();
+            (
+                pr.ranks().to_vec(),
+                report.elapsed,
+                tel.counter(keys::SCRUB_PAGES),
+                tel.counter(keys::SCRUB_ERRORS),
+                tel.counter(keys::SCRUB_REPAIRED),
+            )
+        };
+        let serial = run(1);
+        assert_eq!(serial.0, quiet_pr.ranks());
+        assert_eq!(serial.1, quiet.elapsed);
+        // 6 sweeps at cadence 2 → passes at sweeps 2 and 4 (sweep 0 and
+        // the post-final boundary never scrub).
+        assert_eq!(serial.2, 2 * store.num_pages());
+        assert!(serial.3 > 0, "30% rot rate must be detected");
+        assert_eq!(serial.3, serial.4);
+        for threads in [2, 4] {
+            assert_eq!(run(threads), serial, "scrub differs at {threads} threads");
+        }
     }
 }

@@ -29,12 +29,14 @@ use crate::sweep::kernels::{self, KernelEnv};
 use crate::sweep::live::{self, BoundaryCtx, MutationSchedule, StoreHandle};
 use crate::sweep::plan::SweepPlan;
 use crate::sweep::schedule::{self, GpuLane};
+use crate::sweep::scrub;
 use crate::{ConfigError, EngineError, GtsConfig};
 use gts_ckpt::{CkptStore, Snapshot};
 use gts_exec::ThreadPool;
 use gts_faults::{CrashPoint, FaultPlan};
 use gts_sim::SimTime;
 use gts_storage::builder::GraphStore;
+use gts_storage::Wal;
 use gts_telemetry::{keys, SpanCat, Telemetry, Track};
 
 /// A long-lived engine: the validated configuration, with no per-run
@@ -111,6 +113,9 @@ pub struct JobContext {
     faults: Option<FaultPlan>,
     ck: Option<CkptStore>,
     resume: Option<Snapshot>,
+    /// Newer manifest entries the resume load skipped as torn or
+    /// unreadable (surfaced under `ckpt.manifest.skipped`).
+    manifest_skipped: u64,
     setup: LaneSetup,
     source: Box<dyn PageSource>,
     out: RunState,
@@ -180,8 +185,59 @@ impl Engine {
         prog: &mut dyn GtsProgram,
         opts: &JobOptions,
     ) -> Result<RunReport, EngineError> {
+        // WAL recovery runs FIRST: a resuming run rolls the store forward
+        // to the snapshot's fingerprint before `open_job` verifies it, so
+        // a crash between a checkpoint and the next boundary no longer
+        // refuses with a fingerprint mismatch.
+        let (mut wal, wal_replayed) = self.open_wal(handle)?;
         let mut job = self.open_job(handle.store(), prog, opts)?;
-        self.execute_job(&mut job, handle, prog)
+        self.execute_job(&mut job, handle, prog, wal.as_mut(), wal_replayed)
+    }
+
+    /// Open the mutation WAL (live runs with [`GtsConfig::wal_dir`] only)
+    /// and, when the job is a checkpoint resume, recover the store to the
+    /// snapshot's fingerprint by replaying the WAL suffix. Returns the
+    /// opened log and how many records the recovery replayed.
+    ///
+    /// Batches the recovery replayed are popped off the schedule queue so
+    /// the resumed loop does not apply them twice; leading *empty* batches
+    /// due strictly before the snapshot's sweep are also behind us (they
+    /// never move the epoch, so the replay cannot see them).
+    fn open_wal(&self, handle: &mut StoreHandle<'_>) -> Result<(Option<Wal>, u64), EngineError> {
+        let Some(dir) = &self.cfg.wal_dir else {
+            return Ok((None, 0));
+        };
+        let StoreHandle::Live { store, queue } = handle else {
+            return Ok((None, 0));
+        };
+        let wal = Wal::open(dir, store)?;
+        let mut replayed = 0u64;
+        if let Some(c) = &self.cfg.checkpoint {
+            if c.resume {
+                let ck = CkptStore::open(&c.dir).map_err(EngineError::Checkpoint)?;
+                let (_seq, snap) = ck.load_latest().map_err(EngineError::Checkpoint)?;
+                let (target_fp, snap_sweep) =
+                    ckpt::snapshot_progress(&snap).map_err(EngineError::Checkpoint)?;
+                let base_epoch = store.epoch();
+                replayed = ckpt::recover_store(store, &wal, target_fp)?;
+                let mut to_skip = store.epoch() - base_epoch;
+                while to_skip > 0 {
+                    let Some((_, batch)) = queue.pop_front() else {
+                        break;
+                    };
+                    if !batch.is_empty() {
+                        to_skip -= 1;
+                    }
+                }
+                while queue
+                    .front()
+                    .is_some_and(|(due, b)| b.is_empty() && *due < snap_sweep)
+                {
+                    queue.pop_front();
+                }
+            }
+        }
+        Ok((Some(wal), replayed))
     }
 
     /// First half of a run: clear the job's registry, open fault /
@@ -210,9 +266,13 @@ impl Engine {
             None => None,
         };
         let mut resume: Option<Snapshot> = None;
+        let mut manifest_skipped = 0u64;
         if let (Some(ck), Some(c)) = (&ck, &self.cfg.checkpoint) {
             if c.resume {
-                let (_seq, snap) = ck.load_latest().map_err(EngineError::Checkpoint)?;
+                let (_seq, snap, skipped) = ck
+                    .load_latest_with_skipped()
+                    .map_err(EngineError::Checkpoint)?;
+                manifest_skipped = skipped.len() as u64;
                 ckpt::verify_meta(&snap, store, &self.cfg, prog.name())
                     .map_err(EngineError::Checkpoint)?;
                 resume = Some(snap);
@@ -244,6 +304,7 @@ impl Engine {
             faults,
             ck,
             resume,
+            manifest_skipped,
             setup,
             source,
             out: RunState {
@@ -262,6 +323,8 @@ impl Engine {
         job: &mut JobContext,
         handle: &mut StoreHandle<'_>,
         prog: &mut dyn GtsProgram,
+        wal: Option<&mut Wal>,
+        wal_replayed: u64,
     ) -> Result<RunReport, EngineError> {
         let exec = ExecCtx {
             cfg: &self.cfg,
@@ -272,6 +335,9 @@ impl Engine {
             faults: job.faults.as_ref(),
             ck: job.ck.as_ref(),
             resume: job.resume.take(),
+            wal,
+            wal_replayed,
+            manifest_skipped: job.manifest_skipped,
         };
         let err = exec
             .sweep_loop(
@@ -419,6 +485,90 @@ impl ExecCtx<'_> {
         }
     }
 
+    /// How a run enters the sweep loop. Resuming re-enters mid-run:
+    /// counters, program vectors, fault cursors, and quarantine state
+    /// restore in place, and the initial WA broadcast is already inside
+    /// the restored clock. A fresh run performs the initial WA chunk
+    /// copy (Alg. 1 line 11 / Fig. 2 step 1; each GPU has its own PCI-E
+    /// link, so the broadcast is parallel) and seeds nextPIDSet (Alg. 1
+    /// lines 4-7).
+    fn enter_run(
+        &self,
+        resume: Option<&Snapshot>,
+        prog: &mut dyn GtsProgram,
+        source: &mut dyn PageSource,
+        faults: Option<&FaultPlan>,
+        setup: &mut LaneSetup,
+        store: &GraphStore,
+    ) -> Result<RunEntry, EngineError> {
+        if let Some(snap) = resume {
+            let rs = ckpt::import_snapshot(snap, self.tel, prog, source, faults)
+                .map_err(EngineError::Checkpoint)?;
+            return Ok(RunEntry {
+                t: rs.t,
+                sweep: rs.sweep,
+                resumed_at: Some(rs.sweep),
+                edges: rs.edges,
+                plan: rs.plan,
+            });
+        }
+        let t = if prog.mode() == ExecMode::Sweep {
+            SimTime::ZERO
+        } else {
+            schedule::broadcast_wa(&mut setup.lanes, setup.wa_per_gpu, SimTime::ZERO)
+        };
+        Ok(RunEntry {
+            t,
+            sweep: 0,
+            resumed_at: None,
+            edges: 0,
+            plan: SweepPlan::seeded(store, prog.start_vertex())?,
+        })
+    }
+
+    /// The upkeep pass at the top of sweep `sweep`, where the previous
+    /// end_sweep left every accumulator in its between-sweeps shape.
+    /// Order matters, and everything here runs BEFORE the mutation
+    /// boundary:
+    ///
+    /// 1. Due checkpoint — written pre-mutation so the snapshot
+    ///    fingerprints the pre-mutation epoch and a resume against the
+    ///    mutated store is refused with a typed mismatch. The boundary
+    ///    the run resumed at is skipped — its snapshot already exists.
+    /// 2. Injected boundary kill ([`CrashPoint::AtSweep`]).
+    /// 3. Due background scrub — AFTER the checkpoint write (so a
+    ///    snapshot restores pre-scrub counters and fault cursors, and a
+    ///    resumed run re-runs this boundary's scrub with identical
+    ///    draws), verifying the epoch every in-flight sweep read.
+    fn sweep_top_upkeep(
+        &self,
+        g: &UpkeepGate<'_>,
+        store: &GraphStore,
+        lanes: &mut [GpuLane],
+        source: &mut dyn PageSource,
+        prog: &dyn GtsProgram,
+        plan: &SweepPlan,
+    ) -> Result<(), EngineError> {
+        let (t, sweep) = (g.t, g.sweep);
+        if let (Some(c), Some(ck)) = (&self.cfg.checkpoint, g.ck) {
+            if sweep > 0 && sweep.is_multiple_of(c.every) && g.resumed_at != Some(sweep) {
+                let torn = g.crash == Some(CrashPoint::MidSnapshotWrite(sweep));
+                let b = boundary(g.rung, t, sweep, g.edges);
+                let w = self.write_ctx(store, ck, g.faults);
+                ckpt::write_checkpoint(&w, lanes, source, prog, plan, &b, torn)?;
+            }
+        }
+        if g.crash == Some(CrashPoint::AtSweep(sweep)) {
+            return Err(EngineError::InjectedCrash { sweep });
+        }
+        if let Some(every) = self.cfg.scrub_every {
+            if sweep > 0 && sweep.is_multiple_of(every) {
+                scrub::scrub_pass(store, g.faults, source, self.tel, t, sweep);
+            }
+        }
+        Ok(())
+    }
+
     /// The repeat-until loop (Alg. 1 lines 13-31): per sweep, run the
     /// functional kernels (phase A, host-parallel safe), account their
     /// simulated cost (phase B: parallel merge + batched probes around a
@@ -438,17 +588,21 @@ impl ExecCtx<'_> {
         let tel = self.tel;
         let spans = tel.spans_enabled();
         let rung = ckpt::Rung::of(setup);
-        let lanes = &mut setup.lanes;
-        let crash = env.faults.and_then(FaultPlan::crash);
+        let SweepEnv {
+            faults,
+            ck,
+            resume,
+            mut wal,
+            wal_replayed,
+            manifest_skipped,
+        } = env;
+        let crash = faults.and_then(FaultPlan::crash);
 
         // Total degree of every Large-Page vertex (K_PR_LP needs it);
         // recomputed whenever a mutation boundary changes the topology.
         let mut lp_degrees = kernels::lp_total_degrees(handle.store());
 
-        let mut t = SimTime::ZERO;
         let sweep_mode = prog.mode() == ExecMode::Sweep;
-        let mut sweep: u32 = 0;
-        let mut resumed_at: Option<u32> = None;
         // Post-convergence revival (unapplied batches remain): the next
         // boundary's mutation may restrict the sweep to its seeds.
         let mut revived = false;
@@ -456,29 +610,21 @@ impl ExecCtx<'_> {
         // anything, the following sweep falls back to the full plan.
         // (Assigned at every mutation boundary before it is read.)
         let mut restricted;
-        let mut plan;
-        if let Some(snap) = &env.resume {
-            // Re-enter mid-run: counters, program vectors, fault cursors,
-            // and quarantine state restore in place; the initial WA
-            // broadcast is already inside the restored clock.
-            let rs = ckpt::import_snapshot(snap, tel, prog, source, env.faults)
-                .map_err(EngineError::Checkpoint)?;
-            t = rs.t;
-            sweep = rs.sweep;
-            out.edges = rs.edges;
-            out.sweeps = rs.sweep;
-            resumed_at = Some(rs.sweep);
-            plan = rs.plan;
-        } else {
-            // --- Initial WA chunk copy (Alg. 1 line 11 / Fig. 2 step 1).
-            // Each GPU has its own PCI-E link, so the broadcast is
-            // parallel.
-            if !sweep_mode {
-                t = schedule::broadcast_wa(lanes, setup.wa_per_gpu, t);
-            }
-            // Seed nextPIDSet (Alg. 1 lines 4-7).
-            plan = SweepPlan::seeded(handle.store(), prog.start_vertex())?;
-        }
+        let entry = self.enter_run(resume.as_ref(), prog, source, faults, setup, handle.store())?;
+        let RunEntry {
+            mut t,
+            mut sweep,
+            resumed_at,
+            edges,
+            mut plan,
+        } = entry;
+        out.edges = edges;
+        out.sweeps = sweep;
+        let lanes = &mut setup.lanes;
+        // Set AFTER the snapshot import: the import restores the
+        // snapshot's counters, which would clobber this run's replay
+        // count (the snapshot predates the replay by construction).
+        seed_recovery_counters(tel, wal.is_some(), wal_replayed, manifest_skipped);
         out.t = t;
 
         let mut scratch = KernelScratch::default();
@@ -488,24 +634,20 @@ impl ExecCtx<'_> {
         // results are independent of `host_threads`.
         let pool = ThreadPool::new(cfg.host_threads);
         loop {
-            // --- Checkpoint boundary: the top of sweep `sweep`, where
-            // the previous end_sweep left every accumulator in its
-            // between-sweeps shape. The boundary the run resumed at is
-            // skipped — its snapshot already exists. Written BEFORE the
-            // mutation boundary below, so the snapshot fingerprints the
-            // pre-mutation epoch and a resume against the mutated store
-            // is refused with a typed mismatch.
-            if let (Some(c), Some(ck)) = (&cfg.checkpoint, env.ck) {
-                if sweep > 0 && sweep.is_multiple_of(c.every) && resumed_at != Some(sweep) {
-                    let torn = crash == Some(CrashPoint::MidSnapshotWrite(sweep));
-                    let b = boundary(rung, t, sweep, out.edges);
-                    let w = self.write_ctx(handle.store(), ck, env.faults);
-                    ckpt::write_checkpoint(&w, lanes, source, prog, &plan, &b, torn)?;
-                }
-            }
-            if crash == Some(CrashPoint::AtSweep(sweep)) {
-                return Err(EngineError::InjectedCrash { sweep });
-            }
+            // --- Sweep-top upkeep: due checkpoint, injected boundary
+            // kill, then due scrub — all BEFORE the mutation boundary
+            // (ordering contract documented on `sweep_top_upkeep`).
+            let gate = UpkeepGate {
+                ck,
+                faults,
+                crash,
+                rung,
+                resumed_at,
+                t,
+                sweep,
+                edges: out.edges,
+            };
+            self.sweep_top_upkeep(&gate, handle.store(), lanes, source, &*prog, &plan)?;
             // --- Mutation boundary: apply every batch due at this sweep
             // and invalidate/reseed around it. In-flight state only ever
             // sees the store before or after a whole batch — never mid-
@@ -522,6 +664,8 @@ impl ExecCtx<'_> {
                     sweep,
                     sweep_mode,
                     revived,
+                    wal: wal.as_deref_mut(),
+                    crash,
                 },
             )?;
             revived = false;
@@ -616,17 +760,12 @@ impl ExecCtx<'_> {
             // boundary so a final checkpoint (and the caller's trace
             // flush) leave the run resumable.
             let run_ns = (t - SimTime::ZERO).as_nanos();
-            let tripped = match (cfg.sweep_deadline_ns, cfg.run_budget_ns) {
-                (Some(limit), _) if stats.elapsed.as_nanos() > limit => {
-                    Some(("sweep_deadline_ns", limit, stats.elapsed.as_nanos()))
-                }
-                (_, Some(limit)) if run_ns > limit => Some(("run_budget_ns", limit, run_ns)),
-                _ => None,
-            };
-            if let Some((what, limit_ns, elapsed_ns)) = tripped {
-                if let (Some(_), Some(ck)) = (&cfg.checkpoint, env.ck) {
+            if let Some((what, limit_ns, elapsed_ns)) =
+                tripped_budget(cfg, stats.elapsed.as_nanos(), run_ns)
+            {
+                if let (Some(_), Some(ck)) = (&cfg.checkpoint, ck) {
                     let b = boundary(rung, t, sweep, out.edges);
-                    let w = self.write_ctx(store, ck, env.faults);
+                    let w = self.write_ctx(store, ck, faults);
                     ckpt::write_checkpoint(&w, lanes, source, prog, &plan, &b, false)?;
                 }
                 return Err(EngineError::DeadlineExceeded {
@@ -700,6 +839,29 @@ fn boundary(rung: ckpt::Rung, t: SimTime, sweep: u32, edges: u64) -> ckpt::Bound
     }
 }
 
+/// Which simulated-clock budget tripped at this sweep boundary, if any:
+/// `(key, limit_ns, elapsed_ns)` for the per-sweep deadline first, then
+/// the whole-run budget.
+fn tripped_budget(cfg: &GtsConfig, sweep_ns: u64, run_ns: u64) -> Option<(&'static str, u64, u64)> {
+    match (cfg.sweep_deadline_ns, cfg.run_budget_ns) {
+        (Some(limit), _) if sweep_ns > limit => Some(("sweep_deadline_ns", limit, sweep_ns)),
+        (_, Some(limit)) if run_ns > limit => Some(("run_budget_ns", limit, run_ns)),
+        _ => None,
+    }
+}
+
+/// Seed the recovery counters a run starts with: how many WAL records
+/// replay applied (any WAL-backed run) and how many manifest entries the
+/// resume load skipped as torn or unreadable.
+fn seed_recovery_counters(tel: &Telemetry, wal_backed: bool, replayed: u64, skipped: u64) {
+    if wal_backed {
+        tel.set(keys::WAL_REPLAYED, replayed);
+    }
+    if skipped > 0 {
+        tel.set(keys::CKPT_MANIFEST_SKIPPED, skipped);
+    }
+}
+
 /// Record one phase's A/B wall-clock split when `measure_host_phases`
 /// captured the two instants. Wall-clock, not simulated: the `host.*`
 /// keys sit OUTSIDE the determinism contract (like `ckpt.*`) and are
@@ -732,11 +894,38 @@ pub(crate) struct LaneSetup {
 }
 
 /// Per-run context threaded into the sweep loop: the fault plan, the
-/// checkpoint store, and the snapshot a resuming run starts from.
+/// checkpoint store, the snapshot a resuming run starts from, and the
+/// mutation WAL (with how many records recovery already replayed).
 struct SweepEnv<'a> {
     faults: Option<&'a FaultPlan>,
     ck: Option<&'a CkptStore>,
     resume: Option<Snapshot>,
+    wal: Option<&'a mut Wal>,
+    wal_replayed: u64,
+    manifest_skipped: u64,
+}
+
+/// Where [`ExecCtx::enter_run`] left the run: the starting clock, sweep
+/// number, resume marker, prior progress, and the first sweep's plan.
+struct RunEntry {
+    t: SimTime,
+    sweep: u32,
+    resumed_at: Option<u32>,
+    edges: u64,
+    plan: SweepPlan,
+}
+
+/// Loop-invariant gates plus this boundary's clock/progress, read by
+/// [`ExecCtx::sweep_top_upkeep`].
+struct UpkeepGate<'a> {
+    ck: Option<&'a CkptStore>,
+    faults: Option<&'a FaultPlan>,
+    crash: Option<CrashPoint>,
+    rung: ckpt::Rung,
+    resumed_at: Option<u32>,
+    t: SimTime,
+    sweep: u32,
+    edges: u64,
 }
 
 /// Progress of one run, updated as it is made so the error path can

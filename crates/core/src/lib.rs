@@ -85,3 +85,4 @@ pub use gts_telemetry::Telemetry;
 pub use job::{Engine, JobContext, JobOptions};
 pub use report::RunReport;
 pub use strategy::Strategy;
+pub use sweep::ckpt::{snapshot_progress, store_fingerprint};

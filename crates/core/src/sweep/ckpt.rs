@@ -126,7 +126,7 @@ pub(crate) struct ResumeState {
 /// applied refuses to resume against the mutated store (typed
 /// [`CkptError::Mismatch`] on `"store fingerprint"`) — an in-flight
 /// sweep's saved state describes the pre-mutation topology.
-pub(crate) fn store_fingerprint(store: &GraphStore) -> u64 {
+pub fn store_fingerprint(store: &GraphStore) -> u64 {
     let mut w = ByteWriter::new();
     w.put_u64(store.num_vertices());
     w.put_u64(store.num_edges());
@@ -140,8 +140,11 @@ pub(crate) fn store_fingerprint(store: &GraphStore) -> u64 {
 
 /// Fingerprint of the configuration facets that shape a run's schedule.
 /// `host_threads` is excluded (any value is byte-identical by contract),
-/// as are the checkpoint block itself and the fault plan's crash point —
-/// a resumed run differs from the crashed one in exactly those.
+/// as are the checkpoint block itself, the WAL directory, and the fault
+/// plan's crash point — a resumed run differs from the crashed one in
+/// exactly those. `scrub_every` and the bit-rot rate ARE folded in: scrub
+/// passes draw on the fault plan's per-page streams, so a run scrubbed on
+/// a different cadence is a different schedule.
 pub(crate) fn config_fingerprint(cfg: &GtsConfig) -> u64 {
     let mut w = ByteWriter::new();
     w.put_u64(cfg.num_gpus as u64);
@@ -164,6 +167,8 @@ pub(crate) fn config_fingerprint(cfg: &GtsConfig) -> u64 {
     w.put_u64(cfg.cache_limit_bytes.unwrap_or(0));
     w.put_bool(cfg.p2p_sync);
     w.put_bool(cfg.degrade_on_oom);
+    w.put_bool(cfg.scrub_every.is_some());
+    w.put_u32(cfg.scrub_every.unwrap_or(0));
     // A plan with every injection rate at zero never draws a fault, so it
     // is behaviorally identical to no plan at all — normalize it to None.
     // (The CLI hosts `--crash-at-sweep` in a quiet plan when no
@@ -174,6 +179,7 @@ pub(crate) fn config_fingerprint(cfg: &GtsConfig) -> u64 {
             && f.corrupt_page_ppm == 0
             && f.copy_fault_ppm == 0
             && f.launch_fault_ppm == 0
+            && f.bit_rot_ppm == 0
     };
     match &cfg.faults {
         Some(f) if !quiet(f) => {
@@ -183,6 +189,7 @@ pub(crate) fn config_fingerprint(cfg: &GtsConfig) -> u64 {
             w.put_u32(f.corrupt_page_ppm);
             w.put_u32(f.copy_fault_ppm);
             w.put_u32(f.launch_fault_ppm);
+            w.put_u32(f.bit_rot_ppm);
             w.put_u32(f.max_retries);
             w.put_u32(f.quarantine_after);
             w.put_u64(f.backoff.as_nanos());
@@ -228,6 +235,66 @@ pub(crate) fn verify_meta(
         });
     }
     Ok(())
+}
+
+/// The store fingerprint and sweep index a snapshot recorded, read ahead
+/// of [`verify_meta`]: crash recovery needs the *target* state before the
+/// caller's store can be rolled forward to match it.
+pub fn snapshot_progress(snap: &Snapshot) -> Result<(u64, u32), CkptError> {
+    let mut r = ByteReader::new(snap.section("meta")?);
+    let _alg = r.take_str("meta algorithm")?;
+    let store_fp = r.take_u64("meta store fingerprint")?;
+    let _cfg_fp = r.take_u64("meta config fingerprint")?;
+    r.finish()?;
+    let mut r = ByteReader::new(snap.section("clock")?);
+    let _t = r.take_u64("clock t")?;
+    let sweep = r.take_u32("clock sweep")?;
+    Ok((store_fp, sweep))
+}
+
+/// Crash recovery for a live run: replay `wal` records onto `store`, in
+/// chain order, until [`store_fingerprint`] equals `target` — the
+/// fingerprint the snapshot about to be restored recorded. The epoch is
+/// folded into the fingerprint, so reaching `target` means the store is
+/// byte-identical (topology *and* epoch) to the instant the snapshot was
+/// taken. Returns how many records were applied.
+///
+/// Typed [`CkptError::Mismatch`] when the log is exhausted — or a record
+/// does not chain onto the store's epoch — before `target` is reached:
+/// the WAL does not cover the gap, so the old refusal stands.
+pub(crate) fn recover_store(
+    store: &mut GraphStore,
+    wal: &gts_storage::Wal,
+    target: u64,
+) -> Result<u64, EngineError> {
+    let mut applied = 0u64;
+    if store_fingerprint(store) == target {
+        return Ok(applied);
+    }
+    for rec in wal.records() {
+        if rec.post_epoch <= store.epoch() {
+            continue;
+        }
+        if rec.pre_epoch != store.epoch() {
+            return Err(EngineError::Checkpoint(CkptError::Mismatch {
+                what: "wal replay pre-epoch",
+                want: store.epoch(),
+                got: rec.pre_epoch,
+            }));
+        }
+        store
+            .apply_mutations(&rec.batch)
+            .map_err(EngineError::Mutation)?;
+        applied += 1;
+        if store_fingerprint(store) == target {
+            return Ok(applied);
+        }
+    }
+    Err(EngineError::Checkpoint(CkptError::Mismatch {
+        what: "store fingerprint",
+        want: target,
+        got: store_fingerprint(store),
+    }))
 }
 
 /// The execution rung recorded in a snapshot.

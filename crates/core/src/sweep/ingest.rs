@@ -68,6 +68,13 @@ pub trait PageSource {
     /// drives instead of the original stripe map. Sources without drives
     /// ignore it.
     fn note_new_pages(&mut self, _pids: &[u64]) {}
+
+    /// A background scrub pass found page `pid`'s at-rest copy failing its
+    /// trailer checksum at simulated instant `when`. Storage-backed
+    /// sources route the detection to the hosting drive's failure streak
+    /// (repeated rot quarantines the drive and re-stripes its pages);
+    /// sources without drives ignore it.
+    fn note_scrub_detection(&mut self, _pid: u64, _when: SimTime) {}
 }
 
 /// The whole graph is resident in main memory (the paper's in-memory
@@ -182,6 +189,10 @@ impl PageSource for StorageSource {
 
     fn note_new_pages(&mut self, pids: &[u64]) {
         self.array.place_new_pages(pids);
+    }
+
+    fn note_scrub_detection(&mut self, pid: u64, when: SimTime) {
+        self.array.note_corrupt_page(pid, when);
     }
 }
 

@@ -13,8 +13,9 @@ use crate::sweep::kernels;
 use crate::sweep::plan::SweepPlan;
 use crate::sweep::schedule::GpuLane;
 use crate::EngineError;
+use gts_faults::CrashPoint;
 use gts_storage::builder::GraphStore;
-use gts_storage::{MutationBatch, MutationOutcome};
+use gts_storage::{MutationBatch, MutationOutcome, Wal};
 use gts_telemetry::{keys, Telemetry};
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
@@ -64,10 +65,14 @@ impl MutationSchedule {
 }
 
 /// What one boundary's [`StoreHandle::apply_due`] did: the merged outcome
-/// of every batch that came due, plus how many batches that was.
+/// of every batch that came due, how many batches that was, and what the
+/// write-ahead log absorbed (zero when no WAL is attached, or when every
+/// append was an idempotent re-log during a recovery replay).
 pub(crate) struct AppliedMutations {
     pub(crate) outcome: MutationOutcome,
     pub(crate) batches: u64,
+    pub(crate) wal_appends: u64,
+    pub(crate) wal_bytes: u64,
 }
 
 /// The sweep loop's access to the graph: read-only for [`crate::Gts::run`],
@@ -109,9 +114,20 @@ impl StoreHandle<'_> {
     /// batch aborts with [`EngineError::Mutation`], the store unchanged
     /// by the rejected batch (earlier batches of the same boundary stay
     /// applied — each batch is individually atomic).
+    ///
+    /// With a `wal` attached, every non-empty batch is logged before it
+    /// is applied ([`GraphStore::apply_mutations_logged`]), so a crash at
+    /// any instant leaves the log at or ahead of the store and recovery
+    /// can always roll forward. The WAL crash points fire here, on the
+    /// first due batch of their keyed sweep: `MidWalAppend` persists a
+    /// torn frame and dies, `BetweenLogAndApply` persists the full record
+    /// and dies before touching the store. Both are ignored when no WAL
+    /// is attached (there is no log to tear).
     pub(crate) fn apply_due(
         &mut self,
         sweep: u32,
+        mut wal: Option<&mut Wal>,
+        crash: Option<CrashPoint>,
     ) -> Result<Option<AppliedMutations>, EngineError> {
         let StoreHandle::Live { store, queue } = self else {
             return Ok(None);
@@ -121,15 +137,36 @@ impl StoreHandle<'_> {
             let Some((_, batch)) = queue.pop_front() else {
                 break;
             };
-            let outcome = store.apply_mutations(&batch)?;
+            let (outcome, bytes) = match wal.as_deref_mut() {
+                Some(w) => {
+                    let pre = store.epoch();
+                    match crash {
+                        Some(CrashPoint::MidWalAppend(s)) if s == sweep => {
+                            w.log_batch_torn(&batch, pre, pre + 1)?;
+                            return Err(EngineError::InjectedCrash { sweep });
+                        }
+                        Some(CrashPoint::BetweenLogAndApply(s)) if s == sweep => {
+                            w.log_batch(&batch, pre, pre + 1)?;
+                            return Err(EngineError::InjectedCrash { sweep });
+                        }
+                        _ => {}
+                    }
+                    store.apply_mutations_logged(&batch, w)?
+                }
+                None => (store.apply_mutations(&batch)?, 0),
+            };
             applied = Some(match applied {
                 None => AppliedMutations {
                     outcome,
                     batches: 1,
+                    wal_appends: u64::from(bytes > 0),
+                    wal_bytes: bytes,
                 },
                 Some(prev) => AppliedMutations {
                     outcome: merge_outcomes(prev.outcome, outcome),
                     batches: prev.batches + 1,
+                    wal_appends: prev.wal_appends + u64::from(bytes > 0),
+                    wal_bytes: prev.wal_bytes + bytes,
                 },
             });
         }
@@ -177,6 +214,12 @@ pub(crate) struct BoundaryCtx<'a> {
     pub(crate) sweep: u32,
     pub(crate) sweep_mode: bool,
     pub(crate) revived: bool,
+    /// Write-ahead log for log-before-apply durability (live runs with
+    /// `GtsConfig::wal_dir` only).
+    pub(crate) wal: Option<&'a mut Wal>,
+    /// The run's injected crash point, so the WAL crash kinds can fire
+    /// on the first due batch of their keyed sweep.
+    pub(crate) crash: Option<CrashPoint>,
 }
 
 /// Apply every mutation batch due at the top of `ctx.sweep` and absorb
@@ -195,7 +238,7 @@ pub(crate) fn mutation_boundary(
     prog: &mut dyn GtsProgram,
     ctx: BoundaryCtx<'_>,
 ) -> Result<bool, EngineError> {
-    let Some(applied) = handle.apply_due(ctx.sweep)? else {
+    let Some(applied) = handle.apply_due(ctx.sweep, ctx.wal, ctx.crash)? else {
         return Ok(false);
     };
     let tel = ctx.tel;
@@ -219,6 +262,8 @@ pub(crate) fn mutation_boundary(
     tel.add(keys::MUT_DELTA_PAGES, o.delta_pages_allocated);
     tel.add(keys::MUT_CACHE_INVALIDATIONS, dropped);
     tel.set(keys::MUT_EPOCH, o.epoch);
+    tel.add(keys::WAL_APPENDS, applied.wal_appends);
+    tel.add(keys::WAL_BYTES, applied.wal_bytes);
     let seeds = prog.on_mutation(store, o);
     if ctx.sweep_mode {
         if ctx.revived && !seeds.is_empty() {

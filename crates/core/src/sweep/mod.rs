@@ -27,6 +27,10 @@
 //! * [`live`] — live-topology glue: mutation schedules, the sweep loop's
 //!   store handle, and the boundary application path that keeps every
 //!   in-flight sweep on one consistent epoch (DESIGN.md §12).
+//! * [`scrub`] — background at-rest verification: walk the store's pages
+//!   at a configured sweep cadence, detect seeded bit rot by trailer
+//!   checksum, repair from the authoritative copy, and route detections
+//!   into drive quarantine (DESIGN.md §15).
 //!
 //! `Gts::run` composes these stages; the decomposition is
 //! behavior-preserving by construction and pinned byte-for-byte by the
@@ -39,6 +43,7 @@ pub mod kernels;
 pub(crate) mod live;
 pub mod plan;
 pub mod schedule;
+pub(crate) mod scrub;
 
 pub use ingest::{InMemorySource, PageSource, StorageSource};
 pub use plan::SweepPlan;

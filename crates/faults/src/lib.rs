@@ -59,6 +59,11 @@ pub struct FaultConfig {
     pub copy_fault_ppm: u32,
     /// Per-launch probability (ppm) that a GPU kernel launch faults.
     pub launch_fault_ppm: u32,
+    /// Per-scrub-visit probability (ppm) that a page has rotted *at
+    /// rest* — a seeded single-bit flip in the stored bytes, found (and
+    /// repaired) only when a scrub pass walks the page. Zero by default:
+    /// bit rot is opt-in even on chaos plans.
+    pub bit_rot_ppm: u32,
     /// Bounded retries per operation beyond the first attempt.
     pub max_retries: u32,
     /// Consecutive failed attempts after which a drive is quarantined.
@@ -81,6 +86,7 @@ impl FaultConfig {
             corrupt_page_ppm: 5_000,
             copy_fault_ppm: 2_000,
             launch_fault_ppm: 2_000,
+            bit_rot_ppm: 0,
             max_retries: 4,
             quarantine_after: 3,
             backoff: SimDuration::from_micros(100),
@@ -95,6 +101,7 @@ impl FaultConfig {
             corrupt_page_ppm: 0,
             copy_fault_ppm: 0,
             launch_fault_ppm: 0,
+            bit_rot_ppm: 0,
             ..FaultConfig::with_seed(seed)
         }
     }
@@ -149,6 +156,16 @@ pub enum CrashPoint {
     /// journal has flushed. A `k` past the workload's mutation count
     /// never fires. Ignored outside serve mode.
     AtEpoch(u32),
+    /// Die halfway through appending the WAL record for the mutation
+    /// batch due at sweep `k`: a torn frame lands at the end of the log
+    /// file, so recovery must truncate the tail, re-log, and re-apply the
+    /// batch. Requires a WAL; ignored otherwise.
+    MidWalAppend(u32),
+    /// Die after the WAL record for the batch due at sweep `k` is fully
+    /// sealed and synced, but *before* the store applies it — the classic
+    /// logged-but-unapplied window. Recovery replays the record and lands
+    /// on the post-batch state. Requires a WAL; ignored otherwise.
+    BetweenLogAndApply(u32),
 }
 
 /// What one simulated device read attempt returns.
@@ -170,6 +187,7 @@ enum Domain {
     DeviceRead = 1,
     GpuCopy = 2,
     GpuLaunch = 3,
+    BitRot = 4,
 }
 
 #[derive(Debug, Default)]
@@ -232,6 +250,24 @@ impl FaultPlan {
     /// The injected crash point, if any.
     pub fn crash(&self) -> Option<CrashPoint> {
         self.config.crash
+    }
+
+    /// Whether page `pid` has rotted at rest since the last scrub visit,
+    /// and if so where: `Some((byte offset, xor mask))` describes a
+    /// single-bit flip inside a page of `page_len` bytes. Each call
+    /// advances `pid`'s dedicated stream exactly three draws, so the n-th
+    /// scrub visit of a page decides identically at any host thread count
+    /// — and because xor is self-inverse, re-applying the returned flip
+    /// *is* the repair.
+    pub fn bit_rot(&self, pid: u64, page_len: usize) -> Option<(usize, u8)> {
+        let rate = self.config.bit_rot_ppm;
+        let roll = self.draw(Domain::BitRot, pid);
+        let off = self.draw(Domain::BitRot, pid) as usize % page_len.max(1);
+        let bit = self.draw(Domain::BitRot, pid) % 8;
+        if rate == 0 || roll >= rate {
+            return None;
+        }
+        Some((off, 1u8 << bit))
     }
 
     /// Export every per-`(domain, entity)` stream's exact RNG state, for
@@ -394,6 +430,40 @@ mod tests {
         for _ in 0..32 {
             assert_eq!(resumed.device_read(1), fresh.device_read(1));
         }
+    }
+
+    #[test]
+    fn bit_rot_is_deterministic_per_page_and_off_by_default() {
+        let quiet = FaultPlan::new(FaultConfig::quiet(7));
+        for pid in 0..256 {
+            assert_eq!(quiet.bit_rot(pid, 4096), None);
+        }
+        let cfg = FaultConfig {
+            bit_rot_ppm: 300_000,
+            ..FaultConfig::quiet(7)
+        };
+        let a = FaultPlan::new(cfg.clone());
+        let b = FaultPlan::new(cfg.clone());
+        let xs: Vec<_> = (0..256).map(|pid| a.bit_rot(pid, 256)).collect();
+        // Interleaved extra queries on other domains must not disturb it.
+        let ys: Vec<_> = (0..256)
+            .map(|pid| {
+                let _ = b.device_read(pid);
+                b.bit_rot(pid, 256)
+            })
+            .collect();
+        assert_eq!(xs, ys);
+        let hits = xs.iter().flatten().count();
+        assert!(hits > 40 && hits < 120, "≈30% of 256 pages, got {hits}");
+        for (off, mask) in xs.iter().flatten() {
+            assert!(*off < 256);
+            assert_eq!(mask.count_ones(), 1, "single-bit flip");
+        }
+        // Visits advance the stream: a page's second visit re-rolls.
+        let c = FaultPlan::new(cfg);
+        let first: Vec<_> = (0..64).map(|pid| c.bit_rot(pid, 256)).collect();
+        let second: Vec<_> = (0..64).map(|pid| c.bit_rot(pid, 256)).collect();
+        assert_ne!(first, second);
     }
 
     #[test]

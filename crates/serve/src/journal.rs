@@ -34,8 +34,9 @@ use std::path::PathBuf;
 
 /// The record-format tag written at the head of every journal section.
 pub const JRNL_MAGIC: &str = "JRNL1";
-/// Snapshot payload schema version for journal snapshots.
-const JRNL_VERSION: u32 = 1;
+/// Snapshot payload schema version for journal snapshots. Version 2
+/// added the mutation-WAL binding (`wal_fp`) to the header.
+const JRNL_VERSION: u32 = 2;
 /// The single snapshot section holding the encoded journal.
 const SECTION: &str = "journal";
 
@@ -131,21 +132,87 @@ pub(crate) struct Header {
     pub workload_fp: u64,
     pub store_fp: u64,
     pub cfg_fp: u64,
+    /// Binding to the mutation WAL's epoch range: a fingerprint of the
+    /// log's base epoch when the service keeps a WAL, 0 otherwise. A
+    /// resume pointed at a WAL whose chain starts elsewhere — or at no
+    /// WAL when the journal was written with one — is refused, typed.
+    pub wal_fp: u64,
 }
 
 impl Header {
-    pub(crate) fn bind(jobs: &[JobSpec], store: &GraphStore, cfg_rendering: &str) -> Header {
-        let mut w = ByteWriter::new();
-        w.put_u64(store.num_vertices());
-        w.put_u64(store.num_edges());
-        w.put_u64(store.num_pages());
-        w.put_u64(store.epoch());
+    pub(crate) fn bind(
+        jobs: &[JobSpec],
+        store: &GraphStore,
+        cfg_rendering: &str,
+        wal_fp: u64,
+    ) -> Header {
         Header {
             workload_fp: fnv1a(render(jobs).as_bytes()),
-            store_fp: fnv1a(&w.into_bytes()),
+            store_fp: store_binding_fp(store),
             cfg_fp: fnv1a(cfg_rendering.as_bytes()),
+            wal_fp,
         }
     }
+}
+
+/// The store-shape fingerprint a journal header binds: vertices, edges,
+/// pages, and epoch of the store the service opened over. Public so an
+/// offline verifier (`gts fsck`) can recompute it from a loaded store
+/// and cross-check [`JournalInfo::store_fp`].
+pub fn store_binding_fp(store: &GraphStore) -> u64 {
+    let mut w = ByteWriter::new();
+    w.put_u64(store.num_vertices());
+    w.put_u64(store.num_edges());
+    w.put_u64(store.num_pages());
+    w.put_u64(store.epoch());
+    fnv1a(&w.into_bytes())
+}
+
+/// One journal's decoded identity and shape — the non-mutating view
+/// [`inspect_journal`] hands an offline verifier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalInfo {
+    /// FNV-1a of the canonical workload rendering.
+    pub workload_fp: u64,
+    /// FNV-1a of the base store's shape ([`store_binding_fp`]).
+    pub store_fp: u64,
+    /// FNV-1a of the normalized engine/service config rendering.
+    pub cfg_fp: u64,
+    /// Binding to the mutation WAL's base epoch (0 when none was kept).
+    pub wal_fp: u64,
+    /// Total records in the newest intact journal.
+    pub records: usize,
+    /// Post-bump store epochs recorded by mutating jobs, in log order.
+    pub epochs: Vec<u64>,
+    /// Newer manifest entries skipped as torn or unreadable on the way
+    /// to the newest intact journal.
+    pub skipped: Vec<String>,
+}
+
+/// Load and decode the newest intact journal in `dir` without a service
+/// to bind against — the `gts fsck` entry point. Typed
+/// [`ServeError::Journal`] when no journal decodes at all.
+pub fn inspect_journal(dir: impl Into<PathBuf>) -> Result<JournalInfo, ServeError> {
+    let ck = CkptStore::open(dir).map_err(jerr)?;
+    let (_seq, snap, skipped) = ck.load_latest_with_skipped().map_err(jerr)?;
+    snap.require_version(JRNL_VERSION).map_err(jerr)?;
+    let (header, records) = decode(snap.section(SECTION).map_err(jerr)?)?;
+    let epochs = records
+        .iter()
+        .filter_map(|r| match r {
+            Record::Epoch { epoch, .. } => Some(*epoch),
+            _ => None,
+        })
+        .collect();
+    Ok(JournalInfo {
+        workload_fp: header.workload_fp,
+        store_fp: header.store_fp,
+        cfg_fp: header.cfg_fp,
+        wal_fp: header.wal_fp,
+        records: records.len(),
+        epochs,
+        skipped,
+    })
 }
 
 fn encode(header: &Header, records: &[Record]) -> Vec<u8> {
@@ -154,6 +221,7 @@ fn encode(header: &Header, records: &[Record]) -> Vec<u8> {
     w.put_u64(header.workload_fp);
     w.put_u64(header.store_fp);
     w.put_u64(header.cfg_fp);
+    w.put_u64(header.wal_fp);
     w.put_u32(records.len() as u32);
     for r in records {
         match r {
@@ -219,6 +287,7 @@ fn decode(bytes: &[u8]) -> Result<(Header, Vec<Record>), ServeError> {
         workload_fp: r.take_u64("workload fingerprint").map_err(jerr)?,
         store_fp: r.take_u64("store fingerprint").map_err(jerr)?,
         cfg_fp: r.take_u64("config fingerprint").map_err(jerr)?,
+        wal_fp: r.take_u64("wal fingerprint").map_err(jerr)?,
     };
     let n = r.take_u32("record count").map_err(jerr)?;
     let mut records = Vec::with_capacity((n as usize).min(bytes.len()));
@@ -308,6 +377,7 @@ impl Journal {
                 ("workload", found.workload_fp, header.workload_fp),
                 ("store", found.store_fp, header.store_fp),
                 ("config", found.cfg_fp, header.cfg_fp),
+                ("wal", found.wal_fp, header.wal_fp),
             ] {
                 if found != want {
                     return Err(ServeError::Journal(format!(
@@ -415,6 +485,7 @@ mod tests {
             workload_fp: 1,
             store_fp: 2,
             cfg_fp: 3,
+            wal_fp: 4,
         };
         let records = sample_records();
         let (h, rs) = decode(&encode(&header, &records)).unwrap();
@@ -428,6 +499,7 @@ mod tests {
             workload_fp: 1,
             store_fp: 2,
             cfg_fp: 3,
+            wal_fp: 4,
         };
         let bytes = encode(&header, &sample_records());
         let err = decode(&bytes[..bytes.len() - 3]).unwrap_err();
@@ -449,6 +521,7 @@ mod tests {
             workload_fp: 11,
             store_fp: 22,
             cfg_fp: 33,
+            wal_fp: 44,
         };
         let tel = Telemetry::new();
         let mut j = Journal::open(&JournalConfig::new(&dir), header).unwrap();

@@ -63,7 +63,7 @@ pub mod resilience;
 pub mod scheduler;
 pub mod workload;
 
-pub use journal::JournalConfig;
+pub use journal::{inspect_journal, store_binding_fp, JournalConfig, JournalInfo};
 pub use resilience::ResilienceConfig;
 pub use scheduler::{serve, JobOutcome, JobStatus, ServeConfig, ServeOutcome};
 pub use workload::{parse, synthetic, JobSpec, MutateSpec, WorkloadError};

@@ -105,8 +105,18 @@ pub struct ServeConfig {
     /// The crash-consistent service journal; `None` (default) keeps no
     /// journal.
     pub journal: Option<JournalConfig>,
-    /// Injected crash point for crash-consistency testing; only
-    /// [`CrashPoint::AtEpoch`] is meaningful in serve mode.
+    /// Mutation write-ahead log directory: when set, every mutating
+    /// job's batch is logged before it applies (the engine's
+    /// log-before-apply path over this directory), the journal header
+    /// binds the log's epoch range, and a resumed service re-derives
+    /// journaled epoch bumps from the log instead of re-generating
+    /// them. `None` (default) keeps no WAL.
+    pub wal_dir: Option<std::path::PathBuf>,
+    /// Injected crash point for crash-consistency testing:
+    /// [`CrashPoint::AtEpoch`] kills the daemon before an epoch bump;
+    /// with a WAL configured, [`CrashPoint::MidWalAppend`] /
+    /// [`CrashPoint::BetweenLogAndApply`] ride into the mutating job's
+    /// fault domain and kill it inside the engine's logging path.
     pub crash: Option<CrashPoint>,
 }
 
@@ -120,6 +130,7 @@ impl Default for ServeConfig {
             faults: None,
             resilience: ResilienceConfig::default(),
             journal: None,
+            wal_dir: None,
             crash: None,
         }
     }
@@ -141,10 +152,19 @@ impl ServeConfig {
         }
         self.resilience.validate()?;
         if let Some(crash) = self.crash {
-            if !matches!(crash, CrashPoint::AtEpoch(_)) {
+            let wal_kind = matches!(
+                crash,
+                CrashPoint::MidWalAppend(_) | CrashPoint::BetweenLogAndApply(_)
+            );
+            if !wal_kind && !matches!(crash, CrashPoint::AtEpoch(_)) {
                 return Err(ServeError::Config(format!(
-                    "serve crash point must be at-epoch, got {crash:?}"
+                    "serve crash point must be at-epoch or a WAL kind, got {crash:?}"
                 )));
+            }
+            if wal_kind && self.wal_dir.is_none() {
+                return Err(ServeError::Config(
+                    "WAL crash points need wal_dir (there is no log to tear)".into(),
+                ));
             }
         }
         Ok(())
@@ -474,23 +494,56 @@ fn run_read(
 /// through the store's epoch pipeline at the scripted sweep boundary.
 /// `epoch_advanced` reflects the store, not the job status — a faulted
 /// run may fail *after* its batch applied.
+///
+/// With [`ServeConfig::wal_dir`] set, the job runs under a derived
+/// engine whose config points at the service WAL, so the batch is
+/// logged before it applies; a configured WAL crash kind rides into
+/// this attempt's fault domain and surfaces as
+/// [`ServeError::InjectedCrash`] (carrying the crash's keyed sweep) so
+/// the daemon dies instead of settling the job as failed.
 fn run_mutating(
     engine: &Engine,
     store: &mut GraphStore,
     spec: &JobSpec,
     p: &Pending,
     cfg: &ServeConfig,
-) -> (ExecRecord, Option<RunReport>) {
+) -> Result<(ExecRecord, Option<RunReport>), ServeError> {
     let before = store.epoch();
     let m = spec.mutate.expect("caller checked spec.mutate");
     let batch = seeded_batch(store, m.inserts, m.deletes, m.seed);
     let schedule = MutationSchedule::new().at(m.at_sweep, batch);
-    let opts = attempt_options(spec, cfg, p);
+    let mut opts = attempt_options(spec, cfg, p);
+    let walled: Engine;
+    let engine = match &cfg.wal_dir {
+        Some(dir) => {
+            let mut ecfg = engine.config().clone();
+            ecfg.wal_dir = Some(dir.clone());
+            walled = Engine::new(ecfg).map_err(|e| ServeError::Engine(e.to_string()))?;
+            &walled
+        }
+        None => engine,
+    };
+    let wal_crash = match cfg.crash {
+        Some(c @ (CrashPoint::MidWalAppend(_) | CrashPoint::BetweenLogAndApply(_))) => {
+            let mut f = opts
+                .faults
+                .take()
+                .or_else(|| cfg.faults.clone())
+                .unwrap_or_else(|| FaultConfig::quiet(0));
+            f.crash = Some(c);
+            opts = opts.faults(f);
+            true
+        }
+        _ => false,
+    };
     let (mut rec, report) = match make_program(spec, store.num_vertices()) {
         Ok(mut prog) => match engine.run_job_live(store, &mut *prog, schedule, &opts) {
             Ok(report) => {
                 let rec = completed_record(p, &report, &*prog, &opts);
                 (rec, Some(report))
+            }
+            Err(gts_core::EngineError::InjectedCrash { sweep }) if wal_crash => {
+                return Err(ServeError::InjectedCrash { epoch: sweep });
             }
             Err(e) => (
                 failed_record(p, ServeError::Engine(e.to_string()).to_string()),
@@ -500,7 +553,7 @@ fn run_mutating(
         Err(e) => (failed_record(p, e.to_string()), None),
     };
     rec.epoch_advanced = store.epoch() > before;
-    (rec, report)
+    Ok((rec, report))
 }
 
 /// Rebuild a journal-restored completion's report from its memoized
@@ -570,6 +623,9 @@ struct Service<'a> {
     sim: Sim,
     resil: Resilience,
     journal: Option<Journal>,
+    /// The mutation WAL's records as of service start, for re-deriving
+    /// journaled epoch bumps on resume (empty without a WAL).
+    wal_records: Vec<gts_storage::WalRecord>,
     pending: Vec<Pending>,
     outcomes: Vec<Option<JobOutcome>>,
     epochs_applied: u32,
@@ -681,8 +737,25 @@ impl Service<'_> {
                 let (rec, report, cached) = match hit {
                     Some(rec) => {
                         if rec.epoch_advanced {
-                            let m = spec.mutate.expect("mutation() only sees mutating jobs");
-                            let batch = seeded_batch(store, m.inserts, m.deletes, m.seed);
+                            // Re-derive the journaled bump from the WAL
+                            // when one is kept — the logged bytes, not a
+                            // re-generated batch — falling back to the
+                            // seeded generator without one.
+                            let batch = match self
+                                .wal_records
+                                .iter()
+                                .find(|r| r.pre_epoch == store.epoch())
+                            {
+                                Some(r) => {
+                                    self.tel.add(keys::SERVE_WAL_REPLAYED, 1);
+                                    r.batch.clone()
+                                }
+                                None => {
+                                    let m =
+                                        spec.mutate.expect("mutation() only sees mutating jobs");
+                                    seeded_batch(store, m.inserts, m.deletes, m.seed)
+                                }
+                            };
                             store.apply_mutations(&batch).map_err(|e| {
                                 ServeError::Journal(format!("epoch replay failed: {e}"))
                             })?;
@@ -690,7 +763,17 @@ impl Service<'_> {
                         (rec, None, true)
                     }
                     None => {
-                        let (rec, report) = run_mutating(self.engine, store, spec, p, self.cfg);
+                        let ran = run_mutating(self.engine, store, spec, p, self.cfg);
+                        let (rec, report) = match ran {
+                            // The WAL crash kinds die like AtEpoch does:
+                            // journal flushed, then the daemon is gone.
+                            Err(e @ ServeError::InjectedCrash { .. }) => {
+                                self.flush()?;
+                                return Err(e);
+                            }
+                            Err(e) => return Err(e),
+                            Ok(x) => x,
+                        };
                         (rec, report, false)
                     }
                 };
@@ -916,10 +999,25 @@ pub fn serve(
     check_workload(workload, store)?;
     let mut jobs = workload.to_vec();
     jobs.sort_by_key(|j| j.at_ns);
+    // Open (or create) the mutation WAL first: its base epoch binds the
+    // journal header, and its records as of now are what a resume
+    // re-derives journaled epoch bumps from. The handle is dropped —
+    // mutating jobs reopen the log through the engine's logging path.
+    let (wal_fp, wal_records) = match &cfg.wal_dir {
+        Some(dir) => {
+            let wal = gts_storage::Wal::open(dir, store)
+                .map_err(|e| ServeError::Journal(format!("wal: {e}")))?;
+            (
+                fnv1a(&wal.header().base_epoch.to_le_bytes()),
+                wal.records().to_vec(),
+            )
+        }
+        None => (0, Vec::new()),
+    };
     let journal = match &cfg.journal {
         Some(jc) => Some(Journal::open(
             jc,
-            Header::bind(&jobs, store, &config_rendering(engine, cfg)),
+            Header::bind(&jobs, store, &config_rendering(engine, cfg), wal_fp),
         )?),
         None => None,
     };
@@ -933,6 +1031,7 @@ pub fn serve(
         sim: Sim::new(cfg),
         resil: Resilience::new(cfg.resilience.clone(), jitter_seed),
         journal,
+        wal_records,
         pending: jobs
             .iter()
             .enumerate()
@@ -1555,6 +1654,205 @@ mod tests {
             "{err}"
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The workload the WAL tests share: two mutating jobs interleaved
+    /// with reads, so a crash at the first epoch leaves a second bump
+    /// to re-derive after resume.
+    fn wal_workload() -> Vec<JobSpec> {
+        parse(
+            "at=0 tenant=a job=bfs\n\
+             at=1000 tenant=m job=bfs mutate-at=1 inserts=16 deletes=2 seed=5\n\
+             at=2000 tenant=a job=cc\n\
+             at=3000 tenant=m job=cc mutate-at=1 inserts=8 seed=7\n\
+             at=4000 tenant=b job=degrees\n",
+        )
+        .unwrap()
+    }
+
+    /// Service counters with the wall-side journal/resume/WAL keys set
+    /// aside — everything else is under the byte-identity contract.
+    fn contract_counters(t: &Telemetry) -> std::collections::BTreeMap<String, u64> {
+        let mut c = t.counters();
+        c.retain(|k, _| {
+            !k.starts_with("serve.journal.")
+                && !k.starts_with("serve.resume.")
+                && !k.starts_with("serve.wal.")
+        });
+        c
+    }
+
+    /// Durability, serve side: a daemon keeping a mutation WAL dies
+    /// inside the log-before-apply window — torn frame (`MidWalAppend`)
+    /// or sealed-but-unapplied record (`BetweenLogAndApply`) — and the
+    /// resumed daemon lands byte-identical to an uncrashed WAL-keeping
+    /// run, with no double-applied batch.
+    #[test]
+    fn wal_crashed_daemon_resumes_byte_identical() {
+        let engine = engine(2);
+        let jobs = wal_workload();
+        for (tag, crash) in [
+            ("torn", CrashPoint::MidWalAppend(1)),
+            ("sealed", CrashPoint::BetweenLogAndApply(1)),
+        ] {
+            let base_wal = tempdir(&format!("wal-base-{tag}"));
+            let base_cfg = ServeConfig {
+                wal_dir: Some(base_wal.clone()),
+                ..ServeConfig::default()
+            };
+            let baseline = serve(&engine, &mut store(), &jobs, &base_cfg).unwrap();
+
+            let dir = tempdir(&format!("wal-jrnl-{tag}"));
+            let wal = tempdir(&format!("wal-log-{tag}"));
+            let crash_cfg = ServeConfig {
+                journal: Some(JournalConfig::new(&dir)),
+                wal_dir: Some(wal.clone()),
+                crash: Some(crash),
+                ..ServeConfig::default()
+            };
+            let mut crashed_st = store();
+            let err = serve(&engine, &mut crashed_st, &jobs, &crash_cfg).unwrap_err();
+            assert_eq!(err, ServeError::InjectedCrash { epoch: 1 }, "{tag}");
+            assert_eq!(
+                crashed_st.epoch(),
+                0,
+                "{tag}: the kill lands before the apply"
+            );
+
+            let resume_cfg = ServeConfig {
+                journal: Some(JournalConfig {
+                    dir: dir.clone(),
+                    resume: true,
+                }),
+                wal_dir: Some(wal.clone()),
+                ..ServeConfig::default()
+            };
+            let mut resumed_st = store();
+            let out = serve(&engine, &mut resumed_st, &jobs, &resume_cfg).unwrap();
+            assert_eq!(resumed_st.epoch(), 2, "{tag}");
+            for (a, b) in baseline.jobs.iter().zip(&out.jobs) {
+                assert_eq!(a.status, b.status, "{tag} job {}", a.index);
+                assert_eq!(a.result_fp, b.result_fp, "{tag} job {}", a.index);
+                // The sealed-record recovery re-logs the batch as an
+                // idempotent zero-byte append, so only the wall-side
+                // `wal.*` keys may differ from the uncrashed run.
+                let strip = |c: &std::collections::BTreeMap<String, u64>| {
+                    let mut c = c.clone();
+                    c.retain(|k, _| !k.starts_with("wal."));
+                    c
+                };
+                assert_eq!(
+                    strip(&a.counters),
+                    strip(&b.counters),
+                    "{tag} job {}",
+                    a.index
+                );
+            }
+            assert_eq!(
+                contract_counters(&baseline.telemetry),
+                contract_counters(&out.telemetry),
+                "{tag}"
+            );
+            for d in [&base_wal, &dir, &wal] {
+                std::fs::remove_dir_all(d).ok();
+            }
+        }
+    }
+
+    /// A journal-memoized epoch bump is re-derived from the WAL's logged
+    /// bytes on resume (`serve.wal.replayed`), not from the seeded
+    /// generator, and the replayed store matches the uncrashed one.
+    #[test]
+    fn cached_epoch_bumps_replay_from_the_wal() {
+        let engine = engine(2);
+        let jobs = wal_workload();
+        let base_wal = tempdir("wal-replay-base");
+        let base_cfg = ServeConfig {
+            wal_dir: Some(base_wal.clone()),
+            ..ServeConfig::default()
+        };
+        let baseline = serve(&engine, &mut store(), &jobs, &base_cfg).unwrap();
+
+        let dir = tempdir("wal-replay-jrnl");
+        let wal = tempdir("wal-replay-log");
+        let crash_cfg = ServeConfig {
+            journal: Some(JournalConfig::new(&dir)),
+            wal_dir: Some(wal.clone()),
+            crash: Some(CrashPoint::AtEpoch(1)),
+            ..ServeConfig::default()
+        };
+        let err = serve(&engine, &mut store(), &jobs, &crash_cfg).unwrap_err();
+        assert_eq!(err, ServeError::InjectedCrash { epoch: 1 });
+
+        let resume_cfg = ServeConfig {
+            journal: Some(JournalConfig {
+                dir: dir.clone(),
+                resume: true,
+            }),
+            wal_dir: Some(wal.clone()),
+            ..ServeConfig::default()
+        };
+        let mut resumed_st = store();
+        let out = serve(&engine, &mut resumed_st, &jobs, &resume_cfg).unwrap();
+        assert_eq!(
+            out.telemetry.counter(keys::SERVE_WAL_REPLAYED),
+            1,
+            "the journaled first bump must come from the log"
+        );
+        assert_eq!(resumed_st.epoch(), 2);
+        assert_eq!(
+            contract_counters(&baseline.telemetry),
+            contract_counters(&out.telemetry)
+        );
+        for d in [&base_wal, &dir, &wal] {
+            std::fs::remove_dir_all(d).ok();
+        }
+    }
+
+    /// The journal header binds the WAL: resuming a WAL-keeping daemon
+    /// without its log is refused with a typed header mismatch.
+    #[test]
+    fn resume_without_the_wal_is_refused() {
+        let engine = engine(1);
+        let jobs = wal_workload();
+        let dir = tempdir("wal-bind-jrnl");
+        let wal = tempdir("wal-bind-log");
+        let crash_cfg = ServeConfig {
+            journal: Some(JournalConfig::new(&dir)),
+            wal_dir: Some(wal.clone()),
+            crash: Some(CrashPoint::AtEpoch(1)),
+            ..ServeConfig::default()
+        };
+        let err = serve(&engine, &mut store(), &jobs, &crash_cfg).unwrap_err();
+        assert_eq!(err, ServeError::InjectedCrash { epoch: 1 });
+
+        let resume_cfg = ServeConfig {
+            journal: Some(JournalConfig {
+                dir: dir.clone(),
+                resume: true,
+            }),
+            ..ServeConfig::default()
+        };
+        let err = serve(&engine, &mut store(), &jobs, &resume_cfg).unwrap_err();
+        assert!(
+            err.to_string().contains("wal"),
+            "dropping the WAL must be a typed header mismatch: {err}"
+        );
+        for d in [&dir, &wal] {
+            std::fs::remove_dir_all(d).ok();
+        }
+    }
+
+    /// WAL crash points without a WAL directory are a config error —
+    /// there is no log to tear.
+    #[test]
+    fn wal_crash_points_need_a_wal_dir() {
+        let cfg = ServeConfig {
+            crash: Some(CrashPoint::MidWalAppend(1)),
+            ..ServeConfig::default()
+        };
+        let err = serve(&engine(1), &mut store(), &wal_workload(), &cfg).unwrap_err();
+        assert!(matches!(err, ServeError::Config(_)), "{err}");
     }
 
     /// The whole resilience layer is host-thread invariant: same fault

@@ -422,6 +422,26 @@ impl StorageArray {
         }
     }
 
+    /// Count an at-rest corruption detected by a scrub pass against the
+    /// drive hosting `pid`: the same failure-streak bookkeeping as a
+    /// fetch-time checksum mismatch, so a drive whose resident pages keep
+    /// rotting crosses the quarantine threshold and its pages re-stripe
+    /// onto the survivors. A no-op when every drive is already offline.
+    pub fn note_corrupt_page(&mut self, pid: u64, when: SimTime) {
+        let Some(dev) = self.route(pid) else {
+            return;
+        };
+        self.checksum_mismatches += 1;
+        self.consecutive_failures[dev] += 1;
+        let quarantine_after = match &self.faults {
+            Some(f) => f.config().quarantine_after,
+            None => u32::MAX,
+        };
+        if self.consecutive_failures[dev] >= quarantine_after {
+            self.quarantine(dev, when);
+        }
+    }
+
     /// Take `dev` offline; its pages re-stripe onto the surviving drives.
     fn quarantine(&mut self, dev: usize, when: SimTime) {
         if self.quarantined[dev] {
@@ -640,6 +660,31 @@ mod tests {
             .unwrap();
         arr.reset();
         assert_eq!(arr.drain_time(), SimTime::ZERO);
+    }
+
+    /// Scrub detections count against the hosting drive's failure streak
+    /// and cross the same quarantine threshold as fetch-time failures.
+    #[test]
+    fn scrub_detections_quarantine_the_hosting_drive() {
+        let mut arr = StorageArray::ssds(2);
+        let mut cfg = gts_faults::FaultConfig::quiet(1);
+        cfg.quarantine_after = 3;
+        arr.attach_faults(gts_faults::FaultPlan::new(cfg));
+        // Page 0 lives on drive 0; three straight detections take it out.
+        for _ in 0..2 {
+            arr.note_corrupt_page(0, SimTime::ZERO);
+            assert_eq!(arr.quarantined_count(), 0);
+        }
+        arr.note_corrupt_page(0, SimTime::ZERO);
+        assert_eq!(arr.quarantined_count(), 1);
+        // The victim's pages re-stripe onto the survivor.
+        assert_eq!(arr.route(0), Some(1));
+        // Without a fault plan the threshold is effectively infinite.
+        let mut quiet = StorageArray::ssds(1);
+        for _ in 0..100 {
+            quiet.note_corrupt_page(0, SimTime::ZERO);
+        }
+        assert_eq!(quiet.quarantined_count(), 0);
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod mmbuf;
 pub mod mutate;
 pub mod page;
 pub mod rvt;
+pub mod wal;
 
 pub use builder::{build_graph_store, BuildError, GraphStore};
 pub use cache::{CachePolicy, FifoCache, LruCache, PageCache, RandomCache};
@@ -44,3 +45,4 @@ pub use mmbuf::MmBuf;
 pub use mutate::{EdgeOp, MutateError, MutationBatch, MutationOutcome};
 pub use page::{page_checksum, Page, PageView, VerifiedPage};
 pub use rvt::{Rvt, RvtEntry};
+pub use wal::{store_identity_fp, Wal, WalError, WalHeader, WalRecord, WAL_FILE};

@@ -1,0 +1,915 @@
+//! Mutation write-ahead log: durability for the live topology.
+//!
+//! Since the mutation pipeline landed, an applied [`MutationBatch`] lives
+//! only in memory — a crash between checkpoints silently loses every
+//! batch, and resume can only *refuse* the mutated store. This module
+//! closes that gap with a log-before-apply WAL:
+//!
+//! * every non-empty batch is appended to `wal.log` **before**
+//!   [`GraphStore::apply_mutations`] installs it, sealed record by record
+//!   with the same FNV-1a trailer the slotted pages use;
+//! * the file is rewritten through the checkpoint store's atomic
+//!   discipline (temp file → fsync → rename → directory fsync), so a
+//!   crash mid-append leaves either the old log or the new log — a torn
+//!   tail on a non-atomic filesystem is *detected* and truncated to the
+//!   longest valid prefix;
+//! * recovery replays the WAL suffix on top of the newest snapshot and
+//!   lands byte-identical to the uncrashed store, epoch included, because
+//!   [`GraphStore::apply_mutations`] is deterministic.
+//!
+//! ## File layout (all integers little-endian)
+//!
+//! ```text
+//! magic         8 bytes   b"GTSWAL1\0"
+//! version       u32       1
+//! store_id_fp   u64       FNV-1a over (num_vertices, page_size, p, q)
+//! num_vertices  u64       ┐
+//! page_size     u32       │ the binding, readable without the store
+//! p, q          u8 × 2    ┘
+//! base_epoch    u64       store epoch when the log was created
+//! header sum    u64       FNV-1a over every preceding byte
+//! per record:
+//!   body len    u32
+//!   body                  pre_epoch u64, post_epoch u64, op count u32,
+//!                         ops (tag u8, src u64, dst u64)
+//!   trailer     u64       FNV-1a over the body
+//! ```
+//!
+//! Records form a contiguous epoch chain: the first record's `pre_epoch`
+//! is `base_epoch`, every record has `post_epoch == pre_epoch + 1`, and
+//! each record's `pre_epoch` equals its predecessor's `post_epoch`.
+//! [`Wal::log_batch`] enforces the chain and is idempotent — re-logging a
+//! batch the log already holds (the crash-between-log-and-apply resume
+//! path) verifies the stored record matches and appends nothing.
+
+use crate::builder::GraphStore;
+use crate::mutate::{EdgeOp, MutateError, MutationBatch, MutationOutcome};
+use gts_ckpt::{fnv1a, ByteReader, ByteWriter};
+use std::fmt;
+use std::fs::{self, File};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 8] = b"GTSWAL1\0";
+const VERSION: u32 = 1;
+/// The log's file name inside its directory.
+pub const WAL_FILE: &str = "wal.log";
+
+/// Everything that can go wrong while writing, reading, or replaying the
+/// mutation WAL. Mirrors `gts-ckpt`'s error shape: every variant carries
+/// enough context to act on without a debugger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalError {
+    /// A filesystem operation failed.
+    Io {
+        /// What we were doing ("create", "write", "rename", ...).
+        op: &'static str,
+        /// The path involved.
+        path: PathBuf,
+        /// The OS error, stringified.
+        source: String,
+    },
+    /// Log bytes failed structural validation (bad magic, bad header
+    /// checksum, malformed record).
+    Corrupt {
+        /// What exactly failed to validate.
+        reason: String,
+    },
+    /// The log belongs to a different store or disagrees with the epoch
+    /// chain being appended.
+    Mismatch {
+        /// What disagreed ("store fingerprint", "pre-epoch", ...).
+        what: &'static str,
+        /// The value this side requires.
+        want: u64,
+        /// The value actually found.
+        got: u64,
+    },
+    /// The logged batch was rejected by [`GraphStore::apply_mutations`];
+    /// the log entry is rolled back and the store is untouched.
+    Rejected(MutateError),
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io { op, path, source } => {
+                write!(f, "wal {op} failed for {}: {source}", path.display())
+            }
+            WalError::Corrupt { reason } => write!(f, "corrupt wal: {reason}"),
+            WalError::Mismatch { what, want, got } => write!(
+                f,
+                "wal {what} mismatch: log has {got:#018x}, this side requires {want:#018x}"
+            ),
+            WalError::Rejected(e) => write!(f, "wal batch rejected by the store: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl WalError {
+    fn io(op: &'static str, path: &Path, e: &std::io::Error) -> Self {
+        WalError::Io {
+            op,
+            path: path.to_path_buf(),
+            source: e.to_string(),
+        }
+    }
+}
+
+/// The store-binding header of a WAL file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalHeader {
+    /// FNV-1a over `(num_vertices, page_size, p, q)` — the structural
+    /// identity of the store this log belongs to.
+    pub store_id_fp: u64,
+    /// Vertex count of the bound store.
+    pub num_vertices: u64,
+    /// Page size of the bound store.
+    pub page_size: u32,
+    /// Physical-ID page-id byte width.
+    pub p: u8,
+    /// Physical-ID slot byte width.
+    pub q: u8,
+    /// Store epoch when the log was created; the first record's
+    /// `pre_epoch`.
+    pub base_epoch: u64,
+}
+
+/// One sealed log entry: a batch plus the epoch transition it commits.
+#[derive(Debug, Clone)]
+pub struct WalRecord {
+    /// Store epoch the batch applies on top of.
+    pub pre_epoch: u64,
+    /// Store epoch after application (always `pre_epoch + 1`).
+    pub post_epoch: u64,
+    /// The logged batch, in application order.
+    pub batch: MutationBatch,
+}
+
+/// The structural identity fingerprint a WAL header binds: everything a
+/// log needs to refuse replay against the wrong store, computable from
+/// either side.
+pub fn store_identity_fp(num_vertices: u64, page_size: u32, p: u8, q: u8) -> u64 {
+    let mut w = ByteWriter::new();
+    w.put_u64(num_vertices);
+    w.put_u32(page_size);
+    w.put_u8(p);
+    w.put_u8(q);
+    fnv1a(&w.into_bytes())
+}
+
+fn identity_of(store: &GraphStore) -> (u64, u32, u8, u8) {
+    let cfg = store.cfg();
+    (
+        store.num_vertices(),
+        cfg.page_size as u32,
+        cfg.id.p,
+        cfg.id.q,
+    )
+}
+
+fn encode_record_body(rec: &WalRecord) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(rec.pre_epoch);
+    w.put_u64(rec.post_epoch);
+    w.put_u32(rec.batch.len() as u32);
+    for op in rec.batch.ops() {
+        match *op {
+            EdgeOp::Insert { src, dst } => {
+                w.put_u8(0);
+                w.put_u64(src);
+                w.put_u64(dst);
+            }
+            EdgeOp::Delete { src, dst } => {
+                w.put_u8(1);
+                w.put_u64(src);
+                w.put_u64(dst);
+            }
+        }
+    }
+    w.into_bytes()
+}
+
+fn decode_record_body(body: &[u8]) -> Result<WalRecord, WalError> {
+    let corrupt = |e: gts_ckpt::CkptError| WalError::Corrupt {
+        reason: format!("record body: {e}"),
+    };
+    let mut r = ByteReader::new(body);
+    let pre_epoch = r.take_u64("wal pre-epoch").map_err(corrupt)?;
+    let post_epoch = r.take_u64("wal post-epoch").map_err(corrupt)?;
+    let count = r.take_u32("wal op count").map_err(corrupt)?;
+    let mut batch = MutationBatch::new();
+    for _ in 0..count {
+        let tag = r.take_u8("wal op tag").map_err(corrupt)?;
+        let src = r.take_u64("wal op src").map_err(corrupt)?;
+        let dst = r.take_u64("wal op dst").map_err(corrupt)?;
+        match tag {
+            0 => batch.insert(src, dst),
+            1 => batch.delete(src, dst),
+            other => {
+                return Err(WalError::Corrupt {
+                    reason: format!("unknown wal op tag {other}"),
+                })
+            }
+        };
+    }
+    r.finish().map_err(corrupt)?;
+    Ok(WalRecord {
+        pre_epoch,
+        post_epoch,
+        batch,
+    })
+}
+
+fn encode_frame(rec: &WalRecord) -> Vec<u8> {
+    let body = encode_record_body(rec);
+    let mut frame = Vec::with_capacity(4 + body.len() + 8);
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&body);
+    frame.extend_from_slice(&fnv1a(&body).to_le_bytes());
+    frame
+}
+
+fn encode_header(h: &WalHeader) -> Vec<u8> {
+    let mut buf = MAGIC.to_vec();
+    let mut w = ByteWriter::new();
+    w.put_u32(VERSION);
+    w.put_u64(h.store_id_fp);
+    w.put_u64(h.num_vertices);
+    w.put_u32(h.page_size);
+    w.put_u8(h.p);
+    w.put_u8(h.q);
+    w.put_u64(h.base_epoch);
+    buf.extend_from_slice(&w.into_bytes());
+    let sum = fnv1a(&buf);
+    buf.extend_from_slice(&sum.to_le_bytes());
+    buf
+}
+
+/// magic + version + fp + nv + page_size + p + q + base_epoch + checksum.
+const HEADER_LEN: usize = 8 + 4 + 8 + 8 + 4 + 1 + 1 + 8 + 8;
+
+fn decode_header(bytes: &[u8]) -> Result<WalHeader, WalError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(WalError::Corrupt {
+            reason: format!("{} bytes is too short to be a wal header", bytes.len()),
+        });
+    }
+    let (payload, trailer) = bytes[..HEADER_LEN].split_at(HEADER_LEN - 8);
+    let stored = u64::from_le_bytes([
+        trailer[0], trailer[1], trailer[2], trailer[3], trailer[4], trailer[5], trailer[6],
+        trailer[7],
+    ]);
+    let computed = fnv1a(payload);
+    if stored != computed {
+        return Err(WalError::Corrupt {
+            reason: format!(
+                "header checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+        });
+    }
+    if &payload[..MAGIC.len()] != MAGIC {
+        return Err(WalError::Corrupt {
+            reason: "bad magic".to_string(),
+        });
+    }
+    let corrupt = |e: gts_ckpt::CkptError| WalError::Corrupt {
+        reason: format!("header: {e}"),
+    };
+    let mut r = ByteReader::new(&payload[MAGIC.len()..]);
+    let version = r.take_u32("wal version").map_err(corrupt)?;
+    if version != VERSION {
+        return Err(WalError::Corrupt {
+            reason: format!("wal version {version} is not supported (expected {VERSION})"),
+        });
+    }
+    let store_id_fp = r.take_u64("wal store fp").map_err(corrupt)?;
+    let num_vertices = r.take_u64("wal num_vertices").map_err(corrupt)?;
+    let page_size = r.take_u32("wal page_size").map_err(corrupt)?;
+    let p = r.take_u8("wal p").map_err(corrupt)?;
+    let q = r.take_u8("wal q").map_err(corrupt)?;
+    let base_epoch = r.take_u64("wal base_epoch").map_err(corrupt)?;
+    r.finish().map_err(corrupt)?;
+    Ok(WalHeader {
+        store_id_fp,
+        num_vertices,
+        page_size,
+        p,
+        q,
+        base_epoch,
+    })
+}
+
+/// The mutation write-ahead log: an append-only epoch chain of sealed
+/// [`MutationBatch`] records bound to one store.
+#[derive(Debug, Clone)]
+pub struct Wal {
+    path: PathBuf,
+    header: WalHeader,
+    records: Vec<WalRecord>,
+    /// FNV-1a of each record's body, for idempotent duplicate checks.
+    record_fps: Vec<u64>,
+    /// The current valid file image (header + sealed frames); appends
+    /// rewrite this whole image atomically.
+    bytes: Vec<u8>,
+    /// Bytes dropped from the end of the file at open/load because they
+    /// did not form a sealed record (a torn append).
+    truncated_tail: u64,
+}
+
+impl Wal {
+    /// Open (creating if needed) the log in `dir`, bound to `store`.
+    ///
+    /// An existing log must carry the structural identity of `store`
+    /// (typed [`WalError::Mismatch`] otherwise); a torn tail is truncated
+    /// to the longest valid prefix, on disk and in memory.
+    pub fn open(dir: impl Into<PathBuf>, store: &GraphStore) -> Result<Wal, WalError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| WalError::io("create", &dir, &e))?;
+        let path = dir.join(WAL_FILE);
+        let (nv, ps, p, q) = identity_of(store);
+        let want_fp = store_identity_fp(nv, ps, p, q);
+        if !path.exists() {
+            let header = WalHeader {
+                store_id_fp: want_fp,
+                num_vertices: nv,
+                page_size: ps,
+                p,
+                q,
+                base_epoch: store.epoch(),
+            };
+            let bytes = encode_header(&header);
+            write_file_atomic(&path, &bytes)?;
+            return Ok(Wal {
+                path,
+                header,
+                records: Vec::new(),
+                record_fps: Vec::new(),
+                bytes,
+                truncated_tail: 0,
+            });
+        }
+        let wal = Wal::load_path(&path)?;
+        if wal.header.store_id_fp != want_fp {
+            return Err(WalError::Mismatch {
+                what: "store fingerprint",
+                want: want_fp,
+                got: wal.header.store_id_fp,
+            });
+        }
+        if wal.truncated_tail > 0 {
+            // Persist the truncation so the on-disk file is whole again.
+            write_file_atomic(&wal.path, &wal.bytes)?;
+        }
+        wal.check_chain()?;
+        Ok(wal)
+    }
+
+    /// Load the log in `dir` read-only, without a store to bind against —
+    /// the `fsck` entry point. A torn tail is noted
+    /// ([`Wal::truncated_tail`]) but the file is left untouched.
+    pub fn load(dir: impl AsRef<Path>) -> Result<Wal, WalError> {
+        let wal = Wal::load_path(&dir.as_ref().join(WAL_FILE))?;
+        wal.check_chain()?;
+        Ok(wal)
+    }
+
+    fn load_path(path: &Path) -> Result<Wal, WalError> {
+        let raw = fs::read(path).map_err(|e| WalError::io("read", path, &e))?;
+        let header = decode_header(&raw)?;
+        let mut records = Vec::new();
+        let mut record_fps = Vec::new();
+        let mut pos = HEADER_LEN;
+        let mut valid = pos;
+        while pos < raw.len() {
+            // A frame needs its length, body, and trailer in full, with a
+            // matching trailer; anything less is a torn append.
+            if raw.len() - pos < 4 {
+                break;
+            }
+            let len =
+                u32::from_le_bytes([raw[pos], raw[pos + 1], raw[pos + 2], raw[pos + 3]]) as usize;
+            if raw.len() - pos < 4 + len + 8 {
+                break;
+            }
+            let body = &raw[pos + 4..pos + 4 + len];
+            let trailer = &raw[pos + 4 + len..pos + 4 + len + 8];
+            let stored = u64::from_le_bytes([
+                trailer[0], trailer[1], trailer[2], trailer[3], trailer[4], trailer[5], trailer[6],
+                trailer[7],
+            ]);
+            if stored != fnv1a(body) {
+                break;
+            }
+            records.push(decode_record_body(body)?);
+            record_fps.push(fnv1a(body));
+            pos += 4 + len + 8;
+            valid = pos;
+        }
+        Ok(Wal {
+            path: path.to_path_buf(),
+            header,
+            records,
+            record_fps,
+            bytes: raw[..valid].to_vec(),
+            truncated_tail: (raw.len() - valid) as u64,
+        })
+    }
+
+    /// Reject a log whose sealed records do not form a contiguous
+    /// `+1`-per-record epoch chain from `base_epoch` — individually valid
+    /// frames in a broken order mean the file was tampered with, not torn.
+    fn check_chain(&self) -> Result<(), WalError> {
+        let mut expect = self.header.base_epoch;
+        for rec in &self.records {
+            if rec.pre_epoch != expect {
+                return Err(WalError::Mismatch {
+                    what: "pre-epoch chain",
+                    want: expect,
+                    got: rec.pre_epoch,
+                });
+            }
+            if rec.post_epoch != rec.pre_epoch + 1 {
+                return Err(WalError::Mismatch {
+                    what: "post-epoch",
+                    want: rec.pre_epoch + 1,
+                    got: rec.post_epoch,
+                });
+            }
+            expect = rec.post_epoch;
+        }
+        Ok(())
+    }
+
+    /// The path of the log file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The store-binding header.
+    pub fn header(&self) -> &WalHeader {
+        &self.header
+    }
+
+    /// Sealed records, in epoch order.
+    pub fn records(&self) -> &[WalRecord] {
+        &self.records
+    }
+
+    /// Bytes dropped from the end of the file at open/load because they
+    /// did not form a sealed record.
+    pub fn truncated_tail(&self) -> u64 {
+        self.truncated_tail
+    }
+
+    /// The `pre_epoch` the next logged batch must carry.
+    pub fn next_pre_epoch(&self) -> u64 {
+        self.records
+            .last()
+            .map_or(self.header.base_epoch, |r| r.post_epoch)
+    }
+
+    /// Append a sealed record for `batch` committing `pre → post`.
+    ///
+    /// Idempotent: if the chain already holds `pre`, the stored record
+    /// must match `batch` exactly (typed mismatch otherwise) and nothing
+    /// is appended. Returns the bytes appended (0 for a duplicate or an
+    /// empty batch — empty batches do not move the epoch and are never
+    /// logged).
+    pub fn log_batch(
+        &mut self,
+        batch: &MutationBatch,
+        pre: u64,
+        post: u64,
+    ) -> Result<u64, WalError> {
+        if batch.is_empty() {
+            return Ok(0);
+        }
+        if post != pre + 1 {
+            return Err(WalError::Mismatch {
+                what: "post-epoch",
+                want: pre + 1,
+                got: post,
+            });
+        }
+        let next = self.next_pre_epoch();
+        let rec = WalRecord {
+            pre_epoch: pre,
+            post_epoch: post,
+            batch: batch.clone(),
+        };
+        if pre < next {
+            if pre < self.header.base_epoch {
+                return Err(WalError::Mismatch {
+                    what: "pre-epoch",
+                    want: self.header.base_epoch,
+                    got: pre,
+                });
+            }
+            // Already logged (the crash-between-log-and-apply resume
+            // path): verify the stored record is the same batch.
+            let idx = (pre - self.header.base_epoch) as usize;
+            let fp = fnv1a(&encode_record_body(&rec));
+            if self.record_fps[idx] != fp {
+                return Err(WalError::Mismatch {
+                    what: "duplicate batch fingerprint",
+                    want: self.record_fps[idx],
+                    got: fp,
+                });
+            }
+            return Ok(0);
+        }
+        if pre > next {
+            return Err(WalError::Mismatch {
+                what: "pre-epoch",
+                want: next,
+                got: pre,
+            });
+        }
+        let frame = encode_frame(&rec);
+        self.bytes.extend_from_slice(&frame);
+        write_file_atomic(&self.path, &self.bytes)?;
+        self.record_fps.push(fnv1a(&encode_record_body(&rec)));
+        self.records.push(rec);
+        Ok(frame.len() as u64)
+    }
+
+    /// Chaos hook: write only a *prefix* of the sealed frame for `batch`
+    /// directly to the final path (no temp/rename), simulating a crash
+    /// halfway through a non-atomic append. The in-memory log is left
+    /// unchanged; a later [`Wal::open`] must truncate the torn tail.
+    /// Returns the torn bytes written.
+    pub fn log_batch_torn(
+        &mut self,
+        batch: &MutationBatch,
+        pre: u64,
+        post: u64,
+    ) -> Result<u64, WalError> {
+        let rec = WalRecord {
+            pre_epoch: pre,
+            post_epoch: post,
+            batch: batch.clone(),
+        };
+        let frame = encode_frame(&rec);
+        let torn = &frame[..frame.len() / 2];
+        let mut image = self.bytes.clone();
+        image.extend_from_slice(torn);
+        fs::write(&self.path, &image).map_err(|e| WalError::io("write", &self.path, &e))?;
+        Ok(torn.len() as u64)
+    }
+
+    /// Drop the last sealed record, on disk and in memory — the rollback
+    /// used when the store rejects a just-logged batch.
+    fn pop_record(&mut self) -> Result<(), WalError> {
+        let Some(rec) = self.records.pop() else {
+            return Ok(());
+        };
+        self.record_fps.pop();
+        let frame = encode_frame(&rec);
+        self.bytes.truncate(self.bytes.len() - frame.len());
+        write_file_atomic(&self.path, &self.bytes)
+    }
+
+    /// Replay every record past `store.epoch()` onto `store`, in chain
+    /// order. The first applied record's `pre_epoch` must equal the
+    /// store's epoch (typed mismatch otherwise — the log does not cover
+    /// the gap). Returns the number of batches applied.
+    pub fn replay_onto(&self, store: &mut GraphStore) -> Result<u64, WalError> {
+        let (nv, ps, p, q) = identity_of(store);
+        let want_fp = store_identity_fp(nv, ps, p, q);
+        if self.header.store_id_fp != want_fp {
+            return Err(WalError::Mismatch {
+                what: "store fingerprint",
+                want: want_fp,
+                got: self.header.store_id_fp,
+            });
+        }
+        let mut applied = 0u64;
+        for rec in &self.records {
+            if rec.post_epoch <= store.epoch() {
+                continue; // already applied before the snapshot
+            }
+            if rec.pre_epoch != store.epoch() {
+                return Err(WalError::Mismatch {
+                    what: "replay pre-epoch",
+                    want: store.epoch(),
+                    got: rec.pre_epoch,
+                });
+            }
+            store
+                .apply_mutations(&rec.batch)
+                .map_err(WalError::Rejected)?;
+            applied += 1;
+        }
+        Ok(applied)
+    }
+}
+
+impl GraphStore {
+    /// [`GraphStore::apply_mutations`] with log-before-apply durability:
+    /// the batch is sealed into `wal` first, then applied. A batch the
+    /// store rejects is rolled back out of the log, leaving both sides
+    /// untouched. Returns the outcome plus the WAL bytes appended (0 for
+    /// an empty batch or an idempotent re-log).
+    pub fn apply_mutations_logged(
+        &mut self,
+        batch: &MutationBatch,
+        wal: &mut Wal,
+    ) -> Result<(MutationOutcome, u64), WalError> {
+        let pre = self.epoch();
+        if batch.is_empty() {
+            let out = self.apply_mutations(batch).map_err(WalError::Rejected)?;
+            return Ok((out, 0));
+        }
+        let bytes = wal.log_batch(batch, pre, pre + 1)?;
+        match self.apply_mutations(batch) {
+            Ok(out) => Ok((out, bytes)),
+            Err(e) => {
+                if bytes > 0 {
+                    wal.pop_record()?;
+                }
+                Err(WalError::Rejected(e))
+            }
+        }
+    }
+}
+
+/// tmp → write → fsync → rename → dir fsync, the checkpoint store's
+/// crash-safe write protocol.
+fn write_file_atomic(path: &Path, bytes: &[u8]) -> Result<(), WalError> {
+    let tmp = path.with_extension("log.tmp");
+    {
+        let mut f = File::create(&tmp).map_err(|e| WalError::io("create", &tmp, &e))?;
+        f.write_all(bytes)
+            .map_err(|e| WalError::io("write", &tmp, &e))?;
+        f.sync_all().map_err(|e| WalError::io("fsync", &tmp, &e))?;
+    }
+    fs::rename(&tmp, path).map_err(|e| WalError::io("rename", path, &e))?;
+    // Persisting a rename requires fsyncing the containing directory;
+    // platforms that refuse to open directories get best-effort.
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic on failure by design
+mod tests {
+    use super::*;
+    use crate::builder::build_graph_store;
+    use crate::format::{PageFormatConfig, PhysicalIdConfig};
+    use gts_graph::EdgeList;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("gts-wal-test-{}-{tag}-{n}", std::process::id()))
+    }
+
+    fn cfg() -> PageFormatConfig {
+        PageFormatConfig::new(PhysicalIdConfig::ORIGINAL, 256)
+    }
+
+    fn store_of(n: u32, edges: Vec<(u32, u32)>) -> GraphStore {
+        build_graph_store(&EdgeList::new(n, edges), cfg()).expect("build")
+    }
+
+    fn batch(ops: &[(u8, u64, u64)]) -> MutationBatch {
+        let mut b = MutationBatch::new();
+        for &(tag, s, d) in ops {
+            if tag == 0 {
+                b.insert(s, d);
+            } else {
+                b.delete(s, d);
+            }
+        }
+        b
+    }
+
+    #[test]
+    fn log_then_reload_round_trips_records() {
+        let dir = tmp_dir("roundtrip");
+        let store = store_of(8, vec![(0, 1), (1, 2), (2, 3)]);
+        let mut wal = Wal::open(&dir, &store).unwrap();
+        let b1 = batch(&[(0, 0, 3), (1, 1, 2)]);
+        let b2 = batch(&[(0, 4, 5)]);
+        assert!(wal.log_batch(&b1, 0, 1).unwrap() > 0);
+        assert!(wal.log_batch(&b2, 1, 2).unwrap() > 0);
+
+        let loaded = Wal::load(&dir).unwrap();
+        assert_eq!(loaded.records().len(), 2);
+        assert_eq!(loaded.records()[0].batch.ops(), b1.ops());
+        assert_eq!(loaded.records()[1].batch.ops(), b2.ops());
+        assert_eq!(loaded.records()[1].pre_epoch, 1);
+        assert_eq!(loaded.next_pre_epoch(), 2);
+        assert_eq!(loaded.truncated_tail(), 0);
+    }
+
+    #[test]
+    fn logged_apply_matches_direct_apply_byte_for_byte() {
+        let dir = tmp_dir("logged");
+        let edges = vec![(0, 1), (1, 2), (2, 0), (3, 1)];
+        let mut direct = store_of(8, edges.clone());
+        let mut logged = store_of(8, edges);
+        let mut wal = Wal::open(&dir, &logged).unwrap();
+        for b in [batch(&[(0, 0, 5), (0, 5, 0)]), batch(&[(1, 1, 2)])] {
+            direct.apply_mutations(&b).unwrap();
+            logged.apply_mutations_logged(&b, &mut wal).unwrap();
+        }
+        assert_eq!(direct.epoch(), logged.epoch());
+        assert_eq!(direct.decode_edges(), logged.decode_edges());
+        for (a, b) in direct.pages().iter().zip(logged.pages().iter()) {
+            assert_eq!(a.data, b.data);
+        }
+        // And replay from scratch reproduces the same store.
+        let mut replayed = store_of(8, vec![(0, 1), (1, 2), (2, 0), (3, 1)]);
+        let n = Wal::load(&dir).unwrap().replay_onto(&mut replayed).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(replayed.epoch(), direct.epoch());
+        assert_eq!(replayed.decode_edges(), direct.decode_edges());
+    }
+
+    #[test]
+    fn torn_tail_truncates_to_longest_valid_prefix() {
+        let dir = tmp_dir("torn");
+        let store = store_of(8, vec![(0, 1), (1, 2)]);
+        let mut wal = Wal::open(&dir, &store).unwrap();
+        wal.log_batch(&batch(&[(0, 0, 2)]), 0, 1).unwrap();
+        wal.log_batch_torn(&batch(&[(0, 1, 3)]), 1, 2).unwrap();
+
+        let loaded = Wal::load(&dir).unwrap();
+        assert_eq!(loaded.records().len(), 1);
+        assert!(loaded.truncated_tail() > 0);
+
+        // Re-opening against the store repairs the file on disk.
+        let reopened = Wal::open(&dir, &store).unwrap();
+        assert_eq!(reopened.records().len(), 1);
+        assert_eq!(reopened.next_pre_epoch(), 1);
+        let after = Wal::load(&dir).unwrap();
+        assert_eq!(after.truncated_tail(), 0);
+    }
+
+    #[test]
+    fn duplicate_relog_is_idempotent_and_checked() {
+        let dir = tmp_dir("dup");
+        let store = store_of(8, vec![(0, 1)]);
+        let mut wal = Wal::open(&dir, &store).unwrap();
+        let b = batch(&[(0, 2, 3)]);
+        assert!(wal.log_batch(&b, 0, 1).unwrap() > 0);
+        // Same batch, same epochs: a no-op.
+        assert_eq!(wal.log_batch(&b, 0, 1).unwrap(), 0);
+        assert_eq!(wal.records().len(), 1);
+        // A *different* batch claiming the same slot is refused.
+        let err = wal.log_batch(&batch(&[(0, 3, 2)]), 0, 1).unwrap_err();
+        assert!(matches!(
+            err,
+            WalError::Mismatch {
+                what: "duplicate batch fingerprint",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn epoch_gap_is_a_typed_mismatch() {
+        let dir = tmp_dir("gap");
+        let store = store_of(8, vec![(0, 1)]);
+        let mut wal = Wal::open(&dir, &store).unwrap();
+        let err = wal.log_batch(&batch(&[(0, 2, 3)]), 5, 6).unwrap_err();
+        assert_eq!(
+            err,
+            WalError::Mismatch {
+                what: "pre-epoch",
+                want: 0,
+                got: 5
+            }
+        );
+    }
+
+    #[test]
+    fn wrong_store_is_refused() {
+        let dir = tmp_dir("wrongstore");
+        let store = store_of(8, vec![(0, 1)]);
+        Wal::open(&dir, &store).unwrap();
+        let other = store_of(16, vec![(0, 1)]);
+        let err = Wal::open(&dir, &other).unwrap_err();
+        assert!(matches!(
+            err,
+            WalError::Mismatch {
+                what: "store fingerprint",
+                ..
+            }
+        ));
+        // Replay against the wrong store is refused the same way.
+        let wal = Wal::load(&dir).unwrap();
+        let mut other = store_of(16, vec![(0, 1)]);
+        assert!(matches!(
+            wal.replay_onto(&mut other),
+            Err(WalError::Mismatch {
+                what: "store fingerprint",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn rejected_batch_rolls_the_log_back() {
+        let dir = tmp_dir("reject");
+        let mut store = store_of(4, vec![(0, 1)]);
+        let mut wal = Wal::open(&dir, &store).unwrap();
+        let err = store
+            .apply_mutations_logged(&batch(&[(1, 2, 3)]), &mut wal)
+            .unwrap_err();
+        assert!(matches!(err, WalError::Rejected(_)));
+        assert_eq!(store.epoch(), 0);
+        assert_eq!(wal.records().len(), 0);
+        assert_eq!(Wal::load(&dir).unwrap().records().len(), 0);
+        // The log still works after the rollback.
+        store
+            .apply_mutations_logged(&batch(&[(0, 2, 3)]), &mut wal)
+            .unwrap();
+        assert_eq!(store.epoch(), 1);
+    }
+
+    #[test]
+    fn replay_skips_records_already_covered_by_the_snapshot() {
+        let dir = tmp_dir("suffix");
+        let mut store = store_of(8, vec![(0, 1), (1, 2)]);
+        let mut wal = Wal::open(&dir, &store).unwrap();
+        let b1 = batch(&[(0, 0, 2)]);
+        let b2 = batch(&[(0, 1, 3)]);
+        store.apply_mutations_logged(&b1, &mut wal).unwrap();
+        store.apply_mutations_logged(&b2, &mut wal).unwrap();
+
+        // "Snapshot" at epoch 1: a fresh build plus the first batch.
+        let mut resumed = store_of(8, vec![(0, 1), (1, 2)]);
+        resumed.apply_mutations(&b1).unwrap();
+        let n = Wal::load(&dir).unwrap().replay_onto(&mut resumed).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(resumed.epoch(), 2);
+        assert_eq!(resumed.decode_edges(), store.decode_edges());
+    }
+
+    #[test]
+    fn header_corruption_is_typed() {
+        let dir = tmp_dir("corrupt");
+        let store = store_of(8, vec![(0, 1)]);
+        Wal::open(&dir, &store).unwrap();
+        let path = dir.join(WAL_FILE);
+        let mut raw = fs::read(&path).unwrap();
+        raw[10] ^= 0x40;
+        fs::write(&path, &raw).unwrap();
+        assert!(matches!(Wal::load(&dir), Err(WalError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn error_displays_render_context_fields() {
+        let cases: Vec<(WalError, &[&str])> = vec![
+            (
+                WalError::Io {
+                    op: "rename",
+                    path: PathBuf::from("/wal/wal.log"),
+                    source: "permission denied".into(),
+                },
+                &["rename", "/wal/wal.log", "permission denied"],
+            ),
+            (
+                WalError::Corrupt {
+                    reason: "bad magic".into(),
+                },
+                &["corrupt", "bad magic"],
+            ),
+            (
+                WalError::Mismatch {
+                    what: "pre-epoch",
+                    want: 2,
+                    got: 7,
+                },
+                &["pre-epoch", "0x0000000000000002", "0x0000000000000007"],
+            ),
+            (
+                WalError::Rejected(MutateError::EdgeNotFound { src: 1, dst: 2 }),
+                &["rejected", "1 -> 2"],
+            ),
+        ];
+        for (err, needles) in cases {
+            let msg = err.to_string();
+            for needle in needles {
+                assert!(
+                    msg.contains(needle),
+                    "Display for {err:?} lost context: {msg:?} missing {needle:?}"
+                );
+            }
+            assert!(
+                !msg.contains("{ "),
+                "Display for {err:?} leaks Debug formatting: {msg:?}"
+            );
+        }
+    }
+}

@@ -37,6 +37,9 @@
 //! | `sweep{j}.pages` … | per-sweep fields, see the `SWEEP_*` constants |
 //! | `serve.retry.*` / `serve.quarantine.*` / `serve.breaker.*` / `serve.shed.*` | serve-mode resilience counters (sim-side, deterministic) |
 //! | `serve.journal.*` / `serve.resume.*` | service-journal bookkeeping (outside the resume-diff contract, like `ckpt.*`) |
+//! | `wal.*` | mutation write-ahead-log bookkeeping (outside the resume-diff contract, like `ckpt.*`) |
+//! | `scrub.*` | background scrub pass results (sim-side, deterministic) |
+//! | `ckpt.manifest.skipped` | torn/unreadable manifest entries skipped on resume (wall-side) |
 
 /// Simulated makespan of the run, nanoseconds (set once at run end).
 pub const RUN_ELAPSED_NS: &str = "run.elapsed_ns";
@@ -91,6 +94,31 @@ pub const CKPT_BYTES: &str = "ckpt.bytes";
 /// Wall-clock nanoseconds spent encoding + fsyncing checkpoint snapshots
 /// (real time, not simulated; outside the determinism contract).
 pub const CKPT_WRITE_NS: &str = "ckpt.write_ns";
+/// Torn or unreadable manifest entries the checkpoint store skipped while
+/// resolving the latest resumable snapshot. Wall-side (like `ckpt.bytes`):
+/// only a crashed-then-resumed run ever skips entries, so the key sits
+/// OUTSIDE the resume-diff determinism contract.
+pub const CKPT_MANIFEST_SKIPPED: &str = "ckpt.manifest.skipped";
+/// Mutation-batch records sealed into the write-ahead log this run.
+/// `wal.*` keys count I/O the crashed and resumed halves of a run split
+/// differently (a resumed run re-logs already-sealed batches as 0-byte
+/// idempotent appends), so — like `ckpt.*` — they sit OUTSIDE the
+/// resume-diff determinism contract and CI filters them.
+pub const WAL_APPENDS: &str = "wal.appends";
+/// Bytes appended to the write-ahead log (same caveats as `wal.appends`).
+pub const WAL_BYTES: &str = "wal.bytes";
+/// WAL records replayed onto the store during crash recovery, before the
+/// snapshot was restored (same caveats as `wal.appends`).
+pub const WAL_REPLAYED: &str = "wal.replayed";
+/// Pages walked by background scrub passes. Scrub runs serially at sweep
+/// boundaries with draws on per-page fault streams, so `scrub.*` keys are
+/// sim-side deterministic at any `host_threads`.
+pub const SCRUB_PAGES: &str = "scrub.pages";
+/// At-rest corruptions (trailer checksum mismatches) scrub detected.
+pub const SCRUB_ERRORS: &str = "scrub.errors";
+/// Detected corruptions scrub repaired by rewriting the page from the
+/// authoritative in-memory copy.
+pub const SCRUB_REPAIRED: &str = "scrub.repaired";
 /// Wall-clock nanoseconds the host spent in phase A (functional kernels)
 /// across all sweeps. Only written when the engine's
 /// `measure_host_phases` flag is on; real time, not simulated, so (like
@@ -193,6 +221,10 @@ pub const SERVE_JOURNAL_FLUSHES: &str = "serve.journal.flushes";
 /// Executions served from the journal on `--resume-serve` instead of
 /// being re-run (outside the resume-diff contract, as above).
 pub const SERVE_RESUME_CACHED: &str = "serve.resume.cached";
+/// Journaled epoch bumps a resumed service re-derived from the mutation
+/// WAL's logged bytes instead of re-generating the batch (outside the
+/// resume-diff contract, as above).
+pub const SERVE_WAL_REPLAYED: &str = "serve.wal.replayed";
 
 /// Key for per-GPU field `field` of GPU `i` (e.g. `gpu0.bytes_h2d`).
 pub fn gpu(i: u32, field: &str) -> String {
